@@ -1,0 +1,50 @@
+//! Figure 3 reproduction: end-to-end QoS of the four prototype
+//! configuration events, plus a timing of the full scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ubiqos_runtime::scenario::run_prototype_scenario;
+
+fn print_reproduction() {
+    println!("\n================ Figure 3 (reproduction) ================");
+    let reports = run_prototype_scenario().expect("scenario configures");
+    println!(
+        "{:<5} | {:<55} | measured QoS",
+        "event", "service configuration result"
+    );
+    println!("{}", "-".repeat(110));
+    for r in &reports {
+        let placement: Vec<String> = r
+            .placement
+            .iter()
+            .map(|(c, d)| format!("{c}@{d}"))
+            .collect();
+        let qos: Vec<String> = r
+            .measured_qos
+            .iter()
+            .map(|q| format!("{} {:.0}fps", q.sink, q.fps))
+            .collect();
+        println!(
+            "{:<5} | {:<55} | {}",
+            r.label,
+            placement.join(", "),
+            qos.join(", ")
+        );
+    }
+    println!(
+        "\n(paper: events 1-3 play audio at 40 fps across desktop→PDA→desktop handoffs\n with an MPEG2WAV transcoder on the PDA leg; event 4 delivers video 25 fps + audio 6 fps)\n"
+    );
+    ubiqos_bench::dump_json("fig3.json", &reports);
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+    group.bench_function("four-event-prototype-scenario", |b| {
+        b.iter(|| run_prototype_scenario().expect("scenario configures"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 5 reproduction: success rate of the fixed / random / heuristic
+//! policies over the paper's full 5000-request, 1000-hour workload, plus
+//! a timing of the simulation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ubiqos_sim::Policy;
+
+fn print_reproduction() {
+    println!("\n================ Figure 5 (reproduction) ================");
+    println!("5000 requests over 1000 h; 5 predefined graphs (50-100 nodes);");
+    println!("desktop [256MB,300%] / laptop [128MB,100%] / PDA [32MB,50%];");
+    println!("b12=50 Mbps, b13=b23=5 Mbps; success rate sampled every 50 h.\n");
+    let outcome = ubiqos_bench::reproduce_fig5();
+    println!("{}", outcome.render());
+    for policy in [
+        Policy::Fixed,
+        Policy::FixedPlanned,
+        Policy::Random,
+        Policy::Heuristic,
+    ] {
+        let c = outcome.curve(policy);
+        println!("overall [{:>13}]: {:.1}%", c.policy, c.overall * 100.0);
+    }
+    let h = outcome.curve(Policy::Heuristic).overall;
+    let r = outcome.curve(Policy::Random).overall;
+    let f = outcome.curve(Policy::Fixed).overall;
+    println!(
+        "\nshape: heuristic ({h:.2}) > random ({r:.2}) > fixed ({f:.2}) — {}",
+        if h > r && r > f {
+            "matches the paper's ordering"
+        } else {
+            "UNEXPECTED ORDERING"
+        }
+    );
+    println!("(fixed-planned is an ablation: static but well-planned placements)\n");
+    ubiqos_bench::dump_json("fig5.json", &outcome);
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    print_reproduction();
+    let small = ubiqos_bench::fig5_config_small();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("simulate-250-requests-all-policies", |b| {
+        b.iter(|| ubiqos_sim::scenario::run_fig5(&small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Table 1 reproduction + distribution-algorithm micro-benchmarks.
+//!
+//! Prints the paper's Table 1 ("Comparisons among different service
+//! distribution algorithms") regenerated on 150 seeded random graphs,
+//! then times each algorithm on a representative 15-node instance.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ubiqos_distribution::{
+    ExhaustiveOptimal, GreedyHeuristic, OsdProblem, RandomDistributor, ServiceDistributor,
+};
+use ubiqos_model::Weights;
+use ubiqos_sim::GraphGenConfig;
+
+fn print_reproduction() {
+    println!("\n================ Table 1 (reproduction) ================");
+    let report = ubiqos_bench::reproduce_table1();
+    println!("{}", report.render());
+    println!(
+        "(150 feasible graphs evaluated; {} infeasible graphs skipped; paper: random 25%/0%, heuristic 91%/60%, optimal 100%/100%)\n",
+        report.skipped_infeasible
+    );
+    ubiqos_bench::dump_json("table1.json", &report);
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    print_reproduction();
+
+    let gen = GraphGenConfig {
+        nodes: 15..=15,
+        ..GraphGenConfig::table1()
+    };
+    let graph = gen.generate(&mut StdRng::seed_from_u64(1));
+    let env = ubiqos_sim::table1::table1_environment();
+    let weights = Weights::default();
+
+    let mut group = c.benchmark_group("table1/distribute-15-nodes");
+    group.sample_size(20);
+    group.bench_function("heuristic", |b| {
+        b.iter_batched(
+            GreedyHeuristic::paper,
+            |mut alg| {
+                let problem = OsdProblem::new(&graph, &env, &weights);
+                alg.distribute(&problem).expect("feasible")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("random", |b| {
+        b.iter_batched(
+            || RandomDistributor::seeded(7),
+            |mut alg| {
+                let problem = OsdProblem::new(&graph, &env, &weights);
+                alg.distribute(&problem).expect("feasible")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("optimal", |b| {
+        b.iter_batched(
+            ExhaustiveOptimal::new,
+            |mut alg| {
+                let problem = OsdProblem::new(&graph, &env, &weights);
+                alg.distribute(&problem).expect("feasible")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

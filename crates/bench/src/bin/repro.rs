@@ -1,0 +1,132 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation
+//! in one run, without Criterion.
+//!
+//! ```sh
+//! cargo run --release -p ubiqos-bench --bin repro            # everything
+//! cargo run --release -p ubiqos-bench --bin repro -- table1  # one artifact
+//! ```
+//!
+//! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`.
+//! Figure data is also written as JSON under `target/repro/`.
+
+use ubiqos_sim::{Fig5Config, Policy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let mut ran = 0;
+
+    if want("table1") {
+        table1();
+        ran += 1;
+    }
+    if want("fig3") {
+        fig3();
+        ran += 1;
+    }
+    if want("fig4") {
+        fig4();
+        ran += 1;
+    }
+    if want("fig5") {
+        fig5();
+        ran += 1;
+    }
+    if want("multi-seed") {
+        multi_seed();
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!(
+            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed",
+            args
+        );
+        std::process::exit(2);
+    }
+}
+
+fn table1() {
+    println!("================ Table 1 ================");
+    let report = ubiqos_bench::reproduce_table1();
+    println!("{}", report.render());
+    println!(
+        "paper: random 25%/0%, heuristic 91%/60%, optimal 100%/100% ({} infeasible graphs skipped)\n",
+        report.skipped_infeasible
+    );
+    ubiqos_bench::dump_json("table1.json", &report);
+}
+
+fn fig3() {
+    println!("================ Figure 3 ================");
+    let reports = ubiqos_runtime::scenario::run_prototype_scenario().expect("scenario configures");
+    for r in &reports {
+        print!("{}", r.render());
+    }
+    println!();
+    ubiqos_bench::dump_json("fig3.json", &reports);
+}
+
+fn fig4() {
+    println!("================ Figure 4 ================");
+    let reports = ubiqos_runtime::scenario::run_prototype_scenario().expect("scenario configures");
+    println!(
+        "{:<5} | {:>12} | {:>12} | {:>12} | {:>14} | {:>9}",
+        "event", "composition", "distribution", "downloading", "init/handoff", "total"
+    );
+    for r in &reports {
+        let o = &r.overhead;
+        println!(
+            "{:<5} | {:>10.0}ms | {:>10.0}ms | {:>10.0}ms | {:>12.0}ms | {:>7.0}ms",
+            r.label,
+            o.composition_ms,
+            o.distribution_ms,
+            o.downloading_ms,
+            o.init_or_handoff_ms,
+            o.total_ms()
+        );
+    }
+    println!();
+    ubiqos_bench::dump_json("fig4.json", &reports);
+}
+
+fn fig5() {
+    println!("================ Figure 5 ================");
+    let outcome = ubiqos_bench::reproduce_fig5();
+    println!("{}", outcome.render());
+    for policy in [
+        Policy::Fixed,
+        Policy::FixedPlanned,
+        Policy::Random,
+        Policy::Heuristic,
+    ] {
+        let c = outcome.curve(policy);
+        println!("overall [{:>13}]: {:.1}%", c.policy, c.overall * 100.0);
+    }
+    println!();
+    ubiqos_bench::dump_json("fig5.json", &outcome);
+}
+
+fn multi_seed() {
+    println!("================ Figure 5 robustness (5 seeds) ================");
+    let cfg = Fig5Config {
+        workload: ubiqos_sim::WorkloadConfig {
+            requests: 1000,
+            horizon_h: 200.0,
+            ..ubiqos_sim::WorkloadConfig::default()
+        },
+        ..Fig5Config::default()
+    };
+    let summaries = ubiqos_sim::run_fig5_multi(&cfg, &[1, 7, 42, 1001, 0x1cdc_2002]);
+    println!("{:<14} | {:>6} | {:>6} | {:>6}", "policy", "mean", "min", "max");
+    for s in &summaries {
+        println!(
+            "{:<14} | {:>5.1}% | {:>5.1}% | {:>5.1}%",
+            s.policy,
+            s.mean * 100.0,
+            s.min * 100.0,
+            s.max * 100.0
+        );
+    }
+    println!();
+    ubiqos_bench::dump_json("fig5_multi_seed.json", &summaries);
+}

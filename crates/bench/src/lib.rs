@@ -1,0 +1,95 @@
+//! # ubiqos-bench
+//!
+//! Benchmark and reproduction harness for the *ubiqos* reproduction of
+//! Gu & Nahrstedt, ICDCS 2002. Each Criterion bench regenerates one
+//! artifact of the paper's evaluation section before timing its kernel:
+//!
+//! | Bench target | Paper artifact |
+//! |---|---|
+//! | `table1_quality` | Table 1 — heuristic vs random vs optimal quality |
+//! | `fig3_qos` | Figure 3 — end-to-end QoS of four configuration events |
+//! | `fig4_overhead` | Figure 4 — per-event overhead breakdown |
+//! | `fig5_success` | Figure 5 — success rate of fixed/random/heuristic |
+//! | `scaling` | The O(V+E) / polynomial complexity claims + ablations |
+//!
+//! Run everything with `cargo bench --workspace`; each bench prints the
+//! reproduced rows/series to stdout, then reports Criterion timings. The
+//! shared reproduction entry points live in this library so integration
+//! tests can assert on the same data the benches print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ubiqos_sim::{Fig5Config, Fig5Outcome, Table1Config, Table1Report, WorkloadConfig};
+
+/// The Table 1 configuration used by the reproduction harness: the
+/// paper's 150 graphs with ablation rows enabled.
+pub fn table1_config() -> Table1Config {
+    Table1Config {
+        include_ablations: true,
+        ..Table1Config::default()
+    }
+}
+
+/// Runs the full Table 1 reproduction.
+pub fn reproduce_table1() -> Table1Report {
+    ubiqos_sim::run_table1(&table1_config())
+}
+
+/// The Figure 5 configuration used by the reproduction harness: the
+/// paper's full 5000-request, 1000-hour workload.
+pub fn fig5_config() -> Fig5Config {
+    Fig5Config::default()
+}
+
+/// A scaled-down Figure 5 configuration for timing kernels (same shape,
+/// ~20x less work).
+pub fn fig5_config_small() -> Fig5Config {
+    Fig5Config {
+        workload: WorkloadConfig {
+            requests: 250,
+            horizon_h: 50.0,
+            ..WorkloadConfig::default()
+        },
+        window_h: 10.0,
+        ..Fig5Config::default()
+    }
+}
+
+/// Runs the full Figure 5 reproduction.
+pub fn reproduce_fig5() -> Fig5Outcome {
+    ubiqos_sim::scenario::run_fig5(&fig5_config())
+}
+
+/// Writes reproduction data as pretty JSON under `target/repro/`, so
+/// figure data survives the bench run for plotting. Failures are
+/// reported but never abort a bench.
+pub fn dump_json<T: serde::Serialize>(file: &str, data: &T) {
+    let dir = std::path::Path::new("target").join("repro");
+    let path = dir.join(file);
+    let result = std::fs::create_dir_all(&dir)
+        .map_err(|e| e.to_string())
+        .and_then(|()| serde_json::to_string_pretty(data).map_err(|e| e.to_string()))
+        .and_then(|json| std::fs::write(&path, json).map_err(|e| e.to_string()));
+    match result {
+        Ok(()) => println!("(figure data written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_paper_scale() {
+        let t1 = table1_config();
+        assert_eq!(t1.graphs, 150);
+        assert!(t1.include_ablations);
+        let f5 = fig5_config();
+        assert_eq!(f5.workload.requests, 5000);
+        assert_eq!(f5.workload.horizon_h, 1000.0);
+        assert_eq!(f5.window_h, 50.0);
+        assert!(fig5_config_small().workload.requests < 1000);
+    }
+}

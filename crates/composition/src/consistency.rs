@@ -1,0 +1,198 @@
+//! Whole-graph QoS consistency diagnosis.
+//!
+//! The OC algorithm *corrects* inconsistencies; this module *reports*
+//! them, for tooling that wants to show the developer exactly which
+//! interactions are broken and why (the "QoS consistency check to
+//! discover … inconsistencies of QoS parameters between any two
+//! interacting service components" of Section 1) without mutating the
+//! graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_graph::{ComponentId, ServiceGraph};
+use ubiqos_model::Mismatch;
+
+/// One inconsistent interaction in a service graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairDiagnosis {
+    /// The upstream component.
+    pub upstream: ComponentId,
+    /// Upstream component's name.
+    pub upstream_name: String,
+    /// The downstream component.
+    pub downstream: ComponentId,
+    /// Downstream component's name.
+    pub downstream_name: String,
+    /// Every violated dimension.
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl fmt::Display for PairDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}:", self.upstream_name, self.downstream_name)?;
+        for m in &self.mismatches {
+            write!(f, " [{m}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The full consistency report for a graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// Inconsistent interactions, in edge order.
+    pub inconsistent: Vec<PairDiagnosis>,
+    /// Total interactions examined.
+    pub examined: usize,
+}
+
+impl ConsistencyReport {
+    /// Whether every interaction satisfies Eq. 1.
+    pub fn is_consistent(&self) -> bool {
+        self.inconsistent.is_empty()
+    }
+
+    /// Total violated dimensions across all pairs.
+    pub fn mismatch_count(&self) -> usize {
+        self.inconsistent.iter().map(|p| p.mismatches.len()).sum()
+    }
+}
+
+impl fmt::Display for ConsistencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_consistent() {
+            return write!(f, "all {} interactions are QoS consistent", self.examined);
+        }
+        writeln!(
+            f,
+            "{} of {} interactions are inconsistent:",
+            self.inconsistent.len(),
+            self.examined
+        )?;
+        for p in &self.inconsistent {
+            writeln!(f, "  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Diagnoses every edge of `graph` against the "satisfy" relation,
+/// without mutating anything.
+pub fn diagnose(graph: &ServiceGraph) -> ConsistencyReport {
+    let mut report = ConsistencyReport::default();
+    for edge in graph.edges() {
+        report.examined += 1;
+        let upstream = graph.component(edge.from).expect("edge endpoints exist");
+        let downstream = graph.component(edge.to).expect("edge endpoints exist");
+        let mismatches = upstream.qos_out().mismatches(downstream.qos_in());
+        if !mismatches.is_empty() {
+            report.inconsistent.push(PairDiagnosis {
+                upstream: edge.from,
+                upstream_name: upstream.name().to_owned(),
+                downstream: edge.to,
+                downstream_name: downstream.name().to_owned(),
+                mismatches,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::{QosDimension as D, QosValue, QosVector};
+
+    fn graph_with_issue() -> ServiceGraph {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("server")
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("MPEG"))
+                        .with(D::FrameRate, QosValue::exact(50.0)),
+                )
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("player")
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::range(10.0, 30.0)),
+                )
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn diagnoses_each_violated_dimension() {
+        let g = graph_with_issue();
+        let report = diagnose(&g);
+        assert!(!report.is_consistent());
+        assert_eq!(report.examined, 1);
+        assert_eq!(report.inconsistent.len(), 1);
+        assert_eq!(report.mismatch_count(), 2);
+        let p = &report.inconsistent[0];
+        assert_eq!(p.upstream_name, "server");
+        assert_eq!(p.downstream_name, "player");
+        let s = report.to_string();
+        assert!(s.contains("server -> player"));
+        assert!(s.contains("MPEG"));
+    }
+
+    #[test]
+    fn consistent_graph_reports_clean() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("a")
+                .qos_out(QosVector::new().with(D::Format, QosValue::token("WAV")))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("b")
+                .qos_in(QosVector::new().with(D::Format, QosValue::token("WAV")))
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let report = diagnose(&g);
+        assert!(report.is_consistent());
+        assert_eq!(report.mismatch_count(), 0);
+        assert!(report.to_string().contains("all 1 interactions"));
+    }
+
+    #[test]
+    fn diagnosis_agrees_with_oc_postcondition() {
+        use crate::oc;
+        use crate::{CorrectionPolicy, TranscoderCatalog};
+        let mut g = graph_with_issue();
+        // Give the server an adjustable rate so OC can fully correct.
+        g.component_mut(ubiqos_graph::ComponentId::from_index(0))
+            .unwrap()
+            .set_qos_out(
+                QosVector::new()
+                    .with(D::Format, QosValue::token("MPEG"))
+                    .with(D::FrameRate, QosValue::exact(50.0)),
+            );
+        let mut g2 = g.clone();
+        // Can't fix the rate without a capability: OC fails, diagnosis
+        // still lists the problem.
+        assert!(oc::ordered_coordination(
+            &mut g2,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all()
+        )
+        .is_err());
+        assert!(!diagnose(&g).is_consistent());
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_consistent() {
+        let report = diagnose(&ServiceGraph::new());
+        assert!(report.is_consistent());
+        assert_eq!(report.examined, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Correction records and policy for the OC algorithm.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_graph::ComponentId;
+use ubiqos_model::{QosDimension, QosValue};
+
+/// Which automatic corrections the composer may apply.
+///
+/// "In the general case, developers should decide how to correct QoS
+/// inconsistencies" — the policy is how a developer scopes the composer's
+/// autonomy. The default enables everything the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrectionPolicy {
+    /// Retune adjustable outputs of predecessors (with upstream cascade).
+    pub allow_adjustment: bool,
+    /// Insert transcoders for format mismatches.
+    pub allow_transcoders: bool,
+    /// Insert buffers for jitter/latency performance mismatches.
+    pub allow_buffers: bool,
+}
+
+impl CorrectionPolicy {
+    /// All corrections enabled (the paper's behaviour).
+    pub fn all() -> Self {
+        CorrectionPolicy {
+            allow_adjustment: true,
+            allow_transcoders: true,
+            allow_buffers: true,
+        }
+    }
+
+    /// Check only — report inconsistencies without touching the graph.
+    pub fn check_only() -> Self {
+        CorrectionPolicy {
+            allow_adjustment: false,
+            allow_transcoders: false,
+            allow_buffers: false,
+        }
+    }
+}
+
+impl Default for CorrectionPolicy {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// One correction the OC algorithm applied.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Correction {
+    /// An adjustable output was retuned to satisfy a downstream input.
+    AdjustedOutput {
+        /// The retuned (upstream) component.
+        component: ComponentId,
+        /// The dimension retuned.
+        dimension: QosDimension,
+        /// The new output value.
+        value: QosValue,
+        /// Whether the adjustment cascaded into the component's own input
+        /// requirement (a passthrough dimension).
+        cascaded: bool,
+    },
+    /// A transcoder was spliced into an edge to fix a format mismatch.
+    InsertedTranscoder {
+        /// The new transcoder component.
+        component: ComponentId,
+        /// Upstream endpoint of the original edge.
+        upstream: ComponentId,
+        /// Downstream endpoint of the original edge.
+        downstream: ComponentId,
+        /// Human-readable transcoder name (e.g. `"MPEG2WAV transcoder"`).
+        name: String,
+    },
+    /// A buffer was spliced into an edge to absorb a jitter/latency
+    /// performance mismatch.
+    InsertedBuffer {
+        /// The new buffer component.
+        component: ComponentId,
+        /// Upstream endpoint of the original edge.
+        upstream: ComponentId,
+        /// Downstream endpoint of the original edge.
+        downstream: ComponentId,
+        /// The dimension the buffer corrects.
+        dimension: QosDimension,
+    },
+    /// An optional service was dropped because no instance was found.
+    DroppedOptional {
+        /// The abstract service type that was skipped.
+        service_type: String,
+    },
+}
+
+impl fmt::Display for Correction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Correction::AdjustedOutput {
+                component,
+                dimension,
+                value,
+                cascaded,
+            } => write!(
+                f,
+                "adjusted {component} output {dimension} to {value}{}",
+                if *cascaded { " (cascaded upstream)" } else { "" }
+            ),
+            Correction::InsertedTranscoder {
+                name,
+                upstream,
+                downstream,
+                ..
+            } => write!(f, "inserted {name} between {upstream} and {downstream}"),
+            Correction::InsertedBuffer {
+                dimension,
+                upstream,
+                downstream,
+                ..
+            } => write!(
+                f,
+                "inserted {dimension} buffer between {upstream} and {downstream}"
+            ),
+            Correction::DroppedOptional { service_type } => {
+                write!(f, "dropped optional service '{service_type}'")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_presets() {
+        let all = CorrectionPolicy::all();
+        assert!(all.allow_adjustment && all.allow_transcoders && all.allow_buffers);
+        let none = CorrectionPolicy::check_only();
+        assert!(!none.allow_adjustment && !none.allow_transcoders && !none.allow_buffers);
+        assert_eq!(CorrectionPolicy::default(), all);
+    }
+
+    #[test]
+    fn correction_display() {
+        let c = Correction::AdjustedOutput {
+            component: ComponentId::from_index(3),
+            dimension: QosDimension::FrameRate,
+            value: QosValue::exact(20.0),
+            cascaded: true,
+        };
+        let s = c.to_string();
+        assert!(s.contains("c3"));
+        assert!(s.contains("frame-rate"));
+        assert!(s.contains("cascaded"));
+
+        let t = Correction::InsertedTranscoder {
+            component: ComponentId::from_index(9),
+            upstream: ComponentId::from_index(0),
+            downstream: ComponentId::from_index(1),
+            name: "MPEG2WAV transcoder".into(),
+        };
+        assert!(t.to_string().contains("MPEG2WAV"));
+
+        let d = Correction::DroppedOptional {
+            service_type: "equalizer".into(),
+        };
+        assert!(d.to_string().contains("equalizer"));
+
+        let b = Correction::InsertedBuffer {
+            component: ComponentId::from_index(2),
+            upstream: ComponentId::from_index(0),
+            downstream: ComponentId::from_index(1),
+            dimension: QosDimension::Jitter,
+        };
+        assert!(b.to_string().contains("jitter buffer"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Errors for the composition tier.
+
+use std::error::Error;
+use std::fmt;
+use ubiqos_graph::GraphError;
+use ubiqos_model::Mismatch;
+
+/// Errors produced by the service composer and the OC algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompositionError {
+    /// A mandatory service could not be discovered, and recursive
+    /// composition (within the depth limit) could not synthesize it
+    /// either. The user must download an instance or quit (Section 3.2).
+    MissingService {
+        /// The abstract service type that could not be satisfied.
+        service_type: String,
+        /// The recursion depth at which composition gave up.
+        depth: usize,
+    },
+    /// A QoS inconsistency that no enabled correction could repair.
+    Uncorrectable {
+        /// Name of the upstream component.
+        upstream: String,
+        /// Name of the downstream component.
+        downstream: String,
+        /// The surviving mismatches.
+        mismatches: Vec<Mismatch>,
+    },
+    /// The instantiated graph was structurally invalid.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositionError::MissingService {
+                service_type,
+                depth,
+            } => write!(
+                f,
+                "no instance of mandatory service '{service_type}' (recursion depth {depth})"
+            ),
+            CompositionError::Uncorrectable {
+                upstream,
+                downstream,
+                mismatches,
+            } => {
+                write!(
+                    f,
+                    "uncorrectable QoS inconsistency between '{upstream}' and '{downstream}':"
+                )?;
+                for m in mismatches {
+                    write!(f, " [{m}]")?;
+                }
+                Ok(())
+            }
+            CompositionError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CompositionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompositionError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CompositionError {
+    fn from(e: GraphError) -> Self {
+        CompositionError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::{MismatchKind, QosDimension, QosValue};
+
+    #[test]
+    fn display_variants() {
+        let missing = CompositionError::MissingService {
+            service_type: "lipsync".into(),
+            depth: 2,
+        };
+        assert!(missing.to_string().contains("lipsync"));
+        assert!(missing.to_string().contains('2'));
+
+        let uncorrectable = CompositionError::Uncorrectable {
+            upstream: "server".into(),
+            downstream: "player".into(),
+            mismatches: vec![Mismatch {
+                dimension: QosDimension::Format,
+                kind: MismatchKind::TokenMismatch,
+                offered: Some(QosValue::token("MPEG")),
+                required: QosValue::token("WAV"),
+            }],
+        };
+        let s = uncorrectable.to_string();
+        assert!(s.contains("server"));
+        assert!(s.contains("player"));
+        assert!(s.contains("MPEG"));
+        assert!(uncorrectable.source().is_none());
+
+        let g = CompositionError::from(GraphError::CycleDetected);
+        assert!(g.source().is_some());
+    }
+}

@@ -1,0 +1,46 @@
+//! # ubiqos-composition
+//!
+//! The **service composition tier** of the *ubiqos* reproduction of Gu &
+//! Nahrstedt, ICDCS 2002 (Section 3.2). The [`ServiceComposer`] carries
+//! out the paper's four protocol steps:
+//!
+//! 1. acquire the developer's *abstract service graph*;
+//! 2. discover concrete service instances in the current environment
+//!    (via [`ubiqos_discovery`]);
+//! 3. check QoS consistency between interacting instances and
+//!    automatically correct inconsistencies — the **Ordered Coordination
+//!    (OC)** algorithm in [`oc`]: topologically sort the instantiated
+//!    graph, check the "satisfy" relation in reverse topological order
+//!    (preserving the client-side / user-facing QoS), and fix mismatches
+//!    by retuning adjustable outputs (with upstream cascade through
+//!    passthrough dimensions), inserting transcoders for format
+//!    mismatches, or inserting buffers for jitter mismatches;
+//! 4. emit the QoS-consistent [`ubiqos_graph::ServiceGraph`] for the
+//!    distribution tier.
+//!
+//! Missing *optional* services are bypassed; missing *mandatory* services
+//! trigger recursive composition against an [`ExpansionLibrary`] with the
+//! paper's recursion depth limit of 2 (footnote 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composer;
+pub mod consistency;
+pub mod correction;
+pub mod error;
+pub mod library;
+pub mod oc;
+pub mod transcoder;
+
+pub use composer::{ComposeRequest, ComposedApplication, InstanceUse, ServiceComposer};
+pub use consistency::{diagnose, ConsistencyReport, PairDiagnosis};
+pub use correction::{Correction, CorrectionPolicy};
+pub use error::CompositionError;
+pub use library::{ExpansionLibrary, ExpansionRule};
+pub use oc::{coordination_with_order, ordered_coordination, CoordinationOrder, OcReport};
+pub use transcoder::{TranscoderCatalog, TranscoderSpec};
+
+/// The paper's recursion depth limit for composing missing services
+/// (footnote 1: "we limit the depth of recursion to 2").
+pub const RECURSION_LIMIT: usize = 2;

@@ -1,0 +1,107 @@
+//! Expansion rules for recursive composition.
+//!
+//! When a mandatory service cannot be discovered, "the service composer
+//! tries to find the service graph that can perform the same task as the
+//! missing service does" (Section 3.2). The [`ExpansionLibrary`] holds
+//! those task-equivalence rules: a missing service type expands into a
+//! chain of (still abstract) services, which are themselves resolved —
+//! recursively, down to the depth limit of 2.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use ubiqos_graph::AbstractComponentSpec;
+
+/// One task-equivalence rule: `service_type` can be realized by the
+/// `chain` of services connected in sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionRule {
+    /// The specs realizing the task, upstream to downstream.
+    pub chain: Vec<AbstractComponentSpec>,
+    /// Stream throughput (Mbps) on the chain's internal edges.
+    pub internal_throughput: f64,
+}
+
+impl ExpansionRule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chain` is empty — an empty expansion cannot perform
+    /// any task.
+    pub fn new(chain: Vec<AbstractComponentSpec>, internal_throughput: f64) -> Self {
+        assert!(!chain.is_empty(), "expansion chain must be non-empty");
+        ExpansionRule {
+            chain,
+            internal_throughput,
+        }
+    }
+}
+
+/// The library of task-equivalence rules known to the composer.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ExpansionLibrary {
+    rules: BTreeMap<String, ExpansionRule>,
+}
+
+impl ExpansionLibrary {
+    /// An empty library (missing mandatory services always fail).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the rule for a service type.
+    pub fn add(&mut self, service_type: impl Into<String>, rule: ExpansionRule) {
+        self.rules.insert(service_type.into(), rule);
+    }
+
+    /// Looks up the rule for a service type.
+    pub fn rule(&self, service_type: &str) -> Option<&ExpansionRule> {
+        self.rules.get(service_type)
+    }
+
+    /// The number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the library has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_lookup_replace() {
+        let mut lib = ExpansionLibrary::new();
+        assert!(lib.is_empty());
+        lib.add(
+            "media-player",
+            ExpansionRule::new(
+                vec![
+                    AbstractComponentSpec::new("decoder"),
+                    AbstractComponentSpec::new("renderer"),
+                ],
+                4.0,
+            ),
+        );
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.rule("media-player").unwrap().chain.len(), 2);
+        assert!(lib.rule("other").is_none());
+        lib.add(
+            "media-player",
+            ExpansionRule::new(vec![AbstractComponentSpec::new("all-in-one")], 1.0),
+        );
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.rule("media-player").unwrap().chain.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_chain_panics() {
+        let _ = ExpansionRule::new(vec![], 1.0);
+    }
+}

@@ -1,0 +1,824 @@
+//! The Ordered Coordination (OC) algorithm (Section 3.2, Figure 1).
+//!
+//! 1. topologically sort the instantiated service graph;
+//! 2. check the "satisfy" relation between each node and its
+//!    predecessors, in *reverse* topological order — the first nodes
+//!    examined are the client-side services whose output corresponds to
+//!    the user's QoS requirements, so their QoS is preserved while
+//!    upstream components are adjusted;
+//! 3. correct inconsistencies automatically: retune adjustable
+//!    predecessor outputs (cascading upstream through passthrough
+//!    dimensions), insert transcoders for type mismatches, insert buffers
+//!    for performance mismatches.
+//!
+//! A pure adjustment pass is a single reverse sweep — O(V + E), the
+//! complexity the paper claims. Structural corrections (transcoder or
+//! buffer insertion) change the graph, so the sweep restarts; each
+//! insertion permanently fixes one format/jitter mismatch, so the number
+//! of sweeps is bounded by the number of such mismatches and the whole
+//! algorithm stays polynomial.
+
+use crate::correction::{Correction, CorrectionPolicy};
+use crate::error::CompositionError;
+use crate::transcoder::{TranscoderCatalog, TranscoderSpec};
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::{topo, ComponentId, ComponentRole, ServiceComponent, ServiceGraph};
+use ubiqos_model::{
+    MediaFormat, Mismatch, Preference, QosDimension, QosValue, ResourceVector,
+};
+
+/// The outcome of a successful OC run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OcReport {
+    /// Corrections applied, in application order.
+    pub corrections: Vec<Correction>,
+    /// Number of (predecessor, node) consistency checks performed.
+    pub checks: usize,
+    /// Number of reverse sweeps (1 unless components were inserted).
+    pub passes: usize,
+}
+
+impl OcReport {
+    /// Whether the graph was already fully consistent.
+    pub fn was_consistent(&self) -> bool {
+        self.corrections.is_empty()
+    }
+}
+
+/// The order in which nodes are examined during coordination.
+///
+/// The paper's choice is [`CoordinationOrder::Reverse`]; `Forward` exists
+/// as an ablation demonstrating *why*: checking downstream-first lets a
+/// constraint discovered at the client cascade through the whole upstream
+/// path within a single O(V+E) sweep, whereas the forward order keeps
+/// re-breaking pairs it already checked and needs up to depth-many sweeps
+/// to converge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoordinationOrder {
+    /// Reverse topological order (the paper's Ordered Coordination):
+    /// client-side nodes first, preserving the user's QoS.
+    Reverse,
+    /// Topological order (sources first) — the ablation.
+    Forward,
+}
+
+/// Runs Ordered Coordination on `graph`, mutating it into a QoS-consistent
+/// graph.
+///
+/// # Errors
+///
+/// Returns [`CompositionError::Uncorrectable`] when a mismatch survives
+/// every correction the `policy` allows, and propagates graph errors from
+/// structurally invalid inputs (e.g. cycles in a hand-patched graph).
+pub fn ordered_coordination(
+    graph: &mut ServiceGraph,
+    catalog: &TranscoderCatalog,
+    policy: CorrectionPolicy,
+) -> Result<OcReport, CompositionError> {
+    coordination_with_order(graph, catalog, policy, CoordinationOrder::Reverse)
+}
+
+/// Runs coordination with an explicit examination order (see
+/// [`CoordinationOrder`]). The `Reverse` variant is the paper's
+/// algorithm; `Forward` iterates sweeps to a fixpoint and reports how
+/// many it needed in [`OcReport::passes`].
+///
+/// # Errors
+///
+/// As [`ordered_coordination`].
+pub fn coordination_with_order(
+    graph: &mut ServiceGraph,
+    catalog: &TranscoderCatalog,
+    policy: CorrectionPolicy,
+    order: CoordinationOrder,
+) -> Result<OcReport, CompositionError> {
+    let mut report = OcReport::default();
+    // Each structural insertion fixes one mismatch for good, and each
+    // forward sweep pushes constraints at least one level upstream; this
+    // bound is generous enough that only a logic bug could exceed it.
+    let max_passes = 2 * (graph.component_count() + graph.edge_count()) + 4;
+
+    'sweeps: loop {
+        report.passes += 1;
+        if report.passes > max_passes {
+            return Err(CompositionError::Uncorrectable {
+                upstream: "<internal>".into(),
+                downstream: "<internal>".into(),
+                mismatches: Vec::new(),
+            });
+        }
+        let node_order = match order {
+            CoordinationOrder::Reverse => topo::reverse_topological_sort(graph)?,
+            CoordinationOrder::Forward => topo::topological_sort(graph)?,
+        };
+        let corrections_before = report.corrections.len();
+        for node in node_order {
+            let preds: Vec<ComponentId> = graph.predecessors(node).to_vec();
+            for pred in preds {
+                report.checks += 1;
+                let structural =
+                    reconcile_pair(graph, catalog, policy, pred, node, &mut report)?;
+                if structural {
+                    // The graph changed shape; restart the sweep so the
+                    // new component is itself checked.
+                    continue 'sweeps;
+                }
+            }
+        }
+        match order {
+            // The reverse order converges in a single adjustment sweep —
+            // downstream constraints have already cascaded by the time a
+            // node's own inputs are examined.
+            CoordinationOrder::Reverse => return Ok(report),
+            // The forward order may have broken pairs it checked earlier;
+            // sweep again until a sweep applies no corrections.
+            CoordinationOrder::Forward => {
+                if report.corrections.len() == corrections_before {
+                    return Ok(report);
+                }
+            }
+        }
+    }
+}
+
+/// Checks one (pred → node) interaction and corrects it in place.
+///
+/// Returns `true` when a component was inserted (sweep must restart).
+fn reconcile_pair(
+    graph: &mut ServiceGraph,
+    catalog: &TranscoderCatalog,
+    policy: CorrectionPolicy,
+    pred: ComponentId,
+    node: ComponentId,
+    report: &mut OcReport,
+) -> Result<bool, CompositionError> {
+    loop {
+        let required = graph.component(node)?.qos_in().clone();
+        let offered = graph.component(pred)?.qos_out().clone();
+        let mismatches = offered.mismatches(&required);
+        let Some(m) = mismatches.first().cloned() else {
+            return Ok(false);
+        };
+
+        // Correction 1: retune the predecessor's adjustable output. The
+        // value must satisfy *every* successor of `pred` that constrains
+        // this dimension (a node checked earlier in the reverse order must
+        // not be broken by a later adjustment).
+        if policy.allow_adjustment {
+            if let Some(value) = admissible_adjustment(graph, pred, &m.dimension)? {
+                let cascaded = graph
+                    .component(pred)?
+                    .passthrough()
+                    .contains(&m.dimension);
+                graph
+                    .component_mut(pred)?
+                    .adjust_output(&m.dimension, value.clone())
+                    .expect("value chosen inside capability");
+                report.corrections.push(Correction::AdjustedOutput {
+                    component: pred,
+                    dimension: m.dimension.clone(),
+                    value,
+                    cascaded,
+                });
+                // Re-examine the pair: other dimensions may still mismatch.
+                continue;
+            }
+        }
+
+        // Correction 2: transcoder insertion for format mismatches.
+        if policy.allow_transcoders && m.dimension == QosDimension::Format {
+            if let Some(inserted) =
+                insert_transcoder(graph, catalog, pred, node, &m)?
+            {
+                report.corrections.push(inserted);
+                return Ok(true);
+            }
+        }
+
+        // Correction 3: buffer insertion for jitter/latency performance
+        // mismatches (the offered delay/jitter exceeds the requirement).
+        if policy.allow_buffers
+            && matches!(m.dimension, QosDimension::Jitter | QosDimension::Latency)
+            && m.required.is_numeric()
+        {
+            let inserted = insert_buffer(graph, pred, node, &m)?;
+            report.corrections.push(inserted);
+            return Ok(true);
+        }
+
+        return Err(CompositionError::Uncorrectable {
+            upstream: graph.component(pred)?.name().to_owned(),
+            downstream: graph.component(node)?.name().to_owned(),
+            mismatches,
+        });
+    }
+}
+
+/// The best value `pred` can set its `dim` output to such that every
+/// downstream requirement on `dim` is satisfied, or `None` when `pred`
+/// isn't adjustable on `dim` or no common value exists.
+fn admissible_adjustment(
+    graph: &ServiceGraph,
+    pred: ComponentId,
+    dim: &QosDimension,
+) -> Result<Option<QosValue>, CompositionError> {
+    let component = graph.component(pred)?;
+    let Some(capability) = component.capabilities().get(dim) else {
+        return Ok(None);
+    };
+    let mut admissible = capability.clone();
+    for &succ in graph.successors(pred) {
+        if let Some(req) = graph.component(succ)?.qos_in().get(dim) {
+            match admissible.intersect(req) {
+                Some(narrowed) => admissible = narrowed,
+                None => return Ok(None),
+            }
+        }
+    }
+    let pref = if dim.higher_is_better() {
+        Preference::Highest
+    } else {
+        Preference::Lowest
+    };
+    Ok(admissible.pick(pref))
+}
+
+/// Splices a transcoder into `pred -> node` when the catalog has a
+/// conversion from an offered format to a required format.
+fn insert_transcoder(
+    graph: &mut ServiceGraph,
+    catalog: &TranscoderCatalog,
+    pred: ComponentId,
+    node: ComponentId,
+    mismatch: &Mismatch,
+) -> Result<Option<Correction>, CompositionError> {
+    let offered_formats: Vec<MediaFormat> = match &mismatch.offered {
+        Some(QosValue::Token(t)) => vec![t.parse().expect("infallible")],
+        Some(QosValue::TokenSet(set)) => {
+            set.iter().map(|t| t.parse().expect("infallible")).collect()
+        }
+        _ => return Ok(None),
+    };
+    let target_formats: Vec<MediaFormat> = match &mismatch.required {
+        QosValue::Token(t) => vec![t.parse().expect("infallible")],
+        QosValue::TokenSet(set) => set.iter().map(|t| t.parse().expect("infallible")).collect(),
+        _ => return Ok(None),
+    };
+    // Prefer a direct converter; fall back to the shortest chain (e.g.
+    // H261 → JPEG might go via an intermediate format).
+    let chain: Vec<TranscoderSpec> = match target_formats
+        .iter()
+        .find_map(|to| catalog.find_any(&offered_formats, to))
+    {
+        Some(direct) => vec![direct.clone()],
+        None => {
+            let Some(chain) = target_formats
+                .iter()
+                .find_map(|to| catalog.find_path(&offered_formats, to))
+            else {
+                return Ok(None);
+            };
+            if chain.is_empty() {
+                return Ok(None);
+            }
+            chain.into_iter().cloned().collect()
+        }
+    };
+
+    let mut upstream = pred;
+    let mut upstream_out = graph.component(pred)?.qos_out().clone();
+    let mut throughput = graph
+        .edge_throughput(pred, node)
+        .expect("reconciling an existing edge");
+    let mut first_name = String::new();
+    let mut first_mid = None;
+    for spec in &chain {
+        let component = spec.instantiate(&upstream_out);
+        if first_mid.is_none() {
+            first_name = component.name().to_owned();
+        }
+        let out_throughput = throughput * spec.bandwidth_factor;
+        let mid = graph.split_edge(upstream, node, component, throughput, out_throughput)?;
+        if first_mid.is_none() {
+            first_mid = Some(mid);
+        }
+        upstream_out = graph.component(mid)?.qos_out().clone();
+        throughput = out_throughput;
+        upstream = mid;
+    }
+    Ok(Some(Correction::InsertedTranscoder {
+        component: first_mid.expect("chain is non-empty"),
+        upstream: pred,
+        downstream: node,
+        name: if chain.len() == 1 {
+            first_name
+        } else {
+            format!("{first_name} (+{} more)", chain.len() - 1)
+        },
+    }))
+}
+
+/// Splices a smoothing buffer into `pred -> node` for a jitter/latency
+/// mismatch. The buffer's memory footprint scales with the stream
+/// throughput it must absorb.
+fn insert_buffer(
+    graph: &mut ServiceGraph,
+    pred: ComponentId,
+    node: ComponentId,
+    mismatch: &Mismatch,
+) -> Result<Correction, CompositionError> {
+    let throughput = graph
+        .edge_throughput(pred, node)
+        .expect("reconciling an existing edge");
+    let achieved = mismatch
+        .required
+        .pick(Preference::Lowest)
+        .expect("numeric requirement always picks");
+
+    let upstream_out = graph.component(pred)?.qos_out().clone();
+    let mut qos_out = upstream_out.clone();
+    qos_out.set(mismatch.dimension.clone(), achieved);
+    let mut builder = ServiceComponent::builder(format!("{} buffer", mismatch.dimension))
+        .role(ComponentRole::Processor)
+        // One second of stream at `throughput` Mbps is throughput/8 MB;
+        // add a small fixed overhead.
+        .resources(ResourceVector::mem_cpu(1.0 + throughput / 8.0, 2.0))
+        .qos_out(qos_out);
+    for (dim, value) in upstream_out.iter() {
+        if dim != &mismatch.dimension && !value.is_token() {
+            builder = builder
+                .capability(dim.clone(), QosValue::range(0.0, 1e9))
+                .passthrough(dim.clone());
+        }
+    }
+    let mid = graph.split_edge(pred, node, builder.build(), throughput, throughput)?;
+    Ok(Correction::InsertedBuffer {
+        component: mid,
+        upstream: pred,
+        downstream: node,
+        dimension: mismatch.dimension.clone(),
+    })
+}
+
+/// Verifies that every edge of `graph` satisfies the "satisfy" relation —
+/// the postcondition of a successful OC run.
+pub fn is_consistent(graph: &ServiceGraph) -> bool {
+    graph.edges().all(|e| {
+        let out = graph.component(e.from).expect("edge endpoints exist");
+        let inp = graph.component(e.to).expect("edge endpoints exist");
+        out.qos_out().satisfies(inp.qos_in())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::QosDimension as D;
+    use ubiqos_model::QosVector;
+
+    fn source(fmt: &str, fps: f64, cap: (f64, f64)) -> ServiceComponent {
+        ServiceComponent::builder("server")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(D::Format, QosValue::token(fmt))
+                    .with(D::FrameRate, QosValue::exact(fps)),
+            )
+            .capability(D::FrameRate, QosValue::range(cap.0, cap.1))
+            .resources(ResourceVector::mem_cpu(32.0, 20.0))
+            .build()
+    }
+
+    fn sink(fmt: &str, fps: (f64, f64)) -> ServiceComponent {
+        ServiceComponent::builder("player")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(D::Format, QosValue::token(fmt))
+                    .with(D::FrameRate, QosValue::range(fps.0, fps.1)),
+            )
+            .resources(ResourceVector::mem_cpu(8.0, 10.0))
+            .build()
+    }
+
+    #[test]
+    fn consistent_graph_needs_no_corrections() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("WAV", 20.0, (5.0, 40.0)));
+        let b = g.add_component(sink("WAV", (10.0, 30.0)));
+        g.add_edge(a, b, 1.0).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert!(report.was_consistent());
+        assert_eq!(report.passes, 1);
+        assert!(report.checks >= 1);
+        assert!(is_consistent(&g));
+    }
+
+    #[test]
+    fn adjusts_rate_mismatch() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("WAV", 50.0, (5.0, 60.0))); // too fast
+        let b = g.add_component(sink("WAV", (10.0, 30.0)));
+        g.add_edge(a, b, 1.0).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert_eq!(report.corrections.len(), 1);
+        assert!(matches!(
+            &report.corrections[0],
+            Correction::AdjustedOutput { dimension: D::FrameRate, value, .. }
+                if *value == QosValue::exact(30.0)
+        ));
+        assert!(is_consistent(&g));
+        // The best admissible value was chosen (range max for frame rate).
+        assert_eq!(
+            g.component(a).unwrap().qos_out().get(&D::FrameRate),
+            Some(&QosValue::exact(30.0))
+        );
+    }
+
+    #[test]
+    fn inserts_mpeg2wav_transcoder_like_figure3() {
+        // The paper's PDA handoff: MPEG server feeding a WAV-only player.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("MPEG", 40.0, (5.0, 40.0)));
+        let b = g.add_component(sink("WAV", (10.0, 40.0)));
+        g.add_edge(a, b, 1.4).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert_eq!(g.component_count(), 3);
+        let t = report
+            .corrections
+            .iter()
+            .find_map(|c| match c {
+                Correction::InsertedTranscoder { component, name, .. } => {
+                    Some((*component, name.clone()))
+                }
+                _ => None,
+            })
+            .expect("a transcoder was inserted");
+        assert_eq!(t.1, "MPEG2WAV transcoder");
+        assert!(is_consistent(&g));
+        // Decoded WAV stream is wider than the MPEG input.
+        assert!(g.edge_throughput(t.0, b).unwrap() > g.edge_throughput(a, t.0).unwrap());
+        assert!(report.passes >= 2, "insertion restarts the sweep");
+    }
+
+    #[test]
+    fn cascades_adjustment_upstream_through_passthrough() {
+        // gateway forwards whatever rate it is asked to produce; the
+        // player only takes <= 25 fps, so the server (checked later in
+        // reverse order) must also slow to 25.
+        let mut g = ServiceGraph::new();
+        let server = g.add_component(source("WAV", 40.0, (5.0, 60.0)));
+        let gateway = g.add_component(
+            ServiceComponent::builder("gateway")
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::exact(40.0)),
+                )
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::exact(40.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(0.0, 100.0))
+                .passthrough(D::FrameRate)
+                .resources(ResourceVector::mem_cpu(4.0, 5.0))
+                .build(),
+        );
+        let player = g.add_component(sink("WAV", (10.0, 25.0)));
+        g.add_edge(server, gateway, 1.0).unwrap();
+        g.add_edge(gateway, player, 1.0).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert!(is_consistent(&g));
+        // Gateway retuned to 25 (cascaded), then server retuned to 25.
+        assert_eq!(
+            g.component(gateway).unwrap().qos_out().get(&D::FrameRate),
+            Some(&QosValue::exact(25.0))
+        );
+        assert_eq!(
+            g.component(server).unwrap().qos_out().get(&D::FrameRate),
+            Some(&QosValue::exact(25.0))
+        );
+        let cascaded = report.corrections.iter().any(|c| {
+            matches!(c, Correction::AdjustedOutput { cascaded: true, .. })
+        });
+        assert!(cascaded);
+        assert_eq!(report.passes, 1, "pure adjustments need a single sweep");
+    }
+
+    #[test]
+    fn adjustment_respects_all_successors() {
+        // One producer feeding two players with overlapping ranges: the
+        // chosen rate must satisfy both.
+        let mut g = ServiceGraph::new();
+        let srv = g.add_component(source("WAV", 50.0, (0.0, 100.0)));
+        let p1 = g.add_component(sink("WAV", (10.0, 30.0)));
+        let p2 = g.add_component(sink("WAV", (20.0, 45.0)));
+        g.add_edge(srv, p1, 1.0).unwrap();
+        g.add_edge(srv, p2, 1.0).unwrap();
+        ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+            .unwrap();
+        assert!(is_consistent(&g));
+        assert_eq!(
+            g.component(srv).unwrap().qos_out().get(&D::FrameRate),
+            Some(&QosValue::exact(30.0)),
+            "30 is the highest rate satisfying both [10,30] and [20,45]"
+        );
+    }
+
+    #[test]
+    fn conflicting_successors_are_uncorrectable() {
+        let mut g = ServiceGraph::new();
+        let srv = g.add_component(source("WAV", 50.0, (0.0, 100.0)));
+        let p1 = g.add_component(sink("WAV", (10.0, 20.0)));
+        let p2 = g.add_component(sink("WAV", (30.0, 45.0)));
+        g.add_edge(srv, p1, 1.0).unwrap();
+        g.add_edge(srv, p2, 1.0).unwrap();
+        let err = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompositionError::Uncorrectable { .. }));
+    }
+
+    #[test]
+    fn inserts_jitter_buffer() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("wan-source")
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::Jitter, QosValue::exact(80.0)),
+                )
+                .resources(ResourceVector::mem_cpu(8.0, 5.0))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("player")
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::Jitter, QosValue::range(0.0, 20.0)),
+                )
+                .resources(ResourceVector::mem_cpu(8.0, 5.0))
+                .build(),
+        );
+        g.add_edge(a, b, 8.0).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert!(is_consistent(&g));
+        let buf = report
+            .corrections
+            .iter()
+            .find_map(|c| match c {
+                Correction::InsertedBuffer { component, dimension, .. } => {
+                    Some((*component, dimension.clone()))
+                }
+                _ => None,
+            })
+            .expect("buffer inserted");
+        assert_eq!(buf.1, D::Jitter);
+        let buffer = g.component(buf.0).unwrap();
+        assert!(buffer.name().contains("buffer"));
+        // Memory scales with the 8 Mbps stream: 1 + 8/8 = 2 MB.
+        assert_eq!(buffer.resources().amounts()[0], 2.0);
+        // Buffer smooths to the best (lowest) admissible jitter.
+        assert_eq!(buffer.qos_out().get(&D::Jitter), Some(&QosValue::exact(0.0)));
+    }
+
+    #[test]
+    fn check_only_policy_reports_without_mutating() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("MPEG", 40.0, (5.0, 40.0)));
+        let b = g.add_component(sink("WAV", (10.0, 40.0)));
+        g.add_edge(a, b, 1.4).unwrap();
+        let before = g.clone();
+        let err = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::check_only(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CompositionError::Uncorrectable { .. }));
+        assert_eq!(g, before, "check-only never mutates");
+    }
+
+    #[test]
+    fn unconvertible_format_is_uncorrectable() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("H261", 25.0, (5.0, 30.0)));
+        let b = g.add_component(sink("WAV", (10.0, 30.0)));
+        g.add_edge(a, b, 1.0).unwrap();
+        let err = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap_err();
+        match err {
+            CompositionError::Uncorrectable { mismatches, .. } => {
+                assert!(mismatches.iter().any(|m| m.dimension == D::Format));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inserts_a_transcoder_chain_when_no_direct_converter_exists() {
+        // Catalog: MP3 -> WAV and WAV -> MPEG, but no MP3 -> MPEG.
+        let mut catalog = TranscoderCatalog::new();
+        catalog.add(crate::transcoder::TranscoderSpec::new(
+            ubiqos_model::MediaFormat::Mp3,
+            ubiqos_model::MediaFormat::Wav,
+            ResourceVector::mem_cpu(2.0, 4.0),
+            5.0,
+        ));
+        catalog.add(crate::transcoder::TranscoderSpec::new(
+            ubiqos_model::MediaFormat::Wav,
+            ubiqos_model::MediaFormat::Mpeg,
+            ResourceVector::mem_cpu(3.0, 6.0),
+            0.25,
+        ));
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("MP3", 30.0, (5.0, 40.0)));
+        let b = g.add_component(sink("MPEG", (10.0, 40.0)));
+        g.add_edge(a, b, 0.4).unwrap();
+        let report =
+            ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).unwrap();
+        assert!(is_consistent(&g));
+        assert_eq!(g.component_count(), 4, "two transcoders spliced in");
+        let t = report
+            .corrections
+            .iter()
+            .find_map(|c| match c {
+                Correction::InsertedTranscoder { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(t.contains("+1 more"), "chain reported: {t}");
+        // Bandwidth compounds along the chain: 0.4 * 5.0 * 0.25 = 0.5 at
+        // the sink edge.
+        let sink_pred = g.predecessors(b)[0];
+        assert!((g.edge_throughput(sink_pred, b).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcoder_then_adjustment_compose() {
+        // MPEG at 50fps feeding a WAV player limited to 30fps: needs both
+        // a transcoder and a rate adjustment cascading through it.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(source("MPEG", 50.0, (5.0, 60.0)));
+        let b = g.add_component(sink("WAV", (10.0, 30.0)));
+        g.add_edge(a, b, 1.4).unwrap();
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert!(is_consistent(&g));
+        assert!(report.corrections.len() >= 2);
+        assert_eq!(
+            g.component(a).unwrap().qos_out().get(&D::FrameRate),
+            Some(&QosValue::exact(30.0)),
+            "rate constraint reached the source through the transcoder"
+        );
+    }
+
+    /// Builds a pure-adjustment chain of `depth` forwarding components
+    /// whose sink narrows the rate, for order-ablation comparisons.
+    fn cascading_chain(depth: usize) -> ServiceGraph {
+        let mut g = ServiceGraph::new();
+        let mk = |i: usize| {
+            ServiceComponent::builder(format!("hop{i}"))
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::range(1.0, 100.0)),
+                )
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::exact(90.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(1.0, 100.0))
+                .passthrough(D::FrameRate)
+                .build()
+        };
+        let ids: Vec<ComponentId> = (0..depth).map(|i| g.add_component(mk(i))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        g.component_mut(ids[depth - 1])
+            .unwrap()
+            .set_qos_in(
+                QosVector::new()
+                    .with(D::Format, QosValue::token("WAV"))
+                    .with(D::FrameRate, QosValue::range(1.0, 30.0)),
+            );
+        g
+    }
+
+    #[test]
+    fn reverse_order_converges_in_one_pass_forward_needs_depth() {
+        let depth = 12;
+        let catalog = TranscoderCatalog::standard();
+
+        let mut reverse_graph = cascading_chain(depth);
+        let reverse = coordination_with_order(
+            &mut reverse_graph,
+            &catalog,
+            CorrectionPolicy::all(),
+            CoordinationOrder::Reverse,
+        )
+        .unwrap();
+        assert!(is_consistent(&reverse_graph));
+        assert_eq!(reverse.passes, 1, "the paper's order: one sweep");
+
+        let mut forward_graph = cascading_chain(depth);
+        let forward = coordination_with_order(
+            &mut forward_graph,
+            &catalog,
+            CorrectionPolicy::all(),
+            CoordinationOrder::Forward,
+        )
+        .unwrap();
+        assert!(is_consistent(&forward_graph), "forward still converges");
+        assert!(
+            forward.passes > reverse.passes,
+            "forward needed {} sweeps vs reverse {}",
+            forward.passes,
+            reverse.passes
+        );
+        assert!(
+            forward.checks > reverse.checks,
+            "forward re-examined pairs it had already fixed"
+        );
+        // Both end at the sink-driven 30 fps operating point.
+        for g in [&reverse_graph, &forward_graph] {
+            let source = g.component_ids().next().unwrap();
+            assert_eq!(
+                g.component(source).unwrap().qos_out().get(&D::FrameRate),
+                Some(&QosValue::exact(30.0))
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_structure_composes() {
+        // A 9-node non-linear graph in the spirit of Figure 1, all WAV,
+        // with assorted adjustable rates.
+        let mut g = ServiceGraph::new();
+        let mk = |i: usize, lo: f64, hi: f64, out: f64| {
+            ServiceComponent::builder(format!("n{i}"))
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::range(lo, hi)),
+                )
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::exact(out)),
+                )
+                .capability(D::FrameRate, QosValue::range(1.0, 100.0))
+                .passthrough(D::FrameRate)
+                .resources(ResourceVector::mem_cpu(4.0, 4.0))
+                .build()
+        };
+        let n: Vec<ComponentId> = (1..=9)
+            .map(|i| g.add_component(mk(i, 5.0, 60.0 - i as f64, 50.0)))
+            .collect();
+        let idx = |i: usize| n[i - 1];
+        for (u, v) in [
+            (3, 1),
+            (1, 2),
+            (1, 8),
+            (9, 4),
+            (4, 5),
+            (5, 2),
+            (5, 8),
+            (5, 7),
+            (9, 8),
+            (2, 7),
+            (8, 7),
+            (8, 6),
+        ] {
+            g.add_edge(idx(u), idx(v), 1.0).unwrap();
+        }
+        let report =
+            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+                .unwrap();
+        assert!(is_consistent(&g));
+        assert_eq!(report.passes, 1, "adjustments only: one sweep");
+    }
+}

@@ -1,0 +1,312 @@
+//! Transcoder catalog — the components the OC algorithm can insert "in
+//! the middle to solve the type mismatches".
+
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::{ComponentRole, ServiceComponent};
+use ubiqos_model::{MediaFormat, QosDimension, QosValue, ResourceVector};
+
+/// One available transcoder kind: converts streams of `from` format into
+/// `to` format at a resource cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TranscoderSpec {
+    /// Input format.
+    pub from: MediaFormat,
+    /// Output format.
+    pub to: MediaFormat,
+    /// End-system resources the transcoder needs (benchmark units).
+    pub resources: ResourceVector,
+    /// Output bandwidth as a multiple of input bandwidth (e.g. an
+    /// MPEG→WAV decoder expands the stream, factor > 1; an encoder
+    /// compresses, factor < 1).
+    pub bandwidth_factor: f64,
+}
+
+impl TranscoderSpec {
+    /// Creates a spec.
+    pub fn new(
+        from: MediaFormat,
+        to: MediaFormat,
+        resources: ResourceVector,
+        bandwidth_factor: f64,
+    ) -> Self {
+        TranscoderSpec {
+            from,
+            to,
+            resources,
+            bandwidth_factor,
+        }
+    }
+
+    /// The component name used for inserted instances, e.g. `"MPEG2WAV
+    /// transcoder"` (the name the paper's Figure 3 uses for the
+    /// MPEG-to-WAV correction).
+    pub fn component_name(&self) -> String {
+        format!("{}2{} transcoder", self.from, self.to)
+    }
+
+    /// Instantiates a graph component for this transcoder.
+    ///
+    /// The component requires `from` on input, emits `to` on output, and
+    /// passes every *other* dimension through: its non-format output QoS
+    /// mirrors `upstream_out`, with broad capabilities plus passthrough
+    /// declared so later OC adjustments cascade straight through it.
+    pub fn instantiate(&self, upstream_out: &ubiqos_model::QosVector) -> ServiceComponent {
+        let mut builder = ServiceComponent::builder(self.component_name())
+            .role(ComponentRole::Processor)
+            .resources(self.resources.clone());
+        let mut qos_in = ubiqos_model::QosVector::new();
+        let mut qos_out = ubiqos_model::QosVector::new();
+        qos_in.set(QosDimension::Format, QosValue::token(self.from.as_token()));
+        qos_out.set(QosDimension::Format, QosValue::token(self.to.as_token()));
+        for (dim, value) in upstream_out.iter() {
+            if *dim == QosDimension::Format {
+                continue;
+            }
+            qos_out.set(dim.clone(), value.clone());
+            if !value.is_token() {
+                // Numeric dimensions are forwarded 1:1 and freely tunable.
+                builder = builder
+                    .capability(dim.clone(), QosValue::range(0.0, 1e9))
+                    .passthrough(dim.clone());
+            }
+        }
+        builder.qos_in(qos_in).qos_out(qos_out).build()
+    }
+}
+
+/// The set of transcoders available in the current environment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TranscoderCatalog {
+    specs: Vec<TranscoderSpec>,
+}
+
+impl TranscoderCatalog {
+    /// An empty catalog (no type-mismatch corrections possible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A catalog with the conversions the paper's scenarios need:
+    /// MPEG↔WAV audio, MPEG→JPEG video, MP3→WAV and PCM→WAV audio.
+    pub fn standard() -> Self {
+        use MediaFormat::*;
+        let mut c = TranscoderCatalog::new();
+        // Decoders expand bandwidth; encoders compress.
+        c.add(TranscoderSpec::new(Mpeg, Wav, ResourceVector::mem_cpu(6.0, 15.0), 4.0));
+        c.add(TranscoderSpec::new(Wav, Mpeg, ResourceVector::mem_cpu(8.0, 25.0), 0.25));
+        c.add(TranscoderSpec::new(Mpeg, Jpeg, ResourceVector::mem_cpu(10.0, 20.0), 2.0));
+        c.add(TranscoderSpec::new(Mp3, Wav, ResourceVector::mem_cpu(4.0, 10.0), 5.0));
+        c.add(TranscoderSpec::new(Pcm, Wav, ResourceVector::mem_cpu(2.0, 3.0), 1.0));
+        c
+    }
+
+    /// Registers a transcoder kind. Later registrations win conflicts.
+    pub fn add(&mut self, spec: TranscoderSpec) {
+        self.specs.retain(|s| !(s.from == spec.from && s.to == spec.to));
+        self.specs.push(spec);
+    }
+
+    /// Finds a direct conversion, if one is available.
+    pub fn find(&self, from: &MediaFormat, to: &MediaFormat) -> Option<&TranscoderSpec> {
+        self.specs.iter().find(|s| &s.from == from && &s.to == to)
+    }
+
+    /// Finds a conversion from any of `from_options` to `to` — used when
+    /// the upstream component offers a token *set*.
+    pub fn find_any(
+        &self,
+        from_options: &[MediaFormat],
+        to: &MediaFormat,
+    ) -> Option<&TranscoderSpec> {
+        from_options.iter().find_map(|f| self.find(f, to))
+    }
+
+    /// Finds the *shortest chain* of transcoders converting any of
+    /// `from_options` into `to`, for format pairs with no direct
+    /// converter (e.g. MP3 → MPEG via WAV). Breadth-first over the
+    /// format-conversion graph; returns the specs in pipeline order, or
+    /// `None` when no chain exists.
+    pub fn find_path(
+        &self,
+        from_options: &[MediaFormat],
+        to: &MediaFormat,
+    ) -> Option<Vec<&TranscoderSpec>> {
+        use std::collections::{BTreeMap, VecDeque};
+        if from_options.contains(to) {
+            return Some(Vec::new());
+        }
+        // BFS frontier of formats, remembering the spec that reached each.
+        let mut reached: BTreeMap<&MediaFormat, Option<&TranscoderSpec>> = BTreeMap::new();
+        let mut queue: VecDeque<&MediaFormat> = VecDeque::new();
+        for f in from_options {
+            reached.entry(f).or_insert(None);
+            queue.push_back(f);
+        }
+        while let Some(current) = queue.pop_front() {
+            for spec in self.specs.iter().filter(|s| &s.from == current) {
+                if !reached.contains_key(&spec.to) {
+                    reached.insert(&spec.to, Some(spec));
+                    if &spec.to == to {
+                        // Walk back to a starting format.
+                        let mut chain = Vec::new();
+                        let mut cursor = &spec.to;
+                        while let Some(Some(step)) = reached.get(cursor) {
+                            chain.push(*step);
+                            cursor = &step.from;
+                        }
+                        chain.reverse();
+                        return Some(chain);
+                    }
+                    queue.push_back(&spec.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// The number of registered kinds.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::QosVector;
+
+    #[test]
+    fn standard_catalog_has_the_paper_conversion() {
+        let c = TranscoderCatalog::standard();
+        let t = c.find(&MediaFormat::Mpeg, &MediaFormat::Wav).unwrap();
+        assert_eq!(t.component_name(), "MPEG2WAV transcoder");
+        assert!(t.bandwidth_factor > 1.0, "decoding expands the stream");
+        assert!(c.find(&MediaFormat::Wav, &MediaFormat::Jpeg).is_none());
+    }
+
+    #[test]
+    fn add_replaces_existing_pair() {
+        let mut c = TranscoderCatalog::new();
+        assert!(c.is_empty());
+        c.add(TranscoderSpec::new(
+            MediaFormat::Mpeg,
+            MediaFormat::Wav,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            2.0,
+        ));
+        c.add(TranscoderSpec::new(
+            MediaFormat::Mpeg,
+            MediaFormat::Wav,
+            ResourceVector::mem_cpu(9.0, 9.0),
+            3.0,
+        ));
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.find(&MediaFormat::Mpeg, &MediaFormat::Wav).unwrap().bandwidth_factor,
+            3.0
+        );
+    }
+
+    #[test]
+    fn find_path_direct_and_chained() {
+        let mut c = TranscoderCatalog::new();
+        c.add(TranscoderSpec::new(
+            MediaFormat::Mp3,
+            MediaFormat::Wav,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            5.0,
+        ));
+        c.add(TranscoderSpec::new(
+            MediaFormat::Wav,
+            MediaFormat::Mpeg,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            0.25,
+        ));
+        // Direct hop.
+        let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Wav).unwrap();
+        assert_eq!(p.len(), 1);
+        // Two hops: MP3 -> WAV -> MPEG.
+        let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].to, MediaFormat::Wav);
+        assert_eq!(p[1].to, MediaFormat::Mpeg);
+        // Unreachable.
+        assert!(c.find_path(&[MediaFormat::Jpeg], &MediaFormat::Wav).is_none());
+        // Already acceptable: empty chain.
+        assert_eq!(
+            c.find_path(&[MediaFormat::Wav], &MediaFormat::Wav).unwrap().len(),
+            0
+        );
+        // Token-set start: any offered format may begin the chain.
+        let p = c
+            .find_path(&[MediaFormat::Jpeg, MediaFormat::Wav], &MediaFormat::Mpeg)
+            .unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn find_path_picks_shortest() {
+        let mut c = TranscoderCatalog::new();
+        // Direct MP3->MPEG exists alongside the 2-hop route.
+        c.add(TranscoderSpec::new(
+            MediaFormat::Mp3,
+            MediaFormat::Wav,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            5.0,
+        ));
+        c.add(TranscoderSpec::new(
+            MediaFormat::Wav,
+            MediaFormat::Mpeg,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            0.25,
+        ));
+        c.add(TranscoderSpec::new(
+            MediaFormat::Mp3,
+            MediaFormat::Mpeg,
+            ResourceVector::mem_cpu(1.0, 1.0),
+            1.0,
+        ));
+        let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg).unwrap();
+        assert_eq!(p.len(), 1, "BFS finds the direct hop");
+    }
+
+    #[test]
+    fn find_any_scans_options() {
+        let c = TranscoderCatalog::standard();
+        let t = c
+            .find_any(&[MediaFormat::H261, MediaFormat::Mp3], &MediaFormat::Wav)
+            .unwrap();
+        assert_eq!(t.from, MediaFormat::Mp3);
+        assert!(c.find_any(&[MediaFormat::H261], &MediaFormat::Wav).is_none());
+    }
+
+    #[test]
+    fn instantiate_passes_non_format_dimensions_through() {
+        let c = TranscoderCatalog::standard();
+        let spec = c.find(&MediaFormat::Mpeg, &MediaFormat::Wav).unwrap();
+        let upstream = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("MPEG"))
+            .with(QosDimension::FrameRate, QosValue::exact(40.0));
+        let t = spec.instantiate(&upstream);
+        assert_eq!(
+            t.qos_in().get(&QosDimension::Format),
+            Some(&QosValue::token("MPEG"))
+        );
+        assert_eq!(
+            t.qos_out().get(&QosDimension::Format),
+            Some(&QosValue::token("WAV"))
+        );
+        assert_eq!(
+            t.qos_out().get(&QosDimension::FrameRate),
+            Some(&QosValue::exact(40.0))
+        );
+        assert!(t.is_adjustable(&QosDimension::FrameRate));
+        assert!(t.passthrough().contains(&QosDimension::FrameRate));
+        assert_eq!(t.role(), ComponentRole::Processor);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the Ordered Coordination algorithm.
+
+use proptest::prelude::*;
+use ubiqos_composition::{
+    coordination_with_order, oc, CoordinationOrder, CorrectionPolicy, TranscoderCatalog,
+};
+use ubiqos_graph::{ComponentId, ComponentRole, ServiceComponent, ServiceGraph};
+use ubiqos_model::{QosDimension as D, QosValue, QosVector};
+
+/// A random multi-stage pipeline: every hop forwards WAV at an
+/// adjustable rate; each downstream hop narrows the acceptable range.
+/// Always correctable (ranges are nested around a common point).
+fn pipeline(
+    depth: usize,
+    fanout_at: Option<usize>,
+    rates: &[(f64, f64)],
+    initial_out: f64,
+) -> ServiceGraph {
+    let mut g = ServiceGraph::new();
+    let mk = |i: usize, lo: f64, hi: f64| {
+        ServiceComponent::builder(format!("hop{i}"))
+            .role(if i == 0 {
+                ComponentRole::Source
+            } else {
+                ComponentRole::Processor
+            })
+            .qos_in(
+                QosVector::new()
+                    .with(D::Format, QosValue::token("WAV"))
+                    .with(D::FrameRate, QosValue::range(lo, hi)),
+            )
+            .qos_out(
+                QosVector::new()
+                    .with(D::Format, QosValue::token("WAV"))
+                    .with(D::FrameRate, QosValue::exact(initial_out)),
+            )
+            .capability(D::FrameRate, QosValue::range(0.0, 1000.0))
+            .passthrough(D::FrameRate)
+            .build()
+    };
+    let ids: Vec<ComponentId> = (0..depth)
+        .map(|i| {
+            let (lo, hi) = rates[i % rates.len()];
+            g.add_component(mk(i, lo, hi))
+        })
+        .collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], 1.0).unwrap();
+    }
+    if let Some(at) = fanout_at {
+        if at + 1 < depth {
+            // Extra fan-out edge to exercise multi-successor adjustment.
+            let (lo, hi) = rates[(at + 1) % rates.len()];
+            let extra = g.add_component(mk(depth, lo, hi));
+            g.add_edge(ids[at], extra, 0.5).unwrap();
+        }
+    }
+    g
+}
+
+/// Nested rate windows around 20 fps so an admissible point always
+/// exists.
+fn arb_rates() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..15.0, 25.0f64..200.0), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OC repairs every *linear* pipeline in one sweep. With fan-out, the
+    /// greedy cascade may pin a value for one branch that a sibling
+    /// branch cannot accept (the paper's algorithm does no global
+    /// constraint propagation) — in that case OC must fail cleanly with
+    /// `Uncorrectable`, never return an inconsistent graph.
+    #[test]
+    fn oc_repairs_linear_pipelines_and_fails_fanout_cleanly(
+        depth in 2usize..14,
+        fanout in proptest::option::of(0usize..6),
+        rates in arb_rates(),
+        initial in 1.0f64..500.0,
+    ) {
+        let mut g = pipeline(depth, fanout, &rates, initial);
+        let result = oc::ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        );
+        match result {
+            Ok(report) => {
+                prop_assert!(oc::is_consistent(&g));
+                prop_assert_eq!(report.passes, 1, "pure adjustments need one sweep");
+            }
+            Err(e) => {
+                prop_assert!(fanout.is_some(), "linear chains are always correctable: {e}");
+                let is_uncorrectable = matches!(
+                    e,
+                    ubiqos_composition::CompositionError::Uncorrectable { .. }
+                );
+                prop_assert!(is_uncorrectable, "unexpected error kind: {e}");
+            }
+        }
+    }
+
+    /// Forward-order coordination converges to a consistent graph too —
+    /// it just pays more sweeps; and both orders agree on the final
+    /// source rate.
+    #[test]
+    fn forward_order_agrees_on_the_fixpoint(
+        depth in 2usize..10,
+        rates in arb_rates(),
+        initial in 1.0f64..500.0,
+    ) {
+        let catalog = TranscoderCatalog::standard();
+        let mut rev = pipeline(depth, None, &rates, initial);
+        let mut fwd = rev.clone();
+        coordination_with_order(&mut rev, &catalog, CorrectionPolicy::all(), CoordinationOrder::Reverse)
+            .expect("correctable");
+        coordination_with_order(&mut fwd, &catalog, CorrectionPolicy::all(), CoordinationOrder::Forward)
+            .expect("correctable");
+        prop_assert!(oc::is_consistent(&rev));
+        prop_assert!(oc::is_consistent(&fwd));
+        let src = ComponentId::from_index(0);
+        prop_assert_eq!(
+            rev.component(src).unwrap().qos_out().get(&D::FrameRate),
+            fwd.component(src).unwrap().qos_out().get(&D::FrameRate)
+        );
+    }
+
+    /// OC never mutates a sink's *input requirement* unless the sink has
+    /// declared the dimension passthrough — the user-facing QoS is
+    /// preserved (the whole point of the reverse order).
+    #[test]
+    fn sink_requirements_are_preserved(
+        depth in 2usize..12,
+        rates in arb_rates(),
+        initial in 1.0f64..500.0,
+    ) {
+        let mut g = pipeline(depth, None, &rates, initial);
+        let sink = g.component_ids().last().unwrap();
+        let before = g.component(sink).unwrap().qos_in().clone();
+        // Strip the sink's passthrough by rebuilding its requirement: the
+        // generated sink *does* declare passthrough, so instead assert on
+        // the range bounds, which adjustment must stay within.
+        oc::ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+            .expect("correctable");
+        let after = g.component(sink).unwrap().qos_in().clone();
+        if let (Some(b), Some(a)) = (before.get(&D::FrameRate), after.get(&D::FrameRate)) {
+            prop_assert!(a.satisfies(b), "sink requirement narrowed only within itself: {a:?} ⊆ {b:?}");
+        }
+    }
+
+    /// check-only policy never mutates any graph, correctable or not.
+    #[test]
+    fn check_only_is_readonly(
+        depth in 2usize..10,
+        rates in arb_rates(),
+        initial in 1.0f64..500.0,
+    ) {
+        let mut g = pipeline(depth, None, &rates, initial);
+        let snapshot = g.clone();
+        let _ = oc::ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::check_only(),
+        );
+        prop_assert_eq!(snapshot, g);
+    }
+
+    /// The diagnosis API agrees with OC: after a successful run, diagnose
+    /// reports zero mismatches.
+    #[test]
+    fn diagnosis_matches_oc_outcome(
+        depth in 2usize..10,
+        rates in arb_rates(),
+        initial in 1.0f64..500.0,
+    ) {
+        let mut g = pipeline(depth, None, &rates, initial);
+        let before = ubiqos_composition::diagnose(&g);
+        prop_assert_eq!(before.examined, g.edge_count());
+        oc::ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
+            .expect("correctable");
+        let after = ubiqos_composition::diagnose(&g);
+        prop_assert!(after.is_consistent(), "{after}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Errors for the integrated configurator.
+
+use std::error::Error;
+use std::fmt;
+use ubiqos_composition::CompositionError;
+use ubiqos_distribution::DistributionError;
+
+/// Errors from the two-tier configuration pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigureError {
+    /// The composition tier failed (missing service, uncorrectable QoS).
+    Composition(CompositionError),
+    /// The distribution tier failed (graph does not fit the devices).
+    Distribution(DistributionError),
+}
+
+impl fmt::Display for ConfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigureError::Composition(e) => write!(f, "composition failed: {e}"),
+            ConfigureError::Distribution(e) => write!(f, "distribution failed: {e}"),
+        }
+    }
+}
+
+impl Error for ConfigureError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigureError::Composition(e) => Some(e),
+            ConfigureError::Distribution(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompositionError> for ConfigureError {
+    fn from(e: CompositionError) -> Self {
+        ConfigureError::Composition(e)
+    }
+}
+
+impl From<DistributionError> for ConfigureError {
+    fn from(e: DistributionError) -> Self {
+        ConfigureError::Distribution(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let c = ConfigureError::from(CompositionError::MissingService {
+            service_type: "x".into(),
+            depth: 0,
+        });
+        assert!(c.to_string().contains("composition failed"));
+        assert!(c.source().is_some());
+
+        let d = ConfigureError::from(DistributionError::NoDevices);
+        assert!(d.to_string().contains("distribution failed"));
+        assert!(d.source().is_some());
+    }
+}

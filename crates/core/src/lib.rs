@@ -1,0 +1,105 @@
+//! # ubiqos
+//!
+//! An open-source Rust reproduction of Gu & Nahrstedt, **"Dynamic
+//! QoS-Aware Multimedia Service Configuration in Ubiquitous Computing
+//! Environments"** (ICDCS 2002).
+//!
+//! Ubiquitous computing environments are highly dynamic: devices and
+//! services come and go, users roam between rooms and switch portals from
+//! PC to PDA mid-session. The paper's answer is an integrated, two-tier
+//! **service configuration model**:
+//!
+//! * the **service composition tier** ([`ubiqos_composition`]) turns an
+//!   abstract application description into a concrete, QoS-consistent
+//!   service graph using discovery plus the Ordered Coordination
+//!   correction algorithm;
+//! * the **service distribution tier** ([`ubiqos_distribution`]) finds a
+//!   minimum-cost k-cut of that graph onto the currently available
+//!   devices (an NP-hard problem, approximated by the paper's greedy
+//!   heuristic).
+//!
+//! This crate glues the tiers into a single [`ServiceConfigurator`], plus
+//! the [`ReconfigureTrigger`] vocabulary the runtime uses to decide when
+//! to re-run which tier.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ubiqos::prelude::*;
+//!
+//! // 1. The environment: devices, bandwidth, registered services.
+//! let env = Environment::builder()
+//!     .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+//!     .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
+//!     .default_bandwidth_mbps(5.0)
+//!     .build();
+//! let mut registry = ServiceRegistry::new();
+//! registry.register(ServiceDescriptor::new(
+//!     "server@desktop",
+//!     "audio-server",
+//!     ServiceComponent::builder("audio-server")
+//!         .resources(ResourceVector::mem_cpu(64.0, 40.0))
+//!         .build(),
+//! ));
+//!
+//! // 2. The abstract application.
+//! let mut app = AbstractServiceGraph::new();
+//! app.add_spec(AbstractComponentSpec::new("audio-server"));
+//!
+//! // 3. Configure: compose, then distribute.
+//! let mut configurator = ServiceConfigurator::new(&registry);
+//! let configuration = configurator.configure(&ConfigureRequest {
+//!     abstract_graph: &app,
+//!     user_qos: QosVector::new(),
+//!     client_device: DeviceId::from_index(1),
+//!     client_props: DeviceProperties::unconstrained(),
+//!     domain: None,
+//!     env: &env,
+//! })?;
+//! assert!(configuration.cost.is_finite());
+//! # Ok::<(), ubiqos::ConfigureError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configurator;
+pub mod error;
+pub mod trigger;
+
+pub use configurator::{ConfigureRequest, Configuration, ServiceConfigurator};
+pub use error::ConfigureError;
+pub use trigger::ReconfigureTrigger;
+
+// Re-export the tiers and substrates as a single coherent API surface.
+pub use ubiqos_composition as composition;
+pub use ubiqos_discovery as discovery;
+pub use ubiqos_distribution as distribution;
+pub use ubiqos_graph as graph;
+pub use ubiqos_model as model;
+
+/// One-stop imports for applications built on ubiqos.
+pub mod prelude {
+    pub use crate::configurator::{ConfigureRequest, Configuration, ServiceConfigurator};
+    pub use crate::error::ConfigureError;
+    pub use crate::trigger::ReconfigureTrigger;
+    pub use ubiqos_composition::{
+        diagnose, ComposeRequest, ComposedApplication, ConsistencyReport, CoordinationOrder,
+        CorrectionPolicy, ExpansionLibrary, ExpansionRule, ServiceComposer, TranscoderCatalog,
+        TranscoderSpec,
+    };
+    pub use ubiqos_discovery::{
+        DeviceProperties, DiscoveryQuery, DomainId, ServiceDescriptor, ServiceRegistry,
+    };
+    pub use ubiqos_distribution::{
+        BandwidthMatrix, Device, DeviceClass, Environment, ExhaustiveOptimal, GreedyHeuristic,
+        OsdProblem, PlacementReport, RandomDistributor, ServiceDistributor,
+    };
+    pub use ubiqos_graph::{
+        AbstractComponentSpec, AbstractServiceGraph, ComponentId, ComponentRole, Cut, DeviceId,
+        PinHint, ServiceComponent, ServiceGraph, SpecId,
+    };
+    pub use ubiqos_model::{
+        MediaFormat, QosDimension, QosValue, QosVector, ResourceVector, Weights,
+    };
+}

@@ -1,0 +1,142 @@
+//! Reconfiguration triggers.
+//!
+//! "The service composer is activated whenever some significant changes
+//! are detected during runtime … the service distributor is invoked
+//! whenever some significant resource fluctuations or device changes
+//! happen" (Sections 3.2-3.3). This module gives the runtime a shared
+//! vocabulary for those events and the policy of *which tier* each one
+//! re-runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_graph::DeviceId;
+
+/// A runtime event that may invalidate the current configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReconfigureTrigger {
+    /// The user moved to a new location; previously used services may no
+    /// longer be reachable. Requires recomposition.
+    UserMoved {
+        /// Name of the new location/domain.
+        to_location: String,
+    },
+    /// The user switched portal devices (e.g. PC → PDA); the previous
+    /// service graph may no longer be supportable. Requires
+    /// recomposition (a different client player may be needed) and state
+    /// handoff.
+    DeviceSwitched {
+        /// The previous portal device.
+        from: DeviceId,
+        /// The new portal device.
+        to: DeviceId,
+    },
+    /// A device crashed or departed; components on it must be replaced.
+    DeviceCrashed(DeviceId),
+    /// Resource availability changed significantly on some device.
+    ResourceFluctuation(DeviceId),
+    /// Another application started, consuming shared resources.
+    ApplicationStarted,
+    /// An application stopped, releasing shared resources.
+    ApplicationStopped,
+}
+
+impl ReconfigureTrigger {
+    /// Whether this trigger invalidates the *composition* (the set and
+    /// wiring of service instances), not just their placement.
+    ///
+    /// Location and portal changes can make discovered instances
+    /// unreachable or unsuitable, so the composer re-runs; pure resource
+    /// events only re-run the distributor ("the user can continue his or
+    /// her tasks with minimum QoS degradations").
+    pub fn requires_recomposition(&self) -> bool {
+        matches!(
+            self,
+            ReconfigureTrigger::UserMoved { .. }
+                | ReconfigureTrigger::DeviceSwitched { .. }
+                | ReconfigureTrigger::DeviceCrashed(_)
+        )
+    }
+
+    /// Whether this trigger requires re-running the distribution tier.
+    /// Every trigger does — even recompositions end with a fresh
+    /// placement.
+    pub fn requires_redistribution(&self) -> bool {
+        true
+    }
+
+    /// Whether application state must be carried over to the new
+    /// configuration (the paper's state handoff: "music continues from
+    /// the interruption point").
+    pub fn requires_state_handoff(&self) -> bool {
+        matches!(
+            self,
+            ReconfigureTrigger::DeviceSwitched { .. } | ReconfigureTrigger::DeviceCrashed(_)
+        )
+    }
+}
+
+impl fmt::Display for ReconfigureTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigureTrigger::UserMoved { to_location } => {
+                write!(f, "user moved to {to_location}")
+            }
+            ReconfigureTrigger::DeviceSwitched { from, to } => {
+                write!(f, "portal switched {from} -> {to}")
+            }
+            ReconfigureTrigger::DeviceCrashed(d) => write!(f, "device {d} crashed"),
+            ReconfigureTrigger::ResourceFluctuation(d) => {
+                write!(f, "resource fluctuation on {d}")
+            }
+            ReconfigureTrigger::ApplicationStarted => f.write_str("application started"),
+            ReconfigureTrigger::ApplicationStopped => f.write_str("application stopped"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recomposition_policy() {
+        let d0 = DeviceId::from_index(0);
+        let d1 = DeviceId::from_index(1);
+        assert!(ReconfigureTrigger::UserMoved {
+            to_location: "office".into()
+        }
+        .requires_recomposition());
+        assert!(ReconfigureTrigger::DeviceSwitched { from: d0, to: d1 }.requires_recomposition());
+        assert!(ReconfigureTrigger::DeviceCrashed(d0).requires_recomposition());
+        assert!(!ReconfigureTrigger::ResourceFluctuation(d0).requires_recomposition());
+        assert!(!ReconfigureTrigger::ApplicationStarted.requires_recomposition());
+        assert!(!ReconfigureTrigger::ApplicationStopped.requires_recomposition());
+    }
+
+    #[test]
+    fn every_trigger_redistributes() {
+        for t in [
+            ReconfigureTrigger::ApplicationStarted,
+            ReconfigureTrigger::DeviceCrashed(DeviceId::from_index(0)),
+        ] {
+            assert!(t.requires_redistribution());
+        }
+    }
+
+    #[test]
+    fn handoff_policy() {
+        let d0 = DeviceId::from_index(0);
+        let d1 = DeviceId::from_index(1);
+        assert!(ReconfigureTrigger::DeviceSwitched { from: d0, to: d1 }.requires_state_handoff());
+        assert!(!ReconfigureTrigger::ApplicationStarted.requires_state_handoff());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = ReconfigureTrigger::DeviceSwitched {
+            from: DeviceId::from_index(0),
+            to: DeviceId::from_index(1),
+        };
+        assert_eq!(t.to_string(), "portal switched d0 -> d1");
+    }
+}

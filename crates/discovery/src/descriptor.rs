@@ -1,0 +1,149 @@
+//! Concrete service instance descriptors.
+
+use crate::domain::DomainId;
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::ServiceComponent;
+
+/// Properties of a (client) device relevant to discovery filtering.
+///
+/// The discovery service "takes into account the user's QoS requirements
+/// and properties of the client device (e.g., screen size, computing
+/// capability)" — an instance whose minimum requirements exceed the client
+/// device is not returned for client-pinned roles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProperties {
+    /// Total screen pixels (e.g. `1600 * 1200` for a desktop display).
+    pub screen_pixels: f64,
+    /// Relative computing capability, normalized to the benchmark machine
+    /// (1.0 = benchmark laptop; a PDA is ~0.4, a fast PC ~5.0).
+    pub compute_factor: f64,
+}
+
+impl DeviceProperties {
+    /// A generous default standing for "any capable device".
+    pub fn unconstrained() -> Self {
+        DeviceProperties {
+            screen_pixels: f64::MAX,
+            compute_factor: f64::MAX,
+        }
+    }
+
+    /// Whether a device with these properties meets `minimum`.
+    pub fn meets(&self, minimum: &DeviceProperties) -> bool {
+        self.screen_pixels >= minimum.screen_pixels
+            && self.compute_factor >= minimum.compute_factor
+    }
+}
+
+impl Default for DeviceProperties {
+    /// No requirement at all (zero minimums).
+    fn default() -> Self {
+        DeviceProperties {
+            screen_pixels: 0.0,
+            compute_factor: 0.0,
+        }
+    }
+}
+
+/// A registered concrete service instance.
+///
+/// Wraps the prototype [`ServiceComponent`] this instance would contribute
+/// to a composed graph — discovered components "include more detailed and
+/// specific information than their abstract descriptions (e.g.
+/// resource/platform requirements)" — plus discovery metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDescriptor {
+    /// Unique instance id within the registry (e.g. `"audio-server@d1"`).
+    pub instance_id: String,
+    /// The abstract service type this instance implements.
+    pub service_type: String,
+    /// Prototype component: QoS in/out, capabilities, resources, role.
+    pub prototype: ServiceComponent,
+    /// Domain the instance lives in (`None` = globally visible).
+    pub domain: Option<DomainId>,
+    /// Minimum device properties for the hosting device (matters for
+    /// client-pinned sinks such as players/displays).
+    pub min_device: DeviceProperties,
+    /// Size of the component's code bundle in MB, for dynamic-download
+    /// cost accounting (Figure 4).
+    pub code_size_mb: f64,
+}
+
+impl ServiceDescriptor {
+    /// Creates a descriptor with no domain, no device constraints, and a
+    /// nominal 1 MB code bundle.
+    pub fn new(
+        instance_id: impl Into<String>,
+        service_type: impl Into<String>,
+        prototype: ServiceComponent,
+    ) -> Self {
+        ServiceDescriptor {
+            instance_id: instance_id.into(),
+            service_type: service_type.into(),
+            prototype,
+            domain: None,
+            min_device: DeviceProperties::default(),
+            code_size_mb: 1.0,
+        }
+    }
+
+    /// Scopes the instance to a domain.
+    #[must_use]
+    pub fn in_domain(mut self, domain: DomainId) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Sets minimum hosting-device properties.
+    #[must_use]
+    pub fn with_min_device(mut self, min: DeviceProperties) -> Self {
+        self.min_device = min;
+        self
+    }
+
+    /// Sets the code bundle size in MB.
+    #[must_use]
+    pub fn with_code_size_mb(mut self, mb: f64) -> Self {
+        self.code_size_mb = mb;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_properties_meets() {
+        let pda = DeviceProperties {
+            screen_pixels: 320.0 * 240.0,
+            compute_factor: 0.4,
+        };
+        let needs_big_screen = DeviceProperties {
+            screen_pixels: 1024.0 * 768.0,
+            compute_factor: 0.0,
+        };
+        assert!(!pda.meets(&needs_big_screen));
+        assert!(pda.meets(&DeviceProperties::default()));
+        assert!(DeviceProperties::unconstrained().meets(&needs_big_screen));
+    }
+
+    #[test]
+    fn descriptor_builder_chain() {
+        let d = ServiceDescriptor::new(
+            "p1",
+            "audio-player",
+            ServiceComponent::builder("audio-player").build(),
+        )
+        .in_domain(DomainId::from_index(2))
+        .with_code_size_mb(3.5)
+        .with_min_device(DeviceProperties {
+            screen_pixels: 100.0,
+            compute_factor: 0.2,
+        });
+        assert_eq!(d.instance_id, "p1");
+        assert_eq!(d.domain, Some(DomainId::from_index(2)));
+        assert_eq!(d.code_size_mb, 3.5);
+        assert_eq!(d.min_device.compute_factor, 0.2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Hierarchical domains of the smart space.
+//!
+//! "Due to the scalability requirement, we structure the smart spaces
+//! hierarchically by grouping devices into different domains. Each domain
+//! contains one domain server, which provides the key infrastructure
+//! services for the entire domain space." (Section 1.)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a domain within one registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DomainId(pub(crate) u32);
+
+impl DomainId {
+    /// The dense index of this domain.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        DomainId(index as u32)
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dom{}", self.0)
+    }
+}
+
+/// One domain of the smart-space hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    /// Human-readable domain name (e.g. `"office-3214"`).
+    pub name: String,
+    /// Parent domain, `None` for the hierarchy root.
+    pub parent: Option<DomainId>,
+}
+
+impl Domain {
+    /// Creates a domain.
+    pub fn new(name: impl Into<String>, parent: Option<DomainId>) -> Self {
+        Domain {
+            name: name.into(),
+            parent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_id_roundtrip_and_display() {
+        let id = DomainId::from_index(5);
+        assert_eq!(id.index(), 5);
+        assert_eq!(id.to_string(), "dom5");
+    }
+
+    #[test]
+    fn domain_construction() {
+        let root = Domain::new("campus", None);
+        assert_eq!(root.name, "campus");
+        assert_eq!(root.parent, None);
+        let child = Domain::new("office", Some(DomainId::from_index(0)));
+        assert_eq!(child.parent, Some(DomainId::from_index(0)));
+    }
+}

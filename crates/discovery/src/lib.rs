@@ -1,0 +1,52 @@
+//! # ubiqos-discovery
+//!
+//! The service discovery substrate assumed by Section 3.1 of the paper
+//! ("we assume that a service discovery service is available to find the
+//! service instances that are closest to the abstract service
+//! descriptions"; cf. the secure discovery service of Czerwinski et al.
+//! and the QoS-aware discovery of Xu et al. cited there).
+//!
+//! Smart spaces are structured hierarchically into [`Domain`]s, each with a
+//! domain server holding a [`ServiceRegistry`]. Concrete service instances
+//! are registered as [`ServiceDescriptor`]s — prototypes of the
+//! [`ubiqos_graph::ServiceComponent`] they instantiate, plus discovery
+//! metadata (domain, code size for dynamic downloading, client-device
+//! constraints).
+//!
+//! Discovery is *closest-match*: a [`DiscoveryQuery`] names an abstract
+//! service type plus the desired QoS and the client device's properties;
+//! [`ServiceRegistry::discover`] returns the instance with the highest
+//! [`matching`] score. The returned component "may not be exactly the same
+//! as the abstract description" (e.g. a JPEG player when an MPEG player
+//! was requested) — resolving that is the composition tier's job.
+//!
+//! # Example
+//!
+//! ```
+//! use ubiqos_discovery::{DeviceProperties, DiscoveryQuery, ServiceDescriptor, ServiceRegistry};
+//! use ubiqos_graph::ServiceComponent;
+//!
+//! let mut registry = ServiceRegistry::new();
+//! let root = registry.add_domain("building", None);
+//! registry.register(
+//!     ServiceDescriptor::new("as-1", "audio-server", ServiceComponent::builder("audio-server").build())
+//!         .in_domain(root),
+//! );
+//! let hit = registry.discover(&DiscoveryQuery::new("audio-server").in_domain(root));
+//! assert!(hit.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod domain;
+pub mod matching;
+pub mod query;
+pub mod registry;
+
+pub use descriptor::{DeviceProperties, ServiceDescriptor};
+pub use domain::{Domain, DomainId};
+pub use matching::{score, Discovered};
+pub use query::DiscoveryQuery;
+pub use registry::ServiceRegistry;

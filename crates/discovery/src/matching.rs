@@ -1,0 +1,168 @@
+//! Closest-match scoring between queries and registered instances.
+
+use crate::descriptor::ServiceDescriptor;
+use crate::query::DiscoveryQuery;
+use serde::{Deserialize, Serialize};
+use ubiqos_model::Weights;
+
+/// A discovery hit: the descriptor together with its match score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Discovered {
+    /// The matched instance.
+    pub descriptor: ServiceDescriptor,
+    /// Closeness to the query in `[0, 1]`; 1.0 is a perfect QoS match.
+    pub score: f64,
+}
+
+/// Scores how closely `descriptor` matches `query`.
+///
+/// Returns `None` when the instance is *ineligible*: wrong service type,
+/// or it cannot run on the client device although the query requires it.
+/// Otherwise returns a score in `[0, 1]`:
+///
+/// * the **QoS fraction** — the fraction of the query's desired QoS
+///   dimensions the instance can handle, where "handle" means any of:
+///   the configured output satisfies the desire, the declared capability
+///   intersects it (the composition tier can retune within capabilities),
+///   or the instance's *input* accepts the desired value (a sink "close
+///   to" an MPEG-player description is one that can consume MPEG). An
+///   instance with no desired dimensions scores 1.0 here: the query is
+///   unconstrained;
+/// * minus a small **footprint penalty** proportional to the instance's
+///   weighted resource requirement, breaking ties toward lighter
+///   instances (better for the distribution tier downstream).
+///
+/// The discovery service returns "the one closest to the service's
+/// abstract descriptions" — even a partially matching instance is
+/// returned, because the composer may still be able to correct the
+/// mismatch (e.g. with a transcoder).
+pub fn score(descriptor: &ServiceDescriptor, query: &DiscoveryQuery) -> Option<f64> {
+    if descriptor.service_type != query.service_type {
+        return None;
+    }
+    if query.must_fit_client && !query.client.meets(&descriptor.min_device) {
+        return None;
+    }
+
+    let desired: Vec<_> = query.desired_qos.iter().collect();
+    let qos_fraction = if desired.is_empty() {
+        1.0
+    } else {
+        let satisfied = desired
+            .iter()
+            .filter(|(dim, want)| {
+                let configured_ok = descriptor
+                    .prototype
+                    .qos_out()
+                    .get(dim)
+                    .is_some_and(|have| have.satisfies(want));
+                let tunable_ok = descriptor
+                    .prototype
+                    .capabilities()
+                    .get(dim)
+                    .is_some_and(|cap| cap.intersect(want).is_some());
+                let input_ok = descriptor
+                    .prototype
+                    .qos_in()
+                    .get(dim)
+                    .is_some_and(|accepts| want.satisfies(accepts));
+                configured_ok || tunable_ok || input_ok
+            })
+            .count();
+        satisfied as f64 / desired.len() as f64
+    };
+
+    // Footprint penalty: up to 5% of the score, saturating for very heavy
+    // components. Uses uniform weights purely as a tie-breaker scale.
+    let w = Weights::uniform(descriptor.prototype.resources().dim().max(1));
+    let footprint = descriptor.prototype.resources().weighted_sum(w.resource());
+    let penalty = 0.05 * (footprint / (footprint + 100.0));
+
+    Some((qos_fraction - penalty).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::{QosDimension as D, QosValue, QosVector, ResourceVector};
+
+    fn player(formats: &[&str], fps_cap: (f64, f64), mem: f64) -> ServiceDescriptor {
+        ServiceDescriptor::new(
+            format!("p-{}", formats.join("-")),
+            "audio-player",
+            ServiceComponent::builder("audio-player")
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token_set(formats.iter().copied()))
+                        .with(D::FrameRate, QosValue::exact(fps_cap.1)),
+                )
+                .capability(D::FrameRate, QosValue::range(fps_cap.0, fps_cap.1))
+                .resources(ResourceVector::mem_cpu(mem, 10.0))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn wrong_type_is_ineligible() {
+        let d = player(&["WAV"], (10.0, 40.0), 8.0);
+        let q = DiscoveryQuery::new("video-player");
+        assert_eq!(score(&d, &q), None);
+    }
+
+    #[test]
+    fn client_constraint_filters() {
+        use crate::descriptor::DeviceProperties;
+        let d = player(&["WAV"], (10.0, 40.0), 8.0).with_min_device(DeviceProperties {
+            screen_pixels: 1e6,
+            compute_factor: 1.0,
+        });
+        let pda = DeviceProperties {
+            screen_pixels: 320.0 * 240.0,
+            compute_factor: 0.4,
+        };
+        let q = DiscoveryQuery::new("audio-player").on_client(pda);
+        assert_eq!(score(&d, &q), None);
+        // Without the client requirement the same instance is eligible.
+        let q2 = DiscoveryQuery::new("audio-player");
+        assert!(score(&d, &q2).is_some());
+    }
+
+    #[test]
+    fn full_qos_match_scores_near_one() {
+        let d = player(&["WAV"], (10.0, 40.0), 8.0);
+        let q = DiscoveryQuery::new("audio-player").with_desired_qos(
+            QosVector::new().with(D::FrameRate, QosValue::exact(30.0)),
+        );
+        let s = score(&d, &q).unwrap();
+        assert!(s > 0.9, "tunable capability covers the desire: {s}");
+    }
+
+    #[test]
+    fn partial_match_scores_fractionally() {
+        // Player can do the frame rate but not the desired format.
+        let d = player(&["JPEG"], (10.0, 40.0), 8.0);
+        let q = DiscoveryQuery::new("audio-player").with_desired_qos(
+            QosVector::new()
+                .with(D::Format, QosValue::token("MPEG"))
+                .with(D::FrameRate, QosValue::exact(30.0)),
+        );
+        let s = score(&d, &q).unwrap();
+        assert!(s > 0.4 && s < 0.6, "half the desired dims match: {s}");
+    }
+
+    #[test]
+    fn lighter_instance_wins_ties() {
+        let light = player(&["WAV"], (10.0, 40.0), 4.0);
+        let heavy = player(&["WAV"], (10.0, 40.0), 400.0);
+        let q = DiscoveryQuery::new("audio-player");
+        assert!(score(&light, &q).unwrap() > score(&heavy, &q).unwrap());
+    }
+
+    #[test]
+    fn unconstrained_query_scores_high_for_any_eligible() {
+        let d = player(&["JPEG"], (1.0, 2.0), 1.0);
+        let q = DiscoveryQuery::new("audio-player");
+        assert!(score(&d, &q).unwrap() > 0.9);
+    }
+}

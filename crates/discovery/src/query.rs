@@ -1,0 +1,96 @@
+//! Discovery queries.
+
+use crate::descriptor::DeviceProperties;
+use crate::domain::DomainId;
+use serde::{Deserialize, Serialize};
+use ubiqos_model::QosVector;
+
+/// A query against the [`crate::ServiceRegistry`].
+///
+/// Carries the abstract service type, the desired output QoS (derived from
+/// the abstract spec plus the user's QoS requirements), the client
+/// device's properties, and an optional domain scope. Matching semantics
+/// live in [`crate::matching`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryQuery {
+    /// The abstract service type requested, e.g. `"audio-player"`.
+    pub service_type: String,
+    /// QoS the instance's output should be able to provide.
+    pub desired_qos: QosVector,
+    /// Properties of the device the service would run on (used when the
+    /// service is constrained to the client device).
+    pub client: DeviceProperties,
+    /// Whether the instance must be able to run on `client` (true for
+    /// client-pinned specs such as players and displays).
+    pub must_fit_client: bool,
+    /// Domain to search; `None` searches globally.
+    pub domain: Option<DomainId>,
+}
+
+impl DiscoveryQuery {
+    /// Creates a query for a service type with no QoS or device
+    /// constraints, searched globally.
+    pub fn new(service_type: impl Into<String>) -> Self {
+        DiscoveryQuery {
+            service_type: service_type.into(),
+            desired_qos: QosVector::new(),
+            client: DeviceProperties::unconstrained(),
+            must_fit_client: false,
+            domain: None,
+        }
+    }
+
+    /// Sets the desired output QoS.
+    #[must_use]
+    pub fn with_desired_qos(mut self, qos: QosVector) -> Self {
+        self.desired_qos = qos;
+        self
+    }
+
+    /// Requires the instance to fit the given client device.
+    #[must_use]
+    pub fn on_client(mut self, client: DeviceProperties) -> Self {
+        self.client = client;
+        self.must_fit_client = true;
+        self
+    }
+
+    /// Scopes the search to a domain (and, during registry lookup, its
+    /// ancestors).
+    #[must_use]
+    pub fn in_domain(mut self, domain: DomainId) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::{QosDimension, QosValue};
+
+    #[test]
+    fn builder_chain() {
+        let q = DiscoveryQuery::new("video-player")
+            .with_desired_qos(
+                QosVector::new().with(QosDimension::FrameRate, QosValue::range(10.0, 30.0)),
+            )
+            .on_client(DeviceProperties {
+                screen_pixels: 320.0 * 240.0,
+                compute_factor: 0.4,
+            })
+            .in_domain(DomainId::from_index(1));
+        assert_eq!(q.service_type, "video-player");
+        assert!(q.must_fit_client);
+        assert_eq!(q.domain, Some(DomainId::from_index(1)));
+        assert_eq!(q.desired_qos.dim(), 1);
+    }
+
+    #[test]
+    fn default_query_is_unconstrained() {
+        let q = DiscoveryQuery::new("x");
+        assert!(!q.must_fit_client);
+        assert_eq!(q.domain, None);
+        assert!(q.desired_qos.is_empty());
+    }
+}

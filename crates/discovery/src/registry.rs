@@ -1,0 +1,258 @@
+//! The per-smart-space service registry.
+
+use crate::descriptor::ServiceDescriptor;
+use crate::domain::{Domain, DomainId};
+use crate::matching::{score, Discovered};
+use crate::query::DiscoveryQuery;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Registry of domains and service instances for one smart space.
+///
+/// Lookup is domain-aware: a query scoped to a domain sees instances
+/// registered in that domain *or any of its ancestors* (an office inherits
+/// the building's services), plus globally registered instances. This
+/// models the hierarchical smart-space structure of Section 1.
+///
+/// Registration is dynamic — "many devices and services coming and going
+/// frequently" — so instances can be [`ServiceRegistry::unregister`]ed at
+/// any time, which is what triggers recomposition in the runtime.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServiceRegistry {
+    domains: Vec<Domain>,
+    /// Instances bucketed by service type for O(bucket) discovery.
+    by_type: BTreeMap<String, Vec<ServiceDescriptor>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a domain to the hierarchy, returning its id.
+    pub fn add_domain(&mut self, name: impl Into<String>, parent: Option<DomainId>) -> DomainId {
+        let id = DomainId::from_index(self.domains.len());
+        self.domains.push(Domain::new(name, parent));
+        id
+    }
+
+    /// Borrows a domain.
+    pub fn domain(&self, id: DomainId) -> Option<&Domain> {
+        self.domains.get(id.index())
+    }
+
+    /// The number of registered domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Registers a service instance. Re-registering the same
+    /// `instance_id` replaces the previous descriptor.
+    pub fn register(&mut self, descriptor: ServiceDescriptor) {
+        let bucket = self
+            .by_type
+            .entry(descriptor.service_type.clone())
+            .or_default();
+        bucket.retain(|d| d.instance_id != descriptor.instance_id);
+        bucket.push(descriptor);
+    }
+
+    /// Removes an instance by id, returning it if it was registered.
+    pub fn unregister(&mut self, instance_id: &str) -> Option<ServiceDescriptor> {
+        for bucket in self.by_type.values_mut() {
+            if let Some(pos) = bucket.iter().position(|d| d.instance_id == instance_id) {
+                return Some(bucket.remove(pos));
+            }
+        }
+        None
+    }
+
+    /// Removes every instance registered in `domain` (e.g. the user left
+    /// the room and its devices went out of scope). Returns how many were
+    /// removed.
+    pub fn unregister_domain(&mut self, domain: DomainId) -> usize {
+        let mut removed = 0;
+        for bucket in self.by_type.values_mut() {
+            let before = bucket.len();
+            bucket.retain(|d| d.domain != Some(domain));
+            removed += before - bucket.len();
+        }
+        removed
+    }
+
+    /// The number of registered instances.
+    pub fn instance_count(&self) -> usize {
+        self.by_type.values().map(Vec::len).sum()
+    }
+
+    /// Finds the instance closest to the query, or `None` when nothing
+    /// eligible is registered ("it is possible that no discovered
+    /// component is returned for a particular service").
+    pub fn discover(&self, query: &DiscoveryQuery) -> Option<Discovered> {
+        self.discover_all(query).into_iter().next()
+    }
+
+    /// All eligible instances, best first (score descending, instance id
+    /// ascending for determinism).
+    pub fn discover_all(&self, query: &DiscoveryQuery) -> Vec<Discovered> {
+        let Some(bucket) = self.by_type.get(&query.service_type) else {
+            return Vec::new();
+        };
+        let mut hits: Vec<Discovered> = bucket
+            .iter()
+            .filter(|d| self.visible_from(d.domain, query.domain))
+            .filter_map(|d| {
+                score(d, query).map(|s| Discovered {
+                    descriptor: d.clone(),
+                    score: s,
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.descriptor.instance_id.cmp(&b.descriptor.instance_id))
+        });
+        hits
+    }
+
+    /// Whether an instance in `instance_domain` is visible to a query
+    /// scoped to `query_domain`.
+    ///
+    /// Global instances (`None`) are visible everywhere; a global query
+    /// sees everything; otherwise the instance's domain must be the query
+    /// domain or one of its ancestors.
+    fn visible_from(&self, instance_domain: Option<DomainId>, query_domain: Option<DomainId>) -> bool {
+        match (instance_domain, query_domain) {
+            (None, _) | (_, None) => true,
+            (Some(inst), Some(query)) => {
+                let mut cursor = Some(query);
+                while let Some(d) = cursor {
+                    if d == inst {
+                        return true;
+                    }
+                    cursor = self.domains.get(d.index()).and_then(|dom| dom.parent);
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::{QosDimension as D, QosValue, QosVector};
+
+    fn desc(id: &str, ty: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, ty, ServiceComponent::builder(ty).build())
+    }
+
+    fn registry_with_hierarchy() -> (ServiceRegistry, DomainId, DomainId, DomainId) {
+        let mut r = ServiceRegistry::new();
+        let campus = r.add_domain("campus", None);
+        let building = r.add_domain("building", Some(campus));
+        let office = r.add_domain("office", Some(building));
+        (r, campus, building, office)
+    }
+
+    #[test]
+    fn register_discover_unregister() {
+        let mut r = ServiceRegistry::new();
+        r.register(desc("a1", "audio-server"));
+        assert_eq!(r.instance_count(), 1);
+        let hit = r.discover(&DiscoveryQuery::new("audio-server")).unwrap();
+        assert_eq!(hit.descriptor.instance_id, "a1");
+        assert!(r.discover(&DiscoveryQuery::new("video-server")).is_none());
+        assert!(r.unregister("a1").is_some());
+        assert!(r.unregister("a1").is_none());
+        assert_eq!(r.instance_count(), 0);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut r = ServiceRegistry::new();
+        r.register(desc("a1", "audio-server").with_code_size_mb(1.0));
+        r.register(desc("a1", "audio-server").with_code_size_mb(9.0));
+        assert_eq!(r.instance_count(), 1);
+        let hit = r.discover(&DiscoveryQuery::new("audio-server")).unwrap();
+        assert_eq!(hit.descriptor.code_size_mb, 9.0);
+    }
+
+    #[test]
+    fn hierarchical_visibility() {
+        let (mut r, campus, building, office) = registry_with_hierarchy();
+        r.register(desc("in-campus", "printer").in_domain(campus));
+        r.register(desc("in-office", "printer").in_domain(office));
+
+        // Query from the office sees both (campus is an ancestor).
+        let from_office = r.discover_all(&DiscoveryQuery::new("printer").in_domain(office));
+        assert_eq!(from_office.len(), 2);
+
+        // Query from the building sees only the campus instance.
+        let from_building = r.discover_all(&DiscoveryQuery::new("printer").in_domain(building));
+        assert_eq!(from_building.len(), 1);
+        assert_eq!(from_building[0].descriptor.instance_id, "in-campus");
+
+        // A global query sees everything.
+        let global = r.discover_all(&DiscoveryQuery::new("printer"));
+        assert_eq!(global.len(), 2);
+    }
+
+    #[test]
+    fn unregister_domain_drops_departed_devices() {
+        let (mut r, _, _, office) = registry_with_hierarchy();
+        r.register(desc("x", "cam").in_domain(office));
+        r.register(desc("y", "cam").in_domain(office));
+        r.register(desc("z", "cam"));
+        assert_eq!(r.unregister_domain(office), 2);
+        assert_eq!(r.instance_count(), 1);
+    }
+
+    #[test]
+    fn best_match_ordering_prefers_qos_over_registration_order() {
+        let mut r = ServiceRegistry::new();
+        // A JPEG player registered first, a WAV player second.
+        r.register(ServiceDescriptor::new(
+            "jpeg-player",
+            "audio-player",
+            ServiceComponent::builder("audio-player")
+                .qos_out(QosVector::new().with(D::Format, QosValue::token("JPEG")))
+                .build(),
+        ));
+        r.register(ServiceDescriptor::new(
+            "wav-player",
+            "audio-player",
+            ServiceComponent::builder("audio-player")
+                .qos_out(QosVector::new().with(D::Format, QosValue::token("WAV")))
+                .build(),
+        ));
+        let q = DiscoveryQuery::new("audio-player")
+            .with_desired_qos(QosVector::new().with(D::Format, QosValue::token("WAV")));
+        let hits = r.discover_all(&q);
+        assert_eq!(hits[0].descriptor.instance_id, "wav-player");
+        assert_eq!(hits.len(), 2, "imperfect matches are still returned");
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_instance_id() {
+        let mut r = ServiceRegistry::new();
+        r.register(desc("b", "x"));
+        r.register(desc("a", "x"));
+        let hits = r.discover_all(&DiscoveryQuery::new("x"));
+        assert_eq!(hits[0].descriptor.instance_id, "a");
+    }
+
+    #[test]
+    fn domain_accessors() {
+        let (r, campus, _, office) = registry_with_hierarchy();
+        assert_eq!(r.domain_count(), 3);
+        assert_eq!(r.domain(campus).unwrap().name, "campus");
+        assert!(r.domain(office).unwrap().parent.is_some());
+        assert!(r.domain(DomainId::from_index(99)).is_none());
+    }
+}

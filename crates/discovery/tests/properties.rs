@@ -1,0 +1,148 @@
+//! Property-based tests for the discovery registry.
+
+use proptest::prelude::*;
+use ubiqos_discovery::{DiscoveryQuery, DomainId, ServiceDescriptor, ServiceRegistry};
+use ubiqos_graph::ServiceComponent;
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
+
+fn descriptor(id: usize, ty: u8, mem: f64, fmt: &str) -> ServiceDescriptor {
+    ServiceDescriptor::new(
+        format!("inst-{id}"),
+        format!("type-{ty}"),
+        ServiceComponent::builder(format!("type-{ty}"))
+            .qos_out(QosVector::new().with(QosDimension::Format, QosValue::token(fmt)))
+            .resources(ResourceVector::mem_cpu(mem, 10.0))
+            .build(),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Register { ty: u8, mem: f64, fmt: bool },
+    Unregister(usize),
+    UnregisterDomain(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..4, 1.0f64..200.0, prop::bool::ANY)
+            .prop_map(|(ty, mem, fmt)| Op::Register { ty, mem, fmt }),
+        1 => (0usize..64).prop_map(Op::Unregister),
+        1 => (0u8..3).prop_map(Op::UnregisterDomain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Instance counting stays consistent under arbitrary register /
+    /// unregister sequences, and discovery results are always sorted.
+    #[test]
+    fn registry_bookkeeping_is_consistent(ops in proptest::collection::vec(arb_op(), 1..50)) {
+        let mut registry = ServiceRegistry::new();
+        let d0 = registry.add_domain("a", None);
+        let d1 = registry.add_domain("b", Some(d0));
+        let d2 = registry.add_domain("c", Some(d1));
+        let domains = [d0, d1, d2];
+        let mut next_id = 0usize;
+        let mut live: Vec<(usize, u8)> = Vec::new();
+        let mut live_domains: Vec<Option<DomainId>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Register { ty, mem, fmt } => {
+                    let id = next_id;
+                    next_id += 1;
+                    let domain = domains.get(id % 4).copied();
+                    let mut d = descriptor(id, ty, mem, if fmt { "MPEG" } else { "WAV" });
+                    if let Some(dom) = domain {
+                        d = d.in_domain(dom);
+                    }
+                    registry.register(d);
+                    live.push((id, ty));
+                    live_domains.push(domain);
+                }
+                Op::Unregister(pick) => {
+                    if !live.is_empty() {
+                        let idx = pick % live.len();
+                        let (id, _) = live.remove(idx);
+                        live_domains.remove(idx);
+                        let instance_id = format!("inst-{id}");
+                        prop_assert!(registry.unregister(&instance_id).is_some());
+                    }
+                }
+                Op::UnregisterDomain(which) => {
+                    let dom = domains[which as usize];
+                    let expect = live_domains.iter().filter(|d| **d == Some(dom)).count();
+                    let removed = registry.unregister_domain(dom);
+                    prop_assert_eq!(removed, expect);
+                    let keep: Vec<bool> = live_domains.iter().map(|d| *d != Some(dom)).collect();
+                    let mut it = keep.iter();
+                    live.retain(|_| *it.next().unwrap());
+                    let mut it = keep.iter();
+                    live_domains.retain(|_| *it.next().unwrap());
+                }
+            }
+            prop_assert_eq!(registry.instance_count(), live.len());
+            // Global discovery per type sees exactly the live instances of
+            // that type, best-first.
+            for ty in 0u8..4 {
+                let hits = registry.discover_all(&DiscoveryQuery::new(format!("type-{ty}")));
+                let expected = live.iter().filter(|&&(_, t)| t == ty).count();
+                prop_assert_eq!(hits.len(), expected);
+                for pair in hits.windows(2) {
+                    prop_assert!(pair[0].score >= pair[1].score - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Domain visibility is monotone along the ancestry chain: anything a
+    /// parent-scoped query sees, a child-scoped query sees too.
+    #[test]
+    fn visibility_is_monotone_down_the_hierarchy(
+        placements in proptest::collection::vec(0usize..4, 1..20)
+    ) {
+        let mut registry = ServiceRegistry::new();
+        let root = registry.add_domain("root", None);
+        let mid = registry.add_domain("mid", Some(root));
+        let leaf = registry.add_domain("leaf", Some(mid));
+        let domains = [None, Some(root), Some(mid), Some(leaf)];
+        for (i, &p) in placements.iter().enumerate() {
+            let mut d = descriptor(i, 0, 4.0, "WAV");
+            if let Some(dom) = domains[p] {
+                d = d.in_domain(dom);
+            }
+            registry.register(d);
+        }
+        let count = |domain: Option<DomainId>| {
+            let mut q = DiscoveryQuery::new("type-0");
+            if let Some(d) = domain {
+                q = q.in_domain(d);
+            }
+            registry.discover_all(&q).len()
+        };
+        prop_assert!(count(Some(root)) <= count(Some(mid)));
+        prop_assert!(count(Some(mid)) <= count(Some(leaf)));
+        prop_assert!(count(Some(leaf)) <= count(None), "global sees everything");
+        prop_assert_eq!(count(None), placements.len());
+    }
+
+    /// The matcher's footprint tie-break is stable: among equally-matching
+    /// candidates, discovery prefers lighter instances.
+    #[test]
+    fn lighter_instances_rank_first_on_ties(mems in proptest::collection::vec(1.0f64..500.0, 2..10)) {
+        let mut registry = ServiceRegistry::new();
+        for (i, &mem) in mems.iter().enumerate() {
+            registry.register(descriptor(i, 0, mem, "WAV"));
+        }
+        let hits = registry.discover_all(&DiscoveryQuery::new("type-0"));
+        let got: Vec<f64> = hits
+            .iter()
+            .map(|h| h.descriptor.prototype.resources()[0])
+            .collect();
+        let mut sorted = got.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got, sorted);
+    }
+}

@@ -1,0 +1,142 @@
+//! Devices of the ubiquitous environment.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_model::{ModelError, Normalizer, ResourceVector};
+
+/// Coarse device classes, used for reporting and for the runtime's
+/// scenario scripts (the paper's testbed mixes workstations, PCs, laptops,
+/// and PDAs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// Sun Ultra-60 class workstation / proxy host.
+    Workstation,
+    /// Desktop PC (the paper's Pentium III 900).
+    Desktop,
+    /// Laptop — the paper's *benchmark machine* for normalization.
+    Laptop,
+    /// Handheld (HP Jornada class).
+    Pda,
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Workstation => f.write_str("workstation"),
+            DeviceClass::Desktop => f.write_str("desktop"),
+            DeviceClass::Laptop => f.write_str("laptop"),
+            DeviceClass::Pda => f.write_str("pda"),
+        }
+    }
+}
+
+/// One device with its *normalized* resource availability vector `RA`.
+///
+/// Availabilities are in benchmark-machine units (Section 3.3); construct
+/// from device-local measurements with [`Device::from_local`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    name: String,
+    class: DeviceClass,
+    availability: ResourceVector,
+}
+
+impl Device {
+    /// Creates a device from an already-normalized availability vector.
+    pub fn new(name: impl Into<String>, availability: ResourceVector) -> Self {
+        Device {
+            name: name.into(),
+            class: DeviceClass::Desktop,
+            availability,
+        }
+    }
+
+    /// Creates a device from *device-local* measurements and its
+    /// normalizer, applying the Section 3.3 normalization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the normalizer.
+    pub fn from_local(
+        name: impl Into<String>,
+        local: &ResourceVector,
+        normalizer: &Normalizer,
+    ) -> Result<Self, ModelError> {
+        Ok(Device {
+            name: name.into(),
+            class: DeviceClass::Desktop,
+            availability: normalizer.normalize_availability(local)?,
+        })
+    }
+
+    /// Sets the device class (builder style).
+    #[must_use]
+    pub fn with_class(mut self, class: DeviceClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// The device's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device's class.
+    pub fn class(&self) -> DeviceClass {
+        self.class
+    }
+
+    /// The normalized availability vector `RA`.
+    pub fn availability(&self) -> &ResourceVector {
+        &self.availability
+    }
+
+    /// Replaces the availability vector (resource fluctuation, admission
+    /// accounting).
+    pub fn set_availability(&mut self, availability: ResourceVector) {
+        self.availability = availability;
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, RA={})", self.name, self.class, self.availability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_construction_matches_paper_example() {
+        let laptop_benchmark = Normalizer::new(vec![1.0, 0.4]).unwrap();
+        let pda = Device::from_local(
+            "jornada",
+            &ResourceVector::mem_cpu(32.0, 100.0),
+            &laptop_benchmark,
+        )
+        .unwrap()
+        .with_class(DeviceClass::Pda);
+        assert_eq!(pda.availability().amounts(), &[32.0, 40.0]);
+        assert_eq!(pda.class(), DeviceClass::Pda);
+        assert_eq!(pda.name(), "jornada");
+    }
+
+    #[test]
+    fn availability_mutation() {
+        let mut d = Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0));
+        d.set_availability(ResourceVector::mem_cpu(128.0, 150.0));
+        assert_eq!(d.availability().amounts(), &[128.0, 150.0]);
+    }
+
+    #[test]
+    fn display_includes_name_class_availability() {
+        let d = Device::new("pc", ResourceVector::mem_cpu(1.0, 2.0))
+            .with_class(DeviceClass::Workstation);
+        let s = d.to_string();
+        assert!(s.contains("pc"));
+        assert!(s.contains("workstation"));
+        assert!(s.contains("1.00"));
+    }
+}

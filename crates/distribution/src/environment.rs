@@ -1,0 +1,239 @@
+//! The device environment a service graph is distributed over.
+
+use crate::device::Device;
+use crate::network::BandwidthMatrix;
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::{Cut, ServiceGraph};
+use ubiqos_model::ModelError;
+
+/// A snapshot of the `k` currently available devices and the bandwidth
+/// between them.
+///
+/// Availabilities are *current* (residual) capacities: the Figure 5
+/// simulation charges each admitted application against the environment
+/// with [`Environment::charge_cut`] and refunds it on departure with
+/// [`Environment::refund_cut`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    devices: Vec<Device>,
+    bandwidth: BandwidthMatrix,
+}
+
+impl Environment {
+    /// Starts building an environment.
+    pub fn builder() -> EnvironmentBuilder {
+        EnvironmentBuilder {
+            devices: Vec::new(),
+            default_bandwidth: 10.0,
+            links: Vec::new(),
+        }
+    }
+
+    /// The number of devices `k`.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Borrows a device by index.
+    pub fn device(&self, index: usize) -> Option<&Device> {
+        self.devices.get(index)
+    }
+
+    /// Mutably borrows a device by index.
+    pub fn device_mut(&mut self, index: usize) -> Option<&mut Device> {
+        self.devices.get_mut(index)
+    }
+
+    /// All devices in index order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The bandwidth matrix.
+    pub fn bandwidth(&self) -> &BandwidthMatrix {
+        &self.bandwidth
+    }
+
+    /// Mutable access to the bandwidth matrix (e.g. link fluctuation).
+    pub fn bandwidth_mut(&mut self) -> &mut BandwidthMatrix {
+        &mut self.bandwidth
+    }
+
+    /// Charges a placed application against the environment: subtracts
+    /// every part's resource sum from its device's availability and every
+    /// cut edge's throughput from its link's bandwidth (both clamped at
+    /// zero).
+    ///
+    /// Bandwidth is a *shared pool*: an application whose cut crosses the
+    /// 5 Mbps wireless link leaves less of it for the next application —
+    /// which is precisely why low-cost (low-crossing) placements admit
+    /// more concurrent applications in the Figure 5 experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::DimensionMismatch`] from vector
+    /// arithmetic.
+    pub fn charge_cut(&mut self, graph: &ServiceGraph, cut: &Cut) -> Result<(), ModelError> {
+        for part in 0..cut.parts().min(self.devices.len()) {
+            let used = cut.part_resource_sum(graph, part)?;
+            let device = &mut self.devices[part];
+            let rest = device.availability().saturating_sub(&used)?;
+            device.set_availability(rest);
+        }
+        self.adjust_bandwidth(graph, cut, -1.0);
+        Ok(())
+    }
+
+    /// Refunds a previously charged application (application departure).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::DimensionMismatch`] from vector
+    /// arithmetic.
+    pub fn refund_cut(&mut self, graph: &ServiceGraph, cut: &Cut) -> Result<(), ModelError> {
+        for part in 0..cut.parts().min(self.devices.len()) {
+            let used = cut.part_resource_sum(graph, part)?;
+            let device = &mut self.devices[part];
+            let back = device.availability().checked_add(&used)?;
+            device.set_availability(back);
+        }
+        self.adjust_bandwidth(graph, cut, 1.0);
+        Ok(())
+    }
+
+    /// Applies `sign * crossing-throughput` to every device pair's
+    /// bandwidth, clamping at zero.
+    fn adjust_bandwidth(&mut self, graph: &ServiceGraph, cut: &Cut, sign: f64) {
+        let t = cut.inter_part_throughput(graph);
+        let k = cut.parts().min(self.bandwidth.device_count());
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let used = t[i][j] + t[j][i];
+                if used > 0.0 {
+                    let current = self.bandwidth.get(i, j);
+                    if current.is_finite() {
+                        self.bandwidth.set(i, j, (current + sign * used).max(0.0));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`Environment`] (see [`Environment::builder`]).
+#[derive(Debug, Clone)]
+pub struct EnvironmentBuilder {
+    devices: Vec<Device>,
+    default_bandwidth: f64,
+    links: Vec<(usize, usize, f64)>,
+}
+
+impl EnvironmentBuilder {
+    /// Adds a device.
+    #[must_use]
+    pub fn device(mut self, device: Device) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Sets the default bandwidth for every pair not configured with
+    /// [`EnvironmentBuilder::link_mbps`] (default: 10 Mbps).
+    #[must_use]
+    pub fn default_bandwidth_mbps(mut self, mbps: f64) -> Self {
+        self.default_bandwidth = mbps;
+        self
+    }
+
+    /// Overrides the bandwidth of one device pair.
+    #[must_use]
+    pub fn link_mbps(mut self, i: usize, j: usize, mbps: f64) -> Self {
+        self.links.push((i, j, mbps));
+        self
+    }
+
+    /// Builds the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured link references a device index out of
+    /// range (programming error in scenario setup).
+    pub fn build(self) -> Environment {
+        let mut bandwidth = BandwidthMatrix::uniform(self.devices.len(), self.default_bandwidth);
+        for (i, j, mbps) in self.links {
+            bandwidth.set(i, j, mbps);
+        }
+        Environment {
+            devices: self.devices,
+            bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::ResourceVector;
+
+    /// The Figure 5 environment: desktop, laptop, PDA.
+    fn fig5_env() -> Environment {
+        Environment::builder()
+            .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("laptop", ResourceVector::mem_cpu(128.0, 100.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
+            .default_bandwidth_mbps(5.0)
+            .link_mbps(0, 1, 50.0)
+            .build()
+    }
+
+    #[test]
+    fn builder_constructs_fig5_topology() {
+        let env = fig5_env();
+        assert_eq!(env.device_count(), 3);
+        assert_eq!(env.bandwidth().get(0, 1), 50.0);
+        assert_eq!(env.bandwidth().get(0, 2), 5.0);
+        assert_eq!(env.bandwidth().get(1, 2), 5.0);
+        assert_eq!(env.device(1).unwrap().name(), "laptop");
+        assert!(env.device(9).is_none());
+    }
+
+    #[test]
+    fn charge_and_refund_roundtrip() {
+        let mut env = fig5_env();
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("a")
+                .resources(ResourceVector::mem_cpu(100.0, 100.0))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("b")
+                .resources(ResourceVector::mem_cpu(16.0, 25.0))
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let cut = Cut::from_assignment(&g, vec![0, 2], 3).unwrap();
+
+        env.charge_cut(&g, &cut).unwrap();
+        assert_eq!(env.device(0).unwrap().availability().amounts(), &[156.0, 200.0]);
+        assert_eq!(env.device(1).unwrap().availability().amounts(), &[128.0, 100.0]);
+        assert_eq!(env.device(2).unwrap().availability().amounts(), &[16.0, 25.0]);
+
+        env.refund_cut(&g, &cut).unwrap();
+        assert_eq!(env, fig5_env());
+    }
+
+    #[test]
+    fn charge_clamps_at_zero() {
+        let mut env = fig5_env();
+        let mut g = ServiceGraph::new();
+        g.add_component(
+            ServiceComponent::builder("huge")
+                .resources(ResourceVector::mem_cpu(1000.0, 1000.0))
+                .build(),
+        );
+        let cut = Cut::from_assignment(&g, vec![2], 3).unwrap();
+        env.charge_cut(&g, &cut).unwrap();
+        assert!(env.device(2).unwrap().availability().is_zero());
+    }
+}

@@ -1,0 +1,97 @@
+//! Errors for the distribution tier.
+
+use std::error::Error;
+use std::fmt;
+use ubiqos_graph::GraphError;
+use ubiqos_model::ModelError;
+
+/// Errors produced by service distribution algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributionError {
+    /// No k-cut satisfying the fit-into constraints exists (or the
+    /// algorithm could not find one) — the configuration request fails.
+    Infeasible {
+        /// Human-readable reason (which constraint could not be met).
+        reason: String,
+    },
+    /// The environment has no devices.
+    NoDevices,
+    /// A component is pinned to a device index outside the environment.
+    InvalidPin {
+        /// The out-of-range device index.
+        device_index: usize,
+        /// The number of devices in the environment.
+        device_count: usize,
+    },
+    /// Underlying model arithmetic error (dimension mismatches).
+    Model(ModelError),
+    /// Underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::Infeasible { reason } => {
+                write!(f, "no feasible distribution: {reason}")
+            }
+            DistributionError::NoDevices => write!(f, "environment has no devices"),
+            DistributionError::InvalidPin {
+                device_index,
+                device_count,
+            } => write!(
+                f,
+                "component pinned to device {device_index} but only {device_count} devices exist"
+            ),
+            DistributionError::Model(e) => write!(f, "model error: {e}"),
+            DistributionError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for DistributionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DistributionError::Model(e) => Some(e),
+            DistributionError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for DistributionError {
+    fn from(e: ModelError) -> Self {
+        DistributionError::Model(e)
+    }
+}
+
+impl From<GraphError> for DistributionError {
+    fn from(e: GraphError) -> Self {
+        DistributionError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let infeasible = DistributionError::Infeasible {
+            reason: "pda memory exhausted".into(),
+        };
+        assert!(infeasible.to_string().contains("pda memory exhausted"));
+        assert!(infeasible.source().is_none());
+
+        let model = DistributionError::from(ModelError::EmptyWeights);
+        assert!(model.source().is_some());
+        assert!(model.to_string().contains("model error"));
+
+        let pin = DistributionError::InvalidPin {
+            device_index: 5,
+            device_count: 2,
+        };
+        assert!(pin.to_string().contains('5'));
+        assert!(DistributionError::NoDevices.to_string().contains("no devices"));
+    }
+}

@@ -1,0 +1,487 @@
+//! The paper's polynomial greedy heuristic for the OSD problem
+//! (Section 3.3).
+//!
+//! > "(1) insert those service components, that cannot be instantiated
+//! > arbitrarily, into their proper devices; (2) repeat sorting the k
+//! > available devices in decreasing order of their resource
+//! > availabilities and insert the next chosen service component to the
+//! > current head of the sorted device list … If the head device contains
+//! > a service component A, then the next chosen component is A's
+//! > neighbor, which has the largest resource requirements. … If the head
+//! > device is empty, then the next chosen service component is the one
+//! > which has the largest resource requirements among all remaining
+//! > service components."
+//!
+//! Both "resource availability" and "resource requirement" are weighted
+//! sums over resource types (footnote 3). Clustering a component with its
+//! already-placed neighbors keeps heavy edges off the network, and leading
+//! with the most-available device balances end-system load — the ablation
+//! flags disable each ingredient separately.
+
+use crate::algorithm::{seed_with_pins, ServiceDistributor};
+use crate::error::DistributionError;
+use crate::problem::OsdProblem;
+use ubiqos_graph::{ComponentId, Cut};
+
+/// The greedy clustering heuristic, with ablation switches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreedyHeuristic {
+    name: String,
+    /// Re-sort devices by residual availability before every placement
+    /// (the paper's behaviour). When false, devices are visited in fixed
+    /// index order — the `heuristic_unsorted` ablation.
+    resort_devices: bool,
+    /// Prefer unassigned neighbors of the head device's cluster (the
+    /// paper's behaviour). When false, always take the globally heaviest
+    /// unassigned component — the `heuristic_nomerge` ablation.
+    cluster_adjacency: bool,
+}
+
+impl GreedyHeuristic {
+    /// The algorithm exactly as the paper describes it.
+    pub fn paper() -> Self {
+        GreedyHeuristic {
+            name: "heuristic".into(),
+            resort_devices: true,
+            cluster_adjacency: true,
+        }
+    }
+
+    /// Ablation: never re-sorts the device list.
+    pub fn without_device_resort() -> Self {
+        GreedyHeuristic {
+            name: "heuristic-unsorted".into(),
+            resort_devices: false,
+            cluster_adjacency: true,
+        }
+    }
+
+    /// Ablation: ignores cluster adjacency when choosing the next
+    /// component.
+    pub fn without_cluster_adjacency() -> Self {
+        GreedyHeuristic {
+            name: "heuristic-nomerge".into(),
+            resort_devices: true,
+            cluster_adjacency: false,
+        }
+    }
+}
+
+impl Default for GreedyHeuristic {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl ServiceDistributor for GreedyHeuristic {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn distribute(&mut self, problem: &OsdProblem<'_>) -> Result<Cut, DistributionError> {
+        let graph = problem.graph();
+        let env = problem.env();
+        let k = env.device_count();
+
+        // Scalarization weights for "largest availability / largest
+        // requirement" (footnote 3). The paper assigns "higher weights for
+        // more critical resources"; criticalness here is measured as the
+        // instance's aggregate demand/supply ratio per resource type, so
+        // the scarce dimension dominates the ordering. The user's cost
+        // weights scale the ratios, keeping deliberate priorities in play.
+        let weights: Vec<f64> = {
+            let dim = problem.weights().resource_dim();
+            let mut demand = vec![0.0; dim];
+            let mut supply = vec![0.0; dim];
+            for (_, c) in graph.components() {
+                for i in 0..dim {
+                    demand[i] += c.resources().get(i).unwrap_or(0.0);
+                }
+            }
+            for d in env.devices() {
+                for i in 0..dim {
+                    supply[i] += d.availability().get(i).unwrap_or(0.0);
+                }
+            }
+            problem
+                .weights()
+                .resource()
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    if supply[i] > 0.0 && demand[i] > 0.0 {
+                        w * demand[i] / supply[i]
+                    } else {
+                        w
+                    }
+                })
+                .collect()
+        };
+        let weights = weights.as_slice();
+
+        let (mut assignment, mut residual) = seed_with_pins(problem)?;
+        let weight_of = |id: ComponentId| -> f64 {
+            graph
+                .component(id)
+                .expect("component ids are dense")
+                .resources()
+                .weighted_sum(weights)
+        };
+
+        let mut unassigned: Vec<ComponentId> = graph
+            .component_ids()
+            .filter(|id| assignment[id.index()].is_none())
+            .collect();
+
+        // Crossing throughput accumulated per ordered device pair,
+        // including edges among pinned components.
+        let mut crossing = vec![vec![0.0; k]; k];
+        for e in graph.edges() {
+            if let (Some(i), Some(j)) = (
+                assignment[e.from.index()],
+                assignment[e.to.index()],
+            ) {
+                if i != j {
+                    crossing[i][j] += e.throughput;
+                }
+            }
+        }
+
+        // Definition 3.4 fit check for placing `c` on `d`: end-system
+        // resources within the residual, and every edge to an
+        // already-placed neighbor within the remaining link bandwidth.
+        let fits = |c: ComponentId,
+                    d: usize,
+                    residual: &[ubiqos_model::ResourceVector],
+                    assignment: &[Option<usize>],
+                    crossing: &[Vec<f64>]|
+         -> bool {
+            let component = graph.component(c).expect("dense ids");
+            if !component.resources().fits_within(&residual[d]) {
+                return false;
+            }
+            let mut extra = vec![vec![0.0; k]; k];
+            for &p in graph.predecessors(c) {
+                if let Some(pd) = assignment[p.index()] {
+                    if pd != d {
+                        extra[pd][d] += graph.edge_throughput(p, c).expect("edge exists");
+                    }
+                }
+            }
+            for &s in graph.successors(c) {
+                if let Some(sd) = assignment[s.index()] {
+                    if sd != d {
+                        extra[d][sd] += graph.edge_throughput(c, s).expect("edge exists");
+                    }
+                }
+            }
+            // Shared-medium semantics: both directions draw from one pool
+            // (matches `OsdProblem::fits`).
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    let added = extra[i][j] + extra[j][i];
+                    if added > 0.0
+                        && crossing[i][j] + crossing[j][i] + added
+                            > problem.env().bandwidth().get(i, j) + ubiqos_model::EPSILON
+                    {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+
+        while !unassigned.is_empty() {
+            // Device visiting order: most weighted residual availability
+            // first (stable tie-break by index for determinism).
+            let mut order: Vec<usize> = (0..k).collect();
+            if self.resort_devices {
+                let device_weights = problem.weights().resource();
+                order.sort_by(|&a, &b| {
+                    residual[b]
+                        .weighted_sum(device_weights)
+                        .partial_cmp(&residual[a].weighted_sum(device_weights))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+
+            // Choose the next component relative to the *head* device:
+            // the heaviest unassigned neighbor of its cluster, or — when
+            // the head is empty (or cluster adjacency is ablated) — the
+            // globally heaviest unassigned component.
+            let head = order[0];
+            let cluster_neighbor = if self.cluster_adjacency {
+                heaviest_cluster_neighbor(graph, &assignment, &unassigned, head, &weight_of)
+            } else {
+                None
+            };
+            let c = cluster_neighbor
+                .or_else(|| heaviest(&unassigned, &weight_of))
+                .expect("unassigned is non-empty");
+
+            // Insert it into the head device, or — when it does not fit
+            // there — the next device in availability order that takes it.
+            // Residuals only ever shrink, so a component that fits no
+            // device now never will: the request is unsuccessful.
+            let Some(&d) = order
+                .iter()
+                .find(|&&d| fits(c, d, &residual, &assignment, &crossing))
+            else {
+                return Err(DistributionError::Infeasible {
+                    reason: format!(
+                        "component {} fits no remaining device capacity",
+                        graph.component(c).expect("dense ids").name()
+                    ),
+                });
+            };
+            residual[d] = residual[d].saturating_sub(
+                graph.component(c).expect("dense ids").resources(),
+            )?;
+            for &p in graph.predecessors(c) {
+                if let Some(pd) = assignment[p.index()] {
+                    if pd != d {
+                        crossing[pd][d] += graph.edge_throughput(p, c).expect("edge exists");
+                    }
+                }
+            }
+            for &s in graph.successors(c) {
+                if let Some(sd) = assignment[s.index()] {
+                    if sd != d {
+                        crossing[d][sd] += graph.edge_throughput(c, s).expect("edge exists");
+                    }
+                }
+            }
+            assignment[c.index()] = Some(d);
+            unassigned.retain(|&u| u != c);
+        }
+
+        let cut = Cut::from_assignment(
+            graph,
+            assignment.into_iter().map(|a| a.expect("all assigned")).collect(),
+            k,
+        )
+        .expect("assignment is complete and in range");
+
+        // Both halves of Definition 3.4 hold by construction (resources
+        // and link bandwidth are checked at every placement); the final
+        // check also re-verifies pins and guards against arithmetic bugs.
+        if !problem.fits(&cut) {
+            return Err(DistributionError::Infeasible {
+                reason: "placement violates fit-into constraints".into(),
+            });
+        }
+        Ok(cut)
+    }
+}
+
+/// The heaviest component of `candidates` by `weight_of`, ties broken by
+/// smaller id for determinism.
+fn heaviest(
+    candidates: &[ComponentId],
+    weight_of: &impl Fn(ComponentId) -> f64,
+) -> Option<ComponentId> {
+    candidates
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            weight_of(a)
+                .partial_cmp(&weight_of(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a)) // smaller id wins ties under max_by
+        })
+}
+
+/// The heaviest unassigned neighbor (either direction) of any component
+/// already placed on device `d`.
+fn heaviest_cluster_neighbor(
+    graph: &ubiqos_graph::ServiceGraph,
+    assignment: &[Option<usize>],
+    unassigned: &[ComponentId],
+    d: usize,
+    weight_of: &impl Fn(ComponentId) -> f64,
+) -> Option<ComponentId> {
+    let neighbors: Vec<ComponentId> = unassigned
+        .iter()
+        .copied()
+        .filter(|&c| {
+            graph
+                .predecessors(c)
+                .iter()
+                .chain(graph.successors(c))
+                .any(|&n| assignment[n.index()] == Some(d))
+        })
+        .collect();
+    heaviest(&neighbors, weight_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::environment::Environment;
+    use ubiqos_graph::{DeviceId, ServiceComponent, ServiceGraph};
+    use ubiqos_model::{ResourceVector, Weights};
+
+    fn comp(name: &str, mem: f64, cpu: f64) -> ServiceComponent {
+        ServiceComponent::builder(name)
+            .resources(ResourceVector::mem_cpu(mem, cpu))
+            .build()
+    }
+
+    fn pc_pda_env() -> Environment {
+        Environment::builder()
+            .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)))
+            .default_bandwidth_mbps(10.0)
+            .build()
+    }
+
+    #[test]
+    fn places_a_chain_feasibly() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..6)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 20.0, 30.0)))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert!(p.fits(&cut));
+    }
+
+    #[test]
+    fn respects_pins() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("server", 64.0, 80.0));
+        let b = g.add_component(
+            ServiceComponent::builder("player")
+                .resources(ResourceVector::mem_cpu(8.0, 10.0))
+                .pinned_to(DeviceId::from_index(1))
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert_eq!(cut.part_of(b), Some(1));
+        assert!(p.fits(&cut));
+    }
+
+    #[test]
+    fn clusters_neighbors_on_the_big_device() {
+        // Two heavy communicating components easily co-fit on the PC:
+        // the cluster rule must keep them together.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 50.0, 50.0));
+        let b = g.add_component(comp("b", 50.0, 50.0));
+        g.add_edge(a, b, 8.0).unwrap();
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert_eq!(cut.part_of(a), cut.part_of(b), "neighbors merged");
+        assert_eq!(cut.cut_throughput(&g), 0.0);
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        let mut g = ServiceGraph::new();
+        g.add_component(comp("whale", 1000.0, 1000.0));
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        assert!(matches!(
+            GreedyHeuristic::paper().distribute(&p),
+            Err(DistributionError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_violation_reported_infeasible() {
+        // Two components that cannot co-fit anywhere, connected by an edge
+        // thicker than any link.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 200.0, 250.0));
+        let b = g.add_component(comp("b", 200.0, 250.0));
+        g.add_edge(a, b, 100.0).unwrap();
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(256.0, 300.0)))
+            .default_bandwidth_mbps(5.0)
+            .build();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let err = GreedyHeuristic::paper().distribute(&p).unwrap_err();
+        assert!(matches!(err, DistributionError::Infeasible { .. }));
+        // The constraint bites during placement: after one component
+        // lands, the other fits neither the shared device (resources) nor
+        // the remote one (link bandwidth).
+        assert!(err.to_string().contains("fits no remaining device"));
+    }
+
+    #[test]
+    fn empty_graph_distributes_trivially() {
+        let g = ServiceGraph::new();
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert_eq!(cut.len(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 10.0 + i as f64, 10.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 1.0).unwrap();
+        }
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let c1 = GreedyHeuristic::paper().distribute(&p).unwrap();
+        let c2 = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn ablation_variants_also_produce_feasible_cuts() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 15.0, 20.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 0.5).unwrap();
+        }
+        let env = pc_pda_env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        for mut alg in [
+            GreedyHeuristic::without_device_resort(),
+            GreedyHeuristic::without_cluster_adjacency(),
+        ] {
+            let cut = alg.distribute(&p).unwrap();
+            assert!(p.fits(&cut), "{} produced an unfit cut", alg.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(GreedyHeuristic::paper().name(), "heuristic");
+        assert_eq!(
+            GreedyHeuristic::without_device_resort().name(),
+            "heuristic-unsorted"
+        );
+        assert_eq!(
+            GreedyHeuristic::without_cluster_adjacency().name(),
+            "heuristic-nomerge"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! # ubiqos-distribution
+//!
+//! The **service distribution tier** of the *ubiqos* reproduction of Gu &
+//! Nahrstedt, ICDCS 2002 (Section 3.3). Given a QoS-consistent service
+//! graph and the `k` devices currently available to the user, the
+//! distributor finds a k-cut of the graph that
+//!
+//! 1. **fits into** the devices (Definition 3.4): each part's summed
+//!    resource requirement is within its device's availability, and the
+//!    throughput crossing each device pair is within the available
+//!    bandwidth `b(i, j)`; and
+//! 2. minimizes **cost aggregation** (Definition 3.5): a weighted,
+//!    scarcity-normalized sum of end-system resource use plus cut
+//!    bandwidth use — "the more important and more scarce the resource,
+//!    the larger the cost".
+//!
+//! Finding the optimal such cut (the **OSD problem**) is NP-hard
+//! (Theorem 1, by reduction from minimum directed multiway cut), so the
+//! crate provides:
+//!
+//! * [`GreedyHeuristic`] — the paper's polynomial heuristic (pin, then
+//!   repeatedly place the heaviest cluster-neighbor on the most-available
+//!   device);
+//! * [`ExhaustiveOptimal`] — branch-and-bound exact search, tractable for
+//!   the 10-20 node graphs of Table 1;
+//! * [`RandomDistributor`] — the random baseline of Table 1 / Figure 5;
+//! * ablation variants of the heuristic (no device re-sorting, no cluster
+//!   adjacency) used by the ablation benches.
+//!
+//! # Example
+//!
+//! ```
+//! use ubiqos_distribution::{Device, Environment, GreedyHeuristic, OsdProblem, ServiceDistributor};
+//! use ubiqos_graph::{ServiceComponent, ServiceGraph};
+//! use ubiqos_model::{ResourceVector, Weights};
+//!
+//! let mut g = ServiceGraph::new();
+//! let a = g.add_component(
+//!     ServiceComponent::builder("server")
+//!         .resources(ResourceVector::mem_cpu(64.0, 50.0))
+//!         .build(),
+//! );
+//! let b = g.add_component(
+//!     ServiceComponent::builder("player")
+//!         .resources(ResourceVector::mem_cpu(16.0, 30.0))
+//!         .build(),
+//! );
+//! g.add_edge(a, b, 1.4)?;
+//!
+//! let env = Environment::builder()
+//!     .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+//!     .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
+//!     .default_bandwidth_mbps(5.0)
+//!     .build();
+//! let weights = Weights::default();
+//! let problem = OsdProblem::new(&g, &env, &weights);
+//! let cut = GreedyHeuristic::paper().distribute(&problem).unwrap();
+//! assert!(problem.fits(&cut));
+//! # Ok::<(), ubiqos_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod cost;
+pub mod device;
+pub mod environment;
+pub mod error;
+pub mod heuristic;
+pub mod network;
+pub mod optimal;
+pub mod problem;
+pub mod random_alg;
+pub mod report;
+
+pub use algorithm::ServiceDistributor;
+pub use device::{Device, DeviceClass};
+pub use environment::{Environment, EnvironmentBuilder};
+pub use error::DistributionError;
+pub use heuristic::GreedyHeuristic;
+pub use network::BandwidthMatrix;
+pub use optimal::ExhaustiveOptimal;
+pub use problem::OsdProblem;
+pub use random_alg::RandomDistributor;
+pub use report::{DeviceLoad, LinkLoad, PlacementReport};

@@ -1,0 +1,463 @@
+//! Exhaustive optimal search for the OSD problem.
+//!
+//! "The optimal algorithm uses exhaustive search for the optimal service
+//! distribution solution. Since the problem is NP-hard, we limit ourselves
+//! to the special case of two-way cut" (Section 4) — this implementation
+//! handles any `k` but is only tractable for small graphs; Table 1 uses it
+//! on 10-20 node graphs with `k = 2`, exactly like the paper.
+//!
+//! The search is branch-and-bound over per-component device assignments:
+//!
+//! * components are visited in decreasing weighted-requirement order so
+//!   resource-capacity violations prune early;
+//! * partial cost (end-system terms of placed components plus network
+//!   terms of fully placed edges) is a lower bound on the final cost —
+//!   branches at or above the incumbent are cut;
+//! * per-pair crossing throughput is tracked incrementally and branches
+//!   violating a bandwidth capacity are cut.
+
+use crate::algorithm::{seed_with_pins, ServiceDistributor};
+use crate::error::DistributionError;
+use crate::problem::OsdProblem;
+use ubiqos_graph::{ComponentId, Cut};
+use ubiqos_model::EPSILON;
+
+/// Exhaustive branch-and-bound OSD solver.
+///
+/// Worst-case cost is `k^n`; the solver refuses instances with more than
+/// [`ExhaustiveOptimal::node_limit`] free (un-pinned) components rather
+/// than hanging — raise the limit explicitly when you know the instance
+/// prunes well.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveOptimal {
+    node_limit: usize,
+}
+
+impl Default for ExhaustiveOptimal {
+    fn default() -> Self {
+        ExhaustiveOptimal { node_limit: 26 }
+    }
+}
+
+impl ExhaustiveOptimal {
+    /// Creates the solver with the default 26-free-component limit
+    /// (plenty for the paper's 10-20 node Table 1 instances).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the free-component limit.
+    #[must_use]
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// The current free-component limit.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+}
+
+struct Search<'p, 'a> {
+    problem: &'p OsdProblem<'a>,
+    /// Components still to place, in visiting order.
+    order: Vec<ComponentId>,
+    /// Current per-component device assignment (pins pre-filled).
+    assignment: Vec<Option<usize>>,
+    residual: Vec<ubiqos_model::ResourceVector>,
+    /// Crossing throughput accumulated per ordered device pair.
+    crossing: Vec<Vec<f64>>,
+    best_cost: f64,
+    best: Option<Vec<usize>>,
+}
+
+impl Search<'_, '_> {
+    fn run(&mut self, depth: usize, partial_cost: f64) {
+        if partial_cost >= self.best_cost {
+            return;
+        }
+        if depth == self.order.len() {
+            self.best_cost = partial_cost;
+            self.best = Some(
+                self.assignment
+                    .iter()
+                    .map(|a| a.expect("complete at leaf"))
+                    .collect(),
+            );
+            return;
+        }
+        let c = self.order[depth];
+        let graph = self.problem.graph();
+        let env = self.problem.env();
+        let weights = self.problem.weights();
+        let need = graph.component(c).expect("dense ids").resources().clone();
+
+        for d in 0..env.device_count() {
+            if !need.fits_within(&self.residual[d]) {
+                continue;
+            }
+            // End-system cost increment for placing `c` on `d`.
+            let avail = env.devices()[d].availability();
+            let mut delta = 0.0;
+            let mut unusable = false;
+            for (i, &w) in weights.resource().iter().enumerate() {
+                let r = need.get(i).unwrap_or(0.0);
+                if r <= EPSILON {
+                    continue;
+                }
+                let ra = avail.get(i).unwrap_or(0.0);
+                if ra <= EPSILON {
+                    unusable = true;
+                    break;
+                }
+                delta += w * r / ra;
+            }
+            if unusable {
+                continue;
+            }
+            // Network cost increments for edges whose other endpoint is
+            // already placed; track crossings and enforce bandwidth.
+            let mut new_crossings: Vec<(usize, usize, f64)> = Vec::new();
+            let mut bandwidth_ok = true;
+            for &p in graph.predecessors(c) {
+                if let Some(pd) = self.assignment[p.index()] {
+                    if pd != d {
+                        let tp = graph.edge_throughput(p, c).expect("edge exists");
+                        new_crossings.push((pd, d, tp));
+                    }
+                }
+            }
+            for &s in graph.successors(c) {
+                if let Some(sd) = self.assignment[s.index()] {
+                    if sd != d {
+                        let tp = graph.edge_throughput(c, s).expect("edge exists");
+                        new_crossings.push((d, sd, tp));
+                    }
+                }
+            }
+            // Shared-medium feasibility (matches `OsdProblem::fits`): both
+            // directions of a pair draw from the same bandwidth pool.
+            let mut extra: Vec<(usize, usize, f64)> = Vec::new();
+            for &(i, j, tp) in &new_crossings {
+                let b = env.bandwidth().get(i, j);
+                if b <= EPSILON && tp > EPSILON {
+                    bandwidth_ok = false;
+                    break;
+                }
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                match extra.iter_mut().find(|e| e.0 == lo && e.1 == hi) {
+                    Some(e) => e.2 += tp,
+                    None => extra.push((lo, hi, tp)),
+                }
+                delta += weights.network() * tp / b;
+            }
+            if bandwidth_ok {
+                for &(i, j, added) in &extra {
+                    if self.crossing[i][j] + self.crossing[j][i] + added
+                        > env.bandwidth().get(i, j) + EPSILON
+                    {
+                        bandwidth_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !bandwidth_ok {
+                continue;
+            }
+
+            // Descend.
+            self.assignment[c.index()] = Some(d);
+            self.residual[d] = self.residual[d]
+                .saturating_sub(&need)
+                .expect("dimensions validated");
+            for &(i, j, tp) in &new_crossings {
+                self.crossing[i][j] += tp;
+            }
+
+            self.run(depth + 1, partial_cost + delta);
+
+            for &(i, j, tp) in &new_crossings {
+                self.crossing[i][j] -= tp;
+            }
+            self.residual[d] = self.residual[d]
+                .checked_add(&need)
+                .expect("dimensions validated");
+            self.assignment[c.index()] = None;
+        }
+    }
+}
+
+impl ServiceDistributor for ExhaustiveOptimal {
+    fn name(&self) -> &str {
+        "optimal"
+    }
+
+    fn distribute(&mut self, problem: &OsdProblem<'_>) -> Result<Cut, DistributionError> {
+        let graph = problem.graph();
+        let env = problem.env();
+        let k = env.device_count();
+        let weights = problem.weights().resource();
+        let (assignment, residual) = seed_with_pins(problem)?;
+
+        // Pinned components already contribute end-system cost and may
+        // contribute pairwise crossings among themselves; rather than
+        // special-casing, compute the pinned-only partial cost up front.
+        let mut crossing = vec![vec![0.0; k]; k];
+        let mut base_cost = 0.0;
+        for (id, c) in graph.components() {
+            if let Some(d) = assignment[id.index()] {
+                let avail = env.devices()[d].availability();
+                for (i, &w) in problem.weights().resource().iter().enumerate() {
+                    let r = c.resources().get(i).unwrap_or(0.0);
+                    if r <= EPSILON {
+                        continue;
+                    }
+                    let ra = avail.get(i).unwrap_or(0.0);
+                    if ra <= EPSILON {
+                        return Err(DistributionError::Infeasible {
+                            reason: format!(
+                                "pinned component {} needs a resource device {} lacks",
+                                c.name(),
+                                env.devices()[d].name()
+                            ),
+                        });
+                    }
+                    base_cost += w * r / ra;
+                }
+            }
+        }
+        for e in graph.edges() {
+            if let (Some(i), Some(j)) = (
+                assignment[e.from.index()],
+                assignment[e.to.index()],
+            ) {
+                if i != j {
+                    let b = env.bandwidth().get(i, j);
+                    crossing[i][j] += e.throughput;
+                    if crossing[i][j] + crossing[j][i] > b + EPSILON {
+                        return Err(DistributionError::Infeasible {
+                            reason: "pinned components exceed link bandwidth".into(),
+                        });
+                    }
+                    base_cost += problem.weights().network() * e.throughput / b;
+                }
+            }
+        }
+
+        let mut order: Vec<ComponentId> = graph
+            .component_ids()
+            .filter(|id| assignment[id.index()].is_none())
+            .collect();
+        if order.len() > self.node_limit {
+            return Err(DistributionError::Infeasible {
+                reason: format!(
+                    "instance has {} free components, above the exhaustive solver's limit of {} \
+                     (raise with with_node_limit if intended)",
+                    order.len(),
+                    self.node_limit
+                ),
+            });
+        }
+        order.sort_by(|&a, &b| {
+            let wa = graph.component(a).expect("dense").resources().weighted_sum(weights);
+            let wb = graph.component(b).expect("dense").resources().weighted_sum(weights);
+            wb.partial_cmp(&wa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+
+        let mut search = Search {
+            problem,
+            order,
+            assignment,
+            residual,
+            crossing,
+            best_cost: f64::INFINITY,
+            best: None,
+        };
+        search.run(0, base_cost);
+
+        match search.best {
+            Some(assignment) => {
+                let cut = Cut::from_assignment(graph, assignment, k)
+                    .expect("search produces complete in-range assignments");
+                debug_assert!(problem.fits(&cut));
+                Ok(cut)
+            }
+            None => Err(DistributionError::Infeasible {
+                reason: "exhaustive search found no fitting cut".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::environment::Environment;
+    use crate::heuristic::GreedyHeuristic;
+    use ubiqos_graph::{DeviceId, ServiceComponent, ServiceGraph};
+    use ubiqos_model::{ResourceVector, Weights};
+
+    fn comp(name: &str, mem: f64, cpu: f64) -> ServiceComponent {
+        ServiceComponent::builder(name)
+            .resources(ResourceVector::mem_cpu(mem, cpu))
+            .build()
+    }
+
+    fn env2(bw: f64) -> Environment {
+        Environment::builder()
+            .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)))
+            .default_bandwidth_mbps(bw)
+            .build()
+    }
+
+    /// Brute force over all assignments, for cross-checking.
+    fn brute_force(p: &OsdProblem<'_>) -> Option<(Vec<usize>, f64)> {
+        let n = p.graph().component_count();
+        let k = p.env().device_count();
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let total = k.pow(n as u32);
+        for code in 0..total {
+            let mut c = code;
+            let mut assignment = Vec::with_capacity(n);
+            for _ in 0..n {
+                assignment.push(c % k);
+                c /= k;
+            }
+            let cut = Cut::from_assignment(p.graph(), assignment.clone(), k).unwrap();
+            if !p.fits(&cut) {
+                continue;
+            }
+            let cost = p.cost(&cut);
+            if best.as_ref().is_none_or(|(_, b)| cost < *b) {
+                best = Some((assignment, cost));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 40.0, 60.0));
+        let b = g.add_component(comp("b", 20.0, 30.0));
+        let c = g.add_component(comp("c", 10.0, 20.0));
+        let d = g.add_component(comp("d", 8.0, 10.0));
+        g.add_edge(a, b, 3.0).unwrap();
+        g.add_edge(a, c, 1.0).unwrap();
+        g.add_edge(b, d, 2.0).unwrap();
+        g.add_edge(c, d, 4.0).unwrap();
+        let env = env2(10.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+
+        let cut = ExhaustiveOptimal::new().distribute(&p).unwrap();
+        let (_, brute_cost) = brute_force(&p).unwrap();
+        assert!(
+            (p.cost(&cut) - brute_cost).abs() < 1e-9,
+            "b&b cost {} vs brute force {}",
+            p.cost(&cut),
+            brute_cost
+        );
+    }
+
+    #[test]
+    fn optimal_never_worse_than_heuristic() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..8)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 5.0 + 3.0 * i as f64, 10.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 1.0 + i as f64 * 0.3).unwrap();
+        }
+        g.add_edge(ids[0], ids[4], 2.0).unwrap();
+        let env = env2(20.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let opt = ExhaustiveOptimal::new().distribute(&p).unwrap();
+        let heu = GreedyHeuristic::paper().distribute(&p).unwrap();
+        assert!(p.cost(&opt) <= p.cost(&heu) + 1e-9);
+        assert!(p.fits(&opt));
+    }
+
+    #[test]
+    fn respects_pins() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("server", 60.0, 80.0));
+        let b = g.add_component(
+            ServiceComponent::builder("display")
+                .resources(ResourceVector::mem_cpu(4.0, 5.0))
+                .pinned_to(DeviceId::from_index(1))
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let env = env2(10.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = ExhaustiveOptimal::new().distribute(&p).unwrap();
+        assert_eq!(cut.part_of(b), Some(1));
+    }
+
+    #[test]
+    fn proves_infeasibility() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 200.0, 200.0));
+        let b = g.add_component(comp("b", 200.0, 200.0));
+        g.add_edge(a, b, 1.0).unwrap();
+        let env = env2(10.0); // only the PC could host either; not both
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        assert!(matches!(
+            ExhaustiveOptimal::new().distribute(&p),
+            Err(DistributionError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_constraints_steer_the_optimum() {
+        // Two components that both fit anywhere, heavy edge: with a thin
+        // link the optimum must co-locate them.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 10.0, 10.0));
+        let b = g.add_component(comp("b", 10.0, 10.0));
+        g.add_edge(a, b, 50.0).unwrap();
+        let env = env2(5.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = ExhaustiveOptimal::new().distribute(&p).unwrap();
+        assert_eq!(cut.part_of(a), cut.part_of(b));
+    }
+
+    #[test]
+    fn node_limit_guards_exponential_instances() {
+        let mut g = ServiceGraph::new();
+        for i in 0..30 {
+            g.add_component(comp(&format!("c{i}"), 1.0, 1.0));
+        }
+        let env = env2(10.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let err = ExhaustiveOptimal::new().distribute(&p).unwrap_err();
+        assert!(err.to_string().contains("limit of 26"));
+        // Raising the limit allows the run (this instance prunes fine).
+        assert!(ExhaustiveOptimal::new()
+            .with_node_limit(40)
+            .distribute(&p)
+            .is_ok());
+        assert_eq!(ExhaustiveOptimal::new().node_limit(), 26);
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let g = ServiceGraph::new();
+        let env = env2(10.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = ExhaustiveOptimal::new().distribute(&p).unwrap();
+        assert_eq!(cut.len(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Optimal Service Distribution (OSD) problem instance.
+
+use crate::cost::cost_aggregation;
+use crate::environment::Environment;
+use crate::error::DistributionError;
+use ubiqos_graph::{Cut, ServiceGraph};
+use ubiqos_model::{Weights, EPSILON};
+
+/// One instance of the OSD problem: a service graph, the current device
+/// environment, and the resource weights.
+///
+/// Theorem 1 shows finding the minimum-cost fitting cut is NP-hard; the
+/// algorithms in this crate consume `OsdProblem` through the
+/// [`crate::ServiceDistributor`] trait.
+#[derive(Debug, Clone, Copy)]
+pub struct OsdProblem<'a> {
+    graph: &'a ServiceGraph,
+    env: &'a Environment,
+    weights: &'a Weights,
+}
+
+impl<'a> OsdProblem<'a> {
+    /// Bundles a problem instance.
+    ///
+    /// `weights` is borrowed; construct it once per configuration session.
+    pub fn new(graph: &'a ServiceGraph, env: &'a Environment, weights: &'a Weights) -> Self {
+        OsdProblem {
+            graph,
+            env,
+            weights,
+        }
+    }
+
+    /// The service graph.
+    pub fn graph(&self) -> &'a ServiceGraph {
+        self.graph
+    }
+
+    /// The device environment.
+    pub fn env(&self) -> &'a Environment {
+        self.env
+    }
+
+    /// The cost weights.
+    pub fn weights(&self) -> &'a Weights {
+        self.weights
+    }
+
+    /// Definition 3.4: whether the graph, partitioned by `cut`, fits into
+    /// the environment's devices.
+    ///
+    /// Checks (1) per-part resource sums against device availabilities and
+    /// (2) per ordered device pair, the crossing throughput against the
+    /// available bandwidth. Pins are also enforced: a cut placing a pinned
+    /// component elsewhere does not fit.
+    pub fn fits(&self, cut: &Cut) -> bool {
+        if cut.len() != self.graph.component_count() || cut.parts() > self.env.device_count() {
+            return false;
+        }
+        match cut.respects_pins(self.graph) {
+            Ok(true) => {}
+            _ => return false,
+        }
+        // Resource constraints.
+        for part in 0..cut.parts() {
+            let Ok(used) = cut.part_resource_sum(self.graph, part) else {
+                return false;
+            };
+            if !used.fits_within(self.env.devices()[part].availability()) {
+                return false;
+            }
+        }
+        // Bandwidth constraints. Definition 3.4 quantifies over ordered
+        // pairs, but `b(i, j)` here models a *shared medium* (one 802.11
+        // channel, one link), so both directions draw from the same pool:
+        // `T(i,j) + T(j,i) ≤ b(i,j)`. This matches the admission
+        // accounting in [`crate::Environment::charge_cut`].
+        let t = cut.inter_part_throughput(self.graph);
+        let k = cut.parts();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if t[i][j] + t[j][i] > self.env.bandwidth().get(i, j) + EPSILON {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Definition 3.5: the cost aggregation of a cut.
+    ///
+    /// See [`cost_aggregation`] for semantics; infinite when the cut uses
+    /// a resource or link with zero capacity.
+    pub fn cost(&self, cut: &Cut) -> f64 {
+        cost_aggregation(self.graph, cut, self.env, self.weights)
+    }
+
+    /// Validates the problem's structural preconditions: at least one
+    /// device, every pin within range, and resource dimensions consistent
+    /// between components and devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), DistributionError> {
+        let k = self.env.device_count();
+        if k == 0 {
+            return Err(DistributionError::NoDevices);
+        }
+        let device_dim = self.env.devices()[0].availability().dim();
+        for d in self.env.devices() {
+            if d.availability().dim() != device_dim {
+                return Err(DistributionError::Model(
+                    ubiqos_model::ModelError::DimensionMismatch {
+                        left: device_dim,
+                        right: d.availability().dim(),
+                    },
+                ));
+            }
+        }
+        for (_, c) in self.graph.components() {
+            if c.resources().dim() != device_dim {
+                return Err(DistributionError::Model(
+                    ubiqos_model::ModelError::DimensionMismatch {
+                        left: c.resources().dim(),
+                        right: device_dim,
+                    },
+                ));
+            }
+            if let Some(pin) = c.pinned_to() {
+                if pin.index() >= k {
+                    return Err(DistributionError::InvalidPin {
+                        device_index: pin.index(),
+                        device_count: k,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use ubiqos_graph::{DeviceId, ServiceComponent};
+    use ubiqos_model::ResourceVector;
+
+    fn simple() -> (ServiceGraph, Environment, Weights) {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("a")
+                .resources(ResourceVector::mem_cpu(60.0, 60.0))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("b")
+                .resources(ResourceVector::mem_cpu(60.0, 60.0))
+                .build(),
+        );
+        g.add_edge(a, b, 4.0).unwrap();
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(100.0, 100.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(100.0, 100.0)))
+            .default_bandwidth_mbps(5.0)
+            .build();
+        (g, env, Weights::default())
+    }
+
+    #[test]
+    fn fit_requires_split_when_one_device_is_too_small() {
+        let (g, env, w) = simple();
+        let p = OsdProblem::new(&g, &env, &w);
+        let together = Cut::from_assignment(&g, vec![0, 0], 2).unwrap();
+        let split = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        assert!(!p.fits(&together), "120 > 100 on one device");
+        assert!(p.fits(&split));
+    }
+
+    #[test]
+    fn bandwidth_constraint_rejects() {
+        let (g, mut env, w) = simple();
+        env.bandwidth_mut().set(0, 1, 3.0); // edge needs 4.0
+        let p = OsdProblem::new(&g, &env, &w);
+        let split = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        assert!(!p.fits(&split));
+    }
+
+    #[test]
+    fn pin_violations_do_not_fit() {
+        let (mut g, env, w) = simple();
+        let c = g.add_component(
+            ServiceComponent::builder("display")
+                .pinned_to(DeviceId::from_index(1))
+                .build(),
+        );
+        let ids: Vec<_> = g.component_ids().collect();
+        g.add_edge(ids[1], c, 0.1).unwrap();
+        let p = OsdProblem::new(&g, &env, &w);
+        let wrong = Cut::from_assignment(&g, vec![0, 1, 0], 2).unwrap();
+        let right = Cut::from_assignment(&g, vec![0, 1, 1], 2).unwrap();
+        assert!(!p.fits(&wrong));
+        assert!(p.fits(&right));
+    }
+
+    #[test]
+    fn mismatched_cut_shape_does_not_fit() {
+        let (g, env, w) = simple();
+        let p = OsdProblem::new(&g, &env, &w);
+        let mut other_graph = ServiceGraph::new();
+        other_graph.add_component(ServiceComponent::builder("x").build());
+        let short = Cut::from_assignment(&other_graph, vec![0], 2).unwrap();
+        assert!(!p.fits(&short));
+    }
+
+    #[test]
+    fn validate_catches_bad_pins_and_empty_envs() {
+        let (mut g, env, w) = simple();
+        assert!(OsdProblem::new(&g, &env, &w).validate().is_ok());
+
+        g.add_component(
+            ServiceComponent::builder("ghost")
+                .pinned_to(DeviceId::from_index(7))
+                .build(),
+        );
+        assert!(matches!(
+            OsdProblem::new(&g, &env, &w).validate(),
+            Err(DistributionError::InvalidPin { device_index: 7, .. })
+        ));
+
+        let empty = Environment::builder().build();
+        assert_eq!(
+            OsdProblem::new(&g, &empty, &w).validate(),
+            Err(DistributionError::NoDevices)
+        );
+    }
+
+    #[test]
+    fn validate_catches_dimension_mismatch() {
+        let (g, _, w) = simple();
+        let env = Environment::builder()
+            .device(Device::new("odd", ResourceVector::new(vec![1.0]).unwrap()))
+            .build();
+        assert!(matches!(
+            OsdProblem::new(&g, &env, &w).validate(),
+            Err(DistributionError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn cost_delegates_to_cost_aggregation() {
+        let (g, env, w) = simple();
+        let p = OsdProblem::new(&g, &env, &w);
+        let split = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        assert!(p.cost(&split).is_finite());
+        assert!(p.cost(&split) > 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The random placement baseline of Table 1 and Figure 5.
+
+use crate::algorithm::{seed_with_pins, ServiceDistributor};
+use crate::error::DistributionError;
+use crate::problem::OsdProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ubiqos_graph::Cut;
+
+/// Random service distribution: place each component on a *uniformly
+/// random device that still has room for it* (random-fit), retrying the
+/// whole placement up to a bounded number of attempts when it dead-ends
+/// or violates a bandwidth constraint.
+///
+/// This is the paper's "random algorithm": it "benefits from the
+/// flexibility of dynamic service distribution" — it reacts to current
+/// availability, so it beats the fixed policy in Figure 5 — but it
+/// ignores *relative* resource availability, requirements, and edge
+/// locality when choosing, so it essentially never finds minimum-cost
+/// cuts (0% optimal in Table 1).
+#[derive(Debug, Clone)]
+pub struct RandomDistributor {
+    rng: StdRng,
+    attempts: usize,
+}
+
+impl RandomDistributor {
+    /// Creates the baseline with a deterministic seed and the default 32
+    /// attempts.
+    pub fn seeded(seed: u64) -> Self {
+        RandomDistributor {
+            rng: StdRng::seed_from_u64(seed),
+            attempts: 32,
+        }
+    }
+
+    /// Overrides the attempt budget (minimum 1).
+    #[must_use]
+    pub fn with_attempts(mut self, attempts: usize) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+}
+
+impl ServiceDistributor for RandomDistributor {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn distribute(&mut self, problem: &OsdProblem<'_>) -> Result<Cut, DistributionError> {
+        let graph = problem.graph();
+        let k = problem.env().device_count();
+        let (pinned, seeded_residual) = seed_with_pins(problem)?;
+
+        for _ in 0..self.attempts {
+            let mut residual = seeded_residual.clone();
+            let mut assignment: Vec<usize> = Vec::with_capacity(graph.component_count());
+            let mut dead_end = false;
+            for (id, c) in graph.components() {
+                if let Some(d) = pinned[id.index()] {
+                    assignment.push(d);
+                    continue;
+                }
+                // Uniform choice among the devices that can still host it.
+                let fitting: Vec<usize> = (0..k)
+                    .filter(|&d| c.resources().fits_within(&residual[d]))
+                    .collect();
+                if fitting.is_empty() {
+                    dead_end = true;
+                    break;
+                }
+                let d = fitting[self.rng.gen_range(0..fitting.len())];
+                residual[d] = residual[d].saturating_sub(c.resources())?;
+                assignment.push(d);
+            }
+            if dead_end {
+                continue;
+            }
+            let cut = Cut::from_assignment(graph, assignment, k)
+                .expect("assignment length matches graph");
+            // Resource feasibility holds by construction; `fits` re-checks
+            // it plus the bandwidth constraints of Definition 3.4.
+            if problem.fits(&cut) {
+                return Ok(cut);
+            }
+        }
+        Err(DistributionError::Infeasible {
+            reason: format!("no fitting random placement in {} attempts", self.attempts),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::environment::Environment;
+    use ubiqos_graph::{DeviceId, ServiceComponent, ServiceGraph};
+    use ubiqos_model::{ResourceVector, Weights};
+
+    fn comp(name: &str, mem: f64, cpu: f64) -> ServiceComponent {
+        ServiceComponent::builder(name)
+            .resources(ResourceVector::mem_cpu(mem, cpu))
+            .build()
+    }
+
+    fn env() -> Environment {
+        Environment::builder()
+            .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)))
+            .default_bandwidth_mbps(10.0)
+            .build()
+    }
+
+    #[test]
+    fn finds_feasible_cut_when_one_exists() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 20.0, 20.0));
+        let b = g.add_component(comp("b", 20.0, 20.0));
+        g.add_edge(a, b, 1.0).unwrap();
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        let cut = RandomDistributor::seeded(7).distribute(&p).unwrap();
+        assert!(p.fits(&cut));
+    }
+
+    #[test]
+    fn random_fit_avoids_overfull_devices() {
+        // Four 30 MB components: at most one fits the 32 MB PDA, so
+        // random-fit must route the rest to the PC — every seed succeeds.
+        let mut g = ServiceGraph::new();
+        for i in 0..4 {
+            g.add_component(comp(&format!("c{i}"), 30.0, 20.0));
+        }
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        for seed in 0..20 {
+            let cut = RandomDistributor::seeded(seed)
+                .with_attempts(4)
+                .distribute(&p)
+                .unwrap();
+            assert!(p.fits(&cut), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g = ServiceGraph::new();
+        for i in 0..6 {
+            g.add_component(comp(&format!("c{i}"), 5.0, 5.0));
+        }
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        let c1 = RandomDistributor::seeded(42).distribute(&p).unwrap();
+        let c2 = RandomDistributor::seeded(42).distribute(&p).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn respects_pins() {
+        let mut g = ServiceGraph::new();
+        g.add_component(
+            ServiceComponent::builder("display")
+                .resources(ResourceVector::mem_cpu(2.0, 2.0))
+                .pinned_to(DeviceId::from_index(1))
+                .build(),
+        );
+        g.add_component(comp("free", 2.0, 2.0));
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        for seed in 0..16 {
+            let cut = RandomDistributor::seeded(seed).distribute(&p).unwrap();
+            assert_eq!(cut.part_of(ubiqos_graph::ComponentId::from_index(0)), Some(1));
+        }
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget() {
+        let mut g = ServiceGraph::new();
+        g.add_component(comp("whale", 1000.0, 1000.0));
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        let err = RandomDistributor::seeded(1)
+            .with_attempts(4)
+            .distribute(&p)
+            .unwrap_err();
+        assert!(err.to_string().contains("4 attempts"));
+    }
+
+    #[test]
+    fn bandwidth_violations_are_retried_then_reported() {
+        // Two components that both fit both devices but whose edge
+        // exceeds every link: only the co-located placements succeed.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 10.0, 10.0));
+        let b = g.add_component(comp("b", 10.0, 10.0));
+        g.add_edge(a, b, 50.0).unwrap();
+        let e = env();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &e, &w);
+        let cut = RandomDistributor::seeded(3)
+            .with_attempts(64)
+            .distribute(&p)
+            .unwrap();
+        assert_eq!(cut.part_of(a), cut.part_of(b), "must co-locate");
+    }
+
+    #[test]
+    fn attempts_floor_is_one() {
+        let r = RandomDistributor::seeded(0).with_attempts(0);
+        assert_eq!(r.attempts, 1);
+    }
+}

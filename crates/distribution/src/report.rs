@@ -1,0 +1,261 @@
+//! Placement reporting: per-device utilization and cut statistics.
+//!
+//! The distribution tier's objective — "improve the total resource
+//! utilization and reduce the contention on critical resources" — is best
+//! judged by looking at what a cut actually does to each device and link.
+//! [`PlacementReport`] summarizes a cut against its environment for
+//! operators, examples, and the bench harness.
+
+use crate::environment::Environment;
+use crate::problem::OsdProblem;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_graph::{Cut, ServiceGraph};
+
+/// Utilization of one device under a placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLoad {
+    /// Device name.
+    pub device: String,
+    /// Components placed on the device.
+    pub components: usize,
+    /// Fraction of each resource consumed, in resource-vector order
+    /// (1.0 = fully used; resources with zero availability and zero
+    /// demand report 0).
+    pub utilization: Vec<f64>,
+}
+
+/// Utilization of one device pair's link under a placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkLoad {
+    /// The device pair (indices into the environment).
+    pub pair: (usize, usize),
+    /// Throughput crossing the pair, both directions summed (Mbps).
+    pub crossing_mbps: f64,
+    /// Fraction of the link's bandwidth consumed.
+    pub utilization: f64,
+}
+
+/// A summary of what a cut does to an environment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementReport {
+    /// Per-device loads, in device order.
+    pub devices: Vec<DeviceLoad>,
+    /// Per-pair link loads (only pairs with crossing traffic).
+    pub links: Vec<LinkLoad>,
+    /// Edges crossing device boundaries.
+    pub cut_edges: usize,
+    /// Total crossing throughput (Mbps).
+    pub cut_throughput: f64,
+    /// The placement's cost aggregation.
+    pub cost: f64,
+    /// Whether the placement satisfies Definition 3.4.
+    pub fits: bool,
+}
+
+impl PlacementReport {
+    /// Builds the report for `cut` on the problem's environment.
+    pub fn new(problem: &OsdProblem<'_>, cut: &Cut) -> Self {
+        let graph = problem.graph();
+        let env = problem.env();
+        let devices = device_loads(graph, cut, env);
+        let links = link_loads(graph, cut, env);
+        PlacementReport {
+            devices,
+            links,
+            cut_edges: cut.cut_edges(graph).len(),
+            cut_throughput: cut.cut_throughput(graph),
+            cost: problem.cost(cut),
+            fits: problem.fits(cut),
+        }
+    }
+
+    /// The highest single resource utilization across devices (the
+    /// contention hotspot).
+    pub fn peak_utilization(&self) -> f64 {
+        self.devices
+            .iter()
+            .flat_map(|d| d.utilization.iter().copied())
+            .fold(0.0, f64::max)
+    }
+}
+
+fn device_loads(graph: &ServiceGraph, cut: &Cut, env: &Environment) -> Vec<DeviceLoad> {
+    (0..cut.parts().min(env.device_count()))
+        .map(|part| {
+            let used = cut
+                .part_resource_sum(graph, part)
+                .expect("consistent dimensions");
+            let avail = env.devices()[part].availability();
+            let utilization = (0..used.dim())
+                .map(|i| {
+                    let u = used.get(i).unwrap_or(0.0);
+                    let a = avail.get(i).unwrap_or(0.0);
+                    if a > 0.0 {
+                        u / a
+                    } else if u > 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            DeviceLoad {
+                device: env.devices()[part].name().to_owned(),
+                components: cut.part_members(part).len(),
+                utilization,
+            }
+        })
+        .collect()
+}
+
+fn link_loads(graph: &ServiceGraph, cut: &Cut, env: &Environment) -> Vec<LinkLoad> {
+    let t = cut.inter_part_throughput(graph);
+    let k = cut.parts().min(env.device_count());
+    let mut out = Vec::new();
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let crossing = t[i][j] + t[j][i];
+            if crossing > 0.0 {
+                let b = env.bandwidth().get(i, j);
+                out.push(LinkLoad {
+                    pair: (i, j),
+                    crossing_mbps: crossing,
+                    utilization: if b.is_finite() && b > 0.0 {
+                        crossing / b
+                    } else if b == 0.0 {
+                        f64::INFINITY
+                    } else {
+                        0.0
+                    },
+                });
+            }
+        }
+    }
+    out
+}
+
+impl fmt::Display for PlacementReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "placement: {} cut edges, {:.2} Mbps crossing, cost {:.4}, {}",
+            self.cut_edges,
+            self.cut_throughput,
+            self.cost,
+            if self.fits { "fits" } else { "DOES NOT FIT" }
+        )?;
+        for d in &self.devices {
+            let pct: Vec<String> = d
+                .utilization
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect();
+            writeln!(
+                f,
+                "  {:<12} {} components, utilization [{}]",
+                d.device,
+                d.components,
+                pct.join(", ")
+            )?;
+        }
+        for l in &self.links {
+            writeln!(
+                f,
+                "  link d{}-d{}: {:.2} Mbps ({:.0}%)",
+                l.pair.0,
+                l.pair.1,
+                l.crossing_mbps,
+                l.utilization * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::{ResourceVector, Weights};
+
+    fn setup() -> (ServiceGraph, Environment) {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("a")
+                .resources(ResourceVector::mem_cpu(50.0, 100.0))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("b")
+                .resources(ResourceVector::mem_cpu(16.0, 25.0))
+                .build(),
+        );
+        g.add_edge(a, b, 2.0).unwrap();
+        let env = Environment::builder()
+            .device(Device::new("pc", ResourceVector::mem_cpu(100.0, 200.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
+            .default_bandwidth_mbps(8.0)
+            .build();
+        (g, env)
+    }
+
+    #[test]
+    fn reports_utilization_and_links() {
+        let (g, env) = setup();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        let report = PlacementReport::new(&p, &cut);
+        assert!(report.fits);
+        assert_eq!(report.cut_edges, 1);
+        assert_eq!(report.cut_throughput, 2.0);
+        assert_eq!(report.devices[0].components, 1);
+        assert_eq!(report.devices[0].utilization, vec![0.5, 0.5]);
+        assert_eq!(report.devices[1].utilization, vec![0.5, 0.5]);
+        assert_eq!(report.links.len(), 1);
+        assert_eq!(report.links[0].pair, (0, 1));
+        assert_eq!(report.links[0].crossing_mbps, 2.0);
+        assert_eq!(report.links[0].utilization, 0.25);
+        assert_eq!(report.peak_utilization(), 0.5);
+    }
+
+    #[test]
+    fn colocated_placement_has_no_links() {
+        let (g, env) = setup();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = Cut::from_assignment(&g, vec![0, 0], 2).unwrap();
+        let report = PlacementReport::new(&p, &cut);
+        assert!(report.links.is_empty());
+        assert_eq!(report.cut_edges, 0);
+        assert_eq!(report.devices[1].components, 0);
+        assert_eq!(report.devices[1].utilization, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unfit_placement_is_flagged() {
+        let (g, env) = setup();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        // Component a (50 MB) on the PDA (32 MB): does not fit.
+        let cut = Cut::from_assignment(&g, vec![1, 0], 2).unwrap();
+        let report = PlacementReport::new(&p, &cut);
+        assert!(!report.fits);
+        assert!(report.devices[1].utilization[0] > 1.0);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let (g, env) = setup();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        let s = PlacementReport::new(&p, &cut).to_string();
+        assert!(s.contains("cut edges"));
+        assert!(s.contains("pc"));
+        assert!(s.contains("pda"));
+        assert!(s.contains("link d0-d1"));
+    }
+}

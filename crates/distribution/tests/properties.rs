@@ -1,0 +1,153 @@
+//! Property-based tests for the distribution tier.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ubiqos_distribution::{
+    Device, Environment, ExhaustiveOptimal, GreedyHeuristic, OsdProblem, PlacementReport,
+    RandomDistributor, ServiceDistributor,
+};
+use ubiqos_graph::{Cut, DeviceId, ServiceComponent, ServiceGraph};
+use ubiqos_model::{ResourceVector, Weights};
+
+/// Builds a random graph; roughly one in three components is pinned.
+fn random_instance(seed: u64, n: usize, pin_some: bool) -> (ServiceGraph, Environment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ServiceGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let mut builder = ServiceComponent::builder(format!("c{i}")).resources(
+                ResourceVector::mem_cpu(rng.gen_range(1.0..14.0), rng.gen_range(1.0..16.0)),
+            );
+            if pin_some && rng.gen_bool(0.3) {
+                builder = builder.pinned_to(DeviceId::from_index(rng.gen_range(0..3)));
+            }
+            g.add_component(builder.build())
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.25) {
+                g.add_edge(ids[i], ids[j], rng.gen_range(0.05..0.8)).unwrap();
+            }
+        }
+    }
+    let env = Environment::builder()
+        .device(Device::new("big", ResourceVector::mem_cpu(160.0, 200.0)))
+        .device(Device::new("mid", ResourceVector::mem_cpu(80.0, 90.0)))
+        .device(Device::new("small", ResourceVector::mem_cpu(30.0, 40.0)))
+        .default_bandwidth_mbps(12.0)
+        .build();
+    (g, env)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any cut an algorithm returns fits, respects pins, and has a finite
+    /// cost that the report reproduces.
+    #[test]
+    fn returned_cuts_fit_and_report_consistently(seed in 0u64..400, n in 3usize..12) {
+        let (g, env) = random_instance(seed, n, true);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let algorithms: Vec<Box<dyn ServiceDistributor>> = vec![
+            Box::new(GreedyHeuristic::paper()),
+            Box::new(GreedyHeuristic::without_device_resort()),
+            Box::new(GreedyHeuristic::without_cluster_adjacency()),
+            Box::new(RandomDistributor::seeded(seed)),
+            Box::new(ExhaustiveOptimal::new()),
+        ];
+        for mut alg in algorithms {
+            if let Ok(cut) = alg.distribute(&p) {
+                prop_assert!(p.fits(&cut), "{} returned an unfit cut", alg.name());
+                prop_assert!(cut.respects_pins(&g).unwrap(), "{}", alg.name());
+                let report = PlacementReport::new(&p, &cut);
+                prop_assert!(report.fits);
+                prop_assert!((report.cost - p.cost(&cut)).abs() < 1e-12);
+                prop_assert!(report.peak_utilization() <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    /// When the optimal solver proves infeasibility, no other algorithm
+    /// finds a cut.
+    #[test]
+    fn optimal_infeasibility_is_authoritative(seed in 0u64..200) {
+        let (g, env) = random_instance(seed, 8, false);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        if ExhaustiveOptimal::new().distribute(&p).is_err() {
+            prop_assert!(GreedyHeuristic::paper().distribute(&p).is_err());
+            prop_assert!(RandomDistributor::seeded(seed).distribute(&p).is_err());
+        }
+    }
+
+    /// Doubling every bandwidth never increases the optimal cost and never
+    /// turns a feasible instance infeasible.
+    #[test]
+    fn more_bandwidth_never_hurts(seed in 0u64..150) {
+        let (g, env) = random_instance(seed, 7, false);
+        let mut rich = env.clone();
+        for i in 0..rich.device_count() {
+            for j in (i + 1)..rich.device_count() {
+                let b = rich.bandwidth().get(i, j);
+                rich.bandwidth_mut().set(i, j, b * 2.0);
+            }
+        }
+        let w = Weights::default();
+        let base = OsdProblem::new(&g, &env, &w);
+        let relaxed = OsdProblem::new(&g, &rich, &w);
+        match (ExhaustiveOptimal::new().distribute(&base), ExhaustiveOptimal::new().distribute(&relaxed)) {
+            (Ok(c1), Ok(c2)) => {
+                prop_assert!(relaxed.cost(&c2) <= base.cost(&c1) + 1e-9);
+            }
+            (Ok(_), Err(_)) => prop_assert!(false, "relaxation lost feasibility"),
+            _ => {}
+        }
+    }
+
+    /// The cost of a cut is invariant under recomputation and the cut
+    /// serializes losslessly.
+    #[test]
+    fn cost_is_deterministic_and_cut_serializes(seed in 0u64..150) {
+        let (g, env) = random_instance(seed, 9, false);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        if let Ok(cut) = GreedyHeuristic::paper().distribute(&p) {
+            prop_assert_eq!(p.cost(&cut).to_bits(), p.cost(&cut).to_bits());
+            let json = serde_json::to_string(&cut).unwrap();
+            let back: Cut = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &cut);
+            prop_assert_eq!(p.cost(&back).to_bits(), p.cost(&cut).to_bits());
+        }
+    }
+
+    /// Charging a feasible cut leaves no device negative and the
+    /// environment refundable to the original state.
+    #[test]
+    fn environment_accounting_is_exact(seed in 0u64..150) {
+        let (g, env) = random_instance(seed, 8, false);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        if let Ok(cut) = GreedyHeuristic::paper().distribute(&p) {
+            let mut working = env.clone();
+            working.charge_cut(&g, &cut).unwrap();
+            for d in working.devices() {
+                for &a in d.availability().amounts() {
+                    prop_assert!(a >= 0.0);
+                }
+            }
+            // Residual bandwidth never exceeds the original.
+            for (i, j, b) in working.bandwidth().pairs() {
+                prop_assert!(b <= env.bandwidth().get(i, j) + 1e-9);
+            }
+            working.refund_cut(&g, &cut).unwrap();
+            for (a, b) in working.devices().iter().zip(env.devices()) {
+                for (x, y) in a.availability().amounts().iter().zip(b.availability().amounts()) {
+                    prop_assert!((x - y).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Abstract service graphs — the developer-provided application
+//! description (Section 3.2, step 1).
+//!
+//! Ubiquitous applications name their components "not explicitly … but
+//! rather in an abstract manner" so the composition tier can accommodate
+//! unexpected runtime variation. An [`AbstractServiceGraph`] mirrors the
+//! structure of the concrete [`crate::ServiceGraph`] but holds
+//! [`AbstractComponentSpec`]s: service-type names, QoS templates, an
+//! *optional* flag ("the developer can also abstractly specify optional
+//! services"), and placement hints.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_model::QosVector;
+
+/// Identifier of a spec within one [`AbstractServiceGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SpecId(u32);
+
+impl SpecId {
+    /// The dense index of this spec.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a spec id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        SpecId(index as u32)
+    }
+}
+
+impl fmt::Display for SpecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Where an abstract component must be instantiated, if constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinHint {
+    /// Must run on the user's current client/portal device (e.g. the
+    /// display service of video-on-demand).
+    ClientDevice,
+    /// Must run on a specific device, identified by environment index.
+    Device(u32),
+}
+
+/// An abstract description of one needed service component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbstractComponentSpec {
+    /// The abstract service-type name, e.g. `"audio-player"`.
+    pub service_type: String,
+    /// QoS the instantiated component's output must be able to provide
+    /// (matched against discovered instances' capabilities/output).
+    pub desired_qos: QosVector,
+    /// Whether the application can run without this service ("if present
+    /// at runtime, enhance the application").
+    pub optional: bool,
+    /// Placement constraint hint, if any.
+    pub pin: Option<PinHint>,
+}
+
+impl AbstractComponentSpec {
+    /// Creates a mandatory spec with no QoS template or pin.
+    pub fn new(service_type: impl Into<String>) -> Self {
+        AbstractComponentSpec {
+            service_type: service_type.into(),
+            desired_qos: QosVector::new(),
+            optional: false,
+            pin: None,
+        }
+    }
+
+    /// Sets the desired QoS template.
+    #[must_use]
+    pub fn with_desired_qos(mut self, qos: QosVector) -> Self {
+        self.desired_qos = qos;
+        self
+    }
+
+    /// Marks the spec optional.
+    #[must_use]
+    pub fn optional(mut self) -> Self {
+        self.optional = true;
+        self
+    }
+
+    /// Constrains placement.
+    #[must_use]
+    pub fn with_pin(mut self, pin: PinHint) -> Self {
+        self.pin = Some(pin);
+        self
+    }
+}
+
+/// The abstract service graph: specs plus the interactions/dependencies
+/// between them, structured like the concrete service graph.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_graph::{AbstractComponentSpec, AbstractServiceGraph};
+/// let mut g = AbstractServiceGraph::new();
+/// let server = g.add_spec(AbstractComponentSpec::new("audio-server"));
+/// let player = g.add_spec(AbstractComponentSpec::new("audio-player"));
+/// g.add_edge(server, player, 1.4)?;
+/// assert_eq!(g.spec_count(), 2);
+/// # Ok::<(), ubiqos_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AbstractServiceGraph {
+    specs: Vec<AbstractComponentSpec>,
+    edges: Vec<(SpecId, SpecId, f64)>,
+}
+
+impl AbstractServiceGraph {
+    /// Creates an empty abstract graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a spec, returning its id.
+    pub fn add_spec(&mut self, spec: AbstractComponentSpec) -> SpecId {
+        let id = SpecId(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+
+    /// Adds a dependency edge with an estimated stream throughput (Mbps).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`crate::ServiceGraph::add_edge`]: unknown ids, self-loops,
+    /// duplicates, cycles, and invalid throughputs are rejected.
+    pub fn add_edge(&mut self, from: SpecId, to: SpecId, throughput: f64) -> Result<(), GraphError> {
+        use crate::ids::ComponentId;
+        let as_cid = |s: SpecId| ComponentId::from_index(s.index());
+        if from.index() >= self.specs.len() {
+            return Err(GraphError::UnknownComponent(as_cid(from)));
+        }
+        if to.index() >= self.specs.len() {
+            return Err(GraphError::UnknownComponent(as_cid(to)));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(as_cid(from)));
+        }
+        if !throughput.is_finite() || throughput < 0.0 {
+            return Err(GraphError::InvalidThroughput(throughput));
+        }
+        if self.edges.iter().any(|&(f, t, _)| f == from && t == to) {
+            return Err(GraphError::DuplicateEdge {
+                from: as_cid(from),
+                to: as_cid(to),
+            });
+        }
+        if self.reaches(to, from) {
+            return Err(GraphError::WouldCycle {
+                from: as_cid(from),
+                to: as_cid(to),
+            });
+        }
+        self.edges.push((from, to, throughput));
+        Ok(())
+    }
+
+    /// The number of specs.
+    pub fn spec_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrows a spec.
+    pub fn spec(&self, id: SpecId) -> Option<&AbstractComponentSpec> {
+        self.specs.get(id.index())
+    }
+
+    /// Iterates over `(id, spec)` pairs.
+    pub fn specs(&self) -> impl Iterator<Item = (SpecId, &AbstractComponentSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SpecId(i as u32), s))
+    }
+
+    /// Iterates over `(from, to, throughput)` edges.
+    pub fn edges(&self) -> impl Iterator<Item = (SpecId, SpecId, f64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Specs marked optional.
+    pub fn optional_specs(&self) -> Vec<SpecId> {
+        self.specs()
+            .filter(|(_, s)| s.optional)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn reaches(&self, start: SpecId, target: SpecId) -> bool {
+        if start == target {
+            return true;
+        }
+        let mut seen = vec![false; self.specs.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(node) = stack.pop() {
+            for &(f, t, _) in &self.edges {
+                if f == node {
+                    if t == target {
+                        return true;
+                    }
+                    if !seen[t.index()] {
+                        seen[t.index()] = true;
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::{QosDimension, QosValue};
+
+    #[test]
+    fn build_audio_on_demand_description() {
+        let mut g = AbstractServiceGraph::new();
+        let server = g.add_spec(
+            AbstractComponentSpec::new("audio-server").with_desired_qos(
+                QosVector::new().with(QosDimension::Format, QosValue::token("MPEG")),
+            ),
+        );
+        let player = g.add_spec(
+            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
+        );
+        let eq = g.add_spec(AbstractComponentSpec::new("equalizer").optional());
+        g.add_edge(server, eq, 1.4).unwrap();
+        g.add_edge(eq, player, 1.4).unwrap();
+        assert_eq!(g.spec_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.optional_specs(), vec![eq]);
+        assert_eq!(g.spec(player).unwrap().pin, Some(PinHint::ClientDevice));
+        assert_eq!(g.spec(server).unwrap().desired_qos.dim(), 1);
+    }
+
+    #[test]
+    fn rejects_cycles_and_duplicates() {
+        let mut g = AbstractServiceGraph::new();
+        let a = g.add_spec(AbstractComponentSpec::new("a"));
+        let b = g.add_spec(AbstractComponentSpec::new("b"));
+        g.add_edge(a, b, 1.0).unwrap();
+        assert!(matches!(g.add_edge(b, a, 1.0), Err(GraphError::WouldCycle { .. })));
+        assert!(matches!(
+            g.add_edge(a, b, 2.0),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(g.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(
+            g.add_edge(a, SpecId::from_index(9), 1.0),
+            Err(GraphError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, f64::NAN),
+            Err(GraphError::DuplicateEdge { .. }) | Err(GraphError::InvalidThroughput(_))
+        ));
+    }
+
+    #[test]
+    fn spec_id_display_and_index() {
+        assert_eq!(SpecId::from_index(4).to_string(), "s4");
+        assert_eq!(SpecId::from_index(4).index(), 4);
+    }
+
+    #[test]
+    fn edges_iterator_order() {
+        let mut g = AbstractServiceGraph::new();
+        let a = g.add_spec(AbstractComponentSpec::new("a"));
+        let b = g.add_spec(AbstractComponentSpec::new("b"));
+        let c = g.add_spec(AbstractComponentSpec::new("c"));
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, c, 2.0).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(a, b, 1.0), (b, c, 2.0)]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Concrete service components.
+
+use crate::ids::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
+
+/// The structural role a component plays in a service graph.
+///
+/// Roles matter to the runtime (sources drive streams, sinks render them)
+/// and to the distribution tier (sinks are typically pinned to the client
+/// device, per Section 3.3: "the display service in the video-on-demand
+/// application must run on the client device").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentRole {
+    /// Produces data (media server, capture device).
+    Source,
+    /// Consumes/renders data (player, display).
+    Sink,
+    /// Transforms data in transit (filter, transcoder, synchronizer).
+    Processor,
+}
+
+impl fmt::Display for ComponentRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentRole::Source => f.write_str("source"),
+            ComponentRole::Sink => f.write_str("sink"),
+            ComponentRole::Processor => f.write_str("processor"),
+        }
+    }
+}
+
+/// One autonomous service component (Section 2 of the paper).
+///
+/// A component performs an independent operation (transformation,
+/// synchronization, filtering) on the stream passing through it. It
+/// carries:
+///
+/// * `qos_in` — the QoS requirement on its input (`Q_in`);
+/// * `qos_out` — the QoS of the output it is *currently configured* to
+///   produce (`Q_out`);
+/// * `capabilities` — for dynamically configurable components, the full
+///   space of output QoS it *could* produce per dimension. The OC
+///   algorithm adjusts `qos_out` within `capabilities` when correcting
+///   inconsistencies;
+/// * `passthrough` — dimensions where the component forwards its input
+///   (e.g. a forwarding gateway's frame rate): when OC retunes such an
+///   output dimension, the component's input requirement follows, which
+///   produces the paper's upstream-cascading adjustment;
+/// * `resources` — the end-system resource requirement vector `R`
+///   (normalized to benchmark units);
+/// * `pinned_to` — a device this component must run on, if any.
+///
+/// Construct components with [`ServiceComponent::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceComponent {
+    name: String,
+    role: ComponentRole,
+    qos_in: QosVector,
+    qos_out: QosVector,
+    capabilities: QosVector,
+    passthrough: Vec<QosDimension>,
+    resources: ResourceVector,
+    pinned_to: Option<DeviceId>,
+}
+
+impl ServiceComponent {
+    /// Starts building a component with the given service-type name
+    /// (e.g. `"audio-server"`).
+    pub fn builder(name: impl Into<String>) -> ServiceComponentBuilder {
+        ServiceComponentBuilder {
+            component: ServiceComponent {
+                name: name.into(),
+                role: ComponentRole::Processor,
+                qos_in: QosVector::new(),
+                qos_out: QosVector::new(),
+                capabilities: QosVector::new(),
+                passthrough: Vec::new(),
+                resources: ResourceVector::zero(2),
+                pinned_to: None,
+            },
+        }
+    }
+
+    /// The service-type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The structural role.
+    pub fn role(&self) -> ComponentRole {
+        self.role
+    }
+
+    /// The input QoS requirement `Q_in`.
+    pub fn qos_in(&self) -> &QosVector {
+        &self.qos_in
+    }
+
+    /// The currently configured output QoS `Q_out`.
+    pub fn qos_out(&self) -> &QosVector {
+        &self.qos_out
+    }
+
+    /// The tunable output capability per dimension.
+    ///
+    /// Dimensions absent from the capability vector are *not* adjustable;
+    /// their `qos_out` value is fixed.
+    pub fn capabilities(&self) -> &QosVector {
+        &self.capabilities
+    }
+
+    /// Dimensions whose input requirement follows the output setting.
+    pub fn passthrough(&self) -> &[QosDimension] {
+        &self.passthrough
+    }
+
+    /// The end-system resource requirement `R` in benchmark units.
+    pub fn resources(&self) -> &ResourceVector {
+        &self.resources
+    }
+
+    /// The device this component is pinned to, if any.
+    pub fn pinned_to(&self) -> Option<DeviceId> {
+        self.pinned_to
+    }
+
+    /// Pins or unpins the component.
+    pub fn set_pinned_to(&mut self, device: Option<DeviceId>) {
+        self.pinned_to = device;
+    }
+
+    /// Whether the output of dimension `dim` can be retuned.
+    pub fn is_adjustable(&self, dim: &QosDimension) -> bool {
+        self.capabilities.get(dim).is_some()
+    }
+
+    /// Retunes the output value of `dim` to `value`, propagating to the
+    /// input requirement when `dim` is a passthrough dimension.
+    ///
+    /// The caller (the OC algorithm) is responsible for choosing a `value`
+    /// inside the capability; this method enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending capability when `value` is outside it, or
+    /// `None`-capability when the dimension is not adjustable.
+    pub fn adjust_output(
+        &mut self,
+        dim: &QosDimension,
+        value: QosValue,
+    ) -> Result<(), AdjustError> {
+        match self.capabilities.get(dim) {
+            None => Err(AdjustError::NotAdjustable { dim: dim.clone() }),
+            Some(cap) if !value.satisfies(cap) => Err(AdjustError::OutsideCapability {
+                dim: dim.clone(),
+                value,
+                capability: cap.clone(),
+            }),
+            Some(_) => {
+                self.qos_out.set(dim.clone(), value.clone());
+                if self.passthrough.contains(dim) {
+                    self.qos_in.set(dim.clone(), value);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Directly overwrites the configured output QoS vector.
+    ///
+    /// Used by discovery when instantiating a concrete component at a
+    /// specific initial operating point; unlike [`Self::adjust_output`] it
+    /// performs no capability checking.
+    pub fn set_qos_out(&mut self, qos: QosVector) {
+        self.qos_out = qos;
+    }
+
+    /// Directly overwrites the input QoS requirement vector.
+    pub fn set_qos_in(&mut self, qos: QosVector) {
+        self.qos_in = qos;
+    }
+}
+
+impl fmt::Display for ServiceComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.role)
+    }
+}
+
+/// Error from [`ServiceComponent::adjust_output`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdjustError {
+    /// The dimension has no declared capability.
+    NotAdjustable {
+        /// The dimension that was requested.
+        dim: QosDimension,
+    },
+    /// The requested value falls outside the declared capability.
+    OutsideCapability {
+        /// The dimension that was requested.
+        dim: QosDimension,
+        /// The requested value.
+        value: QosValue,
+        /// The declared capability it violates.
+        capability: QosValue,
+    },
+}
+
+impl fmt::Display for AdjustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdjustError::NotAdjustable { dim } => {
+                write!(f, "output dimension {dim} is not adjustable")
+            }
+            AdjustError::OutsideCapability {
+                dim,
+                value,
+                capability,
+            } => write!(
+                f,
+                "value {value} for {dim} is outside capability {capability}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdjustError {}
+
+/// Builder for [`ServiceComponent`] (see
+/// [`ServiceComponent::builder`]).
+#[derive(Debug, Clone)]
+pub struct ServiceComponentBuilder {
+    component: ServiceComponent,
+}
+
+impl ServiceComponentBuilder {
+    /// Sets the structural role (default: [`ComponentRole::Processor`]).
+    pub fn role(mut self, role: ComponentRole) -> Self {
+        self.component.role = role;
+        self
+    }
+
+    /// Sets the input QoS requirement `Q_in`.
+    pub fn qos_in(mut self, qos: QosVector) -> Self {
+        self.component.qos_in = qos;
+        self
+    }
+
+    /// Sets the configured output QoS `Q_out`.
+    pub fn qos_out(mut self, qos: QosVector) -> Self {
+        self.component.qos_out = qos;
+        self
+    }
+
+    /// Declares a tunable output capability for one dimension.
+    pub fn capability(mut self, dim: QosDimension, value: QosValue) -> Self {
+        self.component.capabilities.set(dim, value);
+        self
+    }
+
+    /// Declares a passthrough dimension (input requirement follows output).
+    pub fn passthrough(mut self, dim: QosDimension) -> Self {
+        if !self.component.passthrough.contains(&dim) {
+            self.component.passthrough.push(dim);
+        }
+        self
+    }
+
+    /// Sets the resource requirement vector (default: zero `[mem, cpu]`).
+    pub fn resources(mut self, resources: ResourceVector) -> Self {
+        self.component.resources = resources;
+        self
+    }
+
+    /// Pins the component to a device.
+    pub fn pinned_to(mut self, device: DeviceId) -> Self {
+        self.component.pinned_to = Some(device);
+        self
+    }
+
+    /// Finishes building the component.
+    pub fn build(self) -> ServiceComponent {
+        self.component
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_model::QosDimension as D;
+
+    fn adjustable_player() -> ServiceComponent {
+        ServiceComponent::builder("player")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(D::Format, QosValue::token("WAV"))
+                    .with(D::FrameRate, QosValue::range(10.0, 40.0)),
+            )
+            .qos_out(QosVector::new().with(D::FrameRate, QosValue::exact(40.0)))
+            .capability(D::FrameRate, QosValue::range(5.0, 40.0))
+            .passthrough(D::FrameRate)
+            .resources(ResourceVector::mem_cpu(8.0, 15.0))
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = adjustable_player();
+        assert_eq!(c.name(), "player");
+        assert_eq!(c.role(), ComponentRole::Sink);
+        assert_eq!(c.resources().amounts(), &[8.0, 15.0]);
+        assert!(c.is_adjustable(&D::FrameRate));
+        assert!(!c.is_adjustable(&D::Format));
+        assert_eq!(c.pinned_to(), None);
+        assert_eq!(c.to_string(), "player (sink)");
+    }
+
+    #[test]
+    fn adjust_within_capability_updates_output_and_passthrough_input() {
+        let mut c = adjustable_player();
+        c.adjust_output(&D::FrameRate, QosValue::exact(20.0)).unwrap();
+        assert_eq!(c.qos_out().get(&D::FrameRate), Some(&QosValue::exact(20.0)));
+        // Passthrough: the input requirement now follows the output.
+        assert_eq!(c.qos_in().get(&D::FrameRate), Some(&QosValue::exact(20.0)));
+        // Non-passthrough dimensions of the input are untouched.
+        assert_eq!(c.qos_in().get(&D::Format), Some(&QosValue::token("WAV")));
+    }
+
+    #[test]
+    fn adjust_outside_capability_fails() {
+        let mut c = adjustable_player();
+        let err = c
+            .adjust_output(&D::FrameRate, QosValue::exact(60.0))
+            .unwrap_err();
+        assert!(matches!(err, AdjustError::OutsideCapability { .. }));
+        // State unchanged on failure.
+        assert_eq!(c.qos_out().get(&D::FrameRate), Some(&QosValue::exact(40.0)));
+    }
+
+    #[test]
+    fn adjust_nonadjustable_dimension_fails() {
+        let mut c = adjustable_player();
+        let err = c
+            .adjust_output(&D::Format, QosValue::token("MPEG"))
+            .unwrap_err();
+        assert_eq!(err, AdjustError::NotAdjustable { dim: D::Format });
+        assert_eq!(err.to_string(), "output dimension format is not adjustable");
+    }
+
+    #[test]
+    fn adjust_non_passthrough_leaves_input_alone() {
+        let mut c = ServiceComponent::builder("scaler")
+            .qos_in(QosVector::new().with(D::Resolution, QosValue::exact(1e6)))
+            .qos_out(QosVector::new().with(D::Resolution, QosValue::exact(1e6)))
+            .capability(D::Resolution, QosValue::range(1e5, 2e6))
+            .build();
+        c.adjust_output(&D::Resolution, QosValue::exact(5e5)).unwrap();
+        assert_eq!(c.qos_in().get(&D::Resolution), Some(&QosValue::exact(1e6)));
+        assert_eq!(c.qos_out().get(&D::Resolution), Some(&QosValue::exact(5e5)));
+    }
+
+    #[test]
+    fn pinning() {
+        let mut c = adjustable_player();
+        c.set_pinned_to(Some(DeviceId::from_index(2)));
+        assert_eq!(c.pinned_to(), Some(DeviceId::from_index(2)));
+        c.set_pinned_to(None);
+        assert_eq!(c.pinned_to(), None);
+    }
+
+    #[test]
+    fn passthrough_dedup() {
+        let c = ServiceComponent::builder("x")
+            .passthrough(D::FrameRate)
+            .passthrough(D::FrameRate)
+            .build();
+        assert_eq!(c.passthrough().len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Graphviz DOT export for service graphs.
+//!
+//! Handy for debugging composed graphs and for illustrating cuts: parts of
+//! a [`crate::Cut`] render as colored clusters.
+
+use crate::cut::Cut;
+use crate::graph::ServiceGraph;
+use std::fmt::Write as _;
+
+/// Renders a service graph in Graphviz DOT format.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_graph::{dot, ServiceComponent, ServiceGraph};
+/// let mut g = ServiceGraph::new();
+/// let a = g.add_component(ServiceComponent::builder("server").build());
+/// let b = g.add_component(ServiceComponent::builder("player").build());
+/// g.add_edge(a, b, 1.4)?;
+/// let rendered = dot::to_dot(&g);
+/// assert!(rendered.contains("digraph"));
+/// assert!(rendered.contains("server"));
+/// # Ok::<(), ubiqos_graph::GraphError>(())
+/// ```
+pub fn to_dot(graph: &ServiceGraph) -> String {
+    let mut out = String::from("digraph service_graph {\n  rankdir=LR;\n");
+    for (id, c) in graph.components() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\n{}\"];",
+            id.index(),
+            escape(c.name()),
+            c.role()
+        );
+    }
+    render_edges(graph, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a service graph with a cut overlaid as device clusters.
+pub fn to_dot_with_cut(graph: &ServiceGraph, cut: &Cut) -> String {
+    let mut out = String::from("digraph service_distribution {\n  rankdir=LR;\n");
+    for part in 0..cut.parts() {
+        let members = cut.part_members(part);
+        let _ = writeln!(out, "  subgraph cluster_{part} {{");
+        let _ = writeln!(out, "    label=\"device {part}\";");
+        for id in members {
+            if let Ok(c) = graph.component(id) {
+                let _ = writeln!(out, "    {} [label=\"{}\"];", id.index(), escape(c.name()));
+            }
+        }
+        out.push_str("  }\n");
+    }
+    render_edges(graph, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn render_edges(graph: &ServiceGraph, out: &mut String) {
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:.1}\"];",
+            e.from.index(),
+            e.to.index(),
+            e.throughput
+        );
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ServiceComponent;
+
+    #[test]
+    fn plain_dot_contains_nodes_and_edges() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(ServiceComponent::builder("a\"quote").build());
+        let b = g.add_component(ServiceComponent::builder("b").build());
+        g.add_edge(a, b, 2.5).unwrap();
+        let d = to_dot(&g);
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("a\\\"quote"), "quotes are escaped");
+        assert!(d.contains("0 -> 1"));
+        assert!(d.contains("2.5"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cut_dot_renders_clusters() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(ServiceComponent::builder("a").build());
+        let b = g.add_component(ServiceComponent::builder("b").build());
+        g.add_edge(a, b, 1.0).unwrap();
+        let cut = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
+        let d = to_dot_with_cut(&g, &cut);
+        assert!(d.contains("cluster_0"));
+        assert!(d.contains("cluster_1"));
+        assert!(d.contains("device 0"));
+        assert!(d.contains("0 -> 1"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors for service-graph operations.
+
+use crate::ids::ComponentId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::ServiceGraph`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An operation referenced a component id not in this graph.
+    UnknownComponent(ComponentId),
+    /// An edge would connect a component to itself.
+    SelfLoop(ComponentId),
+    /// The edge already exists.
+    DuplicateEdge {
+        /// Tail of the duplicate edge.
+        from: ComponentId,
+        /// Head of the duplicate edge.
+        to: ComponentId,
+    },
+    /// Adding this edge would create a directed cycle.
+    WouldCycle {
+        /// Tail of the offending edge.
+        from: ComponentId,
+        /// Head of the offending edge.
+        to: ComponentId,
+    },
+    /// The graph contains a cycle (detected during a whole-graph check).
+    CycleDetected,
+    /// An edge throughput was negative or non-finite.
+    InvalidThroughput(f64),
+    /// The referenced edge does not exist.
+    UnknownEdge {
+        /// Tail of the missing edge.
+        from: ComponentId,
+        /// Head of the missing edge.
+        to: ComponentId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownComponent(id) => write!(f, "unknown component {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop on component {id}"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            GraphError::WouldCycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            GraphError::CycleDetected => write!(f, "service graph contains a cycle"),
+            GraphError::InvalidThroughput(v) => {
+                write!(f, "invalid edge throughput {v}: must be finite and non-negative")
+            }
+            GraphError::UnknownEdge { from, to } => {
+                write!(f, "no edge {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ComponentId;
+
+    #[test]
+    fn display_nonempty() {
+        let c0 = ComponentId::from_index(0);
+        let c1 = ComponentId::from_index(1);
+        for e in [
+            GraphError::UnknownComponent(c0),
+            GraphError::SelfLoop(c0),
+            GraphError::DuplicateEdge { from: c0, to: c1 },
+            GraphError::WouldCycle { from: c0, to: c1 },
+            GraphError::CycleDetected,
+            GraphError::InvalidThroughput(-1.0),
+            GraphError::UnknownEdge { from: c0, to: c1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

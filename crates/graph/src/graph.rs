@@ -1,0 +1,470 @@
+//! The service graph: a DAG of components with weighted edges.
+
+use crate::component::ServiceComponent;
+use crate::error::GraphError;
+use crate::ids::ComponentId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One directed edge of a service graph with its communication throughput
+/// `c(u, v)` (paper Section 3.3; units are Mbps throughout this
+/// reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// The upstream component.
+    pub from: ComponentId,
+    /// The downstream component.
+    pub to: ComponentId,
+    /// Communication throughput required on this edge, in Mbps.
+    pub throughput: f64,
+}
+
+/// A directed acyclic graph of service components (Section 2).
+///
+/// The graph enforces acyclicity *incrementally*: [`ServiceGraph::add_edge`]
+/// rejects edges that would close a cycle, so a `ServiceGraph` is a DAG by
+/// construction. Components are identified by dense [`ComponentId`]s;
+/// removing components is not supported (the configuration model only ever
+/// *adds* correction components such as transcoders), which keeps ids
+/// stable for the lifetime of a graph.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_graph::{ServiceComponent, ServiceGraph};
+/// let mut g = ServiceGraph::new();
+/// let a = g.add_component(ServiceComponent::builder("a").build());
+/// let b = g.add_component(ServiceComponent::builder("b").build());
+/// g.add_edge(a, b, 2.0)?;
+/// assert!(g.add_edge(b, a, 1.0).is_err()); // would cycle
+/// # Ok::<(), ubiqos_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceGraph {
+    components: Vec<ServiceComponent>,
+    /// Edge throughputs keyed by `(from, to)`.
+    #[serde(with = "edge_map_serde")]
+    edges: BTreeMap<(ComponentId, ComponentId), f64>,
+    /// Outgoing adjacency, parallel to `components`.
+    out_adj: Vec<Vec<ComponentId>>,
+    /// Incoming adjacency, parallel to `components`.
+    in_adj: Vec<Vec<ComponentId>>,
+}
+
+impl ServiceGraph {
+    /// Creates an empty service graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component, returning its id.
+    pub fn add_component(&mut self, component: ServiceComponent) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(component);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge with the given throughput (Mbps).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownComponent`] — either endpoint is not in the
+    ///   graph;
+    /// * [`GraphError::SelfLoop`] — `from == to`;
+    /// * [`GraphError::DuplicateEdge`] — the edge already exists;
+    /// * [`GraphError::WouldCycle`] — the edge would close a directed
+    ///   cycle;
+    /// * [`GraphError::InvalidThroughput`] — `throughput` is negative or
+    ///   non-finite.
+    pub fn add_edge(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        throughput: f64,
+    ) -> Result<(), GraphError> {
+        self.check_id(from)?;
+        self.check_id(to)?;
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if !throughput.is_finite() || throughput < 0.0 {
+            return Err(GraphError::InvalidThroughput(throughput));
+        }
+        if self.edges.contains_key(&(from, to)) {
+            return Err(GraphError::DuplicateEdge { from, to });
+        }
+        if self.is_reachable(to, from) {
+            return Err(GraphError::WouldCycle { from, to });
+        }
+        self.edges.insert((from, to), throughput);
+        self.out_adj[from.index()].push(to);
+        self.in_adj[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Removes an edge, returning its throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] when the edge does not exist.
+    pub fn remove_edge(&mut self, from: ComponentId, to: ComponentId) -> Result<f64, GraphError> {
+        match self.edges.remove(&(from, to)) {
+            Some(tp) => {
+                self.out_adj[from.index()].retain(|&c| c != to);
+                self.in_adj[to.index()].retain(|&c| c != from);
+                Ok(tp)
+            }
+            None => Err(GraphError::UnknownEdge { from, to }),
+        }
+    }
+
+    /// Splices `component` into the middle of an existing edge
+    /// `from -> to`, producing `from -> component -> to`.
+    ///
+    /// This is the graph operation behind the OC algorithm's transcoder and
+    /// buffer insertion. `in_throughput` is the throughput of the new
+    /// upstream edge; `out_throughput` of the new downstream edge (a
+    /// transcoder generally changes the stream's bandwidth).
+    ///
+    /// Returns the id of the inserted component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] when `from -> to` does not
+    /// exist, or [`GraphError::InvalidThroughput`] for bad throughputs. The
+    /// graph is unchanged on error.
+    pub fn split_edge(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        component: ServiceComponent,
+        in_throughput: f64,
+        out_throughput: f64,
+    ) -> Result<ComponentId, GraphError> {
+        if !self.edges.contains_key(&(from, to)) {
+            return Err(GraphError::UnknownEdge { from, to });
+        }
+        for tp in [in_throughput, out_throughput] {
+            if !tp.is_finite() || tp < 0.0 {
+                return Err(GraphError::InvalidThroughput(tp));
+            }
+        }
+        self.remove_edge(from, to)?;
+        let mid = self.add_component(component);
+        // These inserts cannot fail: `mid` is fresh, so no duplicate edge
+        // or cycle can arise.
+        self.add_edge(from, mid, in_throughput)
+            .expect("edge to fresh node");
+        self.add_edge(mid, to, out_throughput)
+            .expect("edge from fresh node");
+        Ok(mid)
+    }
+
+    /// The number of components `V`.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The number of edges `E`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Borrows a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownComponent`] for ids from another graph.
+    pub fn component(&self, id: ComponentId) -> Result<&ServiceComponent, GraphError> {
+        self.components
+            .get(id.index())
+            .ok_or(GraphError::UnknownComponent(id))
+    }
+
+    /// Mutably borrows a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownComponent`] for ids from another graph.
+    pub fn component_mut(&mut self, id: ComponentId) -> Result<&mut ServiceComponent, GraphError> {
+        self.components
+            .get_mut(id.index())
+            .ok_or(GraphError::UnknownComponent(id))
+    }
+
+    /// Iterates over `(id, component)` pairs in id order.
+    pub fn components(&self) -> impl Iterator<Item = (ComponentId, &ServiceComponent)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ComponentId(i as u32), c))
+    }
+
+    /// All component ids in id order.
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        (0..self.components.len()).map(|i| ComponentId(i as u32))
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.edges.iter().map(|(&(from, to), &throughput)| Edge {
+            from,
+            to,
+            throughput,
+        })
+    }
+
+    /// The throughput of edge `from -> to`, if it exists.
+    pub fn edge_throughput(&self, from: ComponentId, to: ComponentId) -> Option<f64> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// Direct successors of a component.
+    pub fn successors(&self, id: ComponentId) -> &[ComponentId] {
+        self.out_adj.get(id.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Direct predecessors of a component.
+    pub fn predecessors(&self, id: ComponentId) -> &[ComponentId] {
+        self.in_adj.get(id.index()).map_or(&[], Vec::as_slice)
+    }
+
+    /// Components with no incoming edges (stream sources).
+    pub fn roots(&self) -> Vec<ComponentId> {
+        self.component_ids()
+            .filter(|id| self.predecessors(*id).is_empty())
+            .collect()
+    }
+
+    /// Components with no outgoing edges (stream sinks).
+    pub fn leaves(&self) -> Vec<ComponentId> {
+        self.component_ids()
+            .filter(|id| self.successors(*id).is_empty())
+            .collect()
+    }
+
+    /// The sum of all edge throughputs (an upper bound on any cut's
+    /// bandwidth demand).
+    pub fn total_throughput(&self) -> f64 {
+        self.edges.values().sum()
+    }
+
+    /// Whether `target` is reachable from `start` along directed edges.
+    pub fn is_reachable(&self, start: ComponentId, target: ComponentId) -> bool {
+        if start == target {
+            return true;
+        }
+        let mut seen = vec![false; self.components.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(node) = stack.pop() {
+            for &next in self.successors(node) {
+                if next == target {
+                    return true;
+                }
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+
+    fn check_id(&self, id: ComponentId) -> Result<(), GraphError> {
+        if id.index() < self.components.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownComponent(id))
+        }
+    }
+}
+
+/// Serializes the tuple-keyed edge map as a list of `(from, to,
+/// throughput)` triples, since JSON maps require string keys.
+mod edge_map_serde {
+    use super::ComponentId;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::BTreeMap;
+
+    pub fn serialize<S: Serializer>(
+        edges: &BTreeMap<(ComponentId, ComponentId), f64>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let triples: Vec<(ComponentId, ComponentId, f64)> = edges
+            .iter()
+            .map(|(&(from, to), &tp)| (from, to, tp))
+            .collect();
+        triples.serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(ComponentId, ComponentId), f64>, D::Error> {
+        let triples = Vec::<(ComponentId, ComponentId, f64)>::deserialize(deserializer)?;
+        Ok(triples
+            .into_iter()
+            .map(|(from, to, tp)| ((from, to), tp))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ServiceComponent;
+
+    fn node(name: &str) -> ServiceComponent {
+        ServiceComponent::builder(name).build()
+    }
+
+    fn diamond() -> (ServiceGraph, [ComponentId; 4]) {
+        // a -> b -> d, a -> c -> d
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(node("a"));
+        let b = g.add_component(node("b"));
+        let c = g.add_component(node("c"));
+        let d = g.add_component(node("d"));
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(a, c, 2.0).unwrap();
+        g.add_edge(b, d, 3.0).unwrap();
+        g.add_edge(c, d, 4.0).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.component_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessors(d), &[b, c]);
+        assert_eq!(g.roots(), vec![a]);
+        assert_eq!(g.leaves(), vec![d]);
+        assert_eq!(g.edge_throughput(c, d), Some(4.0));
+        assert_eq!(g.edge_throughput(d, c), None);
+        assert!((g.total_throughput() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_cycles_self_loops_duplicates() {
+        let (mut g, [a, b, _, d]) = diamond();
+        assert_eq!(
+            g.add_edge(d, a, 1.0),
+            Err(GraphError::WouldCycle { from: d, to: a })
+        );
+        assert_eq!(g.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(a)));
+        assert_eq!(
+            g.add_edge(a, b, 9.0),
+            Err(GraphError::DuplicateEdge { from: a, to: b })
+        );
+        assert_eq!(g.edge_count(), 4, "graph unchanged after rejections");
+    }
+
+    #[test]
+    fn rejects_bad_throughput_and_unknown_ids() {
+        let (mut g, [a, b, ..]) = diamond();
+        let ghost = ComponentId::from_index(99);
+        assert_eq!(
+            g.add_edge(a, ghost, 1.0),
+            Err(GraphError::UnknownComponent(ghost))
+        );
+        assert_eq!(g.remove_edge(b, a), Err(GraphError::UnknownEdge { from: b, to: a }));
+        let (mut g2, [a2, _, c2, _]) = diamond();
+        assert!(matches!(
+            g2.add_edge(c2, a2, f64::NAN),
+            Err(GraphError::WouldCycle { .. }) | Err(GraphError::InvalidThroughput(_))
+        ));
+        assert!(matches!(
+            g.add_edge(b, ComponentId::from_index(3), -2.0),
+            Err(GraphError::InvalidThroughput(_))
+        ));
+    }
+
+    #[test]
+    fn remove_edge_updates_adjacency() {
+        let (mut g, [a, b, _, d]) = diamond();
+        assert_eq!(g.remove_edge(a, b).unwrap(), 1.0);
+        assert_eq!(g.successors(a).len(), 1);
+        assert_eq!(g.predecessors(b).len(), 0);
+        assert_eq!(g.edge_count(), 3);
+        // Removing the edge breaks reachability through b but not c.
+        assert!(g.is_reachable(a, d));
+        assert!(!g.is_reachable(a, b));
+    }
+
+    #[test]
+    fn split_edge_inserts_component() {
+        let (mut g, [a, b, ..]) = diamond();
+        let t = g
+            .split_edge(a, b, node("transcoder"), 1.5, 0.7)
+            .unwrap();
+        assert_eq!(g.component_count(), 5);
+        assert_eq!(g.edge_throughput(a, b), None);
+        assert_eq!(g.edge_throughput(a, t), Some(1.5));
+        assert_eq!(g.edge_throughput(t, b), Some(0.7));
+        assert_eq!(g.component(t).unwrap().name(), "transcoder");
+        assert_eq!(g.predecessors(t), &[a]);
+        assert_eq!(g.successors(t), &[b]);
+    }
+
+    #[test]
+    fn split_missing_edge_fails_cleanly() {
+        let (mut g, [a, _, _, d]) = diamond();
+        let before = g.clone();
+        assert_eq!(
+            g.split_edge(d, a, node("x"), 1.0, 1.0),
+            Err(GraphError::UnknownEdge { from: d, to: a })
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn split_edge_invalid_throughput_leaves_graph_unchanged() {
+        let (mut g, [a, b, ..]) = diamond();
+        let before = g.clone();
+        assert!(matches!(
+            g.split_edge(a, b, node("x"), -1.0, 1.0),
+            Err(GraphError::InvalidThroughput(_))
+        ));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn reachability() {
+        let (g, [a, b, c, d]) = diamond();
+        assert!(g.is_reachable(a, d));
+        assert!(g.is_reachable(a, a), "every node reaches itself");
+        assert!(!g.is_reachable(b, c));
+        assert!(!g.is_reachable(d, a));
+    }
+
+    #[test]
+    fn component_access_and_mutation() {
+        let (mut g, [a, ..]) = diamond();
+        assert_eq!(g.component(a).unwrap().name(), "a");
+        g.component_mut(a)
+            .unwrap()
+            .set_pinned_to(Some(crate::ids::DeviceId::from_index(0)));
+        assert!(g.component(a).unwrap().pinned_to().is_some());
+        let ghost = ComponentId::from_index(42);
+        assert!(g.component(ghost).is_err());
+        assert!(g.component_mut(ghost).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ServiceGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.roots(), Vec::<ComponentId>::new());
+        assert_eq!(g.leaves(), Vec::<ComponentId>::new());
+        assert_eq!(g.total_throughput(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed identifiers for graph nodes and devices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a service component within one [`crate::ServiceGraph`].
+///
+/// Component ids are dense indices handed out by
+/// [`crate::ServiceGraph::add_component`]; they are only meaningful
+/// relative to the graph that created them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ComponentId(pub(crate) u32);
+
+impl ComponentId {
+    /// The dense index of this component in its graph.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a dense index.
+    ///
+    /// Intended for callers that store assignments in parallel arrays
+    /// (e.g. the distribution tier's cut representation); passing an index
+    /// that does not exist in the target graph yields
+    /// [`crate::GraphError::UnknownComponent`] from graph operations.
+    pub fn from_index(index: usize) -> Self {
+        ComponentId(index as u32)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a device in the current environment.
+///
+/// Devices are owned by the distribution tier's environment description;
+/// the graph crate uses the id only for placement *pins* (components that
+/// must run on a particular device, e.g. the display service on the client
+/// device).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The dense index of this device in its environment.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        assert_eq!(ComponentId::from_index(7).index(), 7);
+        assert_eq!(DeviceId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ComponentId::from_index(2).to_string(), "c2");
+        assert_eq!(DeviceId::from_index(1).to_string(), "d1");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ComponentId::from_index(1) < ComponentId::from_index(2));
+        assert!(DeviceId::from_index(0) < DeviceId::from_index(9));
+    }
+}

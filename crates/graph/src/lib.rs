@@ -1,0 +1,63 @@
+//! # ubiqos-graph
+//!
+//! The service-graph substrate of the *ubiqos* reproduction of Gu &
+//! Nahrstedt, ICDCS 2002. Applications are modeled as directed acyclic
+//! graphs of autonomous service components (Section 2 of the paper):
+//!
+//! * [`ServiceComponent`] — one component with its input QoS requirement
+//!   `Q_in`, current output QoS `Q_out`, tunable output *capabilities*,
+//!   end-system resource requirement `R`, and placement constraints;
+//! * [`ServiceGraph`] — the DAG with integer edge throughputs `c(u, v)`;
+//! * [`topo`] — topological sorting (the first step of the Ordered
+//!   Coordination algorithm);
+//! * [`Cut`] — a k-cut of the graph (Definition 3.3) together with the
+//!   per-part resource sums and inter-part throughput sums `T_{i,j}`
+//!   consumed by the distribution tier's fit-into check (Definition 3.4)
+//!   and cost aggregation (Definition 3.5);
+//! * [`AbstractServiceGraph`] — the developer-provided high-level
+//!   application description that the composition tier instantiates
+//!   against the current environment.
+//!
+//! # Example
+//!
+//! ```
+//! use ubiqos_graph::{ComponentRole, ServiceComponent, ServiceGraph};
+//! use ubiqos_model::ResourceVector;
+//!
+//! let mut g = ServiceGraph::new();
+//! let server = g.add_component(
+//!     ServiceComponent::builder("audio-server")
+//!         .role(ComponentRole::Source)
+//!         .resources(ResourceVector::mem_cpu(64.0, 30.0))
+//!         .build(),
+//! );
+//! let player = g.add_component(
+//!     ServiceComponent::builder("audio-player")
+//!         .role(ComponentRole::Sink)
+//!         .resources(ResourceVector::mem_cpu(16.0, 20.0))
+//!         .build(),
+//! );
+//! g.add_edge(server, player, 1.4)?; // 1.4 Mbps stream
+//! assert_eq!(ubiqos_graph::topo::topological_sort(&g)?, vec![server, player]);
+//! # Ok::<(), ubiqos_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abstract_graph;
+pub mod component;
+pub mod cut;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod spec;
+pub mod topo;
+
+pub use abstract_graph::{AbstractComponentSpec, AbstractServiceGraph, PinHint, SpecId};
+pub use component::{ComponentRole, ServiceComponent, ServiceComponentBuilder};
+pub use cut::Cut;
+pub use error::GraphError;
+pub use graph::{Edge, ServiceGraph};
+pub use ids::{ComponentId, DeviceId};

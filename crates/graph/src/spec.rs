@@ -1,0 +1,443 @@
+//! A small textual specification language for abstract service graphs.
+//!
+//! Section 3.1 assumes developers "specify the application service at a
+//! high level of abstraction", citing specification languages like WSDL
+//! and the authors' XML-based QoS enabling language. This module is that
+//! substrate: a line-oriented description language (ASDL) that parses to
+//! an [`AbstractServiceGraph`] and prints back losslessly.
+//!
+//! # Syntax
+//!
+//! ```text
+//! # mobile audio-on-demand
+//! service audio-server {
+//!     require format = MPEG
+//!     require frame-rate in [10, 40]
+//!     pin device 0
+//! }
+//! service equalizer {
+//!     optional
+//! }
+//! service audio-player {
+//!     pin client
+//!     require format in {MPEG, WAV}
+//! }
+//! edge audio-server -> equalizer @ 1.4
+//! edge equalizer -> audio-player @ 1.4
+//! ```
+//!
+//! * `require <dimension> = <value>` — a single-value QoS desire
+//!   (numeric or token);
+//! * `require <dimension> in [lo, hi]` — a numeric range desire;
+//! * `require <dimension> in {A, B}` — a token-set desire;
+//! * `pin client` / `pin device <index>` — placement constraints;
+//! * `optional` — the service enhances but is not required;
+//! * `edge <from> -> <to> @ <mbps>` — a stream with its throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use ubiqos_graph::spec;
+//! let text = "service a {}\nservice b {}\nedge a -> b @ 2.0\n";
+//! let graph = spec::parse(text)?;
+//! assert_eq!(graph.spec_count(), 2);
+//! assert_eq!(spec::parse(&spec::render(&graph))?, graph);
+//! # Ok::<(), ubiqos_graph::spec::SpecParseError>(())
+//! ```
+
+use crate::abstract_graph::{AbstractComponentSpec, AbstractServiceGraph, PinHint, SpecId};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use ubiqos_model::{QosDimension, QosValue};
+
+/// A parse failure, carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecParseError {
+    /// 1-based line where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecParseError {
+    SpecParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an ASDL document into an abstract service graph.
+///
+/// # Errors
+///
+/// Returns a [`SpecParseError`] pinpointing the offending line for
+/// malformed statements, duplicate/unknown service names, or edges that
+/// would make the graph cyclic.
+pub fn parse(text: &str) -> Result<AbstractServiceGraph, SpecParseError> {
+    let mut graph = AbstractServiceGraph::new();
+    let mut names: BTreeMap<String, SpecId> = BTreeMap::new();
+    let mut current: Option<(usize, AbstractComponentSpec, String)> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("service ") {
+            if current.is_some() {
+                return Err(err(lineno, "nested `service` block (missing `}`?)"));
+            }
+            let rest = rest.trim();
+            // `service x {}` declares an empty block on one line.
+            let (name, complete) = if let Some(name) = rest.strip_suffix("{}") {
+                (name.trim(), true)
+            } else if let Some(name) = rest.strip_suffix('{') {
+                (name.trim(), false)
+            } else {
+                return Err(err(lineno, "expected `service <name> {`"));
+            };
+            if name.is_empty() {
+                return Err(err(lineno, "service name is empty"));
+            }
+            if names.contains_key(name) {
+                return Err(err(lineno, format!("duplicate service '{name}'")));
+            }
+            if complete {
+                let id = graph.add_spec(AbstractComponentSpec::new(name));
+                names.insert(name.to_owned(), id);
+            } else {
+                current = Some((lineno, AbstractComponentSpec::new(name), name.to_owned()));
+            }
+        } else if line == "}" {
+            let Some((_, spec, name)) = current.take() else {
+                return Err(err(lineno, "unmatched `}`"));
+            };
+            let id = graph.add_spec(spec);
+            names.insert(name, id);
+        } else if let Some((_, spec, _)) = current.as_mut() {
+            parse_body_line(line, lineno, spec)?;
+        } else if let Some(rest) = line.strip_prefix("edge ") {
+            let (from, to, mbps) = parse_edge(rest, lineno)?;
+            let &from_id = names
+                .get(&from)
+                .ok_or_else(|| err(lineno, format!("unknown service '{from}'")))?;
+            let &to_id = names
+                .get(&to)
+                .ok_or_else(|| err(lineno, format!("unknown service '{to}'")))?;
+            graph
+                .add_edge(from_id, to_id, mbps)
+                .map_err(|e| err(lineno, format!("bad edge: {e}")))?;
+        } else {
+            return Err(err(lineno, format!("unexpected statement: `{line}`")));
+        }
+    }
+    if let Some((opened, _, name)) = current {
+        return Err(err(opened, format!("service '{name}' is never closed")));
+    }
+    Ok(graph)
+}
+
+/// Parses `"<from> -> <to> @ <mbps>"`.
+fn parse_edge(rest: &str, lineno: usize) -> Result<(String, String, f64), SpecParseError> {
+    let (endpoints, mbps) = rest
+        .split_once('@')
+        .ok_or_else(|| err(lineno, "expected `edge <from> -> <to> @ <mbps>`"))?;
+    let (from, to) = endpoints
+        .split_once("->")
+        .ok_or_else(|| err(lineno, "expected `<from> -> <to>` before `@`"))?;
+    let from = from.trim().to_owned();
+    let to = to.trim().to_owned();
+    if from.is_empty() || to.is_empty() {
+        return Err(err(lineno, "edge endpoint name is empty"));
+    }
+    let mbps: f64 = mbps
+        .trim()
+        .parse()
+        .map_err(|_| err(lineno, format!("bad throughput '{}'", mbps.trim())))?;
+    Ok((from, to, mbps))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_body_line(
+    line: &str,
+    lineno: usize,
+    spec: &mut AbstractComponentSpec,
+) -> Result<(), SpecParseError> {
+    if line == "optional" {
+        spec.optional = true;
+        return Ok(());
+    }
+    if line == "pin client" {
+        spec.pin = Some(PinHint::ClientDevice);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("pin device ") {
+        let index: u32 = rest
+            .trim()
+            .parse()
+            .map_err(|_| err(lineno, format!("bad device index '{rest}'")))?;
+        spec.pin = Some(PinHint::Device(index));
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("require ") {
+        let (dim, value) = parse_requirement(rest, lineno)?;
+        spec.desired_qos.set(dim, value);
+        return Ok(());
+    }
+    Err(err(lineno, format!("unexpected statement in service body: `{line}`")))
+}
+
+fn parse_requirement(
+    rest: &str,
+    lineno: usize,
+) -> Result<(QosDimension, QosValue), SpecParseError> {
+    if let Some((dim, value)) = rest.split_once(" in ") {
+        let dim = parse_dimension(dim.trim(), lineno)?;
+        let value = value.trim();
+        if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+            let (lo, hi) = inner
+                .split_once(',')
+                .ok_or_else(|| err(lineno, "range needs `lo, hi`"))?;
+            let lo: f64 = lo
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad number '{lo}'")))?;
+            let hi: f64 = hi
+                .trim()
+                .parse()
+                .map_err(|_| err(lineno, format!("bad number '{hi}'")))?;
+            let value = QosValue::try_range(lo, hi)
+                .map_err(|e| err(lineno, format!("bad range: {e}")))?;
+            return Ok((dim, value));
+        }
+        if let Some(inner) = value.strip_prefix('{').and_then(|v| v.strip_suffix('}')) {
+            let tokens: Vec<String> = inner
+                .split(',')
+                .map(|t| t.trim().to_owned())
+                .filter(|t| !t.is_empty())
+                .collect();
+            if tokens.is_empty() {
+                return Err(err(lineno, "token set is empty"));
+            }
+            return Ok((dim, QosValue::token_set(tokens)));
+        }
+        return Err(err(lineno, "expected `[lo, hi]` or `{A, B}` after `in`"));
+    }
+    if let Some((dim, value)) = rest.split_once('=') {
+        let dim = parse_dimension(dim.trim(), lineno)?;
+        let value = value.trim();
+        if value.is_empty() {
+            return Err(err(lineno, "missing value after `=`"));
+        }
+        let value = match value.parse::<f64>() {
+            Ok(n) => QosValue::exact(n),
+            Err(_) => QosValue::token(value),
+        };
+        return Ok((dim, value));
+    }
+    Err(err(lineno, "expected `require <dim> = <value>` or `require <dim> in <range|set>`"))
+}
+
+fn parse_dimension(name: &str, lineno: usize) -> Result<QosDimension, SpecParseError> {
+    Ok(match name {
+        "format" => QosDimension::Format,
+        "resolution" => QosDimension::Resolution,
+        "frame-rate" => QosDimension::FrameRate,
+        "sample-rate" => QosDimension::SampleRate,
+        "bit-rate" => QosDimension::BitRate,
+        "channels" => QosDimension::Channels,
+        "latency" => QosDimension::Latency,
+        "jitter" => QosDimension::Jitter,
+        other => {
+            if let Some(custom) = other.strip_prefix("custom:") {
+                QosDimension::Custom(custom.to_owned())
+            } else {
+                return Err(err(lineno, format!("unknown QoS dimension '{other}'")));
+            }
+        }
+    })
+}
+
+/// Renders an abstract service graph back into ASDL text. The output
+/// round-trips through [`parse`] to an equal graph.
+pub fn render(graph: &AbstractServiceGraph) -> String {
+    let mut out = String::new();
+    for (_, spec) in graph.specs() {
+        out.push_str(&format!("service {} {{\n", spec.service_type));
+        if spec.optional {
+            out.push_str("    optional\n");
+        }
+        match spec.pin {
+            Some(PinHint::ClientDevice) => out.push_str("    pin client\n"),
+            Some(PinHint::Device(i)) => out.push_str(&format!("    pin device {i}\n")),
+            None => {}
+        }
+        for (dim, value) in spec.desired_qos.iter() {
+            out.push_str(&format!("    require {}\n", render_requirement(dim, value)));
+        }
+        out.push_str("}\n");
+    }
+    // Service names are unique by construction, so edges refer by name.
+    let name_of = |id: SpecId| {
+        graph
+            .spec(id)
+            .expect("edge endpoints exist")
+            .service_type
+            .clone()
+    };
+    for (from, to, mbps) in graph.edges() {
+        out.push_str(&format!("edge {} -> {} @ {}\n", name_of(from), name_of(to), mbps));
+    }
+    out
+}
+
+fn render_requirement(dim: &QosDimension, value: &QosValue) -> String {
+    match value {
+        QosValue::Exact(v) => format!("{dim} = {v}"),
+        QosValue::Token(t) => format!("{dim} = {t}"),
+        QosValue::Range { lo, hi } => format!("{dim} in [{lo}, {hi}]"),
+        QosValue::TokenSet(set) => {
+            let tokens: Vec<&str> = set.iter().map(String::as_str).collect();
+            format!("{dim} in {{{}}}", tokens.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AUDIO: &str = r#"
+# mobile audio-on-demand
+service audio-server {
+    require format = MPEG
+    require frame-rate in [10, 40]
+    pin device 0
+}
+service equalizer {
+    optional            # nice to have
+}
+service audio-player {
+    pin client
+    require format in {MPEG, WAV}
+}
+edge audio-server -> equalizer @ 1.4
+edge equalizer -> audio-player @ 1.4
+"#;
+
+    #[test]
+    fn parses_the_audio_description() {
+        let g = parse(AUDIO).unwrap();
+        assert_eq!(g.spec_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let server = g.spec(SpecId::from_index(0)).unwrap();
+        assert_eq!(server.service_type, "audio-server");
+        assert_eq!(server.pin, Some(PinHint::Device(0)));
+        assert_eq!(
+            server.desired_qos.get(&QosDimension::Format),
+            Some(&QosValue::token("MPEG"))
+        );
+        assert_eq!(
+            server.desired_qos.get(&QosDimension::FrameRate),
+            Some(&QosValue::range(10.0, 40.0))
+        );
+        let eq = g.spec(SpecId::from_index(1)).unwrap();
+        assert!(eq.optional);
+        let player = g.spec(SpecId::from_index(2)).unwrap();
+        assert_eq!(player.pin, Some(PinHint::ClientDevice));
+        assert_eq!(
+            player.desired_qos.get(&QosDimension::Format),
+            Some(&QosValue::token_set(["MPEG", "WAV"]))
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        let g = parse(AUDIO).unwrap();
+        let rendered = render(&g);
+        let back = parse(&rendered).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn custom_dimensions_and_numbers() {
+        let text = "service x {\n    require custom:depth = 16\n    require latency in [0, 50]\n}\n";
+        let g = parse(text).unwrap();
+        let spec = g.spec(SpecId::from_index(0)).unwrap();
+        assert_eq!(
+            spec.desired_qos.get(&QosDimension::Custom("depth".into())),
+            Some(&QosValue::exact(16.0))
+        );
+        assert_eq!(
+            spec.desired_qos.get(&QosDimension::Latency),
+            Some(&QosValue::range(0.0, 50.0))
+        );
+        assert_eq!(parse(&render(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("service a {\nbogus\n}\n", 2, "unexpected statement"),
+            ("service a (\n", 1, "expected `service <name> {`"),
+            ("service {}\n", 1, "service name is empty"),
+            ("service a {\n}\nedge a @ 1\n", 3, "expected `<from> -> <to>`"),
+            ("service a {\n}\nservice b {\n}\nedge a -> b @ fast\n", 5, "bad throughput"),
+            ("service a {\n}\nservice a {\n}\n", 3, "duplicate"),
+            ("edge a -> b @ 1\n", 1, "unknown service 'a'"),
+            ("service a {\n", 1, "never closed"),
+            ("}\n", 1, "unmatched"),
+            ("service a {\n    require bogus = 1\n}\n", 2, "unknown QoS dimension"),
+            ("service a {\n    require latency in [5, 1]\n}\n", 2, "bad range"),
+            ("service a {\n    require format in {}\n}\n", 2, "token set is empty"),
+            ("service a {\n    pin device x\n}\n", 2, "bad device index"),
+            ("wat\n", 1, "unexpected statement"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, *line, "for input {text:?}: {e}");
+            assert!(
+                e.to_string().contains(needle),
+                "for input {text:?}: expected '{needle}' in '{e}'"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_edges_are_rejected_with_line() {
+        let text = "service a {\n}\nservice b {\n}\nedge a -> b @ 1\nedge b -> a @ 1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 6);
+        assert!(e.to_string().contains("bad edge"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header\nservice a { # trailing\n}\n\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.spec_count(), 1);
+    }
+
+    #[test]
+    fn empty_document_is_an_empty_graph() {
+        let g = parse("").unwrap();
+        assert_eq!(g.spec_count(), 0);
+        assert_eq!(render(&g), "");
+    }
+}

@@ -1,0 +1,191 @@
+//! Topological ordering — step 1 of the Ordered Coordination algorithm.
+
+use crate::error::GraphError;
+use crate::graph::ServiceGraph;
+use crate::ids::ComponentId;
+use std::collections::VecDeque;
+
+/// Computes a topological order of the service graph (Kahn's algorithm).
+///
+/// Ties are broken by component id, making the order deterministic. Runs
+/// in O(V + E), which together with the single reverse pass gives the OC
+/// algorithm its O(V + E) complexity claimed in Section 3.2.
+///
+/// # Errors
+///
+/// Returns [`GraphError::CycleDetected`] if the graph is not a DAG. (A
+/// [`ServiceGraph`] built through its public API is acyclic by
+/// construction, but deserialized or hand-patched graphs are re-checked
+/// here.)
+pub fn topological_sort(graph: &ServiceGraph) -> Result<Vec<ComponentId>, GraphError> {
+    let n = graph.component_count();
+    let mut in_degree: Vec<usize> = graph
+        .component_ids()
+        .map(|id| graph.predecessors(id).len())
+        .collect();
+    // A BinaryHeap would give the smallest-id-first tie-break directly, but
+    // id order from a queue seeded in id order is already deterministic.
+    let mut queue: VecDeque<ComponentId> = graph
+        .component_ids()
+        .filter(|id| in_degree[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(id) = queue.pop_front() {
+        order.push(id);
+        for &next in graph.successors(id) {
+            in_degree[next.index()] -= 1;
+            if in_degree[next.index()] == 0 {
+                queue.push_back(next);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(GraphError::CycleDetected)
+    }
+}
+
+/// Computes the *reverse* topological order.
+///
+/// This is the order in which the OC algorithm examines nodes: the last
+/// nodes of the topological order — "usually … client services" whose
+/// output corresponds to the user's QoS requirements — are checked first,
+/// so their QoS is preserved while upstream components are adjusted.
+///
+/// # Errors
+///
+/// Returns [`GraphError::CycleDetected`] if the graph is not a DAG.
+pub fn reverse_topological_sort(graph: &ServiceGraph) -> Result<Vec<ComponentId>, GraphError> {
+    let mut order = topological_sort(graph)?;
+    order.reverse();
+    Ok(order)
+}
+
+/// Verifies that `order` is a valid topological order of `graph`.
+///
+/// Exposed for tests and for validating externally supplied orders.
+pub fn is_topological_order(graph: &ServiceGraph, order: &[ComponentId]) -> bool {
+    if order.len() != graph.component_count() {
+        return false;
+    }
+    let mut position = vec![usize::MAX; graph.component_count()];
+    for (pos, id) in order.iter().enumerate() {
+        if id.index() >= position.len() || position[id.index()] != usize::MAX {
+            return false;
+        }
+        position[id.index()] = pos;
+    }
+    graph
+        .edges()
+        .all(|e| position[e.from.index()] < position[e.to.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ServiceComponent;
+
+    fn node(name: &str) -> ServiceComponent {
+        ServiceComponent::builder(name).build()
+    }
+
+    #[test]
+    fn sorts_a_chain() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<ComponentId> = (0..5).map(|i| g.add_component(node(&format!("n{i}")))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.0).unwrap();
+        }
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, ids);
+        let rev = reverse_topological_sort(&g).unwrap();
+        assert_eq!(rev, ids.iter().rev().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorts_the_papers_figure1_graph() {
+        // Figure 1(a): nodes 1..9 with the edge structure of the paper's
+        // illustration (a non-linear DAG with two sources and one sink).
+        let mut g = ServiceGraph::new();
+        let n: Vec<ComponentId> = (1..=9).map(|i| g.add_component(node(&format!("{i}")))).collect();
+        let idx = |i: usize| n[i - 1];
+        for (u, v) in [
+            (1, 2),
+            (1, 8),
+            (3, 1),
+            (5, 2),
+            (5, 8),
+            (5, 7),
+            (9, 8),
+            (2, 7),
+            (8, 7),
+            (8, 6),
+            (4, 5),
+            (9, 4),
+        ] {
+            g.add_edge(idx(u), idx(v), 1.0).unwrap();
+        }
+        let order = topological_sort(&g).unwrap();
+        assert!(is_topological_order(&g, &order));
+        // Node 7 (the client-side sink) must be checked first in reverse order.
+        let rev = reverse_topological_sort(&g).unwrap();
+        let pos7 = rev.iter().position(|&id| id == idx(7)).unwrap();
+        let pos6 = rev.iter().position(|&id| id == idx(6)).unwrap();
+        assert!(pos7 <= 1 && pos6 <= 1, "sinks 6 and 7 come first in reverse order");
+    }
+
+    #[test]
+    fn detects_cycle_in_patched_graph() {
+        // Build a DAG, then serialize-deserialize a manually cycled copy.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(node("a"));
+        let b = g.add_component(node("b"));
+        g.add_edge(a, b, 1.0).unwrap();
+        let mut json: serde_json::Value = serde_json::to_value(&g).unwrap();
+        // Patch in a back edge b -> a behind the API's back.
+        json["edges"] = serde_json::json!([[a, b, 1.0], [b, a, 1.0]]);
+        json["out_adj"] = serde_json::json!([[1], [0]]);
+        json["in_adj"] = serde_json::json!([[1], [0]]);
+        let cycled: ServiceGraph = serde_json::from_value(json).unwrap();
+        assert_eq!(topological_sort(&cycled), Err(GraphError::CycleDetected));
+        assert_eq!(
+            reverse_topological_sort(&cycled),
+            Err(GraphError::CycleDetected)
+        );
+    }
+
+    #[test]
+    fn empty_graph_sorts_to_empty() {
+        let g = ServiceGraph::new();
+        assert_eq!(topological_sort(&g).unwrap(), Vec::<ComponentId>::new());
+    }
+
+    #[test]
+    fn validator_rejects_bad_orders() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(node("a"));
+        let b = g.add_component(node("b"));
+        g.add_edge(a, b, 1.0).unwrap();
+        assert!(is_topological_order(&g, &[a, b]));
+        assert!(!is_topological_order(&g, &[b, a]), "violates the edge");
+        assert!(!is_topological_order(&g, &[a]), "wrong length");
+        assert!(!is_topological_order(&g, &[a, a]), "duplicate entry");
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        // Two independent chains; order must interleave deterministically.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(node("a"));
+        let b = g.add_component(node("b"));
+        let c = g.add_component(node("c"));
+        let d = g.add_component(node("d"));
+        g.add_edge(a, c, 1.0).unwrap();
+        g.add_edge(b, d, 1.0).unwrap();
+        let o1 = topological_sort(&g).unwrap();
+        let o2 = topological_sort(&g).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(o1, vec![a, b, c, d]);
+    }
+}

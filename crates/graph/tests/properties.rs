@@ -1,0 +1,168 @@
+//! Property-based tests for service graphs, cuts, and the spec language.
+
+use proptest::prelude::*;
+use ubiqos_graph::{spec, topo, AbstractComponentSpec, AbstractServiceGraph, Cut, PinHint, ServiceComponent, ServiceGraph};
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
+
+/// Strategy: a random DAG described as (node count, forward edges).
+fn arb_dag() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n - 1, 1..n, 0.01f64..10.0).prop_filter_map("forward edge", move |(a, b, tp)| {
+                let (from, to) = (a.min(b.max(a + 1).min(n - 1)), b.max(a + 1).min(n - 1));
+                (from < to).then_some((from, to, tp))
+            }),
+            0..n * 3,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build_graph(n: usize, edges: &[(usize, usize, f64)]) -> ServiceGraph {
+    let mut g = ServiceGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            g.add_component(
+                ServiceComponent::builder(format!("n{i}"))
+                    .resources(ResourceVector::mem_cpu(1.0 + i as f64, 2.0))
+                    .build(),
+            )
+        })
+        .collect();
+    for &(from, to, tp) in edges {
+        // Duplicate edges are rejected; that's fine for the property.
+        let _ = g.add_edge(ids[from], ids[to], tp);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Graphs built through the API always topologically sort, and the
+    /// order is valid.
+    #[test]
+    fn api_built_graphs_always_sort((n, edges) in arb_dag()) {
+        let g = build_graph(n, &edges);
+        let order = topo::topological_sort(&g).expect("DAG by construction");
+        prop_assert!(topo::is_topological_order(&g, &order));
+        let rev = topo::reverse_topological_sort(&g).unwrap();
+        let mut rev2 = order.clone();
+        rev2.reverse();
+        prop_assert_eq!(rev, rev2);
+    }
+
+    /// Every edge is either inside a part or in the cut; cut throughput
+    /// plus intra-part throughput equals total throughput.
+    #[test]
+    fn cut_partitions_edge_weight((n, edges) in arb_dag(), parts in 1usize..4) {
+        let g = build_graph(n, &edges);
+        let assignment: Vec<usize> = (0..n).map(|i| i % parts).collect();
+        let cut = Cut::from_assignment(&g, assignment, parts).unwrap();
+        let crossing = cut.cut_throughput(&g);
+        let t = cut.inter_part_throughput(&g);
+        let t_sum: f64 = t.iter().flatten().sum();
+        prop_assert!((crossing - t_sum).abs() < 1e-9);
+        prop_assert!(crossing <= g.total_throughput() + 1e-9);
+        // Part resource sums add up to the whole graph's demand.
+        let mut total = ResourceVector::zero(2);
+        for p in 0..parts {
+            total += &cut.part_resource_sum(&g, p).unwrap();
+        }
+        let mut expect = ResourceVector::zero(2);
+        for (_, c) in g.components() {
+            expect += c.resources();
+        }
+        for (a, b) in total.amounts().iter().zip(expect.amounts()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Splitting an edge preserves DAG-ness and reachability.
+    #[test]
+    fn split_edge_preserves_structure((n, edges) in arb_dag()) {
+        let mut g = build_graph(n, &edges);
+        let Some(edge) = g.edges().next() else { return Ok(()); };
+        let mid = g
+            .split_edge(edge.from, edge.to, ServiceComponent::builder("mid").build(), 1.0, 1.0)
+            .unwrap();
+        prop_assert!(topo::topological_sort(&g).is_ok());
+        prop_assert!(g.is_reachable(edge.from, edge.to));
+        prop_assert!(g.is_reachable(edge.from, mid));
+        prop_assert!(g.is_reachable(mid, edge.to));
+        prop_assert_eq!(g.edge_throughput(edge.from, edge.to), None);
+    }
+
+    /// The spec language round-trips arbitrary abstract graphs.
+    #[test]
+    fn spec_language_round_trips(
+        n in 1usize..8,
+        optional_mask in 0u8..=255,
+        pin_mask in 0u8..=255,
+        rates in proptest::collection::vec(1.0f64..60.0, 8),
+    ) {
+        let mut g = AbstractServiceGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let mut s = AbstractComponentSpec::new(format!("svc-{i}"));
+                if optional_mask & (1 << i) != 0 {
+                    s.optional = true;
+                }
+                s.pin = match pin_mask.wrapping_shr(i as u32) % 3 {
+                    1 => Some(PinHint::ClientDevice),
+                    2 => Some(PinHint::Device(i as u32)),
+                    _ => None,
+                };
+                s.desired_qos = QosVector::new()
+                    .with(QosDimension::FrameRate, QosValue::range(1.0, rates[i]))
+                    .with(QosDimension::Format, QosValue::token("MPEG"));
+                g.add_spec(s)
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 1.5).unwrap();
+        }
+        let text = spec::render(&g);
+        let back = spec::parse(&text).expect("rendered spec parses");
+        prop_assert_eq!(g, back);
+    }
+
+    /// The spec parser never panics on arbitrary input — it either
+    /// parses or reports a lined error.
+    #[test]
+    fn spec_parser_is_total(text in "\\PC*") {
+        let _ = spec::parse(&text);
+    }
+
+    /// Line-noise built from the grammar's own keywords also never
+    /// panics.
+    #[test]
+    fn spec_parser_survives_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("service"), Just("edge"), Just("require"), Just("pin"),
+                Just("optional"), Just("{"), Just("}"), Just("->"), Just("@"),
+                Just("client"), Just("device"), Just("format"), Just("="),
+                Just("in"), Just("[1, 2]"), Just("{A, B}"), Just("x"), Just("#"),
+            ],
+            0..40,
+        ),
+        newline_mask in proptest::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut text = String::new();
+        for (i, w) in words.iter().enumerate() {
+            text.push_str(w);
+            text.push(if newline_mask.get(i).copied().unwrap_or(false) { '\n' } else { ' ' });
+        }
+        let _ = spec::parse(&text);
+    }
+
+    /// Graph JSON serialization round-trips (with `float_roundtrip`).
+    #[test]
+    fn graph_json_round_trips((n, edges) in arb_dag()) {
+        let g = build_graph(n, &edges);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ServiceGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

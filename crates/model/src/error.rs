@@ -1,0 +1,81 @@
+//! Error types for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by QoS and resource-vector operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two resource vectors of different dimensionality were combined.
+    DimensionMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+    /// A QoS value was constructed with an invalid range (`lo > hi`).
+    InvalidRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A resource amount or weight was negative or non-finite.
+    InvalidAmount(f64),
+    /// Weight vector does not sum to 1 (within tolerance).
+    WeightsNotNormalized {
+        /// The actual sum of the supplied weights.
+        sum: f64,
+    },
+    /// A weight vector was empty.
+    EmptyWeights,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DimensionMismatch { left, right } => {
+                write!(f, "resource vector dimension mismatch: {left} vs {right}")
+            }
+            ModelError::InvalidRange { lo, hi } => {
+                write!(f, "invalid QoS range: lo {lo} exceeds hi {hi}")
+            }
+            ModelError::InvalidAmount(v) => {
+                write!(f, "invalid amount {v}: must be finite and non-negative")
+            }
+            ModelError::WeightsNotNormalized { sum } => {
+                write!(f, "weights sum to {sum}, expected 1")
+            }
+            ModelError::EmptyWeights => write!(f, "weight vector is empty"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ModelError::DimensionMismatch { left: 2, right: 3 },
+            ModelError::InvalidRange { lo: 2.0, hi: 1.0 },
+            ModelError::InvalidAmount(-1.0),
+            ModelError::WeightsNotNormalized { sum: 0.5 },
+            ModelError::EmptyWeights,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

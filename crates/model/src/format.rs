@@ -1,0 +1,137 @@
+//! Media formats used by the paper's multimedia scenarios.
+//!
+//! The composition tier corrects *type mismatches* (e.g. an MPEG audio
+//! server feeding a WAV-only PDA player) by inserting transcoders; this
+//! module provides the format vocabulary those corrections reason about.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A media format token.
+///
+/// Formats are compared by identity; format *conversion* knowledge (which
+/// transcoders exist and what they cost) lives in the composition tier's
+/// transcoder catalog, keeping this type a plain vocabulary item.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::MediaFormat;
+/// assert_eq!(MediaFormat::Mpeg.to_string(), "MPEG");
+/// assert_eq!("WAV".parse::<MediaFormat>().unwrap(), MediaFormat::Wav);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MediaFormat {
+    /// MPEG audio/video elementary stream (paper: audio server output).
+    Mpeg,
+    /// Uncompressed WAV audio (paper: Jornada PDA player input).
+    Wav,
+    /// JPEG still frames / motion-JPEG.
+    Jpeg,
+    /// Raw PCM samples.
+    Pcm,
+    /// MP3 compressed audio.
+    Mp3,
+    /// H.261 conferencing video.
+    H261,
+    /// Any other format, named by token.
+    Other(String),
+}
+
+impl MediaFormat {
+    /// Returns the canonical token for this format (upper-case).
+    pub fn as_token(&self) -> &str {
+        match self {
+            MediaFormat::Mpeg => "MPEG",
+            MediaFormat::Wav => "WAV",
+            MediaFormat::Jpeg => "JPEG",
+            MediaFormat::Pcm => "PCM",
+            MediaFormat::Mp3 => "MP3",
+            MediaFormat::H261 => "H261",
+            MediaFormat::Other(s) => s,
+        }
+    }
+
+    /// Returns `true` when this format is a compressed representation.
+    ///
+    /// Buffer-insertion corrections use this to size jitter buffers:
+    /// compressed streams tolerate deeper buffering at equal memory cost.
+    pub fn is_compressed(&self) -> bool {
+        matches!(
+            self,
+            MediaFormat::Mpeg | MediaFormat::Jpeg | MediaFormat::Mp3 | MediaFormat::H261
+        )
+    }
+}
+
+impl fmt::Display for MediaFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_token())
+    }
+}
+
+impl FromStr for MediaFormat {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s.to_ascii_uppercase().as_str() {
+            "MPEG" => MediaFormat::Mpeg,
+            "WAV" => MediaFormat::Wav,
+            "JPEG" => MediaFormat::Jpeg,
+            "PCM" => MediaFormat::Pcm,
+            "MP3" => MediaFormat::Mp3,
+            "H261" => MediaFormat::H261,
+            other => MediaFormat::Other(other.to_owned()),
+        })
+    }
+}
+
+impl From<MediaFormat> for String {
+    fn from(f: MediaFormat) -> String {
+        f.as_token().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_known_formats() {
+        for fmt in [
+            MediaFormat::Mpeg,
+            MediaFormat::Wav,
+            MediaFormat::Jpeg,
+            MediaFormat::Pcm,
+            MediaFormat::Mp3,
+            MediaFormat::H261,
+        ] {
+            let token = fmt.to_string();
+            let parsed: MediaFormat = token.parse().unwrap();
+            assert_eq!(parsed, fmt);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("mpeg".parse::<MediaFormat>().unwrap(), MediaFormat::Mpeg);
+        assert_eq!("Wav".parse::<MediaFormat>().unwrap(), MediaFormat::Wav);
+    }
+
+    #[test]
+    fn unknown_format_becomes_other_uppercased() {
+        let f: MediaFormat = "ogg".parse().unwrap();
+        assert_eq!(f, MediaFormat::Other("OGG".to_owned()));
+        assert_eq!(f.to_string(), "OGG");
+    }
+
+    #[test]
+    fn compressed_classification() {
+        assert!(MediaFormat::Mpeg.is_compressed());
+        assert!(MediaFormat::Mp3.is_compressed());
+        assert!(!MediaFormat::Wav.is_compressed());
+        assert!(!MediaFormat::Pcm.is_compressed());
+        assert!(!MediaFormat::Other("X".into()).is_compressed());
+    }
+}

@@ -1,0 +1,79 @@
+//! # ubiqos-model
+//!
+//! QoS parameter and resource-vector algebra underlying the *ubiqos*
+//! reproduction of Gu & Nahrstedt, **"Dynamic QoS-Aware Multimedia Service
+//! Configuration in Ubiquitous Computing Environments"** (ICDCS 2002).
+//!
+//! This crate provides the application service model of Section 2 of the
+//! paper:
+//!
+//! * [`QosValue`], [`QosDimension`], and [`QosVector`] model the
+//!   application-level QoS vectors `Q_in` and `Q_out` attached to every
+//!   service component. QoS parameters are either *single values* (media
+//!   format, resolution) or *range values* (frame rate).
+//! * [`QosVector::satisfies`] implements the inter-component relation
+//!   "satisfy" (`Q_out^A ⪯ Q_in^B`, Eq. 1 of the paper), and
+//!   [`QosVector::mismatches`] diagnoses *why* a pair of vectors is
+//!   inconsistent so the composition tier can correct it.
+//! * [`ResourceVector`] models per-component end-system resource
+//!   requirements `R = [r_1 … r_m]` and per-device availabilities `RA`,
+//!   with vector addition (Definition 3.1) and component-wise comparison
+//!   (Definition 3.2).
+//! * [`Normalizer`] performs the benchmark-machine normalization of
+//!   Section 3.3 that makes heterogeneous devices comparable.
+//! * [`MediaFormat`] enumerates the media formats used by the paper's
+//!   scenarios (MPEG audio served to a WAV-only PDA, etc.).
+//!
+//! # Example
+//!
+//! ```
+//! use ubiqos_model::{QosDimension, QosValue, QosVector};
+//!
+//! // An MPEG server that can emit 10..40 fps.
+//! let out = QosVector::new()
+//!     .with(QosDimension::Format, QosValue::token("MPEG"))
+//!     .with(QosDimension::FrameRate, QosValue::exact(30.0));
+//! // A player that accepts MPEG at 10..30 fps.
+//! let req = QosVector::new()
+//!     .with(QosDimension::Format, QosValue::token("MPEG"))
+//!     .with(QosDimension::FrameRate, QosValue::range(10.0, 30.0));
+//! assert!(out.satisfies(&req));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod qos;
+pub mod resource;
+
+pub use error::ModelError;
+pub use format::MediaFormat;
+pub use qos::dimension::QosDimension;
+pub use qos::satisfy::{Mismatch, MismatchKind};
+pub use qos::utility::satisfaction;
+pub use qos::value::{Preference, QosValue};
+pub use qos::vector::QosVector;
+pub use resource::normalize::Normalizer;
+pub use resource::vector::ResourceVector;
+pub use resource::weights::Weights;
+
+/// Absolute tolerance used for floating-point QoS comparisons.
+///
+/// QoS quantities in this model (frame rates, resolutions, bandwidths in
+/// normalized units) are "human sized"; an absolute epsilon is adequate and
+/// keeps the satisfy relation transitive enough for the OC algorithm.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` when two floats are equal within [`EPSILON`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPSILON
+}
+
+/// Returns `true` when `a <= b` within [`EPSILON`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPSILON
+}

@@ -1,0 +1,123 @@
+//! Named QoS dimensions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named QoS dimension (one coordinate of a `Q_in`/`Q_out` vector).
+///
+/// The paper's examples use media format, resolution, and frame rate; the
+/// prototype scenarios additionally exercise audio sample rate and latency
+/// style parameters, and `Custom` leaves the vocabulary open for
+/// application-defined dimensions.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::QosDimension;
+/// assert!(QosDimension::FrameRate.higher_is_better());
+/// assert!(!QosDimension::Latency.higher_is_better());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum QosDimension {
+    /// Media format token (single value, e.g. `MPEG`).
+    Format,
+    /// Spatial resolution in total pixels (e.g. `1600*1200 = 1_920_000`).
+    Resolution,
+    /// Frame rate in frames per second.
+    FrameRate,
+    /// Audio sample rate in Hz.
+    SampleRate,
+    /// Stream bit rate in kbit/s.
+    BitRate,
+    /// Number of audio channels.
+    Channels,
+    /// End-to-end latency in milliseconds (lower is better).
+    Latency,
+    /// Inter-frame jitter in milliseconds (lower is better).
+    Jitter,
+    /// Application-defined dimension, named by token.
+    Custom(String),
+}
+
+impl QosDimension {
+    /// Whether larger numeric values of this dimension mean better quality.
+    ///
+    /// The OC algorithm uses this when it tunes an adjustable output into a
+    /// required range: it picks the *best* admissible value, which is the
+    /// range maximum for quantity-like dimensions and the range minimum for
+    /// delay-like dimensions. `Custom` dimensions default to
+    /// higher-is-better.
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, QosDimension::Latency | QosDimension::Jitter)
+    }
+
+    /// Whether this dimension is conventionally a token (non-numeric) value.
+    pub fn is_token_valued(&self) -> bool {
+        matches!(self, QosDimension::Format)
+    }
+}
+
+impl fmt::Display for QosDimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosDimension::Format => f.write_str("format"),
+            QosDimension::Resolution => f.write_str("resolution"),
+            QosDimension::FrameRate => f.write_str("frame-rate"),
+            QosDimension::SampleRate => f.write_str("sample-rate"),
+            QosDimension::BitRate => f.write_str("bit-rate"),
+            QosDimension::Channels => f.write_str("channels"),
+            QosDimension::Latency => f.write_str("latency"),
+            QosDimension::Jitter => f.write_str("jitter"),
+            QosDimension::Custom(name) => write!(f, "custom:{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_of_preference() {
+        assert!(QosDimension::FrameRate.higher_is_better());
+        assert!(QosDimension::Resolution.higher_is_better());
+        assert!(QosDimension::Custom("depth".into()).higher_is_better());
+        assert!(!QosDimension::Latency.higher_is_better());
+        assert!(!QosDimension::Jitter.higher_is_better());
+    }
+
+    #[test]
+    fn token_valued() {
+        assert!(QosDimension::Format.is_token_valued());
+        assert!(!QosDimension::FrameRate.is_token_valued());
+    }
+
+    #[test]
+    fn display_distinct() {
+        let all = [
+            QosDimension::Format,
+            QosDimension::Resolution,
+            QosDimension::FrameRate,
+            QosDimension::SampleRate,
+            QosDimension::BitRate,
+            QosDimension::Channels,
+            QosDimension::Latency,
+            QosDimension::Jitter,
+            QosDimension::Custom("x".into()),
+        ];
+        let mut names: Vec<String> = all.iter().map(|d| d.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn ordering_is_total_for_map_keys() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(QosDimension::Format);
+        set.insert(QosDimension::Custom("a".into()));
+        set.insert(QosDimension::Custom("b".into()));
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! Application-level QoS parameter model (Section 2 of the paper).
+//!
+//! Every service component accepts input with QoS level `Q_in` and emits
+//! output with QoS level `Q_out`; both are vectors of application-level
+//! parameters such as media format, resolution, and frame rate. This module
+//! defines the values ([`value::QosValue`]), the named dimensions
+//! ([`dimension::QosDimension`]), the vectors ([`vector::QosVector`]), and
+//! the "satisfy" relation with mismatch diagnosis ([`satisfy`]).
+
+pub mod dimension;
+pub mod satisfy;
+pub mod utility;
+pub mod value;
+pub mod vector;

@@ -1,0 +1,103 @@
+//! Mismatch diagnosis for the "satisfy" relation.
+//!
+//! When `Q_out^A ⪯ Q_in^B` fails, the composition tier needs to know *how*
+//! it failed to select a correction (Section 3.2 of the paper): token
+//! mismatches call for a transcoder, range violations for output
+//! adjustment or a buffer, missing dimensions for re-discovery.
+
+use crate::qos::dimension::QosDimension;
+use crate::qos::value::QosValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The category of a single-dimension QoS inconsistency.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MismatchKind {
+    /// The required dimension is absent from the offered vector.
+    MissingDimension,
+    /// Offered and required values are of different kinds
+    /// (numeric vs token) — the interaction is malformed.
+    TypeMismatch,
+    /// Both are token-typed but the offered token(s) are not acceptable
+    /// (e.g. MPEG offered, WAV required) — a *type mismatch* in the
+    /// paper's sense, correctable by inserting a transcoder.
+    TokenMismatch,
+    /// Both are numeric but the offered value/range is not contained in
+    /// the requirement — a *performance mismatch*, correctable by output
+    /// adjustment or buffer insertion.
+    RangeViolation,
+}
+
+impl fmt::Display for MismatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MismatchKind::MissingDimension => f.write_str("missing dimension"),
+            MismatchKind::TypeMismatch => f.write_str("type mismatch"),
+            MismatchKind::TokenMismatch => f.write_str("token mismatch"),
+            MismatchKind::RangeViolation => f.write_str("range violation"),
+        }
+    }
+}
+
+/// One violated dimension of the satisfy relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mismatch {
+    /// The QoS dimension in violation.
+    pub dimension: QosDimension,
+    /// How the dimension is violated.
+    pub kind: MismatchKind,
+    /// What the upstream component offered (`None` when missing).
+    pub offered: Option<QosValue>,
+    /// What the downstream component required.
+    pub required: QosValue,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.offered {
+            Some(offered) => write!(
+                f,
+                "{} on {}: offered {}, required {}",
+                self.kind, self.dimension, offered, self.required
+            ),
+            None => write!(
+                f,
+                "{} on {}: required {}",
+                self.kind, self.dimension, self.required
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_dimension_and_values() {
+        let m = Mismatch {
+            dimension: QosDimension::Format,
+            kind: MismatchKind::TokenMismatch,
+            offered: Some(QosValue::token("MPEG")),
+            required: QosValue::token("WAV"),
+        };
+        let s = m.to_string();
+        assert!(s.contains("format"));
+        assert!(s.contains("MPEG"));
+        assert!(s.contains("WAV"));
+        assert!(s.contains("token mismatch"));
+    }
+
+    #[test]
+    fn display_for_missing_dimension() {
+        let m = Mismatch {
+            dimension: QosDimension::Channels,
+            kind: MismatchKind::MissingDimension,
+            offered: None,
+            required: QosValue::exact(2.0),
+        };
+        let s = m.to_string();
+        assert!(s.contains("missing dimension"));
+        assert!(!s.contains("offered"));
+    }
+}

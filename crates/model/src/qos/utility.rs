@@ -1,0 +1,168 @@
+//! QoS satisfaction scoring — quantifying "best possible QoS".
+//!
+//! The paper's goal is that users "receive the best possible QoS": a soft
+//! notion that needs a number when comparing configurations or reporting
+//! degradation. [`satisfaction`] scores a *delivered* QoS vector against a
+//! *requested* one in `[0, 1]`:
+//!
+//! * a fully satisfied dimension contributes 1;
+//! * a numeric dimension that falls short contributes its achieved
+//!   fraction (e.g. 20 fps delivered of 40 fps requested → 0.5), with
+//!   lower-is-better dimensions (latency, jitter) scored by the inverse
+//!   ratio;
+//! * a violated token dimension (wrong format) or missing dimension
+//!   contributes 0;
+//!
+//! and the final score is the mean over the requested dimensions. An
+//! empty request scores 1 (nothing to satisfy).
+
+use crate::qos::dimension::QosDimension;
+use crate::qos::value::{Preference, QosValue};
+use crate::qos::vector::QosVector;
+
+/// Scores how well `delivered` satisfies `requested`, in `[0, 1]`.
+pub fn satisfaction(delivered: &QosVector, requested: &QosVector) -> f64 {
+    let dims: Vec<_> = requested.iter().collect();
+    if dims.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = dims
+        .iter()
+        .map(|(dim, want)| dimension_score(delivered.get(dim), dim, want))
+        .sum();
+    (total / dims.len() as f64).clamp(0.0, 1.0)
+}
+
+fn dimension_score(got: Option<&QosValue>, dim: &QosDimension, want: &QosValue) -> f64 {
+    let Some(got) = got else {
+        return 0.0;
+    };
+    if got.satisfies(want) {
+        return 1.0;
+    }
+    // Partial credit only makes sense for numeric dimensions.
+    let achieved = numeric_point(got, dim);
+    let target = numeric_point(want, dim);
+    match (achieved, target) {
+        (Some(a), Some(t)) if a > 0.0 && t > 0.0 => {
+            let ratio = if dim.higher_is_better() { a / t } else { t / a };
+            ratio.clamp(0.0, 1.0)
+        }
+        _ => 0.0,
+    }
+}
+
+/// The representative numeric point of a value for ratio scoring: exact
+/// values as-is; ranges at their preferred end.
+fn numeric_point(value: &QosValue, dim: &QosDimension) -> Option<f64> {
+    let pref = if dim.higher_is_better() {
+        Preference::Highest
+    } else {
+        Preference::Lowest
+    };
+    match value.pick(pref)? {
+        QosValue::Exact(v) => Some(v),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qos::dimension::QosDimension as D;
+
+    fn v(pairs: &[(D, QosValue)]) -> QosVector {
+        pairs.iter().cloned().collect()
+    }
+
+    #[test]
+    fn full_satisfaction_scores_one() {
+        let requested = v(&[
+            (D::Format, QosValue::token("WAV")),
+            (D::FrameRate, QosValue::range(10.0, 40.0)),
+        ]);
+        let delivered = v(&[
+            (D::Format, QosValue::token("WAV")),
+            (D::FrameRate, QosValue::exact(40.0)),
+        ]);
+        assert_eq!(satisfaction(&delivered, &requested), 1.0);
+    }
+
+    #[test]
+    fn empty_request_scores_one() {
+        assert_eq!(satisfaction(&QosVector::new(), &QosVector::new()), 1.0);
+        let delivered = v(&[(D::FrameRate, QosValue::exact(1.0))]);
+        assert_eq!(satisfaction(&delivered, &QosVector::new()), 1.0);
+    }
+
+    #[test]
+    fn partial_rate_gets_fractional_credit() {
+        let requested = v(&[(D::FrameRate, QosValue::exact(40.0))]);
+        let delivered = v(&[(D::FrameRate, QosValue::exact(20.0))]);
+        assert!((satisfaction(&delivered, &requested) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdelivery_is_capped_at_one() {
+        let requested = v(&[(D::FrameRate, QosValue::exact(40.0))]);
+        let delivered = v(&[(D::FrameRate, QosValue::exact(80.0))]);
+        // 80 fps does not *satisfy* exact 40 (wrong operating point) but
+        // the achieved ratio caps at 1.
+        assert_eq!(satisfaction(&delivered, &requested), 1.0);
+    }
+
+    #[test]
+    fn lower_is_better_dimensions_invert() {
+        let requested = v(&[(D::Latency, QosValue::exact(50.0))]);
+        let high_latency = v(&[(D::Latency, QosValue::exact(100.0))]);
+        let low_latency = v(&[(D::Latency, QosValue::exact(25.0))]);
+        assert!((satisfaction(&high_latency, &requested) - 0.5).abs() < 1e-12);
+        assert_eq!(satisfaction(&low_latency, &requested), 1.0);
+    }
+
+    #[test]
+    fn wrong_format_scores_zero_on_that_dimension() {
+        let requested = v(&[
+            (D::Format, QosValue::token("WAV")),
+            (D::FrameRate, QosValue::exact(40.0)),
+        ]);
+        let delivered = v(&[
+            (D::Format, QosValue::token("MPEG")),
+            (D::FrameRate, QosValue::exact(40.0)),
+        ]);
+        assert!((satisfaction(&delivered, &requested) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_dimension_scores_zero() {
+        let requested = v(&[(D::FrameRate, QosValue::exact(40.0))]);
+        assert_eq!(satisfaction(&QosVector::new(), &requested), 0.0);
+    }
+
+    #[test]
+    fn range_requests_score_against_preferred_end() {
+        let requested = v(&[(D::FrameRate, QosValue::range(10.0, 40.0))]);
+        let delivered = v(&[(D::FrameRate, QosValue::exact(5.0))]);
+        // 5 fps of a [10, 40] request: ratio against the high end = 0.125.
+        assert!((satisfaction(&delivered, &requested) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_is_always_in_unit_interval() {
+        let requested = v(&[
+            (D::FrameRate, QosValue::exact(40.0)),
+            (D::Latency, QosValue::exact(10.0)),
+            (D::Format, QosValue::token("WAV")),
+        ]);
+        for fps in [0.0, 1.0, 40.0, 400.0] {
+            for lat in [1.0, 10.0, 1000.0] {
+                let delivered = v(&[
+                    (D::FrameRate, QosValue::exact(fps)),
+                    (D::Latency, QosValue::exact(lat)),
+                ]);
+                let s = satisfaction(&delivered, &requested);
+                assert!((0.0..=1.0).contains(&s), "{fps}/{lat} -> {s}");
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! QoS parameter values: single values, range values, and token values.
+
+use crate::error::ModelError;
+use crate::{approx_eq, approx_le};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Direction of preference when choosing a concrete value inside a range.
+///
+/// See [`QosValue::pick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preference {
+    /// Prefer the largest admissible value (frame rate, resolution, …).
+    Highest,
+    /// Prefer the smallest admissible value (latency, jitter, …).
+    Lowest,
+}
+
+/// One QoS parameter value.
+///
+/// The paper distinguishes *single value* parameters (media format,
+/// resolution) from *range value* parameters (frame rate `[10fps, 30fps]`).
+/// We additionally distinguish numeric and token values so the satisfy
+/// relation can diagnose type mismatches (the precondition for transcoder
+/// insertion) separately from range violations (the precondition for
+/// adjustment or buffering).
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::QosValue;
+/// let out = QosValue::exact(25.0);
+/// let req = QosValue::range(10.0, 30.0);
+/// assert!(out.satisfies(&req));
+/// assert!(!req.satisfies(&out)); // a range does not satisfy an exact demand
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QosValue {
+    /// A single numeric value (paper: "single value" parameter).
+    Exact(f64),
+    /// A closed numeric interval `[lo, hi]` (paper: "range value").
+    Range {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// A single token value, e.g. a media format.
+    Token(String),
+    /// A set of acceptable tokens, e.g. the formats a player can decode.
+    TokenSet(BTreeSet<String>),
+}
+
+impl QosValue {
+    /// Creates a single numeric value.
+    pub fn exact(v: f64) -> Self {
+        QosValue::Exact(v)
+    }
+
+    /// Creates a range value `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite. Use
+    /// [`QosValue::try_range`] for fallible construction.
+    pub fn range(lo: f64, hi: f64) -> Self {
+        Self::try_range(lo, hi).expect("invalid QoS range")
+    }
+
+    /// Creates a range value, validating the bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidRange`] if `lo > hi`, and
+    /// [`ModelError::InvalidAmount`] if either bound is non-finite.
+    pub fn try_range(lo: f64, hi: f64) -> Result<Self, ModelError> {
+        if !lo.is_finite() {
+            return Err(ModelError::InvalidAmount(lo));
+        }
+        if !hi.is_finite() {
+            return Err(ModelError::InvalidAmount(hi));
+        }
+        if lo > hi {
+            return Err(ModelError::InvalidRange { lo, hi });
+        }
+        Ok(QosValue::Range { lo, hi })
+    }
+
+    /// Creates a single token value.
+    pub fn token(t: impl Into<String>) -> Self {
+        QosValue::Token(t.into())
+    }
+
+    /// Creates a token-set value from any iterator of tokens.
+    pub fn token_set<I, T>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        QosValue::TokenSet(tokens.into_iter().map(Into::into).collect())
+    }
+
+    /// Whether this value is numeric (`Exact` or `Range`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, QosValue::Exact(_) | QosValue::Range { .. })
+    }
+
+    /// Whether this value is token-typed (`Token` or `TokenSet`).
+    pub fn is_token(&self) -> bool {
+        matches!(self, QosValue::Token(_) | QosValue::TokenSet(_))
+    }
+
+    /// The "satisfy" check of Eq. 1: does this (output) value satisfy the
+    /// `required` (input) value?
+    ///
+    /// * required `Exact`/`Token` (single value): the output must be the
+    ///   same single value;
+    /// * required `Range`/`TokenSet` (range value): the output must be
+    ///   contained in (`⊆`) the required range/set. Both a single output
+    ///   value inside the range and a sub-range/sub-set count as contained.
+    ///
+    /// A numeric output never satisfies a token requirement or vice versa.
+    pub fn satisfies(&self, required: &QosValue) -> bool {
+        match (self, required) {
+            (QosValue::Exact(a), QosValue::Exact(b)) => approx_eq(*a, *b),
+            (QosValue::Exact(a), QosValue::Range { lo, hi }) => {
+                approx_le(*lo, *a) && approx_le(*a, *hi)
+            }
+            (QosValue::Range { lo: alo, hi: ahi }, QosValue::Range { lo, hi }) => {
+                approx_le(*lo, *alo) && approx_le(*ahi, *hi)
+            }
+            // A range output only satisfies an exact demand when degenerate.
+            (QosValue::Range { lo, hi }, QosValue::Exact(b)) => {
+                approx_eq(*lo, *hi) && approx_eq(*lo, *b)
+            }
+            (QosValue::Token(a), QosValue::Token(b)) => a == b,
+            (QosValue::Token(a), QosValue::TokenSet(set)) => set.contains(a),
+            (QosValue::TokenSet(a), QosValue::TokenSet(b)) => a.is_subset(b),
+            (QosValue::TokenSet(a), QosValue::Token(b)) => a.len() == 1 && a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// Intersects this value (viewed as a *capability*: the set of values a
+    /// component can be tuned to produce) with a requirement, returning the
+    /// admissible sub-capability, or `None` when the intersection is empty
+    /// or the kinds are incompatible.
+    ///
+    /// This is the feasibility test behind the OC algorithm's automatic
+    /// output adjustment: an adjustable predecessor can be retuned exactly
+    /// when `capability.intersect(requirement)` is non-empty.
+    pub fn intersect(&self, other: &QosValue) -> Option<QosValue> {
+        match (self, other) {
+            (QosValue::Exact(a), _) => other.contains_point(*a).then_some(QosValue::Exact(*a)),
+            (_, QosValue::Exact(b)) => self.contains_point(*b).then_some(QosValue::Exact(*b)),
+            (QosValue::Range { lo: alo, hi: ahi }, QosValue::Range { lo: blo, hi: bhi }) => {
+                let lo = alo.max(*blo);
+                let hi = ahi.min(*bhi);
+                approx_le(lo, hi).then_some(QosValue::Range { lo, hi })
+            }
+            (QosValue::Token(a), _) => other.contains_token(a).then(|| QosValue::Token(a.clone())),
+            (_, QosValue::Token(b)) => self.contains_token(b).then(|| QosValue::Token(b.clone())),
+            (QosValue::TokenSet(a), QosValue::TokenSet(b)) => {
+                let inter: BTreeSet<String> = a.intersection(b).cloned().collect();
+                (!inter.is_empty()).then_some(QosValue::TokenSet(inter))
+            }
+            _ => None,
+        }
+    }
+
+    /// Picks the single best concrete value out of this value, given a
+    /// direction of preference.
+    ///
+    /// `Exact`/`Token` values return themselves; a `Range` returns its
+    /// preferred endpoint; a `TokenSet` returns its first token in
+    /// lexicographic order (token quality is not ordered in this model).
+    /// Returns `None` only for an empty `TokenSet`.
+    pub fn pick(&self, pref: Preference) -> Option<QosValue> {
+        match self {
+            QosValue::Exact(v) => Some(QosValue::Exact(*v)),
+            QosValue::Range { lo, hi } => Some(QosValue::Exact(match pref {
+                Preference::Highest => *hi,
+                Preference::Lowest => *lo,
+            })),
+            QosValue::Token(t) => Some(QosValue::Token(t.clone())),
+            QosValue::TokenSet(set) => set.iter().next().map(|t| QosValue::Token(t.clone())),
+        }
+    }
+
+    /// Whether a numeric point lies inside this value.
+    pub fn contains_point(&self, v: f64) -> bool {
+        match self {
+            QosValue::Exact(a) => approx_eq(*a, v),
+            QosValue::Range { lo, hi } => approx_le(*lo, v) && approx_le(v, *hi),
+            _ => false,
+        }
+    }
+
+    /// Whether a token lies inside this value.
+    pub fn contains_token(&self, t: &str) -> bool {
+        match self {
+            QosValue::Token(a) => a == t,
+            QosValue::TokenSet(set) => set.contains(t),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for QosValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosValue::Exact(v) => write!(f, "{v}"),
+            QosValue::Range { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            QosValue::Token(t) => f.write_str(t),
+            QosValue::TokenSet(set) => {
+                f.write_str("{")?;
+                for (i, t) in set.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(t)?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl From<f64> for QosValue {
+    fn from(v: f64) -> Self {
+        QosValue::Exact(v)
+    }
+}
+
+impl From<&str> for QosValue {
+    fn from(t: &str) -> Self {
+        QosValue::Token(t.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_satisfies_exact_and_range() {
+        assert!(QosValue::exact(5.0).satisfies(&QosValue::exact(5.0)));
+        assert!(!QosValue::exact(5.0).satisfies(&QosValue::exact(6.0)));
+        assert!(QosValue::exact(5.0).satisfies(&QosValue::range(0.0, 10.0)));
+        assert!(!QosValue::exact(11.0).satisfies(&QosValue::range(0.0, 10.0)));
+        assert!(QosValue::exact(10.0).satisfies(&QosValue::range(0.0, 10.0)), "inclusive");
+    }
+
+    #[test]
+    fn range_subset_semantics() {
+        assert!(QosValue::range(2.0, 3.0).satisfies(&QosValue::range(1.0, 4.0)));
+        assert!(!QosValue::range(0.0, 3.0).satisfies(&QosValue::range(1.0, 4.0)));
+        assert!(QosValue::range(1.0, 4.0).satisfies(&QosValue::range(1.0, 4.0)));
+        // Only a degenerate range satisfies an exact demand.
+        assert!(QosValue::range(5.0, 5.0).satisfies(&QosValue::exact(5.0)));
+        assert!(!QosValue::range(4.0, 5.0).satisfies(&QosValue::exact(5.0)));
+    }
+
+    #[test]
+    fn token_semantics() {
+        let mpeg = QosValue::token("MPEG");
+        let wav = QosValue::token("WAV");
+        let either = QosValue::token_set(["MPEG", "WAV"]);
+        assert!(mpeg.satisfies(&mpeg.clone()));
+        assert!(!mpeg.satisfies(&wav));
+        assert!(mpeg.satisfies(&either));
+        assert!(!either.satisfies(&mpeg), "a 2-token set cannot promise one token");
+        assert!(QosValue::token_set(["MPEG"]).satisfies(&mpeg));
+        assert!(QosValue::token_set(["MPEG"]).satisfies(&either));
+    }
+
+    #[test]
+    fn numeric_never_satisfies_token() {
+        assert!(!QosValue::exact(1.0).satisfies(&QosValue::token("MPEG")));
+        assert!(!QosValue::token("MPEG").satisfies(&QosValue::exact(1.0)));
+    }
+
+    #[test]
+    fn try_range_validation() {
+        assert!(QosValue::try_range(1.0, 0.0).is_err());
+        assert!(QosValue::try_range(f64::NAN, 1.0).is_err());
+        assert!(QosValue::try_range(0.0, f64::INFINITY).is_err());
+        assert!(QosValue::try_range(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid QoS range")]
+    fn range_panics_on_inverted_bounds() {
+        let _ = QosValue::range(2.0, 1.0);
+    }
+
+    #[test]
+    fn intersect_numeric() {
+        let a = QosValue::range(0.0, 10.0);
+        let b = QosValue::range(5.0, 20.0);
+        assert_eq!(a.intersect(&b), Some(QosValue::range(5.0, 10.0)));
+        assert_eq!(a.intersect(&QosValue::exact(3.0)), Some(QosValue::exact(3.0)));
+        assert_eq!(a.intersect(&QosValue::exact(30.0)), None);
+        assert_eq!(QosValue::range(0.0, 1.0).intersect(&QosValue::range(2.0, 3.0)), None);
+    }
+
+    #[test]
+    fn intersect_tokens() {
+        let cap = QosValue::token_set(["MPEG", "WAV", "MP3"]);
+        let req = QosValue::token_set(["WAV", "PCM"]);
+        assert_eq!(cap.intersect(&req), Some(QosValue::token_set(["WAV"])));
+        assert_eq!(cap.intersect(&QosValue::token("PCM")), None);
+        assert_eq!(
+            cap.intersect(&QosValue::token("MP3")),
+            Some(QosValue::token("MP3"))
+        );
+        assert_eq!(cap.intersect(&QosValue::exact(1.0)), None, "kind mismatch");
+    }
+
+    #[test]
+    fn pick_respects_preference() {
+        let r = QosValue::range(10.0, 30.0);
+        assert_eq!(r.pick(Preference::Highest), Some(QosValue::exact(30.0)));
+        assert_eq!(r.pick(Preference::Lowest), Some(QosValue::exact(10.0)));
+        assert_eq!(
+            QosValue::token("X").pick(Preference::Highest),
+            Some(QosValue::token("X"))
+        );
+        assert_eq!(QosValue::token_set(Vec::<String>::new()).pick(Preference::Highest), None);
+    }
+
+    #[test]
+    fn picked_value_satisfies_source() {
+        let r = QosValue::range(10.0, 30.0);
+        for pref in [Preference::Highest, Preference::Lowest] {
+            assert!(r.pick(pref).unwrap().satisfies(&r));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QosValue::exact(5.0).to_string(), "5");
+        assert_eq!(QosValue::range(1.0, 2.0).to_string(), "[1, 2]");
+        assert_eq!(QosValue::token("MPEG").to_string(), "MPEG");
+        assert_eq!(QosValue::token_set(["B", "A"]).to_string(), "{A, B}");
+    }
+}

@@ -1,0 +1,278 @@
+//! QoS vectors (`Q_in` / `Q_out`) and the satisfy relation over them.
+
+use crate::qos::dimension::QosDimension;
+use crate::qos::satisfy::{Mismatch, MismatchKind};
+use crate::qos::value::QosValue;
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A QoS vector: a map from QoS dimension to value.
+///
+/// Models the paper's `Q_in = [q_1^in … q_n^in]` and
+/// `Q_out = [q_1^out … q_n^out]`. Dimensions are keyed, not positional, so
+/// two vectors can be compared even when they mention different dimensions
+/// — exactly what the satisfy relation of Eq. 1 requires (`∀i ∃j` with
+/// matching parameter).
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::{QosDimension, QosValue, QosVector};
+/// let out = QosVector::new()
+///     .with(QosDimension::Format, QosValue::token("WAV"))
+///     .with(QosDimension::SampleRate, QosValue::exact(44_100.0));
+/// let req = QosVector::new().with(QosDimension::Format, QosValue::token("WAV"));
+/// assert!(out.satisfies(&req)); // extra output dimensions are fine
+/// assert!(!req.satisfies(&out)); // missing sample-rate is not
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct QosVector {
+    params: BTreeMap<QosDimension, QosValue>,
+}
+
+impl QosVector {
+    /// Creates an empty QoS vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insertion; replaces any existing value for `dim`.
+    #[must_use]
+    pub fn with(mut self, dim: QosDimension, value: QosValue) -> Self {
+        self.params.insert(dim, value);
+        self
+    }
+
+    /// Inserts or replaces the value for a dimension, returning the previous
+    /// value if any.
+    pub fn set(&mut self, dim: QosDimension, value: QosValue) -> Option<QosValue> {
+        self.params.insert(dim, value)
+    }
+
+    /// Returns the value for a dimension, if present.
+    pub fn get(&self, dim: &QosDimension) -> Option<&QosValue> {
+        self.params.get(dim)
+    }
+
+    /// Removes a dimension, returning its value if it was present.
+    pub fn remove(&mut self, dim: &QosDimension) -> Option<QosValue> {
+        self.params.remove(dim)
+    }
+
+    /// The number of dimensions (the paper's `Dim(Q)`).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the vector has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Iterates over `(dimension, value)` pairs in dimension order.
+    pub fn iter(&self) -> btree_map::Iter<'_, QosDimension, QosValue> {
+        self.params.iter()
+    }
+
+    /// The satisfy relation of Eq. 1: `self ⪯ required` — every dimension
+    /// demanded by `required` is present in `self` with a satisfying value.
+    ///
+    /// An *empty* requirement is trivially satisfied; extra dimensions in
+    /// `self` are ignored.
+    pub fn satisfies(&self, required: &QosVector) -> bool {
+        required.params.iter().all(|(dim, req)| {
+            self.params
+                .get(dim)
+                .is_some_and(|out| out.satisfies(req))
+        })
+    }
+
+    /// Diagnoses every way in which `self` fails to satisfy `required`.
+    ///
+    /// Returns one [`Mismatch`] per violated dimension; an empty result
+    /// means [`QosVector::satisfies`] holds. The composition tier drives
+    /// its corrections off the [`MismatchKind`] of each entry.
+    pub fn mismatches(&self, required: &QosVector) -> Vec<Mismatch> {
+        let mut out = Vec::new();
+        for (dim, req) in &required.params {
+            match self.params.get(dim) {
+                None => out.push(Mismatch {
+                    dimension: dim.clone(),
+                    kind: MismatchKind::MissingDimension,
+                    offered: None,
+                    required: req.clone(),
+                }),
+                Some(offered) if !offered.satisfies(req) => {
+                    let kind = if offered.is_token() != req.is_token() {
+                        MismatchKind::TypeMismatch
+                    } else if offered.is_token() {
+                        MismatchKind::TokenMismatch
+                    } else {
+                        MismatchKind::RangeViolation
+                    };
+                    out.push(Mismatch {
+                        dimension: dim.clone(),
+                        kind,
+                        offered: Some(offered.clone()),
+                        required: req.clone(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        out
+    }
+
+    /// Merges another vector into this one, with `other` winning conflicts.
+    pub fn merge_from(&mut self, other: &QosVector) {
+        for (dim, value) in &other.params {
+            self.params.insert(dim.clone(), value.clone());
+        }
+    }
+}
+
+impl fmt::Display for QosVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, (dim, value)) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{dim}={value}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<(QosDimension, QosValue)> for QosVector {
+    fn from_iter<I: IntoIterator<Item = (QosDimension, QosValue)>>(iter: I) -> Self {
+        QosVector {
+            params: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(QosDimension, QosValue)> for QosVector {
+    fn extend<I: IntoIterator<Item = (QosDimension, QosValue)>>(&mut self, iter: I) {
+        self.params.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a QosVector {
+    type Item = (&'a QosDimension, &'a QosValue);
+    type IntoIter = btree_map::Iter<'a, QosDimension, QosValue>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.params.iter()
+    }
+}
+
+impl IntoIterator for QosVector {
+    type Item = (QosDimension, QosValue);
+    type IntoIter = btree_map::IntoIter<QosDimension, QosValue>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.params.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpeg_30fps() -> QosVector {
+        QosVector::new()
+            .with(QosDimension::Format, QosValue::token("MPEG"))
+            .with(QosDimension::FrameRate, QosValue::exact(30.0))
+    }
+
+    #[test]
+    fn empty_requirement_is_trivially_satisfied() {
+        assert!(QosVector::new().satisfies(&QosVector::new()));
+        assert!(mpeg_30fps().satisfies(&QosVector::new()));
+    }
+
+    #[test]
+    fn satisfy_checks_every_required_dimension() {
+        let req = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("MPEG"))
+            .with(QosDimension::FrameRate, QosValue::range(10.0, 40.0));
+        assert!(mpeg_30fps().satisfies(&req));
+
+        let req_strict = req.with(QosDimension::Resolution, QosValue::exact(1_920_000.0));
+        assert!(!mpeg_30fps().satisfies(&req_strict));
+    }
+
+    #[test]
+    fn mismatch_diagnosis_kinds() {
+        let out = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("MPEG"))
+            .with(QosDimension::FrameRate, QosValue::exact(50.0))
+            .with(QosDimension::Latency, QosValue::token("weird"));
+        let req = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("WAV"))
+            .with(QosDimension::FrameRate, QosValue::range(10.0, 40.0))
+            .with(QosDimension::Latency, QosValue::exact(20.0))
+            .with(QosDimension::Channels, QosValue::exact(2.0));
+        let mismatches = out.mismatches(&req);
+        assert_eq!(mismatches.len(), 4);
+        let kind_of = |dim: &QosDimension| {
+            mismatches
+                .iter()
+                .find(|m| &m.dimension == dim)
+                .map(|m| m.kind.clone())
+                .unwrap()
+        };
+        assert_eq!(kind_of(&QosDimension::Format), MismatchKind::TokenMismatch);
+        assert_eq!(kind_of(&QosDimension::FrameRate), MismatchKind::RangeViolation);
+        assert_eq!(kind_of(&QosDimension::Latency), MismatchKind::TypeMismatch);
+        assert_eq!(kind_of(&QosDimension::Channels), MismatchKind::MissingDimension);
+    }
+
+    #[test]
+    fn mismatches_empty_iff_satisfies() {
+        let out = mpeg_30fps();
+        let req = QosVector::new().with(QosDimension::FrameRate, QosValue::range(0.0, 60.0));
+        assert!(out.satisfies(&req));
+        assert!(out.mismatches(&req).is_empty());
+    }
+
+    #[test]
+    fn set_get_remove_roundtrip() {
+        let mut v = QosVector::new();
+        assert_eq!(v.set(QosDimension::FrameRate, QosValue::exact(24.0)), None);
+        assert_eq!(v.dim(), 1);
+        assert_eq!(
+            v.set(QosDimension::FrameRate, QosValue::exact(30.0)),
+            Some(QosValue::exact(24.0))
+        );
+        assert_eq!(v.get(&QosDimension::FrameRate), Some(&QosValue::exact(30.0)));
+        assert_eq!(v.remove(&QosDimension::FrameRate), Some(QosValue::exact(30.0)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn merge_from_overwrites() {
+        let mut a = mpeg_30fps();
+        let b = QosVector::new().with(QosDimension::FrameRate, QosValue::exact(15.0));
+        a.merge_from(&b);
+        assert_eq!(a.get(&QosDimension::FrameRate), Some(&QosValue::exact(15.0)));
+        assert_eq!(a.get(&QosDimension::Format), Some(&QosValue::token("MPEG")));
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let v: QosVector = [
+            (QosDimension::Format, QosValue::token("WAV")),
+            (QosDimension::Channels, QosValue::exact(2.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(v.dim(), 2);
+        let s = v.to_string();
+        assert!(s.contains("format=WAV"));
+        assert!(s.contains("channels=2"));
+    }
+}

@@ -1,0 +1,18 @@
+//! End-system resource model (Definitions 3.1, 3.2 and the heterogeneity
+//! normalization of Section 3.3).
+//!
+//! Resource vectors are positional: index `i` is "the *i*-th resource
+//! type", and every vector in one configuration problem must follow the
+//! same schema (the paper: "we assume that `R` and `RA` represent the same
+//! set of resources and obey the same order"). The conventional schema used
+//! throughout the reproduction is `[memory (MB), cpu (%)]`, matching the
+//! paper's examples such as `RA_PDA = [32MB, 100%]`.
+
+pub mod normalize;
+pub mod vector;
+pub mod weights;
+
+/// Index of the memory component in the conventional `[memory, cpu]` schema.
+pub const MEMORY: usize = 0;
+/// Index of the CPU component in the conventional `[memory, cpu]` schema.
+pub const CPU: usize = 1;

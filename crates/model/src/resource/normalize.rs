@@ -1,0 +1,152 @@
+//! Benchmark-machine normalization (Section 3.3).
+//!
+//! The distribution model assumes homogeneous devices; heterogeneity is
+//! handled by normalizing both resource requirements and availabilities to
+//! a *benchmark machine*. The paper's example: with a laptop benchmark, a
+//! PDA's `[32MB, 100%]` becomes `[32MB, 40%]` and a PC's `[256MB, 100%]`
+//! becomes `[256MB, 500%]` — memory is unaffected, CPU is scaled by the
+//! speed ratio to the benchmark.
+
+use crate::error::ModelError;
+use crate::resource::vector::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Converts device-local resource amounts into benchmark-machine units.
+///
+/// A normalizer holds one multiplicative factor per resource type; the
+/// factor is the ratio of the device's per-unit capacity to the benchmark
+/// machine's (1.0 means "identical to the benchmark"). In the general case
+/// the paper derives these factors "through experimental measurements"; in
+/// this reproduction device profiles carry them directly.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::{Normalizer, ResourceVector};
+/// // A PDA whose CPU runs at 40% of the laptop benchmark's speed.
+/// let pda = Normalizer::new(vec![1.0, 0.4])?;
+/// let local = ResourceVector::mem_cpu(32.0, 100.0);
+/// assert_eq!(pda.normalize_availability(&local)?.amounts(), &[32.0, 40.0]);
+/// # Ok::<(), ubiqos_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    factors: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Creates a normalizer from per-resource speed factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAmount`] if a factor is non-positive or
+    /// non-finite (a zero factor would make requirements un-invertible).
+    pub fn new(factors: Vec<f64>) -> Result<Self, ModelError> {
+        for &f in &factors {
+            if !f.is_finite() || f <= 0.0 {
+                return Err(ModelError::InvalidAmount(f));
+            }
+        }
+        Ok(Normalizer { factors })
+    }
+
+    /// The identity normalizer (the device *is* the benchmark machine).
+    pub fn identity(dim: usize) -> Self {
+        Normalizer {
+            factors: vec![1.0; dim],
+        }
+    }
+
+    /// The per-resource factors.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    /// Normalizes a device-local *availability* vector into benchmark
+    /// units: `N(RA)_i = RA_i · factor_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] when the vector dimension
+    /// differs from the normalizer's.
+    pub fn normalize_availability(
+        &self,
+        local: &ResourceVector,
+    ) -> Result<ResourceVector, ModelError> {
+        local.scaled_by(&self.factors)
+    }
+
+    /// Converts a benchmark-units *requirement* into device-local units:
+    /// `R_local,i = R_bench,i / factor_i`.
+    ///
+    /// This is the inverse view: a component profiled to need 40% of the
+    /// benchmark CPU needs 100% of a PDA running at factor 0.4.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] when the vector dimension
+    /// differs from the normalizer's.
+    pub fn localize_requirement(
+        &self,
+        bench: &ResourceVector,
+    ) -> Result<ResourceVector, ModelError> {
+        let inverse: Vec<f64> = self.factors.iter().map(|f| 1.0 / f).collect();
+        bench.scaled_by(&inverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_pda_and_pc() {
+        let pda = Normalizer::new(vec![1.0, 0.4]).unwrap();
+        let pc = Normalizer::new(vec![1.0, 5.0]).unwrap();
+        let pda_local = ResourceVector::mem_cpu(32.0, 100.0);
+        let pc_local = ResourceVector::mem_cpu(256.0, 100.0);
+        assert_eq!(
+            pda.normalize_availability(&pda_local).unwrap().amounts(),
+            &[32.0, 40.0]
+        );
+        assert_eq!(
+            pc.normalize_availability(&pc_local).unwrap().amounts(),
+            &[256.0, 500.0]
+        );
+    }
+
+    #[test]
+    fn localize_is_inverse_of_normalize() {
+        let n = Normalizer::new(vec![1.0, 0.4]).unwrap();
+        let bench = ResourceVector::mem_cpu(8.0, 20.0);
+        let local = n.localize_requirement(&bench).unwrap();
+        assert!((local[1] - 50.0).abs() < 1e-9);
+        let back = n.normalize_availability(&local).unwrap();
+        for (a, b) in back.amounts().iter().zip(bench.amounts()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let n = Normalizer::identity(2);
+        let v = ResourceVector::mem_cpu(5.0, 7.0);
+        assert_eq!(n.normalize_availability(&v).unwrap(), v);
+        assert_eq!(n.localize_requirement(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_nonpositive_factors() {
+        assert!(Normalizer::new(vec![0.0]).is_err());
+        assert!(Normalizer::new(vec![-1.0]).is_err());
+        assert!(Normalizer::new(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let n = Normalizer::identity(2);
+        let v = ResourceVector::new(vec![1.0]).unwrap();
+        assert!(n.normalize_availability(&v).is_err());
+        assert!(n.localize_requirement(&v).is_err());
+    }
+}

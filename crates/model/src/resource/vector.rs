@@ -1,0 +1,353 @@
+//! Resource requirement / availability vectors.
+
+use crate::error::ModelError;
+use crate::EPSILON;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index};
+
+/// A vector of end-system resource amounts, `R = [r_1, …, r_m]`.
+///
+/// Used both for per-component *requirements* and per-device
+/// *availabilities* (`RA`). Supports the paper's vector addition
+/// (Definition 3.1) via [`Add`]/[`AddAssign`] and the component-wise
+/// comparison `R ≤ RA` (Definition 3.2) via [`ResourceVector::fits_within`].
+///
+/// Amounts are non-negative finite floats in *normalized benchmark units*
+/// (see [`crate::Normalizer`]); by convention index 0 is memory in MB and
+/// index 1 is CPU in percent, but the type is schema-agnostic.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::ResourceVector;
+/// let need = ResourceVector::new(vec![16.0, 25.0])?;   // 16 MB, 25% CPU
+/// let have = ResourceVector::new(vec![32.0, 100.0])?;  // a PDA
+/// assert!(need.fits_within(&have));
+/// let double = (need.clone() + need.clone())?;
+/// assert_eq!(double.amounts(), &[32.0, 50.0]);
+/// # Ok::<(), ubiqos_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceVector {
+    amounts: Vec<f64>,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector from raw amounts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidAmount`] if any amount is negative or
+    /// non-finite.
+    pub fn new(amounts: Vec<f64>) -> Result<Self, ModelError> {
+        for &a in &amounts {
+            if !a.is_finite() || a < 0.0 {
+                return Err(ModelError::InvalidAmount(a));
+            }
+        }
+        Ok(ResourceVector { amounts })
+    }
+
+    /// Creates a zero vector of the given dimension.
+    pub fn zero(dim: usize) -> Self {
+        ResourceVector {
+            amounts: vec![0.0; dim],
+        }
+    }
+
+    /// Convenience constructor for the conventional `[memory MB, cpu %]`
+    /// schema used throughout the paper's experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either amount is negative or non-finite.
+    pub fn mem_cpu(memory_mb: f64, cpu_pct: f64) -> Self {
+        Self::new(vec![memory_mb, cpu_pct]).expect("invalid resource amount")
+    }
+
+    /// The dimension `m` of the vector.
+    pub fn dim(&self) -> usize {
+        self.amounts.len()
+    }
+
+    /// The raw amounts.
+    pub fn amounts(&self) -> &[f64] {
+        &self.amounts
+    }
+
+    /// Definition 3.2: `self ≤ other` component-wise (within epsilon).
+    ///
+    /// Vectors of different dimension never fit.
+    pub fn fits_within(&self, other: &ResourceVector) -> bool {
+        self.dim() == other.dim()
+            && self
+                .amounts
+                .iter()
+                .zip(&other.amounts)
+                .all(|(r, ra)| *r <= *ra + EPSILON)
+    }
+
+    /// Checked component-wise addition (Definition 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] when the dimensions differ.
+    pub fn checked_add(&self, other: &ResourceVector) -> Result<ResourceVector, ModelError> {
+        if self.dim() != other.dim() {
+            return Err(ModelError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        Ok(ResourceVector {
+            amounts: self
+                .amounts
+                .iter()
+                .zip(&other.amounts)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Component-wise subtraction, clamped at zero.
+    ///
+    /// Used to track residual availability as components are placed; the
+    /// clamp protects accumulated float error from producing tiny negative
+    /// availabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] when the dimensions differ.
+    pub fn saturating_sub(&self, other: &ResourceVector) -> Result<ResourceVector, ModelError> {
+        if self.dim() != other.dim() {
+            return Err(ModelError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        Ok(ResourceVector {
+            amounts: self
+                .amounts
+                .iter()
+                .zip(&other.amounts)
+                .map(|(a, b)| (a - b).max(0.0))
+                .collect(),
+        })
+    }
+
+    /// Component-wise scaling by a non-negative factor per component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DimensionMismatch`] when `factors.len()`
+    /// differs from the vector dimension, or [`ModelError::InvalidAmount`]
+    /// if a factor is negative or non-finite.
+    pub fn scaled_by(&self, factors: &[f64]) -> Result<ResourceVector, ModelError> {
+        if self.dim() != factors.len() {
+            return Err(ModelError::DimensionMismatch {
+                left: self.dim(),
+                right: factors.len(),
+            });
+        }
+        for &f in factors {
+            if !f.is_finite() || f < 0.0 {
+                return Err(ModelError::InvalidAmount(f));
+            }
+        }
+        Ok(ResourceVector {
+            amounts: self
+                .amounts
+                .iter()
+                .zip(factors)
+                .map(|(a, f)| a * f)
+                .collect(),
+        })
+    }
+
+    /// Weighted scalarization `Σ w_i · r_i`.
+    ///
+    /// The paper's heuristic orders both devices and components by "the
+    /// weighted sum of different resources" (footnote 3); this is that sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `weights.len() != self.dim()`; in
+    /// release builds the shorter of the two lengths is used.
+    pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
+        debug_assert_eq!(weights.len(), self.dim(), "weight/vector dimension mismatch");
+        self.amounts
+            .iter()
+            .zip(weights)
+            .map(|(a, w)| a * w)
+            .sum()
+    }
+
+    /// Returns the amount at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<f64> {
+        self.amounts.get(index).copied()
+    }
+
+    /// Whether every component is (approximately) zero.
+    pub fn is_zero(&self) -> bool {
+        self.amounts.iter().all(|&a| a <= EPSILON)
+    }
+}
+
+impl Add for ResourceVector {
+    type Output = Result<ResourceVector, ModelError>;
+
+    fn add(self, rhs: ResourceVector) -> Self::Output {
+        self.checked_add(&rhs)
+    }
+}
+
+impl AddAssign<&ResourceVector> for ResourceVector {
+    /// In-place Definition 3.1 addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ; use
+    /// [`ResourceVector::checked_add`] for fallible addition.
+    fn add_assign(&mut self, rhs: &ResourceVector) {
+        *self = self
+            .checked_add(rhs)
+            .expect("resource vector dimension mismatch");
+    }
+}
+
+impl Index<usize> for ResourceVector {
+    type Output = f64;
+
+    fn index(&self, index: usize) -> &f64 {
+        &self.amounts[index]
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (i, a) in self.amounts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a:.2}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl FromIterator<f64> for ResourceVector {
+    /// Collects amounts into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an amount is negative or non-finite; use
+    /// [`ResourceVector::new`] for validation without panicking.
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        ResourceVector::new(iter.into_iter().collect()).expect("invalid resource amount")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_and_nonfinite() {
+        assert!(ResourceVector::new(vec![-1.0]).is_err());
+        assert!(ResourceVector::new(vec![f64::NAN]).is_err());
+        assert!(ResourceVector::new(vec![f64::INFINITY]).is_err());
+        assert!(ResourceVector::new(vec![]).is_ok());
+        assert!(ResourceVector::new(vec![0.0, 5.5]).is_ok());
+    }
+
+    #[test]
+    fn definition_3_1_addition() {
+        let a = ResourceVector::mem_cpu(10.0, 20.0);
+        let b = ResourceVector::mem_cpu(5.0, 2.5);
+        let sum = a.checked_add(&b).unwrap();
+        assert_eq!(sum.amounts(), &[15.0, 22.5]);
+    }
+
+    #[test]
+    fn addition_dimension_mismatch() {
+        let a = ResourceVector::new(vec![1.0]).unwrap();
+        let b = ResourceVector::mem_cpu(1.0, 1.0);
+        assert_eq!(
+            a.checked_add(&b),
+            Err(ModelError::DimensionMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn definition_3_2_comparison() {
+        let need = ResourceVector::mem_cpu(32.0, 100.0);
+        let pda = ResourceVector::mem_cpu(32.0, 100.0);
+        let pc = ResourceVector::mem_cpu(256.0, 500.0);
+        assert!(need.fits_within(&pda), "equality counts as fitting");
+        assert!(need.fits_within(&pc));
+        assert!(!pc.fits_within(&pda));
+        // One exceeding component is enough to fail.
+        let tall = ResourceVector::mem_cpu(1.0, 600.0);
+        assert!(!tall.fits_within(&pc));
+    }
+
+    #[test]
+    fn mismatched_dims_never_fit() {
+        let a = ResourceVector::new(vec![1.0]).unwrap();
+        let b = ResourceVector::mem_cpu(10.0, 10.0);
+        assert!(!a.fits_within(&b));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = ResourceVector::mem_cpu(10.0, 5.0);
+        let b = ResourceVector::mem_cpu(4.0, 8.0);
+        let d = a.saturating_sub(&b).unwrap();
+        assert_eq!(d.amounts(), &[6.0, 0.0]);
+    }
+
+    #[test]
+    fn scaled_by_normalization_example() {
+        // The paper's example: a PDA with [32MB, 100%] normalized on a
+        // laptop benchmark to [32MB, 40%].
+        let pda = ResourceVector::mem_cpu(32.0, 100.0);
+        let normalized = pda.scaled_by(&[1.0, 0.4]).unwrap();
+        assert_eq!(normalized.amounts(), &[32.0, 40.0]);
+        assert!(pda.scaled_by(&[1.0]).is_err());
+        assert!(pda.scaled_by(&[1.0, -0.5]).is_err());
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let v = ResourceVector::mem_cpu(100.0, 50.0);
+        let s = v.weighted_sum(&[0.3, 0.7]);
+        assert!((s - (30.0 + 35.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_and_index() {
+        let mut v = ResourceVector::zero(2);
+        v += &ResourceVector::mem_cpu(8.0, 4.0);
+        v += &ResourceVector::mem_cpu(2.0, 1.0);
+        assert_eq!(v[0], 10.0);
+        assert_eq!(v[1], 5.0);
+        assert!(!v.is_zero());
+        assert!(ResourceVector::zero(3).is_zero());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: ResourceVector = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.get(2), Some(3.0));
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        let v = ResourceVector::mem_cpu(32.0, 40.5);
+        assert_eq!(v.to_string(), "[32.00, 40.50]");
+    }
+}

@@ -1,0 +1,185 @@
+//! The weight vector of Definition 3.5.
+//!
+//! Cost aggregation weighs `m` end-system resource types plus one network
+//! term: `w_1 … w_m, w_{m+1}` with `Σ w_i = 1`. Higher weights mark more
+//! critical resources.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance when validating that weights sum to one.
+const SUM_TOLERANCE: f64 = 1e-6;
+
+/// The nonnegative weights `w_1 … w_{m+1}` of Definition 3.5.
+///
+/// The first `m` entries weigh end-system resource types (in resource-
+/// vector order); the final entry weighs the network term. The sum of all
+/// entries must be 1.
+///
+/// # Example
+///
+/// ```
+/// use ubiqos_model::Weights;
+/// // Memory 30%, CPU 30%, network 40%.
+/// let w = Weights::new(vec![0.3, 0.3], 0.4)?;
+/// assert_eq!(w.resource(), &[0.3, 0.3]);
+/// assert_eq!(w.network(), 0.4);
+/// # Ok::<(), ubiqos_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    resource: Vec<f64>,
+    network: f64,
+}
+
+impl Weights {
+    /// Creates and validates a weight vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyWeights`] when `resource` is empty;
+    /// * [`ModelError::InvalidAmount`] when any weight is negative or
+    ///   non-finite;
+    /// * [`ModelError::WeightsNotNormalized`] when the weights do not sum
+    ///   to 1 within tolerance.
+    pub fn new(resource: Vec<f64>, network: f64) -> Result<Self, ModelError> {
+        if resource.is_empty() {
+            return Err(ModelError::EmptyWeights);
+        }
+        for &w in resource.iter().chain(std::iter::once(&network)) {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidAmount(w));
+            }
+        }
+        let sum: f64 = resource.iter().sum::<f64>() + network;
+        if (sum - 1.0).abs() > SUM_TOLERANCE {
+            return Err(ModelError::WeightsNotNormalized { sum });
+        }
+        Ok(Weights { resource, network })
+    }
+
+    /// Creates uniform weights over `m` resource types plus the network
+    /// term (each weight `1 / (m + 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m == 0`.
+    pub fn uniform(m: usize) -> Self {
+        assert!(m > 0, "at least one resource type is required");
+        let w = 1.0 / (m as f64 + 1.0);
+        Weights {
+            resource: vec![w; m],
+            network: w,
+        }
+    }
+
+    /// Creates weights from raw (nonnegative, not-all-zero) importances by
+    /// normalizing them to sum to one. The last importance is the network
+    /// term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyWeights`] when fewer than two importances
+    /// are supplied (at least one resource plus the network term), and
+    /// [`ModelError::InvalidAmount`] when an importance is negative,
+    /// non-finite, or all importances are zero.
+    pub fn from_importance(importance: &[f64]) -> Result<Self, ModelError> {
+        if importance.len() < 2 {
+            return Err(ModelError::EmptyWeights);
+        }
+        for &w in importance {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ModelError::InvalidAmount(w));
+            }
+        }
+        let sum: f64 = importance.iter().sum();
+        if sum <= 0.0 {
+            return Err(ModelError::InvalidAmount(sum));
+        }
+        let mut normalized: Vec<f64> = importance.iter().map(|w| w / sum).collect();
+        let network = normalized.pop().expect("length checked above");
+        Ok(Weights {
+            resource: normalized,
+            network,
+        })
+    }
+
+    /// The end-system resource weights `w_1 … w_m`.
+    pub fn resource(&self) -> &[f64] {
+        &self.resource
+    }
+
+    /// The network weight `w_{m+1}`.
+    pub fn network(&self) -> f64 {
+        self.network
+    }
+
+    /// The number of end-system resource types `m`.
+    pub fn resource_dim(&self) -> usize {
+        self.resource.len()
+    }
+}
+
+impl Default for Weights {
+    /// Uniform weights for the conventional `[memory, cpu]` schema.
+    fn default() -> Self {
+        Weights::uniform(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normalized_weights() {
+        let w = Weights::new(vec![0.25, 0.25], 0.5).unwrap();
+        assert_eq!(w.resource_dim(), 2);
+        assert_eq!(w.network(), 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(Weights::new(vec![], 1.0), Err(ModelError::EmptyWeights));
+        assert!(matches!(
+            Weights::new(vec![0.5, 0.6], 0.2),
+            Err(ModelError::WeightsNotNormalized { .. })
+        ));
+        assert!(matches!(
+            Weights::new(vec![-0.5, 1.0], 0.5),
+            Err(ModelError::InvalidAmount(_))
+        ));
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        for m in 1..6 {
+            let w = Weights::uniform(m);
+            let sum: f64 = w.resource().iter().sum::<f64>() + w.network();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert_eq!(w.resource_dim(), m);
+        }
+    }
+
+    #[test]
+    fn from_importance_normalizes() {
+        let w = Weights::from_importance(&[2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(w.resource(), &[0.25, 0.25]);
+        assert_eq!(w.network(), 0.5);
+    }
+
+    #[test]
+    fn from_importance_rejects_degenerate() {
+        assert!(Weights::from_importance(&[1.0]).is_err());
+        assert!(Weights::from_importance(&[0.0, 0.0]).is_err());
+        assert!(Weights::from_importance(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn default_is_uniform_mem_cpu() {
+        let w = Weights::default();
+        assert_eq!(w.resource_dim(), 2);
+        let third = 1.0 / 3.0;
+        assert!((w.network() - third).abs() < 1e-12);
+    }
+}

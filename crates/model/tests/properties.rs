@@ -1,0 +1,194 @@
+//! Property-based tests for the QoS and resource algebra.
+
+use proptest::prelude::*;
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector, Weights};
+
+fn arb_amount() -> impl Strategy<Value = f64> {
+    0.0f64..1e6
+}
+
+fn arb_resource_vector(dim: usize) -> impl Strategy<Value = ResourceVector> {
+    proptest::collection::vec(arb_amount(), dim)
+        .prop_map(|v| ResourceVector::new(v).expect("amounts are valid"))
+}
+
+fn arb_numeric_value() -> impl Strategy<Value = QosValue> {
+    prop_oneof![
+        arb_amount().prop_map(QosValue::exact),
+        (arb_amount(), arb_amount()).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            QosValue::range(lo, hi)
+        }),
+    ]
+}
+
+fn arb_token_value() -> impl Strategy<Value = QosValue> {
+    let tokens = prop_oneof![
+        Just("MPEG".to_owned()),
+        Just("WAV".to_owned()),
+        Just("JPEG".to_owned()),
+        Just("PCM".to_owned()),
+        Just("MP3".to_owned()),
+    ];
+    prop_oneof![
+        tokens.clone().prop_map(QosValue::Token),
+        proptest::collection::btree_set(tokens, 1..4).prop_map(QosValue::TokenSet),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = QosValue> {
+    prop_oneof![arb_numeric_value(), arb_token_value()]
+}
+
+proptest! {
+    // ---- ResourceVector ----------------------------------------------
+
+    #[test]
+    fn addition_is_commutative(a in arb_resource_vector(3), b in arb_resource_vector(3)) {
+        let ab = a.checked_add(&b).unwrap();
+        let ba = b.checked_add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn addition_is_associative(
+        a in arb_resource_vector(2),
+        b in arb_resource_vector(2),
+        c in arb_resource_vector(2),
+    ) {
+        let left = a.checked_add(&b).unwrap().checked_add(&c).unwrap();
+        let right = a.checked_add(&b.checked_add(&c).unwrap()).unwrap();
+        for (l, r) in left.amounts().iter().zip(right.amounts()) {
+            prop_assert!((l - r).abs() <= 1e-6 * l.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn zero_is_identity(a in arb_resource_vector(4)) {
+        let z = ResourceVector::zero(4);
+        prop_assert_eq!(a.checked_add(&z).unwrap(), a.clone());
+        prop_assert!(z.fits_within(&a));
+    }
+
+    #[test]
+    fn fits_within_is_reflexive_and_monotone(
+        a in arb_resource_vector(2),
+        b in arb_resource_vector(2),
+    ) {
+        prop_assert!(a.fits_within(&a));
+        let sum = a.checked_add(&b).unwrap();
+        prop_assert!(a.fits_within(&sum));
+        prop_assert!(b.fits_within(&sum));
+    }
+
+    #[test]
+    fn fits_within_is_transitive(
+        a in arb_resource_vector(2),
+        b in arb_resource_vector(2),
+        c in arb_resource_vector(2),
+    ) {
+        if a.fits_within(&b) && b.fits_within(&c) {
+            // Tolerance stacking is bounded by 2·EPSILON, far below the
+            // magnitudes generated here.
+            prop_assert!(a.fits_within(&c));
+        }
+    }
+
+    #[test]
+    fn saturating_sub_never_negative(
+        a in arb_resource_vector(3),
+        b in arb_resource_vector(3),
+    ) {
+        let d = a.saturating_sub(&b).unwrap();
+        prop_assert!(d.amounts().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn weighted_sum_nonnegative_and_linear(a in arb_resource_vector(2), b in arb_resource_vector(2)) {
+        let w = [0.3, 0.7];
+        let sa = a.weighted_sum(&w);
+        let sb = b.weighted_sum(&w);
+        let ssum = a.checked_add(&b).unwrap().weighted_sum(&w);
+        prop_assert!(sa >= 0.0);
+        prop_assert!((ssum - (sa + sb)).abs() <= 1e-6 * ssum.abs().max(1.0));
+    }
+
+    // ---- QosValue ------------------------------------------------------
+
+    #[test]
+    fn satisfies_is_reflexive_for_singles(v in arb_value()) {
+        // Exact and Token values always satisfy themselves; ranges and
+        // token sets satisfy themselves by the subset rule.
+        prop_assert!(v.satisfies(&v));
+    }
+
+    #[test]
+    fn intersect_result_satisfies_both(a in arb_value(), b in arb_value()) {
+        if let Some(i) = a.intersect(&b) {
+            prop_assert!(i.satisfies(&a), "intersection {i:?} must satisfy {a:?}");
+            prop_assert!(i.satisfies(&b), "intersection {i:?} must satisfy {b:?}");
+        }
+    }
+
+    #[test]
+    fn intersect_is_symmetric_in_feasibility(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.intersect(&b).is_some(), b.intersect(&a).is_some());
+    }
+
+    #[test]
+    fn pick_stays_within(v in arb_value()) {
+        use ubiqos_model::Preference;
+        for pref in [Preference::Highest, Preference::Lowest] {
+            if let Some(p) = v.pick(pref) {
+                prop_assert!(p.satisfies(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_in_range_satisfies(lo in arb_amount(), span in arb_amount(), t in 0.0f64..1.0) {
+        let hi = lo + span;
+        let point = lo + t * span;
+        prop_assert!(QosValue::exact(point).satisfies(&QosValue::range(lo, hi)));
+    }
+
+    // ---- QosVector -----------------------------------------------------
+
+    #[test]
+    fn vector_satisfies_is_reflexive(
+        values in proptest::collection::vec(arb_value(), 0..5)
+    ) {
+        let dims = [
+            QosDimension::Format,
+            QosDimension::FrameRate,
+            QosDimension::Resolution,
+            QosDimension::Latency,
+            QosDimension::Channels,
+        ];
+        let v: QosVector = dims.iter().cloned().zip(values).collect();
+        prop_assert!(v.satisfies(&v));
+        prop_assert!(v.mismatches(&v).is_empty());
+    }
+
+    #[test]
+    fn mismatches_agrees_with_satisfies(
+        a_vals in proptest::collection::vec(arb_value(), 3),
+        b_vals in proptest::collection::vec(arb_value(), 3),
+    ) {
+        let dims = [QosDimension::Format, QosDimension::FrameRate, QosDimension::Resolution];
+        let a: QosVector = dims.iter().cloned().zip(a_vals).collect();
+        let b: QosVector = dims.iter().cloned().zip(b_vals).collect();
+        prop_assert_eq!(a.satisfies(&b), a.mismatches(&b).is_empty());
+    }
+
+    // ---- Weights -------------------------------------------------------
+
+    #[test]
+    fn from_importance_always_normalized(
+        raw in proptest::collection::vec(0.01f64..100.0, 2..6)
+    ) {
+        let w = Weights::from_importance(&raw).unwrap();
+        let sum: f64 = w.resource().iter().sum::<f64>() + w.network();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the QoS satisfaction score.
+
+use proptest::prelude::*;
+use ubiqos_model::{satisfaction, QosDimension, QosValue, QosVector};
+
+fn vec_of(fps: f64, latency: f64, fmt: &str) -> QosVector {
+    QosVector::new()
+        .with(QosDimension::FrameRate, QosValue::exact(fps))
+        .with(QosDimension::Latency, QosValue::exact(latency))
+        .with(QosDimension::Format, QosValue::token(fmt))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Satisfaction is always in [0, 1].
+    #[test]
+    fn score_is_bounded(
+        fps in 0.0f64..1000.0,
+        lat in 0.001f64..1000.0,
+        want_fps in 0.001f64..1000.0,
+        want_lat in 0.001f64..1000.0,
+        same_fmt in prop::bool::ANY,
+    ) {
+        let delivered = vec_of(fps, lat, if same_fmt { "WAV" } else { "MPEG" });
+        let requested = vec_of(want_fps, want_lat, "WAV");
+        let s = satisfaction(&delivered, &requested);
+        prop_assert!((0.0..=1.0).contains(&s), "score {s}");
+    }
+
+    /// Delivering exactly what was requested scores 1.
+    #[test]
+    fn exact_delivery_is_perfect(
+        fps in 0.001f64..1000.0,
+        lat in 0.001f64..1000.0,
+    ) {
+        let v = vec_of(fps, lat, "WAV");
+        prop_assert_eq!(satisfaction(&v, &v), 1.0);
+    }
+
+    /// Satisfaction is monotone in delivered frame rate (up to the
+    /// requested level) when everything else matches.
+    #[test]
+    fn monotone_in_rate(
+        want in 10.0f64..100.0,
+        lo_frac in 0.05f64..0.9,
+        step in 0.01f64..0.09,
+    ) {
+        let requested = QosVector::new().with(QosDimension::FrameRate, QosValue::exact(want));
+        let lower = QosVector::new()
+            .with(QosDimension::FrameRate, QosValue::exact(want * lo_frac));
+        let higher = QosVector::new()
+            .with(QosDimension::FrameRate, QosValue::exact(want * (lo_frac + step)));
+        prop_assert!(satisfaction(&lower, &requested) <= satisfaction(&higher, &requested) + 1e-12);
+    }
+
+    /// Degrading one dimension can only lower the score.
+    #[test]
+    fn degradation_never_raises_the_score(
+        want_fps in 10.0f64..100.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let requested = vec_of(want_fps, 50.0, "WAV");
+        let perfect = vec_of(want_fps, 50.0, "WAV");
+        let degraded = vec_of(want_fps * frac, 50.0, "WAV");
+        prop_assert!(satisfaction(&degraded, &requested) <= satisfaction(&perfect, &requested) + 1e-12);
+    }
+}

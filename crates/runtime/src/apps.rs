@@ -1,0 +1,400 @@
+//! The two prototype applications of Section 4: *mobile audio-on-demand*
+//! and *video conferencing*.
+//!
+//! Each function builds the abstract service graph plus the registry
+//! entries (concrete instances) the paper's testbed provides, so
+//! scenarios and examples can assemble the experiment with one call.
+
+use crate::cost_model::LinkKind;
+use ubiqos_discovery::{DeviceProperties, ServiceDescriptor, ServiceRegistry};
+use ubiqos_distribution::{Device, DeviceClass, Environment};
+use ubiqos_graph::{
+    AbstractComponentSpec, AbstractServiceGraph, ComponentRole, PinHint, ServiceComponent,
+};
+use ubiqos_model::{QosDimension as D, QosValue, QosVector, ResourceVector};
+
+/// Properties of a desktop-class client.
+pub fn desktop_props() -> DeviceProperties {
+    DeviceProperties {
+        screen_pixels: 1600.0 * 1200.0,
+        compute_factor: 5.0,
+    }
+}
+
+/// Properties of the HP Jornada PDA client.
+pub fn pda_props() -> DeviceProperties {
+    DeviceProperties {
+        screen_pixels: 320.0 * 240.0,
+        compute_factor: 0.4,
+    }
+}
+
+/// The audio-on-demand smart space: desktop1 (content server host),
+/// desktop2, the Jornada PDA, and desktop3, with ethernet everywhere but
+/// the PDA.
+///
+/// Returns `(environment, per-device links, per-device properties)`.
+pub fn audio_environment() -> (Environment, Vec<LinkKind>, Vec<DeviceProperties>) {
+    let env = Environment::builder()
+        .device(
+            Device::new("desktop1", ResourceVector::mem_cpu(256.0, 500.0))
+                .with_class(DeviceClass::Desktop),
+        )
+        .device(
+            Device::new("desktop2", ResourceVector::mem_cpu(256.0, 500.0))
+                .with_class(DeviceClass::Desktop),
+        )
+        .device(
+            Device::new("jornada", ResourceVector::mem_cpu(32.0, 40.0))
+                .with_class(DeviceClass::Pda),
+        )
+        .device(
+            Device::new("desktop3", ResourceVector::mem_cpu(256.0, 500.0))
+                .with_class(DeviceClass::Desktop),
+        )
+        .default_bandwidth_mbps(100.0)
+        .link_mbps(0, 2, 4.0)
+        .link_mbps(1, 2, 4.0)
+        .link_mbps(2, 3, 4.0)
+        .build();
+    let links = vec![
+        LinkKind::Ethernet,
+        LinkKind::Ethernet,
+        LinkKind::Wireless,
+        LinkKind::Ethernet,
+    ];
+    let props = vec![desktop_props(), desktop_props(), pda_props(), desktop_props()];
+    (env, links, props)
+}
+
+/// Registers the audio-on-demand instances: the MPEG audio server on
+/// desktop1 and two player implementations — a full MPEG player that
+/// needs a capable machine, and a lightweight WAV-only player that runs
+/// anywhere (the Jornada's player).
+pub fn register_audio_services(registry: &mut ServiceRegistry) {
+    registry.register(
+        ServiceDescriptor::new(
+            "audio-server@desktop1",
+            "audio-server",
+            ServiceComponent::builder("audio-server")
+                .role(ComponentRole::Source)
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("MPEG"))
+                        .with(D::FrameRate, QosValue::exact(40.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(5.0, 40.0))
+                .resources(ResourceVector::mem_cpu(64.0, 60.0))
+                .build(),
+        )
+        .with_code_size_mb(4.0),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "mpeg-player",
+            "audio-player",
+            ServiceComponent::builder("audio-player")
+                .role(ComponentRole::Sink)
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("MPEG"))
+                        .with(D::FrameRate, QosValue::range(10.0, 40.0)),
+                )
+                .qos_out(QosVector::new().with(D::FrameRate, QosValue::exact(40.0)))
+                .capability(D::FrameRate, QosValue::range(5.0, 40.0))
+                .resources(ResourceVector::mem_cpu(32.0, 35.0))
+                .build(),
+        )
+        .with_min_device(DeviceProperties {
+            screen_pixels: 640.0 * 480.0,
+            compute_factor: 1.0,
+        })
+        .with_code_size_mb(2.5),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "wav-player",
+            "audio-player",
+            ServiceComponent::builder("audio-player")
+                .role(ComponentRole::Sink)
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("WAV"))
+                        .with(D::FrameRate, QosValue::range(10.0, 40.0)),
+                )
+                .qos_out(QosVector::new().with(D::FrameRate, QosValue::exact(40.0)))
+                .capability(D::FrameRate, QosValue::range(5.0, 40.0))
+                .resources(ResourceVector::mem_cpu(6.0, 12.0))
+                .build(),
+        )
+        .with_min_device(DeviceProperties {
+            screen_pixels: 160.0 * 120.0,
+            compute_factor: 0.2,
+        })
+        .with_code_size_mb(1.0),
+    );
+}
+
+/// The mobile audio-on-demand abstract graph: an audio server (pinned to
+/// desktop1, where the content lives) streaming to an audio player on the
+/// user's current portal.
+pub fn audio_on_demand_app() -> AbstractServiceGraph {
+    let mut g = AbstractServiceGraph::new();
+    let server = g.add_spec(
+        AbstractComponentSpec::new("audio-server")
+            .with_desired_qos(QosVector::new().with(D::Format, QosValue::token("MPEG")))
+            .with_pin(PinHint::Device(0)),
+    );
+    let player = g.add_spec(
+        AbstractComponentSpec::new("audio-player")
+            .with_desired_qos(QosVector::new().with(D::Format, QosValue::token("MPEG")))
+            .with_pin(PinHint::ClientDevice),
+    );
+    // Compressed MPEG audio is ~0.35 Mbps; the MPEG2WAV transcoder
+    // expands it 4x to ~1.4 Mbps of WAV, which still fits the 4 Mbps
+    // wireless hop to the PDA.
+    g.add_edge(server, player, 0.35).unwrap();
+    g
+}
+
+/// The user's QoS request for audio-on-demand: "CD quality music" —
+/// modeled as 40 chunk/s delivery.
+pub fn audio_user_qos() -> QosVector {
+    QosVector::new().with(D::FrameRate, QosValue::exact(40.0))
+}
+
+/// The video-conferencing smart space: three Sun Ultra-60 class
+/// workstations on ethernet.
+pub fn conference_environment() -> (Environment, Vec<LinkKind>, Vec<DeviceProperties>) {
+    let env = Environment::builder()
+        .device(
+            Device::new("ws1", ResourceVector::mem_cpu(512.0, 400.0))
+                .with_class(DeviceClass::Workstation),
+        )
+        .device(
+            Device::new("ws2", ResourceVector::mem_cpu(512.0, 400.0))
+                .with_class(DeviceClass::Workstation),
+        )
+        .device(
+            Device::new("ws3", ResourceVector::mem_cpu(512.0, 400.0))
+                .with_class(DeviceClass::Workstation),
+        )
+        .default_bandwidth_mbps(100.0)
+        .build();
+    let links = vec![LinkKind::Ethernet; 3];
+    let props = vec![desktop_props(); 3];
+    (env, links, props)
+}
+
+/// Registers the video-conferencing instances: recorders on ws1, the AV
+/// gateway/multiplexer, the lip-synchronizer, and the two players.
+pub fn register_conference_services(registry: &mut ServiceRegistry) {
+    let avmux = || QosValue::token("AVMUX");
+    registry.register(
+        ServiceDescriptor::new(
+            "video-recorder@ws1",
+            "video-recorder",
+            ServiceComponent::builder("video-recorder")
+                .role(ComponentRole::Source)
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("H261"))
+                        .with(D::FrameRate, QosValue::exact(25.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(1.0, 30.0))
+                .resources(ResourceVector::mem_cpu(48.0, 50.0))
+                .build(),
+        )
+        .with_code_size_mb(1.5),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "audio-recorder@ws1",
+            "audio-recorder",
+            ServiceComponent::builder("audio-recorder")
+                .role(ComponentRole::Source)
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("PCM"))
+                        .with(D::SampleRate, QosValue::exact(6.0)),
+                )
+                .capability(D::SampleRate, QosValue::range(1.0, 8.0))
+                .resources(ResourceVector::mem_cpu(16.0, 20.0))
+                .build(),
+        )
+        .with_code_size_mb(1.0),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "av-gateway",
+            "av-gateway",
+            ServiceComponent::builder("av-gateway")
+                .role(ComponentRole::Processor)
+                // The multiplexer accepts both elementary streams.
+                .qos_in(QosVector::new())
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, avmux())
+                        .with(D::FrameRate, QosValue::exact(25.0))
+                        .with(D::SampleRate, QosValue::exact(6.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(1.0, 30.0))
+                .capability(D::SampleRate, QosValue::range(1.0, 8.0))
+                .passthrough(D::FrameRate)
+                .passthrough(D::SampleRate)
+                .resources(ResourceVector::mem_cpu(64.0, 45.0))
+                .build(),
+        )
+        .with_code_size_mb(2.0),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "lipsync",
+            "lipsync",
+            ServiceComponent::builder("lipsync")
+                .role(ComponentRole::Processor)
+                .qos_in(QosVector::new().with(D::Format, avmux()))
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, avmux())
+                        .with(D::FrameRate, QosValue::exact(25.0))
+                        .with(D::SampleRate, QosValue::exact(6.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(1.0, 30.0))
+                .capability(D::SampleRate, QosValue::range(1.0, 8.0))
+                .passthrough(D::FrameRate)
+                .passthrough(D::SampleRate)
+                .resources(ResourceVector::mem_cpu(96.0, 70.0))
+                .build(),
+        )
+        .with_code_size_mb(2.5),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "video-player@ws3",
+            "video-player",
+            ServiceComponent::builder("video-player")
+                .role(ComponentRole::Sink)
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, avmux())
+                        .with(D::FrameRate, QosValue::range(5.0, 25.0)),
+                )
+                .resources(ResourceVector::mem_cpu(48.0, 45.0))
+                .build(),
+        )
+        .with_code_size_mb(1.5),
+    );
+    registry.register(
+        ServiceDescriptor::new(
+            "audio-player@ws3",
+            "conference-audio-player",
+            ServiceComponent::builder("conference-audio-player")
+                .role(ComponentRole::Sink)
+                .qos_in(
+                    QosVector::new()
+                        .with(D::Format, avmux())
+                        .with(D::SampleRate, QosValue::range(1.0, 6.0)),
+                )
+                .resources(ResourceVector::mem_cpu(16.0, 15.0))
+                .build(),
+        )
+        .with_code_size_mb(1.0),
+    );
+}
+
+/// The video-conferencing abstract graph (Figure 3's non-linear service
+/// graph): video + audio recorders on ws1 feed an AV gateway (pinned to
+/// ws2, the boundary host), which feeds the lip-synchronizer, which fans
+/// out to the video and audio players on the user's workstation.
+pub fn video_conference_app() -> AbstractServiceGraph {
+    let mut g = AbstractServiceGraph::new();
+    let vrec = g.add_spec(AbstractComponentSpec::new("video-recorder").with_pin(PinHint::Device(0)));
+    let arec = g.add_spec(AbstractComponentSpec::new("audio-recorder").with_pin(PinHint::Device(0)));
+    let gateway = g.add_spec(AbstractComponentSpec::new("av-gateway").with_pin(PinHint::Device(1)));
+    let lipsync = g.add_spec(AbstractComponentSpec::new("lipsync"));
+    let vplay = g.add_spec(
+        AbstractComponentSpec::new("video-player").with_pin(PinHint::ClientDevice),
+    );
+    let aplay = g.add_spec(
+        AbstractComponentSpec::new("conference-audio-player").with_pin(PinHint::ClientDevice),
+    );
+    g.add_edge(vrec, gateway, 2.0).unwrap();
+    g.add_edge(arec, gateway, 0.2).unwrap();
+    g.add_edge(gateway, lipsync, 2.2).unwrap();
+    g.add_edge(lipsync, vplay, 2.0).unwrap();
+    g.add_edge(lipsync, aplay, 0.2).unwrap();
+    g
+}
+
+/// The user's QoS request for the conference: video 25 fps, audio 6
+/// chunks/s.
+pub fn conference_user_qos() -> QosVector {
+    QosVector::new()
+        .with(D::FrameRate, QosValue::exact(25.0))
+        .with(D::SampleRate, QosValue::exact(6.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_environment_shape() {
+        let (env, links, props) = audio_environment();
+        assert_eq!(env.device_count(), 4);
+        assert_eq!(links.len(), 4);
+        assert_eq!(props.len(), 4);
+        assert_eq!(links[2], LinkKind::Wireless, "the PDA is wireless");
+        assert_eq!(env.bandwidth().get(0, 2), 4.0, "wireless link is thin");
+        assert_eq!(env.bandwidth().get(0, 1), 100.0);
+    }
+
+    #[test]
+    fn audio_registry_has_three_instances() {
+        let mut r = ServiceRegistry::new();
+        register_audio_services(&mut r);
+        assert_eq!(r.instance_count(), 3);
+    }
+
+    #[test]
+    fn audio_app_is_a_two_node_chain() {
+        let g = audio_on_demand_app();
+        assert_eq!(g.spec_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn conference_app_is_nonlinear() {
+        let g = video_conference_app();
+        assert_eq!(g.spec_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        // Two sources (recorders) and two sinks (players).
+        let mut indeg = vec![0; g.spec_count()];
+        let mut outdeg = vec![0; g.spec_count()];
+        for (f, t, _) in g.edges() {
+            outdeg[f.index()] += 1;
+            indeg[t.index()] += 1;
+        }
+        assert_eq!(indeg.iter().filter(|&&d| d == 0).count(), 2, "two sources");
+        assert_eq!(outdeg.iter().filter(|&&d| d == 0).count(), 2, "two sinks");
+    }
+
+    #[test]
+    fn conference_registry_has_six_instances() {
+        let mut r = ServiceRegistry::new();
+        register_conference_services(&mut r);
+        assert_eq!(r.instance_count(), 6);
+    }
+
+    #[test]
+    fn pda_props_fail_mpeg_player_minimum() {
+        let pda = pda_props();
+        let mpeg_min = DeviceProperties {
+            screen_pixels: 640.0 * 480.0,
+            compute_factor: 1.0,
+        };
+        assert!(!pda.meets(&mpeg_min));
+        assert!(desktop_props().meets(&mpeg_min));
+    }
+}

@@ -1,0 +1,183 @@
+//! Application checkpointing and state handoff.
+//!
+//! Section 3.1 assumes "system services … for saving and restoring
+//! application checkpoints and for migrating components with their data
+//! between nodes" (citing the Mobility book and one.world). What the
+//! evaluation observes is continuity — "music continues from the
+//! interruption point" — and the handoff *time*, so the substrate models
+//! exactly those: a media-position checkpoint and a timed handoff plan.
+
+use crate::cost_model::{CostModel, LinkKind};
+use serde::{Deserialize, Serialize};
+
+/// A saved application state: where in the media the user was.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Media position in seconds at the interruption point.
+    pub position_s: f64,
+    /// Wall-clock time (ms since session start) the checkpoint was taken.
+    pub taken_at_ms: f64,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint.
+    pub fn capture(position_s: f64, taken_at_ms: f64) -> Self {
+        Checkpoint {
+            position_s,
+            taken_at_ms,
+        }
+    }
+}
+
+/// One phase of the state-handoff protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandoffPhase {
+    /// Pause the old pipeline and quiesce in-flight data.
+    Freeze,
+    /// Capture and transfer the checkpoint to the new configuration.
+    TransferState,
+    /// Bind the new components to the stream (subscriptions, sockets).
+    Rebind,
+    /// Buffer the first frame at the interruption point before resuming.
+    BufferFirstFrame,
+}
+
+impl HandoffPhase {
+    /// All phases, in protocol order.
+    pub fn all() -> [HandoffPhase; 4] {
+        [
+            HandoffPhase::Freeze,
+            HandoffPhase::TransferState,
+            HandoffPhase::Rebind,
+            HandoffPhase::BufferFirstFrame,
+        ]
+    }
+}
+
+impl std::fmt::Display for HandoffPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandoffPhase::Freeze => f.write_str("freeze"),
+            HandoffPhase::TransferState => f.write_str("transfer-state"),
+            HandoffPhase::Rebind => f.write_str("rebind"),
+            HandoffPhase::BufferFirstFrame => f.write_str("buffer-first-frame"),
+        }
+    }
+}
+
+/// A timed plan for moving a session's state to a new configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HandoffPlan {
+    /// The checkpoint carried over.
+    pub checkpoint: Checkpoint,
+    /// The link kind of the handoff *target* device.
+    pub target_link: LinkKind,
+    /// Per-phase timings, in protocol order.
+    pub phases: Vec<(HandoffPhase, f64)>,
+    /// Total handoff time (protocol round trips + first-frame
+    /// buffering), in ms.
+    pub handoff_ms: f64,
+}
+
+impl HandoffPlan {
+    /// Plans a handoff of `checkpoint` onto a device reached via
+    /// `target_link`.
+    ///
+    /// The cost model's round trips are spread over the protocol phases
+    /// (freeze and rebind are chattier than the one-way state transfer),
+    /// and the first-frame buffering closes the plan; phase times always
+    /// sum to [`CostModel::handoff_ms`].
+    pub fn new(checkpoint: Checkpoint, target_link: LinkKind, costs: &CostModel) -> Self {
+        let rtt = target_link.rtt_ms();
+        let total_rtts = costs.handoff_rtts;
+        // Freeze needs a round trip per old endpoint pair (2), rebind the
+        // same; whatever remains carries the state itself.
+        let freeze = (total_rtts * 0.25) * rtt;
+        let rebind = (total_rtts * 0.25) * rtt;
+        let transfer = (total_rtts * 0.5) * rtt;
+        let phases = vec![
+            (HandoffPhase::Freeze, freeze),
+            (HandoffPhase::TransferState, transfer),
+            (HandoffPhase::Rebind, rebind),
+            (HandoffPhase::BufferFirstFrame, costs.first_frame_buffer_ms),
+        ];
+        HandoffPlan {
+            checkpoint,
+            target_link,
+            handoff_ms: costs.handoff_ms(target_link),
+            phases,
+        }
+    }
+
+    /// The media position playback resumes from — the interruption point.
+    pub fn resume_position_s(&self) -> f64 {
+        self.checkpoint.position_s
+    }
+
+    /// The duration of one phase, in ms.
+    pub fn phase_ms(&self, phase: HandoffPhase) -> f64 {
+        self.phases
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|&(_, ms)| ms)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resume_at_interruption_point() {
+        let costs = CostModel::default();
+        let cp = Checkpoint::capture(93.5, 120_000.0);
+        let plan = HandoffPlan::new(cp.clone(), LinkKind::Ethernet, &costs);
+        assert_eq!(plan.resume_position_s(), 93.5);
+        assert_eq!(plan.checkpoint, cp);
+    }
+
+    #[test]
+    fn wireless_handoff_is_slower() {
+        let costs = CostModel::default();
+        let cp = Checkpoint::capture(0.0, 0.0);
+        let to_pda = HandoffPlan::new(cp.clone(), LinkKind::Wireless, &costs);
+        let to_pc = HandoffPlan::new(cp, LinkKind::Ethernet, &costs);
+        assert!(to_pda.handoff_ms > to_pc.handoff_ms);
+    }
+
+    #[test]
+    fn phases_sum_to_the_total() {
+        let costs = CostModel::default();
+        for link in [LinkKind::Ethernet, LinkKind::Wireless] {
+            let plan = HandoffPlan::new(Checkpoint::capture(1.0, 2.0), link, &costs);
+            let sum: f64 = plan.phases.iter().map(|&(_, ms)| ms).sum();
+            assert!((sum - plan.handoff_ms).abs() < 1e-9, "{link:?}: {sum} vs {}", plan.handoff_ms);
+            assert_eq!(plan.phases.len(), 4);
+            // All four protocol phases present, in order.
+            let order: Vec<HandoffPhase> = plan.phases.iter().map(|&(p, _)| p).collect();
+            assert_eq!(order, HandoffPhase::all());
+        }
+    }
+
+    #[test]
+    fn buffering_dominates_wired_handoffs() {
+        // On a fast LAN the protocol chatter is cheap; the first-frame
+        // buffer is the floor the paper's handoff time cannot go below.
+        let costs = CostModel::default();
+        let plan = HandoffPlan::new(Checkpoint::capture(0.0, 0.0), LinkKind::Ethernet, &costs);
+        let buffer = plan.phase_ms(HandoffPhase::BufferFirstFrame);
+        for phase in [HandoffPhase::Freeze, HandoffPhase::TransferState, HandoffPhase::Rebind] {
+            assert!(buffer > plan.phase_ms(phase));
+        }
+        assert_eq!(plan.phase_ms(HandoffPhase::BufferFirstFrame), costs.first_frame_buffer_ms);
+    }
+
+    #[test]
+    fn phase_display_names_are_distinct() {
+        let mut names: Vec<String> = HandoffPhase::all().iter().map(|p| p.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,984 @@
+//! The domain server: per-domain infrastructure service hosting the
+//! configuration model (Section 1: "the service configuration model is
+//! implemented as part of the domain server").
+
+use crate::checkpoint::{Checkpoint, HandoffPlan};
+use crate::cost_model::{CostModel, LinkKind};
+use crate::event_service::{EventService, RuntimeEvent};
+use crate::overhead::ConfigOverhead;
+use crate::repository::ComponentRepository;
+use crate::streaming::{delivered_qos, DeliveredQos};
+use std::collections::BTreeMap;
+use std::fmt;
+use ubiqos::{ConfigureError, ConfigureRequest, Configuration, ReconfigureTrigger, ServiceConfigurator};
+use ubiqos_discovery::{DeviceProperties, DomainId, ServiceRegistry};
+use ubiqos_distribution::Environment;
+use ubiqos_graph::{AbstractServiceGraph, DeviceId};
+use ubiqos_model::QosVector;
+
+/// Identifier of a session within one domain server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// One running application session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Human-readable application name.
+    pub name: String,
+    /// The abstract application description (kept for recomposition).
+    pub abstract_graph: AbstractServiceGraph,
+    /// The user's QoS requirements.
+    pub user_qos: QosVector,
+    /// The user's current portal device.
+    pub client_device: DeviceId,
+    /// The domain the user currently discovers services in (`None` =
+    /// whole smart space).
+    pub domain: Option<DomainId>,
+    /// The live configuration.
+    pub configuration: Configuration,
+    /// Media position in seconds (advances as the session plays).
+    pub position_s: f64,
+    /// Overhead of every configuration action so far, labeled.
+    pub overhead_log: Vec<(String, ConfigOverhead)>,
+}
+
+impl Session {
+    /// The QoS currently delivered at each sink.
+    pub fn measured_qos(&self) -> Vec<DeliveredQos> {
+        delivered_qos(&self.configuration.app.graph)
+    }
+
+    /// How well the delivered QoS satisfies the user's request, in
+    /// `[0, 1]`: the mean [`ubiqos_model::satisfaction`] over all sinks
+    /// (1.0 when the user requested nothing or the graph has no sinks).
+    pub fn qos_satisfaction(&self) -> f64 {
+        let vectors = crate::streaming::sink_delivered_vectors(&self.configuration.app.graph);
+        if vectors.is_empty() || self.user_qos.is_empty() {
+            return 1.0;
+        }
+        // Only score the user dimensions each sink's stream carries: a
+        // video request's frame rate is not the audio sink's business.
+        let scores: Vec<f64> = vectors
+            .iter()
+            .map(|(_, delivered)| {
+                let relevant: QosVector = self
+                    .user_qos
+                    .iter()
+                    .filter(|(dim, _)| delivered.get(dim).is_some())
+                    .map(|(d, v)| (d.clone(), v.clone()))
+                    .collect();
+                ubiqos_model::satisfaction(delivered, &relevant)
+            })
+            .collect();
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+/// The outcome of a crash or fluctuation recovery pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Sessions successfully reconfigured onto the surviving devices.
+    pub recovered: Vec<SessionId>,
+    /// Sessions that could not be reconfigured and were stopped.
+    pub dropped: Vec<SessionId>,
+}
+
+/// The per-domain infrastructure server: registry + environment +
+/// repository + event service + the two-tier configurator.
+///
+/// The server accounts every running session against the device
+/// capacities: configuration requests see the *residual* environment, so
+/// concurrent applications genuinely compete for the smart space's
+/// resources (and for link bandwidth, which is charged as a shared pool).
+pub struct DomainServer {
+    registry: ServiceRegistry,
+    /// Full current capacities (what the devices could offer if idle).
+    capacity: Environment,
+    /// Residual environment: capacity minus every live session's charge.
+    env: Environment,
+    /// Link kind per device (indexes match the environment).
+    links: Vec<LinkKind>,
+    /// Device properties per device, for client-side discovery filtering.
+    device_props: Vec<DeviceProperties>,
+    repository: ComponentRepository,
+    costs: CostModel,
+    events: EventService,
+    sessions: BTreeMap<u64, Session>,
+    next_session: u64,
+    now_ms: f64,
+}
+
+impl fmt::Debug for DomainServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DomainServer")
+            .field("devices", &self.env.device_count())
+            .field("sessions", &self.sessions.len())
+            .field("now_ms", &self.now_ms)
+            .finish()
+    }
+}
+
+impl DomainServer {
+    /// Creates a domain server over an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `links`/`device_props` lengths do not match the
+    /// environment's device count (scenario construction error).
+    pub fn new(env: Environment, links: Vec<LinkKind>, device_props: Vec<DeviceProperties>) -> Self {
+        assert_eq!(links.len(), env.device_count(), "one link kind per device");
+        assert_eq!(
+            device_props.len(),
+            env.device_count(),
+            "one property set per device"
+        );
+        DomainServer {
+            registry: ServiceRegistry::new(),
+            capacity: env.clone(),
+            env,
+            links,
+            device_props,
+            repository: ComponentRepository::new(),
+            costs: CostModel::default(),
+            events: EventService::new(),
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            now_ms: 0.0,
+        }
+    }
+
+    /// Mutable access to the service registry (device/service arrival and
+    /// departure).
+    pub fn registry_mut(&mut self) -> &mut ServiceRegistry {
+        &mut self.registry
+    }
+
+    /// The registry.
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the component repository (pre-installation).
+    pub fn repository_mut(&mut self) -> &mut ComponentRepository {
+        &mut self.repository
+    }
+
+    /// The event service (subscribe for reconfiguration notifications).
+    pub fn events(&self) -> &EventService {
+        &self.events
+    }
+
+    /// The *residual* environment: current capacities minus every live
+    /// session's charge.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The full current capacities (what idle devices could offer).
+    pub fn capacity(&self) -> &Environment {
+        &self.capacity
+    }
+
+    /// The number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Current wall-clock time in ms since domain start.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Borrows a session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id.0)
+    }
+
+    /// Advances wall-clock and every session's media position by
+    /// `seconds` of playback.
+    pub fn play(&mut self, seconds: f64) {
+        self.now_ms += seconds * 1000.0;
+        for s in self.sessions.values_mut() {
+            s.position_s += seconds;
+        }
+    }
+
+    /// Starts an application session on behalf of a user at
+    /// `client_device`: composes, distributes, downloads missing
+    /// component code, and initializes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigureError`] from either tier; the session is not
+    /// created on failure.
+    pub fn start_session(
+        &mut self,
+        name: impl Into<String>,
+        abstract_graph: AbstractServiceGraph,
+        user_qos: QosVector,
+        client_device: DeviceId,
+    ) -> Result<SessionId, ConfigureError> {
+        self.start_session_in_domain(name, abstract_graph, user_qos, client_device, None)
+    }
+
+    /// Starts a session whose discovery is scoped to `domain` (and its
+    /// ancestors). See [`DomainServer::start_session`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigureError`] from either tier.
+    pub fn start_session_in_domain(
+        &mut self,
+        name: impl Into<String>,
+        abstract_graph: AbstractServiceGraph,
+        user_qos: QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+    ) -> Result<SessionId, ConfigureError> {
+        let name = name.into();
+        let (configuration, mut overhead) =
+            self.configure(&abstract_graph, &user_qos, client_device, domain)?;
+        overhead.downloading_ms = self.download_for(&configuration);
+        overhead.init_or_handoff_ms = self
+            .costs
+            .initialization_ms(configuration.app.graph.component_count());
+        self.env
+            .charge_cut(&configuration.app.graph, &configuration.cut)
+            .expect("configured cut has consistent dimensions");
+
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            id.0,
+            Session {
+                name,
+                abstract_graph,
+                user_qos,
+                client_device,
+                domain,
+                configuration,
+                position_s: 0.0,
+                overhead_log: vec![("start".into(), overhead)],
+            },
+        );
+        self.now_ms += overhead.total_ms();
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: Some(id.0),
+            trigger: ReconfigureTrigger::ApplicationStarted,
+        });
+        Ok(id)
+    }
+
+    /// Stops a session, refunding its resources and returning it.
+    pub fn stop_session(&mut self, id: SessionId) -> Option<Session> {
+        let s = self.sessions.remove(&id.0);
+        if let Some(s) = &s {
+            self.env
+                .refund_cut(&s.configuration.app.graph, &s.configuration.cut)
+                .expect("charged cut has consistent dimensions");
+            self.events.publish(RuntimeEvent {
+                at_ms: self.now_ms,
+                session: Some(id.0),
+                trigger: ReconfigureTrigger::ApplicationStopped,
+            });
+        }
+        s
+    }
+
+    /// Handles a portal switch (e.g. PC → PDA): recomposes for the new
+    /// client device, redistributes, downloads anything missing, and
+    /// performs state handoff so the media "continues from the
+    /// interruption point".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigureError`]; on failure the old configuration
+    /// stays live.
+    pub fn switch_device(
+        &mut self,
+        id: SessionId,
+        new_device: DeviceId,
+    ) -> Result<HandoffPlan, ConfigureError> {
+        let (abstract_graph, user_qos, old_device, position_s, old_config, domain) = {
+            let s = self
+                .sessions
+                .get(&id.0)
+                .expect("switch_device on a live session");
+            (
+                s.abstract_graph.clone(),
+                s.user_qos.clone(),
+                s.client_device,
+                s.position_s,
+                s.configuration.clone(),
+                s.domain,
+            )
+        };
+        // Free the old configuration's resources first — the new one may
+        // reuse the same devices. On failure the old charge is restored
+        // and the old configuration stays live.
+        self.env
+            .refund_cut(&old_config.app.graph, &old_config.cut)
+            .expect("charged cut has consistent dimensions");
+        let configured = self.configure(&abstract_graph, &user_qos, new_device, domain);
+        let (configuration, mut overhead) = match configured {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.env
+                    .charge_cut(&old_config.app.graph, &old_config.cut)
+                    .expect("restoring the previous charge");
+                return Err(e);
+            }
+        };
+        self.env
+            .charge_cut(&configuration.app.graph, &configuration.cut)
+            .expect("configured cut has consistent dimensions");
+        overhead.downloading_ms = self.download_for(&configuration);
+
+        let checkpoint = Checkpoint::capture(position_s, self.now_ms);
+        let plan = HandoffPlan::new(checkpoint, self.links[new_device.index()], &self.costs);
+        overhead.init_or_handoff_ms = plan.handoff_ms;
+
+        let session = self.sessions.get_mut(&id.0).expect("checked above");
+        session.client_device = new_device;
+        session.configuration = configuration;
+        session
+            .overhead_log
+            .push((format!("switch {old_device} -> {new_device}"), overhead));
+        self.now_ms += overhead.total_ms();
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: Some(id.0),
+            trigger: ReconfigureTrigger::DeviceSwitched {
+                from: old_device,
+                to: new_device,
+            },
+        });
+        Ok(plan)
+    }
+
+    /// Handles user mobility: the user (and their portal) moved to a new
+    /// location/domain, so "the previous service components may no longer
+    /// be available" — the session is recomposed against the services
+    /// visible from the new domain, with state handoff.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigureError`]; on failure the old configuration
+    /// stays live (and the session keeps its old domain).
+    pub fn move_user(
+        &mut self,
+        id: SessionId,
+        new_domain: Option<DomainId>,
+        new_device: DeviceId,
+    ) -> Result<HandoffPlan, ConfigureError> {
+        let (abstract_graph, user_qos, position_s, old_config) = {
+            let s = self.sessions.get(&id.0).expect("move_user on a live session");
+            (
+                s.abstract_graph.clone(),
+                s.user_qos.clone(),
+                s.position_s,
+                s.configuration.clone(),
+            )
+        };
+        self.env
+            .refund_cut(&old_config.app.graph, &old_config.cut)
+            .expect("charged cut has consistent dimensions");
+        let configured = self.configure(&abstract_graph, &user_qos, new_device, new_domain);
+        let (configuration, mut overhead) = match configured {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.env
+                    .charge_cut(&old_config.app.graph, &old_config.cut)
+                    .expect("restoring the previous charge");
+                return Err(e);
+            }
+        };
+        self.env
+            .charge_cut(&configuration.app.graph, &configuration.cut)
+            .expect("configured cut has consistent dimensions");
+        overhead.downloading_ms = self.download_for(&configuration);
+        let checkpoint = Checkpoint::capture(position_s, self.now_ms);
+        let plan = HandoffPlan::new(checkpoint, self.links[new_device.index()], &self.costs);
+        overhead.init_or_handoff_ms = plan.handoff_ms;
+
+        let location = new_domain.map_or("the whole space".to_owned(), |d| {
+            self.registry
+                .domain(d)
+                .map_or_else(|| d.to_string(), |dom| dom.name.clone())
+        });
+        let session = self.sessions.get_mut(&id.0).expect("checked above");
+        session.client_device = new_device;
+        session.domain = new_domain;
+        session.configuration = configuration;
+        session
+            .overhead_log
+            .push((format!("move to {location}"), overhead));
+        self.now_ms += overhead.total_ms();
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: Some(id.0),
+            trigger: ReconfigureTrigger::UserMoved {
+                to_location: location,
+            },
+        });
+        Ok(plan)
+    }
+
+    /// Handles a device crash (Section 3.3: "if one of old devices
+    /// crashes, the service distributor needs to calculate new service
+    /// distributions for the changed resource availability").
+    ///
+    /// The crashed device's capacity and links drop to zero and every
+    /// live session is reconfigured from scratch against the survivors
+    /// (recomposition included — instances hosted only on the dead device
+    /// should be unregistered by the caller beforehand). Sessions that
+    /// cannot be reconfigured are stopped.
+    pub fn handle_crash(&mut self, device: DeviceId) -> RecoveryReport {
+        let d = device.index();
+        if let Some(dev) = self.capacity.device_mut(d) {
+            let dim = dev.availability().dim();
+            dev.set_availability(ubiqos_model::ResourceVector::zero(dim));
+        }
+        for other in 0..self.capacity.device_count() {
+            if other != d {
+                self.capacity.bandwidth_mut().set(d, other, 0.0);
+            }
+        }
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: None,
+            trigger: ReconfigureTrigger::DeviceCrashed(device),
+        });
+        self.reconfigure_all_sessions(&format!("recover from {device} crash"))
+    }
+
+    /// Applies a resource fluctuation: the device's *capacity* becomes
+    /// `availability` (running sessions keep their charges). Sessions
+    /// whose placements no longer fit are reconfigured, and stopped if
+    /// that fails.
+    pub fn fluctuate(
+        &mut self,
+        device: DeviceId,
+        availability: ubiqos_model::ResourceVector,
+    ) -> RecoveryReport {
+        if let Some(dev) = self.capacity.device_mut(device.index()) {
+            dev.set_availability(availability);
+        }
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: None,
+            trigger: ReconfigureTrigger::ResourceFluctuation(device),
+        });
+        self.reconfigure_all_sessions(&format!("absorb fluctuation on {device}"))
+    }
+
+    /// Re-places every live session against the current capacities, in
+    /// session order. Used after crashes and fluctuations.
+    fn reconfigure_all_sessions(&mut self, label: &str) -> RecoveryReport {
+        let ids: Vec<u64> = self.sessions.keys().copied().collect();
+        // Start from the full (post-event) capacity and re-admit one by one.
+        self.env = self.capacity.clone();
+        let mut report = RecoveryReport {
+            recovered: Vec::new(),
+            dropped: Vec::new(),
+        };
+        for raw_id in ids {
+            let (abstract_graph, user_qos, client_device, domain) = {
+                let s = &self.sessions[&raw_id];
+                (
+                    s.abstract_graph.clone(),
+                    s.user_qos.clone(),
+                    s.client_device,
+                    s.domain,
+                )
+            };
+            match self.configure(&abstract_graph, &user_qos, client_device, domain) {
+                Ok((configuration, mut overhead)) => {
+                    overhead.downloading_ms = self.download_for(&configuration);
+                    overhead.init_or_handoff_ms =
+                        self.costs.handoff_ms(self.links[client_device.index()]);
+                    self.env
+                        .charge_cut(&configuration.app.graph, &configuration.cut)
+                        .expect("configured cut has consistent dimensions");
+                    let session = self.sessions.get_mut(&raw_id).expect("live id");
+                    session.configuration = configuration;
+                    session.overhead_log.push((label.to_owned(), overhead));
+                    self.now_ms += overhead.total_ms();
+                    report.recovered.push(SessionId(raw_id));
+                }
+                Err(_) => {
+                    self.sessions.remove(&raw_id);
+                    self.events.publish(RuntimeEvent {
+                        at_ms: self.now_ms,
+                        session: Some(raw_id),
+                        trigger: ReconfigureTrigger::ApplicationStopped,
+                    });
+                    report.dropped.push(SessionId(raw_id));
+                }
+            }
+        }
+        report
+    }
+
+    /// Runs the two-tier pipeline and prices its composition and
+    /// distribution phases.
+    fn configure(
+        &self,
+        abstract_graph: &AbstractServiceGraph,
+        user_qos: &QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+    ) -> Result<(Configuration, ConfigOverhead), ConfigureError> {
+        let mut configurator = ServiceConfigurator::new(&self.registry);
+        let configuration = configurator.configure(&ConfigureRequest {
+            abstract_graph,
+            user_qos: user_qos.clone(),
+            client_device,
+            client_props: self.device_props[client_device.index()],
+            domain,
+            env: &self.env,
+        })?;
+        let overhead = ConfigOverhead {
+            composition_ms: self.costs.composition_ms(
+                abstract_graph.spec_count(),
+                configuration.app.report.corrections.len(),
+            ),
+            distribution_ms: self
+                .costs
+                .distribution_ms(configuration.app.graph.component_count()),
+            downloading_ms: 0.0,
+            init_or_handoff_ms: 0.0,
+        };
+        Ok((configuration, overhead))
+    }
+
+    /// Downloads every instance of a configuration onto its assigned
+    /// device, returning the total download time.
+    fn download_for(&mut self, configuration: &Configuration) -> f64 {
+        let mut total = 0.0;
+        for inst in &configuration.app.instances {
+            if let Some(device) = configuration.cut.part_of(inst.component) {
+                total += self.repository.ensure_installed(
+                    device,
+                    &inst.instance_id,
+                    inst.code_size_mb,
+                    self.links[device],
+                    &self.costs,
+                );
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_discovery::ServiceDescriptor;
+    use ubiqos_distribution::Device;
+    use ubiqos_graph::{AbstractComponentSpec, ComponentRole, PinHint, ServiceComponent};
+    use ubiqos_model::{QosDimension as D, QosValue, ResourceVector};
+
+    fn two_desktop_server() -> DomainServer {
+        let env = Environment::builder()
+            .device(Device::new("desktop1", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("desktop2", ResourceVector::mem_cpu(256.0, 300.0)))
+            .default_bandwidth_mbps(50.0)
+            .build();
+        let props = DeviceProperties {
+            screen_pixels: 1_920_000.0,
+            compute_factor: 5.0,
+        };
+        let mut server = DomainServer::new(
+            env,
+            vec![LinkKind::Ethernet, LinkKind::Ethernet],
+            vec![props, props],
+        );
+        server.registry_mut().register(ServiceDescriptor::new(
+            "server@d1",
+            "audio-server",
+            ServiceComponent::builder("audio-server")
+                .role(ComponentRole::Source)
+                .qos_out(
+                    QosVector::new()
+                        .with(D::Format, QosValue::token("MPEG"))
+                        .with(D::FrameRate, QosValue::exact(40.0)),
+                )
+                .capability(D::FrameRate, QosValue::range(5.0, 40.0))
+                .resources(ResourceVector::mem_cpu(64.0, 40.0))
+                .build(),
+        ));
+        server.registry_mut().register(
+            ServiceDescriptor::new(
+                "player@any",
+                "audio-player",
+                ServiceComponent::builder("audio-player")
+                    .role(ComponentRole::Sink)
+                    .qos_in(
+                        QosVector::new()
+                            .with(D::Format, QosValue::token("MPEG"))
+                            .with(D::FrameRate, QosValue::range(10.0, 40.0)),
+                    )
+                    .resources(ResourceVector::mem_cpu(16.0, 20.0))
+                    .build(),
+            )
+            .with_code_size_mb(2.0),
+        );
+        server
+    }
+
+    fn audio_app() -> AbstractServiceGraph {
+        let mut g = AbstractServiceGraph::new();
+        let s = g.add_spec(AbstractComponentSpec::new("audio-server").with_pin(PinHint::Device(0)));
+        let p = g.add_spec(
+            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
+        );
+        g.add_edge(s, p, 1.4).unwrap();
+        g
+    }
+
+    #[test]
+    fn start_session_configures_and_accounts_overhead() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        let s = server.session(id).unwrap();
+        assert_eq!(s.overhead_log.len(), 1);
+        let (label, overhead) = &s.overhead_log[0];
+        assert_eq!(label, "start");
+        assert!(overhead.composition_ms > 0.0);
+        assert!(overhead.distribution_ms > 0.0);
+        assert!(overhead.downloading_ms > 0.0, "nothing was preinstalled");
+        assert!(overhead.init_or_handoff_ms > 0.0);
+        let qos = s.measured_qos();
+        assert_eq!(qos.len(), 1);
+        assert_eq!(qos[0].fps, 40.0);
+        assert!(server.now_ms() > 0.0);
+    }
+
+    #[test]
+    fn preinstalled_components_download_nothing() {
+        let mut server = two_desktop_server();
+        for d in 0..2 {
+            server.repository_mut().preinstall(d, "server@d1");
+            server.repository_mut().preinstall(d, "player@any");
+        }
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        let s = server.session(id).unwrap();
+        assert_eq!(s.overhead_log[0].1.downloading_ms, 0.0);
+    }
+
+    #[test]
+    fn switch_device_hands_off_state() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        server.play(30.0);
+        let plan = server.switch_device(id, DeviceId::from_index(0)).unwrap();
+        assert_eq!(plan.resume_position_s(), 30.0, "resumes at interruption point");
+        let s = server.session(id).unwrap();
+        assert_eq!(s.client_device, DeviceId::from_index(0));
+        assert_eq!(s.overhead_log.len(), 2);
+        assert!(s.overhead_log[1].0.contains("switch"));
+        assert!(s.overhead_log[1].1.init_or_handoff_ms > 0.0);
+        // The player is now pinned to desktop1.
+        let player = s
+            .configuration
+            .app
+            .instances
+            .iter()
+            .find(|i| i.instance_id == "player@any")
+            .unwrap();
+        assert_eq!(s.configuration.cut.part_of(player.component), Some(0));
+    }
+
+    #[test]
+    fn events_are_published() {
+        let mut server = two_desktop_server();
+        let rx = server.events().subscribe();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        server.switch_device(id, DeviceId::from_index(0)).unwrap();
+        server.stop_session(id).unwrap();
+        let events: Vec<RuntimeEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].trigger, ReconfigureTrigger::ApplicationStarted);
+        assert!(matches!(
+            events[1].trigger,
+            ReconfigureTrigger::DeviceSwitched { .. }
+        ));
+        assert_eq!(events[2].trigger, ReconfigureTrigger::ApplicationStopped);
+    }
+
+    #[test]
+    fn failed_start_creates_no_session() {
+        let mut server = two_desktop_server();
+        let mut bogus = AbstractServiceGraph::new();
+        bogus.add_spec(AbstractComponentSpec::new("hologram-projector"));
+        let err = server
+            .start_session("bogus", bogus, QosVector::new(), DeviceId::from_index(0))
+            .unwrap_err();
+        assert!(matches!(err, ConfigureError::Composition(_)));
+        assert!(server.session(SessionId(0)).is_none());
+    }
+
+    #[test]
+    fn stop_unknown_session_is_none() {
+        let mut server = two_desktop_server();
+        assert!(server.stop_session(SessionId(42)).is_none());
+    }
+
+    #[test]
+    fn sessions_charge_and_refund_the_environment() {
+        let mut server = two_desktop_server();
+        let idle = server.env().clone();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        assert_eq!(server.session_count(), 1);
+        // Something was charged somewhere.
+        let charged: f64 = server
+            .env()
+            .devices()
+            .iter()
+            .map(|d| d.availability().amounts().iter().sum::<f64>())
+            .sum();
+        let full: f64 = idle
+            .devices()
+            .iter()
+            .map(|d| d.availability().amounts().iter().sum::<f64>())
+            .sum();
+        assert!(charged < full);
+        server.stop_session(id).unwrap();
+        assert_eq!(server.env(), &idle, "refund restores the environment");
+        assert_eq!(server.capacity(), &idle);
+    }
+
+    #[test]
+    fn concurrent_sessions_compete_for_capacity() {
+        // The audio server needs [64, 40] and must sit on desktop1
+        // (pinned), which offers [256, 300]: at most 4 concurrent
+        // sessions' servers fit even though players spread out.
+        let mut server = two_desktop_server();
+        let mut started = 0;
+        for i in 0..8 {
+            let device = DeviceId::from_index(i % 2);
+            if server
+                .start_session(format!("audio-{i}"), audio_app(), QosVector::new(), device)
+                .is_ok()
+            {
+                started += 1;
+            }
+        }
+        assert!(started >= 3, "several sessions fit ({started})");
+        assert!(started < 8, "but not all of them ({started})");
+    }
+
+    #[test]
+    fn failed_switch_restores_the_old_charge() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        let residual_before = server.env().clone();
+        // Make the switch impossible: the player vanishes from discovery.
+        let taken = server.registry_mut().unregister("player@any").unwrap();
+        assert!(server.switch_device(id, DeviceId::from_index(0)).is_err());
+        assert_eq!(
+            server.env(),
+            &residual_before,
+            "failed switch must not leak or free resources"
+        );
+        server.registry_mut().register(taken);
+        assert!(server.switch_device(id, DeviceId::from_index(0)).is_ok());
+    }
+
+    #[test]
+    fn device_crash_recovers_sessions_onto_survivors() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        // The player's desktop2 crashes... but the player is pinned to
+        // the client device, so the session can only survive if the
+        // client moves. Crash desktop2 and expect the session dropped.
+        let report = server.handle_crash(DeviceId::from_index(1));
+        assert_eq!(report.dropped, vec![id]);
+        assert!(report.recovered.is_empty());
+        assert_eq!(server.session_count(), 0);
+        assert!(server
+            .capacity()
+            .device(1)
+            .unwrap()
+            .availability()
+            .is_zero());
+    }
+
+    #[test]
+    fn crash_of_unused_device_keeps_sessions() {
+        // Three devices: server pinned to d0, client on d1, d2 idle.
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("d2", ResourceVector::mem_cpu(256.0, 300.0)))
+            .default_bandwidth_mbps(50.0)
+            .build();
+        let props = DeviceProperties {
+            screen_pixels: 1_920_000.0,
+            compute_factor: 5.0,
+        };
+        let mut server = DomainServer::new(
+            env,
+            vec![LinkKind::Ethernet; 3],
+            vec![props; 3],
+        );
+        // Reuse the two-desktop registry entries.
+        let donor = two_desktop_server();
+        for hit in donor
+            .registry()
+            .discover_all(&ubiqos_discovery::DiscoveryQuery::new("audio-server"))
+        {
+            server.registry_mut().register(hit.descriptor);
+        }
+        for hit in donor
+            .registry()
+            .discover_all(&ubiqos_discovery::DiscoveryQuery::new("audio-player"))
+        {
+            server.registry_mut().register(hit.descriptor);
+        }
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        let report = server.handle_crash(DeviceId::from_index(2));
+        assert_eq!(report.recovered, vec![id]);
+        assert!(report.dropped.is_empty());
+        let s = server.session(id).unwrap();
+        assert!(s.overhead_log.last().unwrap().0.contains("crash"));
+    }
+
+    #[test]
+    fn user_mobility_recomposes_in_the_new_domain() {
+        // Two rooms, each with its own audio server; the player is global.
+        let mut server = two_desktop_server();
+        let office = server.registry_mut().add_domain("office", None);
+        let lounge = server.registry_mut().add_domain("lounge", None);
+        // Scope the existing server instance to the office and add a
+        // lounge-only one.
+        let office_server = {
+            let mut hit = server
+                .registry()
+                .discover_all(&ubiqos_discovery::DiscoveryQuery::new("audio-server"))
+                .remove(0)
+                .descriptor;
+            hit.domain = Some(office);
+            hit
+        };
+        let mut lounge_server = office_server.clone();
+        lounge_server.instance_id = "server@lounge".into();
+        lounge_server.domain = Some(lounge);
+        server.registry_mut().register(office_server);
+        server.registry_mut().register(lounge_server);
+
+        let id = server
+            .start_session_in_domain(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+                Some(office),
+            )
+            .unwrap();
+        assert_eq!(server.session(id).unwrap().domain, Some(office));
+        let uses = |server: &DomainServer, instance: &str| {
+            server
+                .session(id)
+                .unwrap()
+                .configuration
+                .app
+                .instances
+                .iter()
+                .any(|i| i.instance_id == instance)
+        };
+        assert!(uses(&server, "server@d1"), "office instance in use");
+
+        server.play(10.0);
+        let rx = server.events().subscribe();
+        let plan = server
+            .move_user(id, Some(lounge), DeviceId::from_index(0))
+            .unwrap();
+        assert_eq!(plan.resume_position_s(), 10.0);
+        let s = server.session(id).unwrap();
+        assert_eq!(s.domain, Some(lounge));
+        assert!(uses(&server, "server@lounge"), "recomposed onto the lounge server");
+        assert!(s.overhead_log.last().unwrap().0.contains("lounge"));
+        let events: Vec<_> = rx.try_iter().collect();
+        assert!(matches!(
+            events[0].trigger,
+            ReconfigureTrigger::UserMoved { ref to_location } if to_location == "lounge"
+        ));
+    }
+
+    #[test]
+    fn failed_move_keeps_old_domain_and_charge() {
+        let mut server = two_desktop_server();
+        let office = server.registry_mut().add_domain("office", None);
+        let desert = server.registry_mut().add_domain("desert", None);
+        // Scope everything to the office; the desert is empty.
+        for ty in ["audio-server", "audio-player"] {
+            let mut hit = server
+                .registry()
+                .discover_all(&ubiqos_discovery::DiscoveryQuery::new(ty))
+                .remove(0)
+                .descriptor;
+            hit.domain = Some(office);
+            server.registry_mut().register(hit);
+        }
+        let id = server
+            .start_session_in_domain(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+                Some(office),
+            )
+            .unwrap();
+        let residual = server.env().clone();
+        assert!(server
+            .move_user(id, Some(desert), DeviceId::from_index(0))
+            .is_err());
+        let s = server.session(id).unwrap();
+        assert_eq!(s.domain, Some(office), "old domain kept");
+        assert_eq!(server.env(), &residual, "charge unchanged");
+    }
+
+    #[test]
+    fn fluctuation_can_drop_then_readmit() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .unwrap();
+        // Desktop1 (hosting the pinned server) loses almost everything.
+        let report = server.fluctuate(
+            DeviceId::from_index(0),
+            ResourceVector::mem_cpu(8.0, 8.0),
+        );
+        assert_eq!(report.dropped, vec![id]);
+        // Capacity returns; new sessions work again.
+        server.fluctuate(DeviceId::from_index(0), ResourceVector::mem_cpu(256.0, 300.0));
+        assert!(server
+            .start_session("audio2", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .is_ok());
+    }
+}

@@ -1,0 +1,116 @@
+//! The domain event service.
+//!
+//! "The service configuration model … cooperates with other domain
+//! services, such as the event service, to dynamically configure
+//! distributed applications for the user." A small pub/sub broker:
+//! publishers broadcast [`RuntimeEvent`]s, every subscriber gets its own
+//! queue.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use ubiqos::ReconfigureTrigger;
+
+/// An event on the domain bus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeEvent {
+    /// Wall-clock time (ms since domain start).
+    pub at_ms: f64,
+    /// The session the event concerns, if any.
+    pub session: Option<u64>,
+    /// What happened.
+    pub trigger: ReconfigureTrigger,
+}
+
+/// A broadcast pub/sub channel for [`RuntimeEvent`]s.
+///
+/// Thread-safe: publishers and subscribers may live on different threads
+/// (`crossbeam` channels underneath). Subscribers that lag simply buffer;
+/// dropped subscribers are pruned on the next publish.
+#[derive(Debug, Default)]
+pub struct EventService {
+    subscribers: Mutex<Vec<Sender<RuntimeEvent>>>,
+}
+
+impl EventService {
+    /// Creates an event service with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes; the receiver sees every event published after this
+    /// call.
+    pub fn subscribe(&self) -> Receiver<RuntimeEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes an event to every live subscriber, returning how many
+    /// received it.
+    pub fn publish(&self, event: RuntimeEvent) -> usize {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+        subs.len()
+    }
+
+    /// The current number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::DeviceId;
+
+    fn event(at: f64) -> RuntimeEvent {
+        RuntimeEvent {
+            at_ms: at,
+            session: Some(1),
+            trigger: ReconfigureTrigger::DeviceCrashed(DeviceId::from_index(0)),
+        }
+    }
+
+    #[test]
+    fn subscribers_each_get_every_event() {
+        let svc = EventService::new();
+        let a = svc.subscribe();
+        let b = svc.subscribe();
+        assert_eq!(svc.publish(event(1.0)), 2);
+        assert_eq!(svc.publish(event(2.0)), 2);
+        assert_eq!(a.try_iter().count(), 2);
+        assert_eq!(b.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let svc = EventService::new();
+        let a = svc.subscribe();
+        {
+            let _b = svc.subscribe();
+        } // b dropped
+        assert_eq!(svc.publish(event(1.0)), 1);
+        assert_eq!(svc.subscriber_count(), 1);
+        assert_eq!(a.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn no_subscribers_is_fine() {
+        let svc = EventService::new();
+        assert_eq!(svc.publish(event(0.0)), 0);
+    }
+
+    #[test]
+    fn events_cross_threads() {
+        let svc = std::sync::Arc::new(EventService::new());
+        let rx = svc.subscribe();
+        let svc2 = svc.clone();
+        let handle = std::thread::spawn(move || {
+            svc2.publish(event(5.0));
+        });
+        handle.join().unwrap();
+        let got = rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+        assert_eq!(got.at_ms, 5.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # ubiqos-runtime
+//!
+//! The smart-space runtime substrate standing in for the paper's Gaia OS
+//! prototype (Section 4, first experiment set). It provides the
+//! infrastructure services the configuration model assumes (Section 3.1)
+//! and the scenario machinery that reproduces **Figure 3** (end-to-end
+//! QoS across four configuration events) and **Figure 4** (per-event
+//! overhead breakdown):
+//!
+//! * [`DomainServer`] — the per-domain infrastructure service hosting the
+//!   two-tier configurator, driving sessions through start / device
+//!   switch / reconfiguration;
+//! * [`EventService`] — the pub/sub event channel domain services
+//!   coordinate through;
+//! * [`ComponentRepository`] — dynamic downloading of component code with
+//!   a size ÷ bandwidth cost model;
+//! * [`Profiler`] — the online resource-profiling service ([2, 13] in the
+//!   paper);
+//! * [`checkpoint`] — application checkpointing and the state-handoff
+//!   timing model (wireless handoffs cost more than wired ones, matching
+//!   the paper's PC→PDA vs PDA→PC asymmetry);
+//! * [`streaming`] — delivered-QoS computation for a deployed
+//!   configuration;
+//! * [`apps`] — the two prototype applications: *mobile audio-on-demand*
+//!   and *video conferencing*;
+//! * [`scenario`] — the scripted four-event experiment of Figures 3-4.
+//!
+//! All timing comes from the deterministic [`CostModel`], calibrated to
+//! the magnitudes the paper reports (hundreds of ms for middleware
+//! actions, seconds for dynamic downloads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod checkpoint;
+pub mod cost_model;
+pub mod domain_server;
+pub mod event_service;
+pub mod overhead;
+pub mod profiler;
+pub mod repository;
+pub mod scenario;
+pub mod streaming;
+
+pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
+pub use cost_model::{CostModel, LinkKind};
+pub use domain_server::{DomainServer, RecoveryReport, Session, SessionId};
+pub use event_service::{EventService, RuntimeEvent};
+pub use overhead::ConfigOverhead;
+pub use profiler::Profiler;
+pub use repository::ComponentRepository;

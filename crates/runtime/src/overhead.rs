@@ -1,0 +1,107 @@
+//! Per-event configuration overhead accounting (Figure 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// The four overhead categories Figure 4 stacks per event: service
+/// composition, service distribution, dynamic downloading, and
+/// initialization or state handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfigOverhead {
+    /// Service composition time (ms).
+    pub composition_ms: f64,
+    /// Service distribution time (ms).
+    pub distribution_ms: f64,
+    /// Dynamic downloading time (ms); zero when components are
+    /// pre-installed.
+    pub downloading_ms: f64,
+    /// Initialization (fresh start) or state handoff (reconfiguration)
+    /// time (ms).
+    pub init_or_handoff_ms: f64,
+}
+
+impl ConfigOverhead {
+    /// Total configuration overhead (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.composition_ms + self.distribution_ms + self.downloading_ms + self.init_or_handoff_ms
+    }
+
+    /// The largest single category, as `(name, ms)`.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let parts = [
+            ("composition", self.composition_ms),
+            ("distribution", self.distribution_ms),
+            ("downloading", self.downloading_ms),
+            ("init/handoff", self.init_or_handoff_ms),
+        ];
+        parts
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("four fixed parts")
+    }
+}
+
+impl Add for ConfigOverhead {
+    type Output = ConfigOverhead;
+
+    fn add(self, rhs: ConfigOverhead) -> ConfigOverhead {
+        ConfigOverhead {
+            composition_ms: self.composition_ms + rhs.composition_ms,
+            distribution_ms: self.distribution_ms + rhs.distribution_ms,
+            downloading_ms: self.downloading_ms + rhs.downloading_ms,
+            init_or_handoff_ms: self.init_or_handoff_ms + rhs.init_or_handoff_ms,
+        }
+    }
+}
+
+impl fmt::Display for ConfigOverhead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "composition {:.0}ms + distribution {:.0}ms + downloading {:.0}ms + init/handoff {:.0}ms = {:.0}ms",
+            self.composition_ms,
+            self.distribution_ms,
+            self.downloading_ms,
+            self.init_or_handoff_ms,
+            self.total_ms()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_dominant() {
+        let o = ConfigOverhead {
+            composition_ms: 100.0,
+            distribution_ms: 50.0,
+            downloading_ms: 1200.0,
+            init_or_handoff_ms: 300.0,
+        };
+        assert_eq!(o.total_ms(), 1650.0);
+        assert_eq!(o.dominant(), ("downloading", 1200.0));
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = ConfigOverhead {
+            composition_ms: 1.0,
+            distribution_ms: 2.0,
+            downloading_ms: 3.0,
+            init_or_handoff_ms: 4.0,
+        };
+        let sum = a + a;
+        assert_eq!(sum.total_ms(), 20.0);
+    }
+
+    #[test]
+    fn display_mentions_every_category() {
+        let s = ConfigOverhead::default().to_string();
+        for word in ["composition", "distribution", "downloading", "init/handoff"] {
+            assert!(s.contains(word));
+        }
+    }
+}

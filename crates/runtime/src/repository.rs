@@ -1,0 +1,103 @@
+//! The component repository — dynamic downloading of service code.
+//!
+//! "In the video conferencing application, we assume that all required
+//! service components need to be downloaded on demand from the component
+//! repository … the dynamic downloading overhead, which occupies the
+//! largest proportion of the total overhead, can often be avoided if the
+//! required components are already on the target devices."
+
+use crate::cost_model::{CostModel, LinkKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Tracks which component bundles are installed on which devices and
+/// prices the downloads for the ones that are not.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRepository {
+    /// `(device index, instance id)` pairs already installed.
+    installed: BTreeSet<(usize, String)>,
+}
+
+impl ComponentRepository {
+    /// An empty repository: nothing pre-installed anywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks an instance as pre-installed on a device.
+    pub fn preinstall(&mut self, device: usize, instance_id: impl Into<String>) {
+        self.installed.insert((device, instance_id.into()));
+    }
+
+    /// Whether an instance is installed on a device.
+    pub fn is_installed(&self, device: usize, instance_id: &str) -> bool {
+        self.installed
+            .contains(&(device, instance_id.to_owned()))
+    }
+
+    /// Ensures `instance_id` (a bundle of `size_mb`) is available on
+    /// `device`, returning the download time in ms (0 when already
+    /// installed). The instance is installed afterwards, so repeated
+    /// configurations pay nothing — exactly the paper's "can often be
+    /// avoided" observation.
+    pub fn ensure_installed(
+        &mut self,
+        device: usize,
+        instance_id: &str,
+        size_mb: f64,
+        link: LinkKind,
+        costs: &CostModel,
+    ) -> f64 {
+        if self.is_installed(device, instance_id) {
+            return 0.0;
+        }
+        self.installed.insert((device, instance_id.to_owned()));
+        costs.download_ms(size_mb, link)
+    }
+
+    /// Number of installed `(device, instance)` pairs.
+    pub fn installed_count(&self) -> usize {
+        self.installed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_downloads_once() {
+        let mut repo = ComponentRepository::new();
+        let costs = CostModel::default();
+        let first = repo.ensure_installed(0, "player", 2.0, LinkKind::Ethernet, &costs);
+        assert!(first > 0.0);
+        let second = repo.ensure_installed(0, "player", 2.0, LinkKind::Ethernet, &costs);
+        assert_eq!(second, 0.0, "already installed: no second download");
+        // Same instance on a different device downloads again.
+        let other = repo.ensure_installed(1, "player", 2.0, LinkKind::Ethernet, &costs);
+        assert!(other > 0.0);
+        assert_eq!(repo.installed_count(), 2);
+    }
+
+    #[test]
+    fn preinstall_avoids_download() {
+        let mut repo = ComponentRepository::new();
+        let costs = CostModel::default();
+        repo.preinstall(2, "server");
+        assert!(repo.is_installed(2, "server"));
+        assert_eq!(
+            repo.ensure_installed(2, "server", 50.0, LinkKind::Wireless, &costs),
+            0.0
+        );
+    }
+
+    #[test]
+    fn wireless_download_costs_more() {
+        let mut a = ComponentRepository::new();
+        let mut b = ComponentRepository::new();
+        let costs = CostModel::default();
+        let wired = a.ensure_installed(0, "x", 4.0, LinkKind::Ethernet, &costs);
+        let wireless = b.ensure_installed(0, "x", 4.0, LinkKind::Wireless, &costs);
+        assert!(wireless > wired);
+    }
+}

@@ -1,0 +1,278 @@
+//! The scripted four-event prototype experiment behind Figures 3 and 4.
+//!
+//! | Event | Content |
+//! |-------|---------|
+//! | 1 | Start mobile audio-on-demand; user at desktop2; CD-quality request |
+//! | 2 | Switch desktop → PDA over the wireless link; music continues from the interruption point (an MPEG2WAV transcoder appears) |
+//! | 3 | Switch back from the PDA to desktop3 |
+//! | 4 | Start video conferencing on the workstations; video 25 fps + audio 6 chunk/s; every component downloaded on demand |
+//!
+//! Events 1-3 assume the audio components are pre-installed ("no dynamic
+//! downloading overhead involved"); event 4 downloads everything from the
+//! component repository.
+
+use crate::apps;
+use crate::domain_server::DomainServer;
+use crate::overhead::ConfigOverhead;
+use crate::streaming::DeliveredQos;
+use serde::{Deserialize, Serialize};
+use ubiqos::ConfigureError;
+use ubiqos_graph::DeviceId;
+
+/// The report for one scenario event (one bar of Figure 4 plus one row of
+/// Figure 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventReport {
+    /// Event label 1-4, matching the paper's figures.
+    pub label: u8,
+    /// What happened.
+    pub description: String,
+    /// Where each component landed: `(component name, device name)`.
+    pub placement: Vec<(String, String)>,
+    /// Delivered QoS at every sink (Figure 3's "Measured QoS").
+    pub measured_qos: Vec<DeliveredQos>,
+    /// The configuration overhead breakdown (Figure 4).
+    pub overhead: ConfigOverhead,
+}
+
+impl EventReport {
+    /// Renders the report as one block of text.
+    pub fn render(&self) -> String {
+        let mut out = format!("event {}: {}\n", self.label, self.description);
+        out.push_str("  placement: ");
+        for (i, (c, d)) in self.placement.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{c} -> {d}"));
+        }
+        out.push('\n');
+        for q in &self.measured_qos {
+            out.push_str(&format!("  measured: {} @ {:.0} fps\n", q.sink, q.fps));
+        }
+        out.push_str(&format!("  overhead: {}\n", self.overhead));
+        out
+    }
+}
+
+/// Runs the full four-event prototype scenario, returning one report per
+/// event.
+///
+/// # Errors
+///
+/// Propagates [`ConfigureError`] if any configuration step fails — with
+/// the shipped environments and registries, none does.
+pub fn run_prototype_scenario() -> Result<Vec<EventReport>, ConfigureError> {
+    let mut reports = Vec::with_capacity(4);
+
+    // --- Audio-on-demand domain (events 1-3). --------------------------
+    let (env, links, props) = apps::audio_environment();
+    let device_names: Vec<String> = env.devices().iter().map(|d| d.name().to_owned()).collect();
+    let mut server = DomainServer::new(env, links, props);
+    apps::register_audio_services(server.registry_mut());
+    // "We assume that the required service components are already
+    // installed on the target devices in advance."
+    for d in 0..4 {
+        for inst in ["audio-server@desktop1", "mpeg-player", "wav-player"] {
+            server.repository_mut().preinstall(d, inst);
+        }
+    }
+
+    // Event 1: start on desktop2.
+    let session = server.start_session(
+        "mobile audio-on-demand",
+        apps::audio_on_demand_app(),
+        apps::audio_user_qos(),
+        DeviceId::from_index(1),
+    )?;
+    reports.push(report_from(&server, session, 1,
+        "start mobile audio-on-demand on desktop2; user QoS: CD quality music", &device_names));
+
+    // Event 2: switch to the PDA over the wireless link.
+    server.play(60.0);
+    server.switch_device(session, DeviceId::from_index(2))?;
+    reports.push(report_from(&server, session, 2,
+        "switch from desktop to PDA (wireless); music continues from the interruption point",
+        &device_names));
+
+    // Event 3: switch back to desktop3.
+    server.play(60.0);
+    server.switch_device(session, DeviceId::from_index(3))?;
+    reports.push(report_from(&server, session, 3,
+        "switch back from PDA to desktop3", &device_names));
+
+    // --- Video-conferencing domain (event 4). ---------------------------
+    let (env, links, props) = apps::conference_environment();
+    let ws_names: Vec<String> = env.devices().iter().map(|d| d.name().to_owned()).collect();
+    let mut conf = DomainServer::new(env, links, props);
+    apps::register_conference_services(conf.registry_mut());
+    // Nothing pre-installed: "all required service components need to be
+    // downloaded on demand from the component repository".
+    let session4 = conf.start_session(
+        "video conferencing",
+        apps::video_conference_app(),
+        apps::conference_user_qos(),
+        DeviceId::from_index(2),
+    )?;
+    reports.push(report_from(&conf, session4, 4,
+        "start video conferencing on the workstations; user QoS: video 25fps, audio 6fps",
+        &ws_names));
+
+    Ok(reports)
+}
+
+fn report_from(
+    server: &DomainServer,
+    session: crate::domain_server::SessionId,
+    label: u8,
+    description: &str,
+    device_names: &[String],
+) -> EventReport {
+    let s = server.session(session).expect("session is live");
+    let placement = s
+        .configuration
+        .app
+        .graph
+        .components()
+        .map(|(id, c)| {
+            let device = s
+                .configuration
+                .cut
+                .part_of(id)
+                .and_then(|d| device_names.get(d).cloned())
+                .unwrap_or_else(|| "?".into());
+            (c.name().to_owned(), device)
+        })
+        .collect();
+    EventReport {
+        label,
+        description: description.to_owned(),
+        placement,
+        measured_qos: s.measured_qos(),
+        overhead: s.overhead_log.last().expect("at least one action").1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_produces_four_events() {
+        let reports = run_prototype_scenario().unwrap();
+        assert_eq!(reports.len(), 4);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.label as usize, i + 1);
+            assert!(!r.placement.is_empty());
+        }
+    }
+
+    #[test]
+    fn figure3_qos_shape() {
+        let reports = run_prototype_scenario().unwrap();
+        // Events 1-3: the audio stream plays at the requested 40 fps.
+        for r in &reports[0..3] {
+            assert_eq!(r.measured_qos.len(), 1, "one audio sink");
+            assert_eq!(r.measured_qos[0].fps, 40.0, "event {}", r.label);
+        }
+        // Event 4: video 25 fps and audio 6 chunk/s.
+        let mut conf: Vec<_> = reports[3].measured_qos.clone();
+        conf.sort_by(|a, b| a.sink.cmp(&b.sink));
+        assert_eq!(conf.len(), 2, "two conference sinks");
+        assert_eq!(conf[0].sink, "conference-audio-player");
+        assert_eq!(conf[0].fps, 6.0);
+        assert_eq!(conf[1].sink, "video-player");
+        assert_eq!(conf[1].fps, 25.0);
+    }
+
+    #[test]
+    fn event2_inserts_the_transcoder_on_a_desktop() {
+        let reports = run_prototype_scenario().unwrap();
+        let e2 = &reports[1];
+        let transcoder = e2
+            .placement
+            .iter()
+            .find(|(c, _)| c.contains("MPEG2WAV"))
+            .expect("event 2 inserts the MPEG2WAV transcoder");
+        assert_ne!(transcoder.1, "jornada", "the PDA cannot host the transcoder");
+        // The player itself is on the PDA.
+        let player = e2
+            .placement
+            .iter()
+            .find(|(c, _)| c == "audio-player")
+            .unwrap();
+        assert_eq!(player.1, "jornada");
+        // Events 1 and 3 have no transcoder.
+        for r in [&reports[0], &reports[2]] {
+            assert!(
+                !r.placement.iter().any(|(c, _)| c.contains("transcoder")),
+                "event {} needs no transcoder",
+                r.label
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_overhead_shape() {
+        let reports = run_prototype_scenario().unwrap();
+        // Events 1-3: no downloading (pre-installed).
+        for r in &reports[0..3] {
+            assert_eq!(r.overhead.downloading_ms, 0.0, "event {}", r.label);
+            assert!(r.overhead.composition_ms > 0.0);
+            assert!(r.overhead.distribution_ms > 0.0);
+            assert!(r.overhead.init_or_handoff_ms > 0.0);
+        }
+        // PC -> PDA handoff (event 2, wireless target) is longer than
+        // PDA -> PC (event 3, wired target).
+        assert!(
+            reports[1].overhead.init_or_handoff_ms > reports[2].overhead.init_or_handoff_ms,
+            "wireless handoff must cost more"
+        );
+        // Event 4: downloading dominates and the total stays in the
+        // figure's ~2 s range.
+        let e4 = &reports[3].overhead;
+        assert!(e4.downloading_ms > 0.0);
+        assert_eq!(e4.dominant().0, "downloading");
+        assert!(e4.total_ms() < 2500.0, "total {}", e4.total_ms());
+        assert!(e4.total_ms() > reports[0].overhead.total_ms());
+    }
+
+    #[test]
+    fn sessions_fully_satisfy_the_user_requests() {
+        // Both prototype applications deliver exactly what the user asked
+        // for at every event — the paper's "soft QoS guarantees".
+        let (env, links, props) = crate::apps::audio_environment();
+        let mut server = crate::domain_server::DomainServer::new(env, links, props);
+        crate::apps::register_audio_services(server.registry_mut());
+        for d in 0..4 {
+            for inst in ["audio-server@desktop1", "mpeg-player", "wav-player"] {
+                server.repository_mut().preinstall(d, inst);
+            }
+        }
+        let session = server
+            .start_session(
+                "audio",
+                crate::apps::audio_on_demand_app(),
+                crate::apps::audio_user_qos(),
+                ubiqos_graph::DeviceId::from_index(1),
+            )
+            .unwrap();
+        assert_eq!(server.session(session).unwrap().qos_satisfaction(), 1.0);
+        server.switch_device(session, ubiqos_graph::DeviceId::from_index(2)).unwrap();
+        assert_eq!(
+            server.session(session).unwrap().qos_satisfaction(),
+            1.0,
+            "the PDA leg still delivers the requested 40 fps"
+        );
+    }
+
+    #[test]
+    fn reports_render() {
+        let reports = run_prototype_scenario().unwrap();
+        for r in &reports {
+            let s = r.render();
+            assert!(s.contains(&format!("event {}", r.label)));
+            assert!(s.contains("overhead"));
+        }
+    }
+}

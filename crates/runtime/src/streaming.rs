@@ -1,0 +1,169 @@
+//! Delivered-QoS computation for a deployed configuration (Figure 3's
+//! "Measured QoS" column).
+//!
+//! The paper reports the frame rate each sink actually receives. In a
+//! placement that fits (Definition 3.4), the stream runs at its
+//! negotiated rate — the rate the OC algorithm settled on at the sink's
+//! upstream edge; an unfit placement would stall at the tightest
+//! bottleneck. This module reads the negotiated rates off the composed
+//! graph.
+
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::{ComponentRole, ServiceGraph};
+use ubiqos_model::{Preference, QosDimension, QosValue};
+
+/// One sink's delivered QoS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveredQos {
+    /// The sink component's name (e.g. `"audio-player"`).
+    pub sink: String,
+    /// Frames (or audio chunks) per second actually delivered.
+    pub fps: f64,
+}
+
+/// Computes the delivered frame rate at every sink of a composed graph.
+///
+/// The delivered rate at a sink is the rate its immediate upstream
+/// component is configured to emit (after OC negotiation) on the rate
+/// dimension *the sink itself constrains* — [`QosDimension::FrameRate`]
+/// for video-style sinks, [`QosDimension::SampleRate`] for audio-chunk
+/// sinks (a multiplexed stream carries both). Sinks with no upstream
+/// (degenerate single-component graphs) report their own configured
+/// output; sinks with no negotiated rate report 0.
+pub fn delivered_qos(graph: &ServiceGraph) -> Vec<DeliveredQos> {
+    let mut out = Vec::new();
+    for (id, c) in graph.components() {
+        let is_sink = c.role() == ComponentRole::Sink || graph.successors(id).is_empty();
+        if !is_sink || graph.component_count() > 1 && graph.predecessors(id).is_empty() {
+            continue;
+        }
+        // The rate dimension this sink cares about.
+        let dim = if c.qos_in().get(&QosDimension::SampleRate).is_some()
+            && c.qos_in().get(&QosDimension::FrameRate).is_none()
+        {
+            QosDimension::SampleRate
+        } else {
+            QosDimension::FrameRate
+        };
+        let rate_value = graph
+            .predecessors(id)
+            .iter()
+            .filter_map(|&p| {
+                graph
+                    .component(p)
+                    .expect("edge endpoints exist")
+                    .qos_out()
+                    .get(&dim)
+                    .cloned()
+            })
+            .next()
+            .or_else(|| c.qos_out().get(&dim).cloned());
+        let fps = rate_value
+            .and_then(|v| v.pick(Preference::Highest))
+            .and_then(|v| match v {
+                QosValue::Exact(x) => Some(x),
+                _ => None,
+            })
+            .unwrap_or(0.0);
+        out.push(DeliveredQos {
+            sink: c.name().to_owned(),
+            fps,
+        });
+    }
+    out
+}
+
+/// The full QoS vector each sink receives: its immediate upstream
+/// component's configured output (or its own, for single-component
+/// graphs). Used for satisfaction scoring against the user's request.
+pub fn sink_delivered_vectors(graph: &ServiceGraph) -> Vec<(String, ubiqos_model::QosVector)> {
+    let mut out = Vec::new();
+    for (id, c) in graph.components() {
+        let is_sink = c.role() == ComponentRole::Sink || graph.successors(id).is_empty();
+        if !is_sink || graph.component_count() > 1 && graph.predecessors(id).is_empty() {
+            continue;
+        }
+        let vector = graph
+            .predecessors(id)
+            .first()
+            .map(|&p| graph.component(p).expect("edge endpoints exist").qos_out().clone())
+            .unwrap_or_else(|| c.qos_out().clone());
+        out.push((c.name().to_owned(), vector));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::ServiceComponent;
+    use ubiqos_model::QosVector;
+
+    fn src(fps: f64) -> ServiceComponent {
+        ServiceComponent::builder("server")
+            .role(ComponentRole::Source)
+            .qos_out(QosVector::new().with(QosDimension::FrameRate, QosValue::exact(fps)))
+            .build()
+    }
+
+    fn sink(name: &str) -> ServiceComponent {
+        ServiceComponent::builder(name).role(ComponentRole::Sink).build()
+    }
+
+    #[test]
+    fn sink_reports_upstream_rate() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(src(40.0));
+        let b = g.add_component(sink("audio-player"));
+        g.add_edge(a, b, 1.0).unwrap();
+        let q = delivered_qos(&g);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].sink, "audio-player");
+        assert_eq!(q[0].fps, 40.0);
+    }
+
+    #[test]
+    fn multiple_sinks_each_report() {
+        let mut g = ServiceGraph::new();
+        let lip = g.add_component(
+            ServiceComponent::builder("lipsync")
+                .qos_out(QosVector::new().with(QosDimension::FrameRate, QosValue::exact(25.0)))
+                .build(),
+        );
+        let v = g.add_component(sink("video-player"));
+        let a2 = g.add_component(
+            ServiceComponent::builder("audio-src")
+                .qos_out(QosVector::new().with(QosDimension::FrameRate, QosValue::exact(6.0)))
+                .build(),
+        );
+        let ap = g.add_component(sink("audio-player"));
+        g.add_edge(lip, v, 2.0).unwrap();
+        g.add_edge(a2, ap, 0.1).unwrap();
+        let mut q = delivered_qos(&g);
+        q.sort_by(|x, y| x.sink.cmp(&y.sink));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].sink, "audio-player");
+        assert_eq!(q[0].fps, 6.0);
+        assert_eq!(q[1].sink, "video-player");
+        assert_eq!(q[1].fps, 25.0);
+    }
+
+    #[test]
+    fn single_component_graph_reports_own_rate() {
+        let mut g = ServiceGraph::new();
+        g.add_component(src(30.0));
+        let q = delivered_qos(&g);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].fps, 30.0);
+    }
+
+    #[test]
+    fn sink_without_rate_reports_zero() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(ServiceComponent::builder("x").build());
+        let b = g.add_component(sink("mute"));
+        g.add_edge(a, b, 1.0).unwrap();
+        let q = delivered_qos(&g);
+        assert_eq!(q[0].fps, 0.0);
+    }
+}

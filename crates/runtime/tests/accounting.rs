@@ -1,0 +1,184 @@
+//! Property-style tests of the domain server's resource accounting under
+//! random operation sequences: the residual environment must always equal
+//! capacity minus the live sessions' charges, and every device/link must
+//! stay non-negative.
+
+use proptest::prelude::*;
+use ubiqos::prelude::*;
+use ubiqos_runtime::{DomainServer, LinkKind, SessionId};
+
+fn smart_space() -> DomainServer {
+    let env = Environment::builder()
+        .device(Device::new("d0", ResourceVector::mem_cpu(200.0, 240.0)))
+        .device(Device::new("d1", ResourceVector::mem_cpu(120.0, 160.0)))
+        .device(Device::new("d2", ResourceVector::mem_cpu(64.0, 80.0)))
+        .default_bandwidth_mbps(30.0)
+        .build();
+    let props = DeviceProperties {
+        screen_pixels: 1_920_000.0,
+        compute_factor: 4.0,
+    };
+    let mut server = DomainServer::new(env, vec![LinkKind::Ethernet; 3], vec![props; 3]);
+    server.registry_mut().register(ServiceDescriptor::new(
+        "source",
+        "source",
+        ServiceComponent::builder("source")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(1.0, 30.0))
+            .resources(ResourceVector::mem_cpu(24.0, 30.0))
+            .build(),
+    ));
+    server.registry_mut().register(ServiceDescriptor::new(
+        "sink",
+        "sink",
+        ServiceComponent::builder("sink")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::range(5.0, 30.0)),
+            )
+            .resources(ResourceVector::mem_cpu(10.0, 14.0))
+            .build(),
+    ));
+    server
+}
+
+fn app() -> AbstractServiceGraph {
+    let mut g = AbstractServiceGraph::new();
+    let s = g.add_spec(AbstractComponentSpec::new("source"));
+    let p = g.add_spec(AbstractComponentSpec::new("sink").with_pin(PinHint::ClientDevice));
+    g.add_edge(s, p, 1.0).unwrap();
+    g
+}
+
+/// Residual availability never goes negative and never exceeds capacity.
+fn assert_invariants(server: &DomainServer) {
+    for (residual, cap) in server.env().devices().iter().zip(server.capacity().devices()) {
+        for (&r, &c) in residual
+            .availability()
+            .amounts()
+            .iter()
+            .zip(cap.availability().amounts())
+        {
+            assert!(r >= -1e-9, "negative residual {r}");
+            assert!(r <= c + 1e-9, "residual {r} above capacity {c}");
+        }
+    }
+    for (i, j, b) in server.env().bandwidth().pairs() {
+        let cap = server.capacity().bandwidth().get(i, j);
+        assert!(b >= -1e-9);
+        assert!(b <= cap + 1e-9, "link {i}-{j}: residual {b} above {cap}");
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u8),
+    Stop(u8),
+    Switch(u8, u8),
+    Play(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3).prop_map(Op::Start),
+        (0u8..16).prop_map(Op::Stop),
+        (0u8..16, 0u8..3).prop_map(|(s, d)| Op::Switch(s, d)),
+        (1u8..60).prop_map(Op::Play),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accounting_survives_random_operation_sequences(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut server = smart_space();
+        let mut live: Vec<SessionId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Start(device) => {
+                    if let Ok(id) = server.start_session(
+                        "app",
+                        app(),
+                        QosVector::new(),
+                        DeviceId::from_index(device as usize),
+                    ) {
+                        live.push(id);
+                    }
+                }
+                Op::Stop(pick) => {
+                    if !live.is_empty() {
+                        let id = live.remove(pick as usize % live.len());
+                        prop_assert!(server.stop_session(id).is_some());
+                    }
+                }
+                Op::Switch(pick, device) => {
+                    if !live.is_empty() {
+                        let id = live[pick as usize % live.len()];
+                        // May fail under contention; either way invariants hold.
+                        let _ = server.switch_device(id, DeviceId::from_index(device as usize));
+                    }
+                }
+                Op::Play(seconds) => server.play(seconds as f64),
+            }
+            assert_invariants(&server);
+            prop_assert_eq!(server.session_count(), live.len());
+        }
+        // Stopping everything restores the idle environment exactly.
+        for id in live {
+            server.stop_session(id);
+        }
+        for (residual, cap) in server.env().devices().iter().zip(server.capacity().devices()) {
+            for (&r, &c) in residual
+                .availability()
+                .amounts()
+                .iter()
+                .zip(cap.availability().amounts())
+            {
+                prop_assert!((r - c).abs() < 1e-6, "drained state leaks: {r} vs {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_and_fluctuations_never_corrupt_accounting(
+        crash_at in 0u8..3,
+        restore in prop::bool::ANY,
+        starts in 1usize..4,
+    ) {
+        let mut server = smart_space();
+        for i in 0..starts {
+            let _ = server.start_session(
+                format!("app-{i}"),
+                app(),
+                QosVector::new(),
+                DeviceId::from_index(i % 3),
+            );
+        }
+        assert_invariants(&server);
+        let report = server.handle_crash(DeviceId::from_index(crash_at as usize));
+        prop_assert_eq!(
+            report.recovered.len() + report.dropped.len() >= server.session_count(),
+            true
+        );
+        assert_invariants(&server);
+        if restore {
+            server.fluctuate(
+                DeviceId::from_index(crash_at as usize),
+                ResourceVector::mem_cpu(200.0, 240.0),
+            );
+            assert_invariants(&server);
+            // The restored space accepts new work.
+            prop_assert!(server
+                .start_session("later", app(), QosVector::new(), DeviceId::from_index(0))
+                .is_ok());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Seeded random service-graph generation.
+//!
+//! Both simulation experiments draw random service graphs with "resource
+//! requirement vectors, communication throughput on each edge and weight
+//! values … uniformly distributed" (Section 4). The generator emits DAGs
+//! by sampling forward edges over a fixed node order.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
+use ubiqos_graph::{ServiceComponent, ServiceGraph};
+use ubiqos_model::ResourceVector;
+
+/// Parameters for random service-graph generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphGenConfig {
+    /// Number of components, sampled uniformly.
+    pub nodes: RangeInclusive<usize>,
+    /// Outbound edges per node (capped by the number of downstream
+    /// nodes), sampled uniformly per node.
+    pub out_edges: RangeInclusive<usize>,
+    /// Per-component memory requirement (MB), uniform.
+    pub memory: RangeInclusive<f64>,
+    /// Per-component CPU requirement (benchmark %), uniform.
+    pub cpu: RangeInclusive<f64>,
+    /// Per-edge communication throughput (Mbps), uniform.
+    pub throughput: RangeInclusive<f64>,
+}
+
+impl GraphGenConfig {
+    /// The Table 1 setup: "service graphs with 10 to 20 service
+    /// components. Each component has, on average, 3 to 6 outbound
+    /// edges." Resource ranges are sized so that a PC+PDA pair
+    /// (RA₁ = [256 MB, 300%], RA₂ = [32 MB, 100%]) can usually host the
+    /// graph while the PDA stays genuinely constraining.
+    pub fn table1() -> Self {
+        GraphGenConfig {
+            nodes: 10..=20,
+            out_edges: 3..=6,
+            memory: 2.0..=24.0,
+            cpu: 4.0..=28.0,
+            throughput: 0.2..=2.0,
+        }
+    }
+
+    /// The Figure 5 setup: "each graph has 50 to 100 nodes with on
+    /// average 5 to 10 outbound edges", sized for the desktop + laptop +
+    /// PDA trio (total ≈ [416 MB, 450%]) so that a handful of concurrent
+    /// applications saturate the space.
+    pub fn fig5() -> Self {
+        GraphGenConfig {
+            nodes: 50..=100,
+            out_edges: 5..=10,
+            memory: 0.4..=3.0,
+            cpu: 0.4..=3.6,
+            throughput: 0.01..=0.11,
+        }
+    }
+
+    /// Generates one random service graph.
+    pub fn generate(&self, rng: &mut StdRng) -> ServiceGraph {
+        let n = rng.gen_range(self.nodes.clone());
+        let mut graph = ServiceGraph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                graph.add_component(
+                    ServiceComponent::builder(format!("svc-{i}"))
+                        .resources(ResourceVector::mem_cpu(
+                            rng.gen_range(self.memory.clone()),
+                            rng.gen_range(self.cpu.clone()),
+                        ))
+                        .build(),
+                )
+            })
+            .collect();
+        for i in 0..n {
+            let downstream = n - i - 1;
+            if downstream == 0 {
+                continue;
+            }
+            let degree = rng.gen_range(self.out_edges.clone()).min(downstream);
+            // Sample `degree` distinct forward targets.
+            let mut targets: Vec<usize> = ((i + 1)..n).collect();
+            for _ in 0..degree {
+                if targets.is_empty() {
+                    break;
+                }
+                let pick = rng.gen_range(0..targets.len());
+                let j = targets.swap_remove(pick);
+                graph
+                    .add_edge(ids[i], ids[j], rng.gen_range(self.throughput.clone()))
+                    .expect("forward edges over a fixed order cannot cycle");
+            }
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use ubiqos_graph::topo;
+
+    #[test]
+    fn table1_graphs_are_in_spec() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GraphGenConfig::table1();
+        for _ in 0..50 {
+            let g = cfg.generate(&mut rng);
+            assert!((10..=20).contains(&g.component_count()));
+            assert!(topo::topological_sort(&g).is_ok(), "always a DAG");
+            for (_, c) in g.components() {
+                let r = c.resources();
+                assert!((2.0..=24.0).contains(&r[0]));
+                assert!((4.0..=28.0).contains(&r[1]));
+            }
+            for e in g.edges() {
+                assert!((0.2..=2.0).contains(&e.throughput));
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_graphs_are_in_spec() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GraphGenConfig::fig5();
+        let g = cfg.generate(&mut rng);
+        assert!((50..=100).contains(&g.component_count()));
+        assert!(topo::topological_sort(&g).is_ok());
+        // Out-degree cap: each node has at most 10 outbound edges.
+        for id in g.component_ids() {
+            assert!(g.successors(id).len() <= 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GraphGenConfig::table1();
+        let g1 = cfg.generate(&mut StdRng::seed_from_u64(42));
+        let g2 = cfg.generate(&mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+        let g3 = cfg.generate(&mut StdRng::seed_from_u64(43));
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn single_node_range_works() {
+        let cfg = GraphGenConfig {
+            nodes: 1..=1,
+            out_edges: 3..=6,
+            memory: 1.0..=2.0,
+            cpu: 1.0..=2.0,
+            throughput: 0.1..=0.2,
+        };
+        let g = cfg.generate(&mut StdRng::seed_from_u64(0));
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

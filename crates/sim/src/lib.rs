@@ -1,0 +1,34 @@
+//! # ubiqos-sim
+//!
+//! Discrete-event simulation substrate reproducing the paper's two
+//! simulation experiments (Section 4):
+//!
+//! * **Table 1** — heuristic quality vs the exhaustive optimum and a
+//!   random baseline on 150 random service graphs with 10-20 components
+//!   distributed over two devices ([`table1`]);
+//! * **Figure 5** — success rate over a 1000-hour workload of 5000
+//!   application requests drawn from 5 predefined graphs (50-100 nodes),
+//!   under the *fixed*, *random*, and *heuristic* (re-)distribution
+//!   policies ([`scenario`]).
+//!
+//! Supporting modules: a deterministic event queue ([`des`]), seeded
+//! random service-graph generation ([`graphgen`]), the request workload
+//! generator ([`workload`]), and windowed success-rate metrics
+//! ([`metrics`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod graphgen;
+pub mod metrics;
+pub mod scenario;
+pub mod table1;
+pub mod workload;
+
+pub use des::EventQueue;
+pub use graphgen::GraphGenConfig;
+pub use metrics::WindowedRate;
+pub use scenario::{run_fig5, run_fig5_multi, Fig5Config, Fig5Outcome, Policy, PolicySummary, SuccessSeries};
+pub use table1::{run_table1, Table1Config, Table1Report, Table1Row};
+pub use workload::{Request, WorkloadConfig};

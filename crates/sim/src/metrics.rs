@@ -1,0 +1,117 @@
+//! Windowed success-rate metrics ("the success rate is calculated every
+//! 50 hours").
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates success/failure outcomes into fixed-width time windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedRate {
+    window_h: f64,
+    successes: Vec<u64>,
+    attempts: Vec<u64>,
+}
+
+impl WindowedRate {
+    /// Creates an accumulator with the given window width in hours.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window_h` is not a positive finite number.
+    pub fn new(window_h: f64) -> Self {
+        assert!(
+            window_h.is_finite() && window_h > 0.0,
+            "window width must be positive"
+        );
+        WindowedRate {
+            window_h,
+            successes: Vec::new(),
+            attempts: Vec::new(),
+        }
+    }
+
+    /// Records one attempt at time `t` hours.
+    pub fn record(&mut self, t_h: f64, success: bool) {
+        let idx = (t_h / self.window_h).floor().max(0.0) as usize;
+        if idx >= self.attempts.len() {
+            self.attempts.resize(idx + 1, 0);
+            self.successes.resize(idx + 1, 0);
+        }
+        self.attempts[idx] += 1;
+        if success {
+            self.successes[idx] += 1;
+        }
+    }
+
+    /// The per-window series as `(window_end_hours, success_rate)`.
+    /// Windows with no attempts report a rate of 0.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.attempts
+            .iter()
+            .zip(&self.successes)
+            .enumerate()
+            .map(|(i, (&a, &s))| {
+                let t = (i as f64 + 1.0) * self.window_h;
+                let rate = if a == 0 { 0.0 } else { s as f64 / a as f64 };
+                (t, rate)
+            })
+            .collect()
+    }
+
+    /// The overall success rate across all windows.
+    pub fn overall(&self) -> f64 {
+        let attempts: u64 = self.attempts.iter().sum();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.successes.iter().sum::<u64>() as f64 / attempts as f64
+    }
+
+    /// Total attempts recorded.
+    pub fn total_attempts(&self) -> u64 {
+        self.attempts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_bucket_correctly() {
+        let mut w = WindowedRate::new(50.0);
+        w.record(10.0, true);
+        w.record(49.9, false);
+        w.record(50.0, true); // second window
+        w.record(149.0, true); // third window
+        let series = w.series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], (50.0, 0.5));
+        assert_eq!(series[1], (100.0, 1.0));
+        assert_eq!(series[2], (150.0, 1.0));
+        assert_eq!(w.total_attempts(), 4);
+        assert!((w.overall() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_in_the_middle_reports_zero() {
+        let mut w = WindowedRate::new(10.0);
+        w.record(5.0, true);
+        w.record(25.0, true);
+        let series = w.series();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[1].1, 0.0);
+    }
+
+    #[test]
+    fn overall_of_empty_is_zero() {
+        let w = WindowedRate::new(50.0);
+        assert_eq!(w.overall(), 0.0);
+        assert!(w.series().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = WindowedRate::new(0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ubiqos_sim::{EventQueue, GraphGenConfig, WindowedRate, WorkloadConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0.0f64..100.0, 1..60)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut popped = Vec::new();
+        let mut last_time = f64::NEG_INFINITY;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                prop_assert!(last_seq_at_time.unwrap() < i, "FIFO at equal times");
+            }
+            last_time = t;
+            last_seq_at_time = Some(i);
+            popped.push(i);
+        }
+        popped.sort_unstable();
+        prop_assert_eq!(popped, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// Windowed success rates always agree with a naive recomputation.
+    #[test]
+    fn windowed_rate_matches_naive(
+        window in 1.0f64..100.0,
+        samples in proptest::collection::vec((0.0f64..1000.0, prop::bool::ANY), 0..120),
+    ) {
+        let mut w = WindowedRate::new(window);
+        for &(t, ok) in &samples {
+            w.record(t, ok);
+        }
+        // Naive recompute.
+        let series = w.series();
+        for (i, &(end, rate)) in series.iter().enumerate() {
+            let start = i as f64 * window;
+            let in_window: Vec<bool> = samples
+                .iter()
+                .filter(|&&(t, _)| t >= start && t < start + window)
+                .map(|&(_, ok)| ok)
+                .collect();
+            let expected = if in_window.is_empty() {
+                0.0
+            } else {
+                in_window.iter().filter(|&&ok| ok).count() as f64 / in_window.len() as f64
+            };
+            prop_assert!((rate - expected).abs() < 1e-9, "window ending {end}");
+        }
+        let total_ok = samples.iter().filter(|&&(_, ok)| ok).count();
+        let expected_overall = if samples.is_empty() {
+            0.0
+        } else {
+            total_ok as f64 / samples.len() as f64
+        };
+        prop_assert!((w.overall() - expected_overall).abs() < 1e-9);
+        prop_assert_eq!(w.total_attempts(), samples.len() as u64);
+    }
+
+    /// Workload generation respects its configuration for arbitrary
+    /// parameters.
+    #[test]
+    fn workload_respects_arbitrary_configs(
+        requests in 1usize..300,
+        horizon in 1.0f64..2000.0,
+        graphs in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        let cfg = WorkloadConfig {
+            requests,
+            horizon_h: horizon,
+            graph_count: graphs,
+            ..WorkloadConfig::default()
+        };
+        let trace = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(trace.len(), requests);
+        for r in &trace {
+            prop_assert!(r.arrival_h >= 0.0 && r.arrival_h < horizon);
+            prop_assert!(r.graph_index < graphs);
+            prop_assert!(r.duration_h >= cfg.min_duration_h - 1e-12);
+            prop_assert!(r.duration_h <= cfg.max_duration_h + 1e-12);
+        }
+        for pair in trace.windows(2) {
+            prop_assert!(pair[0].arrival_h <= pair[1].arrival_h);
+        }
+    }
+
+    /// Generated graphs always honor the node-count and degree caps.
+    #[test]
+    fn graphgen_respects_bounds(seed in 0u64..300, lo in 2usize..20, extra in 0usize..30) {
+        let hi = lo + extra;
+        let cfg = GraphGenConfig {
+            nodes: lo..=hi,
+            out_edges: 1..=4,
+            memory: 0.5..=2.0,
+            cpu: 0.5..=2.0,
+            throughput: 0.01..=0.1,
+        };
+        let g = cfg.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert!((lo..=hi).contains(&g.component_count()));
+        for id in g.component_ids() {
+            prop_assert!(g.successors(id).len() <= 4);
+        }
+        prop_assert!(ubiqos_graph::topo::topological_sort(&g).is_ok());
+    }
+}

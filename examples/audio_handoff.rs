@@ -1,0 +1,73 @@
+//! Mobile audio-on-demand with seamless device handoff — the paper's
+//! Figure 3 events 1-3.
+//!
+//! A user starts CD-quality music on a desktop, roams to a PDA over
+//! 802.11 (forcing an MPEG→WAV transcoder into the path and a state
+//! handoff), then returns to another desktop. Run with
+//! `cargo run --example audio_handoff`.
+
+use ubiqos_runtime::apps;
+use ubiqos_runtime::DomainServer;
+use ubiqos::prelude::DeviceId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (env, links, props) = apps::audio_environment();
+    let names: Vec<String> = env.devices().iter().map(|d| d.name().to_owned()).collect();
+    let mut server = DomainServer::new(env, links, props);
+    apps::register_audio_services(server.registry_mut());
+    for d in 0..4 {
+        for inst in ["audio-server@desktop1", "mpeg-player", "wav-player"] {
+            server.repository_mut().preinstall(d, inst);
+        }
+    }
+
+    let print_state = |server: &DomainServer, session, event: &str| {
+        let s = server.session(session).expect("live session");
+        println!("== {event}");
+        for (id, c) in s.configuration.app.graph.components() {
+            let device = s
+                .configuration
+                .cut
+                .part_of(id)
+                .map(|d| names[d].as_str())
+                .unwrap_or("?");
+            println!("   {:<22} on {device}", c.name());
+        }
+        for q in s.measured_qos() {
+            println!("   measured QoS: {} @ {:.0} fps", q.sink, q.fps);
+        }
+        let (label, overhead) = s.overhead_log.last().expect("logged");
+        println!("   overhead [{label}]: {overhead}");
+        println!("   media position: {:.0}s\n", s.position_s);
+    };
+
+    // Event 1: start on desktop2.
+    let session = server.start_session(
+        "mobile audio-on-demand",
+        apps::audio_on_demand_app(),
+        apps::audio_user_qos(),
+        DeviceId::from_index(1),
+    )?;
+    print_state(&server, session, "event 1: start on desktop2 (CD-quality request)");
+
+    // Event 2: user walks away with the PDA.
+    server.play(60.0);
+    let plan = server.switch_device(session, DeviceId::from_index(2))?;
+    println!(
+        "-- handoff to jornada: {:.0} ms, resuming at {:.0}s --\n",
+        plan.handoff_ms,
+        plan.resume_position_s()
+    );
+    print_state(&server, session, "event 2: switched to the PDA (wireless)");
+
+    // Event 3: back at a desktop.
+    server.play(60.0);
+    let plan = server.switch_device(session, DeviceId::from_index(3))?;
+    println!(
+        "-- handoff to desktop3: {:.0} ms (faster than the wireless one) --\n",
+        plan.handoff_ms
+    );
+    print_state(&server, session, "event 3: switched back to desktop3");
+
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Capacity planning: which (re-)distribution policy should a smart space
+//! run, and how robust is the answer?
+//!
+//! Sweeps the Figure 5 admission experiment across several seeds with
+//! [`ubiqos_sim::run_fig5_multi`] and prints each policy's success-rate
+//! envelope, then inspects one placement with the
+//! [`ubiqos::distribution::PlacementReport`] to show *why* the heuristic
+//! admits more: it leaves the thin links and the small device breathable.
+//!
+//! Run with `cargo run --release --example capacity_planning`.
+
+use ubiqos::prelude::*;
+use ubiqos_sim::{scenario, Fig5Config, GraphGenConfig, WorkloadConfig};
+
+fn main() {
+    let cfg = Fig5Config {
+        workload: WorkloadConfig {
+            requests: 500,
+            horizon_h: 120.0,
+            ..WorkloadConfig::default()
+        },
+        window_h: 30.0,
+        ..Fig5Config::default()
+    };
+    println!("policy robustness across 3 seeds ({} requests each):\n", cfg.workload.requests);
+    let summaries = ubiqos_sim::run_fig5_multi(&cfg, &[11, 23, 37]);
+    println!("{:<14} | {:>6} | {:>6} | {:>6}", "policy", "mean", "min", "max");
+    for s in &summaries {
+        println!(
+            "{:<14} | {:>5.1}% | {:>5.1}% | {:>5.1}%",
+            s.policy,
+            s.mean * 100.0,
+            s.min * 100.0,
+            s.max * 100.0
+        );
+    }
+
+    // Why does the heuristic win? Place one mid-sized app with each
+    // algorithm on the idle trio and compare the footprints.
+    let env = scenario::fig5_environment();
+    let gen = GraphGenConfig {
+        nodes: 75..=75,
+        ..GraphGenConfig::fig5()
+    };
+    let graph = {
+        use rand::SeedableRng;
+        gen.generate(&mut rand::rngs::StdRng::seed_from_u64(23))
+    };
+    let weights = Weights::default();
+    let problem = OsdProblem::new(&graph, &env, &weights);
+    println!("\none 75-component application on the idle desktop/laptop/PDA trio:\n");
+    let mut algorithms: Vec<Box<dyn ServiceDistributor>> = vec![
+        Box::new(GreedyHeuristic::paper()),
+        Box::new(RandomDistributor::seeded(23)),
+    ];
+    for alg in algorithms.iter_mut() {
+        match alg.distribute(&problem) {
+            Ok(cut) => {
+                let report = PlacementReport::new(&problem, &cut);
+                println!("[{}]\n{report}", alg.name());
+            }
+            Err(e) => println!("[{}] failed: {e}\n", alg.name()),
+        }
+    }
+    println!(
+        "the heuristic's clustered placement crosses fewer machine boundaries, so the\n\
+         shared 5 Mbps links keep headroom for the next application — which is exactly\n\
+         where its Figure 5 advantage comes from."
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: compose and place a tiny streaming application.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ubiqos::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the environment: a desktop and a PDA joined by a
+    //    10 Mbps link, with the availability vectors of the paper's
+    //    Table 1 setup.
+    let env = Environment::builder()
+        .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+        .device(
+            Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)).with_class(DeviceClass::Pda),
+        )
+        .default_bandwidth_mbps(10.0)
+        .build();
+
+    // 2. Register the services the smart space currently offers.
+    let mut registry = ServiceRegistry::new();
+    registry.register(ServiceDescriptor::new(
+        "music-server@desktop",
+        "audio-server",
+        ServiceComponent::builder("audio-server")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("MPEG"))
+                    .with(QosDimension::FrameRate, QosValue::exact(40.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(5.0, 40.0))
+            .resources(ResourceVector::mem_cpu(64.0, 60.0))
+            .build(),
+    ));
+    registry.register(ServiceDescriptor::new(
+        "wav-player@pda",
+        "audio-player",
+        ServiceComponent::builder("audio-player")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::range(10.0, 40.0)),
+            )
+            .resources(ResourceVector::mem_cpu(6.0, 12.0))
+            .build(),
+    ));
+
+    // 3. Describe the application abstractly: a server streaming to a
+    //    player that must run on the user's portal (the PDA).
+    let mut app = AbstractServiceGraph::new();
+    let server = app.add_spec(AbstractComponentSpec::new("audio-server"));
+    let player =
+        app.add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
+    app.add_edge(server, player, 1.4)?;
+
+    // 4. Configure: the composition tier discovers instances and inserts
+    //    the MPEG→WAV transcoder the player needs; the distribution tier
+    //    places the result.
+    let mut configurator = ServiceConfigurator::new(&registry);
+    let configuration = configurator.configure(&ConfigureRequest {
+        abstract_graph: &app,
+        user_qos: QosVector::new().with(QosDimension::FrameRate, QosValue::exact(40.0)),
+        client_device: DeviceId::from_index(1),
+        client_props: DeviceProperties::unconstrained(),
+        domain: None,
+        env: &env,
+    })?;
+
+    println!("composed {} components:", configuration.app.graph.component_count());
+    for (id, component) in configuration.app.graph.components() {
+        let device = configuration
+            .cut
+            .part_of(id)
+            .and_then(|d| env.device(d))
+            .map_or("?", |d| d.name());
+        println!("  {component}  ->  {device}");
+    }
+    for correction in &configuration.app.report.corrections {
+        println!("correction: {correction}");
+    }
+    println!("cost aggregation: {:.4}", configuration.cost);
+    println!("\nDOT rendering:\n{}", ubiqos::graph::dot::to_dot_with_cut(
+        &configuration.app.graph,
+        &configuration.cut,
+    ));
+    Ok(())
+}

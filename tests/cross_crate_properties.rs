@@ -1,0 +1,138 @@
+//! Cross-crate property tests: invariants that must hold for *any*
+//! randomly generated problem instance.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ubiqos::prelude::*;
+use ubiqos_sim::GraphGenConfig;
+
+fn random_graph(seed: u64, max_nodes: usize) -> ServiceGraph {
+    let cfg = GraphGenConfig {
+        nodes: 2..=max_nodes,
+        out_edges: 1..=4,
+        memory: 1.0..=20.0,
+        cpu: 1.0..=25.0,
+        throughput: 0.05..=1.5,
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+fn pc_pda_env() -> Environment {
+    Environment::builder()
+        .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+        .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)))
+        .default_bandwidth_mbps(10.0)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whenever the heuristic returns a cut, that cut satisfies
+    /// Definition 3.4 in full.
+    #[test]
+    fn heuristic_cuts_always_fit(seed in 0u64..500) {
+        let graph = random_graph(seed, 14);
+        let env = pc_pda_env();
+        let weights = Weights::default();
+        let problem = OsdProblem::new(&graph, &env, &weights);
+        if let Ok(cut) = GreedyHeuristic::paper().distribute(&problem) {
+            prop_assert!(problem.fits(&cut));
+            prop_assert!(problem.cost(&cut).is_finite());
+            prop_assert_eq!(cut.len(), graph.component_count());
+        }
+    }
+
+    /// The exhaustive optimum lower-bounds every other algorithm's cost,
+    /// and whenever any algorithm finds a cut the optimum exists too.
+    #[test]
+    fn optimal_is_a_lower_bound(seed in 0u64..200) {
+        let graph = random_graph(seed, 10);
+        let env = pc_pda_env();
+        let weights = Weights::default();
+        let problem = OsdProblem::new(&graph, &env, &weights);
+        let optimal = ExhaustiveOptimal::new().distribute(&problem);
+        for cut in [
+            GreedyHeuristic::paper().distribute(&problem),
+            GreedyHeuristic::without_device_resort().distribute(&problem),
+            GreedyHeuristic::without_cluster_adjacency().distribute(&problem),
+            RandomDistributor::seeded(seed).distribute(&problem),
+        ].into_iter().flatten() {
+            let opt = optimal.as_ref().expect("a feasible cut exists, optimal must find one");
+            prop_assert!(problem.cost(opt) <= problem.cost(&cut) + 1e-9);
+        }
+    }
+
+    /// Charging a cut and refunding it restores the environment exactly.
+    #[test]
+    fn charge_refund_roundtrip(seed in 0u64..300) {
+        let graph = random_graph(seed, 12);
+        let env = pc_pda_env();
+        let weights = Weights::default();
+        let problem = OsdProblem::new(&graph, &env, &weights);
+        if let Ok(cut) = GreedyHeuristic::paper().distribute(&problem) {
+            let mut working = env.clone();
+            working.charge_cut(&graph, &cut).unwrap();
+            working.refund_cut(&graph, &cut).unwrap();
+            for (a, b) in working.devices().iter().zip(env.devices()) {
+                for (x, y) in a.availability().amounts().iter().zip(b.availability().amounts()) {
+                    prop_assert!((x - y).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Serialization round-trips preserve graphs and cuts.
+    #[test]
+    fn serde_roundtrip(seed in 0u64..100) {
+        let graph = random_graph(seed, 10);
+        let json = serde_json::to_string(&graph).unwrap();
+        let back: ServiceGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&graph, &back);
+
+        let env = pc_pda_env();
+        let weights = Weights::default();
+        let problem = OsdProblem::new(&graph, &env, &weights);
+        if let Ok(cut) = GreedyHeuristic::paper().distribute(&problem) {
+            let json = serde_json::to_string(&cut).unwrap();
+            let back: Cut = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(cut, back);
+        }
+    }
+
+    /// OC is idempotent: a second pass over an already-corrected graph
+    /// changes nothing.
+    #[test]
+    fn oc_is_idempotent(fps in 10.0f64..60.0, lo in 5.0f64..20.0, span in 1.0f64..30.0) {
+        use ubiqos::composition::{oc, CorrectionPolicy, TranscoderCatalog};
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(
+            ServiceComponent::builder("src")
+                .qos_out(
+                    QosVector::new()
+                        .with(QosDimension::Format, QosValue::token("MPEG"))
+                        .with(QosDimension::FrameRate, QosValue::exact(fps)),
+                )
+                .capability(QosDimension::FrameRate, QosValue::range(1.0, 100.0))
+                .build(),
+        );
+        let b = g.add_component(
+            ServiceComponent::builder("dst")
+                .qos_in(
+                    QosVector::new()
+                        .with(QosDimension::Format, QosValue::token("WAV"))
+                        .with(QosDimension::FrameRate, QosValue::range(lo, lo + span)),
+                )
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let catalog = TranscoderCatalog::standard();
+        oc::ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).unwrap();
+        prop_assert!(oc::is_consistent(&g));
+        let snapshot = g.clone();
+        let report = oc::ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).unwrap();
+        prop_assert!(report.was_consistent());
+        prop_assert_eq!(snapshot, g);
+    }
+}

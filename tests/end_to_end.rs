@@ -1,0 +1,212 @@
+//! End-to-end integration: abstract description → discovery → OC
+//! correction → placement, across all crates.
+
+use ubiqos::prelude::*;
+
+fn smart_space() -> (ServiceRegistry, Environment) {
+    let mut registry = ServiceRegistry::new();
+    registry.register(ServiceDescriptor::new(
+        "server@ws",
+        "media-server",
+        ServiceComponent::builder("media-server")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("MPEG"))
+                    .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(5.0, 30.0))
+            .resources(ResourceVector::mem_cpu(80.0, 70.0))
+            .build(),
+    ));
+    registry.register(ServiceDescriptor::new(
+        "filter@ws",
+        "noise-filter",
+        ServiceComponent::builder("noise-filter")
+            .qos_in(QosVector::new().with(QosDimension::Format, QosValue::token("MPEG")))
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("MPEG"))
+                    .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(1.0, 60.0))
+            .passthrough(QosDimension::FrameRate)
+            .resources(ResourceVector::mem_cpu(24.0, 30.0))
+            .build(),
+    ));
+    registry.register(ServiceDescriptor::new(
+        "player@pda",
+        "media-player",
+        ServiceComponent::builder("media-player")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::range(10.0, 24.0)),
+            )
+            .resources(ResourceVector::mem_cpu(8.0, 15.0))
+            .build(),
+    ));
+    let env = Environment::builder()
+        .device(Device::new("workstation", ResourceVector::mem_cpu(512.0, 400.0)))
+        .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)).with_class(DeviceClass::Pda))
+        .default_bandwidth_mbps(8.0)
+        .build();
+    (registry, env)
+}
+
+fn media_app() -> AbstractServiceGraph {
+    let mut app = AbstractServiceGraph::new();
+    let server = app.add_spec(AbstractComponentSpec::new("media-server"));
+    let filter = app.add_spec(AbstractComponentSpec::new("noise-filter").optional());
+    let player =
+        app.add_spec(AbstractComponentSpec::new("media-player").with_pin(PinHint::ClientDevice));
+    app.add_edge(server, filter, 1.5).unwrap();
+    app.add_edge(filter, player, 1.5).unwrap();
+    app
+}
+
+fn configure(registry: &ServiceRegistry, env: &Environment) -> Configuration {
+    let mut configurator = ServiceConfigurator::new(registry);
+    configurator
+        .configure(&ConfigureRequest {
+            abstract_graph: &media_app(),
+            user_qos: QosVector::new(),
+            client_device: DeviceId::from_index(1),
+            client_props: DeviceProperties::unconstrained(),
+            domain: None,
+            env,
+        })
+        .expect("configuration succeeds")
+}
+
+#[test]
+fn full_pipeline_produces_consistent_fitting_configuration() {
+    let (registry, env) = smart_space();
+    let config = configure(&registry, &env);
+
+    // Composition: server + filter + player + inserted MPEG2WAV
+    // transcoder (player only takes WAV).
+    assert_eq!(config.app.graph.component_count(), 4);
+    assert!(ubiqos::composition::oc::is_consistent(&config.app.graph));
+
+    // The frame-rate constraint [10, 24] cascaded all the way upstream:
+    // the server now emits 24 fps.
+    let server = config
+        .app
+        .instances
+        .iter()
+        .find(|i| i.instance_id == "server@ws")
+        .unwrap();
+    assert_eq!(
+        config
+            .app
+            .graph
+            .component(server.component)
+            .unwrap()
+            .qos_out()
+            .get(&QosDimension::FrameRate),
+        Some(&QosValue::exact(24.0))
+    );
+
+    // Distribution: fits, respects the client pin, finite cost.
+    let weights = Weights::default();
+    let problem = OsdProblem::new(&config.app.graph, &env, &weights);
+    assert!(problem.fits(&config.cut));
+    let player = config
+        .app
+        .instances
+        .iter()
+        .find(|i| i.instance_id == "player@pda")
+        .unwrap();
+    assert_eq!(config.cut.part_of(player.component), Some(1));
+    assert!(config.cost.is_finite() && config.cost > 0.0);
+}
+
+#[test]
+fn heuristic_cost_close_to_optimal_on_this_instance() {
+    let (registry, env) = smart_space();
+    let config = configure(&registry, &env);
+    let weights = Weights::default();
+    let problem = OsdProblem::new(&config.app.graph, &env, &weights);
+    let optimal = ExhaustiveOptimal::new().distribute(&problem).unwrap();
+    let opt_cost = problem.cost(&optimal);
+    assert!(config.cost >= opt_cost - 1e-9, "optimal is a lower bound");
+    assert!(
+        config.cost <= opt_cost * 1.5 + 1e-9,
+        "heuristic ({}) within 1.5x of optimal ({})",
+        config.cost,
+        opt_cost
+    );
+}
+
+#[test]
+fn environment_change_yields_different_feasible_placement() {
+    let (registry, mut env) = smart_space();
+    let before = configure(&registry, &env);
+
+    // The workstation loses half of its CPU (other load arrived); the
+    // server + filter + transcoder no longer all fit beside each other.
+    env.device_mut(0)
+        .unwrap()
+        .set_availability(ResourceVector::mem_cpu(512.0, 120.0));
+    let after = configure(&registry, &env);
+
+    let weights = Weights::default();
+    let p = OsdProblem::new(&after.app.graph, &env, &weights);
+    assert!(p.fits(&after.cut));
+    // The player stays pinned to the PDA in both.
+    for config in [&before, &after] {
+        let player = config
+            .app
+            .instances
+            .iter()
+            .find(|i| i.instance_id == "player@pda")
+            .unwrap();
+        assert_eq!(config.cut.part_of(player.component), Some(1));
+    }
+}
+
+#[test]
+fn missing_optional_filter_still_configures() {
+    let (mut registry, env) = smart_space();
+    registry.unregister("filter@ws").unwrap();
+    let config = configure(&registry, &env);
+    // server + player + transcoder, filter dropped.
+    assert_eq!(config.app.graph.component_count(), 3);
+    assert!(config
+        .app
+        .report
+        .corrections
+        .iter()
+        .any(|c| c.to_string().contains("noise-filter")));
+    assert!(ubiqos::composition::oc::is_consistent(&config.app.graph));
+}
+
+#[test]
+fn missing_mandatory_server_fails_cleanly() {
+    let (mut registry, env) = smart_space();
+    registry.unregister("server@ws").unwrap();
+    let mut configurator = ServiceConfigurator::new(&registry);
+    let err = configurator
+        .configure(&ConfigureRequest {
+            abstract_graph: &media_app(),
+            user_qos: QosVector::new(),
+            client_device: DeviceId::from_index(1),
+            client_props: DeviceProperties::unconstrained(),
+            domain: None,
+            env: &env,
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("media-server"));
+}
+
+#[test]
+fn dot_export_reflects_final_configuration() {
+    let (registry, env) = smart_space();
+    let config = configure(&registry, &env);
+    let dot = ubiqos::graph::dot::to_dot_with_cut(&config.app.graph, &config.cut);
+    assert!(dot.contains("cluster_0"));
+    assert!(dot.contains("cluster_1"));
+    assert!(dot.contains("MPEG2WAV"));
+}

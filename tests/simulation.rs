@@ -1,0 +1,112 @@
+//! Simulation-experiment integration: scaled-down Table 1 and Figure 5
+//! runs asserting the paper's qualitative shapes.
+
+use ubiqos_sim::{
+    run_table1, Fig5Config, GraphGenConfig, Policy, Table1Config, WorkloadConfig,
+};
+
+#[test]
+fn table1_shape_heuristic_beats_random() {
+    let cfg = Table1Config {
+        graphs: 30,
+        seed: 99,
+        ..Table1Config::default()
+    };
+    let report = run_table1(&cfg);
+    let row = |name: &str| report.rows.iter().find(|r| r.algorithm == name).unwrap();
+
+    let heuristic = row("heuristic");
+    let random = row("random");
+    let optimal = row("optimal");
+
+    // The paper's ordering: random 25%/0%, heuristic 91%/60%, optimal
+    // 100%/100%. Exact numbers depend on the workload; the shape must
+    // hold with margin.
+    assert!(
+        heuristic.avg_ratio > random.avg_ratio + 0.2,
+        "heuristic {:.2} should clearly beat random {:.2}",
+        heuristic.avg_ratio,
+        random.avg_ratio
+    );
+    assert!(
+        heuristic.avg_ratio > 0.6,
+        "heuristic near-optimal on average ({:.2})",
+        heuristic.avg_ratio
+    );
+    assert!(heuristic.pct_optimal > random.pct_optimal);
+    assert!(random.pct_optimal < 0.2, "random almost never exactly optimal");
+    assert_eq!(optimal.avg_ratio, 1.0);
+    assert_eq!(optimal.pct_optimal, 1.0);
+}
+
+#[test]
+fn fig5_shape_heuristic_over_random_over_fixed() {
+    let cfg = Fig5Config {
+        seed: 4242,
+        workload: WorkloadConfig {
+            requests: 400,
+            horizon_h: 150.0,
+            ..WorkloadConfig::default()
+        },
+        gen: GraphGenConfig::fig5(),
+        window_h: 50.0,
+        random_attempts: 16,
+    };
+    let outcome = ubiqos_sim::scenario::run_fig5(&cfg);
+    let h = outcome.curve(Policy::Heuristic).overall;
+    let r = outcome.curve(Policy::Random).overall;
+    let f = outcome.curve(Policy::Fixed).overall;
+    assert!(h > r, "heuristic {h:.3} > random {r:.3}");
+    assert!(r > f, "random {r:.3} > fixed {f:.3}");
+    assert!(h > 0.5, "heuristic succeeds on most requests ({h:.3})");
+
+    // Per-window dominance holds in the aggregate: the heuristic wins at
+    // least three quarters of the windows against fixed.
+    let hw = &outcome.curve(Policy::Heuristic).series;
+    let fw = &outcome.curve(Policy::Fixed).series;
+    let wins = hw
+        .iter()
+        .zip(fw)
+        .filter(|((_, hr), (_, fr))| hr >= fr)
+        .count();
+    assert!(wins * 4 >= hw.len() * 3, "{wins}/{} windows", hw.len());
+}
+
+#[test]
+fn fig5_same_trace_for_every_policy() {
+    // Total attempts must be identical across policies — they share one
+    // workload trace.
+    let cfg = Fig5Config {
+        seed: 7,
+        workload: WorkloadConfig {
+            requests: 100,
+            horizon_h: 60.0,
+            ..WorkloadConfig::default()
+        },
+        gen: GraphGenConfig {
+            nodes: 20..=30,
+            ..GraphGenConfig::fig5()
+        },
+        window_h: 20.0,
+        random_attempts: 8,
+    };
+    let outcome = ubiqos_sim::scenario::run_fig5(&cfg);
+    let lens: Vec<usize> = outcome.curves.iter().map(|c| c.series.len()).collect();
+    assert_eq!(lens[0], lens[1]);
+    assert_eq!(lens[1], lens[2]);
+}
+
+#[test]
+fn table1_skips_are_rare_with_default_generator() {
+    let cfg = Table1Config {
+        graphs: 20,
+        seed: 5,
+        ..Table1Config::default()
+    };
+    let report = run_table1(&cfg);
+    assert!(
+        report.skipped_infeasible < 20,
+        "most generated graphs fit the PC+PDA pair (skipped {})",
+        report.skipped_infeasible
+    );
+}
