@@ -62,8 +62,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.bench_function("oc-on-conference-graph", |b| {
         b.iter(|| {
             let mut g = composed.graph.clone();
-            oc::ordered_coordination(&mut g, &catalog, CorrectionPolicy::all())
-                .expect("consistent")
+            oc::ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).expect("consistent")
         })
     });
 

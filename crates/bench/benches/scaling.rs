@@ -49,13 +49,11 @@ fn oc_graph(n: usize) -> ServiceGraph {
         }
     }
     // The sink takes at most 30 fps: the adjustment cascades upstream.
-    g.component_mut(ids[n - 1])
-        .unwrap()
-        .set_qos_in(
-            QosVector::new()
-                .with(D::Format, QosValue::token("WAV"))
-                .with(D::FrameRate, QosValue::range(1.0, 30.0)),
-        );
+    g.component_mut(ids[n - 1]).unwrap().set_qos_in(
+        QosVector::new()
+            .with(D::Format, QosValue::token("WAV"))
+            .with(D::FrameRate, QosValue::range(1.0, 30.0)),
+    );
     g
 }
 
@@ -106,10 +104,14 @@ fn print_ablation_quality() {
     let mut rng = StdRng::seed_from_u64(0xab1a);
     let gen = GraphGenConfig::table1();
     let weights = Weights::default();
-    let variants: Vec<(&str, fn() -> GreedyHeuristic)> = vec![
+    type Variant = (&'static str, fn() -> GreedyHeuristic);
+    let variants: Vec<Variant> = vec![
         ("heuristic", GreedyHeuristic::paper),
         ("heuristic-unsorted", GreedyHeuristic::without_device_resort),
-        ("heuristic-nomerge", GreedyHeuristic::without_cluster_adjacency),
+        (
+            "heuristic-nomerge",
+            GreedyHeuristic::without_cluster_adjacency,
+        ),
     ];
     let mut sums = vec![0.0; variants.len()];
     let mut fails = vec![0usize; variants.len()];
@@ -124,13 +126,20 @@ fn print_ablation_quality() {
             }
         }
     }
-    println!("{:<20} | {:>14} | {:>9}", "variant", "mean CA (fit)", "failures");
+    println!(
+        "{:<20} | {:>14} | {:>9}",
+        "variant", "mean CA (fit)", "failures"
+    );
     for (i, (name, _)) in variants.iter().enumerate() {
         let ok = trials - fails[i];
         println!(
             "{:<20} | {:>14.4} | {:>6}/{trials}",
             name,
-            if ok > 0 { sums[i] / ok as f64 } else { f64::NAN },
+            if ok > 0 {
+                sums[i] / ok as f64
+            } else {
+                f64::NAN
+            },
             fails[i]
         );
     }

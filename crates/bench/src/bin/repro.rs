@@ -6,8 +6,10 @@
 //! cargo run --release -p ubiqos-bench --bin repro -- table1  # one artifact
 //! ```
 //!
-//! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`.
-//! Figure data is also written as JSON under `target/repro/`.
+//! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`,
+//! `osd`. Figure data is also written as JSON under `target/repro/`; the
+//! `osd` solver benchmark additionally writes `BENCH_osd.json` in the
+//! working directory.
 
 use ubiqos_sim::{Fig5Config, Policy};
 
@@ -36,9 +38,13 @@ fn main() {
         multi_seed();
         ran += 1;
     }
+    if want("osd") {
+        osd();
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!(
-            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed",
+            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd",
             args
         );
         std::process::exit(2);
@@ -117,7 +123,10 @@ fn multi_seed() {
         ..Fig5Config::default()
     };
     let summaries = ubiqos_sim::run_fig5_multi(&cfg, &[1, 7, 42, 1001, 0x1cdc_2002]);
-    println!("{:<14} | {:>6} | {:>6} | {:>6}", "policy", "mean", "min", "max");
+    println!(
+        "{:<14} | {:>6} | {:>6} | {:>6}",
+        "policy", "mean", "min", "max"
+    );
     for s in &summaries {
         println!(
             "{:<14} | {:>5.1}% | {:>5.1}% | {:>5.1}%",
@@ -129,4 +138,24 @@ fn multi_seed() {
     }
     println!();
     ubiqos_bench::dump_json("fig5_multi_seed.json", &summaries);
+}
+
+fn osd() {
+    println!("================ OSD solver benchmark ================");
+    let report = ubiqos_bench::osd::run_osd_bench(25);
+    println!("{}", report.render());
+    if !report.speedup_ok(2.0) {
+        eprintln!("warning: suffix-bound speedup below 2x on the 20-node/3-device rung");
+    }
+    println!();
+    ubiqos_bench::dump_json("osd.json", &report);
+    // The headline artifact also lands next to the sources so the claim
+    // is inspectable without digging through target/.
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write("BENCH_osd.json", json) {
+            Ok(()) => println!("(solver benchmark written to BENCH_osd.json)"),
+            Err(e) => eprintln!("warning: could not write BENCH_osd.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize the osd report: {e}"),
+    }
 }

@@ -11,6 +11,7 @@
 //! | `fig4_overhead` | Figure 4 — per-event overhead breakdown |
 //! | `fig5_success` | Figure 5 — success rate of fixed/random/heuristic |
 //! | `scaling` | The O(V+E) / polynomial complexity claims + ablations |
+//! | `osd_solver` | Branch-and-bound bound ablation + serial vs parallel |
 //!
 //! Run everything with `cargo bench --workspace`; each bench prints the
 //! reproduced rows/series to stdout, then reports Criterion timings. The
@@ -19,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod osd;
 
 use ubiqos_sim::{Fig5Config, Fig5Outcome, Table1Config, Table1Report, WorkloadConfig};
 

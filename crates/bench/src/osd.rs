@@ -1,0 +1,249 @@
+//! The OSD solver micro-benchmark behind `BENCH_osd.json`.
+//!
+//! For a ladder of instance sizes this times the branch-and-bound solver
+//! in three configurations on the same instances:
+//!
+//! * **baseline** — suffix lower bound disabled (pruning on bare partial
+//!   cost, the pre-table behaviour);
+//! * **serial** — suffix bound on, single subtree;
+//! * **parallel** — suffix bound on, top-of-tree fan-out across workers.
+//!
+//! All three return the identical cut; the point of the artifact is the
+//! wall-clock and node-count deltas. The headline claim — the tightened
+//! bound wins ≥2x on 20-node/3-device instances — is checked by
+//! [`OsdBenchReport::speedup_ok`] and asserted by the integration tests,
+//! so a regression in the bound shows up as a test failure, not just a
+//! slower JSON file.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use ubiqos_distribution::{
+    Device, Environment, ExhaustiveOptimal, OsdProblem, ServiceDistributor, SolveStats,
+};
+use ubiqos_graph::ServiceGraph;
+use ubiqos_model::Weights;
+use ubiqos_sim::GraphGenConfig;
+
+/// One (instance size, device count) measurement row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsdBenchCase {
+    /// Components in the instance.
+    pub nodes: usize,
+    /// Devices (`k`).
+    pub devices: usize,
+    /// Instances averaged over.
+    pub instances: usize,
+    /// Total wall-clock of the suffix-bound-disabled solver (ms).
+    pub baseline_ms: f64,
+    /// Total wall-clock of the serial bounded solver (ms).
+    pub serial_ms: f64,
+    /// Total wall-clock of the parallel bounded solver (ms).
+    pub parallel_ms: f64,
+    /// Nodes expanded by the serial bounded solver.
+    pub nodes_expanded: u64,
+    /// Subtrees cut by the suffix bound (serial bounded solver).
+    pub pruned_bound: u64,
+    /// Candidate placements rejected as infeasible (serial bounded
+    /// solver).
+    pub pruned_infeasible: u64,
+    /// Nodes expanded with the suffix bound disabled.
+    pub baseline_nodes_expanded: u64,
+    /// `baseline_ms / serial_ms` — what the tighter bound buys.
+    pub bound_speedup: f64,
+}
+
+/// The full `BENCH_osd.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsdBenchReport {
+    /// One row per (nodes, devices) rung.
+    pub cases: Vec<OsdBenchCase>,
+    /// Worker threads the parallel rows used.
+    pub threads: usize,
+}
+
+impl OsdBenchReport {
+    /// The headline claim: on the largest rung (20 nodes, 3 devices) the
+    /// suffix bound makes the solver at least `factor`x faster than the
+    /// bare partial-cost baseline.
+    pub fn speedup_ok(&self, factor: f64) -> bool {
+        self.cases
+            .iter()
+            .filter(|c| c.nodes >= 20 && c.devices >= 3)
+            .all(|c| c.bound_speedup >= factor)
+    }
+
+    /// Renders the rows as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:>5} | {:>2} | {:>11} | {:>9} | {:>11} | {:>10} | {:>12} | {:>7}\n",
+            "nodes",
+            "k",
+            "baseline ms",
+            "serial ms",
+            "parallel ms",
+            "expanded",
+            "bound-pruned",
+            "speedup"
+        );
+        for c in &self.cases {
+            out.push_str(&format!(
+                "{:>5} | {:>2} | {:>11.1} | {:>9.1} | {:>11.1} | {:>10} | {:>12} | {:>6.1}x\n",
+                c.nodes,
+                c.devices,
+                c.baseline_ms,
+                c.serial_ms,
+                c.parallel_ms,
+                c.nodes_expanded,
+                c.pruned_bound,
+                c.bound_speedup
+            ));
+        }
+        out.push_str(&format!("({} worker threads)\n", self.threads));
+        out
+    }
+}
+
+/// A `k`-device environment scaled so the benchmark instances are
+/// feasible but contended (the PC/laptop/PDA ladder of the paper's
+/// experiments, truncated to `k`).
+fn bench_environment(k: usize) -> Environment {
+    let specs = [
+        ("pc", 256.0, 300.0),
+        ("laptop", 128.0, 160.0),
+        ("pda", 48.0, 110.0),
+    ];
+    let mut builder = Environment::builder();
+    for &(name, mem, cpu) in specs.iter().take(k) {
+        builder = builder.device(Device::new(
+            name,
+            ubiqos_model::ResourceVector::mem_cpu(mem, cpu),
+        ));
+    }
+    builder.default_bandwidth_mbps(20.0).build()
+}
+
+/// Deterministic instance set for one rung: Table 1-style graphs pinned
+/// to exactly `nodes` components.
+fn bench_instances(nodes: usize, seed: u64, count: usize) -> Vec<ServiceGraph> {
+    let gen = GraphGenConfig {
+        nodes: nodes..=nodes,
+        ..GraphGenConfig::table1()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| gen.generate(&mut rng)).collect()
+}
+
+/// Total wall-clock (ms) and summed stats of solving every instance with
+/// `solver`. Infeasible instances are rare with this generator and are
+/// simply skipped — identically in every configuration, so the timings
+/// stay comparable.
+fn time_solver(
+    solver: &ExhaustiveOptimal,
+    graphs: &[ServiceGraph],
+    env: &Environment,
+    weights: &Weights,
+) -> (f64, SolveStats) {
+    let mut total = SolveStats::default();
+    let start = Instant::now();
+    for g in graphs {
+        let p = OsdProblem::new(g, env, weights);
+        let mut s = solver.clone();
+        if s.distribute(&p).is_ok() {
+            let stats = s.last_stats().expect("stats recorded after a solve");
+            total.nodes_expanded += stats.nodes_expanded;
+            total.pruned_bound += stats.pruned_bound;
+            total.pruned_infeasible += stats.pruned_infeasible;
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, total)
+}
+
+/// Runs the full ladder. `instances` graphs per rung; rungs follow the
+/// paper's Table 1 range and extend it to three devices.
+pub fn run_osd_bench(instances: usize) -> OsdBenchReport {
+    let weights = Weights::default();
+    let rungs: &[(usize, usize, u64)] = &[
+        (12, 2, 0xbe11),
+        (16, 2, 0xbe12),
+        (20, 2, 0xbe13),
+        (20, 3, 0xbe14),
+    ];
+    let cases = rungs
+        .iter()
+        .map(|&(nodes, devices, seed)| {
+            let env = bench_environment(devices);
+            let graphs = bench_instances(nodes, seed, instances);
+
+            let baseline = ExhaustiveOptimal::new()
+                .with_parallel(false)
+                .with_suffix_bound(false);
+            let serial = ExhaustiveOptimal::new().with_parallel(false);
+            let parallel = ExhaustiveOptimal::new().with_parallel(true);
+
+            let (baseline_ms, baseline_stats) = time_solver(&baseline, &graphs, &env, &weights);
+            let (serial_ms, serial_stats) = time_solver(&serial, &graphs, &env, &weights);
+            let (parallel_ms, _) = time_solver(&parallel, &graphs, &env, &weights);
+
+            OsdBenchCase {
+                nodes,
+                devices,
+                instances,
+                baseline_ms,
+                serial_ms,
+                parallel_ms,
+                nodes_expanded: serial_stats.nodes_expanded,
+                pruned_bound: serial_stats.pruned_bound,
+                pruned_infeasible: serial_stats.pruned_infeasible,
+                baseline_nodes_expanded: baseline_stats.nodes_expanded,
+                bound_speedup: baseline_ms / serial_ms.max(1e-6),
+            }
+        })
+        .collect();
+    OsdBenchReport {
+        cases,
+        threads: ubiqos_parallel::thread_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_shows_the_bound_paying_off() {
+        // Few instances keep the test quick; the node-count ratio is
+        // timing-independent and is the robust signal.
+        let report = run_osd_bench(3);
+        assert_eq!(report.cases.len(), 4);
+        for c in &report.cases {
+            assert!(c.nodes_expanded > 0);
+            assert!(
+                c.baseline_nodes_expanded >= c.nodes_expanded,
+                "bound can only shrink the tree ({} vs {})",
+                c.baseline_nodes_expanded,
+                c.nodes_expanded
+            );
+        }
+        let big = report
+            .cases
+            .iter()
+            .find(|c| c.nodes == 20 && c.devices == 3)
+            .unwrap();
+        assert!(
+            big.baseline_nodes_expanded as f64 >= 2.0 * big.nodes_expanded as f64,
+            "suffix bound should at least halve the explored tree: {} vs {}",
+            big.baseline_nodes_expanded,
+            big.nodes_expanded
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_rung() {
+        let report = run_osd_bench(1);
+        let s = report.render();
+        assert!(s.contains("nodes"));
+        assert!(s.lines().count() >= 5);
+    }
+}

@@ -108,6 +108,9 @@ pub struct ServiceComposer<'r> {
 const MAX_SELECTION_ATTEMPTS: usize = 16;
 
 /// How one abstract spec was resolved.
+// Short-lived per-spec value on the composition path; boxing the large
+// `Instance` variant would only add an allocation per resolution.
+#[allow(clippy::large_enum_variant)]
 enum Resolution {
     /// A concrete instance was discovered.
     Instance(ubiqos_discovery::Discovered),
@@ -281,10 +284,7 @@ impl<'r> ServiceComposer<'r> {
             return false;
         };
         let has_more = |id: SpecId| -> bool {
-            let spec = request
-                .abstract_graph
-                .spec(id)
-                .expect("spec ids are dense");
+            let spec = request.abstract_graph.spec(id).expect("spec ids are dense");
             let current = selection.get(&id).copied().unwrap_or(0);
             self.candidates(spec, request).len() > current + 1
         };
@@ -332,7 +332,9 @@ impl<'r> ServiceComposer<'r> {
             // service, and the instance must run on the client device.
             let mut desired = spec.desired_qos.clone();
             desired.merge_from(&request.user_qos);
-            query = query.with_desired_qos(desired).on_client(request.client_props);
+            query = query
+                .with_desired_qos(desired)
+                .on_client(request.client_props);
         }
         query
     }
@@ -416,14 +418,9 @@ impl<'r> ServiceComposer<'r> {
                 let mut entry: Option<ComponentId> = None;
                 let mut prev: Option<ComponentId> = None;
                 for (sub_spec, sub_res) in chain {
-                    if let Some((sub_entry, sub_exit)) = self.materialize(
-                        sub_res,
-                        sub_spec,
-                        request,
-                        graph,
-                        instances,
-                        corrections,
-                    ) {
+                    if let Some((sub_entry, sub_exit)) =
+                        self.materialize(sub_res, sub_spec, request, graph, instances, corrections)
+                    {
                         if entry.is_none() {
                             entry = Some(sub_entry);
                         }
@@ -527,9 +524,8 @@ mod tests {
     fn audio_app() -> AbstractServiceGraph {
         let mut g = AbstractServiceGraph::new();
         let server = g.add_spec(AbstractComponentSpec::new("audio-server"));
-        let player = g.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let player =
+            g.add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         g.add_edge(server, player, 1.4).unwrap();
         g
     }
@@ -574,7 +570,9 @@ mod tests {
     fn missing_mandatory_service_fails() {
         let r = ServiceRegistry::new();
         let abs = audio_app();
-        let err = ServiceComposer::new(&r).compose(&request(&abs)).unwrap_err();
+        let err = ServiceComposer::new(&r)
+            .compose(&request(&abs))
+            .unwrap_err();
         assert!(matches!(
             err,
             CompositionError::MissingService { ref service_type, .. } if service_type == "audio-server"
@@ -587,9 +585,8 @@ mod tests {
         let mut abs = AbstractServiceGraph::new();
         let server = abs.add_spec(AbstractComponentSpec::new("audio-server"));
         let eq = abs.add_spec(AbstractComponentSpec::new("equalizer").optional());
-        let player = abs.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let player = abs
+            .add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         abs.add_edge(server, eq, 1.4).unwrap();
         abs.add_edge(eq, player, 1.4).unwrap();
         let composed = ServiceComposer::new(&r).compose(&request(&abs)).unwrap();
@@ -674,7 +671,10 @@ mod tests {
             .compose(&request(&abs))
             .unwrap_err();
         match err {
-            CompositionError::MissingService { service_type, depth } => {
+            CompositionError::MissingService {
+                service_type,
+                depth,
+            } => {
                 assert_eq!(service_type, "c");
                 assert_eq!(depth, RECURSION_LIMIT);
             }
@@ -716,9 +716,8 @@ mod tests {
         let mut abs = AbstractServiceGraph::new();
         let logger = abs.add_spec(AbstractComponentSpec::new("usage-logger").optional());
         let server = abs.add_spec(AbstractComponentSpec::new("audio-server"));
-        let player = abs.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let player = abs
+            .add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         abs.add_edge(server, player, 1.4).unwrap();
         abs.add_edge(logger, player, 0.1).unwrap();
         let composed = ServiceComposer::new(&r).compose(&request(&abs)).unwrap();
@@ -771,9 +770,10 @@ mod tests {
 
         // Sanity: discovery alone prefers the (uncorrectable) H261 player.
         let best = r
-            .discover(&ubiqos_discovery::DiscoveryQuery::new("audio-player").with_desired_qos(
-                QosVector::new().with(D::Format, QosValue::token("H261")),
-            ))
+            .discover(
+                &ubiqos_discovery::DiscoveryQuery::new("audio-player")
+                    .with_desired_qos(QosVector::new().with(D::Format, QosValue::token("H261"))),
+            )
             .unwrap();
         assert_eq!(best.descriptor.instance_id, "h261-player");
 
@@ -816,7 +816,9 @@ mod tests {
         let s = abs.add_spec(AbstractComponentSpec::new("audio-server"));
         let p = abs.add_spec(AbstractComponentSpec::new("audio-player"));
         abs.add_edge(s, p, 1.0).unwrap();
-        let err = ServiceComposer::new(&r).compose(&request(&abs)).unwrap_err();
+        let err = ServiceComposer::new(&r)
+            .compose(&request(&abs))
+            .unwrap_err();
         assert!(matches!(err, CompositionError::Uncorrectable { .. }));
     }
 

@@ -102,7 +102,11 @@ impl fmt::Display for Correction {
             } => write!(
                 f,
                 "adjusted {component} output {dimension} to {value}{}",
-                if *cascaded { " (cascaded upstream)" } else { "" }
+                if *cascaded {
+                    " (cascaded upstream)"
+                } else {
+                    ""
+                }
             ),
             Correction::InsertedTranscoder {
                 name,

@@ -23,9 +23,7 @@ use crate::error::CompositionError;
 use crate::transcoder::{TranscoderCatalog, TranscoderSpec};
 use serde::{Deserialize, Serialize};
 use ubiqos_graph::{topo, ComponentId, ComponentRole, ServiceComponent, ServiceGraph};
-use ubiqos_model::{
-    MediaFormat, Mismatch, Preference, QosDimension, QosValue, ResourceVector,
-};
+use ubiqos_model::{MediaFormat, Mismatch, Preference, QosDimension, QosValue, ResourceVector};
 
 /// The outcome of a successful OC run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -116,8 +114,7 @@ pub fn coordination_with_order(
             let preds: Vec<ComponentId> = graph.predecessors(node).to_vec();
             for pred in preds {
                 report.checks += 1;
-                let structural =
-                    reconcile_pair(graph, catalog, policy, pred, node, &mut report)?;
+                let structural = reconcile_pair(graph, catalog, policy, pred, node, &mut report)?;
                 if structural {
                     // The graph changed shape; restart the sweep so the
                     // new component is itself checked.
@@ -166,10 +163,7 @@ fn reconcile_pair(
         // not be broken by a later adjustment).
         if policy.allow_adjustment {
             if let Some(value) = admissible_adjustment(graph, pred, &m.dimension)? {
-                let cascaded = graph
-                    .component(pred)?
-                    .passthrough()
-                    .contains(&m.dimension);
+                let cascaded = graph.component(pred)?.passthrough().contains(&m.dimension);
                 graph
                     .component_mut(pred)?
                     .adjust_output(&m.dimension, value.clone())
@@ -187,9 +181,7 @@ fn reconcile_pair(
 
         // Correction 2: transcoder insertion for format mismatches.
         if policy.allow_transcoders && m.dimension == QosDimension::Format {
-            if let Some(inserted) =
-                insert_transcoder(graph, catalog, pred, node, &m)?
-            {
+            if let Some(inserted) = insert_transcoder(graph, catalog, pred, node, &m)? {
                 report.corrections.push(inserted);
                 return Ok(true);
             }
@@ -407,9 +399,12 @@ mod tests {
         let a = g.add_component(source("WAV", 20.0, (5.0, 40.0)));
         let b = g.add_component(sink("WAV", (10.0, 30.0)));
         g.add_edge(a, b, 1.0).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(report.was_consistent());
         assert_eq!(report.passes, 1);
         assert!(report.checks >= 1);
@@ -422,9 +417,12 @@ mod tests {
         let a = g.add_component(source("WAV", 50.0, (5.0, 60.0))); // too fast
         let b = g.add_component(sink("WAV", (10.0, 30.0)));
         g.add_edge(a, b, 1.0).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert_eq!(report.corrections.len(), 1);
         assert!(matches!(
             &report.corrections[0],
@@ -446,17 +444,20 @@ mod tests {
         let a = g.add_component(source("MPEG", 40.0, (5.0, 40.0)));
         let b = g.add_component(sink("WAV", (10.0, 40.0)));
         g.add_edge(a, b, 1.4).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert_eq!(g.component_count(), 3);
         let t = report
             .corrections
             .iter()
             .find_map(|c| match c {
-                Correction::InsertedTranscoder { component, name, .. } => {
-                    Some((*component, name.clone()))
-                }
+                Correction::InsertedTranscoder {
+                    component, name, ..
+                } => Some((*component, name.clone())),
                 _ => None,
             })
             .expect("a transcoder was inserted");
@@ -494,9 +495,12 @@ mod tests {
         let player = g.add_component(sink("WAV", (10.0, 25.0)));
         g.add_edge(server, gateway, 1.0).unwrap();
         g.add_edge(gateway, player, 1.0).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(is_consistent(&g));
         // Gateway retuned to 25 (cascaded), then server retuned to 25.
         assert_eq!(
@@ -507,9 +511,10 @@ mod tests {
             g.component(server).unwrap().qos_out().get(&D::FrameRate),
             Some(&QosValue::exact(25.0))
         );
-        let cascaded = report.corrections.iter().any(|c| {
-            matches!(c, Correction::AdjustedOutput { cascaded: true, .. })
-        });
+        let cascaded = report
+            .corrections
+            .iter()
+            .any(|c| matches!(c, Correction::AdjustedOutput { cascaded: true, .. }));
         assert!(cascaded);
         assert_eq!(report.passes, 1, "pure adjustments need a single sweep");
     }
@@ -524,8 +529,12 @@ mod tests {
         let p2 = g.add_component(sink("WAV", (20.0, 45.0)));
         g.add_edge(srv, p1, 1.0).unwrap();
         g.add_edge(srv, p2, 1.0).unwrap();
-        ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-            .unwrap();
+        ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(is_consistent(&g));
         assert_eq!(
             g.component(srv).unwrap().qos_out().get(&D::FrameRate),
@@ -575,17 +584,22 @@ mod tests {
                 .build(),
         );
         g.add_edge(a, b, 8.0).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(is_consistent(&g));
         let buf = report
             .corrections
             .iter()
             .find_map(|c| match c {
-                Correction::InsertedBuffer { component, dimension, .. } => {
-                    Some((*component, dimension.clone()))
-                }
+                Correction::InsertedBuffer {
+                    component,
+                    dimension,
+                    ..
+                } => Some((*component, dimension.clone())),
                 _ => None,
             })
             .expect("buffer inserted");
@@ -595,7 +609,10 @@ mod tests {
         // Memory scales with the 8 Mbps stream: 1 + 8/8 = 2 MB.
         assert_eq!(buffer.resources().amounts()[0], 2.0);
         // Buffer smooths to the best (lowest) admissible jitter.
-        assert_eq!(buffer.qos_out().get(&D::Jitter), Some(&QosValue::exact(0.0)));
+        assert_eq!(
+            buffer.qos_out().get(&D::Jitter),
+            Some(&QosValue::exact(0.0))
+        );
     }
 
     #[test]
@@ -655,8 +672,7 @@ mod tests {
         let a = g.add_component(source("MP3", 30.0, (5.0, 40.0)));
         let b = g.add_component(sink("MPEG", (10.0, 40.0)));
         g.add_edge(a, b, 0.4).unwrap();
-        let report =
-            ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).unwrap();
+        let report = ordered_coordination(&mut g, &catalog, CorrectionPolicy::all()).unwrap();
         assert!(is_consistent(&g));
         assert_eq!(g.component_count(), 4, "two transcoders spliced in");
         let t = report
@@ -682,9 +698,12 @@ mod tests {
         let a = g.add_component(source("MPEG", 50.0, (5.0, 60.0)));
         let b = g.add_component(sink("WAV", (10.0, 30.0)));
         g.add_edge(a, b, 1.4).unwrap();
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(is_consistent(&g));
         assert!(report.corrections.len() >= 2);
         assert_eq!(
@@ -718,13 +737,11 @@ mod tests {
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], 1.0).unwrap();
         }
-        g.component_mut(ids[depth - 1])
-            .unwrap()
-            .set_qos_in(
-                QosVector::new()
-                    .with(D::Format, QosValue::token("WAV"))
-                    .with(D::FrameRate, QosValue::range(1.0, 30.0)),
-            );
+        g.component_mut(ids[depth - 1]).unwrap().set_qos_in(
+            QosVector::new()
+                .with(D::Format, QosValue::token("WAV"))
+                .with(D::FrameRate, QosValue::range(1.0, 30.0)),
+        );
         g
     }
 
@@ -815,9 +832,12 @@ mod tests {
         ] {
             g.add_edge(idx(u), idx(v), 1.0).unwrap();
         }
-        let report =
-            ordered_coordination(&mut g, &TranscoderCatalog::standard(), CorrectionPolicy::all())
-                .unwrap();
+        let report = ordered_coordination(
+            &mut g,
+            &TranscoderCatalog::standard(),
+            CorrectionPolicy::all(),
+        )
+        .unwrap();
         assert!(is_consistent(&g));
         assert_eq!(report.passes, 1, "adjustments only: one sweep");
     }

@@ -92,17 +92,43 @@ impl TranscoderCatalog {
         use MediaFormat::*;
         let mut c = TranscoderCatalog::new();
         // Decoders expand bandwidth; encoders compress.
-        c.add(TranscoderSpec::new(Mpeg, Wav, ResourceVector::mem_cpu(6.0, 15.0), 4.0));
-        c.add(TranscoderSpec::new(Wav, Mpeg, ResourceVector::mem_cpu(8.0, 25.0), 0.25));
-        c.add(TranscoderSpec::new(Mpeg, Jpeg, ResourceVector::mem_cpu(10.0, 20.0), 2.0));
-        c.add(TranscoderSpec::new(Mp3, Wav, ResourceVector::mem_cpu(4.0, 10.0), 5.0));
-        c.add(TranscoderSpec::new(Pcm, Wav, ResourceVector::mem_cpu(2.0, 3.0), 1.0));
+        c.add(TranscoderSpec::new(
+            Mpeg,
+            Wav,
+            ResourceVector::mem_cpu(6.0, 15.0),
+            4.0,
+        ));
+        c.add(TranscoderSpec::new(
+            Wav,
+            Mpeg,
+            ResourceVector::mem_cpu(8.0, 25.0),
+            0.25,
+        ));
+        c.add(TranscoderSpec::new(
+            Mpeg,
+            Jpeg,
+            ResourceVector::mem_cpu(10.0, 20.0),
+            2.0,
+        ));
+        c.add(TranscoderSpec::new(
+            Mp3,
+            Wav,
+            ResourceVector::mem_cpu(4.0, 10.0),
+            5.0,
+        ));
+        c.add(TranscoderSpec::new(
+            Pcm,
+            Wav,
+            ResourceVector::mem_cpu(2.0, 3.0),
+            1.0,
+        ));
         c
     }
 
     /// Registers a transcoder kind. Later registrations win conflicts.
     pub fn add(&mut self, spec: TranscoderSpec) {
-        self.specs.retain(|s| !(s.from == spec.from && s.to == spec.to));
+        self.specs
+            .retain(|s| !(s.from == spec.from && s.to == spec.to));
         self.specs.push(spec);
     }
 
@@ -207,7 +233,9 @@ mod tests {
         ));
         assert_eq!(c.len(), 1);
         assert_eq!(
-            c.find(&MediaFormat::Mpeg, &MediaFormat::Wav).unwrap().bandwidth_factor,
+            c.find(&MediaFormat::Mpeg, &MediaFormat::Wav)
+                .unwrap()
+                .bandwidth_factor,
             3.0
         );
     }
@@ -231,15 +259,21 @@ mod tests {
         let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Wav).unwrap();
         assert_eq!(p.len(), 1);
         // Two hops: MP3 -> WAV -> MPEG.
-        let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg).unwrap();
+        let p = c
+            .find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg)
+            .unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].to, MediaFormat::Wav);
         assert_eq!(p[1].to, MediaFormat::Mpeg);
         // Unreachable.
-        assert!(c.find_path(&[MediaFormat::Jpeg], &MediaFormat::Wav).is_none());
+        assert!(c
+            .find_path(&[MediaFormat::Jpeg], &MediaFormat::Wav)
+            .is_none());
         // Already acceptable: empty chain.
         assert_eq!(
-            c.find_path(&[MediaFormat::Wav], &MediaFormat::Wav).unwrap().len(),
+            c.find_path(&[MediaFormat::Wav], &MediaFormat::Wav)
+                .unwrap()
+                .len(),
             0
         );
         // Token-set start: any offered format may begin the chain.
@@ -271,7 +305,9 @@ mod tests {
             ResourceVector::mem_cpu(1.0, 1.0),
             1.0,
         ));
-        let p = c.find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg).unwrap();
+        let p = c
+            .find_path(&[MediaFormat::Mp3], &MediaFormat::Mpeg)
+            .unwrap();
         assert_eq!(p.len(), 1, "BFS finds the direct hop");
     }
 
@@ -282,7 +318,9 @@ mod tests {
             .find_any(&[MediaFormat::H261, MediaFormat::Mp3], &MediaFormat::Wav)
             .unwrap();
         assert_eq!(t.from, MediaFormat::Mp3);
-        assert!(c.find_any(&[MediaFormat::H261], &MediaFormat::Wav).is_none());
+        assert!(c
+            .find_any(&[MediaFormat::H261], &MediaFormat::Wav)
+            .is_none());
     }
 
     #[test]

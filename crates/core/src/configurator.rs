@@ -110,10 +110,7 @@ impl<'r> ServiceConfigurator<'r> {
 
     /// Replaces the distribution algorithm.
     #[must_use]
-    pub fn with_distributor(
-        mut self,
-        distributor: Box<dyn ServiceDistributor + Send>,
-    ) -> Self {
+    pub fn with_distributor(mut self, distributor: Box<dyn ServiceDistributor + Send>) -> Self {
         self.distributor = distributor;
         self
     }
@@ -245,7 +242,10 @@ mod tests {
 
     fn env() -> Environment {
         Environment::builder()
-            .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new(
+                "desktop",
+                ResourceVector::mem_cpu(256.0, 300.0),
+            ))
             .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 40.0)))
             .default_bandwidth_mbps(10.0)
             .build()
@@ -254,9 +254,8 @@ mod tests {
     fn app() -> AbstractServiceGraph {
         let mut g = AbstractServiceGraph::new();
         let s = g.add_spec(AbstractComponentSpec::new("audio-server"));
-        let p = g.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let p =
+            g.add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         g.add_edge(s, p, 1.4).unwrap();
         g
     }
@@ -365,10 +364,7 @@ mod tests {
         let mut e = env();
         let a = app();
         let mut configurator = ServiceConfigurator::new(&r);
-        fn request<'a>(
-            a: &'a AbstractServiceGraph,
-            env: &'a Environment,
-        ) -> ConfigureRequest<'a> {
+        fn request<'a>(a: &'a AbstractServiceGraph, env: &'a Environment) -> ConfigureRequest<'a> {
             ConfigureRequest {
                 abstract_graph: a,
                 user_qos: QosVector::new(),

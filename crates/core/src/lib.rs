@@ -67,7 +67,7 @@ pub mod configurator;
 pub mod error;
 pub mod trigger;
 
-pub use configurator::{ConfigureRequest, Configuration, ServiceConfigurator};
+pub use configurator::{Configuration, ConfigureRequest, ServiceConfigurator};
 pub use error::ConfigureError;
 pub use trigger::ReconfigureTrigger;
 
@@ -80,7 +80,7 @@ pub use ubiqos_model as model;
 
 /// One-stop imports for applications built on ubiqos.
 pub mod prelude {
-    pub use crate::configurator::{ConfigureRequest, Configuration, ServiceConfigurator};
+    pub use crate::configurator::{Configuration, ConfigureRequest, ServiceConfigurator};
     pub use crate::error::ConfigureError;
     pub use crate::trigger::ReconfigureTrigger;
     pub use ubiqos_composition::{

@@ -30,8 +30,7 @@ impl DeviceProperties {
 
     /// Whether a device with these properties meets `minimum`.
     pub fn meets(&self, minimum: &DeviceProperties) -> bool {
-        self.screen_pixels >= minimum.screen_pixels
-            && self.compute_factor >= minimum.compute_factor
+        self.screen_pixels >= minimum.screen_pixels && self.compute_factor >= minimum.compute_factor
     }
 }
 

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a domain within one registry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DomainId(pub(crate) u32);
 
 impl DomainId {

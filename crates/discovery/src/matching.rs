@@ -131,9 +131,8 @@ mod tests {
     #[test]
     fn full_qos_match_scores_near_one() {
         let d = player(&["WAV"], (10.0, 40.0), 8.0);
-        let q = DiscoveryQuery::new("audio-player").with_desired_qos(
-            QosVector::new().with(D::FrameRate, QosValue::exact(30.0)),
-        );
+        let q = DiscoveryQuery::new("audio-player")
+            .with_desired_qos(QosVector::new().with(D::FrameRate, QosValue::exact(30.0)));
         let s = score(&d, &q).unwrap();
         assert!(s > 0.9, "tunable capability covers the desire: {s}");
     }

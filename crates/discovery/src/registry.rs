@@ -124,7 +124,11 @@ impl ServiceRegistry {
     /// Global instances (`None`) are visible everywhere; a global query
     /// sees everything; otherwise the instance's domain must be the query
     /// domain or one of its ancestors.
-    fn visible_from(&self, instance_domain: Option<DomainId>, query_domain: Option<DomainId>) -> bool {
+    fn visible_from(
+        &self,
+        instance_domain: Option<DomainId>,
+        query_domain: Option<DomainId>,
+    ) -> bool {
         match (instance_domain, query_domain) {
             (None, _) | (_, None) => true,
             (Some(inst), Some(query)) => {

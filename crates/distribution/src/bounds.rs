@@ -1,0 +1,194 @@
+//! Precomputed cost tables and admissible lower bounds for the
+//! branch-and-bound OSD solver.
+//!
+//! [`NodeCostTable`] is built once per `distribute` call and serves two
+//! purposes:
+//!
+//! 1. **Exact end-system deltas.** `end_system(pos, d)` is the cost
+//!    increment (Definition 3.5's weighted `r / ra` terms) of placing the
+//!    component at visiting-order position `pos` onto device `d`. The
+//!    search used to recompute this inner loop at every node; now it is a
+//!    table lookup. The summation order matches the old inline loop
+//!    exactly, so partial costs along any root-to-leaf path are
+//!    bit-identical to what the previous solver accumulated.
+//! 2. **Admissible suffix bounds.** `suffix(pos)` underestimates the cost
+//!    still to be paid by the components at positions `pos..`: each must
+//!    incur at least its cheapest end-system delta over *all* devices
+//!    (capacity only removes options, never adds cheaper ones), and every
+//!    network term of Definition 3.5 is non-negative. Branches with
+//!    `partial + suffix(depth) > incumbent` therefore cannot contain a
+//!    strictly better leaf — nor an equal-cost one, since the inequality
+//!    is strict — and are safe to cut even under the solver's
+//!    lexicographic tie-breaking rule.
+//!
+//! The suffix sums are scaled down by a one-part-per-billion slack factor
+//! before use. Summing the per-position minima rounds each intermediate
+//! result, so the raw sum can exceed the true remaining cost by a few
+//! ulps; the slack restores a strict underestimate while giving up a
+//! vanishing amount of pruning power.
+
+use crate::problem::OsdProblem;
+use ubiqos_graph::ComponentId;
+use ubiqos_model::EPSILON;
+
+/// Relative slack applied to the suffix sums so floating-point rounding
+/// in their accumulation can never turn the lower bound into an
+/// overestimate (see module docs).
+const SUFFIX_SLACK: f64 = 1.0 - 1e-9;
+
+/// Per-(position, device) end-system cost deltas plus admissible
+/// remaining-cost lower bounds, precomputed for one visiting order.
+#[derive(Debug, Clone)]
+pub struct NodeCostTable {
+    /// `end_system[pos][d]`: end-system cost of placing `order[pos]` on
+    /// device `d`, or `f64::INFINITY` when the device lacks a resource
+    /// the component needs (the "unusable" case).
+    end_system: Vec<Vec<f64>>,
+    /// `suffix[pos]`: admissible lower bound on the cost still to be
+    /// incurred by `order[pos..]`; `suffix[order.len()] == 0`.
+    suffix: Vec<f64>,
+}
+
+impl NodeCostTable {
+    /// Builds the table for `order` (the free components in visiting
+    /// order) against the problem's devices and weights.
+    pub fn build(problem: &OsdProblem<'_>, order: &[ComponentId]) -> Self {
+        let graph = problem.graph();
+        let env = problem.env();
+        let weights = problem.weights();
+        let k = env.device_count();
+
+        let end_system: Vec<Vec<f64>> = order
+            .iter()
+            .map(|&c| {
+                let need = graph.component(c).expect("dense ids").resources();
+                (0..k)
+                    .map(|d| {
+                        let avail = env.devices()[d].availability();
+                        let mut delta = 0.0;
+                        for (i, &w) in weights.resource().iter().enumerate() {
+                            let r = need.get(i).unwrap_or(0.0);
+                            if r <= EPSILON {
+                                continue;
+                            }
+                            let ra = avail.get(i).unwrap_or(0.0);
+                            if ra <= EPSILON {
+                                return f64::INFINITY;
+                            }
+                            delta += w * r / ra;
+                        }
+                        delta
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut suffix = vec![0.0; order.len() + 1];
+        for pos in (0..order.len()).rev() {
+            let cheapest = end_system[pos]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            suffix[pos] = cheapest + suffix[pos + 1];
+        }
+        for s in &mut suffix {
+            *s *= SUFFIX_SLACK;
+        }
+
+        NodeCostTable { end_system, suffix }
+    }
+
+    /// End-system cost delta of placing `order[pos]` on device `d`
+    /// (`f64::INFINITY` when the device cannot host the component at all).
+    #[inline]
+    pub fn end_system(&self, pos: usize, d: usize) -> f64 {
+        self.end_system[pos][d]
+    }
+
+    /// Admissible lower bound on the cost the components at positions
+    /// `pos..` must still add to any completed assignment.
+    #[inline]
+    pub fn suffix(&self, pos: usize) -> f64 {
+        self.suffix[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::environment::Environment;
+    use ubiqos_graph::{ServiceComponent, ServiceGraph};
+    use ubiqos_model::{ResourceVector, Weights};
+
+    fn instance() -> (ServiceGraph, Environment) {
+        let mut g = ServiceGraph::new();
+        for (name, mem, cpu) in [("a", 40.0, 60.0), ("b", 20.0, 30.0), ("c", 10.0, 20.0)] {
+            g.add_component(
+                ServiceComponent::builder(name)
+                    .resources(ResourceVector::mem_cpu(mem, cpu))
+                    .build(),
+            );
+        }
+        let env = Environment::builder()
+            .device(Device::new("pc", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)))
+            .default_bandwidth_mbps(10.0)
+            .build();
+        (g, env)
+    }
+
+    #[test]
+    fn suffix_is_a_monotone_underestimate_of_summed_minima() {
+        let (g, env) = instance();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let order: Vec<_> = g.component_ids().collect();
+        let table = NodeCostTable::build(&p, &order);
+
+        assert_eq!(table.suffix(order.len()), 0.0);
+        for pos in 0..order.len() {
+            // Suffixes shrink as fewer components remain.
+            assert!(table.suffix(pos) >= table.suffix(pos + 1));
+            // And never exceed the exact sum of per-position minima.
+            let exact: f64 = (pos..order.len())
+                .map(|q| {
+                    (0..env.device_count())
+                        .map(|d| table.end_system(q, d))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            assert!(table.suffix(pos) <= exact);
+            assert!(table.suffix(pos) > exact * 0.999_999);
+        }
+    }
+
+    #[test]
+    fn unusable_devices_are_infinite() {
+        let mut g = ServiceGraph::new();
+        g.add_component(
+            ServiceComponent::builder("gpu-hungry")
+                .resources(ResourceVector::new(vec![10.0, 10.0, 5.0]).unwrap())
+                .build(),
+        );
+        let env = Environment::builder()
+            .device(Device::new(
+                "full",
+                ResourceVector::new(vec![64.0, 64.0, 8.0]).unwrap(),
+            ))
+            .device(Device::new(
+                "flat",
+                ResourceVector::new(vec![64.0, 64.0, 0.0]).unwrap(),
+            ))
+            .default_bandwidth_mbps(10.0)
+            .build();
+        let w = Weights::uniform(3);
+        let p = OsdProblem::new(&g, &env, &w);
+        let order: Vec<_> = g.component_ids().collect();
+        let table = NodeCostTable::build(&p, &order);
+        assert!(table.end_system(0, 0).is_finite());
+        assert!(table.end_system(0, 1).is_infinite());
+        // The finite device keeps the suffix finite.
+        assert!(table.suffix(0).is_finite());
+    }
+}

@@ -123,7 +123,10 @@ mod tests {
             + third * (20.0 / 50.0)           // cpu on d1
             + third * (5.0 / 10.0); //           network
         let got = cost_aggregation(&g, &split, &e, &w);
-        assert!((got - expected).abs() < 1e-12, "got {got}, expected {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "got {got}, expected {expected}"
+        );
     }
 
     #[test]
@@ -196,6 +199,9 @@ mod tests {
         let w = Weights::new(vec![0.0, 0.0], 1.0).unwrap();
         let split = Cut::from_assignment(&g, vec![0, 1], 2).unwrap();
         let got = cost_aggregation(&g, &split, &e, &w);
-        assert!((got - 7.0).abs() < 1e-12, "CA reduces to the cut weight: {got}");
+        assert!(
+            (got - 7.0).abs() < 1e-12,
+            "CA reduces to the cut weight: {got}"
+        );
     }
 }

@@ -100,7 +100,11 @@ impl Device {
 
 impl fmt::Display for Device {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, RA={})", self.name, self.class, self.availability)
+        write!(
+            f,
+            "{} ({}, RA={})",
+            self.name, self.class, self.availability
+        )
     }
 }
 

@@ -106,6 +106,7 @@ impl Environment {
     fn adjust_bandwidth(&mut self, graph: &ServiceGraph, cut: &Cut, sign: f64) {
         let t = cut.inter_part_throughput(graph);
         let k = cut.parts().min(self.bandwidth.device_count());
+        #[allow(clippy::needless_range_loop)] // t[i][j] + t[j][i]: pair-symmetric indexing
         for i in 0..k {
             for j in (i + 1)..k {
                 let used = t[i][j] + t[j][i];
@@ -178,7 +179,10 @@ mod tests {
     /// The Figure 5 environment: desktop, laptop, PDA.
     fn fig5_env() -> Environment {
         Environment::builder()
-            .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new(
+                "desktop",
+                ResourceVector::mem_cpu(256.0, 300.0),
+            ))
             .device(Device::new("laptop", ResourceVector::mem_cpu(128.0, 100.0)))
             .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
             .default_bandwidth_mbps(5.0)
@@ -215,9 +219,18 @@ mod tests {
         let cut = Cut::from_assignment(&g, vec![0, 2], 3).unwrap();
 
         env.charge_cut(&g, &cut).unwrap();
-        assert_eq!(env.device(0).unwrap().availability().amounts(), &[156.0, 200.0]);
-        assert_eq!(env.device(1).unwrap().availability().amounts(), &[128.0, 100.0]);
-        assert_eq!(env.device(2).unwrap().availability().amounts(), &[16.0, 25.0]);
+        assert_eq!(
+            env.device(0).unwrap().availability().amounts(),
+            &[156.0, 200.0]
+        );
+        assert_eq!(
+            env.device(1).unwrap().availability().amounts(),
+            &[128.0, 100.0]
+        );
+        assert_eq!(
+            env.device(2).unwrap().availability().amounts(),
+            &[16.0, 25.0]
+        );
 
         env.refund_cut(&g, &cut).unwrap();
         assert_eq!(env, fig5_env());

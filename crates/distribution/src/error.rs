@@ -92,6 +92,8 @@ mod tests {
             device_count: 2,
         };
         assert!(pin.to_string().contains('5'));
-        assert!(DistributionError::NoDevices.to_string().contains("no devices"));
+        assert!(DistributionError::NoDevices
+            .to_string()
+            .contains("no devices"));
     }
 }

@@ -94,13 +94,13 @@ impl ServiceDistributor for GreedyHeuristic {
             let mut demand = vec![0.0; dim];
             let mut supply = vec![0.0; dim];
             for (_, c) in graph.components() {
-                for i in 0..dim {
-                    demand[i] += c.resources().get(i).unwrap_or(0.0);
+                for (i, slot) in demand.iter_mut().enumerate() {
+                    *slot += c.resources().get(i).unwrap_or(0.0);
                 }
             }
             for d in env.devices() {
-                for i in 0..dim {
-                    supply[i] += d.availability().get(i).unwrap_or(0.0);
+                for (i, slot) in supply.iter_mut().enumerate() {
+                    *slot += d.availability().get(i).unwrap_or(0.0);
                 }
             }
             problem
@@ -137,10 +137,7 @@ impl ServiceDistributor for GreedyHeuristic {
         // including edges among pinned components.
         let mut crossing = vec![vec![0.0; k]; k];
         for e in graph.edges() {
-            if let (Some(i), Some(j)) = (
-                assignment[e.from.index()],
-                assignment[e.to.index()],
-            ) {
+            if let (Some(i), Some(j)) = (assignment[e.from.index()], assignment[e.to.index()]) {
                 if i != j {
                     crossing[i][j] += e.throughput;
                 }
@@ -191,21 +188,32 @@ impl ServiceDistributor for GreedyHeuristic {
             true
         };
 
-        while !unassigned.is_empty() {
-            // Device visiting order: most weighted residual availability
-            // first (stable tie-break by index for determinism).
-            let mut order: Vec<usize> = (0..k).collect();
-            if self.resort_devices {
-                let device_weights = problem.weights().resource();
-                order.sort_by(|&a, &b| {
-                    residual[b]
-                        .weighted_sum(device_weights)
-                        .partial_cmp(&residual[a].weighted_sum(device_weights))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-            }
+        // Device visiting order: most weighted residual availability first
+        // (stable tie-break by index for determinism). The order is kept
+        // sorted *incrementally*: placements only charge one device, so
+        // instead of re-sorting all k devices before every placement we
+        // cache each device's weighted-availability key and re-insert just
+        // the charged device at its new position. The sequence of orders is
+        // identical to what repeated full sorts would produce.
+        let device_weights = problem.weights().resource();
+        let mut avail_key: Vec<f64> = residual
+            .iter()
+            .map(|r| r.weighted_sum(device_weights))
+            .collect();
+        let precedes = |key: &[f64], a: usize, b: usize| -> bool {
+            key[a] > key[b] || (key[a] == key[b] && a < b)
+        };
+        let mut order: Vec<usize> = (0..k).collect();
+        if self.resort_devices {
+            order.sort_by(|&a, &b| {
+                avail_key[b]
+                    .partial_cmp(&avail_key[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        }
 
+        while !unassigned.is_empty() {
             // Choose the next component relative to the *head* device:
             // the heaviest unassigned neighbor of its cluster, or — when
             // the head is empty (or cluster adjacency is ablated) — the
@@ -235,9 +243,17 @@ impl ServiceDistributor for GreedyHeuristic {
                     ),
                 });
             };
-            residual[d] = residual[d].saturating_sub(
-                graph.component(c).expect("dense ids").resources(),
-            )?;
+            residual[d] =
+                residual[d].saturating_sub(graph.component(c).expect("dense ids").resources())?;
+            if self.resort_devices {
+                // Only device `d`'s key changed (it can only shrink);
+                // remove it and binary-search its new slot.
+                avail_key[d] = residual[d].weighted_sum(device_weights);
+                let old_pos = order.iter().position(|&x| x == d).expect("d is in order");
+                order.remove(old_pos);
+                let new_pos = order.partition_point(|&x| precedes(&avail_key, x, d));
+                order.insert(new_pos, d);
+            }
             for &p in graph.predecessors(c) {
                 if let Some(pd) = assignment[p.index()] {
                     if pd != d {
@@ -258,7 +274,10 @@ impl ServiceDistributor for GreedyHeuristic {
 
         let cut = Cut::from_assignment(
             graph,
-            assignment.into_iter().map(|a| a.expect("all assigned")).collect(),
+            assignment
+                .into_iter()
+                .map(|a| a.expect("all assigned"))
+                .collect(),
             k,
         )
         .expect("assignment is complete and in range");
@@ -281,15 +300,12 @@ fn heaviest(
     candidates: &[ComponentId],
     weight_of: &impl Fn(ComponentId) -> f64,
 ) -> Option<ComponentId> {
-    candidates
-        .iter()
-        .copied()
-        .max_by(|&a, &b| {
-            weight_of(a)
-                .partial_cmp(&weight_of(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.cmp(&a)) // smaller id wins ties under max_by
-        })
+    candidates.iter().copied().max_by(|&a, &b| {
+        weight_of(a)
+            .partial_cmp(&weight_of(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.cmp(&a)) // smaller id wins ties under max_by
+    })
 }
 
 /// The heaviest unassigned neighbor (either direction) of any component
@@ -470,6 +486,30 @@ mod tests {
             let cut = alg.distribute(&p).unwrap();
             assert!(p.fits(&cut), "{} produced an unfit cut", alg.name());
         }
+    }
+
+    #[test]
+    fn device_order_tracks_shrinking_residuals() {
+        // Three equal disconnected components, two devices whose residual
+        // ordering flips after each placement: the incrementally-maintained
+        // order must alternate exactly like a full re-sort would.
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..3)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 30.0, 30.0)))
+            .collect();
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(100.0, 100.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(80.0, 80.0)))
+            .default_bandwidth_mbps(10.0)
+            .build();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cut = GreedyHeuristic::paper().distribute(&p).unwrap();
+        // c0 → d0 (100 ≥ 80); d0 drops to 70 so c1 → d1; d1 drops to 50
+        // so c2 → d0 again.
+        assert_eq!(cut.part_of(ids[0]), Some(0));
+        assert_eq!(cut.part_of(ids[1]), Some(1));
+        assert_eq!(cut.part_of(ids[2]), Some(0));
     }
 
     #[test]

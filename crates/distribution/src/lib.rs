@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod bounds;
 pub mod cost;
 pub mod device;
 pub mod environment;
@@ -75,12 +76,13 @@ pub mod random_alg;
 pub mod report;
 
 pub use algorithm::ServiceDistributor;
+pub use bounds::NodeCostTable;
 pub use device::{Device, DeviceClass};
 pub use environment::{Environment, EnvironmentBuilder};
 pub use error::DistributionError;
 pub use heuristic::GreedyHeuristic;
 pub use network::BandwidthMatrix;
-pub use optimal::ExhaustiveOptimal;
+pub use optimal::{ExhaustiveOptimal, SolveStats};
 pub use problem::OsdProblem;
 pub use random_alg::RandomDistributor;
 pub use report::{DeviceLoad, LinkLoad, PlacementReport};

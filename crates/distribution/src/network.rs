@@ -60,9 +60,7 @@ impl BandwidthMatrix {
 
     /// Iterates over `(i, j, bandwidth)` for every unordered pair `i < j`.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j)))
-        })
+        (0..self.n).flat_map(move |i| ((i + 1)..self.n).map(move |j| (i, j, self.get(i, j))))
     }
 
     fn flat(&self, i: usize, j: usize) -> usize {

@@ -10,17 +10,70 @@
 //!
 //! * components are visited in decreasing weighted-requirement order so
 //!   resource-capacity violations prune early;
-//! * partial cost (end-system terms of placed components plus network
-//!   terms of fully placed edges) is a lower bound on the final cost —
-//!   branches at or above the incumbent are cut;
+//! * a precomputed [`NodeCostTable`] supplies both the exact end-system
+//!   delta of each (component, device) pair and an admissible lower bound
+//!   on the cost the *remaining* components must still add; branches with
+//!   `partial + suffix(depth)` strictly above the incumbent are cut;
 //! * per-pair crossing throughput is tracked incrementally and branches
-//!   violating a bandwidth capacity are cut.
+//!   violating a bandwidth capacity are cut;
+//! * the crossing/extra buffers are per-depth scratch space reused across
+//!   the whole search instead of per-node allocations.
+//!
+//! # Parallel search and determinism
+//!
+//! With the `parallel` feature (on by default) the top two levels of the
+//! assignment tree are expanded into independent feasible subtree roots,
+//! searched concurrently via [`ubiqos_parallel::par_map`]. Workers share
+//! an incumbent cost through an `AtomicU64` holding the `f64` bit
+//! pattern, so a bound proven in one subtree prunes the others.
+//!
+//! The result is nevertheless *identical* to the serial search, bit for
+//! bit: pruning is strict (`>`), so equal-cost leaves always survive, and
+//! a leaf replaces the incumbent only when its cost is lower **or** equal
+//! with a lexicographically smaller visiting-order device key. Both modes
+//! therefore select the unique minimum of `(cost, key)` over all feasible
+//! leaves; the parallel reduction compares worker results in
+//! deterministic root order. Only the [`SolveStats`] node counts vary run
+//! to run in parallel mode (they depend on when incumbent updates land).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::algorithm::{seed_with_pins, ServiceDistributor};
+use crate::bounds::NodeCostTable;
 use crate::error::DistributionError;
 use crate::problem::OsdProblem;
 use ubiqos_graph::{ComponentId, Cut};
-use ubiqos_model::EPSILON;
+use ubiqos_model::{ResourceVector, EPSILON};
+
+/// Depth of the parallel fan-out: feasible assignments of the first two
+/// components in visiting order become independent subtree roots.
+const FANOUT_DEPTH: usize = 2;
+
+/// Counters describing one `distribute` run of [`ExhaustiveOptimal`].
+///
+/// In parallel mode the totals are summed over workers; they are
+/// informational and may vary between runs (pruning depends on when the
+/// shared incumbent tightens) even though the returned cut never does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Interior nodes whose children were generated.
+    pub nodes_expanded: u64,
+    /// Subtrees cut because `partial + suffix` exceeded the incumbent.
+    pub pruned_bound: u64,
+    /// (component, device) candidates rejected for resource-capacity,
+    /// unusable-device, or bandwidth reasons.
+    pub pruned_infeasible: u64,
+    /// Independent subtree roots searched (1 for a serial run).
+    pub subtrees: u64,
+}
+
+impl SolveStats {
+    fn absorb(&mut self, other: &SolveStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.pruned_bound += other.pruned_bound;
+        self.pruned_infeasible += other.pruned_infeasible;
+    }
+}
 
 /// Exhaustive branch-and-bound OSD solver.
 ///
@@ -31,17 +84,26 @@ use ubiqos_model::EPSILON;
 #[derive(Debug, Clone)]
 pub struct ExhaustiveOptimal {
     node_limit: usize,
+    parallel: bool,
+    suffix_bound: bool,
+    last_stats: Option<SolveStats>,
 }
 
 impl Default for ExhaustiveOptimal {
     fn default() -> Self {
-        ExhaustiveOptimal { node_limit: 26 }
+        ExhaustiveOptimal {
+            node_limit: 32,
+            parallel: cfg!(feature = "parallel"),
+            suffix_bound: true,
+            last_stats: None,
+        }
     }
 }
 
 impl ExhaustiveOptimal {
-    /// Creates the solver with the default 26-free-component limit
-    /// (plenty for the paper's 10-20 node Table 1 instances).
+    /// Creates the solver with the default 32-free-component limit
+    /// (plenty for the paper's 10-20 node Table 1 instances; the suffix
+    /// lower bound keeps such instances well below the worst case).
     pub fn new() -> Self {
         Self::default()
     }
@@ -57,135 +119,331 @@ impl ExhaustiveOptimal {
     pub fn node_limit(&self) -> usize {
         self.node_limit
     }
+
+    /// Enables or disables the parallel subtree fan-out. The returned cut
+    /// is identical either way; serial mode exists for benchmarking and
+    /// for the equivalence tests.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel && cfg!(feature = "parallel");
+        self
+    }
+
+    /// Whether the parallel fan-out is active.
+    pub fn parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Enables or disables the precomputed suffix lower bound (on by
+    /// default). Disabling reverts pruning to bare partial-cost
+    /// comparison — the pre-table behaviour — and exists for ablation
+    /// benchmarks quantifying what the bound buys.
+    #[must_use]
+    pub fn with_suffix_bound(mut self, enabled: bool) -> Self {
+        self.suffix_bound = enabled;
+        self
+    }
+
+    /// Search counters from the most recent `distribute` call, if any.
+    pub fn last_stats(&self) -> Option<SolveStats> {
+        self.last_stats
+    }
 }
 
-struct Search<'p, 'a> {
-    problem: &'p OsdProblem<'a>,
-    /// Components still to place, in visiting order.
-    order: Vec<ComponentId>,
+/// Reusable per-depth buffers replacing the per-node `Vec` allocations of
+/// the earlier solver.
+#[derive(Debug, Default, Clone)]
+struct ScratchFrame {
+    /// New ordered crossings `(from_device, to_device, throughput)`
+    /// introduced by the placement under evaluation.
+    new_crossings: Vec<(usize, usize, f64)>,
+    /// The same crossings folded onto unordered pairs for the
+    /// shared-medium bandwidth check.
+    extra: Vec<(usize, usize, f64)>,
+}
+
+/// Mutable search state shared by the serial search, the root fan-out,
+/// and each parallel worker.
+#[derive(Debug, Clone)]
+struct SearchState {
     /// Current per-component device assignment (pins pre-filled).
     assignment: Vec<Option<usize>>,
-    residual: Vec<ubiqos_model::ResourceVector>,
+    residual: Vec<ResourceVector>,
     /// Crossing throughput accumulated per ordered device pair.
     crossing: Vec<Vec<f64>>,
-    best_cost: f64,
-    best: Option<Vec<usize>>,
+    /// Devices chosen so far along the current path, in visiting order —
+    /// the lexicographic tie-breaking key.
+    key: Vec<usize>,
 }
 
-impl Search<'_, '_> {
+/// Evaluates placing `order[depth]` on device `d` against `state`.
+///
+/// Returns the exact cost delta when the placement is feasible, filling
+/// `frame.new_crossings` with the edges it sends across device pairs;
+/// returns `None` (leaving `frame` in an unspecified state) when any
+/// resource, usability, or bandwidth constraint fails. The delta
+/// accumulation order — end-system terms first, then network terms in
+/// predecessor-before-successor edge order — matches the pre-table solver
+/// exactly, keeping path costs bit-identical.
+fn placement_delta(
+    problem: &OsdProblem<'_>,
+    table: &NodeCostTable,
+    order: &[ComponentId],
+    depth: usize,
+    d: usize,
+    state: &SearchState,
+    frame: &mut ScratchFrame,
+) -> Option<f64> {
+    let graph = problem.graph();
+    let env = problem.env();
+    let c = order[depth];
+    let need = graph.component(c).expect("dense ids").resources();
+
+    if !need.fits_within(&state.residual[d]) {
+        return None;
+    }
+    let mut delta = table.end_system(depth, d);
+    if !delta.is_finite() {
+        return None;
+    }
+
+    // Network cost increments for edges whose other endpoint is already
+    // placed; track crossings and enforce bandwidth.
+    frame.new_crossings.clear();
+    frame.extra.clear();
+    for &p in graph.predecessors(c) {
+        if let Some(pd) = state.assignment[p.index()] {
+            if pd != d {
+                let tp = graph.edge_throughput(p, c).expect("edge exists");
+                frame.new_crossings.push((pd, d, tp));
+            }
+        }
+    }
+    for &s in graph.successors(c) {
+        if let Some(sd) = state.assignment[s.index()] {
+            if sd != d {
+                let tp = graph.edge_throughput(c, s).expect("edge exists");
+                frame.new_crossings.push((d, sd, tp));
+            }
+        }
+    }
+    for &(i, j, tp) in &frame.new_crossings {
+        let b = env.bandwidth().get(i, j);
+        if b <= EPSILON && tp > EPSILON {
+            return None;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        match frame.extra.iter_mut().find(|e| e.0 == lo && e.1 == hi) {
+            Some(e) => e.2 += tp,
+            None => frame.extra.push((lo, hi, tp)),
+        }
+        delta += problem.weights().network() * tp / b;
+    }
+    // Shared-medium feasibility (matches `OsdProblem::fits`): both
+    // directions of a pair draw from the same bandwidth pool.
+    for &(i, j, added) in &frame.extra {
+        if state.crossing[i][j] + state.crossing[j][i] + added > env.bandwidth().get(i, j) + EPSILON
+        {
+            return None;
+        }
+    }
+    Some(delta)
+}
+
+impl SearchState {
+    /// Commits a placement previously validated by [`placement_delta`].
+    fn apply(&mut self, c: ComponentId, d: usize, need: &ResourceVector, frame: &ScratchFrame) {
+        self.assignment[c.index()] = Some(d);
+        self.residual[d] = self.residual[d]
+            .saturating_sub(need)
+            .expect("dimensions validated");
+        for &(i, j, tp) in &frame.new_crossings {
+            self.crossing[i][j] += tp;
+        }
+        self.key.push(d);
+    }
+
+    /// Reverts the matching [`SearchState::apply`].
+    fn undo(&mut self, c: ComponentId, d: usize, need: &ResourceVector, frame: &ScratchFrame) {
+        self.key.pop();
+        for &(i, j, tp) in &frame.new_crossings {
+            self.crossing[i][j] -= tp;
+        }
+        self.residual[d] = self.residual[d]
+            .checked_add(need)
+            .expect("dimensions validated");
+        self.assignment[c.index()] = None;
+    }
+}
+
+/// One depth-first worker: searches the subtree below its starting state,
+/// pruning against its local best and (when present) the shared atomic
+/// incumbent.
+struct Search<'p, 'a, 's> {
+    problem: &'p OsdProblem<'a>,
+    /// Components still to place, in visiting order.
+    order: &'s [ComponentId],
+    table: &'s NodeCostTable,
+    state: SearchState,
+    scratch: Vec<ScratchFrame>,
+    /// Whether [`NodeCostTable::suffix`] tightens the pruning bound.
+    suffix_bound: bool,
+    /// Shared incumbent cost as `f64` bits (parallel mode only).
+    incumbent: Option<&'s AtomicU64>,
+    best_cost: f64,
+    /// Visiting-order device key of the best leaf, for tie-breaking.
+    best_key: Vec<usize>,
+    best: Option<Vec<usize>>,
+    stats: SolveStats,
+}
+
+/// Lowers the shared incumbent to `cost` if it improves on it.
+fn relax_incumbent(incumbent: &AtomicU64, cost: f64) {
+    let mut current = incumbent.load(Ordering::Relaxed);
+    while cost < f64::from_bits(current) {
+        match incumbent.compare_exchange_weak(
+            current,
+            cost.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+impl Search<'_, '_, '_> {
+    /// The tightest upper bound visible to this worker: its local best or
+    /// the fleet-wide incumbent, whichever is lower.
+    fn bound(&self) -> f64 {
+        match self.incumbent {
+            Some(shared) => f64::from_bits(shared.load(Ordering::Relaxed)).min(self.best_cost),
+            None => self.best_cost,
+        }
+    }
+
     fn run(&mut self, depth: usize, partial_cost: f64) {
-        if partial_cost >= self.best_cost {
+        // Strict inequality: an equal-cost leaf may still win the
+        // lexicographic tie-break, so plateaus are never cut.
+        let suffix = if self.suffix_bound {
+            self.table.suffix(depth)
+        } else {
+            0.0
+        };
+        if partial_cost + suffix > self.bound() {
+            self.stats.pruned_bound += 1;
             return;
         }
         if depth == self.order.len() {
-            self.best_cost = partial_cost;
-            self.best = Some(
-                self.assignment
-                    .iter()
-                    .map(|a| a.expect("complete at leaf"))
-                    .collect(),
-            );
+            let improves = partial_cost < self.best_cost
+                || (partial_cost == self.best_cost
+                    && self.best.is_some()
+                    && self.state.key < self.best_key)
+                || self.best.is_none();
+            if improves {
+                self.best_cost = partial_cost;
+                self.best_key.clear();
+                self.best_key.extend_from_slice(&self.state.key);
+                self.best = Some(
+                    self.state
+                        .assignment
+                        .iter()
+                        .map(|a| a.expect("complete at leaf"))
+                        .collect(),
+                );
+                if let Some(shared) = self.incumbent {
+                    relax_incumbent(shared, partial_cost);
+                }
+            }
             return;
         }
+        self.stats.nodes_expanded += 1;
+
         let c = self.order[depth];
-        let graph = self.problem.graph();
-        let env = self.problem.env();
-        let weights = self.problem.weights();
-        let need = graph.component(c).expect("dense ids").resources().clone();
-
-        for d in 0..env.device_count() {
-            if !need.fits_within(&self.residual[d]) {
-                continue;
-            }
-            // End-system cost increment for placing `c` on `d`.
-            let avail = env.devices()[d].availability();
-            let mut delta = 0.0;
-            let mut unusable = false;
-            for (i, &w) in weights.resource().iter().enumerate() {
-                let r = need.get(i).unwrap_or(0.0);
-                if r <= EPSILON {
-                    continue;
-                }
-                let ra = avail.get(i).unwrap_or(0.0);
-                if ra <= EPSILON {
-                    unusable = true;
-                    break;
-                }
-                delta += w * r / ra;
-            }
-            if unusable {
-                continue;
-            }
-            // Network cost increments for edges whose other endpoint is
-            // already placed; track crossings and enforce bandwidth.
-            let mut new_crossings: Vec<(usize, usize, f64)> = Vec::new();
-            let mut bandwidth_ok = true;
-            for &p in graph.predecessors(c) {
-                if let Some(pd) = self.assignment[p.index()] {
-                    if pd != d {
-                        let tp = graph.edge_throughput(p, c).expect("edge exists");
-                        new_crossings.push((pd, d, tp));
-                    }
+        let need = self
+            .problem
+            .graph()
+            .component(c)
+            .expect("dense ids")
+            .resources()
+            .clone();
+        let mut frame = std::mem::take(&mut self.scratch[depth]);
+        for d in 0..self.problem.env().device_count() {
+            match placement_delta(
+                self.problem,
+                self.table,
+                self.order,
+                depth,
+                d,
+                &self.state,
+                &mut frame,
+            ) {
+                None => self.stats.pruned_infeasible += 1,
+                Some(delta) => {
+                    self.state.apply(c, d, &need, &frame);
+                    self.run(depth + 1, partial_cost + delta);
+                    self.state.undo(c, d, &need, &frame);
                 }
             }
-            for &s in graph.successors(c) {
-                if let Some(sd) = self.assignment[s.index()] {
-                    if sd != d {
-                        let tp = graph.edge_throughput(c, s).expect("edge exists");
-                        new_crossings.push((d, sd, tp));
-                    }
-                }
-            }
-            // Shared-medium feasibility (matches `OsdProblem::fits`): both
-            // directions of a pair draw from the same bandwidth pool.
-            let mut extra: Vec<(usize, usize, f64)> = Vec::new();
-            for &(i, j, tp) in &new_crossings {
-                let b = env.bandwidth().get(i, j);
-                if b <= EPSILON && tp > EPSILON {
-                    bandwidth_ok = false;
-                    break;
-                }
-                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                match extra.iter_mut().find(|e| e.0 == lo && e.1 == hi) {
-                    Some(e) => e.2 += tp,
-                    None => extra.push((lo, hi, tp)),
-                }
-                delta += weights.network() * tp / b;
-            }
-            if bandwidth_ok {
-                for &(i, j, added) in &extra {
-                    if self.crossing[i][j] + self.crossing[j][i] + added
-                        > env.bandwidth().get(i, j) + EPSILON
-                    {
-                        bandwidth_ok = false;
-                        break;
-                    }
-                }
-            }
-            if !bandwidth_ok {
-                continue;
-            }
-
-            // Descend.
-            self.assignment[c.index()] = Some(d);
-            self.residual[d] = self.residual[d]
-                .saturating_sub(&need)
-                .expect("dimensions validated");
-            for &(i, j, tp) in &new_crossings {
-                self.crossing[i][j] += tp;
-            }
-
-            self.run(depth + 1, partial_cost + delta);
-
-            for &(i, j, tp) in &new_crossings {
-                self.crossing[i][j] -= tp;
-            }
-            self.residual[d] = self.residual[d]
-                .checked_add(&need)
-                .expect("dimensions validated");
-            self.assignment[c.index()] = None;
         }
+        self.scratch[depth] = frame;
     }
+}
+
+/// A feasible assignment of the first [`FANOUT_DEPTH`] components,
+/// carrying the full search state at that frontier.
+struct SubtreeRoot {
+    state: SearchState,
+    cost: f64,
+}
+
+/// Enumerates every feasible depth-`fanout` prefix in lexicographic
+/// device order, returning the subtree roots the workers will search.
+fn expand_roots(
+    problem: &OsdProblem<'_>,
+    table: &NodeCostTable,
+    order: &[ComponentId],
+    base: SearchState,
+    base_cost: f64,
+    fanout: usize,
+    stats: &mut SolveStats,
+) -> Vec<SubtreeRoot> {
+    let mut roots = Vec::new();
+    let mut frontier = vec![SubtreeRoot {
+        state: base,
+        cost: base_cost,
+    }];
+    let mut frame = ScratchFrame::default();
+    for depth in 0..fanout {
+        let c = order[depth];
+        let need = problem
+            .graph()
+            .component(c)
+            .expect("dense ids")
+            .resources()
+            .clone();
+        let mut next = Vec::new();
+        for root in &frontier {
+            stats.nodes_expanded += 1;
+            for d in 0..problem.env().device_count() {
+                match placement_delta(problem, table, order, depth, d, &root.state, &mut frame) {
+                    None => stats.pruned_infeasible += 1,
+                    Some(delta) => {
+                        let mut state = root.state.clone();
+                        state.apply(c, d, &need, &frame);
+                        next.push(SubtreeRoot {
+                            state,
+                            cost: root.cost + delta,
+                        });
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    roots.append(&mut frontier);
+    roots
 }
 
 impl ServiceDistributor for ExhaustiveOptimal {
@@ -194,6 +452,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
     }
 
     fn distribute(&mut self, problem: &OsdProblem<'_>) -> Result<Cut, DistributionError> {
+        self.last_stats = None;
         let graph = problem.graph();
         let env = problem.env();
         let k = env.device_count();
@@ -228,10 +487,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
             }
         }
         for e in graph.edges() {
-            if let (Some(i), Some(j)) = (
-                assignment[e.from.index()],
-                assignment[e.to.index()],
-            ) {
+            if let (Some(i), Some(j)) = (assignment[e.from.index()], assignment[e.to.index()]) {
                 if i != j {
                     let b = env.bandwidth().get(i, j);
                     crossing[i][j] += e.throughput;
@@ -260,25 +516,98 @@ impl ServiceDistributor for ExhaustiveOptimal {
             });
         }
         order.sort_by(|&a, &b| {
-            let wa = graph.component(a).expect("dense").resources().weighted_sum(weights);
-            let wb = graph.component(b).expect("dense").resources().weighted_sum(weights);
+            let wa = graph
+                .component(a)
+                .expect("dense")
+                .resources()
+                .weighted_sum(weights);
+            let wb = graph
+                .component(b)
+                .expect("dense")
+                .resources()
+                .weighted_sum(weights);
             wb.partial_cmp(&wa)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
 
-        let mut search = Search {
-            problem,
-            order,
+        let table = NodeCostTable::build(problem, &order);
+        let base_state = SearchState {
             assignment,
             residual,
             crossing,
-            best_cost: f64::INFINITY,
-            best: None,
+            key: Vec::new(),
         };
-        search.run(0, base_cost);
+        let suffix_bound = self.suffix_bound;
+        let run_worker =
+            |state: SearchState, cost: f64, depth: usize, shared: Option<&AtomicU64>| {
+                let mut search = Search {
+                    problem,
+                    order: &order,
+                    table: &table,
+                    // Indexed by absolute depth; the frames below `depth` stay
+                    // unused in a fanned-out worker but cost nothing.
+                    scratch: vec![ScratchFrame::default(); order.len()],
+                    state,
+                    suffix_bound,
+                    incumbent: shared,
+                    best_cost: f64::INFINITY,
+                    best_key: Vec::new(),
+                    best: None,
+                    stats: SolveStats::default(),
+                };
+                search.run(depth, cost);
+                (search.best_cost, search.best_key, search.best, search.stats)
+            };
 
-        match search.best {
+        let mut stats = SolveStats::default();
+        let best: Option<Vec<usize>>;
+        if self.parallel && order.len() > FANOUT_DEPTH {
+            let roots = expand_roots(
+                problem,
+                &table,
+                &order,
+                base_state,
+                base_cost,
+                FANOUT_DEPTH,
+                &mut stats,
+            );
+            stats.subtrees = roots.len() as u64;
+            let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
+            let worker_results = ubiqos_parallel::par_map(&roots, |_, root| {
+                run_worker(
+                    root.state.clone(),
+                    root.cost,
+                    FANOUT_DEPTH,
+                    Some(&incumbent),
+                )
+            });
+            // Deterministic reduction: roots were generated in
+            // lexicographic prefix order and par_map preserves input
+            // order, so scanning for the strict (cost, key) minimum is
+            // independent of worker scheduling.
+            let mut winner: (f64, Vec<usize>, Option<Vec<usize>>) =
+                (f64::INFINITY, Vec::new(), None);
+            for (cost, key, found, worker_stats) in worker_results {
+                stats.absorb(&worker_stats);
+                if found.is_some()
+                    && (winner.2.is_none()
+                        || cost < winner.0
+                        || (cost == winner.0 && key < winner.1))
+                {
+                    winner = (cost, key, found);
+                }
+            }
+            best = winner.2;
+        } else {
+            let (_, _, found, worker_stats) = run_worker(base_state, base_cost, 0, None);
+            stats = worker_stats;
+            stats.subtrees = 1;
+            best = found;
+        }
+        self.last_stats = Some(stats);
+
+        match best {
             Some(assignment) => {
                 let cut = Cut::from_assignment(graph, assignment, k)
                     .expect("search produces complete in-range assignments");
@@ -372,7 +701,8 @@ mod tests {
             .map(|i| g.add_component(comp(&format!("c{i}"), 5.0 + 3.0 * i as f64, 10.0)))
             .collect();
         for i in 1..ids.len() {
-            g.add_edge(ids[i - 1], ids[i], 1.0 + i as f64 * 0.3).unwrap();
+            g.add_edge(ids[i - 1], ids[i], 1.0 + i as f64 * 0.3)
+                .unwrap();
         }
         g.add_edge(ids[0], ids[4], 2.0).unwrap();
         let env = env2(20.0);
@@ -435,20 +765,20 @@ mod tests {
     #[test]
     fn node_limit_guards_exponential_instances() {
         let mut g = ServiceGraph::new();
-        for i in 0..30 {
+        for i in 0..40 {
             g.add_component(comp(&format!("c{i}"), 1.0, 1.0));
         }
         let env = env2(10.0);
         let w = Weights::default();
         let p = OsdProblem::new(&g, &env, &w);
         let err = ExhaustiveOptimal::new().distribute(&p).unwrap_err();
-        assert!(err.to_string().contains("limit of 26"));
+        assert!(err.to_string().contains("limit of 32"));
         // Raising the limit allows the run (this instance prunes fine).
         assert!(ExhaustiveOptimal::new()
-            .with_node_limit(40)
+            .with_node_limit(48)
             .distribute(&p)
             .is_ok());
-        assert_eq!(ExhaustiveOptimal::new().node_limit(), 26);
+        assert_eq!(ExhaustiveOptimal::new().node_limit(), 32);
     }
 
     #[test]
@@ -459,5 +789,95 @@ mod tests {
         let p = OsdProblem::new(&g, &env, &w);
         let cut = ExhaustiveOptimal::new().distribute(&p).unwrap();
         assert_eq!(cut.len(), 0);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..9)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 4.0 + 2.0 * i as f64, 8.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 0.4 + i as f64 * 0.2)
+                .unwrap();
+        }
+        g.add_edge(ids[0], ids[5], 1.1).unwrap();
+        let env = env2(15.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let serial = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .distribute(&p)
+            .unwrap();
+        let parallel = ExhaustiveOptimal::new()
+            .with_parallel(true)
+            .distribute(&p)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(p.cost(&serial).to_bits(), p.cost(&parallel).to_bits());
+    }
+
+    #[test]
+    fn stats_are_recorded_and_bounds_prune() {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 6.0 + i as f64, 9.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 0.3).unwrap();
+        }
+        let env = env2(12.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+
+        let mut solver = ExhaustiveOptimal::new().with_parallel(false);
+        assert!(solver.last_stats().is_none());
+        solver.distribute(&p).unwrap();
+        let stats = solver.last_stats().unwrap();
+        assert_eq!(stats.subtrees, 1);
+        assert!(stats.nodes_expanded > 0);
+        // The suffix bound must actually bite on a 10-node instance: the
+        // explored tree stays far below the 2^10 full enumeration.
+        assert!(stats.pruned_bound > 0);
+        assert!(stats.nodes_expanded < 1 << 10);
+
+        let mut par = ExhaustiveOptimal::new().with_parallel(true);
+        par.distribute(&p).unwrap();
+        let subtrees = par.last_stats().unwrap().subtrees;
+        if cfg!(feature = "parallel") {
+            assert!(subtrees > 1);
+        } else {
+            // `with_parallel(true)` degrades to the serial path when the
+            // feature is compiled out.
+            assert_eq!(subtrees, 1);
+        }
+    }
+
+    #[test]
+    fn equal_cost_plateau_resolves_to_lexicographic_minimum() {
+        // Two identical, disconnected components on two identical devices:
+        // every assignment has the same cost, so the tie-break must pick
+        // the lexicographically smallest visiting-order key — both on
+        // device 0 — in both modes.
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("a", 10.0, 10.0));
+        let b = g.add_component(comp("b", 10.0, 10.0));
+        let c = g.add_component(comp("c", 10.0, 10.0));
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(100.0, 100.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(100.0, 100.0)))
+            .default_bandwidth_mbps(10.0)
+            .build();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        for parallel in [false, true] {
+            let cut = ExhaustiveOptimal::new()
+                .with_parallel(parallel)
+                .distribute(&p)
+                .unwrap();
+            assert_eq!(cut.part_of(a), Some(0), "parallel={parallel}");
+            assert_eq!(cut.part_of(b), Some(0), "parallel={parallel}");
+            assert_eq!(cut.part_of(c), Some(0), "parallel={parallel}");
+        }
     }
 }

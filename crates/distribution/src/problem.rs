@@ -77,6 +77,7 @@ impl<'a> OsdProblem<'a> {
         // accounting in [`crate::Environment::charge_cut`].
         let t = cut.inter_part_throughput(self.graph);
         let k = cut.parts();
+        #[allow(clippy::needless_range_loop)] // t[i][j] + t[j][i]: pair-symmetric indexing
         for i in 0..k {
             for j in (i + 1)..k {
                 if t[i][j] + t[j][i] > self.env.bandwidth().get(i, j) + EPSILON {
@@ -226,7 +227,10 @@ mod tests {
         );
         assert!(matches!(
             OsdProblem::new(&g, &env, &w).validate(),
-            Err(DistributionError::InvalidPin { device_index: 7, .. })
+            Err(DistributionError::InvalidPin {
+                device_index: 7,
+                ..
+            })
         ));
 
         let empty = Environment::builder().build();

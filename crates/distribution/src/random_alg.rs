@@ -174,7 +174,10 @@ mod tests {
         let p = OsdProblem::new(&g, &e, &w);
         for seed in 0..16 {
             let cut = RandomDistributor::seeded(seed).distribute(&p).unwrap();
-            assert_eq!(cut.part_of(ubiqos_graph::ComponentId::from_index(0)), Some(1));
+            assert_eq!(
+                cut.part_of(ubiqos_graph::ComponentId::from_index(0)),
+                Some(1)
+            );
         }
     }
 

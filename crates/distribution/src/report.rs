@@ -113,6 +113,7 @@ fn link_loads(graph: &ServiceGraph, cut: &Cut, env: &Environment) -> Vec<LinkLoa
     let t = cut.inter_part_throughput(graph);
     let k = cut.parts().min(env.device_count());
     let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // t[i][j] + t[j][i]: pair-symmetric indexing
     for i in 0..k {
         for j in (i + 1)..k {
             let crossing = t[i][j] + t[j][i];

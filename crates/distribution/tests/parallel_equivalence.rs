@@ -1,0 +1,92 @@
+//! Serial vs. parallel branch-and-bound equivalence.
+//!
+//! The parallel solver fans the top of the assignment tree out across
+//! worker threads but is specified to return *exactly* the serial
+//! result: the unique minimum of `(cost, visiting-order device key)`
+//! over all feasible leaves. These properties pin that contract on
+//! random instances — same feasibility verdict, identical cut, and
+//! bit-identical cost.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ubiqos_distribution::{Device, Environment, ExhaustiveOptimal, OsdProblem, ServiceDistributor};
+use ubiqos_graph::{DeviceId, ServiceComponent, ServiceGraph};
+use ubiqos_model::{ResourceVector, Weights};
+
+/// Random 6-12 node instance over 2-3 devices; occasionally pins a
+/// component, and draws bandwidth thin enough that the constraint
+/// sometimes bites.
+fn random_instance(seed: u64, n: usize, k: usize) -> (ServiceGraph, Environment) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = ServiceGraph::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let mut builder = ServiceComponent::builder(format!("c{i}")).resources(
+                ResourceVector::mem_cpu(rng.gen_range(1.0..18.0), rng.gen_range(1.0..20.0)),
+            );
+            if rng.gen_bool(0.2) {
+                builder = builder.pinned_to(DeviceId::from_index(rng.gen_range(0..k)));
+            }
+            g.add_component(builder.build())
+        })
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.3) {
+                g.add_edge(ids[i], ids[j], rng.gen_range(0.05..1.2))
+                    .unwrap();
+            }
+        }
+    }
+    let mut env = Environment::builder();
+    for d in 0..k {
+        env = env.device(Device::new(
+            format!("dev{d}"),
+            ResourceVector::mem_cpu(rng.gen_range(40.0..160.0), rng.gen_range(50.0..200.0)),
+        ));
+    }
+    let env = env.default_bandwidth_mbps(rng.gen_range(2.0..14.0)).build();
+    (g, env)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Serial and parallel searches agree on feasibility, the cut itself,
+    /// and the cost down to the last bit.
+    #[test]
+    fn parallel_matches_serial(seed in 0u64..5000, n in 6usize..13, k in 2usize..4) {
+        let (g, env) = random_instance(seed, n, k);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let serial = ExhaustiveOptimal::new().with_parallel(false).distribute(&p);
+        let parallel = ExhaustiveOptimal::new().with_parallel(true).distribute(&p);
+        match (serial, parallel) {
+            (Ok(s), Ok(q)) => {
+                prop_assert_eq!(&s, &q, "cuts differ");
+                prop_assert_eq!(p.cost(&s).to_bits(), p.cost(&q).to_bits(), "costs differ in bits");
+            }
+            (Err(_), Err(_)) => {}
+            (s, q) => prop_assert!(false, "feasibility disagrees: serial {:?}, parallel {:?}", s.is_ok(), q.is_ok()),
+        }
+    }
+
+    /// Repeated parallel runs of the same instance return the same cut —
+    /// the shared-incumbent race never leaks into the result.
+    #[test]
+    fn parallel_is_internally_deterministic(seed in 0u64..1500) {
+        let (g, env) = random_instance(seed, 10, 3);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let first = ExhaustiveOptimal::new().distribute(&p);
+        for _ in 0..3 {
+            let again = ExhaustiveOptimal::new().distribute(&p);
+            match (&first, &again) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "feasibility flapped between runs"),
+            }
+        }
+    }
+}

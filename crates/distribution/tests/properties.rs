@@ -28,7 +28,8 @@ fn random_instance(seed: u64, n: usize, pin_some: bool) -> (ServiceGraph, Enviro
     for i in 0..n {
         for j in (i + 1)..n {
             if rng.gen_bool(0.25) {
-                g.add_edge(ids[i], ids[j], rng.gen_range(0.05..0.8)).unwrap();
+                g.add_edge(ids[i], ids[j], rng.gen_range(0.05..0.8))
+                    .unwrap();
             }
         }
     }

@@ -15,9 +15,7 @@ use std::fmt;
 use ubiqos_model::QosVector;
 
 /// Identifier of a spec within one [`AbstractServiceGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SpecId(u32);
 
 impl SpecId {
@@ -135,7 +133,12 @@ impl AbstractServiceGraph {
     ///
     /// Mirrors [`crate::ServiceGraph::add_edge`]: unknown ids, self-loops,
     /// duplicates, cycles, and invalid throughputs are rejected.
-    pub fn add_edge(&mut self, from: SpecId, to: SpecId, throughput: f64) -> Result<(), GraphError> {
+    pub fn add_edge(
+        &mut self,
+        from: SpecId,
+        to: SpecId,
+        throughput: f64,
+    ) -> Result<(), GraphError> {
         use crate::ids::ComponentId;
         let as_cid = |s: SpecId| ComponentId::from_index(s.index());
         if from.index() >= self.specs.len() {
@@ -234,14 +237,11 @@ mod tests {
     #[test]
     fn build_audio_on_demand_description() {
         let mut g = AbstractServiceGraph::new();
-        let server = g.add_spec(
-            AbstractComponentSpec::new("audio-server").with_desired_qos(
-                QosVector::new().with(QosDimension::Format, QosValue::token("MPEG")),
-            ),
-        );
-        let player = g.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let server = g.add_spec(AbstractComponentSpec::new("audio-server").with_desired_qos(
+            QosVector::new().with(QosDimension::Format, QosValue::token("MPEG")),
+        ));
+        let player =
+            g.add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         let eq = g.add_spec(AbstractComponentSpec::new("equalizer").optional());
         g.add_edge(server, eq, 1.4).unwrap();
         g.add_edge(eq, player, 1.4).unwrap();
@@ -258,12 +258,18 @@ mod tests {
         let a = g.add_spec(AbstractComponentSpec::new("a"));
         let b = g.add_spec(AbstractComponentSpec::new("b"));
         g.add_edge(a, b, 1.0).unwrap();
-        assert!(matches!(g.add_edge(b, a, 1.0), Err(GraphError::WouldCycle { .. })));
+        assert!(matches!(
+            g.add_edge(b, a, 1.0),
+            Err(GraphError::WouldCycle { .. })
+        ));
         assert!(matches!(
             g.add_edge(a, b, 2.0),
             Err(GraphError::DuplicateEdge { .. })
         ));
-        assert!(matches!(g.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(_))));
+        assert!(matches!(
+            g.add_edge(a, a, 1.0),
+            Err(GraphError::SelfLoop(_))
+        ));
         assert!(matches!(
             g.add_edge(a, SpecId::from_index(9), 1.0),
             Err(GraphError::UnknownComponent(_))

@@ -321,7 +321,8 @@ mod tests {
     #[test]
     fn adjust_within_capability_updates_output_and_passthrough_input() {
         let mut c = adjustable_player();
-        c.adjust_output(&D::FrameRate, QosValue::exact(20.0)).unwrap();
+        c.adjust_output(&D::FrameRate, QosValue::exact(20.0))
+            .unwrap();
         assert_eq!(c.qos_out().get(&D::FrameRate), Some(&QosValue::exact(20.0)));
         // Passthrough: the input requirement now follows the output.
         assert_eq!(c.qos_in().get(&D::FrameRate), Some(&QosValue::exact(20.0)));
@@ -357,7 +358,8 @@ mod tests {
             .qos_out(QosVector::new().with(D::Resolution, QosValue::exact(1e6)))
             .capability(D::Resolution, QosValue::range(1e5, 2e6))
             .build();
-        c.adjust_output(&D::Resolution, QosValue::exact(5e5)).unwrap();
+        c.adjust_output(&D::Resolution, QosValue::exact(5e5))
+            .unwrap();
         assert_eq!(c.qos_in().get(&D::Resolution), Some(&QosValue::exact(1e6)));
         assert_eq!(c.qos_out().get(&D::Resolution), Some(&QosValue::exact(5e5)));
     }

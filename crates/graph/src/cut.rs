@@ -122,7 +122,11 @@ impl Cut {
     /// normalization).
     pub fn cut_throughput(&self, graph: &ServiceGraph) -> f64 {
         // `+ 0.0` normalizes the empty sum's negative zero.
-        self.cut_edges(graph).iter().map(|e| e.throughput).sum::<f64>() + 0.0
+        self.cut_edges(graph)
+            .iter()
+            .map(|e| e.throughput)
+            .sum::<f64>()
+            + 0.0
     }
 
     /// Sums the resource requirement vectors of part `j`'s components
@@ -258,7 +262,17 @@ mod tests {
                 .iter()
                 .any(|e| e.from == n[u - 1] && e.to == n[v - 1])
         };
-        for (u, v) in [(1, 2), (1, 8), (5, 2), (5, 8), (5, 7), (9, 8), (2, 7), (8, 7), (8, 6)] {
+        for (u, v) in [
+            (1, 2),
+            (1, 8),
+            (5, 2),
+            (5, 8),
+            (5, 7),
+            (9, 8),
+            (2, 7),
+            (8, 7),
+            (8, 6),
+        ] {
             assert!(has(u, v), "edge {u}->{v} should belong to the 3-cut");
         }
         assert!(!has(3, 1), "intra-part edge is not in the cut");
@@ -269,9 +283,18 @@ mod tests {
     fn from_assignment_validation() {
         let (g, _) = figure2();
         assert!(Cut::from_assignment(&g, vec![0; 9], 1).is_some());
-        assert!(Cut::from_assignment(&g, vec![0; 8], 2).is_none(), "wrong length");
-        assert!(Cut::from_assignment(&g, vec![2; 9], 2).is_none(), "part out of range");
-        assert!(Cut::from_assignment(&g, vec![0; 9], 0).is_none(), "zero parts");
+        assert!(
+            Cut::from_assignment(&g, vec![0; 8], 2).is_none(),
+            "wrong length"
+        );
+        assert!(
+            Cut::from_assignment(&g, vec![2; 9], 2).is_none(),
+            "part out of range"
+        );
+        assert!(
+            Cut::from_assignment(&g, vec![0; 9], 0).is_none(),
+            "zero parts"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::CycleDetected => write!(f, "service graph contains a cycle"),
             GraphError::InvalidThroughput(v) => {
-                write!(f, "invalid edge throughput {v}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid edge throughput {v}: must be finite and non-negative"
+                )
             }
             GraphError::UnknownEdge { from, to } => {
                 write!(f, "no edge {from} -> {to}")

@@ -305,7 +305,7 @@ mod edge_map_serde {
         triples.serialize(serializer)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
+    pub fn deserialize<D: Deserializer>(
         deserializer: D,
     ) -> Result<BTreeMap<(ComponentId, ComponentId), f64>, D::Error> {
         let triples = Vec::<(ComponentId, ComponentId, f64)>::deserialize(deserializer)?;
@@ -376,7 +376,10 @@ mod tests {
             g.add_edge(a, ghost, 1.0),
             Err(GraphError::UnknownComponent(ghost))
         );
-        assert_eq!(g.remove_edge(b, a), Err(GraphError::UnknownEdge { from: b, to: a }));
+        assert_eq!(
+            g.remove_edge(b, a),
+            Err(GraphError::UnknownEdge { from: b, to: a })
+        );
         let (mut g2, [a2, _, c2, _]) = diamond();
         assert!(matches!(
             g2.add_edge(c2, a2, f64::NAN),
@@ -403,9 +406,7 @@ mod tests {
     #[test]
     fn split_edge_inserts_component() {
         let (mut g, [a, b, ..]) = diamond();
-        let t = g
-            .split_edge(a, b, node("transcoder"), 1.5, 0.7)
-            .unwrap();
+        let t = g.split_edge(a, b, node("transcoder"), 1.5, 0.7).unwrap();
         assert_eq!(g.component_count(), 5);
         assert_eq!(g.edge_throughput(a, b), None);
         assert_eq!(g.edge_throughput(a, t), Some(1.5));

@@ -8,9 +8,7 @@ use std::fmt;
 /// Component ids are dense indices handed out by
 /// [`crate::ServiceGraph::add_component`]; they are only meaningful
 /// relative to the graph that created them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ComponentId(pub(crate) u32);
 
 impl ComponentId {
@@ -42,9 +40,7 @@ impl fmt::Display for ComponentId {
 /// the graph crate uses the id only for placement *pins* (components that
 /// must run on a particular device, e.g. the display service on the client
 /// device).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl DeviceId {

@@ -200,7 +200,10 @@ fn parse_body_line(
         spec.desired_qos.set(dim, value);
         return Ok(());
     }
-    Err(err(lineno, format!("unexpected statement in service body: `{line}`")))
+    Err(err(
+        lineno,
+        format!("unexpected statement in service body: `{line}`"),
+    ))
 }
 
 fn parse_requirement(
@@ -222,8 +225,8 @@ fn parse_requirement(
                 .trim()
                 .parse()
                 .map_err(|_| err(lineno, format!("bad number '{hi}'")))?;
-            let value = QosValue::try_range(lo, hi)
-                .map_err(|e| err(lineno, format!("bad range: {e}")))?;
+            let value =
+                QosValue::try_range(lo, hi).map_err(|e| err(lineno, format!("bad range: {e}")))?;
             return Ok((dim, value));
         }
         if let Some(inner) = value.strip_prefix('{').and_then(|v| v.strip_suffix('}')) {
@@ -251,7 +254,10 @@ fn parse_requirement(
         };
         return Ok((dim, value));
     }
-    Err(err(lineno, "expected `require <dim> = <value>` or `require <dim> in <range|set>`"))
+    Err(err(
+        lineno,
+        "expected `require <dim> = <value>` or `require <dim> in <range|set>`",
+    ))
 }
 
 fn parse_dimension(name: &str, lineno: usize) -> Result<QosDimension, SpecParseError> {
@@ -302,7 +308,12 @@ pub fn render(graph: &AbstractServiceGraph) -> String {
             .clone()
     };
     for (from, to, mbps) in graph.edges() {
-        out.push_str(&format!("edge {} -> {} @ {}\n", name_of(from), name_of(to), mbps));
+        out.push_str(&format!(
+            "edge {} -> {} @ {}\n",
+            name_of(from),
+            name_of(to),
+            mbps
+        ));
     }
     out
 }
@@ -377,7 +388,8 @@ edge equalizer -> audio-player @ 1.4
 
     #[test]
     fn custom_dimensions_and_numbers() {
-        let text = "service x {\n    require custom:depth = 16\n    require latency in [0, 50]\n}\n";
+        let text =
+            "service x {\n    require custom:depth = 16\n    require latency in [0, 50]\n}\n";
         let g = parse(text).unwrap();
         let spec = g.spec(SpecId::from_index(0)).unwrap();
         assert_eq!(
@@ -397,15 +409,35 @@ edge equalizer -> audio-player @ 1.4
             ("service a {\nbogus\n}\n", 2, "unexpected statement"),
             ("service a (\n", 1, "expected `service <name> {`"),
             ("service {}\n", 1, "service name is empty"),
-            ("service a {\n}\nedge a @ 1\n", 3, "expected `<from> -> <to>`"),
-            ("service a {\n}\nservice b {\n}\nedge a -> b @ fast\n", 5, "bad throughput"),
+            (
+                "service a {\n}\nedge a @ 1\n",
+                3,
+                "expected `<from> -> <to>`",
+            ),
+            (
+                "service a {\n}\nservice b {\n}\nedge a -> b @ fast\n",
+                5,
+                "bad throughput",
+            ),
             ("service a {\n}\nservice a {\n}\n", 3, "duplicate"),
             ("edge a -> b @ 1\n", 1, "unknown service 'a'"),
             ("service a {\n", 1, "never closed"),
             ("}\n", 1, "unmatched"),
-            ("service a {\n    require bogus = 1\n}\n", 2, "unknown QoS dimension"),
-            ("service a {\n    require latency in [5, 1]\n}\n", 2, "bad range"),
-            ("service a {\n    require format in {}\n}\n", 2, "token set is empty"),
+            (
+                "service a {\n    require bogus = 1\n}\n",
+                2,
+                "unknown QoS dimension",
+            ),
+            (
+                "service a {\n    require latency in [5, 1]\n}\n",
+                2,
+                "bad range",
+            ),
+            (
+                "service a {\n    require format in {}\n}\n",
+                2,
+                "token set is empty",
+            ),
             ("service a {\n    pin device x\n}\n", 2, "bad device index"),
             ("wat\n", 1, "unexpected statement"),
         ];

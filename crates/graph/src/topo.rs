@@ -93,7 +93,9 @@ mod tests {
     #[test]
     fn sorts_a_chain() {
         let mut g = ServiceGraph::new();
-        let ids: Vec<ComponentId> = (0..5).map(|i| g.add_component(node(&format!("n{i}")))).collect();
+        let ids: Vec<ComponentId> = (0..5)
+            .map(|i| g.add_component(node(&format!("n{i}"))))
+            .collect();
         for w in ids.windows(2) {
             g.add_edge(w[0], w[1], 1.0).unwrap();
         }
@@ -108,7 +110,9 @@ mod tests {
         // Figure 1(a): nodes 1..9 with the edge structure of the paper's
         // illustration (a non-linear DAG with two sources and one sink).
         let mut g = ServiceGraph::new();
-        let n: Vec<ComponentId> = (1..=9).map(|i| g.add_component(node(&format!("{i}")))).collect();
+        let n: Vec<ComponentId> = (1..=9)
+            .map(|i| g.add_component(node(&format!("{i}"))))
+            .collect();
         let idx = |i: usize| n[i - 1];
         for (u, v) in [
             (1, 2),
@@ -132,7 +136,10 @@ mod tests {
         let rev = reverse_topological_sort(&g).unwrap();
         let pos7 = rev.iter().position(|&id| id == idx(7)).unwrap();
         let pos6 = rev.iter().position(|&id| id == idx(6)).unwrap();
-        assert!(pos7 <= 1 && pos6 <= 1, "sinks 6 and 7 come first in reverse order");
+        assert!(
+            pos7 <= 1 && pos6 <= 1,
+            "sinks 6 and 7 come first in reverse order"
+        );
     }
 
     #[test]

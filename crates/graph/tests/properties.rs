@@ -1,7 +1,10 @@
 //! Property-based tests for service graphs, cuts, and the spec language.
 
 use proptest::prelude::*;
-use ubiqos_graph::{spec, topo, AbstractComponentSpec, AbstractServiceGraph, Cut, PinHint, ServiceComponent, ServiceGraph};
+use ubiqos_graph::{
+    spec, topo, AbstractComponentSpec, AbstractServiceGraph, Cut, PinHint, ServiceComponent,
+    ServiceGraph,
+};
 use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
 
 /// Strategy: a random DAG described as (node count, forward edges).

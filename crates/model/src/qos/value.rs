@@ -249,7 +249,10 @@ mod tests {
         assert!(!QosValue::exact(5.0).satisfies(&QosValue::exact(6.0)));
         assert!(QosValue::exact(5.0).satisfies(&QosValue::range(0.0, 10.0)));
         assert!(!QosValue::exact(11.0).satisfies(&QosValue::range(0.0, 10.0)));
-        assert!(QosValue::exact(10.0).satisfies(&QosValue::range(0.0, 10.0)), "inclusive");
+        assert!(
+            QosValue::exact(10.0).satisfies(&QosValue::range(0.0, 10.0)),
+            "inclusive"
+        );
     }
 
     #[test]
@@ -270,7 +273,10 @@ mod tests {
         assert!(mpeg.satisfies(&mpeg.clone()));
         assert!(!mpeg.satisfies(&wav));
         assert!(mpeg.satisfies(&either));
-        assert!(!either.satisfies(&mpeg), "a 2-token set cannot promise one token");
+        assert!(
+            !either.satisfies(&mpeg),
+            "a 2-token set cannot promise one token"
+        );
         assert!(QosValue::token_set(["MPEG"]).satisfies(&mpeg));
         assert!(QosValue::token_set(["MPEG"]).satisfies(&either));
     }
@@ -300,9 +306,15 @@ mod tests {
         let a = QosValue::range(0.0, 10.0);
         let b = QosValue::range(5.0, 20.0);
         assert_eq!(a.intersect(&b), Some(QosValue::range(5.0, 10.0)));
-        assert_eq!(a.intersect(&QosValue::exact(3.0)), Some(QosValue::exact(3.0)));
+        assert_eq!(
+            a.intersect(&QosValue::exact(3.0)),
+            Some(QosValue::exact(3.0))
+        );
         assert_eq!(a.intersect(&QosValue::exact(30.0)), None);
-        assert_eq!(QosValue::range(0.0, 1.0).intersect(&QosValue::range(2.0, 3.0)), None);
+        assert_eq!(
+            QosValue::range(0.0, 1.0).intersect(&QosValue::range(2.0, 3.0)),
+            None
+        );
     }
 
     #[test]
@@ -327,7 +339,10 @@ mod tests {
             QosValue::token("X").pick(Preference::Highest),
             Some(QosValue::token("X"))
         );
-        assert_eq!(QosValue::token_set(Vec::<String>::new()).pick(Preference::Highest), None);
+        assert_eq!(
+            QosValue::token_set(Vec::<String>::new()).pick(Preference::Highest),
+            None
+        );
     }
 
     #[test]

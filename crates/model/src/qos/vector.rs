@@ -82,11 +82,10 @@ impl QosVector {
     /// An *empty* requirement is trivially satisfied; extra dimensions in
     /// `self` are ignored.
     pub fn satisfies(&self, required: &QosVector) -> bool {
-        required.params.iter().all(|(dim, req)| {
-            self.params
-                .get(dim)
-                .is_some_and(|out| out.satisfies(req))
-        })
+        required
+            .params
+            .iter()
+            .all(|(dim, req)| self.params.get(dim).is_some_and(|out| out.satisfies(req)))
     }
 
     /// Diagnoses every way in which `self` fails to satisfy `required`.
@@ -226,9 +225,15 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(kind_of(&QosDimension::Format), MismatchKind::TokenMismatch);
-        assert_eq!(kind_of(&QosDimension::FrameRate), MismatchKind::RangeViolation);
+        assert_eq!(
+            kind_of(&QosDimension::FrameRate),
+            MismatchKind::RangeViolation
+        );
         assert_eq!(kind_of(&QosDimension::Latency), MismatchKind::TypeMismatch);
-        assert_eq!(kind_of(&QosDimension::Channels), MismatchKind::MissingDimension);
+        assert_eq!(
+            kind_of(&QosDimension::Channels),
+            MismatchKind::MissingDimension
+        );
     }
 
     #[test]
@@ -248,8 +253,14 @@ mod tests {
             v.set(QosDimension::FrameRate, QosValue::exact(30.0)),
             Some(QosValue::exact(24.0))
         );
-        assert_eq!(v.get(&QosDimension::FrameRate), Some(&QosValue::exact(30.0)));
-        assert_eq!(v.remove(&QosDimension::FrameRate), Some(QosValue::exact(30.0)));
+        assert_eq!(
+            v.get(&QosDimension::FrameRate),
+            Some(&QosValue::exact(30.0))
+        );
+        assert_eq!(
+            v.remove(&QosDimension::FrameRate),
+            Some(QosValue::exact(30.0))
+        );
         assert!(v.is_empty());
     }
 
@@ -258,7 +269,10 @@ mod tests {
         let mut a = mpeg_30fps();
         let b = QosVector::new().with(QosDimension::FrameRate, QosValue::exact(15.0));
         a.merge_from(&b);
-        assert_eq!(a.get(&QosDimension::FrameRate), Some(&QosValue::exact(15.0)));
+        assert_eq!(
+            a.get(&QosDimension::FrameRate),
+            Some(&QosValue::exact(15.0))
+        );
         assert_eq!(a.get(&QosDimension::Format), Some(&QosValue::token("MPEG")));
     }
 

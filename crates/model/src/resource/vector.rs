@@ -175,12 +175,12 @@ impl ResourceVector {
     /// Panics in debug builds when `weights.len() != self.dim()`; in
     /// release builds the shorter of the two lengths is used.
     pub fn weighted_sum(&self, weights: &[f64]) -> f64 {
-        debug_assert_eq!(weights.len(), self.dim(), "weight/vector dimension mismatch");
-        self.amounts
-            .iter()
-            .zip(weights)
-            .map(|(a, w)| a * w)
-            .sum()
+        debug_assert_eq!(
+            weights.len(),
+            self.dim(),
+            "weight/vector dimension mismatch"
+        );
+        self.amounts.iter().zip(weights).map(|(a, w)| a * w).sum()
     }
 
     /// Returns the amount at `index`, or `None` when out of bounds.

@@ -63,7 +63,12 @@ pub fn audio_environment() -> (Environment, Vec<LinkKind>, Vec<DeviceProperties>
         LinkKind::Wireless,
         LinkKind::Ethernet,
     ];
-    let props = vec![desktop_props(), desktop_props(), pda_props(), desktop_props()];
+    let props = vec![
+        desktop_props(),
+        desktop_props(),
+        pda_props(),
+        desktop_props(),
+    ];
     (env, links, props)
 }
 
@@ -309,13 +314,14 @@ pub fn register_conference_services(registry: &mut ServiceRegistry) {
 /// out to the video and audio players on the user's workstation.
 pub fn video_conference_app() -> AbstractServiceGraph {
     let mut g = AbstractServiceGraph::new();
-    let vrec = g.add_spec(AbstractComponentSpec::new("video-recorder").with_pin(PinHint::Device(0)));
-    let arec = g.add_spec(AbstractComponentSpec::new("audio-recorder").with_pin(PinHint::Device(0)));
+    let vrec =
+        g.add_spec(AbstractComponentSpec::new("video-recorder").with_pin(PinHint::Device(0)));
+    let arec =
+        g.add_spec(AbstractComponentSpec::new("audio-recorder").with_pin(PinHint::Device(0)));
     let gateway = g.add_spec(AbstractComponentSpec::new("av-gateway").with_pin(PinHint::Device(1)));
     let lipsync = g.add_spec(AbstractComponentSpec::new("lipsync"));
-    let vplay = g.add_spec(
-        AbstractComponentSpec::new("video-player").with_pin(PinHint::ClientDevice),
-    );
+    let vplay =
+        g.add_spec(AbstractComponentSpec::new("video-player").with_pin(PinHint::ClientDevice));
     let aplay = g.add_spec(
         AbstractComponentSpec::new("conference-audio-player").with_pin(PinHint::ClientDevice),
     );

@@ -152,7 +152,11 @@ mod tests {
         for link in [LinkKind::Ethernet, LinkKind::Wireless] {
             let plan = HandoffPlan::new(Checkpoint::capture(1.0, 2.0), link, &costs);
             let sum: f64 = plan.phases.iter().map(|&(_, ms)| ms).sum();
-            assert!((sum - plan.handoff_ms).abs() < 1e-9, "{link:?}: {sum} vs {}", plan.handoff_ms);
+            assert!(
+                (sum - plan.handoff_ms).abs() < 1e-9,
+                "{link:?}: {sum} vs {}",
+                plan.handoff_ms
+            );
             assert_eq!(plan.phases.len(), 4);
             // All four protocol phases present, in order.
             let order: Vec<HandoffPhase> = plan.phases.iter().map(|&(p, _)| p).collect();
@@ -167,10 +171,17 @@ mod tests {
         let costs = CostModel::default();
         let plan = HandoffPlan::new(Checkpoint::capture(0.0, 0.0), LinkKind::Ethernet, &costs);
         let buffer = plan.phase_ms(HandoffPhase::BufferFirstFrame);
-        for phase in [HandoffPhase::Freeze, HandoffPhase::TransferState, HandoffPhase::Rebind] {
+        for phase in [
+            HandoffPhase::Freeze,
+            HandoffPhase::TransferState,
+            HandoffPhase::Rebind,
+        ] {
             assert!(buffer > plan.phase_ms(phase));
         }
-        assert_eq!(plan.phase_ms(HandoffPhase::BufferFirstFrame), costs.first_frame_buffer_ms);
+        assert_eq!(
+            plan.phase_ms(HandoffPhase::BufferFirstFrame),
+            costs.first_frame_buffer_ms
+        );
     }
 
     #[test]

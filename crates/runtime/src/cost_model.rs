@@ -165,6 +165,9 @@ mod tests {
         let init = m.initialization_ms(5);
         let total = comp + dist + download + init;
         assert!(download > comp && download > dist && download > init);
-        assert!(total < 2500.0, "total {total} ms stays in the figure's range");
+        assert!(
+            total < 2500.0,
+            "total {total} ms stays in the figure's range"
+        );
     }
 }

@@ -10,7 +10,9 @@ use crate::repository::ComponentRepository;
 use crate::streaming::{delivered_qos, DeliveredQos};
 use std::collections::BTreeMap;
 use std::fmt;
-use ubiqos::{ConfigureError, ConfigureRequest, Configuration, ReconfigureTrigger, ServiceConfigurator};
+use ubiqos::{
+    Configuration, ConfigureError, ConfigureRequest, ReconfigureTrigger, ServiceConfigurator,
+};
 use ubiqos_discovery::{DeviceProperties, DomainId, ServiceRegistry};
 use ubiqos_distribution::Environment;
 use ubiqos_graph::{AbstractServiceGraph, DeviceId};
@@ -131,7 +133,11 @@ impl DomainServer {
     ///
     /// Panics when `links`/`device_props` lengths do not match the
     /// environment's device count (scenario construction error).
-    pub fn new(env: Environment, links: Vec<LinkKind>, device_props: Vec<DeviceProperties>) -> Self {
+    pub fn new(
+        env: Environment,
+        links: Vec<LinkKind>,
+        device_props: Vec<DeviceProperties>,
+    ) -> Self {
         assert_eq!(links.len(), env.device_count(), "one link kind per device");
         assert_eq!(
             device_props.len(),
@@ -379,7 +385,10 @@ impl DomainServer {
         new_device: DeviceId,
     ) -> Result<HandoffPlan, ConfigureError> {
         let (abstract_graph, user_qos, position_s, old_config) = {
-            let s = self.sessions.get(&id.0).expect("move_user on a live session");
+            let s = self
+                .sessions
+                .get(&id.0)
+                .expect("move_user on a live session");
             (
                 s.abstract_graph.clone(),
                 s.user_qos.clone(),
@@ -588,8 +597,14 @@ mod tests {
 
     fn two_desktop_server() -> DomainServer {
         let env = Environment::builder()
-            .device(Device::new("desktop1", ResourceVector::mem_cpu(256.0, 300.0)))
-            .device(Device::new("desktop2", ResourceVector::mem_cpu(256.0, 300.0)))
+            .device(Device::new(
+                "desktop1",
+                ResourceVector::mem_cpu(256.0, 300.0),
+            ))
+            .device(Device::new(
+                "desktop2",
+                ResourceVector::mem_cpu(256.0, 300.0),
+            ))
             .default_bandwidth_mbps(50.0)
             .build();
         let props = DeviceProperties {
@@ -637,9 +652,8 @@ mod tests {
     fn audio_app() -> AbstractServiceGraph {
         let mut g = AbstractServiceGraph::new();
         let s = g.add_spec(AbstractComponentSpec::new("audio-server").with_pin(PinHint::Device(0)));
-        let p = g.add_spec(
-            AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice),
-        );
+        let p =
+            g.add_spec(AbstractComponentSpec::new("audio-player").with_pin(PinHint::ClientDevice));
         g.add_edge(s, p, 1.4).unwrap();
         g
     }
@@ -648,7 +662,12 @@ mod tests {
     fn start_session_configures_and_accounts_overhead() {
         let mut server = two_desktop_server();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         let s = server.session(id).unwrap();
         assert_eq!(s.overhead_log.len(), 1);
@@ -672,7 +691,12 @@ mod tests {
             server.repository_mut().preinstall(d, "player@any");
         }
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         let s = server.session(id).unwrap();
         assert_eq!(s.overhead_log[0].1.downloading_ms, 0.0);
@@ -682,11 +706,20 @@ mod tests {
     fn switch_device_hands_off_state() {
         let mut server = two_desktop_server();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         server.play(30.0);
         let plan = server.switch_device(id, DeviceId::from_index(0)).unwrap();
-        assert_eq!(plan.resume_position_s(), 30.0, "resumes at interruption point");
+        assert_eq!(
+            plan.resume_position_s(),
+            30.0,
+            "resumes at interruption point"
+        );
         let s = server.session(id).unwrap();
         assert_eq!(s.client_device, DeviceId::from_index(0));
         assert_eq!(s.overhead_log.len(), 2);
@@ -708,7 +741,12 @@ mod tests {
         let mut server = two_desktop_server();
         let rx = server.events().subscribe();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         server.switch_device(id, DeviceId::from_index(0)).unwrap();
         server.stop_session(id).unwrap();
@@ -745,7 +783,12 @@ mod tests {
         let mut server = two_desktop_server();
         let idle = server.env().clone();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         assert_eq!(server.session_count(), 1);
         // Something was charged somewhere.
@@ -790,7 +833,12 @@ mod tests {
     fn failed_switch_restores_the_old_charge() {
         let mut server = two_desktop_server();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         let residual_before = server.env().clone();
         // Make the switch impossible: the player vanishes from discovery.
@@ -809,7 +857,12 @@ mod tests {
     fn device_crash_recovers_sessions_onto_survivors() {
         let mut server = two_desktop_server();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         // The player's desktop2 crashes... but the player is pinned to
         // the client device, so the session can only survive if the
@@ -839,11 +892,7 @@ mod tests {
             screen_pixels: 1_920_000.0,
             compute_factor: 5.0,
         };
-        let mut server = DomainServer::new(
-            env,
-            vec![LinkKind::Ethernet; 3],
-            vec![props; 3],
-        );
+        let mut server = DomainServer::new(env, vec![LinkKind::Ethernet; 3], vec![props; 3]);
         // Reuse the two-desktop registry entries.
         let donor = two_desktop_server();
         for hit in donor
@@ -859,7 +908,12 @@ mod tests {
             server.registry_mut().register(hit.descriptor);
         }
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         let report = server.handle_crash(DeviceId::from_index(2));
         assert_eq!(report.recovered, vec![id]);
@@ -921,7 +975,10 @@ mod tests {
         assert_eq!(plan.resume_position_s(), 10.0);
         let s = server.session(id).unwrap();
         assert_eq!(s.domain, Some(lounge));
-        assert!(uses(&server, "server@lounge"), "recomposed onto the lounge server");
+        assert!(
+            uses(&server, "server@lounge"),
+            "recomposed onto the lounge server"
+        );
         assert!(s.overhead_log.last().unwrap().0.contains("lounge"));
         let events: Vec<_> = rx.try_iter().collect();
         assert!(matches!(
@@ -967,18 +1024,28 @@ mod tests {
     fn fluctuation_can_drop_then_readmit() {
         let mut server = two_desktop_server();
         let id = server
-            .start_session("audio", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
             .unwrap();
         // Desktop1 (hosting the pinned server) loses almost everything.
-        let report = server.fluctuate(
-            DeviceId::from_index(0),
-            ResourceVector::mem_cpu(8.0, 8.0),
-        );
+        let report = server.fluctuate(DeviceId::from_index(0), ResourceVector::mem_cpu(8.0, 8.0));
         assert_eq!(report.dropped, vec![id]);
         // Capacity returns; new sessions work again.
-        server.fluctuate(DeviceId::from_index(0), ResourceVector::mem_cpu(256.0, 300.0));
+        server.fluctuate(
+            DeviceId::from_index(0),
+            ResourceVector::mem_cpu(256.0, 300.0),
+        );
         assert!(server
-            .start_session("audio2", audio_app(), QosVector::new(), DeviceId::from_index(1))
+            .start_session(
+                "audio2",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1)
+            )
             .is_ok());
     }
 }

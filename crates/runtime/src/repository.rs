@@ -31,8 +31,7 @@ impl ComponentRepository {
 
     /// Whether an instance is installed on a device.
     pub fn is_installed(&self, device: usize, instance_id: &str) -> bool {
-        self.installed
-            .contains(&(device, instance_id.to_owned()))
+        self.installed.contains(&(device, instance_id.to_owned()))
     }
 
     /// Ensures `instance_id` (a bundle of `size_mb`) is available on

@@ -85,21 +85,35 @@ pub fn run_prototype_scenario() -> Result<Vec<EventReport>, ConfigureError> {
         apps::audio_user_qos(),
         DeviceId::from_index(1),
     )?;
-    reports.push(report_from(&server, session, 1,
-        "start mobile audio-on-demand on desktop2; user QoS: CD quality music", &device_names));
+    reports.push(report_from(
+        &server,
+        session,
+        1,
+        "start mobile audio-on-demand on desktop2; user QoS: CD quality music",
+        &device_names,
+    ));
 
     // Event 2: switch to the PDA over the wireless link.
     server.play(60.0);
     server.switch_device(session, DeviceId::from_index(2))?;
-    reports.push(report_from(&server, session, 2,
+    reports.push(report_from(
+        &server,
+        session,
+        2,
         "switch from desktop to PDA (wireless); music continues from the interruption point",
-        &device_names));
+        &device_names,
+    ));
 
     // Event 3: switch back to desktop3.
     server.play(60.0);
     server.switch_device(session, DeviceId::from_index(3))?;
-    reports.push(report_from(&server, session, 3,
-        "switch back from PDA to desktop3", &device_names));
+    reports.push(report_from(
+        &server,
+        session,
+        3,
+        "switch back from PDA to desktop3",
+        &device_names,
+    ));
 
     // --- Video-conferencing domain (event 4). ---------------------------
     let (env, links, props) = apps::conference_environment();
@@ -114,9 +128,13 @@ pub fn run_prototype_scenario() -> Result<Vec<EventReport>, ConfigureError> {
         apps::conference_user_qos(),
         DeviceId::from_index(2),
     )?;
-    reports.push(report_from(&conf, session4, 4,
+    reports.push(report_from(
+        &conf,
+        session4,
+        4,
         "start video conferencing on the workstations; user QoS: video 25fps, audio 6fps",
-        &ws_names));
+        &ws_names,
+    ));
 
     Ok(reports)
 }
@@ -194,7 +212,10 @@ mod tests {
             .iter()
             .find(|(c, _)| c.contains("MPEG2WAV"))
             .expect("event 2 inserts the MPEG2WAV transcoder");
-        assert_ne!(transcoder.1, "jornada", "the PDA cannot host the transcoder");
+        assert_ne!(
+            transcoder.1, "jornada",
+            "the PDA cannot host the transcoder"
+        );
         // The player itself is on the PDA.
         let player = e2
             .placement
@@ -258,7 +279,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(server.session(session).unwrap().qos_satisfaction(), 1.0);
-        server.switch_device(session, ubiqos_graph::DeviceId::from_index(2)).unwrap();
+        server
+            .switch_device(session, ubiqos_graph::DeviceId::from_index(2))
+            .unwrap();
         assert_eq!(
             server.session(session).unwrap().qos_satisfaction(),
             1.0,

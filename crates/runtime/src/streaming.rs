@@ -86,7 +86,13 @@ pub fn sink_delivered_vectors(graph: &ServiceGraph) -> Vec<(String, ubiqos_model
         let vector = graph
             .predecessors(id)
             .first()
-            .map(|&p| graph.component(p).expect("edge endpoints exist").qos_out().clone())
+            .map(|&p| {
+                graph
+                    .component(p)
+                    .expect("edge endpoints exist")
+                    .qos_out()
+                    .clone()
+            })
             .unwrap_or_else(|| c.qos_out().clone());
         out.push((c.name().to_owned(), vector));
     }
@@ -107,7 +113,9 @@ mod tests {
     }
 
     fn sink(name: &str) -> ServiceComponent {
-        ServiceComponent::builder(name).role(ComponentRole::Sink).build()
+        ServiceComponent::builder(name)
+            .role(ComponentRole::Sink)
+            .build()
     }
 
     #[test]

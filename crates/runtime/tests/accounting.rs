@@ -59,7 +59,12 @@ fn app() -> AbstractServiceGraph {
 
 /// Residual availability never goes negative and never exceeds capacity.
 fn assert_invariants(server: &DomainServer) {
-    for (residual, cap) in server.env().devices().iter().zip(server.capacity().devices()) {
+    for (residual, cap) in server
+        .env()
+        .devices()
+        .iter()
+        .zip(server.capacity().devices())
+    {
         for (&r, &c) in residual
             .availability()
             .amounts()

@@ -1,0 +1,33 @@
+//! In-tree shim for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used in
+//! this workspace; `std::sync::mpsc` provides the identical semantics
+//! needed here (unbounded MPSC, `send` failing once the receiver is
+//! dropped), so the shim simply re-exports it under crossbeam's names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels (`crossbeam::channel` subset).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn roundtrip_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_iter().count(), 1);
+        drop(rx);
+        assert!(tx.send(6).is_err());
+    }
+}

@@ -1,0 +1,573 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: structs with named fields, tuple
+//! structs, unit structs, and enums with unit / tuple / struct variants
+//! (externally tagged, matching upstream serde's JSON representation).
+//! The only recognised field attribute is `#[serde(with = "module")]`.
+//!
+//! Because no network access is available, `syn`/`quote` cannot be used;
+//! the item is parsed directly from `proc_macro::TokenTree`s and the impl
+//! is generated as a string and re-parsed into a `TokenStream`. Field
+//! types are never parsed: the generated deserializer leans on type
+//! inference (`field: ::serde::__private::field(__v, "name")?`), so only
+//! field *names* and tuple arities are extracted from the token stream.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for f in fields {
+                push_object_entry(&mut entries, f, &format!("&self.{}", f.name));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{tag} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{tag}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{tag}(__f0) => ::serde::__private::tagged(\
+                             \"{tag}\", ::serde::Serialize::to_value(__f0)),"
+                        );
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{tag}({}) => ::serde::__private::tagged(\"{tag}\", \
+                             ::serde::Value::Array(::std::vec![{}])),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut entries = String::new();
+                        for f in fields {
+                            push_object_entry(&mut entries, f, &f.name);
+                        }
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{tag} {{ {} }} => ::serde::__private::tagged(\"{tag}\", \
+                             ::serde::Value::Object(::std::vec![{entries}])),",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    parse_generated(&code)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                push_field_init(&mut inits, f);
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __v = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __items = ::serde::__private::expect_tuple(__v, {arity}, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+
+            let string_branch = if unit.is_empty() {
+                format!(
+                    "::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", __s))"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &unit {
+                    let tag = &v.name;
+                    let _ = writeln!(
+                        arms,
+                        "\"{tag}\" => ::std::result::Result::Ok({name}::{tag}),"
+                    );
+                }
+                format!(
+                    "match __s.as_str() {{\n{arms}\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                     }}"
+                )
+            };
+
+            let object_branch = if payload.is_empty() {
+                format!(
+                    "{{ let (__tag, _) = &__pairs[0]; ::std::result::Result::Err(\
+                     ::serde::__private::unknown_variant(\"{name}\", __tag)) }}"
+                )
+            } else {
+                let mut arms = String::new();
+                for v in &payload {
+                    let tag = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => {
+                            let _ = writeln!(
+                                arms,
+                                "\"{tag}\" => ::std::result::Result::Ok({name}::{tag}(\
+                                 ::serde::Deserialize::from_value(__payload)?)),"
+                            );
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            let _ = writeln!(
+                                arms,
+                                "\"{tag}\" => {{\n\
+                                     let __items = ::serde::__private::expect_tuple(\
+                                         __payload, {arity}, \"{name}::{tag}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{tag}({}))\n\
+                                 }}",
+                                elems.join(", ")
+                            );
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                push_field_init(&mut inits, f);
+                            }
+                            let _ = writeln!(
+                                arms,
+                                "\"{tag}\" => {{\n\
+                                     let __v = ::serde::__private::expect_object(\
+                                         __payload, \"{name}::{tag}\")?;\n\
+                                     ::std::result::Result::Ok({name}::{tag} {{ {inits} }})\n\
+                                 }}"
+                            );
+                        }
+                    }
+                }
+                format!(
+                    "{{\n\
+                         let (__tag, __payload) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n{arms}\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+                         }}\n\
+                     }}"
+                )
+            };
+
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => {string_branch},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => \
+                                 {object_branch},\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::__private::bad_enum_shape(\"{name}\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    parse_generated(&code)
+}
+
+/// One `("name", value)` entry of a serialized object, honouring
+/// `#[serde(with = "module")]`.
+fn push_object_entry(out: &mut String, f: &Field, access: &str) {
+    let name = &f.name;
+    match &f.with {
+        None => {
+            let _ = write!(
+                out,
+                "(::std::string::String::from(\"{name}\"), \
+                 ::serde::Serialize::to_value({access})), "
+            );
+        }
+        Some(path) => {
+            let _ = write!(
+                out,
+                "(::std::string::String::from(\"{name}\"), \
+                 ::serde::__private::with_serialize(\
+                 |__s| {path}::serialize({access}, __s))), "
+            );
+        }
+    }
+}
+
+/// One `name: ...?` initializer of a deserialized struct (or struct
+/// variant), honouring `#[serde(with = "module")]`.
+fn push_field_init(out: &mut String, f: &Field) {
+    let name = &f.name;
+    match &f.with {
+        None => {
+            let _ = write!(out, "{name}: ::serde::__private::field(__v, \"{name}\")?, ");
+        }
+        Some(path) => {
+            let _ = write!(
+                out,
+                "{name}: ::serde::__private::with_deserialize(\
+                 __v, \"{name}\", |__d| {path}::deserialize(__d))?, "
+            );
+        }
+    }
+}
+
+fn parse_generated(code: &str) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim generated invalid Rust ({e}):\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Tokens = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_visibility(&mut toks);
+
+    let keyword = expect_ident(&mut toks);
+    let name = expect_ident(&mut toks);
+    if peek_punct(&mut toks) == Some('<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports only structs and enums, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let with = skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut toks);
+        let name = expect_ident(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut toks);
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if peek_punct(&mut toks) == Some(',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Consumes the tokens of one type, up to (and including) a top-level
+/// comma. Angle brackets are punctuation, not groups, so generic
+/// arguments are tracked by nesting depth; commas inside `<...>` (e.g.
+/// `BTreeMap<String, f64>`) do not end the field.
+fn skip_type(toks: &mut Tokens) {
+    let mut depth = 0i32;
+    loop {
+        let c = match toks.peek() {
+            None => return,
+            Some(TokenTree::Punct(p)) => Some(p.as_char()),
+            Some(_) => None,
+        };
+        match c {
+            Some('<') => depth += 1,
+            Some('>') => depth -= 1,
+            Some(',') if depth == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+/// Number of fields of a tuple struct / tuple variant, counted from the
+/// parenthesised group's tokens (angle-depth-aware comma counting).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut last_was_comma = true; // empty group -> arity 0
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if last_was_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Skips `#[...]` attributes; returns the module path of a
+/// `#[serde(with = "module")]` attribute when one is present.
+fn skip_attrs(toks: &mut Tokens) -> Option<String> {
+    let mut with = None;
+    while peek_punct(toks) == Some('#') {
+        toks.next();
+        let group = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("malformed attribute: {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        if let Some(TokenTree::Ident(id)) = inner.next() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.next() {
+                    with = Some(parse_serde_with(args.stream()));
+                }
+            }
+        }
+    }
+    with
+}
+
+fn parse_serde_with(stream: TokenStream) -> String {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(kw), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if kw.to_string() == "with" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            raw.trim_matches('"').to_owned()
+        }
+        _ => panic!(
+            "unsupported #[serde(...)] attribute; the shim implements only `with = \"module\"`"
+        ),
+    }
+}
+
+fn skip_visibility(toks: &mut Tokens) {
+    let is_pub = matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        toks.next();
+        let restricted = matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis);
+        if restricted {
+            toks.next();
+        }
+    }
+}
+
+fn expect_ident(toks: &mut Tokens) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(toks: &mut Tokens) -> Option<char> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}

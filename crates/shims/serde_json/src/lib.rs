@@ -1,0 +1,508 @@
+//! In-tree shim for the `serde_json` crate.
+//!
+//! JSON text ⇄ the serde shim's [`Value`] tree, plus the typed entry
+//! points (`to_string`, `to_string_pretty`, `from_str`, `to_value`,
+//! `from_value`) and the [`json!`] macro. Floats are printed with
+//! Rust's shortest-roundtrip `{:?}` formatting and parsed with the
+//! standard library's `f64::from_str`, so every finite `f64` survives a
+//! text round trip bit-exactly (the behaviour upstream gates behind the
+//! `float_roundtrip` feature).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Error, Number, Value};
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Fails when the value contains a non-finite float.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Fails when the value contains a non-finite float.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0)?;
+    Ok(out)
+}
+
+/// Parses a JSON string into any deserializable type.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_value(input)?;
+    T::from_value(&value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this shim; the `Result` mirrors upstream's signature.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails on a shape mismatch with `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax; expressions in value
+/// position are converted through [`serde::Serialize`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<&str>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n)?,
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) -> Result<(), Error> {
+    match *n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F(f) => {
+            if !f.is_finite() {
+                return Err(Error::custom("JSON cannot represent a non-finite float"));
+            }
+            // `{:?}` is Rust's shortest round-trip formatting: the printed
+            // text re-parses to the identical bit pattern.
+            let _ = write!(out, "{f:?}");
+        }
+    }
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.eat(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                None => return Err(self.err("unterminated string")),
+                Some(_) => unreachable!("scan stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect `\uXXXX` low half.
+                    if self.bytes.get(self.pos) != Some(&b'\\')
+                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                    {
+                        return Err(self.err("unpaired surrogate in string"));
+                    }
+                    self.pos += 2;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate in string"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?);
+            }
+            _ => return Err(self.err("unknown escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let text = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => {}
+                b'.' | b'e' | b'E' | b'+' | b'-' => float = true,
+                _ => break,
+            }
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if float {
+            let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Number(Number::F(f)))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::Number(Number::U(u)))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Number(Number::I(i)))
+        } else {
+            // Integer wider than 64 bits: fall back to floating point.
+            let f: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::Number(Number::F(f)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_roundtrip_through_text() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<i32>("-7").unwrap(), -7);
+        assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), r#""a\"b\\c\nd""#);
+        assert_eq!(from_str::<String>(r#""a\"b\\c\nd""#).unwrap(), "a\"b\\c\nd");
+        assert_eq!(from_str::<String>(r#""é😀""#).unwrap(), "é😀");
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for f in [
+            0.1,
+            -1.0 / 3.0,
+            1e300,
+            f64::MIN_POSITIVE,
+            2.0_f64.powi(53) + 2.0,
+            123_456.789_012_345,
+        ] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {text}");
+        }
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip_through_text() {
+        let mut m = BTreeMap::new();
+        m.insert("edges".to_owned(), vec![(0usize, 1usize, 0.5f64)]);
+        m.insert("π".to_owned(), vec![]);
+        let text = to_string(&m).unwrap();
+        let back: BTreeMap<String, Vec<(usize, usize, f64)>> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+
+        let nested: Vec<Vec<Option<u8>>> = vec![vec![Some(1), None], vec![]];
+        let back: Vec<Vec<Option<u8>>> = from_str(&to_string(&nested).unwrap()).unwrap();
+        assert_eq!(back, nested);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = json!({"a": [1, 2], "b": {"c": null}, "empty": []});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+        assert_eq!(from_str::<Value>(&to_string(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_builds_expected_trees() {
+        let v = json!([[1], [0]]);
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Array(vec![Value::Number(Number::U(1))]),
+                Value::Array(vec![Value::Number(Number::U(0))]),
+            ])
+        );
+        let x = 3usize;
+        assert_eq!(json!([x, 1.5]).as_array().unwrap().len(), 2);
+        assert_eq!(json!(null), Value::Null);
+    }
+
+    #[test]
+    fn value_indexing_matches_serde_json() {
+        let mut v = json!({"a": 1});
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["missing"], Value::Null);
+        v["b"] = json!([2]);
+        v["a"] = json!(9);
+        assert_eq!(v["b"].as_array().unwrap().len(), 1);
+        assert_eq!(v["a"].as_u64(), Some(9));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<u32>("\"hi\"").is_err());
+    }
+}

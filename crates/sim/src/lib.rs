@@ -29,6 +29,8 @@ pub mod workload;
 pub use des::EventQueue;
 pub use graphgen::GraphGenConfig;
 pub use metrics::WindowedRate;
-pub use scenario::{run_fig5, run_fig5_multi, Fig5Config, Fig5Outcome, Policy, PolicySummary, SuccessSeries};
+pub use scenario::{
+    run_fig5, run_fig5_multi, Fig5Config, Fig5Outcome, Policy, PolicySummary, SuccessSeries,
+};
 pub use table1::{run_table1, Table1Config, Table1Report, Table1Row};
 pub use workload::{Request, WorkloadConfig};

@@ -119,7 +119,12 @@ impl Fig5Outcome {
             out.push_str(&format!(" | {:>13}", c.policy));
         }
         out.push('\n');
-        let len = self.curves.iter().map(|c| c.series.len()).max().unwrap_or(0);
+        let len = self
+            .curves
+            .iter()
+            .map(|c| c.series.len())
+            .max()
+            .unwrap_or(0);
         for i in 0..len {
             let t = self.curves[0].series.get(i).map_or(0.0, |&(t, _)| t);
             out.push_str(&format!("{t:>7.0}"));
@@ -137,7 +142,10 @@ impl Fig5Outcome {
 /// initial availabilities and link bandwidths.
 pub fn fig5_environment() -> Environment {
     Environment::builder()
-        .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+        .device(Device::new(
+            "desktop",
+            ResourceVector::mem_cpu(256.0, 300.0),
+        ))
         .device(Device::new("laptop", ResourceVector::mem_cpu(128.0, 100.0)))
         .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)))
         .default_bandwidth_mbps(5.0)
@@ -171,15 +179,25 @@ pub fn run_fig5(cfg: &Fig5Config) -> Fig5Outcome {
         })
         .collect();
     let trace = cfg.workload.generate(&mut rng);
-    let curves = [
+    // The four policies share the graphs and the trace read-only and are
+    // otherwise independent, so they can replay the workload on separate
+    // threads. Each policy's discrete-event simulation itself stays
+    // single-threaded — event order is its determinism guarantee.
+    let policies = [
         Policy::Fixed,
         Policy::FixedPlanned,
         Policy::Random,
         Policy::Heuristic,
-    ]
-    .into_iter()
-    .map(|policy| simulate_policy(cfg, policy, &graphs, &trace))
-    .collect();
+    ];
+    #[cfg(feature = "parallel")]
+    let curves = ubiqos_parallel::par_map(&policies, |_, &policy| {
+        simulate_policy(cfg, policy, &graphs, &trace)
+    });
+    #[cfg(not(feature = "parallel"))]
+    let curves = policies
+        .iter()
+        .map(|&policy| simulate_policy(cfg, policy, &graphs, &trace))
+        .collect();
     Fig5Outcome { curves }
 }
 
@@ -211,12 +229,27 @@ pub fn run_fig5_multi(cfg: &Fig5Config, seeds: &[u64]) -> Vec<PolicySummary> {
         Policy::Random,
         Policy::Heuristic,
     ];
-    let mut rates: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for &seed in seeds {
-        let outcome = run_fig5(&Fig5Config {
+    // Seeds are independent full runs; fan them out and fold the results
+    // back in seed order so the summary does not depend on scheduling.
+    #[cfg(feature = "parallel")]
+    let outcomes = ubiqos_parallel::par_map(seeds, |_, &seed| {
+        run_fig5(&Fig5Config {
             seed,
             ..cfg.clone()
-        });
+        })
+    });
+    #[cfg(not(feature = "parallel"))]
+    let outcomes: Vec<Fig5Outcome> = seeds
+        .iter()
+        .map(|&seed| {
+            run_fig5(&Fig5Config {
+                seed,
+                ..cfg.clone()
+            })
+        })
+        .collect();
+    let mut rates: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for outcome in &outcomes {
         for (i, p) in policies.iter().enumerate() {
             rates[i].push(outcome.curve(*p).overall);
         }
@@ -264,11 +297,7 @@ fn simulate_policy(
             .iter()
             .map(|g| {
                 let k = initial_env.device_count();
-                Cut::from_assignment(
-                    g,
-                    (0..g.component_count()).map(|i| i % k).collect(),
-                    k,
-                )
+                Cut::from_assignment(g, (0..g.component_count()).map(|i| i % k).collect(), k)
             })
             .collect(),
         // Planned once against the empty system by the heuristic.
@@ -343,7 +372,15 @@ fn simulate_policy(
                 // re-distribute the surviving applications over the freed
                 // capacity, defragmenting the space for future arrivals.
                 if matches!(policy, Policy::Random | Policy::Heuristic) {
-                    repack(&initial_env, &mut env, &mut active, graphs, trace, &weights, distributor.as_mut());
+                    repack(
+                        &initial_env,
+                        &mut env,
+                        &mut active,
+                        graphs,
+                        trace,
+                        &weights,
+                        distributor.as_mut(),
+                    );
                 }
             }
         }

@@ -100,10 +100,95 @@ pub fn table1_environment() -> Environment {
         .build()
 }
 
+/// Spreads a candidate index over the master seed (splitmix64 finalizer)
+/// so every candidate graph draws from its own independent RNG stream.
+/// This is what makes the sweep embarrassingly parallel: candidate `i`'s
+/// graph, weights, and baseline seed no longer depend on how many earlier
+/// candidates were feasible.
+fn candidate_rng(master: u64, index: u64) -> StdRng {
+    let mut z = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+/// Everything one candidate graph contributes to the table: `None` when
+/// even the optimal algorithm could not fit it, otherwise the per-
+/// algorithm `(ratio, hit_optimal)` pairs in `names` order.
+type CandidateOutcome = Option<Vec<(f64, bool)>>;
+
+fn evaluate_candidate(
+    cfg: &Table1Config,
+    env: &Environment,
+    names: &[String],
+    index: u64,
+) -> CandidateOutcome {
+    let mut rng = candidate_rng(cfg.seed, index);
+    let graph = cfg.gen.generate(&mut rng);
+    // "Weight values … uniformly distributed": fresh weights per graph.
+    // The network importance is drawn from a higher band — multimedia
+    // streams make inter-device bandwidth the critical resource, matching
+    // the paper's "higher weights for more critical resources" guidance.
+    let weights = Weights::from_importance(&[
+        rng.gen_range(0.1..0.5),
+        rng.gen_range(0.1..0.5),
+        rng.gen_range(0.5..1.0),
+    ])
+    .expect("positive importances");
+    let problem = OsdProblem::new(&graph, env, &weights);
+
+    let opt_cut = ExhaustiveOptimal::new().distribute(&problem).ok()?;
+    let opt_cost = problem.cost(&opt_cut);
+
+    let seed = rng.gen::<u64>();
+    let per_alg = names
+        .iter()
+        .map(|name| {
+            let mut alg: Box<dyn ServiceDistributor> = match name.as_str() {
+                "random" => {
+                    Box::new(RandomDistributor::seeded(seed).with_attempts(cfg.random_attempts))
+                }
+                "heuristic" => Box::new(GreedyHeuristic::paper()),
+                "heuristic-unsorted" => Box::new(GreedyHeuristic::without_device_resort()),
+                "heuristic-nomerge" => Box::new(GreedyHeuristic::without_cluster_adjacency()),
+                _ => unreachable!(),
+            };
+            match alg.distribute(&problem) {
+                Ok(cut) => {
+                    let cost = problem.cost(&cut);
+                    // opt_cost may be 0 for degenerate graphs; then any
+                    // feasible answer with cost 0 is optimal.
+                    let ratio = if cost <= ubiqos_model::EPSILON {
+                        1.0
+                    } else {
+                        (opt_cost / cost).min(1.0)
+                    };
+                    let hit = (cost - opt_cost).abs() <= 1e-9 * opt_cost.max(1.0);
+                    (ratio, hit)
+                }
+                // Infeasible: contributes ratio 0 and no optimal hit.
+                Err(_) => (0.0, false),
+            }
+        })
+        .collect();
+    Some(per_alg)
+}
+
+/// Candidates evaluated concurrently per round. A wave may overshoot the
+/// quota; surplus outcomes are discarded in index order, so the report is
+/// identical however the wave is scheduled (or whether it ran serially).
+const WAVE: usize = 16;
+
 /// Runs the Table 1 experiment.
+///
+/// Candidate graphs are indexed and drawn from per-index RNG streams
+/// (see [`candidate_rng`]), evaluated in waves — concurrently with the
+/// `parallel` feature, serially without — and consumed in index order
+/// until the configured number of feasible graphs is reached. Both modes
+/// produce the same report for the same config.
 pub fn run_table1(cfg: &Table1Config) -> Table1Report {
     let env = table1_environment();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let mut names: Vec<String> = vec!["random".into(), "heuristic".into()];
     if cfg.include_ablations {
@@ -114,55 +199,35 @@ pub fn run_table1(cfg: &Table1Config) -> Table1Report {
     let mut optimal_hits = vec![0usize; names.len()];
     let mut evaluated = 0usize;
     let mut skipped = 0usize;
+    let mut next_index = 0u64;
 
     while evaluated < cfg.graphs {
-        let graph = cfg.gen.generate(&mut rng);
-        // "Weight values … uniformly distributed": fresh weights per
-        // graph. The network importance is drawn from a higher band —
-        // multimedia streams make inter-device bandwidth the critical
-        // resource, matching the paper's "higher weights for more
-        // critical resources" guidance.
-        let weights = Weights::from_importance(&[
-            rng.gen_range(0.1..0.5),
-            rng.gen_range(0.1..0.5),
-            rng.gen_range(0.5..1.0),
-        ])
-        .expect("positive importances");
-        let problem = OsdProblem::new(&graph, &env, &weights);
+        let indices: Vec<u64> = (next_index..next_index + WAVE as u64).collect();
+        next_index += WAVE as u64;
 
-        let Ok(opt_cut) = ExhaustiveOptimal::new().distribute(&problem) else {
-            skipped += 1;
-            continue;
-        };
-        let opt_cost = problem.cost(&opt_cut);
-        evaluated += 1;
+        #[cfg(feature = "parallel")]
+        let outcomes =
+            ubiqos_parallel::par_map(&indices, |_, &i| evaluate_candidate(cfg, &env, &names, i));
+        #[cfg(not(feature = "parallel"))]
+        let outcomes: Vec<CandidateOutcome> = indices
+            .iter()
+            .map(|&i| evaluate_candidate(cfg, &env, &names, i))
+            .collect();
 
-        let seed = rng.gen::<u64>();
-        for (i, name) in names.iter().enumerate() {
-            let mut alg: Box<dyn ServiceDistributor> = match name.as_str() {
-                "random" => Box::new(
-                    RandomDistributor::seeded(seed).with_attempts(cfg.random_attempts),
-                ),
-                "heuristic" => Box::new(GreedyHeuristic::paper()),
-                "heuristic-unsorted" => Box::new(GreedyHeuristic::without_device_resort()),
-                "heuristic-nomerge" => Box::new(GreedyHeuristic::without_cluster_adjacency()),
-                _ => unreachable!(),
-            };
-            if let Ok(cut) = alg.distribute(&problem) {
-                let cost = problem.cost(&cut);
-                // opt_cost may be 0 for degenerate graphs; then any
-                // feasible answer with cost 0 is optimal.
-                let ratio = if cost <= ubiqos_model::EPSILON {
-                    1.0
-                } else {
-                    (opt_cost / cost).min(1.0)
-                };
-                ratio_sums[i] += ratio;
-                if (cost - opt_cost).abs() <= 1e-9 * opt_cost.max(1.0) {
-                    optimal_hits[i] += 1;
+        for outcome in outcomes {
+            if evaluated == cfg.graphs {
+                break;
+            }
+            match outcome {
+                None => skipped += 1,
+                Some(per_alg) => {
+                    evaluated += 1;
+                    for (i, (ratio, hit)) in per_alg.into_iter().enumerate() {
+                        ratio_sums[i] += ratio;
+                        optimal_hits[i] += hit as usize;
+                    }
                 }
             }
-            // Infeasible: contributes ratio 0 and no optimal hit.
         }
     }
 

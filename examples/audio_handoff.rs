@@ -6,9 +6,9 @@
 //! handoff), then returns to another desktop. Run with
 //! `cargo run --example audio_handoff`.
 
+use ubiqos::prelude::DeviceId;
 use ubiqos_runtime::apps;
 use ubiqos_runtime::DomainServer;
-use ubiqos::prelude::DeviceId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (env, links, props) = apps::audio_environment();
@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         apps::audio_user_qos(),
         DeviceId::from_index(1),
     )?;
-    print_state(&server, session, "event 1: start on desktop2 (CD-quality request)");
+    print_state(
+        &server,
+        session,
+        "event 1: start on desktop2 (CD-quality request)",
+    );
 
     // Event 2: user walks away with the PDA.
     server.play(60.0);

@@ -22,9 +22,15 @@ fn main() {
         window_h: 30.0,
         ..Fig5Config::default()
     };
-    println!("policy robustness across 3 seeds ({} requests each):\n", cfg.workload.requests);
+    println!(
+        "policy robustness across 3 seeds ({} requests each):\n",
+        cfg.workload.requests
+    );
     let summaries = ubiqos_sim::run_fig5_multi(&cfg, &[11, 23, 37]);
-    println!("{:<14} | {:>6} | {:>6} | {:>6}", "policy", "mean", "min", "max");
+    println!(
+        "{:<14} | {:>6} | {:>6} | {:>6}",
+        "policy", "mean", "min", "max"
+    );
     for s in &summaries {
         println!(
             "{:<14} | {:>5.1}% | {:>5.1}% | {:>5.1}%",

@@ -9,7 +9,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    10 Mbps link, with the availability vectors of the paper's
     //    Table 1 setup.
     let env = Environment::builder()
-        .device(Device::new("desktop", ResourceVector::mem_cpu(256.0, 300.0)))
+        .device(Device::new(
+            "desktop",
+            ResourceVector::mem_cpu(256.0, 300.0),
+        ))
         .device(
             Device::new("pda", ResourceVector::mem_cpu(32.0, 100.0)).with_class(DeviceClass::Pda),
         )
@@ -67,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         env: &env,
     })?;
 
-    println!("composed {} components:", configuration.app.graph.component_count());
+    println!(
+        "composed {} components:",
+        configuration.app.graph.component_count()
+    );
     for (id, component) in configuration.app.graph.components() {
         let device = configuration
             .cut
@@ -80,9 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("correction: {correction}");
     }
     println!("cost aggregation: {:.4}", configuration.cost);
-    println!("\nDOT rendering:\n{}", ubiqos::graph::dot::to_dot_with_cut(
-        &configuration.app.graph,
-        &configuration.cut,
-    ));
+    println!(
+        "\nDOT rendering:\n{}",
+        ubiqos::graph::dot::to_dot_with_cut(&configuration.app.graph, &configuration.cut,)
+    );
     Ok(())
 }

@@ -28,9 +28,18 @@ fn main() {
     let outcome = ubiqos_sim::scenario::run_fig5(&cfg);
 
     println!("{}", outcome.render());
-    for policy in [Policy::Fixed, Policy::FixedPlanned, Policy::Random, Policy::Heuristic] {
+    for policy in [
+        Policy::Fixed,
+        Policy::FixedPlanned,
+        Policy::Random,
+        Policy::Heuristic,
+    ] {
         let c = outcome.curve(policy);
-        println!("overall success rate [{:>9}]: {:.1}%", c.policy, c.overall * 100.0);
+        println!(
+            "overall success rate [{:>9}]: {:.1}%",
+            c.policy,
+            c.overall * 100.0
+        );
     }
     let h = outcome.curve(Policy::Heuristic).overall;
     let r = outcome.curve(Policy::Random).overall;
@@ -40,6 +49,10 @@ fn main() {
         h,
         r,
         f,
-        if h >= r && r >= f { "matches Figure 5" } else { "unexpected ordering!" }
+        if h >= r && r >= f {
+            "matches Figure 5"
+        } else {
+            "unexpected ordering!"
+        }
     );
 }

@@ -41,8 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A smart space with a desktop and a PDA, offering an MPEG server and
     // a WAV-only player (no equalizer anywhere: it is dropped).
     let env = Environment::builder()
-        .device(Device::new("desktop1", ResourceVector::mem_cpu(256.0, 300.0)))
-        .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)).with_class(DeviceClass::Pda))
+        .device(Device::new(
+            "desktop1",
+            ResourceVector::mem_cpu(256.0, 300.0),
+        ))
+        .device(
+            Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)).with_class(DeviceClass::Pda),
+        )
         .default_bandwidth_mbps(4.0)
         .build();
     let mut registry = ServiceRegistry::new();
@@ -93,6 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = OsdProblem::new(&configuration.app.graph, &env, &weights);
     let report = ubiqos::distribution::PlacementReport::new(&problem, &configuration.cut);
     println!("\n{report}");
-    println!("peak resource utilization: {:.0}%", report.peak_utilization() * 100.0);
+    println!(
+        "peak resource utilization: {:.0}%",
+        report.peak_utilization() * 100.0
+    );
     Ok(())
 }

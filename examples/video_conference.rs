@@ -5,9 +5,9 @@
 //!
 //! Run with `cargo run --example video_conference`.
 
+use ubiqos::prelude::DeviceId;
 use ubiqos_runtime::apps;
 use ubiqos_runtime::DomainServer;
-use ubiqos::prelude::DeviceId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (env, links, props) = apps::conference_environment();
@@ -37,7 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\ncut edges (streams crossing machines):");
     for e in s.configuration.cut.cut_edges(&s.configuration.app.graph) {
-        let from = s.configuration.app.graph.component(e.from)?.name().to_owned();
+        let from = s
+            .configuration
+            .app
+            .graph
+            .component(e.from)?
+            .name()
+            .to_owned();
         let to = s.configuration.app.graph.component(e.to)?.name().to_owned();
         println!("  {from} -> {to} @ {:.1} Mbps", e.throughput);
     }

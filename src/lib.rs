@@ -1,0 +1,5 @@
+//! Root crate of the `ubiqos` workspace.
+//!
+//! This package exists so the workspace-level integration tests in
+//! `tests/` and the runnable walkthroughs in `examples/` are part of the
+//! build; the actual library code lives in the `crates/` members.

@@ -48,8 +48,13 @@ fn smart_space() -> (ServiceRegistry, Environment) {
             .build(),
     ));
     let env = Environment::builder()
-        .device(Device::new("workstation", ResourceVector::mem_cpu(512.0, 400.0)))
-        .device(Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)).with_class(DeviceClass::Pda))
+        .device(Device::new(
+            "workstation",
+            ResourceVector::mem_cpu(512.0, 400.0),
+        ))
+        .device(
+            Device::new("pda", ResourceVector::mem_cpu(32.0, 50.0)).with_class(DeviceClass::Pda),
+        )
         .default_bandwidth_mbps(8.0)
         .build();
     (registry, env)

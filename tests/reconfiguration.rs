@@ -33,12 +33,16 @@ fn roaming_pc_pda_pc_keeps_media_position() {
         .unwrap();
 
     server.play(45.0);
-    let to_pda = server.switch_device(session, DeviceId::from_index(2)).unwrap();
+    let to_pda = server
+        .switch_device(session, DeviceId::from_index(2))
+        .unwrap();
     assert_eq!(to_pda.resume_position_s(), 45.0);
     assert_eq!(to_pda.target_link, LinkKind::Wireless);
 
     server.play(30.0);
-    let to_pc = server.switch_device(session, DeviceId::from_index(3)).unwrap();
+    let to_pc = server
+        .switch_device(session, DeviceId::from_index(3))
+        .unwrap();
     assert_eq!(to_pc.resume_position_s(), 75.0);
     assert!(
         to_pda.handoff_ms > to_pc.handoff_ms,
@@ -76,9 +80,17 @@ fn pda_leg_uses_transcoder_and_desktop_legs_do_not() {
             .count()
     };
     assert_eq!(count_transcoders(&server), 0, "desktop player speaks MPEG");
-    server.switch_device(session, DeviceId::from_index(2)).unwrap();
-    assert_eq!(count_transcoders(&server), 1, "PDA needs the MPEG2WAV transcoder");
-    server.switch_device(session, DeviceId::from_index(3)).unwrap();
+    server
+        .switch_device(session, DeviceId::from_index(2))
+        .unwrap();
+    assert_eq!(
+        count_transcoders(&server),
+        1,
+        "PDA needs the MPEG2WAV transcoder"
+    );
+    server
+        .switch_device(session, DeviceId::from_index(3))
+        .unwrap();
     assert_eq!(count_transcoders(&server), 0, "back on a desktop");
 }
 
@@ -93,18 +105,31 @@ fn downloads_happen_once_per_device() {
             DeviceId::from_index(1),
         )
         .unwrap();
-    let first_download = server.session(session).unwrap().overhead_log[0].1.downloading_ms;
+    let first_download = server.session(session).unwrap().overhead_log[0]
+        .1
+        .downloading_ms;
     assert!(first_download > 0.0);
 
     // Roam to the PDA and back to the ORIGINAL desktop: the second visit
     // downloads nothing new for the player.
-    server.switch_device(session, DeviceId::from_index(2)).unwrap();
-    let pda_download = server.session(session).unwrap().overhead_log[1].1.downloading_ms;
+    server
+        .switch_device(session, DeviceId::from_index(2))
+        .unwrap();
+    let pda_download = server.session(session).unwrap().overhead_log[1]
+        .1
+        .downloading_ms;
     assert!(pda_download > 0.0, "wav player + its code reach the PDA");
 
-    server.switch_device(session, DeviceId::from_index(1)).unwrap();
-    let back_download = server.session(session).unwrap().overhead_log[2].1.downloading_ms;
-    assert_eq!(back_download, 0.0, "everything already installed on desktop2");
+    server
+        .switch_device(session, DeviceId::from_index(1))
+        .unwrap();
+    let back_download = server.session(session).unwrap().overhead_log[2]
+        .1
+        .downloading_ms;
+    assert_eq!(
+        back_download, 0.0,
+        "everything already installed on desktop2"
+    );
 }
 
 #[test]
@@ -121,7 +146,9 @@ fn service_departure_breaks_then_replacement_heals() {
 
     // The WAV player leaves the smart space; the PDA leg now fails.
     server.registry_mut().unregister("wav-player").unwrap();
-    assert!(server.switch_device(session, DeviceId::from_index(2)).is_err());
+    assert!(server
+        .switch_device(session, DeviceId::from_index(2))
+        .is_err());
     // The failed switch left the old configuration live on desktop2.
     let s = server.session(session).unwrap();
     assert_eq!(s.client_device, DeviceId::from_index(1));
@@ -137,7 +164,9 @@ fn service_departure_breaks_then_replacement_heals() {
         .unwrap();
     server.registry_mut().register(replacement.descriptor);
     server.repository_mut().preinstall(2, "wav-player");
-    assert!(server.switch_device(session, DeviceId::from_index(2)).is_ok());
+    assert!(server
+        .switch_device(session, DeviceId::from_index(2))
+        .is_ok());
 }
 
 #[test]
@@ -152,16 +181,32 @@ fn event_bus_reports_every_reconfiguration() {
             DeviceId::from_index(1),
         )
         .unwrap();
-    server.switch_device(session, DeviceId::from_index(2)).unwrap();
-    server.switch_device(session, DeviceId::from_index(3)).unwrap();
+    server
+        .switch_device(session, DeviceId::from_index(2))
+        .unwrap();
+    server
+        .switch_device(session, DeviceId::from_index(3))
+        .unwrap();
     server.stop_session(session);
 
     let triggers: Vec<ReconfigureTrigger> = rx.try_iter().map(|e| e.trigger).collect();
     assert_eq!(triggers.len(), 4);
-    assert!(matches!(triggers[0], ReconfigureTrigger::ApplicationStarted));
-    assert!(matches!(triggers[1], ReconfigureTrigger::DeviceSwitched { .. }));
-    assert!(matches!(triggers[2], ReconfigureTrigger::DeviceSwitched { .. }));
-    assert!(matches!(triggers[3], ReconfigureTrigger::ApplicationStopped));
+    assert!(matches!(
+        triggers[0],
+        ReconfigureTrigger::ApplicationStarted
+    ));
+    assert!(matches!(
+        triggers[1],
+        ReconfigureTrigger::DeviceSwitched { .. }
+    ));
+    assert!(matches!(
+        triggers[2],
+        ReconfigureTrigger::DeviceSwitched { .. }
+    ));
+    assert!(matches!(
+        triggers[3],
+        ReconfigureTrigger::ApplicationStopped
+    ));
     // The recomposition policy the facade publishes matches the paper's:
     // portal switches recompose, app lifecycle events only redistribute.
     assert!(triggers[1].requires_recomposition());

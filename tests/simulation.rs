@@ -1,9 +1,7 @@
 //! Simulation-experiment integration: scaled-down Table 1 and Figure 5
 //! runs asserting the paper's qualitative shapes.
 
-use ubiqos_sim::{
-    run_table1, Fig5Config, GraphGenConfig, Policy, Table1Config, WorkloadConfig,
-};
+use ubiqos_sim::{run_table1, Fig5Config, GraphGenConfig, Policy, Table1Config, WorkloadConfig};
 
 #[test]
 fn table1_shape_heuristic_beats_random() {
@@ -34,7 +32,10 @@ fn table1_shape_heuristic_beats_random() {
         heuristic.avg_ratio
     );
     assert!(heuristic.pct_optimal > random.pct_optimal);
-    assert!(random.pct_optimal < 0.2, "random almost never exactly optimal");
+    assert!(
+        random.pct_optimal < 0.2,
+        "random almost never exactly optimal"
+    );
     assert_eq!(optimal.avg_ratio, 1.0);
     assert_eq!(optimal.pct_optimal, 1.0);
 }

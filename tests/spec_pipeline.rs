@@ -30,9 +30,18 @@ edge camera -> viewer @ 2.0
 
 fn smart_space() -> DomainServer {
     let env = Environment::builder()
-        .device(Device::new("hall-cam-host", ResourceVector::mem_cpu(128.0, 200.0)))
-        .device(Device::new("console", ResourceVector::mem_cpu(256.0, 300.0)))
-        .device(Device::new("archive", ResourceVector::mem_cpu(512.0, 200.0)))
+        .device(Device::new(
+            "hall-cam-host",
+            ResourceVector::mem_cpu(128.0, 200.0),
+        ))
+        .device(Device::new(
+            "console",
+            ResourceVector::mem_cpu(256.0, 300.0),
+        ))
+        .device(Device::new(
+            "archive",
+            ResourceVector::mem_cpu(512.0, 200.0),
+        ))
         .default_bandwidth_mbps(20.0)
         .build();
     let props = DeviceProperties {
@@ -149,8 +158,8 @@ fn diagnosis_api_sees_what_oc_fixed() {
     // raw inconsistency, then let OC fix it.
     let app = spec::parse(APP).unwrap();
     let server = smart_space();
-    let composer = ServiceComposer::new(server.registry())
-        .with_policy(CorrectionPolicy::check_only());
+    let composer =
+        ServiceComposer::new(server.registry()).with_policy(CorrectionPolicy::check_only());
     let request = ComposeRequest {
         abstract_graph: &app,
         user_qos: QosVector::new(),
