@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`,
-//! `osd`. Figure data is also written as JSON under `target/repro/`; the
-//! `osd` solver benchmark additionally writes `BENCH_osd.json` in the
+//! `osd`, `faults`. Figure data is also written as JSON under
+//! `target/repro/`; the `osd` solver benchmark additionally writes
+//! `BENCH_osd.json` and the `faults` campaign `BENCH_faults.json` in the
 //! working directory.
 
 use ubiqos_sim::{Fig5Config, Policy};
@@ -42,9 +43,13 @@ fn main() {
         osd();
         ran += 1;
     }
+    if want("faults") {
+        faults();
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!(
-            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd",
+            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd faults",
             args
         );
         std::process::exit(2);
@@ -157,5 +162,37 @@ fn osd() {
             Err(e) => eprintln!("warning: could not write BENCH_osd.json: {e}"),
         },
         Err(e) => eprintln!("warning: could not serialize the osd report: {e}"),
+    }
+}
+
+fn faults() {
+    println!("================ Fault-injection campaign ================");
+    let cfg = ubiqos_bench::faults_config();
+    let first = ubiqos_runtime::run_fault_campaign(&cfg)
+        .expect("campaign must complete with every invariant intact");
+    // Re-run the identical campaign and require a byte-identical trace:
+    // the determinism guarantee is part of the artifact, not a side note.
+    let second = ubiqos_runtime::run_fault_campaign(&cfg)
+        .expect("campaign must complete with every invariant intact");
+    assert_eq!(
+        first.log.render(),
+        second.log.render(),
+        "same seed must reproduce a byte-identical event log"
+    );
+    assert_eq!(first.report, second.report, "and the same summary report");
+    println!("{}", first.report.render());
+    println!(
+        "determinism: two runs, byte-identical logs ({} lines, digest {:#018x})",
+        first.log.lines().len(),
+        first.report.log_digest
+    );
+    println!();
+    ubiqos_bench::dump_json("faults.json", &first.report);
+    match serde_json::to_string_pretty(&first.report) {
+        Ok(json) => match std::fs::write("BENCH_faults.json", json) {
+            Ok(()) => println!("(fault campaign written to BENCH_faults.json)"),
+            Err(e) => eprintln!("warning: could not write BENCH_faults.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize the fault report: {e}"),
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod osd;
 
+use ubiqos_runtime::FaultCampaignConfig;
 use ubiqos_sim::{Fig5Config, Fig5Outcome, Table1Config, Table1Report, WorkloadConfig};
 
 /// The Table 1 configuration used by the reproduction harness: the
@@ -62,6 +63,20 @@ pub fn fig5_config_small() -> Fig5Config {
 /// Runs the full Figure 5 reproduction.
 pub fn reproduce_fig5() -> Fig5Outcome {
     ubiqos_sim::scenario::run_fig5(&fig5_config())
+}
+
+/// The fault-injection campaign the `repro -- faults` artifact runs: a
+/// larger space and longer horizon than the unit-test default, still
+/// fast in release builds.
+pub fn faults_config() -> FaultCampaignConfig {
+    FaultCampaignConfig {
+        seed: 0x1cdc_2002,
+        devices: 6,
+        requests: 600,
+        horizon_h: 200.0,
+        faults: 160,
+        min_factor: 0.25,
+    }
 }
 
 /// Writes reproduction data as pretty JSON under `target/repro/`, so

@@ -1,0 +1,186 @@
+//! Golden-regression tests for the reproduction harness.
+//!
+//! The repro binary's full-scale runs are too slow for `cargo test`, so
+//! these drive the same entry points (`run_table1`, `run_fig5`) at a
+//! pinned, scaled-down configuration and pin the exact summary numbers.
+//! A drift in the generators, the heuristic, the admission accounting,
+//! or the RNG shim shows up here as a hard diff — not as a silently
+//! shifted figure in the next paper artifact.
+//!
+//! When a change *intends* to move these numbers, re-run with
+//! `--nocapture`, copy the printed actuals, and update the constants in
+//! the same commit that justifies them.
+
+use ubiqos_sim::{run_fig5, run_table1, Fig5Config, Policy, Table1Config, WorkloadConfig};
+
+/// Tolerance for pinned f64 stats: the computations are deterministic,
+/// so this only absorbs decimal-literal rounding in the constants.
+const TOL: f64 = 1e-9;
+
+fn golden_table1_config() -> Table1Config {
+    Table1Config {
+        graphs: 24,
+        seed: 0x1cdc_2002,
+        random_attempts: 16,
+        include_ablations: true,
+        ..Table1Config::default()
+    }
+}
+
+fn golden_fig5_config() -> Fig5Config {
+    Fig5Config {
+        seed: 0x1cdc_2002,
+        workload: WorkloadConfig {
+            requests: 200,
+            horizon_h: 50.0,
+            ..WorkloadConfig::default()
+        },
+        window_h: 10.0,
+        random_attempts: 4,
+        ..Fig5Config::default()
+    }
+}
+
+#[test]
+fn table1_summary_stats_are_pinned() {
+    let report = run_table1(&golden_table1_config());
+    let row = |name: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.algorithm == name)
+            .unwrap_or_else(|| panic!("missing row {name}: {report:?}"))
+            .clone()
+    };
+    let random = row("random");
+    let heuristic = row("heuristic");
+    let optimal = row("optimal");
+    println!(
+        "table1 actuals: random {:.12}/{:.12} heuristic {:.12}/{:.12} skipped {}",
+        random.avg_ratio,
+        random.pct_optimal,
+        heuristic.avg_ratio,
+        heuristic.pct_optimal,
+        report.skipped_infeasible
+    );
+
+    // Paper-shape ordering first: the qualitative claim of Table 1.
+    assert!(
+        heuristic.avg_ratio > random.avg_ratio,
+        "heuristic must beat random: {heuristic:?} vs {random:?}"
+    );
+    assert!(heuristic.pct_optimal > random.pct_optimal);
+    assert!(
+        (optimal.avg_ratio - 1.0).abs() < TOL,
+        "optimal is the yardstick"
+    );
+    assert!((optimal.pct_optimal - 1.0).abs() < TOL);
+
+    // Exact pinned values for the seeded scaled-down run.
+    assert!(
+        (random.avg_ratio - 0.432237153125).abs() < TOL,
+        "random avg_ratio {}",
+        random.avg_ratio
+    );
+    assert!(
+        (random.pct_optimal - 0.0).abs() < TOL,
+        "random pct_optimal {}",
+        random.pct_optimal
+    );
+    assert!(
+        (heuristic.avg_ratio - 0.665948259428).abs() < TOL,
+        "heuristic avg_ratio {}",
+        heuristic.avg_ratio
+    );
+    assert!(
+        (heuristic.pct_optimal - 0.458333333333).abs() < TOL,
+        "heuristic pct_optimal {}",
+        heuristic.pct_optimal
+    );
+    assert_eq!(
+        report.skipped_infeasible, 0,
+        "generator feasibility drifted"
+    );
+}
+
+#[test]
+fn table1_ablation_rows_bracket_the_full_heuristic() {
+    let report = run_table1(&golden_table1_config());
+    let full = report
+        .rows
+        .iter()
+        .find(|r| r.algorithm == "heuristic")
+        .expect("full heuristic row");
+    for row in report
+        .rows
+        .iter()
+        .filter(|r| r.algorithm.starts_with("heuristic-no-"))
+    {
+        assert!(
+            row.avg_ratio <= full.avg_ratio + TOL,
+            "ablation {} ({}) outperforms the full heuristic ({})",
+            row.algorithm,
+            row.avg_ratio,
+            full.avg_ratio
+        );
+    }
+}
+
+#[test]
+fn fig5_policy_ordering_and_overalls_are_pinned() {
+    let outcome = run_fig5(&golden_fig5_config());
+    let overall = |p: Policy| outcome.curve(p).overall;
+    let fixed = overall(Policy::Fixed);
+    let fixed_planned = overall(Policy::FixedPlanned);
+    let random = overall(Policy::Random);
+    let heuristic = overall(Policy::Heuristic);
+    println!(
+        "fig5 actuals: fixed {fixed:.12} fixed-planned {fixed_planned:.12} \
+         random {random:.12} heuristic {heuristic:.12}"
+    );
+
+    // Figure 5's qualitative claim: dynamic heuristic > dynamic random >
+    // static fixed placement.
+    assert!(
+        heuristic > random,
+        "heuristic ({heuristic}) must beat random ({random})"
+    );
+    assert!(
+        random > fixed,
+        "dynamic random ({random}) must beat static fixed ({fixed})"
+    );
+    assert!(
+        heuristic > fixed_planned,
+        "re-planning beats one good plan: {heuristic} vs {fixed_planned}"
+    );
+
+    // Exact pinned values for the seeded scaled-down run.
+    assert!((fixed - 0.130000000000).abs() < TOL, "fixed {fixed}");
+    assert!(
+        (fixed_planned - 0.525000000000).abs() < TOL,
+        "fixed-planned {fixed_planned}"
+    );
+    assert!((random - 0.475000000000).abs() < TOL, "random {random}");
+    assert!(
+        (heuristic - 0.685000000000).abs() < TOL,
+        "heuristic {heuristic}"
+    );
+}
+
+#[test]
+fn fig5_curves_are_complete_and_in_range() {
+    let outcome = run_fig5(&golden_fig5_config());
+    assert_eq!(outcome.curves.len(), 4, "one curve per policy");
+    for curve in &outcome.curves {
+        assert!(!curve.series.is_empty(), "{} has no windows", curve.policy);
+        for &(t, rate) in &curve.series {
+            assert!(t > 0.0, "{}: window at t={t}", curve.policy);
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{}: rate {rate} out of range",
+                curve.policy
+            );
+        }
+        assert!((0.0..=1.0).contains(&curve.overall));
+    }
+}

@@ -1,0 +1,193 @@
+//! Summary of a fault-injection campaign against the runtime.
+//!
+//! The paper's §3.3 triggers — device crash, resource fluctuation,
+//! portal switch, user mobility, application start/stop — are injected
+//! by `ubiqos_runtime::faults` from a seeded schedule. The campaign
+//! distils what happened into this report: how many events of each kind
+//! fired, how sessions fared (admitted, denied, dropped, re-placed),
+//! and a digest of the event log so two runs can be compared for
+//! determinism with a single integer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregated outcome of one fault-injection campaign.
+///
+/// Every counter is exact and deterministic for a given campaign seed:
+/// two runs of the same campaign must produce byte-identical reports
+/// (and byte-identical event logs — compare [`FaultReport::log_digest`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// The campaign's master seed.
+    pub seed: u64,
+    /// Total events applied (workload + faults).
+    pub events: u32,
+
+    /// Injected device crashes.
+    pub crashes: u32,
+    /// Injected device recoveries.
+    pub device_recoveries: u32,
+    /// Injected per-device resource fluctuations.
+    pub fluctuations: u32,
+    /// Injected link-bandwidth degradations/restorations.
+    pub link_fluctuations: u32,
+    /// Injected portal switches (attempted).
+    pub switches: u32,
+    /// Portal switches the configurator could not satisfy (the old
+    /// configuration stayed live).
+    pub switch_failures: u32,
+    /// Injected user moves (attempted).
+    pub moves: u32,
+    /// User moves the configurator could not satisfy.
+    pub move_failures: u32,
+
+    /// Application arrivals from the workload.
+    pub arrivals: u32,
+    /// Arrivals admitted (a session was configured and started).
+    pub admitted: u32,
+    /// Arrivals denied admission (no QoS-consistent, fitting
+    /// configuration existed at arrival time).
+    pub denied: u32,
+    /// Sessions that ran to their scheduled departure.
+    pub completed: u32,
+    /// Sessions dropped during a recovery pass because re-placement
+    /// failed; each drop carries a recorded [`crate::ConfigureError`]
+    /// witnessing that the session was genuinely unplaceable when it was
+    /// dropped.
+    pub dropped: u32,
+    /// Successful session re-placements across all recovery passes
+    /// (one session surviving three recovery passes counts three times).
+    pub replacements: u32,
+    /// Sessions still live when the campaign ended.
+    pub live_at_end: u32,
+
+    /// Invariant checkpoints passed (one full sweep after every event).
+    pub invariant_checks: u32,
+    /// FNV-1a hash of the rendered event log, for cheap determinism
+    /// comparisons across runs, hosts, and `UBIQOS_THREADS` settings.
+    pub log_digest: u64,
+}
+
+impl FaultReport {
+    /// Renders the report as an aligned, human-readable block.
+    pub fn render(&self) -> String {
+        format!(
+            "campaign seed      : {:#018x}\n\
+             events applied     : {}\n\
+             faults             : {} crash / {} recover / {} fluctuate / {} link / {} switch ({} failed) / {} move ({} failed)\n\
+             workload           : {} arrivals = {} admitted + {} denied\n\
+             session fates      : {} completed, {} dropped, {} live at end\n\
+             re-placements      : {}\n\
+             invariant checks   : {}\n\
+             event log digest   : {:#018x}\n",
+            self.seed,
+            self.events,
+            self.crashes,
+            self.device_recoveries,
+            self.fluctuations,
+            self.link_fluctuations,
+            self.switches,
+            self.switch_failures,
+            self.moves,
+            self.move_failures,
+            self.arrivals,
+            self.admitted,
+            self.denied,
+            self.completed,
+            self.dropped,
+            self.live_at_end,
+            self.replacements,
+            self.invariant_checks,
+            self.log_digest,
+        )
+    }
+
+    /// Session-fate conservation: every admitted session either ran to
+    /// completion, was dropped by a recovery pass, or is still live.
+    pub fn session_fates_balance(&self) -> bool {
+        self.arrivals == self.admitted + self.denied
+            && self.admitted == self.completed + self.dropped + self.live_at_end
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// FNV-1a over a byte slice — the digest used for event-log comparison.
+///
+/// Chosen for stability (no dependency, no platform variance), not for
+/// collision resistance; determinism checks always compare the full log
+/// too when it is available.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_mentions_every_counter_group() {
+        let report = FaultReport {
+            seed: 7,
+            events: 10,
+            crashes: 1,
+            admitted: 3,
+            arrivals: 4,
+            denied: 1,
+            completed: 2,
+            live_at_end: 1,
+            ..FaultReport::default()
+        };
+        let s = report.render();
+        assert!(s.contains("campaign seed"));
+        assert!(s.contains("3 admitted + 1 denied"));
+        assert!(s.contains("invariant checks"));
+        assert_eq!(report.to_string(), s);
+    }
+
+    #[test]
+    fn fate_balance_detects_leaks() {
+        let mut report = FaultReport {
+            arrivals: 4,
+            admitted: 3,
+            denied: 1,
+            completed: 2,
+            dropped: 0,
+            live_at_end: 1,
+            ..FaultReport::default()
+        };
+        assert!(report.session_fates_balance());
+        report.live_at_end = 2;
+        assert!(!report.session_fates_balance());
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        // Reference value for the empty input (FNV-1a offset basis).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"ubiqos"), fnv1a(b"ubiqos"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let report = FaultReport {
+            seed: 42,
+            events: 5,
+            log_digest: 99,
+            ..FaultReport::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

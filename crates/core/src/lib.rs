@@ -65,10 +65,12 @@
 
 pub mod configurator;
 pub mod error;
+pub mod fault_report;
 pub mod trigger;
 
 pub use configurator::{Configuration, ConfigureRequest, ServiceConfigurator};
 pub use error::ConfigureError;
+pub use fault_report::FaultReport;
 pub use trigger::ReconfigureTrigger;
 
 // Re-export the tiers and substrates as a single coherent API surface.
@@ -82,6 +84,7 @@ pub use ubiqos_model as model;
 pub mod prelude {
     pub use crate::configurator::{Configuration, ConfigureRequest, ServiceConfigurator};
     pub use crate::error::ConfigureError;
+    pub use crate::fault_report::FaultReport;
     pub use crate::trigger::ReconfigureTrigger;
     pub use ubiqos_composition::{
         diagnose, ComposeRequest, ComposedApplication, ConsistencyReport, CoordinationOrder,

@@ -32,8 +32,19 @@ pub enum ReconfigureTrigger {
     },
     /// A device crashed or departed; components on it must be replaced.
     DeviceCrashed(DeviceId),
+    /// A previously crashed device came back; its capacity is available
+    /// again and live sessions may be re-placed onto it.
+    DeviceRecovered(DeviceId),
     /// Resource availability changed significantly on some device.
     ResourceFluctuation(DeviceId),
+    /// The bandwidth of one device pair's link changed significantly
+    /// (e.g. a wireless channel degrading under interference).
+    LinkFluctuation {
+        /// One endpoint of the link.
+        a: DeviceId,
+        /// The other endpoint.
+        b: DeviceId,
+    },
     /// Another application started, consuming shared resources.
     ApplicationStarted,
     /// An application stopped, releasing shared resources.
@@ -85,8 +96,12 @@ impl fmt::Display for ReconfigureTrigger {
                 write!(f, "portal switched {from} -> {to}")
             }
             ReconfigureTrigger::DeviceCrashed(d) => write!(f, "device {d} crashed"),
+            ReconfigureTrigger::DeviceRecovered(d) => write!(f, "device {d} recovered"),
             ReconfigureTrigger::ResourceFluctuation(d) => {
                 write!(f, "resource fluctuation on {d}")
+            }
+            ReconfigureTrigger::LinkFluctuation { a, b } => {
+                write!(f, "link fluctuation on {a}-{b}")
             }
             ReconfigureTrigger::ApplicationStarted => f.write_str("application started"),
             ReconfigureTrigger::ApplicationStopped => f.write_str("application stopped"),
@@ -108,7 +123,9 @@ mod tests {
         .requires_recomposition());
         assert!(ReconfigureTrigger::DeviceSwitched { from: d0, to: d1 }.requires_recomposition());
         assert!(ReconfigureTrigger::DeviceCrashed(d0).requires_recomposition());
+        assert!(!ReconfigureTrigger::DeviceRecovered(d0).requires_recomposition());
         assert!(!ReconfigureTrigger::ResourceFluctuation(d0).requires_recomposition());
+        assert!(!ReconfigureTrigger::LinkFluctuation { a: d0, b: d1 }.requires_recomposition());
         assert!(!ReconfigureTrigger::ApplicationStarted.requires_recomposition());
         assert!(!ReconfigureTrigger::ApplicationStopped.requires_recomposition());
     }
@@ -129,6 +146,8 @@ mod tests {
         let d1 = DeviceId::from_index(1);
         assert!(ReconfigureTrigger::DeviceSwitched { from: d0, to: d1 }.requires_state_handoff());
         assert!(!ReconfigureTrigger::ApplicationStarted.requires_state_handoff());
+        assert!(!ReconfigureTrigger::DeviceRecovered(d0).requires_state_handoff());
+        assert!(!ReconfigureTrigger::LinkFluctuation { a: d0, b: d1 }.requires_state_handoff());
     }
 
     #[test]

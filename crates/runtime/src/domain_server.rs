@@ -89,6 +89,10 @@ pub struct RecoveryReport {
     pub recovered: Vec<SessionId>,
     /// Sessions that could not be reconfigured and were stopped.
     pub dropped: Vec<SessionId>,
+    /// For each dropped session, the configuration error witnessing that
+    /// it was genuinely unplaceable when the drop happened (same order as
+    /// `dropped`).
+    pub drop_errors: Vec<(SessionId, ConfigureError)>,
 }
 
 /// The per-domain infrastructure server: registry + environment +
@@ -100,6 +104,9 @@ pub struct RecoveryReport {
 /// resources (and for link bandwidth, which is charged as a shared pool).
 pub struct DomainServer {
     registry: ServiceRegistry,
+    /// Pristine capacities as built, before any crash/fluctuation: the
+    /// reference state crashed devices recover to.
+    pristine: Environment,
     /// Full current capacities (what the devices could offer if idle).
     capacity: Environment,
     /// Residual environment: capacity minus every live session's charge.
@@ -146,6 +153,7 @@ impl DomainServer {
         );
         DomainServer {
             registry: ServiceRegistry::new(),
+            pristine: env.clone(),
             capacity: env.clone(),
             env,
             links,
@@ -191,6 +199,13 @@ impl DomainServer {
         &self.capacity
     }
 
+    /// The pristine capacities the server was built with, untouched by
+    /// any crash or fluctuation — the reference state fault injectors
+    /// scale degradation factors against.
+    pub fn pristine(&self) -> &Environment {
+        &self.pristine
+    }
+
     /// The number of live sessions.
     pub fn session_count(&self) -> usize {
         self.sessions.len()
@@ -204,6 +219,27 @@ impl DomainServer {
     /// Borrows a session.
     pub fn session(&self, id: SessionId) -> Option<&Session> {
         self.sessions.get(&id.0)
+    }
+
+    /// Iterates over every live session in id order (the order recovery
+    /// passes process them in).
+    pub fn sessions(&self) -> impl Iterator<Item = (SessionId, &Session)> {
+        self.sessions.iter().map(|(&id, s)| (SessionId(id), s))
+    }
+
+    /// Probes whether an application could be configured *right now*
+    /// against the residual environment, without starting a session or
+    /// charging anything. Fault-injection harnesses use this to verify
+    /// that admission denials and recovery drops are genuine.
+    pub fn can_place(
+        &self,
+        abstract_graph: &AbstractServiceGraph,
+        user_qos: &QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+    ) -> bool {
+        self.configure(abstract_graph, user_qos, client_device, domain)
+            .is_ok()
     }
 
     /// Advances wall-clock and every session's media position by
@@ -468,6 +504,50 @@ impl DomainServer {
         self.reconfigure_all_sessions(&format!("recover from {device} crash"))
     }
 
+    /// Brings a crashed (or degraded) device back: its capacity and every
+    /// link touching it return to the *pristine* values the server was
+    /// built with, and live sessions are re-placed so the recovered
+    /// capacity is actually used.
+    ///
+    /// Note that recovery is deliberately coarse — a link degraded
+    /// independently via [`DomainServer::degrade_link`] is also restored
+    /// if it touches the recovered device, mirroring a rebooted node
+    /// rejoining the network at full line rate.
+    pub fn recover_device(&mut self, device: DeviceId) -> RecoveryReport {
+        let d = device.index();
+        if let (Some(dev), Some(fresh)) = (self.capacity.device_mut(d), self.pristine.device(d)) {
+            dev.set_availability(fresh.availability().clone());
+        }
+        for other in 0..self.capacity.device_count() {
+            if other != d {
+                let fresh = self.pristine.bandwidth().get(d, other);
+                self.capacity.bandwidth_mut().set(d, other, fresh);
+            }
+        }
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: None,
+            trigger: ReconfigureTrigger::DeviceRecovered(device),
+        });
+        self.reconfigure_all_sessions(&format!("re-place after {device} recovery"))
+    }
+
+    /// Applies a link-bandwidth fluctuation: the capacity of the `a`-`b`
+    /// link becomes `mbps` (degradation or restoration), and every live
+    /// session is re-placed against the new shared pool. Sessions whose
+    /// streams no longer fit anywhere are stopped.
+    pub fn degrade_link(&mut self, a: DeviceId, b: DeviceId, mbps: f64) -> RecoveryReport {
+        self.capacity
+            .bandwidth_mut()
+            .set(a.index(), b.index(), mbps);
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: None,
+            trigger: ReconfigureTrigger::LinkFluctuation { a, b },
+        });
+        self.reconfigure_all_sessions(&format!("absorb link fluctuation on {a}-{b}"))
+    }
+
     /// Applies a resource fluctuation: the device's *capacity* becomes
     /// `availability` (running sessions keep their charges). Sessions
     /// whose placements no longer fit are reconfigured, and stopped if
@@ -497,6 +577,7 @@ impl DomainServer {
         let mut report = RecoveryReport {
             recovered: Vec::new(),
             dropped: Vec::new(),
+            drop_errors: Vec::new(),
         };
         for raw_id in ids {
             let (abstract_graph, user_qos, client_device, domain) = {
@@ -522,7 +603,7 @@ impl DomainServer {
                     self.now_ms += overhead.total_ms();
                     report.recovered.push(SessionId(raw_id));
                 }
-                Err(_) => {
+                Err(e) => {
                     self.sessions.remove(&raw_id);
                     self.events.publish(RuntimeEvent {
                         at_ms: self.now_ms,
@@ -530,6 +611,7 @@ impl DomainServer {
                         trigger: ReconfigureTrigger::ApplicationStopped,
                     });
                     report.dropped.push(SessionId(raw_id));
+                    report.drop_errors.push((SessionId(raw_id), e));
                 }
             }
         }

@@ -1,0 +1,734 @@
+//! Deterministic fault-injection harness for the smart-space runtime.
+//!
+//! This module replays a seeded schedule of §3.3 reconfiguration events
+//! ([`ubiqos_sim::faultgen`]) against a live [`DomainServer`] while the
+//! Figure 5 request workload ([`ubiqos_sim::workload`]) arrives and
+//! departs around it. After **every** event the harness sweeps the full
+//! invariant set of the paper's model:
+//!
+//! * **Capacity bounds** — no device's residual availability is negative
+//!   or above its current capacity; no link's residual bandwidth is
+//!   negative or above the shared pool (Definition 3.4).
+//! * **Conservation** — residual equals capacity minus the sum of every
+//!   live session's charge, per device dimension and per link pair: no
+//!   charge is ever leaked or double-refunded.
+//! * **QoS consistency** — every live session's concrete service graph
+//!   still satisfies Equation 1 (`diagnose(..).is_consistent()`).
+//! * **Placement sanity** — every live cut respects its pins, and no
+//!   component sits on a crashed device.
+//! * **Witnessed drops** — a session is only ever dropped together with
+//!   the [`ConfigureError`] that proves it was unplaceable at that
+//!   moment, and session fates balance exactly (admitted = completed +
+//!   dropped + live).
+//!
+//! The whole campaign is a pure function of
+//! [`FaultCampaignConfig::seed`]: the event log renders byte-identically
+//! across runs and across `UBIQOS_THREADS` settings, which
+//! `tests/fault_injection.rs` and `repro -- faults` both assert.
+
+use crate::cost_model::LinkKind;
+use crate::domain_server::{DomainServer, RecoveryReport, SessionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fmt::Write as _;
+use ubiqos::fault_report::fnv1a;
+use ubiqos::FaultReport;
+use ubiqos_composition::diagnose;
+use ubiqos_discovery::{DeviceProperties, ServiceDescriptor};
+use ubiqos_distribution::{Device, Environment};
+use ubiqos_graph::{
+    AbstractComponentSpec, AbstractServiceGraph, ComponentRole, DeviceId, PinHint, ServiceComponent,
+};
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
+use ubiqos_sim::{EventQueue, FaultKind, FaultScheduleConfig, TimedFault, WorkloadConfig};
+
+/// Mix constant separating the fault-schedule RNG stream from the
+/// workload stream (both derive from the campaign seed).
+const FAULT_STREAM_SALT: u64 = 0x5eed_fa17_0000_0001;
+
+/// Numerical slack for conservation checks (charges are f64 sums).
+const EPS: f64 = 1e-6;
+
+/// Parameters of one fault-injection campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCampaignConfig {
+    /// Master seed: workload, fault schedule, and client-device draws
+    /// all derive from it, so one `u64` pins the whole campaign.
+    pub seed: u64,
+    /// Number of devices in the generated smart space (≥ 2).
+    pub devices: usize,
+    /// Number of application requests in the workload.
+    pub requests: usize,
+    /// Campaign horizon in hours.
+    pub horizon_h: f64,
+    /// Number of injected fault events.
+    pub faults: usize,
+    /// Smallest capacity fraction a fluctuation may leave.
+    pub min_factor: f64,
+}
+
+impl Default for FaultCampaignConfig {
+    fn default() -> Self {
+        FaultCampaignConfig {
+            seed: 0x1cdc_2002,
+            devices: 5,
+            requests: 120,
+            horizon_h: 48.0,
+            faults: 40,
+            min_factor: 0.25,
+        }
+    }
+}
+
+/// A deterministic, append-only log of everything the campaign did.
+///
+/// Rendering is byte-stable: every line is formatted with fixed float
+/// precision at push time, so two campaigns agree iff their logs agree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    lines: Vec<String>,
+}
+
+impl EventLog {
+    fn push(&mut self, idx: usize, at_h: f64, text: &str) {
+        self.lines
+            .push(format!("[{idx:04}] t={at_h:010.4}h {text}"));
+    }
+
+    /// The log lines, in event order.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Renders the log to one newline-joined string (the byte sequence
+    /// the determinism digest is computed over).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// FNV-1a digest of [`EventLog::render`].
+    pub fn digest(&self) -> u64 {
+        fnv1a(self.render().as_bytes())
+    }
+}
+
+/// An invariant broken mid-campaign: where, during what, and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Simulation time of the offending event, in hours.
+    pub at_h_milli: u64,
+    /// The log line of the event being processed.
+    pub event: String,
+    /// What went wrong.
+    pub violation: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invariant violated at t={}h during `{}`: {}",
+            self.at_h_milli as f64 / 1000.0,
+            self.event,
+            self.violation
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// A finished campaign: the summary report plus the full event log.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Aggregate counters and the log digest.
+    pub report: FaultReport,
+    /// The deterministic event log.
+    pub log: EventLog,
+}
+
+/// One event in the merged campaign timeline.
+#[derive(Debug, Clone, Copy)]
+enum CampaignEvent {
+    /// Request `i` of the workload arrives.
+    Arrival(usize),
+    /// Request `i`'s lifetime ends.
+    Departure(usize),
+    /// Fault `j` of the schedule fires.
+    Fault(usize),
+}
+
+/// Builds the campaign's smart space: `devices` devices with cycling
+/// capacity profiles, mixed wired/wireless links, and a registry
+/// offering a WAV pipeline plus an MPEG pipeline whose sink only accepts
+/// WAV (so composing it exercises transcoder insertion).
+pub fn build_space(devices: usize) -> DomainServer {
+    assert!(devices >= 2, "fault campaigns need at least 2 devices");
+    let profiles = [
+        ResourceVector::mem_cpu(256.0, 300.0),
+        ResourceVector::mem_cpu(192.0, 220.0),
+        ResourceVector::mem_cpu(128.0, 160.0),
+        ResourceVector::mem_cpu(96.0, 120.0),
+    ];
+    let mut builder = Environment::builder().default_bandwidth_mbps(40.0);
+    for i in 0..devices {
+        builder = builder.device(Device::new(
+            format!("dev{i}"),
+            profiles[i % profiles.len()].clone(),
+        ));
+    }
+    let env = builder.link_mbps(0, 1, 80.0).build();
+    let links: Vec<LinkKind> = (0..devices)
+        .map(|i| {
+            if i % 2 == 0 {
+                LinkKind::Ethernet
+            } else {
+                LinkKind::Wireless
+            }
+        })
+        .collect();
+    let props = DeviceProperties {
+        screen_pixels: 1_920_000.0,
+        compute_factor: 4.0,
+    };
+    let mut server = DomainServer::new(env, links, vec![props; devices]);
+
+    server.registry_mut().register(ServiceDescriptor::new(
+        "wav-source@space",
+        "wav-source",
+        ServiceComponent::builder("wav-source")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(1.0, 30.0))
+            .resources(ResourceVector::mem_cpu(24.0, 30.0))
+            .build(),
+    ));
+    server.registry_mut().register(ServiceDescriptor::new(
+        "wav-sink@space",
+        "wav-sink",
+        ServiceComponent::builder("wav-sink")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::range(5.0, 30.0)),
+            )
+            .resources(ResourceVector::mem_cpu(10.0, 14.0))
+            .build(),
+    ));
+    server.registry_mut().register(ServiceDescriptor::new(
+        "mpeg-source@space",
+        "mpeg-source",
+        ServiceComponent::builder("mpeg-source")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("MPEG"))
+                    .with(QosDimension::FrameRate, QosValue::exact(24.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(5.0, 24.0))
+            .resources(ResourceVector::mem_cpu(40.0, 50.0))
+            .build(),
+    ));
+    server.registry_mut().register(ServiceDescriptor::new(
+        "pcm-player@space",
+        "pcm-player",
+        ServiceComponent::builder("pcm-player")
+            .role(ComponentRole::Sink)
+            .qos_in(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::range(5.0, 24.0)),
+            )
+            .resources(ResourceVector::mem_cpu(12.0, 16.0))
+            .build(),
+    ));
+    server
+}
+
+/// The campaign's application templates: index 0 is a consistent WAV
+/// pipeline, index 1 an MPEG source feeding a WAV-only player (forcing
+/// the composer to insert the catalog's MPEG→WAV transcoder).
+pub fn app_template(graph_index: usize) -> (&'static str, AbstractServiceGraph) {
+    let mut g = AbstractServiceGraph::new();
+    if graph_index.is_multiple_of(2) {
+        let s = g.add_spec(AbstractComponentSpec::new("wav-source"));
+        let p = g.add_spec(AbstractComponentSpec::new("wav-sink").with_pin(PinHint::ClientDevice));
+        g.add_edge(s, p, 1.2).expect("template edge");
+        ("wav-audio", g)
+    } else {
+        let s = g.add_spec(AbstractComponentSpec::new("mpeg-source"));
+        let p =
+            g.add_spec(AbstractComponentSpec::new("pcm-player").with_pin(PinHint::ClientDevice));
+        g.add_edge(s, p, 2.5).expect("template edge");
+        ("mpeg-audio", g)
+    }
+}
+
+/// SplitMix64 step — used to derive per-request client devices from the
+/// campaign seed without consuming the workload RNG stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Runs one fault-injection campaign to completion.
+///
+/// Returns the outcome, or the first [`InvariantViolation`] encountered
+/// (the campaign aborts at the first broken invariant so the offending
+/// event is always the last log line).
+///
+/// # Panics
+///
+/// Panics when the config is structurally invalid (fewer than 2 devices,
+/// non-positive horizon) — the same construction errors the underlying
+/// generators reject.
+pub fn run_fault_campaign(
+    cfg: &FaultCampaignConfig,
+) -> Result<CampaignOutcome, InvariantViolation> {
+    let mut server = build_space(cfg.devices);
+    let workload = WorkloadConfig {
+        requests: cfg.requests,
+        horizon_h: cfg.horizon_h,
+        graph_count: 2,
+        ..WorkloadConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let trace = workload.generate(&mut rng);
+    let schedule = FaultScheduleConfig {
+        seed: cfg.seed ^ FAULT_STREAM_SALT,
+        events: cfg.faults,
+        horizon_h: cfg.horizon_h,
+        devices: cfg.devices,
+        min_factor: cfg.min_factor,
+    }
+    .generate();
+
+    let mut queue: EventQueue<CampaignEvent> = EventQueue::new();
+    for (i, r) in trace.iter().enumerate() {
+        queue.schedule(r.arrival_h, CampaignEvent::Arrival(i));
+        queue.schedule(r.departure_h(), CampaignEvent::Departure(i));
+    }
+    for (j, f) in schedule.iter().enumerate() {
+        queue.schedule(f.at_h, CampaignEvent::Fault(j));
+    }
+
+    let mut report = FaultReport {
+        seed: cfg.seed,
+        ..FaultReport::default()
+    };
+    let mut log = EventLog::default();
+    let mut down: BTreeSet<usize> = BTreeSet::new();
+    // request index -> live session, and the reverse (for drop handling).
+    let mut active: BTreeMap<usize, SessionId> = BTreeMap::new();
+    let mut by_session: BTreeMap<SessionId, usize> = BTreeMap::new();
+    let mut last_h = 0.0_f64;
+    let mut idx = 0usize;
+
+    while let Some((at_h, event)) = queue.pop() {
+        let delta_h = (at_h - last_h).max(0.0);
+        server.play(delta_h * 3600.0);
+        last_h = at_h;
+        report.events += 1;
+
+        let line = match event {
+            CampaignEvent::Arrival(i) => {
+                let req = &trace[i];
+                report.arrivals += 1;
+                let up: Vec<usize> = (0..cfg.devices).filter(|d| !down.contains(d)).collect();
+                let client = up[(splitmix64(cfg.seed ^ i as u64) % up.len() as u64) as usize];
+                let (name, graph) = app_template(req.graph_index);
+                match server.start_session(
+                    format!("{name}-{i}"),
+                    graph,
+                    QosVector::new(),
+                    DeviceId::from_index(client),
+                ) {
+                    Ok(id) => {
+                        report.admitted += 1;
+                        active.insert(i, id);
+                        by_session.insert(id, i);
+                        format!("arrive  req{i} {name} client=dev{client} -> admitted as {id}")
+                    }
+                    Err(e) => {
+                        report.denied += 1;
+                        format!("arrive  req{i} {name} client=dev{client} -> denied ({e})")
+                    }
+                }
+            }
+            CampaignEvent::Departure(i) => match active.remove(&i) {
+                Some(id) => {
+                    by_session.remove(&id);
+                    let stopped = server.stop_session(id);
+                    debug_assert!(stopped.is_some(), "active map tracks live sessions");
+                    report.completed += 1;
+                    format!("depart  req{i} -> completed ({id})")
+                }
+                None => format!("depart  req{i} -> already gone"),
+            },
+            CampaignEvent::Fault(j) => {
+                let fault = &schedule[j];
+                apply_fault(
+                    &mut server,
+                    fault,
+                    cfg,
+                    &mut down,
+                    &mut active,
+                    &mut by_session,
+                    &mut report,
+                )
+            }
+        };
+        log.push(idx, at_h, &line);
+        idx += 1;
+
+        report.invariant_checks += 1;
+        if let Err(violation) = check_invariants(&server, &down) {
+            return Err(InvariantViolation {
+                at_h_milli: (at_h * 1000.0).round() as u64,
+                event: line,
+                violation,
+            });
+        }
+    }
+
+    report.live_at_end = server.session_count() as u32;
+    // Everything still live at the horizon is neither completed nor
+    // dropped; fates must balance exactly.
+    report.log_digest = log.digest();
+    debug_assert!(report.session_fates_balance(), "fates balance: {report:?}");
+    Ok(CampaignOutcome { report, log })
+}
+
+/// Applies one fault to the server, updating the bookkeeping and
+/// returning the log line describing what actually happened.
+fn apply_fault(
+    server: &mut DomainServer,
+    fault: &TimedFault,
+    cfg: &FaultCampaignConfig,
+    down: &mut BTreeSet<usize>,
+    active: &mut BTreeMap<usize, SessionId>,
+    by_session: &mut BTreeMap<SessionId, usize>,
+    report: &mut FaultReport,
+) -> String {
+    match fault.kind {
+        FaultKind::Crash { device } => {
+            // The schedule's up/down state machine ran in generation
+            // order; after time-sorting, a crash may arrive while the
+            // device is already down or is the last survivor. Skip those
+            // (logged), so the space never fully blacks out.
+            if down.contains(&device) {
+                return format!("fault   crash dev{device} -> skipped (already down)");
+            }
+            if down.len() + 1 >= cfg.devices {
+                return format!("fault   crash dev{device} -> skipped (last device up)");
+            }
+            report.crashes += 1;
+            down.insert(device);
+            let rec = server.handle_crash(DeviceId::from_index(device));
+            let tail = absorb_recovery(&rec, active, by_session, report);
+            format!("fault   crash dev{device} -> {tail}")
+        }
+        FaultKind::Recover { device } => {
+            if !down.contains(&device) {
+                return format!("fault   recover dev{device} -> skipped (already up)");
+            }
+            report.device_recoveries += 1;
+            down.remove(&device);
+            let rec = server.recover_device(DeviceId::from_index(device));
+            let tail = absorb_recovery(&rec, active, by_session, report);
+            format!("fault   recover dev{device} -> {tail}")
+        }
+        FaultKind::Fluctuate { device, factor } => {
+            if down.contains(&device) {
+                return format!("fault   fluctuate dev{device} -> skipped (down)");
+            }
+            report.fluctuations += 1;
+            let pristine = server
+                .pristine()
+                .device(device)
+                .expect("schedule device indexes the space")
+                .availability()
+                .clone();
+            let scaled = pristine
+                .scaled_by(&vec![factor; pristine.dim()])
+                .expect("factor vector matches dimension");
+            let rec = server.fluctuate(DeviceId::from_index(device), scaled);
+            let tail = absorb_recovery(&rec, active, by_session, report);
+            format!("fault   fluctuate dev{device} x{factor:.3} -> {tail}")
+        }
+        FaultKind::DegradeLink { a, b, factor } => {
+            if down.contains(&a) || down.contains(&b) {
+                return format!("fault   degrade-link dev{a}-dev{b} -> skipped (endpoint down)");
+            }
+            report.link_fluctuations += 1;
+            let mbps = server.pristine().bandwidth().get(a, b) * factor;
+            let rec = server.degrade_link(DeviceId::from_index(a), DeviceId::from_index(b), mbps);
+            let tail = absorb_recovery(&rec, active, by_session, report);
+            format!("fault   degrade-link dev{a}-dev{b} x{factor:.3} -> {tail}")
+        }
+        FaultKind::SwitchDevice { pick, to } => {
+            let ids: Vec<SessionId> = by_session.keys().copied().collect();
+            if ids.is_empty() {
+                return "fault   switch-device -> skipped (no live session)".to_owned();
+            }
+            let id = ids[(pick % ids.len() as u64) as usize];
+            report.switches += 1;
+            match server.switch_device(id, DeviceId::from_index(to)) {
+                Ok(plan) => format!(
+                    "fault   switch-device {id} -> dev{to} (resume at {:.4}s)",
+                    plan.resume_position_s()
+                ),
+                Err(e) => {
+                    report.switch_failures += 1;
+                    format!("fault   switch-device {id} -> dev{to} failed ({e}), old config kept")
+                }
+            }
+        }
+        FaultKind::MoveUser { pick, to } => {
+            let ids: Vec<SessionId> = by_session.keys().copied().collect();
+            if ids.is_empty() {
+                return "fault   move-user -> skipped (no live session)".to_owned();
+            }
+            let id = ids[(pick % ids.len() as u64) as usize];
+            report.moves += 1;
+            match server.move_user(id, None, DeviceId::from_index(to)) {
+                Ok(plan) => format!(
+                    "fault   move-user {id} -> dev{to} (resume at {:.4}s)",
+                    plan.resume_position_s()
+                ),
+                Err(e) => {
+                    report.move_failures += 1;
+                    format!("fault   move-user {id} -> dev{to} failed ({e}), old config kept")
+                }
+            }
+        }
+    }
+}
+
+/// Folds a [`RecoveryReport`] into the campaign bookkeeping: recovered
+/// sessions count as replacements, dropped ones leave the active maps.
+/// Every drop must carry its witnessing error (asserted here).
+fn absorb_recovery(
+    rec: &RecoveryReport,
+    active: &mut BTreeMap<usize, SessionId>,
+    by_session: &mut BTreeMap<SessionId, usize>,
+    report: &mut FaultReport,
+) -> String {
+    assert_eq!(
+        rec.dropped.len(),
+        rec.drop_errors.len(),
+        "every drop carries the error witnessing unplaceability"
+    );
+    for (id, (witness_id, _)) in rec.dropped.iter().zip(&rec.drop_errors) {
+        assert_eq!(id, witness_id, "drop witnesses line up");
+        let req = by_session
+            .remove(id)
+            .expect("dropped sessions were live and tracked");
+        active.remove(&req);
+    }
+    report.replacements += rec.recovered.len() as u32;
+    report.dropped += rec.dropped.len() as u32;
+    let mut tail = format!(
+        "re-placed {}, dropped {}",
+        rec.recovered.len(),
+        rec.dropped.len()
+    );
+    for (id, err) in &rec.drop_errors {
+        let _ = write!(tail, "; {id} unplaceable ({err})");
+    }
+    tail
+}
+
+/// Sweeps every invariant over the server's current state. Returns the
+/// first violation found, described.
+pub fn check_invariants(server: &DomainServer, down: &BTreeSet<usize>) -> Result<(), String> {
+    let env = server.env();
+    let capacity = server.capacity();
+
+    // (1) Capacity bounds per device dimension.
+    for (d, (residual, cap)) in env.devices().iter().zip(capacity.devices()).enumerate() {
+        for (k, (&r, &c)) in residual
+            .availability()
+            .amounts()
+            .iter()
+            .zip(cap.availability().amounts())
+            .enumerate()
+        {
+            if r < -EPS {
+                return Err(format!("device {d} dim {k}: negative residual {r}"));
+            }
+            if r > c + EPS {
+                return Err(format!(
+                    "device {d} dim {k}: residual {r} exceeds capacity {c}"
+                ));
+            }
+        }
+    }
+
+    // (2) Conservation: capacity - Σ live charges == residual, per
+    // device dimension. Recompute the charges from the live cuts.
+    let dim = capacity.device(0).map_or(0, |dev| dev.availability().dim());
+    let mut charged = vec![ResourceVector::zero(dim); capacity.device_count()];
+    for (_, s) in server.sessions() {
+        let graph = &s.configuration.app.graph;
+        let cut = &s.configuration.cut;
+        for (part, charge) in charged.iter_mut().enumerate().take(cut.parts()) {
+            let used = cut
+                .part_resource_sum(graph, part)
+                .map_err(|e| format!("session cut dimension mismatch: {e}"))?;
+            *charge = charge
+                .checked_add(&used)
+                .map_err(|e| format!("charge accumulation mismatch: {e}"))?;
+        }
+    }
+    for (d, used) in charged.iter().enumerate() {
+        let cap = capacity.device(d).expect("index in range").availability();
+        let res = env.device(d).expect("index in range").availability();
+        for k in 0..dim {
+            let expect = cap.amounts()[k] - used.amounts()[k];
+            let got = res.amounts()[k];
+            if (expect - got).abs() > EPS {
+                return Err(format!(
+                    "device {d} dim {k}: residual {got} != capacity-charges {expect}"
+                ));
+            }
+        }
+    }
+
+    // (3) Link-bandwidth bounds and conservation over the shared pool.
+    let mut link_charged: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (_, s) in server.sessions() {
+        let graph = &s.configuration.app.graph;
+        let t = s.configuration.cut.inter_part_throughput(graph);
+        for (i, row) in t.iter().enumerate() {
+            for (j, &mbps) in row.iter().enumerate().skip(i + 1) {
+                let both = mbps + t[j][i];
+                if both > 0.0 {
+                    *link_charged.entry((i, j)).or_insert(0.0) += both;
+                }
+            }
+        }
+    }
+    for (i, j, cap_mbps) in capacity.bandwidth().pairs() {
+        if !cap_mbps.is_finite() {
+            continue;
+        }
+        let res_mbps = env.bandwidth().get(i, j);
+        if res_mbps < -EPS {
+            return Err(format!("link {i}-{j}: negative residual {res_mbps}"));
+        }
+        let used = link_charged.get(&(i, j)).copied().unwrap_or(0.0);
+        let expect = cap_mbps - used;
+        if (expect - res_mbps).abs() > EPS {
+            return Err(format!(
+                "link {i}-{j}: residual {res_mbps} != capacity-charges {expect}"
+            ));
+        }
+    }
+
+    // (4) Per-session checks: Eq. 1 consistency, pins, crashed devices
+    // host nothing.
+    for (id, s) in server.sessions() {
+        let graph = &s.configuration.app.graph;
+        let cut = &s.configuration.cut;
+        if !diagnose(graph).is_consistent() {
+            return Err(format!("{id}: live graph is not QoS-consistent (Eq. 1)"));
+        }
+        match cut.respects_pins(graph) {
+            Ok(true) => {}
+            Ok(false) => return Err(format!("{id}: cut violates a component pin")),
+            Err(e) => return Err(format!("{id}: malformed cut ({e})")),
+        }
+        for &d in down {
+            if d < cut.parts() {
+                let used = cut
+                    .part_resource_sum(graph, d)
+                    .map_err(|e| format!("{id}: cut dimension mismatch ({e})"))?;
+                if !used.is_zero() {
+                    return Err(format!("{id}: components placed on crashed device {d}"));
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_completes_and_balances() {
+        let outcome = run_fault_campaign(&FaultCampaignConfig::default()).expect("no violations");
+        let r = &outcome.report;
+        assert!(r.session_fates_balance(), "{r:?}");
+        assert_eq!(r.arrivals, 120);
+        assert!(r.admitted > 0, "some sessions must be admitted");
+        assert!(r.invariant_checks >= r.events);
+        assert_eq!(r.log_digest, outcome.log.digest());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = FaultCampaignConfig::default();
+        let a = run_fault_campaign(&cfg).expect("no violations");
+        let b = run_fault_campaign(&cfg).expect("no violations");
+        assert_eq!(a.log.render(), b.log.render(), "byte-identical logs");
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_fault_campaign(&FaultCampaignConfig::default()).expect("no violations");
+        let b = run_fault_campaign(&FaultCampaignConfig {
+            seed: 7,
+            ..FaultCampaignConfig::default()
+        })
+        .expect("no violations");
+        assert_ne!(a.log.render(), b.log.render());
+        assert_ne!(a.report.log_digest, b.report.log_digest);
+    }
+
+    #[test]
+    fn faults_actually_fire() {
+        let outcome = run_fault_campaign(&FaultCampaignConfig::default()).expect("no violations");
+        let r = &outcome.report;
+        assert!(r.crashes > 0, "schedule should include crashes: {r}");
+        assert!(r.fluctuations > 0, "and fluctuations: {r}");
+        assert_eq!(
+            r.events,
+            r.arrivals * 2 + 40,
+            "arrival+departure per request plus every fault"
+        );
+    }
+
+    #[test]
+    fn templates_cover_both_pipelines() {
+        let (wav, g0) = app_template(0);
+        let (mpeg, g1) = app_template(1);
+        assert_eq!(wav, "wav-audio");
+        assert_eq!(mpeg, "mpeg-audio");
+        assert_eq!(g0.spec_count(), 2);
+        assert_eq!(g1.spec_count(), 2);
+    }
+
+    #[test]
+    fn invariants_pass_on_a_fresh_space() {
+        let server = build_space(4);
+        assert_eq!(check_invariants(&server, &BTreeSet::new()), Ok(()));
+    }
+}

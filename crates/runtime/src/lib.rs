@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod cost_model;
 pub mod domain_server;
 pub mod event_service;
+pub mod faults;
 pub mod overhead;
 pub mod profiler;
 pub mod repository;
@@ -47,6 +48,9 @@ pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
 pub use cost_model::{CostModel, LinkKind};
 pub use domain_server::{DomainServer, RecoveryReport, Session, SessionId};
 pub use event_service::{EventService, RuntimeEvent};
+pub use faults::{
+    run_fault_campaign, CampaignOutcome, EventLog, FaultCampaignConfig, InvariantViolation,
+};
 pub use overhead::ConfigOverhead;
 pub use profiler::Profiler;
 pub use repository::ComponentRepository;

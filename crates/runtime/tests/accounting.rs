@@ -186,4 +186,43 @@ proptest! {
                 .is_ok());
         }
     }
+
+    /// Each departure refunds *exactly* what its arrival charged: with
+    /// no faults in between, stopping sessions LIFO walks the residual
+    /// environment back through the identical snapshots, and the
+    /// departure's refund equals the arrival's charge device-by-device
+    /// and link-by-link.
+    #[test]
+    fn departures_refund_exactly_what_arrivals_charged(
+        clients in proptest::collection::vec(0u8..3, 1..6),
+    ) {
+        let mut server = smart_space();
+        let mut snapshots = vec![server.env().clone()];
+        let mut live: Vec<SessionId> = Vec::new();
+        for (i, &device) in clients.iter().enumerate() {
+            if let Ok(id) = server.start_session(
+                format!("app-{i}"),
+                app(),
+                QosVector::new(),
+                DeviceId::from_index(device as usize),
+            ) {
+                live.push(id);
+                snapshots.push(server.env().clone());
+            }
+        }
+        // LIFO teardown: every stop must restore the previous snapshot
+        // bit-for-bit (the refund is the exact inverse of the charge).
+        while let Some(id) = live.pop() {
+            let after_arrival = snapshots.pop().expect("one snapshot per admission");
+            prop_assert_eq!(server.env(), &after_arrival, "pre-stop state drifted");
+            prop_assert!(server.stop_session(id).is_some());
+            prop_assert_eq!(
+                server.env(),
+                snapshots.last().expect("initial snapshot remains"),
+                "refund is not the exact inverse of the charge"
+            );
+        }
+        prop_assert_eq!(server.env(), &snapshots[0], "idle environment restored");
+        prop_assert_eq!(server.env(), server.capacity());
+    }
 }

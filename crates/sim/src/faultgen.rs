@@ -1,0 +1,309 @@
+//! Seeded generation of §3.3 fault schedules.
+//!
+//! The paper's reconfiguration triggers — device crash, resource
+//! fluctuation, portal/device switch, user mobility, application
+//! start/stop — only appear in hand-written scenarios elsewhere in the
+//! workspace. This module turns them into *data*: a deterministic,
+//! seed-reproducible schedule of timed fault events that a runtime
+//! harness (`ubiqos_runtime::faults`) replays against a live
+//! [`DomainServer`](../../ubiqos_runtime/struct.DomainServer.html),
+//! interleaved with the Figure 5 request workload.
+//!
+//! The generator is stateful about crash/recover pairing: a recovery is
+//! only emitted for a device that is currently down, so every schedule
+//! is *applicable* as-is (no "recover a healthy device" no-ops crowding
+//! out real faults).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault (device indices are plain `usize`s so the
+/// schedule stays independent of any graph/runtime types).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Device `device` crashes: capacity and its links drop to zero.
+    Crash {
+        /// The crashing device.
+        device: usize,
+    },
+    /// Device `device` recovers to its pristine capacity and links.
+    Recover {
+        /// The recovering device.
+        device: usize,
+    },
+    /// Device `device`'s availability becomes `factor` × pristine
+    /// (`factor` in `(0, 1]` degrades, `1.0` restores).
+    Fluctuate {
+        /// The fluctuating device.
+        device: usize,
+        /// Fraction of pristine capacity that remains.
+        factor: f64,
+    },
+    /// The `a`-`b` link's bandwidth becomes `factor` × pristine.
+    DegradeLink {
+        /// One link endpoint.
+        a: usize,
+        /// The other link endpoint (always `> a`).
+        b: usize,
+        /// Fraction of pristine bandwidth that remains.
+        factor: f64,
+    },
+    /// Some live session's user switches portal to device `to`
+    /// (`pick` selects the session deterministically among the live
+    /// ones, modulo their count).
+    SwitchDevice {
+        /// Deterministic session selector.
+        pick: u64,
+        /// The new portal device.
+        to: usize,
+    },
+    /// Some live session's user moves (recompose + re-place + handoff)
+    /// and fronts device `to`.
+    MoveUser {
+        /// Deterministic session selector.
+        pick: u64,
+        /// The new portal device.
+        to: usize,
+    },
+}
+
+impl FaultKind {
+    /// A short stable label for logs and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Recover { .. } => "recover",
+            FaultKind::Fluctuate { .. } => "fluctuate",
+            FaultKind::DegradeLink { .. } => "degrade-link",
+            FaultKind::SwitchDevice { .. } => "switch-device",
+            FaultKind::MoveUser { .. } => "move-user",
+        }
+    }
+}
+
+/// One fault at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedFault {
+    /// When the fault fires, in hours from campaign start.
+    pub at_h: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Parameters for fault-schedule generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScheduleConfig {
+    /// Schedule seed (independent of the workload seed).
+    pub seed: u64,
+    /// Number of fault events to generate.
+    pub events: usize,
+    /// Horizon the events spread over, in hours.
+    pub horizon_h: f64,
+    /// Number of devices in the target smart space.
+    pub devices: usize,
+    /// Smallest capacity fraction a fluctuation may leave.
+    pub min_factor: f64,
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig {
+            seed: 0x1cdc_2002,
+            events: 48,
+            horizon_h: 100.0,
+            devices: 4,
+            min_factor: 0.2,
+        }
+    }
+}
+
+impl FaultScheduleConfig {
+    /// Generates the schedule: `events` timed faults sorted by time
+    /// (FIFO on ties, by construction), deterministic per seed.
+    ///
+    /// Crash/recover alternate per device — a recovery always targets a
+    /// currently-down device; while everything is up, the slot becomes a
+    /// fluctuation instead. At least one device is always left up, so a
+    /// schedule can never crash the whole space at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config has fewer than 2 devices or no events
+    /// horizon to spread over (harness construction error).
+    pub fn generate(&self) -> Vec<TimedFault> {
+        assert!(self.devices >= 2, "fault schedules need at least 2 devices");
+        assert!(self.horizon_h > 0.0, "fault horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut down: Vec<bool> = vec![false; self.devices];
+        let mut schedule: Vec<TimedFault> = (0..self.events)
+            .map(|_| {
+                let at_h = rng.gen_range(0.0..self.horizon_h);
+                let kind = self.draw_kind(&mut rng, &mut down);
+                TimedFault { at_h, kind }
+            })
+            .collect();
+        // Stable sort keeps the generation order on exact time ties, so
+        // the schedule is a pure function of the seed.
+        schedule.sort_by(|x, y| {
+            x.at_h
+                .partial_cmp(&y.at_h)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        schedule
+    }
+
+    fn draw_kind(&self, rng: &mut StdRng, down: &mut [bool]) -> FaultKind {
+        let device = rng.gen_range(0..self.devices);
+        let factor = rng.gen_range(self.min_factor..1.0);
+        match rng.gen_range(0u32..10) {
+            // 2/10 crash — unless it would take the last device down, in
+            // which case the slot degrades the device instead.
+            0 | 1 => {
+                let up_count = down.iter().filter(|&&d| !d).count();
+                if !down[device] && up_count > 1 {
+                    down[device] = true;
+                    FaultKind::Crash { device }
+                } else {
+                    FaultKind::Fluctuate { device, factor }
+                }
+            }
+            // 2/10 recover a down device (deterministically the lowest
+            // index), else restore the drawn device to full capacity.
+            2 | 3 => match down.iter().position(|&d| d) {
+                Some(dead) => {
+                    down[dead] = false;
+                    FaultKind::Recover { device: dead }
+                }
+                None => FaultKind::Fluctuate {
+                    device,
+                    factor: 1.0,
+                },
+            },
+            // 2/10 resource fluctuation.
+            4 | 5 => FaultKind::Fluctuate { device, factor },
+            // 2/10 link degradation (restore when the draw is generous).
+            6 | 7 => {
+                let other = (device + 1 + rng.gen_range(0..self.devices - 1)) % self.devices;
+                let (a, b) = (device.min(other), device.max(other));
+                FaultKind::DegradeLink { a, b, factor }
+            }
+            // 1/10 portal switch, 1/10 user move.
+            8 => FaultKind::SwitchDevice {
+                pick: rng.gen::<u64>(),
+                to: device,
+            },
+            _ => FaultKind::MoveUser {
+                pick: rng.gen::<u64>(),
+                to: device,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = FaultScheduleConfig::default();
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = FaultScheduleConfig {
+            seed: 1,
+            ..FaultScheduleConfig::default()
+        };
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn sorted_sized_and_in_bounds() {
+        let cfg = FaultScheduleConfig {
+            events: 200,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        assert_eq!(schedule.len(), 200);
+        for pair in schedule.windows(2) {
+            assert!(pair[0].at_h <= pair[1].at_h);
+        }
+        for f in &schedule {
+            assert!(f.at_h >= 0.0 && f.at_h < cfg.horizon_h);
+            match f.kind {
+                FaultKind::Crash { device }
+                | FaultKind::Recover { device }
+                | FaultKind::Fluctuate { device, .. } => assert!(device < cfg.devices),
+                FaultKind::DegradeLink { a, b, .. } => {
+                    assert!(a < b && b < cfg.devices);
+                }
+                FaultKind::SwitchDevice { to, .. } | FaultKind::MoveUser { to, .. } => {
+                    assert!(to < cfg.devices);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashes_and_recoveries_pair_up() {
+        // Replaying the schedule in *generation* order keeps a sane
+        // up/down state: never recover an up device, never crash a down
+        // one, never crash the last survivor. Generation order is what
+        // the state machine saw; time order may interleave differently,
+        // which the runtime injector tolerates by design.
+        let cfg = FaultScheduleConfig {
+            events: 400,
+            seed: 9,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        let crashes = schedule
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::Crash { .. }))
+            .count();
+        let recoveries = schedule
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::Recover { .. }))
+            .count();
+        assert!(
+            crashes >= recoveries,
+            "{crashes} crashes, {recoveries} recoveries"
+        );
+        assert!(
+            crashes - recoveries < cfg.devices,
+            "at most devices-1 net down"
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            FaultKind::Crash { device: 0 },
+            FaultKind::Recover { device: 0 },
+            FaultKind::Fluctuate {
+                device: 0,
+                factor: 0.5,
+            },
+            FaultKind::DegradeLink {
+                a: 0,
+                b: 1,
+                factor: 0.5,
+            },
+            FaultKind::SwitchDevice { pick: 0, to: 0 },
+            FaultKind::MoveUser { pick: 0, to: 0 },
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 devices")]
+    fn rejects_single_device_spaces() {
+        let _ = FaultScheduleConfig {
+            devices: 1,
+            ..FaultScheduleConfig::default()
+        }
+        .generate();
+    }
+}

@@ -13,13 +13,15 @@
 //!
 //! Supporting modules: a deterministic event queue ([`des`]), seeded
 //! random service-graph generation ([`graphgen`]), the request workload
-//! generator ([`workload`]), and windowed success-rate metrics
-//! ([`metrics`]).
+//! generator ([`workload`]), windowed success-rate metrics
+//! ([`metrics`]), and seeded §3.3 fault-schedule generation
+//! ([`faultgen`]) consumed by the runtime's fault-injection harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod des;
+pub mod faultgen;
 pub mod graphgen;
 pub mod metrics;
 pub mod scenario;
@@ -27,6 +29,7 @@ pub mod table1;
 pub mod workload;
 
 pub use des::EventQueue;
+pub use faultgen::{FaultKind, FaultScheduleConfig, TimedFault};
 pub use graphgen::GraphGenConfig;
 pub use metrics::WindowedRate;
 pub use scenario::{

@@ -1,0 +1,96 @@
+//! Workspace-level soak test of the deterministic fault-injection
+//! harness (`ubiqos_runtime::faults`).
+//!
+//! `run_fault_campaign` aborts with an [`InvariantViolation`] the moment
+//! any model invariant breaks, so "the campaign completed" *is* the
+//! assertion that capacity bounds, charge conservation, Equation 1
+//! consistency, pin respect, and witnessed drops all held after every
+//! single event. This file drives that checker across many random
+//! schedules and pins the determinism guarantee.
+
+use ubiqos_runtime::{run_fault_campaign, FaultCampaignConfig};
+
+/// ≥ 50 random fault schedules, varying space size and fault density,
+/// every invariant checked after every event.
+#[test]
+fn soak_fifty_random_schedules_keep_all_invariants() {
+    let mut checks = 0u64;
+    for seed in 0..50u64 {
+        let cfg = FaultCampaignConfig {
+            seed: 0xfa01_7000 + seed,
+            devices: 3 + (seed % 4) as usize,
+            requests: 40,
+            horizon_h: 24.0,
+            faults: 16 + (seed % 3) as usize * 8,
+            min_factor: 0.25,
+        };
+        let outcome = run_fault_campaign(&cfg)
+            .unwrap_or_else(|v| panic!("seed {seed}: invariant violated: {v}"));
+        let r = &outcome.report;
+        assert!(r.session_fates_balance(), "seed {seed}: fates drift: {r}");
+        assert_eq!(
+            r.invariant_checks, r.events,
+            "seed {seed}: every event must be followed by a sweep"
+        );
+        assert_eq!(r.arrivals, 40, "seed {seed}: whole workload processed");
+        checks += u64::from(r.invariant_checks);
+    }
+    assert!(checks >= 50 * 96, "soak actually swept ({checks} checks)");
+}
+
+/// Same seed, same config → byte-identical event log and equal report.
+#[test]
+fn same_seed_reproduces_byte_identical_trace() {
+    let cfg = FaultCampaignConfig::default();
+    let a = run_fault_campaign(&cfg).expect("campaign holds its invariants");
+    let b = run_fault_campaign(&cfg).expect("campaign holds its invariants");
+    assert_eq!(a.log.render(), b.log.render());
+    assert_eq!(a.log.render().as_bytes(), b.log.render().as_bytes());
+    assert_eq!(a.report, b.report);
+}
+
+/// The default campaign's digest is pinned. Because the CI matrix runs
+/// this same test under `UBIQOS_THREADS=1` and `UBIQOS_THREADS=8`, both
+/// jobs agreeing with this constant proves the trace is independent of
+/// the thread setting (and of debug vs release codegen).
+#[test]
+fn default_campaign_digest_is_pinned_across_thread_settings() {
+    let outcome =
+        run_fault_campaign(&FaultCampaignConfig::default()).expect("campaign holds its invariants");
+    assert_eq!(
+        outcome.report.log_digest,
+        0x10b7_011b_2c53_8f55,
+        "trace changed: the fault model or its inputs were modified \
+         (update the pinned digest only if that was intentional); \
+         UBIQOS_THREADS={:?}",
+        std::env::var("UBIQOS_THREADS").ok()
+    );
+    assert_eq!(outcome.report.log_digest, outcome.log.digest());
+}
+
+/// Sessions are only dropped with a recorded `ConfigureError` witness —
+/// the harness asserts that internally — and denials only happen while
+/// admission genuinely fails. Spot-check the aggregate story: a campaign
+/// with no faults at all admits strictly more than the default one.
+#[test]
+fn faults_are_what_costs_sessions() {
+    let calm = FaultCampaignConfig {
+        faults: 0,
+        ..FaultCampaignConfig::default()
+    };
+    let stormy = FaultCampaignConfig::default();
+    let calm_out = run_fault_campaign(&calm).expect("calm campaign holds");
+    let storm_out = run_fault_campaign(&stormy).expect("stormy campaign holds");
+    assert_eq!(calm_out.report.dropped, 0, "nothing drops without faults");
+    assert_eq!(calm_out.report.crashes, 0);
+    assert!(
+        storm_out.report.crashes > 0,
+        "default schedule includes crashes"
+    );
+    assert!(
+        calm_out.report.admitted >= storm_out.report.admitted,
+        "faults cannot increase admissions: calm {} vs stormy {}",
+        calm_out.report.admitted,
+        storm_out.report.admitted
+    );
+}
