@@ -165,15 +165,44 @@ fn osd() {
     }
 }
 
+/// Runs one campaign; on an invariant violation, shrinks the fault
+/// schedule to a 1-minimal reproducer before aborting, so the artifact
+/// failure is immediately debuggable.
+fn run_or_shrink(cfg: &ubiqos_runtime::FaultCampaignConfig) -> ubiqos_runtime::CampaignOutcome {
+    match ubiqos_runtime::run_fault_campaign(cfg) {
+        Ok(outcome) => outcome,
+        Err(violation) => {
+            eprintln!("invariant violated: {violation}");
+            eprintln!("shrinking the fault schedule to a minimal reproducer...");
+            let schedule = ubiqos_runtime::campaign_schedule(cfg);
+            if let Some(minimal) = ubiqos_runtime::shrink_schedule(&schedule, |candidate| {
+                ubiqos_runtime::run_fault_campaign_with(cfg, candidate)
+                    .err()
+                    .map(|v| v.to_string())
+            }) {
+                eprintln!(
+                    "minimal schedule: {} of {} faults ({} probes): {}",
+                    minimal.schedule.len(),
+                    schedule.len(),
+                    minimal.probes,
+                    minimal.violation
+                );
+                for f in &minimal.schedule {
+                    eprintln!("  t={:.4}h {:?}", f.at_h, f.kind);
+                }
+            }
+            panic!("fault campaign violated an invariant: {violation}");
+        }
+    }
+}
+
 fn faults() {
     println!("================ Fault-injection campaign ================");
     let cfg = ubiqos_bench::faults_config();
-    let first = ubiqos_runtime::run_fault_campaign(&cfg)
-        .expect("campaign must complete with every invariant intact");
+    let first = run_or_shrink(&cfg);
     // Re-run the identical campaign and require a byte-identical trace:
     // the determinism guarantee is part of the artifact, not a side note.
-    let second = ubiqos_runtime::run_fault_campaign(&cfg)
-        .expect("campaign must complete with every invariant intact");
+    let second = run_or_shrink(&cfg);
     assert_eq!(
         first.log.render(),
         second.log.render(),
@@ -186,8 +215,47 @@ fn faults() {
         first.log.lines().len(),
         first.report.log_digest
     );
+
+    // The staged-recovery payoff: the identical seed, workload, and fault
+    // schedule with the ladder and retry queue disabled (drop-on-fault).
+    let strict = run_or_shrink(&ubiqos_bench::faults_config_strict());
+    println!();
+    println!("---- staged recovery vs drop-on-fault (same seed & schedule) ----");
+    println!(
+        "{:<18} | {:>8} | {:>9} | {:>8} | {:>6} | {:>10} | {:>7}",
+        "mode", "admitted", "completed", "degraded", "parked", "readmitted", "dropped"
+    );
+    for (label, r) in [
+        ("staged (default)", &first.report),
+        ("drop-on-fault", &strict.report),
+    ] {
+        println!(
+            "{:<18} | {:>8} | {:>9} | {:>8} | {:>6} | {:>10} | {:>7}",
+            label, r.admitted, r.completed, r.degraded, r.parked, r.readmitted, r.dropped
+        );
+    }
+    // The arrival sequence is seed-derived and identical in both modes;
+    // admission counts may differ slightly because dropping sessions
+    // frees capacity that staged recovery keeps serving (degraded or
+    // re-placed sessions stay live to completion).
+    assert_eq!(
+        first.report.arrivals, strict.report.arrivals,
+        "both modes must face the identical arrival workload"
+    );
+    assert!(
+        first.report.dropped < strict.report.dropped,
+        "staged recovery must drop fewer sessions than drop-on-fault"
+    );
+    println!(
+        "staged recovery drops {} session(s) instead of {} and completes {} vs {}",
+        first.report.dropped,
+        strict.report.dropped,
+        first.report.completed,
+        strict.report.completed
+    );
     println!();
     ubiqos_bench::dump_json("faults.json", &first.report);
+    ubiqos_bench::dump_json("faults_strict.json", &strict.report);
     match serde_json::to_string_pretty(&first.report) {
         Ok(json) => match std::fs::write("BENCH_faults.json", json) {
             Ok(()) => println!("(fault campaign written to BENCH_faults.json)"),

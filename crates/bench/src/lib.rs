@@ -66,16 +66,31 @@ pub fn reproduce_fig5() -> Fig5Outcome {
 }
 
 /// The fault-injection campaign the `repro -- faults` artifact runs: a
-/// larger space and longer horizon than the unit-test default, still
-/// fast in release builds.
+/// larger space and longer horizon than the unit-test default, with
+/// correlated crash scopes and flapping links enabled, still fast in
+/// release builds.
 pub fn faults_config() -> FaultCampaignConfig {
     FaultCampaignConfig {
         seed: 0x1cdc_2002,
         devices: 6,
-        requests: 600,
-        horizon_h: 200.0,
-        faults: 160,
+        requests: 800,
+        horizon_h: 48.0,
+        faults: 320,
         min_factor: 0.25,
+        scope_max: 2,
+        flapping_links: 1,
+        ..FaultCampaignConfig::default()
+    }
+}
+
+/// The same campaign with staged recovery disabled (drop-on-fault, the
+/// pre-ladder behaviour). The `repro -- faults` artifact runs both and
+/// reports the drop-count delta — the degradation ladder's payoff at an
+/// identical admission workload.
+pub fn faults_config_strict() -> FaultCampaignConfig {
+    FaultCampaignConfig {
+        staged_recovery: false,
+        ..faults_config()
     }
 }
 

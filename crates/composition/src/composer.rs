@@ -60,6 +60,24 @@ impl ComposedApplication {
     pub fn total_code_size_mb(&self) -> f64 {
         self.instances.iter().map(|i| i.code_size_mb).sum()
     }
+
+    /// Scales every component's resource demand by `factor` — the
+    /// degradation ladder's demand side. A session placed at rung factor
+    /// `f` streams proportionally less data, so the distribution tier
+    /// should charge (and fit) `f` times the full-quality demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or non-finite.
+    pub fn scale_resources(&mut self, factor: f64) {
+        let ids: Vec<_> = self.graph.component_ids().collect();
+        for id in ids {
+            self.graph
+                .component_mut(id)
+                .expect("own component ids are valid")
+                .scale_resources(factor);
+        }
+    }
 }
 
 /// The service composer.

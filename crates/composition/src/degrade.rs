@@ -1,0 +1,190 @@
+//! The QoS degradation ladder: discrete quality levels a session walks
+//! down before the runtime gives up on placing it.
+//!
+//! The paper treats placement as pass/fail — a session that no longer
+//! fits after a §3.3 event is dropped. Multimedia applications can
+//! usually do better: stream at a lower rate instead of dying. The
+//! ladder makes that negotiation explicit and *discrete* (deterministic
+//! and cheap to search): each rung is a factor in `(0, 1]` applied to
+//! both the user's requirement vector (weakened monotonically under
+//! Eq. 1 via [`ubiqos_model::weaken_requirement`]) and the abstract
+//! graph's estimated stream throughputs (a lower level streams
+//! proportionally less data).
+
+use serde::{Deserialize, Serialize};
+use ubiqos_graph::AbstractServiceGraph;
+use ubiqos_model::{weaken_requirement, QosVector};
+
+/// One rung of the ladder: the requirement vector and abstract graph to
+/// attempt configuration with at this quality level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationStep {
+    /// The quality factor of this rung (1.0 = full quality).
+    pub factor: f64,
+    /// The user's requirement vector, weakened for this rung.
+    pub user_qos: QosVector,
+    /// The abstract graph with stream throughputs scaled for this rung.
+    pub abstract_graph: AbstractServiceGraph,
+}
+
+/// A descending sequence of quality factors, starting at full quality.
+///
+/// The default ladder is `[1.0, 0.75, 0.5, 0.25]` — full quality plus
+/// three degradation rungs. A *strict* ladder (`[1.0]` only) reproduces
+/// the paper's pass/fail behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationLadder {
+    levels: Vec<f64>,
+}
+
+impl Default for DegradationLadder {
+    fn default() -> Self {
+        DegradationLadder::new(vec![1.0, 0.75, 0.5, 0.25])
+    }
+}
+
+impl DegradationLadder {
+    /// Builds a ladder from descending factors in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the levels are empty, do not start at 1.0, are not
+    /// strictly descending, or leave `(0, 1]` — ladder construction is a
+    /// configuration-time error.
+    pub fn new(levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "a ladder needs at least one level");
+        assert!(
+            (levels[0] - 1.0).abs() < 1e-12,
+            "ladders start at full quality (1.0), got {}",
+            levels[0]
+        );
+        for pair in levels.windows(2) {
+            assert!(
+                pair[1] < pair[0],
+                "ladder levels must strictly descend: {} then {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(
+            levels.iter().all(|&f| f > 0.0 && f <= 1.0),
+            "ladder levels must lie in (0, 1]: {levels:?}"
+        );
+        DegradationLadder { levels }
+    }
+
+    /// The strict single-rung ladder: full quality or nothing (the
+    /// paper's original drop-on-fault behaviour).
+    pub fn strict() -> Self {
+        DegradationLadder::new(vec![1.0])
+    }
+
+    /// The quality factors, descending.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The number of rungs.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the ladder has no degradation rungs (strict mode).
+    pub fn is_empty(&self) -> bool {
+        self.levels.len() <= 1
+    }
+
+    /// Materializes the rungs for one session: each step carries the
+    /// weakened requirement vector and the throughput-scaled abstract
+    /// graph to attempt configuration with, best quality first.
+    pub fn steps(
+        &self,
+        user_qos: &QosVector,
+        abstract_graph: &AbstractServiceGraph,
+    ) -> Vec<DegradationStep> {
+        self.levels
+            .iter()
+            .map(|&factor| DegradationStep {
+                factor,
+                user_qos: weaken_requirement(user_qos, factor),
+                abstract_graph: abstract_graph.scale_throughput(factor),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_graph::AbstractComponentSpec;
+    use ubiqos_model::{QosDimension, QosValue};
+
+    fn little_graph() -> AbstractServiceGraph {
+        let mut g = AbstractServiceGraph::new();
+        let a = g.add_spec(AbstractComponentSpec::new("src"));
+        let b = g.add_spec(AbstractComponentSpec::new("sink"));
+        g.add_edge(a, b, 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn default_ladder_shape() {
+        let ladder = DegradationLadder::default();
+        assert_eq!(ladder.levels(), &[1.0, 0.75, 0.5, 0.25]);
+        assert_eq!(ladder.len(), 4);
+        assert!(!ladder.is_empty());
+        assert!(DegradationLadder::strict().is_empty());
+    }
+
+    #[test]
+    fn steps_scale_qos_and_throughput_together() {
+        let qos = QosVector::new().with(QosDimension::FrameRate, QosValue::exact(30.0));
+        let steps = DegradationLadder::default().steps(&qos, &little_graph());
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].factor, 1.0);
+        // Full-quality rung: requirement weakened by 1.0 still admits the
+        // original exact value; throughput untouched.
+        assert!(QosVector::new()
+            .with(QosDimension::FrameRate, QosValue::exact(30.0))
+            .satisfies(&steps[0].user_qos));
+        let (_, _, tp) = steps[0].abstract_graph.edges().next().unwrap();
+        assert_eq!(tp, 2.0);
+        // Half-quality rung: half the throughput, weaker requirement.
+        let half = &steps[2];
+        assert_eq!(half.factor, 0.5);
+        let (_, _, tp) = half.abstract_graph.edges().next().unwrap();
+        assert_eq!(tp, 1.0);
+        assert!(QosVector::new()
+            .with(QosDimension::FrameRate, QosValue::exact(16.0))
+            .satisfies(&half.user_qos));
+    }
+
+    #[test]
+    fn every_rung_is_weaker_than_the_previous() {
+        let qos = QosVector::new().with(QosDimension::FrameRate, QosValue::range(20.0, 30.0));
+        let steps = DegradationLadder::default().steps(&qos, &little_graph());
+        for pair in steps.windows(2) {
+            // Anything satisfying the stronger rung satisfies the weaker.
+            let stronger = pair[0].user_qos.clone();
+            let weaker = &pair[1].user_qos;
+            for probe in [20.0, 25.0, 30.0] {
+                let out = QosVector::new().with(QosDimension::FrameRate, QosValue::exact(probe));
+                if out.satisfies(&stronger) {
+                    assert!(out.satisfies(weaker));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly descend")]
+    fn non_descending_ladders_are_rejected() {
+        let _ = DegradationLadder::new(vec![1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at full quality")]
+    fn ladders_must_start_at_one() {
+        let _ = DegradationLadder::new(vec![0.9, 0.5]);
+    }
+}

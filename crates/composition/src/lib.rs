@@ -28,6 +28,7 @@
 pub mod composer;
 pub mod consistency;
 pub mod correction;
+pub mod degrade;
 pub mod error;
 pub mod library;
 pub mod oc;
@@ -36,6 +37,7 @@ pub mod transcoder;
 pub use composer::{ComposeRequest, ComposedApplication, InstanceUse, ServiceComposer};
 pub use consistency::{diagnose, ConsistencyReport, PairDiagnosis};
 pub use correction::{Correction, CorrectionPolicy};
+pub use degrade::{DegradationLadder, DegradationStep};
 pub use error::CompositionError;
 pub use library::{ExpansionLibrary, ExpansionRule};
 pub use oc::{coordination_with_order, ordered_coordination, CoordinationOrder, OcReport};

@@ -25,6 +25,9 @@ pub struct FaultReport {
 
     /// Injected device crashes.
     pub crashes: u32,
+    /// Correlated crash groups (one scope event taking several devices
+    /// down together; each member also counts in `crashes`).
+    pub correlated_crashes: u32,
     /// Injected device recoveries.
     pub device_recoveries: u32,
     /// Injected per-device resource fluctuations.
@@ -50,16 +53,36 @@ pub struct FaultReport {
     pub denied: u32,
     /// Sessions that ran to their scheduled departure.
     pub completed: u32,
-    /// Sessions dropped during a recovery pass because re-placement
-    /// failed; each drop carries a recorded [`crate::ConfigureError`]
-    /// witnessing that the session was genuinely unplaceable when it was
-    /// dropped.
+    /// Sessions dropped after exhausting the whole staged-recovery
+    /// pipeline (every ladder level failed and the retry budget ran out);
+    /// each drop carries a recorded [`crate::ConfigureError`] witnessing
+    /// that the session was genuinely unplaceable when it was dropped.
     pub dropped: u32,
     /// Successful session re-placements across all recovery passes
-    /// (one session surviving three recovery passes counts three times).
+    /// (one session surviving three recovery passes counts three times;
+    /// degraded re-placements count here too).
     pub replacements: u32,
+    /// Re-placements that only succeeded at a reduced QoS level (a rung
+    /// below full quality on the degradation ladder).
+    pub degraded: u32,
+    /// Park events: a session released its resources and entered the
+    /// retry queue (the same session may park more than once).
+    pub parked: u32,
+    /// Re-admissions of parked sessions from the retry queue.
+    pub readmitted: u32,
     /// Sessions still live when the campaign ended.
     pub live_at_end: u32,
+    /// Sessions still parked (awaiting retry) when the campaign ended.
+    pub parked_at_end: u32,
+    /// Recovery passes run (one per fault that touched capacity).
+    pub recovery_passes: u32,
+    /// Live sessions at the times recovery passes ran, summed — the
+    /// re-placement work a full O(sessions) pass would have done.
+    pub recovery_considered: u32,
+    /// Sessions the incremental recovery passes actually re-examined
+    /// (touched the changed device/link), summed — the O(affected) work
+    /// actually done.
+    pub recovery_affected: u32,
 
     /// Invariant checkpoints passed (one full sweep after every event).
     pub invariant_checks: u32,
@@ -74,15 +97,17 @@ impl FaultReport {
         format!(
             "campaign seed      : {:#018x}\n\
              events applied     : {}\n\
-             faults             : {} crash / {} recover / {} fluctuate / {} link / {} switch ({} failed) / {} move ({} failed)\n\
+             faults             : {} crash ({} correlated groups) / {} recover / {} fluctuate / {} link / {} switch ({} failed) / {} move ({} failed)\n\
              workload           : {} arrivals = {} admitted + {} denied\n\
-             session fates      : {} completed, {} dropped, {} live at end\n\
-             re-placements      : {}\n\
+             session fates      : {} completed, {} dropped, {} live at end, {} parked at end\n\
+             staged recovery    : {} degraded, {} parked, {} readmitted\n\
+             re-placements      : {} across {} passes ({} affected of {} considered)\n\
              invariant checks   : {}\n\
              event log digest   : {:#018x}\n",
             self.seed,
             self.events,
             self.crashes,
+            self.correlated_crashes,
             self.device_recoveries,
             self.fluctuations,
             self.link_fluctuations,
@@ -96,17 +121,26 @@ impl FaultReport {
             self.completed,
             self.dropped,
             self.live_at_end,
+            self.parked_at_end,
+            self.degraded,
+            self.parked,
+            self.readmitted,
             self.replacements,
+            self.recovery_passes,
+            self.recovery_affected,
+            self.recovery_considered,
             self.invariant_checks,
             self.log_digest,
         )
     }
 
     /// Session-fate conservation: every admitted session either ran to
-    /// completion, was dropped by a recovery pass, or is still live.
+    /// completion, exhausted the staged-recovery pipeline and was
+    /// dropped, is still live, or is parked awaiting retry.
     pub fn session_fates_balance(&self) -> bool {
         self.arrivals == self.admitted + self.denied
-            && self.admitted == self.completed + self.dropped + self.live_at_end
+            && self.admitted
+                == self.completed + self.dropped + self.live_at_end + self.parked_at_end
     }
 }
 
@@ -150,6 +184,8 @@ mod tests {
         let s = report.render();
         assert!(s.contains("campaign seed"));
         assert!(s.contains("3 admitted + 1 denied"));
+        assert!(s.contains("staged recovery"));
+        assert!(s.contains("parked at end"));
         assert!(s.contains("invariant checks"));
         assert_eq!(report.to_string(), s);
     }
@@ -168,6 +204,23 @@ mod tests {
         assert!(report.session_fates_balance());
         report.live_at_end = 2;
         assert!(!report.session_fates_balance());
+    }
+
+    #[test]
+    fn fate_balance_counts_parked_sessions() {
+        let report = FaultReport {
+            arrivals: 5,
+            admitted: 4,
+            denied: 1,
+            completed: 2,
+            dropped: 0,
+            live_at_end: 1,
+            parked_at_end: 1,
+            parked: 2,
+            readmitted: 1,
+            ..FaultReport::default()
+        };
+        assert!(report.session_fates_balance());
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub enum ReconfigureTrigger {
     ApplicationStarted,
     /// An application stopped, releasing shared resources.
     ApplicationStopped,
+    /// A session was re-placed at a reduced QoS level instead of being
+    /// dropped (one rung down its degradation ladder).
+    SessionDegraded {
+        /// The quality factor the session ran at before the event.
+        from: f64,
+        /// The quality factor it was re-placed at.
+        to: f64,
+    },
+    /// A session could not be placed at any ladder level and was parked
+    /// in the retry queue (its resources are released while it waits).
+    SessionParked,
+    /// A previously parked session was re-admitted from the retry queue.
+    SessionReadmitted,
 }
 
 impl ReconfigureTrigger {
@@ -69,10 +82,11 @@ impl ReconfigureTrigger {
     }
 
     /// Whether this trigger requires re-running the distribution tier.
-    /// Every trigger does — even recompositions end with a fresh
-    /// placement.
+    /// Every environment trigger does — even recompositions end with a
+    /// fresh placement. The exception is parking: a parked session holds
+    /// no placement at all until its retry fires.
     pub fn requires_redistribution(&self) -> bool {
-        true
+        !matches!(self, ReconfigureTrigger::SessionParked)
     }
 
     /// Whether application state must be carried over to the new
@@ -105,6 +119,11 @@ impl fmt::Display for ReconfigureTrigger {
             }
             ReconfigureTrigger::ApplicationStarted => f.write_str("application started"),
             ReconfigureTrigger::ApplicationStopped => f.write_str("application stopped"),
+            ReconfigureTrigger::SessionDegraded { from, to } => {
+                write!(f, "session degraded x{from:.2} -> x{to:.2}")
+            }
+            ReconfigureTrigger::SessionParked => f.write_str("session parked for retry"),
+            ReconfigureTrigger::SessionReadmitted => f.write_str("session re-admitted from park"),
         }
     }
 }
@@ -128,16 +147,25 @@ mod tests {
         assert!(!ReconfigureTrigger::LinkFluctuation { a: d0, b: d1 }.requires_recomposition());
         assert!(!ReconfigureTrigger::ApplicationStarted.requires_recomposition());
         assert!(!ReconfigureTrigger::ApplicationStopped.requires_recomposition());
+        assert!(
+            !ReconfigureTrigger::SessionDegraded { from: 1.0, to: 0.5 }.requires_recomposition()
+        );
+        assert!(!ReconfigureTrigger::SessionParked.requires_recomposition());
+        assert!(!ReconfigureTrigger::SessionReadmitted.requires_recomposition());
     }
 
     #[test]
-    fn every_trigger_redistributes() {
+    fn every_placement_trigger_redistributes() {
         for t in [
             ReconfigureTrigger::ApplicationStarted,
             ReconfigureTrigger::DeviceCrashed(DeviceId::from_index(0)),
+            ReconfigureTrigger::SessionDegraded { from: 1.0, to: 0.5 },
+            ReconfigureTrigger::SessionReadmitted,
         ] {
             assert!(t.requires_redistribution());
         }
+        // Parking releases the placement instead of computing one.
+        assert!(!ReconfigureTrigger::SessionParked.requires_redistribution());
     }
 
     #[test]

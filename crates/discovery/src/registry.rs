@@ -86,6 +86,15 @@ impl ServiceRegistry {
         self.by_type.values().map(Vec::len).sum()
     }
 
+    /// Iterates over every registered instance, in service-type order.
+    ///
+    /// Runtime fault handling uses this to find the instances *hosted*
+    /// on a device (their prototype is pinned to it) when that device
+    /// crashes, so they can be unregistered until it recovers.
+    pub fn instances(&self) -> impl Iterator<Item = &ServiceDescriptor> {
+        self.by_type.values().flat_map(|bucket| bucket.iter())
+    }
+
     /// Finds the instance closest to the query, or `None` when nothing
     /// eligible is registered ("it is possible that no discovered
     /// component is returned for a particular service").
@@ -93,7 +102,9 @@ impl ServiceRegistry {
         self.discover_all(query).into_iter().next()
     }
 
-    /// All eligible instances, best first (score descending, instance id
+    /// All eligible instances, best first (score descending, then
+    /// domain-local instances before inherited/global ones — the
+    /// "closest" instance in the smart-space hierarchy — then instance id
     /// ascending for determinism).
     pub fn discover_all(&self, query: &DiscoveryQuery) -> Vec<Discovered> {
         let Some(bucket) = self.by_type.get(&query.service_type) else {
@@ -109,10 +120,14 @@ impl ServiceRegistry {
                 })
             })
             .collect();
+        let locality = |d: &ServiceDescriptor| -> u8 {
+            u8::from(query.domain.is_some() && d.domain == query.domain)
+        };
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| locality(&b.descriptor).cmp(&locality(&a.descriptor)))
                 .then_with(|| a.descriptor.instance_id.cmp(&b.descriptor.instance_id))
         });
         hits
@@ -240,6 +255,23 @@ mod tests {
         assert_eq!(hits[0].descriptor.instance_id, "wav-player");
         assert_eq!(hits.len(), 2, "imperfect matches are still returned");
         assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn domain_local_instances_win_score_ties() {
+        let (mut r, campus, _, office) = registry_with_hierarchy();
+        // Identical prototypes: a global instance, a campus-wide one, and
+        // an office-local one — all tie on score. The office query must
+        // get its own room's instance first, regardless of instance ids.
+        r.register(desc("a-global", "printer"));
+        r.register(desc("b-campus", "printer").in_domain(campus));
+        r.register(desc("z-office", "printer").in_domain(office));
+        let hits = r.discover_all(&DiscoveryQuery::new("printer").in_domain(office));
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].descriptor.instance_id, "z-office");
+        // A global query has no locality; ids break the tie.
+        let global = r.discover_all(&DiscoveryQuery::new("printer"));
+        assert_eq!(global[0].descriptor.instance_id, "a-global");
     }
 
     #[test]

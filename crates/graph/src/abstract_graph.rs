@@ -197,6 +197,32 @@ impl AbstractServiceGraph {
         self.edges.iter().copied()
     }
 
+    /// Returns a copy of this graph with every edge's estimated stream
+    /// throughput multiplied by `factor`.
+    ///
+    /// QoS degradation ladders use this: a session re-admitted at a
+    /// reduced quality level streams proportionally less data, so its
+    /// link-bandwidth demand shrinks with the level.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not in `(0, 1]` (a ladder construction
+    /// error — scaling throughput *up* is not a degradation).
+    pub fn scale_throughput(&self, factor: f64) -> AbstractServiceGraph {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "throughput scale factor must be in (0, 1], got {factor}"
+        );
+        AbstractServiceGraph {
+            specs: self.specs.clone(),
+            edges: self
+                .edges
+                .iter()
+                .map(|&(from, to, tp)| (from, to, tp * factor))
+                .collect(),
+        }
+    }
+
     /// Specs marked optional.
     pub fn optional_specs(&self) -> Vec<SpecId> {
         self.specs()

@@ -181,6 +181,23 @@ impl ServiceComponent {
     pub fn set_qos_in(&mut self, qos: QosVector) {
         self.qos_in = qos;
     }
+
+    /// Scales every resource demand dimension by `factor`.
+    ///
+    /// Used by the runtime's degradation ladder: a component streaming at
+    /// rung factor `f` processes proportionally less data, so it charges
+    /// `f` times its full-quality resource demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative or non-finite.
+    pub fn scale_resources(&mut self, factor: f64) {
+        let factors = vec![factor; self.resources.dim()];
+        self.resources = self
+            .resources
+            .scaled_by(&factors)
+            .expect("uniform non-negative factor matches dimension");
+    }
 }
 
 impl fmt::Display for ServiceComponent {

@@ -51,6 +51,7 @@ pub mod resource;
 pub use error::ModelError;
 pub use format::MediaFormat;
 pub use qos::dimension::QosDimension;
+pub use qos::ladder::{weaken_requirement, weaken_value};
 pub use qos::satisfy::{Mismatch, MismatchKind};
 pub use qos::utility::satisfaction;
 pub use qos::value::{Preference, QosValue};

@@ -1,0 +1,151 @@
+//! Requirement weakening for QoS degradation ladders.
+//!
+//! When a session can no longer be placed at its requested QoS level, the
+//! runtime walks it down a ladder of discrete levels before giving up
+//! (degrade → park → retry → drop). Each rung weakens the user's
+//! requirement vector by a factor in `(0, 1]`: quantity-like dimensions
+//! (frame rate, resolution, …) accept values down to `factor ×` their
+//! requested floor, delay-like dimensions (latency, jitter) accept values
+//! up to `1/factor ×` their requested ceiling. Token dimensions (media
+//! format) are never weakened — a player that only decodes WAV does not
+//! start decoding MPEG because the network is congested.
+//!
+//! The transformation is *monotone under Eq. 1*: any output that satisfies
+//! the original requirement also satisfies every weakened requirement
+//! ([`weaken_requirement`] documents why, and a workspace proptest pins
+//! it). This is what makes the ladder sound — stepping down a rung can
+//! only admit more configurations, never reject one that was admissible
+//! at full quality.
+
+use crate::qos::dimension::QosDimension;
+use crate::qos::value::QosValue;
+use crate::qos::vector::QosVector;
+
+/// Weakens one required value by `factor` in the direction that admits
+/// *more* outputs for its dimension.
+///
+/// * higher-is-better numeric: `Exact(v)` → `Range[v·f, v]`,
+///   `Range[lo, hi]` → `Range[lo·f, hi]`;
+/// * lower-is-better numeric (latency, jitter): `Exact(v)` →
+///   `Range[v, v/f]`, `Range[lo, hi]` → `Range[lo, hi/f]`;
+/// * token values are returned unchanged.
+///
+/// Negative bounds are left untouched (QoS quantities are non-negative in
+/// this model; scaling a negative floor would *strengthen* the
+/// requirement).
+pub fn weaken_value(dim: &QosDimension, required: &QosValue, factor: f64) -> QosValue {
+    assert!(
+        factor > 0.0 && factor <= 1.0,
+        "degradation factor must be in (0, 1], got {factor}"
+    );
+    let widen_down = |v: f64| if v > 0.0 { v * factor } else { v };
+    let widen_up = |v: f64| if v > 0.0 { v / factor } else { v };
+    match required {
+        QosValue::Exact(v) => {
+            if dim.higher_is_better() {
+                QosValue::Range {
+                    lo: widen_down(*v),
+                    hi: *v,
+                }
+            } else {
+                QosValue::Range {
+                    lo: *v,
+                    hi: widen_up(*v),
+                }
+            }
+        }
+        QosValue::Range { lo, hi } => {
+            if dim.higher_is_better() {
+                QosValue::Range {
+                    lo: widen_down(*lo),
+                    hi: *hi,
+                }
+            } else {
+                QosValue::Range {
+                    lo: *lo,
+                    hi: widen_up(*hi),
+                }
+            }
+        }
+        token => token.clone(),
+    }
+}
+
+/// Weakens a whole requirement vector by `factor` (see [`weaken_value`]).
+///
+/// Monotone under Eq. 1: for any output vector `out`,
+/// `out.satisfies(req)` implies `out.satisfies(weaken_requirement(req, f))`
+/// for every `f` in `(0, 1]`, because every dimension's admissible set
+/// only grows — an `Exact` demand becomes a range containing it, a range's
+/// binding bound moves outward, and tokens are untouched. Weakening is
+/// also monotone in `factor` itself: a lower factor admits a superset of
+/// what a higher factor admits.
+pub fn weaken_requirement(required: &QosVector, factor: f64) -> QosVector {
+    required
+        .iter()
+        .map(|(dim, value)| (dim.clone(), weaken_value(dim, value, factor)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_becomes_containing_range() {
+        let w = weaken_value(&QosDimension::FrameRate, &QosValue::exact(30.0), 0.5);
+        assert_eq!(w, QosValue::range(15.0, 30.0));
+        assert!(QosValue::exact(30.0).satisfies(&w), "original still admits");
+        assert!(QosValue::exact(20.0).satisfies(&w), "lower rates now admit");
+    }
+
+    #[test]
+    fn lower_is_better_widens_upward() {
+        let w = weaken_value(&QosDimension::Latency, &QosValue::range(0.0, 100.0), 0.5);
+        assert_eq!(w, QosValue::range(0.0, 200.0));
+        assert!(QosValue::exact(150.0).satisfies(&w));
+    }
+
+    #[test]
+    fn tokens_are_never_weakened() {
+        let w = weaken_value(&QosDimension::Format, &QosValue::token("WAV"), 0.25);
+        assert_eq!(w, QosValue::token("WAV"));
+        assert!(!QosValue::token("MPEG").satisfies(&w));
+    }
+
+    #[test]
+    fn factor_one_on_ranges_is_identity() {
+        let r = QosValue::range(10.0, 30.0);
+        assert_eq!(weaken_value(&QosDimension::FrameRate, &r, 1.0), r);
+    }
+
+    #[test]
+    fn vector_weakening_is_monotone() {
+        let req = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("WAV"))
+            .with(QosDimension::FrameRate, QosValue::range(20.0, 30.0))
+            .with(QosDimension::Latency, QosValue::exact(50.0));
+        let out = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("WAV"))
+            .with(QosDimension::FrameRate, QosValue::exact(25.0))
+            .with(QosDimension::Latency, QosValue::exact(50.0));
+        assert!(out.satisfies(&req));
+        for factor in [1.0, 0.75, 0.5, 0.25] {
+            let weak = weaken_requirement(&req, factor);
+            assert!(out.satisfies(&weak), "monotone at factor {factor}");
+        }
+        // And the weakened requirement genuinely admits more.
+        let slow = QosVector::new()
+            .with(QosDimension::Format, QosValue::token("WAV"))
+            .with(QosDimension::FrameRate, QosValue::exact(12.0))
+            .with(QosDimension::Latency, QosValue::exact(90.0));
+        assert!(!slow.satisfies(&req));
+        assert!(slow.satisfies(&weaken_requirement(&req, 0.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn zero_factor_is_rejected() {
+        let _ = weaken_value(&QosDimension::FrameRate, &QosValue::exact(1.0), 0.0);
+    }
+}

@@ -8,6 +8,7 @@
 //! the "satisfy" relation with mismatch diagnosis ([`satisfy`]).
 
 pub mod dimension;
+pub mod ladder;
 pub mod satisfy;
 pub mod utility;
 pub mod value;

@@ -6,21 +6,41 @@ use crate::checkpoint::{Checkpoint, HandoffPlan};
 use crate::cost_model::{CostModel, LinkKind};
 use crate::event_service::{EventService, RuntimeEvent};
 use crate::overhead::ConfigOverhead;
+use crate::recovery::{Degradation, RecoveryMode, RecoveryReport};
 use crate::repository::ComponentRepository;
+use crate::retry_queue::{ParkedSession, RetryPolicy, RetryQueue};
 use crate::streaming::{delivered_qos, DeliveredQos};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use ubiqos::{
     Configuration, ConfigureError, ConfigureRequest, ReconfigureTrigger, ServiceConfigurator,
 };
-use ubiqos_discovery::{DeviceProperties, DomainId, ServiceRegistry};
+use ubiqos_composition::DegradationLadder;
+use ubiqos_discovery::{DeviceProperties, DomainId, ServiceDescriptor, ServiceRegistry};
 use ubiqos_distribution::Environment;
 use ubiqos_graph::{AbstractServiceGraph, DeviceId};
 use ubiqos_model::QosVector;
 
+/// Raw session id → (devices its cut occupies, links its cut crosses):
+/// the per-session touch sets invalid-set selection intersects with a
+/// fault's resource delta.
+type TouchMap = BTreeMap<u64, (BTreeSet<usize>, BTreeSet<(usize, usize)>)>;
+
 /// Identifier of a session within one domain server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(u64);
+
+impl SessionId {
+    /// Builds a session id from its raw value (tests and harnesses).
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+
+    /// The raw id value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
 
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -46,6 +66,10 @@ pub struct Session {
     pub configuration: Configuration,
     /// Media position in seconds (advances as the session plays).
     pub position_s: f64,
+    /// The degradation-ladder factor the live configuration was placed
+    /// at: `1.0` is full quality, lower values mean the session currently
+    /// runs degraded (weakened QoS, scaled-down stream throughput).
+    pub degrade_factor: f64,
     /// Overhead of every configuration action so far, labeled.
     pub overhead_log: Vec<(String, ConfigOverhead)>,
 }
@@ -82,17 +106,12 @@ impl Session {
     }
 }
 
-/// The outcome of a crash or fluctuation recovery pass.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RecoveryReport {
-    /// Sessions successfully reconfigured onto the surviving devices.
-    pub recovered: Vec<SessionId>,
-    /// Sessions that could not be reconfigured and were stopped.
-    pub dropped: Vec<SessionId>,
-    /// For each dropped session, the configuration error witnessing that
-    /// it was genuinely unplaceable when the drop happened (same order as
-    /// `dropped`).
-    pub drop_errors: Vec<(SessionId, ConfigureError)>,
+/// The set of devices and links whose capacity one fault changed — what
+/// incremental recovery derives its invalid-session set from.
+#[derive(Debug, Clone, Default)]
+struct ResourceDelta {
+    devices: BTreeSet<usize>,
+    links: BTreeSet<(usize, usize)>,
 }
 
 /// The per-domain infrastructure server: registry + environment +
@@ -102,6 +121,12 @@ pub struct RecoveryReport {
 /// capacities: configuration requests see the *residual* environment, so
 /// concurrent applications genuinely compete for the smart space's
 /// resources (and for link bandwidth, which is charged as a shared pool).
+///
+/// Fault handling runs the staged degrade → park → retry → drop pipeline
+/// (see [`crate::recovery`]): sessions untouched by a fault keep their
+/// placement, affected sessions walk the [`DegradationLadder`] before
+/// being parked in the [`RetryQueue`], and only retry-budget exhaustion
+/// drops a session.
 pub struct DomainServer {
     registry: ServiceRegistry,
     /// Pristine capacities as built, before any crash/fluctuation: the
@@ -119,6 +144,21 @@ pub struct DomainServer {
     costs: CostModel,
     events: EventService,
     sessions: BTreeMap<u64, Session>,
+    /// Link bandwidths degraded independently of any crash, keyed by the
+    /// ordered endpoint pair: the value a recovering device's links must
+    /// return to *instead of* pristine (the coarse-recovery fix).
+    link_overrides: BTreeMap<(usize, usize), f64>,
+    /// Service instances unregistered because their hosting device
+    /// crashed, keyed by device index; re-registered on recovery.
+    hosted_stash: BTreeMap<usize, Vec<ServiceDescriptor>>,
+    /// Parked sessions awaiting retry.
+    parked: RetryQueue,
+    /// The QoS downgrade ladder recovery walks before parking a session.
+    ladder: DegradationLadder,
+    /// Backoff/budget policy for parked-session retries.
+    retry_policy: RetryPolicy,
+    /// How recovery passes select the sessions to re-place.
+    recovery_mode: RecoveryMode,
     next_session: u64,
     now_ms: f64,
 }
@@ -162,9 +202,59 @@ impl DomainServer {
             costs: CostModel::default(),
             events: EventService::new(),
             sessions: BTreeMap::new(),
+            link_overrides: BTreeMap::new(),
+            hosted_stash: BTreeMap::new(),
+            parked: RetryQueue::new(),
+            ladder: DegradationLadder::default(),
+            retry_policy: RetryPolicy::default(),
+            recovery_mode: RecoveryMode::default(),
             next_session: 0,
             now_ms: 0.0,
         }
+    }
+
+    /// Replaces the QoS downgrade ladder recovery walks before parking a
+    /// session. [`DegradationLadder::strict`] disables degradation.
+    pub fn set_ladder(&mut self, ladder: DegradationLadder) {
+        self.ladder = ladder;
+    }
+
+    /// The configured degradation ladder.
+    pub fn ladder(&self) -> &DegradationLadder {
+        &self.ladder
+    }
+
+    /// Replaces the parked-session retry policy. [`RetryPolicy::strict`]
+    /// disables parking: ladder exhaustion drops immediately.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The configured retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry_policy
+    }
+
+    /// Selects how recovery passes pick the sessions to re-place (the
+    /// incremental default, or the exhaustive full scan used as the
+    /// cross-check reference).
+    pub fn set_recovery_mode(&mut self, mode: RecoveryMode) {
+        self.recovery_mode = mode;
+    }
+
+    /// The configured recovery mode.
+    pub fn recovery_mode(&self) -> RecoveryMode {
+        self.recovery_mode
+    }
+
+    /// The number of sessions parked in the retry queue.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Iterates over the parked sessions in id order.
+    pub fn parked_sessions(&self) -> impl Iterator<Item = (SessionId, &ParkedSession)> {
+        self.parked.iter().map(|(id, p)| (SessionId(id), p))
     }
 
     /// Mutable access to the service registry (device/service arrival and
@@ -306,6 +396,7 @@ impl DomainServer {
                 domain,
                 configuration,
                 position_s: 0.0,
+                degrade_factor: 1.0,
                 overhead_log: vec![("start".into(), overhead)],
             },
         );
@@ -318,10 +409,11 @@ impl DomainServer {
         Ok(id)
     }
 
-    /// Stops a session, refunding its resources and returning it.
+    /// Stops a session, refunding its resources and returning it. A
+    /// *parked* session is removed from the retry queue instead — it
+    /// holds no resources, so nothing is refunded.
     pub fn stop_session(&mut self, id: SessionId) -> Option<Session> {
-        let s = self.sessions.remove(&id.0);
-        if let Some(s) = &s {
+        if let Some(s) = self.sessions.remove(&id.0) {
             self.env
                 .refund_cut(&s.configuration.app.graph, &s.configuration.cut)
                 .expect("charged cut has consistent dimensions");
@@ -330,8 +422,15 @@ impl DomainServer {
                 session: Some(id.0),
                 trigger: ReconfigureTrigger::ApplicationStopped,
             });
+            return Some(s);
         }
-        s
+        let parked = self.parked.remove(id.0)?;
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: Some(id.0),
+            trigger: ReconfigureTrigger::ApplicationStopped,
+        });
+        Some(parked.session)
     }
 
     /// Handles a portal switch (e.g. PC → PDA): recomposes for the new
@@ -390,6 +489,7 @@ impl DomainServer {
         let session = self.sessions.get_mut(&id.0).expect("checked above");
         session.client_device = new_device;
         session.configuration = configuration;
+        session.degrade_factor = 1.0;
         session
             .overhead_log
             .push((format!("switch {old_device} -> {new_device}"), overhead));
@@ -462,6 +562,7 @@ impl DomainServer {
         session.client_device = new_device;
         session.domain = new_domain;
         session.configuration = configuration;
+        session.degrade_factor = 1.0;
         session
             .overhead_log
             .push((format!("move to {location}"), overhead));
@@ -480,48 +581,99 @@ impl DomainServer {
     /// crashes, the service distributor needs to calculate new service
     /// distributions for the changed resource availability").
     ///
-    /// The crashed device's capacity and links drop to zero and every
-    /// live session is reconfigured from scratch against the survivors
-    /// (recomposition included — instances hosted only on the dead device
-    /// should be unregistered by the caller beforehand). Sessions that
-    /// cannot be reconfigured are stopped.
+    /// Delegates to [`DomainServer::handle_crash_many`] with a
+    /// single-device scope.
     pub fn handle_crash(&mut self, device: DeviceId) -> RecoveryReport {
-        let d = device.index();
-        if let Some(dev) = self.capacity.device_mut(d) {
-            let dim = dev.availability().dim();
-            dev.set_availability(ubiqos_model::ResourceVector::zero(dim));
-        }
-        for other in 0..self.capacity.device_count() {
-            if other != d {
-                self.capacity.bandwidth_mut().set(d, other, 0.0);
-            }
-        }
-        self.events.publish(RuntimeEvent {
-            at_ms: self.now_ms,
-            session: None,
-            trigger: ReconfigureTrigger::DeviceCrashed(device),
-        });
-        self.reconfigure_all_sessions(&format!("recover from {device} crash"))
+        self.handle_crash_many(&[device])
     }
 
-    /// Brings a crashed (or degraded) device back: its capacity and every
-    /// link touching it return to the *pristine* values the server was
-    /// built with, and live sessions are re-placed so the recovered
-    /// capacity is actually used.
+    /// Handles a correlated crash: every device in `devices` goes down
+    /// together (a rack, a room, a shared power feed), followed by **one**
+    /// combined recovery pass over the union of the changed resources.
     ///
-    /// Note that recovery is deliberately coarse — a link degraded
-    /// independently via [`DomainServer::degrade_link`] is also restored
-    /// if it touches the recovered device, mirroring a rebooted node
-    /// rejoining the network at full line rate.
+    /// Each crashed device's capacity and links drop to zero, and every
+    /// service instance *hosted* on it (prototype pinned to the device)
+    /// is unregistered from discovery until the device recovers — so
+    /// re-composition of affected sessions falls back to surviving
+    /// instances instead of failing on an unplaceable pin.
+    pub fn handle_crash_many(&mut self, devices: &[DeviceId]) -> RecoveryReport {
+        let mut delta = ResourceDelta::default();
+        for &device in devices {
+            let d = device.index();
+            if let Some(dev) = self.capacity.device_mut(d) {
+                let dim = dev.availability().dim();
+                dev.set_availability(ubiqos_model::ResourceVector::zero(dim));
+            }
+            delta.devices.insert(d);
+            for other in 0..self.capacity.device_count() {
+                if other != d {
+                    self.capacity.bandwidth_mut().set(d, other, 0.0);
+                    delta.links.insert((d.min(other), d.max(other)));
+                }
+            }
+            let hosted: Vec<String> = self
+                .registry
+                .instances()
+                .filter(|desc| desc.prototype.pinned_to() == Some(device))
+                .map(|desc| desc.instance_id.clone())
+                .collect();
+            for instance_id in hosted {
+                if let Some(desc) = self.registry.unregister(&instance_id) {
+                    self.hosted_stash.entry(d).or_default().push(desc);
+                }
+            }
+            self.events.publish(RuntimeEvent {
+                at_ms: self.now_ms,
+                session: None,
+                trigger: ReconfigureTrigger::DeviceCrashed(device),
+            });
+        }
+        let label = match devices {
+            [single] => format!("recover from {single} crash"),
+            _ => {
+                let names: Vec<String> = devices.iter().map(ToString::to_string).collect();
+                format!("recover from correlated crash of {}", names.join("+"))
+            }
+        };
+        self.recovery_pass(&label, &delta)
+    }
+
+    /// Brings a crashed (or degraded) device back: its capacity returns
+    /// to the *pristine* value the server was built with, its hosted
+    /// service instances are re-registered, and its links return to
+    /// pristine **except** where a fault degraded the link independently
+    /// via [`DomainServer::degrade_link`] (those keep their degraded
+    /// bandwidth — a rebooted node does not repair the network around it)
+    /// or where the other endpoint is still down (those stay at zero).
     pub fn recover_device(&mut self, device: DeviceId) -> RecoveryReport {
         let d = device.index();
         if let (Some(dev), Some(fresh)) = (self.capacity.device_mut(d), self.pristine.device(d)) {
             dev.set_availability(fresh.availability().clone());
         }
+        let mut delta = ResourceDelta::default();
+        delta.devices.insert(d);
         for other in 0..self.capacity.device_count() {
             if other != d {
-                let fresh = self.pristine.bandwidth().get(d, other);
-                self.capacity.bandwidth_mut().set(d, other, fresh);
+                let key = (d.min(other), d.max(other));
+                let other_down = self
+                    .capacity
+                    .device(other)
+                    .is_some_and(|dev| dev.availability().is_zero());
+                let mbps = if other_down {
+                    0.0
+                } else {
+                    self.link_overrides
+                        .get(&key)
+                        .copied()
+                        .unwrap_or_else(|| self.pristine.bandwidth().get(d, other))
+                };
+                self.capacity.bandwidth_mut().set(d, other, mbps);
+                delta.links.insert(key);
+            }
+        }
+        if let Some(stash) = self.hosted_stash.remove(&d) {
+            for desc in stash {
+                self.registry.register(desc);
             }
         }
         self.events.publish(RuntimeEvent {
@@ -529,29 +681,45 @@ impl DomainServer {
             session: None,
             trigger: ReconfigureTrigger::DeviceRecovered(device),
         });
-        self.reconfigure_all_sessions(&format!("re-place after {device} recovery"))
+        self.recovery_pass(&format!("re-place after {device} recovery"), &delta)
     }
 
     /// Applies a link-bandwidth fluctuation: the capacity of the `a`-`b`
-    /// link becomes `mbps` (degradation or restoration), and every live
-    /// session is re-placed against the new shared pool. Sessions whose
-    /// streams no longer fit anywhere are stopped.
+    /// link becomes `mbps` (degradation or restoration). The value is
+    /// remembered as the link's own state, surviving crash/recovery
+    /// cycles of its endpoints, until a later fluctuation restores the
+    /// pristine bandwidth. Affected sessions are re-placed through the
+    /// staged pipeline; if an endpoint is currently down the link's
+    /// capacity stays at zero (only the override is recorded).
     pub fn degrade_link(&mut self, a: DeviceId, b: DeviceId, mbps: f64) -> RecoveryReport {
-        self.capacity
-            .bandwidth_mut()
-            .set(a.index(), b.index(), mbps);
+        let key = (a.index().min(b.index()), a.index().max(b.index()));
+        let pristine_mbps = self.pristine.bandwidth().get(key.0, key.1);
+        if mbps == pristine_mbps {
+            self.link_overrides.remove(&key);
+        } else {
+            self.link_overrides.insert(key, mbps);
+        }
+        let endpoint_down = [key.0, key.1].into_iter().any(|d| {
+            self.capacity
+                .device(d)
+                .is_some_and(|dev| dev.availability().is_zero())
+        });
+        if !endpoint_down {
+            self.capacity.bandwidth_mut().set(key.0, key.1, mbps);
+        }
         self.events.publish(RuntimeEvent {
             at_ms: self.now_ms,
             session: None,
             trigger: ReconfigureTrigger::LinkFluctuation { a, b },
         });
-        self.reconfigure_all_sessions(&format!("absorb link fluctuation on {a}-{b}"))
+        let mut delta = ResourceDelta::default();
+        delta.links.insert(key);
+        self.recovery_pass(&format!("absorb link fluctuation on {a}-{b}"), &delta)
     }
 
     /// Applies a resource fluctuation: the device's *capacity* becomes
-    /// `availability` (running sessions keep their charges). Sessions
-    /// whose placements no longer fit are reconfigured, and stopped if
-    /// that fails.
+    /// `availability` (running sessions keep their charges). Affected
+    /// sessions are re-placed through the staged pipeline.
     pub fn fluctuate(
         &mut self,
         device: DeviceId,
@@ -565,32 +733,179 @@ impl DomainServer {
             session: None,
             trigger: ReconfigureTrigger::ResourceFluctuation(device),
         });
-        self.reconfigure_all_sessions(&format!("absorb fluctuation on {device}"))
+        let mut delta = ResourceDelta::default();
+        delta.devices.insert(device.index());
+        self.recovery_pass(&format!("absorb fluctuation on {device}"), &delta)
     }
 
-    /// Re-places every live session against the current capacities, in
-    /// session order. Used after crashes and fluctuations.
-    fn reconfigure_all_sessions(&mut self, label: &str) -> RecoveryReport {
-        let ids: Vec<u64> = self.sessions.keys().copied().collect();
-        // Start from the full (post-event) capacity and re-admit one by one.
-        self.env = self.capacity.clone();
-        let mut report = RecoveryReport {
-            recovered: Vec::new(),
-            dropped: Vec::new(),
-            drop_errors: Vec::new(),
+    /// The devices and links each live session currently charges, plus
+    /// the summed charges per resource — the inputs of invalid-set
+    /// selection.
+    fn touch_and_charges(
+        &self,
+    ) -> (
+        TouchMap,
+        Vec<ubiqos_model::ResourceVector>,
+        BTreeMap<(usize, usize), f64>,
+    ) {
+        let dim = self
+            .capacity
+            .device(0)
+            .map_or(0, |dev| dev.availability().dim());
+        let mut device_charge =
+            vec![ubiqos_model::ResourceVector::zero(dim); self.capacity.device_count()];
+        let mut link_charge: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        let mut touch = BTreeMap::new();
+        for (&raw_id, s) in &self.sessions {
+            let graph = &s.configuration.app.graph;
+            let cut = &s.configuration.cut;
+            let mut devices = BTreeSet::new();
+            for (part, charge) in device_charge.iter_mut().enumerate().take(cut.parts()) {
+                let used = cut
+                    .part_resource_sum(graph, part)
+                    .expect("live cut has consistent dimensions");
+                if !used.is_zero() {
+                    devices.insert(part);
+                    *charge = charge
+                        .checked_add(&used)
+                        .expect("charge accumulation has consistent dimensions");
+                }
+            }
+            let throughput = cut.inter_part_throughput(graph);
+            let mut links = BTreeSet::new();
+            for (i, row) in throughput.iter().enumerate() {
+                for (j, &mbps) in row.iter().enumerate().skip(i + 1) {
+                    let both = mbps + throughput[j][i];
+                    if both > 0.0 {
+                        links.insert((i, j));
+                        *link_charge.entry((i, j)).or_insert(0.0) += both;
+                    }
+                }
+            }
+            touch.insert(raw_id, (devices, links));
+        }
+        (touch, device_charge, link_charge)
+    }
+
+    /// The sessions whose placement a capacity change invalidated: every
+    /// session touching an *overcommitted* resource (summed charges above
+    /// current capacity). `scan` restricts which resources are examined
+    /// for overcommitment — the incremental mode passes the fault's
+    /// delta, the full mode passes `None` (examine everything).
+    fn invalid_sessions(
+        &self,
+        touch: &TouchMap,
+        device_charge: &[ubiqos_model::ResourceVector],
+        link_charge: &BTreeMap<(usize, usize), f64>,
+        scan: Option<&ResourceDelta>,
+    ) -> BTreeSet<u64> {
+        const EPS: f64 = 1e-6;
+        let mut over_devices: BTreeSet<usize> = BTreeSet::new();
+        let mut over_links: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (d, charge) in device_charge.iter().enumerate() {
+            if scan.is_some_and(|delta| !delta.devices.contains(&d)) {
+                continue;
+            }
+            let cap = self
+                .capacity
+                .device(d)
+                .expect("charge vector indexes the space")
+                .availability();
+            if charge
+                .amounts()
+                .iter()
+                .zip(cap.amounts())
+                .any(|(&used, &have)| used > have + EPS)
+            {
+                over_devices.insert(d);
+            }
+        }
+        for (&key, &used) in link_charge {
+            if scan.is_some_and(|delta| !delta.links.contains(&key)) {
+                continue;
+            }
+            let cap = self.capacity.bandwidth().get(key.0, key.1);
+            if cap.is_finite() && used > cap + EPS {
+                over_links.insert(key);
+            }
+        }
+        touch
+            .iter()
+            .filter(|(_, (devices, links))| {
+                devices.iter().any(|d| over_devices.contains(d))
+                    || links.iter().any(|l| over_links.contains(l))
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// One staged recovery pass after a capacity change.
+    ///
+    /// Keep-if-valid: sessions not touching an overcommitted resource
+    /// keep their placement untouched. The re-place set is the invalid
+    /// sessions plus any *degraded* session touching a changed resource
+    /// (so quality climbs back up the ladder when capacity returns). Each
+    /// re-placed session walks the ladder from full quality down; ladder
+    /// exhaustion parks it (or drops it under [`RetryPolicy::strict`]).
+    /// Ends by draining due retries.
+    fn recovery_pass(&mut self, label: &str, delta: &ResourceDelta) -> RecoveryReport {
+        let considered = self.sessions.len();
+        let (touch, device_charge, link_charge) = self.touch_and_charges();
+        let invalid = match self.recovery_mode {
+            RecoveryMode::Incremental => {
+                let inc = self.invalid_sessions(&touch, &device_charge, &link_charge, Some(delta));
+                if cfg!(debug_assertions) {
+                    // The cross-check: only resources the fault changed
+                    // can have become overcommitted, so the delta-guided
+                    // set must equal the exhaustive one.
+                    let full = self.invalid_sessions(&touch, &device_charge, &link_charge, None);
+                    debug_assert_eq!(
+                        inc, full,
+                        "incremental invalid set diverged from the full scan"
+                    );
+                }
+                inc
+            }
+            RecoveryMode::Full => self.invalid_sessions(&touch, &device_charge, &link_charge, None),
         };
-        for raw_id in ids {
-            let (abstract_graph, user_qos, client_device, domain) = {
+        let mut replace: BTreeSet<u64> = invalid;
+        for (&raw_id, (devices, links)) in &touch {
+            if self.sessions[&raw_id].degrade_factor < 1.0
+                && (devices.iter().any(|d| delta.devices.contains(d))
+                    || links.iter().any(|l| delta.links.contains(l)))
+            {
+                replace.insert(raw_id);
+            }
+        }
+
+        let mut report = RecoveryReport {
+            considered,
+            affected: replace.len(),
+            ..RecoveryReport::default()
+        };
+        // Rebuild the residual from the kept sessions' charges; the
+        // re-place set re-admits into what remains, in id order.
+        self.env = self.capacity.clone();
+        for (&raw_id, s) in &self.sessions {
+            if !replace.contains(&raw_id) {
+                self.env
+                    .charge_cut(&s.configuration.app.graph, &s.configuration.cut)
+                    .expect("kept cut has consistent dimensions");
+            }
+        }
+        for raw_id in replace {
+            let (abstract_graph, user_qos, client_device, domain, old_factor) = {
                 let s = &self.sessions[&raw_id];
                 (
                     s.abstract_graph.clone(),
                     s.user_qos.clone(),
                     s.client_device,
                     s.domain,
+                    s.degrade_factor,
                 )
             };
-            match self.configure(&abstract_graph, &user_qos, client_device, domain) {
-                Ok((configuration, mut overhead)) => {
+            match self.place_with_ladder(&abstract_graph, &user_qos, client_device, domain) {
+                Ok((configuration, mut overhead, factor)) => {
                     overhead.downloading_ms = self.download_for(&configuration);
                     overhead.init_or_handoff_ms =
                         self.costs.handoff_ms(self.links[client_device.index()]);
@@ -599,19 +914,149 @@ impl DomainServer {
                         .expect("configured cut has consistent dimensions");
                     let session = self.sessions.get_mut(&raw_id).expect("live id");
                     session.configuration = configuration;
+                    session.degrade_factor = factor;
                     session.overhead_log.push((label.to_owned(), overhead));
                     self.now_ms += overhead.total_ms();
-                    report.recovered.push(SessionId(raw_id));
+                    if factor < old_factor {
+                        self.events.publish(RuntimeEvent {
+                            at_ms: self.now_ms,
+                            session: Some(raw_id),
+                            trigger: ReconfigureTrigger::SessionDegraded {
+                                from: old_factor,
+                                to: factor,
+                            },
+                        });
+                    }
+                    if factor >= 1.0 {
+                        report.recovered.push(SessionId(raw_id));
+                    } else {
+                        report.degraded.push((
+                            SessionId(raw_id),
+                            Degradation {
+                                from: old_factor,
+                                to: factor,
+                            },
+                        ));
+                    }
                 }
-                Err(e) => {
-                    self.sessions.remove(&raw_id);
+                Err(e) => self.park_or_drop(raw_id, e, &mut report),
+            }
+        }
+        let retries = self.process_retries();
+        report.absorb(retries);
+        report
+    }
+
+    /// Walks the degradation ladder from full quality downwards and
+    /// returns the first level the configurator can place, with its
+    /// factor. Errors with the *last* (lowest-level) failure when no
+    /// level fits.
+    fn place_with_ladder(
+        &self,
+        abstract_graph: &AbstractServiceGraph,
+        user_qos: &QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+    ) -> Result<(Configuration, ConfigOverhead, f64), ConfigureError> {
+        let mut last_err = None;
+        for step in self.ladder.steps(user_qos, abstract_graph) {
+            match self.configure_scaled(
+                &step.abstract_graph,
+                &step.user_qos,
+                client_device,
+                domain,
+                step.factor,
+            ) {
+                Ok((configuration, overhead)) => return Ok((configuration, overhead, step.factor)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("the ladder always has at least one level"))
+    }
+
+    /// Ladder exhaustion: park the session for retry, or drop it
+    /// immediately when the retry budget is zero. The session holds no
+    /// charge at this point (the caller refunded or never charged it).
+    fn park_or_drop(&mut self, raw_id: u64, error: ConfigureError, report: &mut RecoveryReport) {
+        let session = self
+            .sessions
+            .remove(&raw_id)
+            .expect("park_or_drop on a live session");
+        if self.retry_policy.max_attempts == 0 {
+            self.events.publish(RuntimeEvent {
+                at_ms: self.now_ms,
+                session: Some(raw_id),
+                trigger: ReconfigureTrigger::ApplicationStopped,
+            });
+            report.dropped.push(SessionId(raw_id));
+            report.drop_errors.push((SessionId(raw_id), error));
+        } else {
+            self.parked
+                .park(raw_id, session, error, self.now_ms, &self.retry_policy);
+            self.events.publish(RuntimeEvent {
+                at_ms: self.now_ms,
+                session: Some(raw_id),
+                trigger: ReconfigureTrigger::SessionParked,
+            });
+            report.parked.push(SessionId(raw_id));
+        }
+    }
+
+    /// Retries every parked session whose backoff has elapsed, in id
+    /// order. Success re-admits the session (charging its new placement);
+    /// failure doubles the backoff, and budget exhaustion drops the
+    /// session with the witnessing error. Harnesses should call this as
+    /// virtual time advances; recovery passes also drain it.
+    pub fn process_retries(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        for raw_id in self.parked.due(self.now_ms) {
+            let mut parked = self.parked.remove(raw_id).expect("due id is parked");
+            let outcome = self.place_with_ladder(
+                &parked.session.abstract_graph,
+                &parked.session.user_qos,
+                parked.session.client_device,
+                parked.session.domain,
+            );
+            match outcome {
+                Ok((configuration, mut overhead, factor)) => {
+                    overhead.downloading_ms = self.download_for(&configuration);
+                    overhead.init_or_handoff_ms = self
+                        .costs
+                        .handoff_ms(self.links[parked.session.client_device.index()]);
+                    self.env
+                        .charge_cut(&configuration.app.graph, &configuration.cut)
+                        .expect("configured cut has consistent dimensions");
+                    let mut session = parked.session;
+                    session.configuration = configuration;
+                    session.degrade_factor = factor;
+                    session
+                        .overhead_log
+                        .push(("re-admit from park".to_owned(), overhead));
+                    self.now_ms += overhead.total_ms();
+                    self.sessions.insert(raw_id, session);
                     self.events.publish(RuntimeEvent {
                         at_ms: self.now_ms,
                         session: Some(raw_id),
-                        trigger: ReconfigureTrigger::ApplicationStopped,
+                        trigger: ReconfigureTrigger::SessionReadmitted,
                     });
-                    report.dropped.push(SessionId(raw_id));
-                    report.drop_errors.push((SessionId(raw_id), e));
+                    report.readmitted.push(SessionId(raw_id));
+                }
+                Err(e) => {
+                    parked.attempts += 1;
+                    if parked.attempts >= self.retry_policy.max_attempts {
+                        self.events.publish(RuntimeEvent {
+                            at_ms: self.now_ms,
+                            session: Some(raw_id),
+                            trigger: ReconfigureTrigger::ApplicationStopped,
+                        });
+                        report.dropped.push(SessionId(raw_id));
+                        report.drop_errors.push((SessionId(raw_id), e));
+                    } else {
+                        parked.next_retry_ms =
+                            self.now_ms + self.retry_policy.backoff_ms(parked.attempts);
+                        parked.last_error = e;
+                        self.parked.reinsert(raw_id, parked);
+                    }
                 }
             }
         }
@@ -627,15 +1072,36 @@ impl DomainServer {
         client_device: DeviceId,
         domain: Option<DomainId>,
     ) -> Result<(Configuration, ConfigOverhead), ConfigureError> {
+        self.configure_scaled(abstract_graph, user_qos, client_device, domain, 1.0)
+    }
+
+    /// [`DomainServer::configure`] with the degradation ladder's demand
+    /// factor: the graph is composed as usual, then every component's
+    /// resource demand is scaled by `demand_factor` *before* the
+    /// distribution tier fits it (a rung-`f` session streams — and
+    /// charges — proportionally less).
+    fn configure_scaled(
+        &self,
+        abstract_graph: &AbstractServiceGraph,
+        user_qos: &QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+        demand_factor: f64,
+    ) -> Result<(Configuration, ConfigOverhead), ConfigureError> {
         let mut configurator = ServiceConfigurator::new(&self.registry);
-        let configuration = configurator.configure(&ConfigureRequest {
+        let request = ConfigureRequest {
             abstract_graph,
             user_qos: user_qos.clone(),
             client_device,
             client_props: self.device_props[client_device.index()],
             domain,
             env: &self.env,
-        })?;
+        };
+        let mut app = configurator.compose_only(&request)?;
+        if demand_factor < 1.0 {
+            app.scale_resources(demand_factor);
+        }
+        let configuration = configurator.distribute_only(app, &self.env)?;
         let overhead = ConfigOverhead {
             composition_ms: self.costs.composition_ms(
                 abstract_graph.spec_count(),
@@ -936,7 +1402,7 @@ mod tests {
     }
 
     #[test]
-    fn device_crash_recovers_sessions_onto_survivors() {
+    fn crash_of_client_device_parks_then_readmits_on_recovery() {
         let mut server = two_desktop_server();
         let id = server
             .start_session(
@@ -946,19 +1412,54 @@ mod tests {
                 DeviceId::from_index(1),
             )
             .unwrap();
-        // The player's desktop2 crashes... but the player is pinned to
-        // the client device, so the session can only survive if the
-        // client moves. Crash desktop2 and expect the session dropped.
+        // The player is pinned to the crashed client device, so no ladder
+        // rung can place the session — the staged pipeline parks it (its
+        // resources released) instead of dropping it.
         let report = server.handle_crash(DeviceId::from_index(1));
-        assert_eq!(report.dropped, vec![id]);
-        assert!(report.recovered.is_empty());
+        assert_eq!(report.parked, vec![id]);
+        assert!(report.dropped.is_empty() && report.recovered.is_empty());
         assert_eq!(server.session_count(), 0);
+        assert_eq!(server.parked_count(), 1);
         assert!(server
             .capacity()
             .device(1)
             .unwrap()
             .availability()
             .is_zero());
+        // Device comes back; once the backoff elapses the retry queue
+        // re-admits the session at full quality.
+        let rec = server.recover_device(DeviceId::from_index(1));
+        assert!(rec.readmitted.is_empty(), "backoff has not elapsed yet");
+        server.play(200.0);
+        let rec = server.process_retries();
+        assert_eq!(rec.readmitted, vec![id]);
+        assert_eq!(server.parked_count(), 0);
+        let s = server.session(id).unwrap();
+        assert_eq!(s.degrade_factor, 1.0);
+        assert!(s.overhead_log.last().unwrap().0.contains("re-admit"));
+    }
+
+    #[test]
+    fn strict_retry_policy_drops_with_witness() {
+        let mut server = two_desktop_server();
+        server.set_ladder(ubiqos_composition::DegradationLadder::strict());
+        server.set_retry_policy(crate::retry_queue::RetryPolicy::strict());
+        let id = server
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
+            .unwrap();
+        // With a zero retry budget the old drop-on-fault behaviour is
+        // back — and the drop carries its witnessing error.
+        let report = server.handle_crash(DeviceId::from_index(1));
+        assert_eq!(report.dropped, vec![id]);
+        assert_eq!(report.drop_errors.len(), 1);
+        assert_eq!(report.drop_errors[0].0, id);
+        assert_eq!(server.session_count(), 0);
+        assert_eq!(server.parked_count(), 0);
     }
 
     #[test]
@@ -998,10 +1499,19 @@ mod tests {
             )
             .unwrap();
         let report = server.handle_crash(DeviceId::from_index(2));
-        assert_eq!(report.recovered, vec![id]);
-        assert!(report.dropped.is_empty());
+        // Keep-if-valid: the session touches nothing on d2, so the
+        // incremental pass leaves it completely untouched (no
+        // re-placement at all, not even a successful one).
+        assert!(report.is_empty(), "{report:?}");
+        assert_eq!(report.affected, 0);
+        assert_eq!(report.considered, 1);
         let s = server.session(id).unwrap();
-        assert!(s.overhead_log.last().unwrap().0.contains("crash"));
+        assert_eq!(s.degrade_factor, 1.0);
+        assert_eq!(
+            s.overhead_log.last().unwrap().0,
+            "start",
+            "untouched sessions keep their original overhead log"
+        );
     }
 
     #[test]
@@ -1103,7 +1613,7 @@ mod tests {
     }
 
     #[test]
-    fn fluctuation_can_drop_then_readmit() {
+    fn fluctuation_degrades_before_parking() {
         let mut server = two_desktop_server();
         let id = server
             .start_session(
@@ -1113,10 +1623,44 @@ mod tests {
                 DeviceId::from_index(1),
             )
             .unwrap();
-        // Desktop1 (hosting the pinned server) loses almost everything.
+        // Desktop1 (hosting the pinned 64/40 server) shrinks to where
+        // only a scaled-down demand fits: 0.5 × (64, 40) = (32, 20).
+        let report = server.fluctuate(DeviceId::from_index(0), ResourceVector::mem_cpu(40.0, 25.0));
+        assert_eq!(report.degraded.len(), 1, "{report:?}");
+        let (did, d) = report.degraded[0];
+        assert_eq!(did, id);
+        assert_eq!(d.from, 1.0);
+        assert_eq!(d.to, 0.5);
+        assert_eq!(server.session(id).unwrap().degrade_factor, 0.5);
+        // Capacity returns: the next pass climbs the degraded session
+        // back to full quality.
+        let report = server.fluctuate(
+            DeviceId::from_index(0),
+            ResourceVector::mem_cpu(256.0, 300.0),
+        );
+        assert_eq!(report.recovered, vec![id], "{report:?}");
+        assert_eq!(server.session(id).unwrap().degrade_factor, 1.0);
+    }
+
+    #[test]
+    fn fluctuation_can_park_then_readmit() {
+        let mut server = two_desktop_server();
+        let id = server
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
+            .unwrap();
+        // Desktop1 loses almost everything — even the bottom rung's
+        // 0.25 × (64, 40) = (16, 10) does not fit (8, 8): park.
         let report = server.fluctuate(DeviceId::from_index(0), ResourceVector::mem_cpu(8.0, 8.0));
-        assert_eq!(report.dropped, vec![id]);
-        // Capacity returns; new sessions work again.
+        assert_eq!(report.parked, vec![id]);
+        assert!(report.dropped.is_empty());
+        assert_eq!(server.parked_count(), 1);
+        // The parked session holds no charge: a fresh session fits as
+        // soon as capacity returns.
         server.fluctuate(
             DeviceId::from_index(0),
             ResourceVector::mem_cpu(256.0, 300.0),
@@ -1129,5 +1673,10 @@ mod tests {
                 DeviceId::from_index(1)
             )
             .is_ok());
+        // And the parked one comes back once its backoff elapses.
+        server.play(200.0);
+        let rec = server.process_retries();
+        assert_eq!(rec.readmitted, vec![id]);
+        assert_eq!(server.session_count(), 2);
     }
 }

@@ -16,10 +16,21 @@
 //!   still satisfies Equation 1 (`diagnose(..).is_consistent()`).
 //! * **Placement sanity** — every live cut respects its pins, and no
 //!   component sits on a crashed device.
+//! * **Discovery hygiene** — no service instance hosted on (pinned to) a
+//!   crashed device is ever visible to discovery; crashed hosts'
+//!   instances are unregistered until recovery.
 //! * **Witnessed drops** — a session is only ever dropped together with
-//!   the [`ConfigureError`] that proves it was unplaceable at that
-//!   moment, and session fates balance exactly (admitted = completed +
-//!   dropped + live).
+//!   the [`ConfigureError`](ubiqos::ConfigureError) that proves it was
+//!   unplaceable when its retry budget ran out, and session fates balance
+//!   exactly (admitted = completed + dropped + live + parked).
+//!
+//! Recovery runs the staged degrade → park → retry → drop pipeline of
+//! [`crate::recovery`]: sessions untouched by a fault keep their
+//! placement (incremental re-placement, O(affected) per fault), affected
+//! sessions walk the QoS degradation ladder before being parked, and the
+//! retry queue re-admits parked sessions as capacity returns.
+//! [`FaultCampaignConfig::staged_recovery`]` = false` reverts to the
+//! strict drop-on-first-failure baseline for comparison.
 //!
 //! The whole campaign is a pure function of
 //! [`FaultCampaignConfig::seed`]: the event log renders byte-identically
@@ -27,7 +38,9 @@
 //! `tests/fault_injection.rs` and `repro -- faults` both assert.
 
 use crate::cost_model::LinkKind;
-use crate::domain_server::{DomainServer, RecoveryReport, SessionId};
+use crate::domain_server::{DomainServer, SessionId};
+use crate::recovery::RecoveryReport;
+use crate::retry_queue::RetryPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -35,7 +48,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use ubiqos::fault_report::fnv1a;
 use ubiqos::FaultReport;
-use ubiqos_composition::diagnose;
+use ubiqos_composition::{diagnose, DegradationLadder};
 use ubiqos_discovery::{DeviceProperties, ServiceDescriptor};
 use ubiqos_distribution::{Device, Environment};
 use ubiqos_graph::{
@@ -67,6 +80,19 @@ pub struct FaultCampaignConfig {
     pub faults: usize,
     /// Smallest capacity fraction a fluctuation may leave.
     pub min_factor: f64,
+    /// Largest correlated crash scope (`1` = independent crashes only).
+    pub scope_max: usize,
+    /// Number of flapping-link patterns overlaid on the fault schedule
+    /// (each adds periodic degrade/restore events on one link, *on top
+    /// of* `faults`).
+    pub flapping_links: usize,
+    /// Full degrade→restore period of each flapping link, in hours.
+    pub flap_period_h: f64,
+    /// Whether the staged degrade → park → retry → drop pipeline is
+    /// active. `false` reverts to the strict baseline (no degradation
+    /// ladder, no parking: re-placement failure drops immediately) for
+    /// side-by-side comparison at the same admission workload.
+    pub staged_recovery: bool,
 }
 
 impl Default for FaultCampaignConfig {
@@ -78,6 +104,10 @@ impl Default for FaultCampaignConfig {
             horizon_h: 48.0,
             faults: 40,
             min_factor: 0.25,
+            scope_max: 1,
+            flapping_links: 0,
+            flap_period_h: 8.0,
+            staged_recovery: true,
         }
     }
 }
@@ -168,6 +198,12 @@ enum CampaignEvent {
 /// capacity profiles, mixed wired/wireless links, and a registry
 /// offering a WAV pipeline plus an MPEG pipeline whose sink only accepts
 /// WAV (so composing it exercises transcoder insertion).
+///
+/// Besides the space-wide (unpinned) instances, every device *hosts* a
+/// pinned `wav-source` instance. Hosted instances are what the registry
+/// churn path exercises: when a device crashes its instances vanish from
+/// discovery (re-composition falls back to survivors or the space-wide
+/// source), and they re-register on recovery.
 pub fn build_space(devices: usize) -> DomainServer {
     assert!(devices >= 2, "fault campaigns need at least 2 devices");
     let profiles = [
@@ -226,6 +262,23 @@ pub fn build_space(devices: usize) -> DomainServer {
             .resources(ResourceVector::mem_cpu(10.0, 14.0))
             .build(),
     ));
+    for i in 0..devices {
+        server.registry_mut().register(ServiceDescriptor::new(
+            format!("wav-source@dev{i}"),
+            "wav-source",
+            ServiceComponent::builder("wav-source")
+                .role(ComponentRole::Source)
+                .qos_out(
+                    QosVector::new()
+                        .with(QosDimension::Format, QosValue::token("WAV"))
+                        .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+                )
+                .capability(QosDimension::FrameRate, QosValue::range(1.0, 30.0))
+                .resources(ResourceVector::mem_cpu(24.0, 30.0))
+                .pinned_to(DeviceId::from_index(i))
+                .build(),
+        ));
+    }
     server.registry_mut().register(ServiceDescriptor::new(
         "mpeg-source@space",
         "mpeg-source",
@@ -298,7 +351,46 @@ fn splitmix64(mut x: u64) -> u64 {
 pub fn run_fault_campaign(
     cfg: &FaultCampaignConfig,
 ) -> Result<CampaignOutcome, InvariantViolation> {
+    run_fault_campaign_with(cfg, &campaign_schedule(cfg))
+}
+
+/// The exact fault schedule [`run_fault_campaign`] derives from `cfg`
+/// (seeded off a salted stream so it never perturbs the workload RNG).
+///
+/// Exposed so callers that hit an [`InvariantViolation`] can hand this
+/// schedule to [`crate::shrink::shrink_schedule`] and replay shrunken
+/// candidates through [`run_fault_campaign_with`].
+pub fn campaign_schedule(cfg: &FaultCampaignConfig) -> Vec<TimedFault> {
+    FaultScheduleConfig {
+        seed: cfg.seed ^ FAULT_STREAM_SALT,
+        events: cfg.faults,
+        horizon_h: cfg.horizon_h,
+        devices: cfg.devices,
+        min_factor: cfg.min_factor,
+        scope_max: cfg.scope_max,
+        flapping_links: cfg.flapping_links,
+        flap_period_h: cfg.flap_period_h,
+    }
+    .generate()
+}
+
+/// Runs one campaign against an *explicit* fault schedule instead of the
+/// config-derived one — the replay hook [`crate::shrink`] uses to probe
+/// shrunken schedules. [`run_fault_campaign`] is exactly this with the
+/// seeded schedule.
+///
+/// # Panics
+///
+/// See [`run_fault_campaign`].
+pub fn run_fault_campaign_with(
+    cfg: &FaultCampaignConfig,
+    schedule: &[TimedFault],
+) -> Result<CampaignOutcome, InvariantViolation> {
     let mut server = build_space(cfg.devices);
+    if !cfg.staged_recovery {
+        server.set_ladder(DegradationLadder::strict());
+        server.set_retry_policy(RetryPolicy::strict());
+    }
     let workload = WorkloadConfig {
         requests: cfg.requests,
         horizon_h: cfg.horizon_h,
@@ -307,14 +399,6 @@ pub fn run_fault_campaign(
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let trace = workload.generate(&mut rng);
-    let schedule = FaultScheduleConfig {
-        seed: cfg.seed ^ FAULT_STREAM_SALT,
-        events: cfg.faults,
-        horizon_h: cfg.horizon_h,
-        devices: cfg.devices,
-        min_factor: cfg.min_factor,
-    }
-    .generate();
 
     let mut queue: EventQueue<CampaignEvent> = EventQueue::new();
     for (i, r) in trace.iter().enumerate() {
@@ -394,6 +478,16 @@ pub fn run_fault_campaign(
         log.push(idx, at_h, &line);
         idx += 1;
 
+        // Drain any parked-session retries that became due as virtual
+        // time advanced (recovery passes drain their own; this catches
+        // time passing through arrivals/departures/switches).
+        let retries = server.process_retries();
+        if !retries.is_empty() {
+            let tail = absorb_recovery(&retries, &mut active, &mut by_session, &mut report);
+            log.push(idx, at_h, &format!("retry   parked queue -> {tail}"));
+            idx += 1;
+        }
+
         report.invariant_checks += 1;
         if let Err(violation) = check_invariants(&server, &down) {
             return Err(InvariantViolation {
@@ -405,8 +499,9 @@ pub fn run_fault_campaign(
     }
 
     report.live_at_end = server.session_count() as u32;
-    // Everything still live at the horizon is neither completed nor
-    // dropped; fates must balance exactly.
+    report.parked_at_end = server.parked_count() as u32;
+    // Everything still live or parked at the horizon is neither
+    // completed nor dropped; fates must balance exactly.
     report.log_digest = log.digest();
     debug_assert!(report.session_fates_balance(), "fates balance: {report:?}");
     Ok(CampaignOutcome { report, log })
@@ -438,8 +533,39 @@ fn apply_fault(
             report.crashes += 1;
             down.insert(device);
             let rec = server.handle_crash(DeviceId::from_index(device));
+            count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
             format!("fault   crash dev{device} -> {tail}")
+        }
+        FaultKind::CrashScope { first, count } => {
+            // Same skip rules as single crashes, applied member-wise, and
+            // the whole group shrinks (from the back) until a survivor
+            // remains outside it.
+            let mut members: Vec<usize> = (first..first + count)
+                .filter(|d| !down.contains(d))
+                .collect();
+            while !members.is_empty() && down.len() + members.len() >= cfg.devices {
+                members.pop();
+            }
+            if members.is_empty() {
+                return format!(
+                    "fault   crash-scope dev{first}+{count} -> skipped (no member can go down)"
+                );
+            }
+            report.crashes += members.len() as u32;
+            if members.len() >= 2 {
+                report.correlated_crashes += 1;
+            }
+            down.extend(members.iter().copied());
+            let ids: Vec<DeviceId> = members.iter().map(|&d| DeviceId::from_index(d)).collect();
+            let rec = server.handle_crash_many(&ids);
+            count_pass(&rec, report);
+            let tail = absorb_recovery(&rec, active, by_session, report);
+            let last = members.last().expect("non-empty");
+            format!(
+                "fault   crash-scope dev{first}..dev{last} ({} members) -> {tail}",
+                members.len()
+            )
         }
         FaultKind::Recover { device } => {
             if !down.contains(&device) {
@@ -448,6 +574,7 @@ fn apply_fault(
             report.device_recoveries += 1;
             down.remove(&device);
             let rec = server.recover_device(DeviceId::from_index(device));
+            count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
             format!("fault   recover dev{device} -> {tail}")
         }
@@ -466,6 +593,7 @@ fn apply_fault(
                 .scaled_by(&vec![factor; pristine.dim()])
                 .expect("factor vector matches dimension");
             let rec = server.fluctuate(DeviceId::from_index(device), scaled);
+            count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
             format!("fault   fluctuate dev{device} x{factor:.3} -> {tail}")
         }
@@ -476,11 +604,18 @@ fn apply_fault(
             report.link_fluctuations += 1;
             let mbps = server.pristine().bandwidth().get(a, b) * factor;
             let rec = server.degrade_link(DeviceId::from_index(a), DeviceId::from_index(b), mbps);
+            count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
             format!("fault   degrade-link dev{a}-dev{b} x{factor:.3} -> {tail}")
         }
         FaultKind::SwitchDevice { pick, to } => {
-            let ids: Vec<SessionId> = by_session.keys().copied().collect();
+            // Parked sessions stay tracked in `by_session` but have no
+            // live placement; portal switches only target live ones.
+            let ids: Vec<SessionId> = by_session
+                .keys()
+                .copied()
+                .filter(|&id| server.session(id).is_some())
+                .collect();
             if ids.is_empty() {
                 return "fault   switch-device -> skipped (no live session)".to_owned();
             }
@@ -498,7 +633,11 @@ fn apply_fault(
             }
         }
         FaultKind::MoveUser { pick, to } => {
-            let ids: Vec<SessionId> = by_session.keys().copied().collect();
+            let ids: Vec<SessionId> = by_session
+                .keys()
+                .copied()
+                .filter(|&id| server.session(id).is_some())
+                .collect();
             if ids.is_empty() {
                 return "fault   move-user -> skipped (no live session)".to_owned();
             }
@@ -518,9 +657,11 @@ fn apply_fault(
     }
 }
 
-/// Folds a [`RecoveryReport`] into the campaign bookkeeping: recovered
-/// sessions count as replacements, dropped ones leave the active maps.
-/// Every drop must carry its witnessing error (asserted here).
+/// Folds a [`RecoveryReport`] into the campaign bookkeeping: successful
+/// re-placements (full-quality or degraded) count as replacements,
+/// parked sessions stay tracked (a later departure reaches them through
+/// `stop_session`), dropped ones leave the active maps. Every drop must
+/// carry its witnessing error (asserted here).
 fn absorb_recovery(
     rec: &RecoveryReport,
     active: &mut BTreeMap<usize, SessionId>,
@@ -536,20 +677,37 @@ fn absorb_recovery(
         assert_eq!(id, witness_id, "drop witnesses line up");
         let req = by_session
             .remove(id)
-            .expect("dropped sessions were live and tracked");
+            .expect("dropped sessions were tracked");
         active.remove(&req);
     }
-    report.replacements += rec.recovered.len() as u32;
+    report.replacements += rec.replacements() as u32;
+    report.degraded += rec.degraded.len() as u32;
+    report.parked += rec.parked.len() as u32;
+    report.readmitted += rec.readmitted.len() as u32;
     report.dropped += rec.dropped.len() as u32;
     let mut tail = format!(
-        "re-placed {}, dropped {}",
-        rec.recovered.len(),
-        rec.dropped.len()
+        "re-placed {} ({} degraded), parked {}, readmitted {}, dropped {}; affected {}/{}",
+        rec.replacements(),
+        rec.degraded.len(),
+        rec.parked.len(),
+        rec.readmitted.len(),
+        rec.dropped.len(),
+        rec.affected,
+        rec.considered,
     );
     for (id, err) in &rec.drop_errors {
         let _ = write!(tail, "; {id} unplaceable ({err})");
     }
     tail
+}
+
+/// Counts one recovery pass's O(affected)-vs-O(considered) work into the
+/// campaign report (fault arms only — the retry-queue drain is not a
+/// pass).
+fn count_pass(rec: &RecoveryReport, report: &mut FaultReport) {
+    report.recovery_passes += 1;
+    report.recovery_considered += rec.considered as u32;
+    report.recovery_affected += rec.affected as u32;
 }
 
 /// Sweeps every invariant over the server's current state. Returns the
@@ -639,7 +797,22 @@ pub fn check_invariants(server: &DomainServer, down: &BTreeSet<usize>) -> Result
         }
     }
 
-    // (4) Per-session checks: Eq. 1 consistency, pins, crashed devices
+    // (4) Discovery hygiene: no registered instance is pinned to a down
+    // device — crashed hosts' instances must stay unregistered until
+    // recovery re-registers them.
+    for desc in server.registry().instances() {
+        if let Some(host) = desc.prototype.pinned_to() {
+            if down.contains(&host.index()) {
+                return Err(format!(
+                    "discovery: instance `{}` visible while host dev{} is down",
+                    desc.instance_id,
+                    host.index()
+                ));
+            }
+        }
+    }
+
+    // (5) Per-session checks: Eq. 1 consistency, pins, crashed devices
     // host nothing.
     for (id, s) in server.sessions() {
         let graph = &s.configuration.app.graph;
@@ -714,6 +887,64 @@ mod tests {
             r.arrivals * 2 + 40,
             "arrival+departure per request plus every fault"
         );
+    }
+
+    #[test]
+    fn staged_recovery_drops_fewer_sessions_than_strict() {
+        // Dense enough that capacity actually contends: ~4 devices carry
+        // several concurrent sessions while faults shrink them.
+        let staged_cfg = FaultCampaignConfig {
+            devices: 4,
+            requests: 400,
+            faults: 80,
+            scope_max: 2,
+            flapping_links: 1,
+            ..FaultCampaignConfig::default()
+        };
+        let strict_cfg = FaultCampaignConfig {
+            staged_recovery: false,
+            ..staged_cfg.clone()
+        };
+        let staged = run_fault_campaign(&staged_cfg)
+            .expect("no violations")
+            .report;
+        let strict = run_fault_campaign(&strict_cfg)
+            .expect("no violations")
+            .report;
+        // Same seed, same schedule, same arrival stream: the comparison
+        // is at equal admission workload.
+        assert_eq!(staged.arrivals, strict.arrivals);
+        assert_eq!(staged.crashes, strict.crashes);
+        assert!(
+            staged.dropped < strict.dropped,
+            "staged pipeline must shed fewer sessions: staged {} vs strict {}",
+            staged.dropped,
+            strict.dropped
+        );
+        assert!(
+            staged.degraded + staged.readmitted > 0,
+            "the ladder/retry path must actually fire: {staged:?}"
+        );
+        // The incremental pass does strictly less work than a full
+        // O(sessions) re-placement would have.
+        assert!(staged.recovery_affected <= staged.recovery_considered);
+        assert!(staged.recovery_passes > 0);
+    }
+
+    #[test]
+    fn correlated_and_flapping_events_fire() {
+        let outcome = run_fault_campaign(&FaultCampaignConfig {
+            scope_max: 3,
+            flapping_links: 1,
+            ..FaultCampaignConfig::default()
+        })
+        .expect("no violations");
+        let r = &outcome.report;
+        assert!(
+            r.events > r.arrivals * 2 + 40,
+            "flapping overlays add events beyond the base schedule: {r}"
+        );
+        assert!(r.link_fluctuations > 0, "flapping links degrade/restore");
     }
 
     #[test]

@@ -40,17 +40,24 @@ pub mod event_service;
 pub mod faults;
 pub mod overhead;
 pub mod profiler;
+pub mod recovery;
 pub mod repository;
+pub mod retry_queue;
 pub mod scenario;
+pub mod shrink;
 pub mod streaming;
 
 pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
 pub use cost_model::{CostModel, LinkKind};
-pub use domain_server::{DomainServer, RecoveryReport, Session, SessionId};
+pub use domain_server::{DomainServer, Session, SessionId};
 pub use event_service::{EventService, RuntimeEvent};
 pub use faults::{
-    run_fault_campaign, CampaignOutcome, EventLog, FaultCampaignConfig, InvariantViolation,
+    campaign_schedule, run_fault_campaign, run_fault_campaign_with, CampaignOutcome, EventLog,
+    FaultCampaignConfig, InvariantViolation,
 };
 pub use overhead::ConfigOverhead;
 pub use profiler::Profiler;
+pub use recovery::{Degradation, RecoveryMode, RecoveryReport};
 pub use repository::ComponentRepository;
+pub use retry_queue::{ParkedSession, RetryPolicy, RetryQueue};
+pub use shrink::{shrink_schedule, ShrinkOutcome};

@@ -1,0 +1,163 @@
+//! The parked-session retry queue: capped exponential backoff on the
+//! simulation's virtual clock.
+//!
+//! When no [`DegradationLadder`](ubiqos_composition::DegradationLadder)
+//! level can place a session, the session is *parked* here instead of
+//! dropped: its resources are released, and the domain server retries it
+//! deterministically whenever virtual time passes its `next_retry_ms`.
+//! Each failed retry doubles the backoff (capped), and only when the
+//! attempt budget is exhausted is the session dropped — with the last
+//! [`ConfigureError`](ubiqos::ConfigureError) as the witness that it was
+//! genuinely unplaceable.
+//!
+//! Everything is keyed and iterated in session-id order over a
+//! [`BTreeMap`], and all times are virtual milliseconds driven by
+//! [`DomainServer::play`](crate::DomainServer::play) — no wall clocks, so
+//! campaigns stay byte-for-byte reproducible.
+
+use crate::domain_server::Session;
+use std::collections::BTreeMap;
+use ubiqos::ConfigureError;
+
+/// Backoff and budget policy for parked-session retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_backoff_ms: f64,
+    /// Ceiling the doubling backoff saturates at.
+    pub max_backoff_ms: f64,
+    /// Failed retries allowed before the session is dropped. `0` disables
+    /// parking entirely: ladder exhaustion drops immediately (the strict
+    /// PR 2 behaviour).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Two virtual minutes base, one virtual hour cap, eight attempts.
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_ms: 120_000.0,
+            max_backoff_ms: 3_600_000.0,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The policy that never parks: drop on ladder exhaustion.
+    pub fn strict() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff after `attempts` failed retries: `base * 2^attempts`,
+    /// saturating at the cap.
+    pub fn backoff_ms(&self, attempts: u32) -> f64 {
+        let factor = 2.0_f64.powi(attempts.min(63) as i32);
+        (self.base_backoff_ms * factor).min(self.max_backoff_ms)
+    }
+}
+
+/// One session waiting in the retry queue.
+#[derive(Debug, Clone)]
+pub struct ParkedSession {
+    /// The session, exactly as it was when parked (configuration stale,
+    /// resources refunded).
+    pub session: Session,
+    /// Failed retries so far.
+    pub attempts: u32,
+    /// Virtual time the next retry becomes due.
+    pub next_retry_ms: f64,
+    /// The error from the most recent placement failure (every ladder
+    /// level failed) — the drop witness if the budget runs out.
+    pub last_error: ConfigureError,
+}
+
+/// Deterministic queue of parked sessions, keyed by raw session id.
+#[derive(Debug, Clone, Default)]
+pub struct RetryQueue {
+    parked: BTreeMap<u64, ParkedSession>,
+}
+
+impl RetryQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked sessions.
+    pub fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    /// Parks a session (first park: zero attempts used).
+    pub fn park(
+        &mut self,
+        id: u64,
+        session: Session,
+        error: ConfigureError,
+        now_ms: f64,
+        policy: &RetryPolicy,
+    ) {
+        self.parked.insert(
+            id,
+            ParkedSession {
+                session,
+                attempts: 0,
+                next_retry_ms: now_ms + policy.backoff_ms(0),
+                last_error: error,
+            },
+        );
+    }
+
+    /// Removes a parked session by id (e.g. its user departed).
+    pub fn remove(&mut self, id: u64) -> Option<ParkedSession> {
+        self.parked.remove(&id)
+    }
+
+    /// Re-inserts a session taken out for a retry attempt.
+    pub fn reinsert(&mut self, id: u64, parked: ParkedSession) {
+        self.parked.insert(id, parked);
+    }
+
+    /// Ids whose retries are due at `now_ms`, in id order.
+    pub fn due(&self, now_ms: f64) -> Vec<u64> {
+        self.parked
+            .iter()
+            .filter(|(_, p)| p.next_retry_ms <= now_ms)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Iterates over every parked session in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &ParkedSession)> {
+        self.parked.iter().map(|(&id, p)| (id, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ms(0), 120_000.0);
+        assert_eq!(p.backoff_ms(1), 240_000.0);
+        assert_eq!(p.backoff_ms(2), 480_000.0);
+        assert_eq!(p.backoff_ms(30), p.max_backoff_ms);
+        assert_eq!(p.backoff_ms(u32::MAX), p.max_backoff_ms);
+    }
+
+    #[test]
+    fn strict_policy_has_no_budget() {
+        assert_eq!(RetryPolicy::strict().max_attempts, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Schedule shrinking: reduce a fault schedule that violates an
+//! invariant to a (locally) minimal reproducer.
+//!
+//! When a fault campaign trips an invariant, the offending schedule can
+//! be hundreds of events long — most of them irrelevant. This module
+//! shrinks it the way property-testing frameworks shrink failing inputs,
+//! but specialised to *timed schedules* replayed against a deterministic
+//! harness:
+//!
+//! 1. **Prefix minimisation** — binary-search the shortest violating
+//!    prefix (the violation is detected at the last event applied, so
+//!    everything after it is noise by construction).
+//! 2. **Subsequence minimisation** — greedily delete single events,
+//!    keeping each deletion only if the violation survives, repeated to a
+//!    fixpoint.
+//!
+//! The result is 1-minimal: removing any single remaining event makes
+//! the violation disappear. Every probe replays the *whole* candidate
+//! schedule through the caller's predicate, so determinism of the
+//! harness is what makes shrinking sound.
+
+use ubiqos_sim::TimedFault;
+
+/// A shrunk reproducer: the minimal schedule and the violation it still
+/// triggers.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The 1-minimal violating schedule (still time-sorted — shrinking
+    /// only deletes events, never reorders them).
+    pub schedule: Vec<TimedFault>,
+    /// The violation message the minimal schedule triggers.
+    pub violation: String,
+    /// How many candidate schedules were replayed while shrinking.
+    pub probes: usize,
+}
+
+/// Shrinks `schedule` against `violates` (which returns `Some(message)`
+/// when a candidate schedule still triggers the violation, `None` when
+/// it runs clean).
+///
+/// Returns `None` when the full schedule does not violate at all —
+/// there is nothing to shrink. Otherwise the returned schedule is a
+/// subsequence of the input, 1-minimal under `violates`.
+pub fn shrink_schedule<F>(schedule: &[TimedFault], mut violates: F) -> Option<ShrinkOutcome>
+where
+    F: FnMut(&[TimedFault]) -> Option<String>,
+{
+    let mut probes = 1usize;
+    let mut message = violates(schedule)?;
+    let mut current: Vec<TimedFault> = schedule.to_vec();
+
+    // Phase 1: shortest violating prefix, by binary search. The
+    // predicate is monotone over prefixes for abort-at-first-violation
+    // harnesses; if it is not, the search still lands on *a* violating
+    // prefix because `hi` only ever moves to lengths that violate.
+    let mut lo = 1usize;
+    let mut hi = current.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        match violates(&current[..mid]) {
+            Some(m) => {
+                message = m;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    current.truncate(hi);
+
+    // Phase 2: greedy single-event deletion to a fixpoint. Scan from the
+    // back so index bookkeeping survives removals.
+    loop {
+        let mut removed_any = false;
+        let mut i = current.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            probes += 1;
+            if let Some(m) = violates(&candidate) {
+                message = m;
+                current = candidate;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    Some(ShrinkOutcome {
+        schedule: current,
+        violation: message,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_sim::FaultKind;
+
+    fn fault(at_h: f64, device: usize) -> TimedFault {
+        TimedFault {
+            at_h,
+            kind: FaultKind::Crash { device },
+        }
+    }
+
+    /// A synthetic violation: the schedule contains a crash of device 3
+    /// after a crash of device 1 (any number of events in between).
+    fn crash_1_then_3(schedule: &[TimedFault]) -> Option<String> {
+        let mut seen_1 = false;
+        for f in schedule {
+            if let FaultKind::Crash { device } = f.kind {
+                if device == 1 {
+                    seen_1 = true;
+                } else if device == 3 && seen_1 {
+                    return Some("crash of dev3 after dev1".to_owned());
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_pair() {
+        let schedule: Vec<TimedFault> = vec![
+            fault(0.5, 0),
+            fault(1.0, 2),
+            fault(1.5, 1),
+            fault(2.0, 4),
+            fault(2.5, 0),
+            fault(3.0, 3),
+            fault(3.5, 2),
+        ];
+        let outcome = shrink_schedule(&schedule, crash_1_then_3).expect("full schedule violates");
+        assert_eq!(outcome.schedule, vec![fault(1.5, 1), fault(3.0, 3)]);
+        assert_eq!(outcome.violation, "crash of dev3 after dev1");
+        assert!(outcome.probes >= 3, "prefix + deletion probes counted");
+    }
+
+    #[test]
+    fn clean_schedules_are_not_shrunk() {
+        let schedule = vec![fault(1.0, 0), fault(2.0, 2)];
+        assert!(shrink_schedule(&schedule, crash_1_then_3).is_none());
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let schedule: Vec<TimedFault> = (0..20)
+            .map(|i| fault(i as f64, [0, 1, 2, 3, 4][i % 5]))
+            .collect();
+        let outcome = shrink_schedule(&schedule, crash_1_then_3).expect("violates");
+        for i in 0..outcome.schedule.len() {
+            let mut candidate = outcome.schedule.clone();
+            candidate.remove(i);
+            assert!(
+                crash_1_then_3(&candidate).is_none(),
+                "removing event {i} should break the violation"
+            );
+        }
+    }
+}

@@ -168,11 +168,14 @@ proptest! {
             );
         }
         assert_invariants(&server);
+        let before = server.session_count();
         let report = server.handle_crash(DeviceId::from_index(crash_at as usize));
-        prop_assert_eq!(
-            report.recovered.len() + report.dropped.len() >= server.session_count(),
-            true
-        );
+        // Staged pipeline, default policy: nothing is dropped outright —
+        // unplaceable sessions park, the rest stay live (kept, re-placed,
+        // or degraded). Fates must account for every session.
+        prop_assert!(report.dropped.is_empty());
+        prop_assert_eq!(before, server.session_count() + server.parked_count());
+        prop_assert_eq!(report.parked.len(), server.parked_count());
         assert_invariants(&server);
         if restore {
             server.fluctuate(

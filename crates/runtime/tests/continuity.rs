@@ -147,24 +147,67 @@ fn crash_of_hosting_device_replaces_sessions_on_survivors() {
 }
 
 #[test]
-fn crash_of_client_device_drops_with_witness() {
+fn crash_of_client_device_parks_with_witness() {
     let mut server = space();
     let (_, app) = app_template(0);
     let id = server
         .start_session("audio", app, QosVector::new(), DeviceId::from_index(2))
         .expect("admitted");
     // The sink is pinned to the client device; crashing it makes the
-    // session genuinely unplaceable.
+    // session unplaceable at every ladder rung — the staged pipeline
+    // parks it (resources released) instead of dropping, keeping the
+    // error that witnesses why placement failed.
     let report = server.handle_crash(DeviceId::from_index(2));
-    assert_eq!(report.dropped, vec![id]);
-    assert_eq!(report.drop_errors.len(), 1, "the drop carries its witness");
-    let (witness_id, err) = &report.drop_errors[0];
+    assert_eq!(report.parked, vec![id]);
+    assert!(report.dropped.is_empty() && report.drop_errors.is_empty());
+    assert_eq!(server.session_count(), 0);
+    assert_eq!(server.parked_count(), 1);
+    let (parked_id, parked) = server
+        .parked_sessions()
+        .next()
+        .expect("the session is in the retry queue");
+    assert_eq!(parked_id, id);
+    assert!(
+        matches!(parked.last_error, ConfigureError::Distribution(_)),
+        "placement, not composition, is what failed: {}",
+        parked.last_error
+    );
+}
+
+#[test]
+fn parked_session_exhausts_retry_budget_and_drops_with_witness() {
+    let mut server = space();
+    server.set_retry_policy(ubiqos_runtime::RetryPolicy {
+        base_backoff_ms: 1_000.0,
+        max_backoff_ms: 4_000.0,
+        max_attempts: 3,
+    });
+    let (_, app) = app_template(0);
+    let id = server
+        .start_session("audio", app, QosVector::new(), DeviceId::from_index(2))
+        .expect("admitted");
+    server.handle_crash(DeviceId::from_index(2));
+    assert_eq!(server.parked_count(), 1);
+    // The device never comes back; each due retry fails and re-parks
+    // with doubled backoff until the budget runs out.
+    let mut dropped = Vec::new();
+    for _ in 0..16 {
+        server.play(5.0);
+        let rec = server.process_retries();
+        assert!(
+            rec.readmitted.is_empty(),
+            "nowhere to go while dev2 is down"
+        );
+        dropped.extend(rec.drop_errors);
+    }
+    assert_eq!(server.parked_count(), 0, "budget exhausted");
+    assert_eq!(dropped.len(), 1);
+    let (witness_id, err) = &dropped[0];
     assert_eq!(*witness_id, id);
     assert!(
         matches!(err, ConfigureError::Distribution(_)),
-        "placement, not composition, is what failed: {err}"
+        "the final drop still carries the placement error: {err}"
     );
-    assert_eq!(server.session_count(), 0);
 }
 
 #[test]
@@ -181,11 +224,7 @@ fn recovery_restores_pristine_capacity_and_readmits() {
         )
         .expect("admitted");
     server.handle_crash(DeviceId::from_index(2));
-    assert_eq!(
-        server.session_count(),
-        0,
-        "client crash dropped the session"
-    );
+    assert_eq!(server.session_count(), 0, "client crash parked the session");
     assert!(server.session(id).is_none());
     // While device 2 is down, a client there cannot be served.
     assert!(!server.can_place(&app, &QosVector::new(), DeviceId::from_index(2), None));
@@ -206,33 +245,55 @@ fn recovery_restores_pristine_capacity_and_readmits() {
         .start_session("audio2", app, QosVector::new(), DeviceId::from_index(2))
         .expect("recovered space admits");
     assert_ne!(id2, id, "session ids are never reused");
+    // The parked original comes back once its backoff elapses.
+    server.play(200.0);
+    let rec = server.process_retries();
+    assert_eq!(rec.readmitted, vec![id]);
+    assert_eq!(server.session_count(), 2);
+    assert_eq!(server.parked_count(), 0);
 }
 
 #[test]
-fn recovery_replaces_live_sessions_to_use_returned_capacity() {
+fn returned_capacity_climbs_degraded_sessions_back_up() {
     let mut server = space();
     let (_, app) = app_template(0);
     let id = server
         .start_session("audio", app, QosVector::new(), DeviceId::from_index(1))
         .expect("admitted");
-    // Crash an idle-ish device; the session survives on the others.
-    let report = server.handle_crash(DeviceId::from_index(3));
-    assert_eq!(report.recovered, vec![id]);
-    let report = server.recover_device(DeviceId::from_index(3));
+    // Shrink the client device below the pinned sink's full-quality
+    // demand (10, 14); the 0.75 rung's (7.5, 10.5) still fits, so the
+    // session degrades instead of parking.
+    let report = server.fluctuate(DeviceId::from_index(1), ResourceVector::mem_cpu(9.0, 12.0));
+    assert_eq!(report.degraded.len(), 1, "{report:?}");
+    let (did, d) = report.degraded[0];
+    assert_eq!(did, id);
+    assert_eq!(d.from, 1.0);
+    assert_eq!(d.to, 0.75);
+    assert_eq!(server.session(id).expect("live").degrade_factor, 0.75);
+    // Capacity returns: the recovery pass re-examines degraded sessions
+    // touching the changed device and climbs them back to full quality.
+    let pristine_dev1 = server
+        .pristine()
+        .device(1)
+        .expect("device exists")
+        .availability()
+        .clone();
+    let report = server.fluctuate(DeviceId::from_index(1), pristine_dev1);
     assert_eq!(
         report.recovered,
         vec![id],
-        "recovery re-places live sessions"
+        "degraded session climbs back up: {report:?}"
     );
     assert!(report.dropped.is_empty());
     let s = server.session(id).expect("live");
+    assert_eq!(s.degrade_factor, 1.0);
     assert!(
         s.overhead_log
             .last()
             .expect("logged")
             .0
-            .contains("recovery"),
-        "the post-recovery re-placement is priced and labeled"
+            .contains("fluctuation"),
+        "the re-placement is priced and labeled"
     );
     assert!(
         ubiqos_composition::diagnose(&s.configuration.app.graph).is_consistent(),
@@ -245,12 +306,16 @@ fn move_user_between_domains_keeps_position_and_domain_scope() {
     let mut server = space();
     let office = server.registry_mut().add_domain("office", None);
     let lounge = server.registry_mut().add_domain("lounge", None);
-    // Scope a source to each room; sinks stay global.
+    // Scope a source to each room; sinks stay global. Clone the
+    // *unpinned* space-wide source (build_space also registers per-device
+    // hosted instances, which must not leak into the room copies).
     for (dom, instance) in [(office, "wav-source@office"), (lounge, "wav-source@lounge")] {
         let mut hit = server
             .registry()
             .discover_all(&DiscoveryQuery::new("wav-source"))
-            .remove(0)
+            .into_iter()
+            .find(|h| h.descriptor.instance_id == "wav-source@space")
+            .expect("the space-wide source is registered")
             .descriptor;
         hit.instance_id = instance.into();
         hit.domain = Some(dom);

@@ -27,6 +27,15 @@ pub enum FaultKind {
         /// The crashing device.
         device: usize,
     },
+    /// A correlated failure: the contiguous scope group
+    /// `first..first+count` crashes together (a rack, a room, a shared
+    /// power feed). The runtime applies one combined recovery pass.
+    CrashScope {
+        /// First device of the scope group.
+        first: usize,
+        /// Number of devices in the group (`>= 2`).
+        count: usize,
+    },
     /// Device `device` recovers to its pristine capacity and links.
     Recover {
         /// The recovering device.
@@ -73,6 +82,7 @@ impl FaultKind {
     pub fn label(&self) -> &'static str {
         match self {
             FaultKind::Crash { .. } => "crash",
+            FaultKind::CrashScope { .. } => "crash-scope",
             FaultKind::Recover { .. } => "recover",
             FaultKind::Fluctuate { .. } => "fluctuate",
             FaultKind::DegradeLink { .. } => "degrade-link",
@@ -104,6 +114,16 @@ pub struct FaultScheduleConfig {
     pub devices: usize,
     /// Smallest capacity fraction a fluctuation may leave.
     pub min_factor: f64,
+    /// Largest correlated crash scope (devices crashing together in one
+    /// event). `1` disables correlated failures (independent crashes
+    /// only, the PR 2 behaviour).
+    pub scope_max: usize,
+    /// Number of flapping-link patterns overlaid on the schedule. Each
+    /// pattern periodically degrades and restores one link for the whole
+    /// horizon; the extra events are *in addition to* `events`.
+    pub flapping_links: usize,
+    /// Full degrade→restore period of each flapping link, in hours.
+    pub flap_period_h: f64,
 }
 
 impl Default for FaultScheduleConfig {
@@ -114,6 +134,9 @@ impl Default for FaultScheduleConfig {
             horizon_h: 100.0,
             devices: 4,
             min_factor: 0.2,
+            scope_max: 1,
+            flapping_links: 0,
+            flap_period_h: 8.0,
         }
     }
 }
@@ -134,6 +157,9 @@ impl FaultScheduleConfig {
     pub fn generate(&self) -> Vec<TimedFault> {
         assert!(self.devices >= 2, "fault schedules need at least 2 devices");
         assert!(self.horizon_h > 0.0, "fault horizon must be positive");
+        if self.flapping_links > 0 {
+            assert!(self.flap_period_h > 0.0, "flap period must be positive");
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut down: Vec<bool> = vec![false; self.devices];
         let mut schedule: Vec<TimedFault> = (0..self.events)
@@ -143,6 +169,7 @@ impl FaultScheduleConfig {
                 TimedFault { at_h, kind }
             })
             .collect();
+        self.overlay_flapping(&mut rng, &mut schedule);
         // Stable sort keeps the generation order on exact time ties, so
         // the schedule is a pure function of the seed.
         schedule.sort_by(|x, y| {
@@ -153,17 +180,69 @@ impl FaultScheduleConfig {
         schedule
     }
 
+    /// Appends the flapping-link patterns: each picks one link, a
+    /// degradation factor, and a phase, then alternates degrade/restore
+    /// every half period across the horizon. Emitted as plain
+    /// [`FaultKind::DegradeLink`] events so the runtime path is identical
+    /// to any other link fluctuation.
+    fn overlay_flapping(&self, rng: &mut StdRng, schedule: &mut Vec<TimedFault>) {
+        for _ in 0..self.flapping_links {
+            let device = rng.gen_range(0..self.devices);
+            let other = (device + 1 + rng.gen_range(0..self.devices - 1)) % self.devices;
+            let (a, b) = (device.min(other), device.max(other));
+            let hi = if self.min_factor < 0.7 { 0.7 } else { 1.0 };
+            let factor = rng.gen_range(self.min_factor..hi);
+            let mut t = rng.gen_range(0.0..self.flap_period_h);
+            let mut degraded = false;
+            while t < self.horizon_h {
+                schedule.push(TimedFault {
+                    at_h: t,
+                    kind: FaultKind::DegradeLink {
+                        a,
+                        b,
+                        factor: if degraded { 1.0 } else { factor },
+                    },
+                });
+                degraded = !degraded;
+                t += self.flap_period_h / 2.0;
+            }
+        }
+    }
+
     fn draw_kind(&self, rng: &mut StdRng, down: &mut [bool]) -> FaultKind {
         let device = rng.gen_range(0..self.devices);
         let factor = rng.gen_range(self.min_factor..1.0);
         match rng.gen_range(0u32..10) {
             // 2/10 crash — unless it would take the last device down, in
-            // which case the slot degrades the device instead.
+            // which case the slot degrades the device instead. When the
+            // config allows correlated scopes and there is headroom, a
+            // third of the crash slots take a contiguous group down
+            // together.
             0 | 1 => {
                 let up_count = down.iter().filter(|&&d| !d).count();
                 if !down[device] && up_count > 1 {
-                    down[device] = true;
-                    FaultKind::Crash { device }
+                    // A scope may only swallow the contiguous run of *up*
+                    // devices starting at `device`, and must leave at
+                    // least one survivor somewhere.
+                    let run = down[device..].iter().take_while(|&&d| !d).count();
+                    let cap = self.scope_max.min(up_count - 1).min(run);
+                    let count = if cap >= 2 && rng.gen_range(0u32..3) == 0 {
+                        rng.gen_range(2..cap + 1)
+                    } else {
+                        1
+                    };
+                    if count > 1 {
+                        for d in down.iter_mut().skip(device).take(count) {
+                            *d = true;
+                        }
+                        FaultKind::CrashScope {
+                            first: device,
+                            count,
+                        }
+                    } else {
+                        down[device] = true;
+                        FaultKind::Crash { device }
+                    }
                 } else {
                     FaultKind::Fluctuate { device, factor }
                 }
@@ -233,6 +312,9 @@ mod tests {
                 FaultKind::Crash { device }
                 | FaultKind::Recover { device }
                 | FaultKind::Fluctuate { device, .. } => assert!(device < cfg.devices),
+                FaultKind::CrashScope { first, count } => {
+                    assert!(count >= 2 && first + count <= cfg.devices);
+                }
                 FaultKind::DegradeLink { a, b, .. } => {
                     assert!(a < b && b < cfg.devices);
                 }
@@ -278,6 +360,7 @@ mod tests {
     fn labels_are_distinct() {
         let kinds = [
             FaultKind::Crash { device: 0 },
+            FaultKind::CrashScope { first: 0, count: 2 },
             FaultKind::Recover { device: 0 },
             FaultKind::Fluctuate {
                 device: 0,
@@ -295,6 +378,78 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn correlated_scopes_appear_when_enabled_and_stay_in_bounds() {
+        let cfg = FaultScheduleConfig {
+            events: 400,
+            devices: 8,
+            scope_max: 3,
+            seed: 17,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        let scopes: Vec<(usize, usize)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::CrashScope { first, count } => Some((first, count)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !scopes.is_empty(),
+            "400 events with scope_max=3 should draw scopes"
+        );
+        for (first, count) in scopes {
+            assert!((2..=cfg.scope_max).contains(&count));
+            assert!(first + count <= cfg.devices);
+        }
+        // The same config with scopes disabled draws none.
+        let strict = FaultScheduleConfig {
+            scope_max: 1,
+            ..cfg
+        };
+        assert!(strict
+            .generate()
+            .iter()
+            .all(|f| !matches!(f.kind, FaultKind::CrashScope { .. })));
+    }
+
+    #[test]
+    fn flapping_links_alternate_degrade_and_restore() {
+        let cfg = FaultScheduleConfig {
+            events: 0,
+            flapping_links: 1,
+            flap_period_h: 10.0,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        // The pattern fires every half period across the horizon.
+        assert!(schedule.len() >= (cfg.horizon_h / cfg.flap_period_h) as usize);
+        let mut by_link: std::collections::BTreeMap<(usize, usize), Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for f in &schedule {
+            match f.kind {
+                FaultKind::DegradeLink { a, b, factor } => {
+                    assert!(a < b && b < cfg.devices);
+                    by_link.entry((a, b)).or_default().push(factor);
+                }
+                other => panic!("flap-only schedule produced {other:?}"),
+            }
+        }
+        for factors in by_link.values() {
+            // Strict degrade/restore alternation per link, starting degraded.
+            for (i, &factor) in factors.iter().enumerate() {
+                if i % 2 == 0 {
+                    assert!(factor < 1.0, "even beats degrade, got {factor}");
+                } else {
+                    assert!((factor - 1.0).abs() < 1e-12, "odd beats restore");
+                }
+            }
+        }
+        // Still deterministic per seed.
+        assert_eq!(schedule, cfg.generate());
     }
 
     #[test]

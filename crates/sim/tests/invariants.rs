@@ -100,6 +100,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         devices in 2usize..8,
         events in 1usize..120,
+        scope_max in 1usize..4,
     ) {
         let cfg = FaultScheduleConfig {
             seed,
@@ -107,6 +108,8 @@ proptest! {
             horizon_h: 100.0,
             devices,
             min_factor: 0.2,
+            scope_max,
+            ..FaultScheduleConfig::default()
         };
         let schedule = cfg.generate();
         prop_assert_eq!(&schedule, &cfg.generate());
@@ -124,6 +127,11 @@ proptest! {
                 FaultKind::Crash { device } => {
                     prop_assert!(device < devices);
                     crashes += 1;
+                }
+                FaultKind::CrashScope { first, count } => {
+                    prop_assert!(count >= 2 && count <= scope_max);
+                    prop_assert!(first + count <= devices);
+                    crashes += count as isize;
                 }
                 FaultKind::Recover { device } => {
                     prop_assert!(device < devices);

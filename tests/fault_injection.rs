@@ -11,11 +11,17 @@
 use ubiqos_runtime::{run_fault_campaign, FaultCampaignConfig};
 
 /// ≥ 50 random fault schedules, varying space size and fault density,
-/// every invariant checked after every event.
+/// every invariant checked after every event. The nightly workflow
+/// raises the schedule count via `UBIQOS_SOAK_SCHEDULES` (200).
 #[test]
 fn soak_fifty_random_schedules_keep_all_invariants() {
+    let schedules: u64 = std::env::var("UBIQOS_SOAK_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50)
+        .max(50);
     let mut checks = 0u64;
-    for seed in 0..50u64 {
+    for seed in 0..schedules {
         let cfg = FaultCampaignConfig {
             seed: 0xfa01_7000 + seed,
             devices: 3 + (seed % 4) as usize,
@@ -23,6 +29,11 @@ fn soak_fifty_random_schedules_keep_all_invariants() {
             horizon_h: 24.0,
             faults: 16 + (seed % 3) as usize * 8,
             min_factor: 0.25,
+            // Exercise correlated crashes and flapping links on a
+            // rotating subset of the schedules.
+            scope_max: 1 + (seed % 3) as usize,
+            flapping_links: (seed % 2) as usize,
+            ..FaultCampaignConfig::default()
         };
         let outcome = run_fault_campaign(&cfg)
             .unwrap_or_else(|v| panic!("seed {seed}: invariant violated: {v}"));
@@ -35,7 +46,10 @@ fn soak_fifty_random_schedules_keep_all_invariants() {
         assert_eq!(r.arrivals, 40, "seed {seed}: whole workload processed");
         checks += u64::from(r.invariant_checks);
     }
-    assert!(checks >= 50 * 96, "soak actually swept ({checks} checks)");
+    assert!(
+        checks >= schedules * 96,
+        "soak actually swept ({checks} checks)"
+    );
 }
 
 /// Same seed, same config → byte-identical event log and equal report.
@@ -59,13 +73,44 @@ fn default_campaign_digest_is_pinned_across_thread_settings() {
         run_fault_campaign(&FaultCampaignConfig::default()).expect("campaign holds its invariants");
     assert_eq!(
         outcome.report.log_digest,
-        0x10b7_011b_2c53_8f55,
+        0x2385_725a_4716_6d1b,
         "trace changed: the fault model or its inputs were modified \
          (update the pinned digest only if that was intentional); \
          UBIQOS_THREADS={:?}",
         std::env::var("UBIQOS_THREADS").ok()
     );
     assert_eq!(outcome.report.log_digest, outcome.log.digest());
+}
+
+/// Serial vs 8-thread runs of a recovery-heavy campaign produce
+/// byte-identical logs (and therefore identical staged-recovery
+/// decisions: who degraded, who parked, who was re-admitted).
+///
+/// Env mutation is process-global, but this is the only test that sets
+/// `UBIQOS_THREADS`, and every other assertion in this file is
+/// thread-count independent by design (that is the property under test).
+#[test]
+fn recovery_log_is_identical_across_thread_settings() {
+    let cfg = FaultCampaignConfig {
+        devices: 4,
+        requests: 200,
+        faults: 60,
+        scope_max: 2,
+        flapping_links: 1,
+        ..FaultCampaignConfig::default()
+    };
+    std::env::set_var("UBIQOS_THREADS", "1");
+    let serial = run_fault_campaign(&cfg).expect("serial campaign holds");
+    std::env::set_var("UBIQOS_THREADS", "8");
+    let threaded = run_fault_campaign(&cfg).expect("threaded campaign holds");
+    std::env::remove_var("UBIQOS_THREADS");
+    assert_eq!(serial.log.render(), threaded.log.render());
+    assert_eq!(serial.report, threaded.report);
+    assert!(
+        serial.report.parked + serial.report.degraded > 0,
+        "the comparison must cover actual staged-recovery decisions: {}",
+        serial.report
+    );
 }
 
 /// Sessions are only dropped with a recorded `ConfigureError` witness —
