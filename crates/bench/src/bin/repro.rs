@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`,
-//! `osd`, `faults`. Figure data is also written as JSON under
-//! `target/repro/`; the `osd` solver benchmark additionally writes
-//! `BENCH_osd.json` and the `faults` campaign `BENCH_faults.json` in the
+//! `osd`, `faults`, `configure`. Figure data is also written as JSON
+//! under `target/repro/`; the `osd` solver benchmark additionally writes
+//! `BENCH_osd.json`, the `faults` campaign `BENCH_faults.json`, and the
+//! `configure` cache/warm-start benchmark `BENCH_configure.json` in the
 //! working directory.
 
 use ubiqos_sim::{Fig5Config, Policy};
@@ -47,9 +48,13 @@ fn main() {
         faults();
         ran += 1;
     }
+    if want("configure") {
+        configure();
+        ran += 1;
+    }
     if ran == 0 {
         eprintln!(
-            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd faults",
+            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd faults configure",
             args
         );
         std::process::exit(2);
@@ -262,5 +267,32 @@ fn faults() {
             Err(e) => eprintln!("warning: could not write BENCH_faults.json: {e}"),
         },
         Err(e) => eprintln!("warning: could not serialize the fault report: {e}"),
+    }
+}
+
+fn configure() {
+    println!("================ Configuration cache + warm start ================");
+    let report = ubiqos_bench::configure::run_configure_bench(300, 4);
+    println!("{}", report.render());
+    // Cache invisibility is part of the artifact, not a side note: the
+    // cache and the warm seeds must never change an observable output.
+    assert!(
+        report.determinism_ok(),
+        "cache/warm-start determinism violated: {report:?}"
+    );
+    if !report.cache_ok(2.0) {
+        eprintln!("warning: cache speedup below 2x on the configure pipeline");
+    }
+    if !report.warm_ok(2.0) {
+        eprintln!("warning: warm starts save less than 2x OSD nodes on re-placement");
+    }
+    println!();
+    ubiqos_bench::dump_json("configure.json", &report);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write("BENCH_configure.json", json) {
+            Ok(()) => println!("(configuration benchmark written to BENCH_configure.json)"),
+            Err(e) => eprintln!("warning: could not write BENCH_configure.json: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize the configure report: {e}"),
     }
 }

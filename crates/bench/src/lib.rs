@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod configure;
 pub mod osd;
 
 use ubiqos_runtime::FaultCampaignConfig;

@@ -61,6 +61,13 @@ pub struct OsdBenchReport {
     pub cases: Vec<OsdBenchCase>,
     /// Worker threads the parallel rows used.
     pub threads: usize,
+    /// The solver's default serial-fallback threshold: instances with
+    /// fewer free components than this run one serial subtree even when
+    /// the fan-out is requested. The parallel column forces the fan-out
+    /// (threshold 0) so every rung measures the parallel path; real
+    /// callers keep the default and skip the fan-out overhead on small
+    /// instances.
+    pub serial_fallback_threshold: usize,
 }
 
 impl OsdBenchReport {
@@ -100,7 +107,11 @@ impl OsdBenchReport {
                 c.bound_speedup
             ));
         }
-        out.push_str(&format!("({} worker threads)\n", self.threads));
+        out.push_str(&format!(
+            "({} worker threads; parallel column forces the fan-out, default serial \
+             fallback below {} free components)\n",
+            self.threads, self.serial_fallback_threshold
+        ));
         out
     }
 }
@@ -180,7 +191,12 @@ pub fn run_osd_bench(instances: usize) -> OsdBenchReport {
                 .with_parallel(false)
                 .with_suffix_bound(false);
             let serial = ExhaustiveOptimal::new().with_parallel(false);
-            let parallel = ExhaustiveOptimal::new().with_parallel(true);
+            // Threshold 0 forces the fan-out on every rung — the column
+            // measures the parallel path itself, not the serial fallback
+            // the default threshold would route small instances to.
+            let parallel = ExhaustiveOptimal::new()
+                .with_parallel(true)
+                .with_parallel_threshold(0);
 
             let (baseline_ms, baseline_stats) = time_solver(&baseline, &graphs, &env, &weights);
             let (serial_ms, serial_stats) = time_solver(&serial, &graphs, &env, &weights);
@@ -204,6 +220,7 @@ pub fn run_osd_bench(instances: usize) -> OsdBenchReport {
     OsdBenchReport {
         cases,
         threads: ubiqos_parallel::thread_count(),
+        serial_fallback_threshold: ExhaustiveOptimal::new().parallel_threshold(),
     }
 }
 

@@ -49,4 +49,4 @@ pub use descriptor::{DeviceProperties, ServiceDescriptor};
 pub use domain::{Domain, DomainId};
 pub use matching::{score, Discovered};
 pub use query::DiscoveryQuery;
-pub use registry::ServiceRegistry;
+pub use registry::{DiscoveryStats, ServiceRegistry};

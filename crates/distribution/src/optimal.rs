@@ -35,6 +35,25 @@
 //! leaves; the parallel reduction compares worker results in
 //! deterministic root order. Only the [`SolveStats`] node counts vary run
 //! to run in parallel mode (they depend on when incumbent updates land).
+//!
+//! Fan-out has a fixed cost (root expansion, worker spawning, atomic
+//! traffic) that small instances never amortise, so instances with fewer
+//! free components than [`ExhaustiveOptimal::parallel_threshold`] run the
+//! serial search even when the parallel feature is on.
+//!
+//! # Warm starts
+//!
+//! [`ExhaustiveOptimal::set_warm_start`] seeds the next solve with a
+//! previous assignment — typically the placement a session held before a
+//! fault. The seed is replayed through the search's own feasibility
+//! checks; when valid it becomes the initial incumbent (local best *and*
+//! shared atomic), so the bound is tight from the first node instead of
+//! infinite. Because a valid seed is itself a feasible leaf of the search
+//! tree, admitting it early cannot change the unique `(cost, key)`
+//! minimum the search returns: warm and cold solves are bit-identical,
+//! warm ones just prune harder. An invalid seed (wrong length, pin
+//! mismatch, no longer feasible) is silently discarded — the solve
+//! degrades to a cold start.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -65,6 +84,9 @@ pub struct SolveStats {
     pub pruned_infeasible: u64,
     /// Independent subtree roots searched (1 for a serial run).
     pub subtrees: u64,
+    /// Whether a warm-start seed was validated and used as the initial
+    /// incumbent for this solve.
+    pub warm_start_used: bool,
 }
 
 impl SolveStats {
@@ -85,16 +107,25 @@ impl SolveStats {
 pub struct ExhaustiveOptimal {
     node_limit: usize,
     parallel: bool,
+    parallel_threshold: usize,
     suffix_bound: bool,
+    warm_start: Option<Vec<usize>>,
     last_stats: Option<SolveStats>,
 }
+
+/// Free-component count below which the parallel fan-out costs more than
+/// it saves (measured on the `repro -- osd` ladder: 12–16 node instances
+/// ran slower fanned out than serial).
+const DEFAULT_PARALLEL_THRESHOLD: usize = 18;
 
 impl Default for ExhaustiveOptimal {
     fn default() -> Self {
         ExhaustiveOptimal {
             node_limit: 32,
             parallel: cfg!(feature = "parallel"),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             suffix_bound: true,
+            warm_start: None,
             last_stats: None,
         }
     }
@@ -132,6 +163,37 @@ impl ExhaustiveOptimal {
     /// Whether the parallel fan-out is active.
     pub fn parallel(&self) -> bool {
         self.parallel
+    }
+
+    /// Overrides the free-component count below which the solver runs
+    /// serially even in parallel mode (fan-out overhead dominates on
+    /// small instances). `0` forces the fan-out whenever possible.
+    #[must_use]
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// The current serial-fallback threshold.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+
+    /// Seeds the next `distribute` call with a previous full assignment
+    /// (one device index per component, pinned included). See the module
+    /// docs: a valid seed tightens the incumbent without changing the
+    /// result; an invalid one is discarded. The seed is consumed by the
+    /// next solve.
+    #[must_use]
+    pub fn with_warm_start(mut self, assignment: Vec<usize>) -> Self {
+        self.warm_start = Some(assignment);
+        self
+    }
+
+    /// Sets or clears the warm-start seed in place (for callers holding
+    /// a long-lived solver across a recovery pass).
+    pub fn set_warm_start(&mut self, assignment: Option<Vec<usize>>) {
+        self.warm_start = assignment;
     }
 
     /// Enables or disables the precomputed suffix lower bound (on by
@@ -446,6 +508,51 @@ fn expand_roots(
     roots
 }
 
+/// Replays a warm-start assignment through [`placement_delta`], in
+/// visiting order, on a clone of the pinned base state. Returns the
+/// `(cost, visiting-order key, full assignment)` of the resulting leaf
+/// when the seed is valid — right length, consistent with every pin,
+/// in-range devices, and feasible under the current (post-fault)
+/// environment — and `None` otherwise.
+fn validate_seed(
+    problem: &OsdProblem<'_>,
+    table: &NodeCostTable,
+    order: &[ComponentId],
+    base_state: &SearchState,
+    base_cost: f64,
+    warm: &[usize],
+) -> Option<(f64, Vec<usize>, Vec<usize>)> {
+    let graph = problem.graph();
+    let k = problem.env().device_count();
+    if warm.len() != graph.component_count() || warm.iter().any(|&d| d >= k) {
+        return None;
+    }
+    let pins_match = base_state
+        .assignment
+        .iter()
+        .enumerate()
+        .all(|(i, a)| a.is_none_or(|d| warm[i] == d));
+    if !pins_match {
+        return None;
+    }
+    let mut state = base_state.clone();
+    let mut frame = ScratchFrame::default();
+    let mut cost = base_cost;
+    for (depth, &c) in order.iter().enumerate() {
+        let d = warm[c.index()];
+        let delta = placement_delta(problem, table, order, depth, d, &state, &mut frame)?;
+        let need = graph.component(c).expect("dense ids").resources().clone();
+        state.apply(c, d, &need, &frame);
+        cost += delta;
+    }
+    let assignment = state
+        .assignment
+        .iter()
+        .map(|a| a.expect("complete after replay"))
+        .collect();
+    Some((cost, state.key, assignment))
+}
+
 impl ServiceDistributor for ExhaustiveOptimal {
     fn name(&self) -> &str {
         "optimal"
@@ -538,7 +645,18 @@ impl ServiceDistributor for ExhaustiveOptimal {
             crossing,
             key: Vec::new(),
         };
+
+        // Replay a warm-start seed through the search's own feasibility
+        // machinery. A surviving seed is a genuine feasible leaf of this
+        // tree, so using it as the initial incumbent only prunes — the
+        // unique (cost, key) minimum the search selects is unchanged.
+        let seed = self
+            .warm_start
+            .take()
+            .and_then(|warm| validate_seed(problem, &table, &order, &base_state, base_cost, &warm));
+
         let suffix_bound = self.suffix_bound;
+        let seed_ref = seed.as_ref();
         let run_worker =
             |state: SearchState, cost: f64, depth: usize, shared: Option<&AtomicU64>| {
                 let mut search = Search {
@@ -551,18 +669,21 @@ impl ServiceDistributor for ExhaustiveOptimal {
                     state,
                     suffix_bound,
                     incumbent: shared,
-                    best_cost: f64::INFINITY,
-                    best_key: Vec::new(),
-                    best: None,
+                    best_cost: seed_ref.map_or(f64::INFINITY, |s| s.0),
+                    best_key: seed_ref.map_or_else(Vec::new, |s| s.1.clone()),
+                    best: seed_ref.map(|s| s.2.clone()),
                     stats: SolveStats::default(),
                 };
                 search.run(depth, cost);
                 (search.best_cost, search.best_key, search.best, search.stats)
             };
 
-        let mut stats = SolveStats::default();
+        let mut stats = SolveStats {
+            warm_start_used: seed.is_some(),
+            ..SolveStats::default()
+        };
         let best: Option<Vec<usize>>;
-        if self.parallel && order.len() > FANOUT_DEPTH {
+        if self.parallel && order.len() > FANOUT_DEPTH && order.len() >= self.parallel_threshold {
             let roots = expand_roots(
                 problem,
                 &table,
@@ -573,7 +694,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
                 &mut stats,
             );
             stats.subtrees = roots.len() as u64;
-            let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
+            let incumbent = AtomicU64::new(seed_ref.map_or(f64::INFINITY, |s| s.0).to_bits());
             let worker_results = ubiqos_parallel::par_map(&roots, |_, root| {
                 run_worker(
                     root.state.clone(),
@@ -601,7 +722,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
             best = winner.2;
         } else {
             let (_, _, found, worker_stats) = run_worker(base_state, base_cost, 0, None);
-            stats = worker_stats;
+            stats.absorb(&worker_stats);
             stats.subtrees = 1;
             best = found;
         }
@@ -811,6 +932,7 @@ mod tests {
             .unwrap();
         let parallel = ExhaustiveOptimal::new()
             .with_parallel(true)
+            .with_parallel_threshold(0)
             .distribute(&p)
             .unwrap();
         assert_eq!(serial, parallel);
@@ -841,7 +963,9 @@ mod tests {
         assert!(stats.pruned_bound > 0);
         assert!(stats.nodes_expanded < 1 << 10);
 
-        let mut par = ExhaustiveOptimal::new().with_parallel(true);
+        let mut par = ExhaustiveOptimal::new()
+            .with_parallel(true)
+            .with_parallel_threshold(0);
         par.distribute(&p).unwrap();
         let subtrees = par.last_stats().unwrap().subtrees;
         if cfg!(feature = "parallel") {
@@ -851,6 +975,159 @@ mod tests {
             // feature is compiled out.
             assert_eq!(subtrees, 1);
         }
+    }
+
+    #[test]
+    fn small_instances_fall_back_to_serial_by_default() {
+        // 10 free components < DEFAULT_PARALLEL_THRESHOLD: even with the
+        // fan-out requested, the solver runs one serial subtree.
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 6.0 + i as f64, 9.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 0.3).unwrap();
+        }
+        let env = env2(12.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let mut solver = ExhaustiveOptimal::new().with_parallel(true);
+        assert_eq!(solver.parallel_threshold(), 18);
+        solver.distribute(&p).unwrap();
+        assert_eq!(solver.last_stats().unwrap().subtrees, 1);
+    }
+
+    /// A chain instance awkward enough that the cold search does real
+    /// work, with one pinned component so seeds interact with pins.
+    fn warm_start_fixture() -> (ServiceGraph, Environment) {
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..9)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 4.0 + 2.0 * i as f64, 8.0)))
+            .collect();
+        for i in 1..ids.len() {
+            g.add_edge(ids[i - 1], ids[i], 0.4 + i as f64 * 0.2)
+                .unwrap();
+        }
+        g.add_edge(ids[0], ids[5], 1.1).unwrap();
+        let env = env2(15.0);
+        (g, env)
+    }
+
+    #[test]
+    fn warm_start_matches_cold_start_bit_for_bit() {
+        let (g, env) = warm_start_fixture();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cold = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .distribute(&p)
+            .unwrap();
+        let optimal: Vec<usize> = (0..g.component_count())
+            .map(|i| cold.part_of(ComponentId::from_index(i)).unwrap())
+            .collect();
+        // Seed with the optimum itself and with a feasible non-optimum;
+        // both must reproduce the cold cut exactly, in both modes.
+        let all_on_pc = vec![0; g.component_count()];
+        for seed in [optimal, all_on_pc] {
+            for parallel in [false, true] {
+                let mut solver = ExhaustiveOptimal::new()
+                    .with_parallel(parallel)
+                    .with_parallel_threshold(0)
+                    .with_warm_start(seed.clone());
+                let warm = solver.distribute(&p).unwrap();
+                assert_eq!(warm, cold, "seed {seed:?}, parallel={parallel}");
+                assert_eq!(p.cost(&warm).to_bits(), p.cost(&cold).to_bits());
+                assert!(solver.last_stats().unwrap().warm_start_used);
+                // The seed is consumed: a second solve is cold.
+                solver.distribute(&p).unwrap();
+                assert!(!solver.last_stats().unwrap().warm_start_used);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_prunes_the_search_tree() {
+        // Ten equal components over two devices that each hold six: the
+        // cold first dive fills device 0 and splits at the heavy
+        // (c5, c6) edge, far from the cheap (c4, c5) cut, so it searches
+        // a while before proving the optimum. Seeding that optimum
+        // prunes from the first node.
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 10.0, 10.0)))
+            .collect();
+        for i in 1..ids.len() {
+            let tp = if i == 5 { 0.1 } else { 3.0 + i as f64 * 0.13 };
+            g.add_edge(ids[i - 1], ids[i], tp).unwrap();
+        }
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(60.0, 120.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(60.0, 120.0)))
+            .default_bandwidth_mbps(40.0)
+            .build();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let mut cold = ExhaustiveOptimal::new().with_parallel(false);
+        let cut = cold.distribute(&p).unwrap();
+        let cold_nodes = cold.last_stats().unwrap().nodes_expanded;
+        let seed: Vec<usize> = (0..g.component_count())
+            .map(|i| cut.part_of(ComponentId::from_index(i)).unwrap())
+            .collect();
+        let mut warm = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .with_warm_start(seed);
+        let warm_cut = warm.distribute(&p).unwrap();
+        assert_eq!(warm_cut, cut);
+        let warm_nodes = warm.last_stats().unwrap().nodes_expanded;
+        assert!(
+            warm_nodes < cold_nodes,
+            "warm {warm_nodes} vs cold {cold_nodes}"
+        );
+    }
+
+    #[test]
+    fn invalid_warm_starts_degrade_to_cold() {
+        let (g, env) = warm_start_fixture();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cold = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .distribute(&p)
+            .unwrap();
+        let n = g.component_count();
+        for bad in [
+            vec![0; n - 1],     // wrong length
+            vec![9; n],         // device out of range
+            vec![1; n],         // infeasible: everything on the PDA
+        ] {
+            let mut solver = ExhaustiveOptimal::new()
+                .with_parallel(false)
+                .with_warm_start(bad.clone());
+            let cut = solver.distribute(&p).unwrap();
+            assert_eq!(cut, cold, "seed {bad:?}");
+            assert!(!solver.last_stats().unwrap().warm_start_used);
+        }
+    }
+
+    #[test]
+    fn warm_start_respects_pins() {
+        let mut g = ServiceGraph::new();
+        let a = g.add_component(comp("server", 60.0, 80.0));
+        let b = g.add_component(
+            ServiceComponent::builder("display")
+                .resources(ResourceVector::mem_cpu(4.0, 5.0))
+                .pinned_to(DeviceId::from_index(1))
+                .build(),
+        );
+        g.add_edge(a, b, 1.0).unwrap();
+        let env = env2(10.0);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        // Seed contradicting the pin is rejected, not silently obeyed.
+        let mut solver = ExhaustiveOptimal::new().with_warm_start(vec![0, 0]);
+        let cut = solver.distribute(&p).unwrap();
+        assert_eq!(cut.part_of(b), Some(1));
+        assert!(!solver.last_stats().unwrap().warm_start_used);
     }
 
     #[test]

@@ -61,7 +61,12 @@ proptest! {
         let w = Weights::default();
         let p = OsdProblem::new(&g, &env, &w);
         let serial = ExhaustiveOptimal::new().with_parallel(false).distribute(&p);
-        let parallel = ExhaustiveOptimal::new().with_parallel(true).distribute(&p);
+        // Threshold 0: these instances are below the default serial
+        // fallback, and the point here is to exercise the fan-out.
+        let parallel = ExhaustiveOptimal::new()
+            .with_parallel(true)
+            .with_parallel_threshold(0)
+            .distribute(&p);
         match (serial, parallel) {
             (Ok(s), Ok(q)) => {
                 prop_assert_eq!(&s, &q, "cuts differ");
@@ -79,13 +84,58 @@ proptest! {
         let (g, env) = random_instance(seed, 10, 3);
         let w = Weights::default();
         let p = OsdProblem::new(&g, &env, &w);
-        let first = ExhaustiveOptimal::new().distribute(&p);
+        let first = ExhaustiveOptimal::new().with_parallel_threshold(0).distribute(&p);
         for _ in 0..3 {
-            let again = ExhaustiveOptimal::new().distribute(&p);
+            let again = ExhaustiveOptimal::new().with_parallel_threshold(0).distribute(&p);
             match (&first, &again) {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
                 (Err(_), Err(_)) => {}
                 _ => prop_assert!(false, "feasibility flapped between runs"),
+            }
+        }
+    }
+
+    /// Warm-starting from any seed — the optimum itself, an arbitrary
+    /// (often invalid or infeasible) assignment — never changes the
+    /// result: same cut, bit-identical cost, in serial and parallel mode.
+    #[test]
+    fn warm_start_never_changes_the_result(
+        seed in 0u64..3000,
+        n in 6usize..12,
+        k in 2usize..4,
+        junk in proptest::collection::vec(0usize..5, 0..14),
+    ) {
+        let (g, env) = random_instance(seed, n, k);
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+        let cold = ExhaustiveOptimal::new().with_parallel(false).distribute(&p);
+        let seeds: Vec<Vec<usize>> = match &cold {
+            Ok(cut) => vec![
+                (0..n).map(|i| cut.part_of(ubiqos_graph::ComponentId::from_index(i)).unwrap()).collect(),
+                junk.clone(),
+            ],
+            Err(_) => vec![junk.clone()],
+        };
+        for warm_seed in seeds {
+            for parallel in [false, true] {
+                let warm = ExhaustiveOptimal::new()
+                    .with_parallel(parallel)
+                    .with_parallel_threshold(0)
+                    .with_warm_start(warm_seed.clone())
+                    .distribute(&p);
+                match (&cold, &warm) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(a, b, "cut changed under warm start");
+                        prop_assert_eq!(p.cost(a).to_bits(), p.cost(b).to_bits());
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "feasibility changed under warm start: cold {:?}, warm {:?}",
+                        cold.is_ok(),
+                        warm.is_ok()
+                    ),
+                }
             }
         }
     }

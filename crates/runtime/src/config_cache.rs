@@ -1,0 +1,301 @@
+//! Epoch-validated composition memoization — the domain server's
+//! cross-request configuration cache.
+//!
+//! The Fig. 5 workload and the fault campaigns issue thousands of
+//! near-identical configuration requests against a registry that changes
+//! only at churn events. Composition (discover → compose → OC check) is
+//! a pure function of the request and the registry contents, so its
+//! result can be memoized keyed by the request and validated by the
+//! registry's [`ServiceRegistry::epoch`]:
+//!
+//! * an entry whose fill epoch equals the current epoch is trivially
+//!   valid — nothing changed at all;
+//! * an entry from an older epoch is *revalidated* precisely: if none of
+//!   the service types the request's abstract graph depends on appear in
+//!   [`ServiceRegistry::changed_types_since`], the registry answers every
+//!   discovery query of this composition exactly as it did at fill time,
+//!   so the entry is still byte-identical to a fresh composition (the
+//!   runtime cross-checks this under `debug_assertions`);
+//! * otherwise the entry is discarded.
+//!
+//! The dependency set is exactly the abstract specs' service types. That
+//! is sound because the domain server composes with an empty expansion
+//! library (no recursive spec expansion) and a *static* transcoder
+//! catalog — the registry is consulted only for the abstract types
+//! themselves.
+//!
+//! The distribution tier is never cached: placement depends on the
+//! residual environment, which changes with every admission and refund.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::{self, Write as _};
+use ubiqos_composition::ComposedApplication;
+use ubiqos_discovery::ServiceRegistry;
+
+/// Cached compositions kept before stale entries are evicted.
+const CACHE_CAP: usize = 256;
+
+/// A 128-bit fingerprint of a request's cache identity, computed by
+/// streaming the request's deterministic `Debug` rendering through two
+/// independent FNV-1a accumulators — no intermediate `String` is ever
+/// allocated, which keeps the hit path free of per-request heap work.
+///
+/// Two independent 64-bit streams make an accidental collision across a
+/// 256-entry cache astronomically unlikely; debug builds additionally
+/// cross-check every hit against a fresh recomposition, so a collision
+/// cannot pass unnoticed there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey(u64, u64);
+
+impl CacheKey {
+    /// Fingerprints preformatted arguments, e.g.
+    /// `CacheKey::of(format_args!("{:?}|{}", graph, device))`.
+    pub fn of(args: fmt::Arguments<'_>) -> Self {
+        let mut sink = FnvSink::default();
+        // Writing into the sink is infallible.
+        let _ = sink.write_fmt(args);
+        CacheKey(sink.a, sink.b)
+    }
+}
+
+/// `fmt::Write` adapter feeding two FNV-1a streams with distinct offset
+/// bases (the second basis is the standard one bit-inverted).
+struct FnvSink {
+    a: u64,
+    b: u64,
+}
+
+impl Default for FnvSink {
+    fn default() -> Self {
+        FnvSink {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: !0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl fmt::Write for FnvSink {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        for byte in s.bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Counters for the composition cache. Purely observational — they never
+/// feed deterministic logs or virtual time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompositionCacheStats {
+    /// Lookups answered from the cache (including revalidated entries).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh composition.
+    pub misses: u64,
+    /// Hits that required an epoch revalidation via the changelog
+    /// (subset of `hits`).
+    pub revalidations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// The composed (and demand-scaled, per the key's rung factor)
+    /// application.
+    app: ComposedApplication,
+    /// Service types this composition's discovery depended on.
+    dep_types: BTreeSet<String>,
+    /// Registry epoch the entry was filled (or last revalidated) at.
+    epoch: u64,
+}
+
+/// The epoch-validated memo of composed applications.
+#[derive(Debug)]
+pub struct CompositionCache {
+    enabled: bool,
+    entries: BTreeMap<CacheKey, Entry>,
+    stats: CompositionCacheStats,
+}
+
+impl Default for CompositionCache {
+    fn default() -> Self {
+        CompositionCache {
+            enabled: true,
+            entries: BTreeMap::new(),
+            stats: CompositionCacheStats::default(),
+        }
+    }
+}
+
+impl CompositionCache {
+    /// Creates an enabled, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether lookups and inserts are active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables the cache; disabling clears it. Observable
+    /// configuration results are identical either way — the toggle
+    /// exists for the cached-vs-uncached benchmark runs.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.entries.clear();
+        }
+    }
+
+    /// The cache counters.
+    pub fn stats(&self) -> CompositionCacheStats {
+        self.stats
+    }
+
+    /// Looks `key` up against the registry's current epoch, revalidating
+    /// an older entry through the changed-type changelog when possible.
+    /// Returns a clone of the cached application on a (re)validated hit.
+    pub fn lookup(
+        &mut self,
+        key: CacheKey,
+        registry: &ServiceRegistry,
+    ) -> Option<ComposedApplication> {
+        if !self.enabled {
+            return None;
+        }
+        let current = registry.epoch();
+        let valid = match self.entries.get_mut(&key) {
+            None => false,
+            Some(entry) if entry.epoch == current => true,
+            Some(entry) => match registry.changed_types_since(entry.epoch) {
+                Some(changed) if entry.dep_types.iter().all(|t| !changed.contains(t.as_str())) => {
+                    entry.epoch = current;
+                    self.stats.revalidations += 1;
+                    true
+                }
+                // A dependency changed, or the changelog no longer
+                // reaches back to the entry's epoch.
+                _ => false,
+            },
+        };
+        if valid {
+            self.stats.hits += 1;
+            Some(self.entries[&key].app.clone())
+        } else {
+            self.entries.remove(&key);
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Stores a freshly composed application under `key`. `epoch` must be
+    /// the registry epoch observed *before* composition started.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        app: ComposedApplication,
+        dep_types: BTreeSet<String>,
+        epoch: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= CACHE_CAP {
+            // Stale-first eviction; flush entirely if everything is hot.
+            self.entries.retain(|_, e| e.epoch == epoch);
+            if self.entries.len() >= CACHE_CAP {
+                self.entries.clear();
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                app,
+                dep_types,
+                epoch,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ubiqos_composition::{ComposeRequest, ServiceComposer};
+    use ubiqos_discovery::{DeviceProperties, ServiceDescriptor};
+    use ubiqos_graph::{AbstractComponentSpec, AbstractServiceGraph, DeviceId, ServiceComponent};
+    use ubiqos_model::QosVector;
+
+    fn registry() -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceDescriptor::new(
+            "a1",
+            "audio-server",
+            ServiceComponent::builder("audio-server").build(),
+        ));
+        r
+    }
+
+    fn compose(r: &ServiceRegistry) -> ComposedApplication {
+        let mut g = AbstractServiceGraph::new();
+        g.add_spec(AbstractComponentSpec::new("audio-server"));
+        ServiceComposer::new(r)
+            .compose(&ComposeRequest {
+                abstract_graph: &g,
+                user_qos: QosVector::new(),
+                client_device: DeviceId::from_index(0),
+                client_props: DeviceProperties::unconstrained(),
+                domain: None,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert_and_invalidation_on_dependent_change() {
+        let mut r = registry();
+        let app = compose(&r);
+        let mut cache = CompositionCache::new();
+        let deps = BTreeSet::from(["audio-server".to_owned()]);
+        let k = CacheKey::of(format_args!("k"));
+        cache.insert(k, app.clone(), deps, r.epoch());
+        assert_eq!(cache.lookup(k, &r), Some(app.clone()));
+
+        // An unrelated type churns: the entry revalidates.
+        r.register(ServiceDescriptor::new(
+            "v1",
+            "video-server",
+            ServiceComponent::builder("video-server").build(),
+        ));
+        assert_eq!(cache.lookup(k, &r), Some(app));
+        assert_eq!(cache.stats().revalidations, 1);
+
+        // The dependency churns: the entry dies.
+        r.register(ServiceDescriptor::new(
+            "a2",
+            "audio-server",
+            ServiceComponent::builder("audio-server").build(),
+        ));
+        assert_eq!(cache.lookup(k, &r), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let r = registry();
+        let app = compose(&r);
+        let mut cache = CompositionCache::new();
+        cache.set_enabled(false);
+        let k = CacheKey::of(format_args!("k"));
+        cache.insert(
+            k,
+            app,
+            BTreeSet::from(["audio-server".to_owned()]),
+            r.epoch(),
+        );
+        assert_eq!(cache.lookup(k, &r), None);
+        assert!(!cache.enabled());
+        assert_eq!(cache.stats().misses, 0, "disabled lookups are not counted");
+    }
+}

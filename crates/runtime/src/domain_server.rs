@@ -3,23 +3,27 @@
 //! implemented as part of the domain server").
 
 use crate::checkpoint::{Checkpoint, HandoffPlan};
+use crate::config_cache::{CacheKey, CompositionCache, CompositionCacheStats};
 use crate::cost_model::{CostModel, LinkKind};
 use crate::event_service::{EventService, RuntimeEvent};
 use crate::overhead::ConfigOverhead;
+use crate::profiler::StageTimes;
 use crate::recovery::{Degradation, RecoveryMode, RecoveryReport};
 use crate::repository::ComponentRepository;
 use crate::retry_queue::{ParkedSession, RetryPolicy, RetryQueue};
 use crate::streaming::{delivered_qos, DeliveredQos};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
 use ubiqos::{
     Configuration, ConfigureError, ConfigureRequest, ReconfigureTrigger, ServiceConfigurator,
 };
-use ubiqos_composition::DegradationLadder;
+use ubiqos_composition::{ComposedApplication, DegradationLadder};
 use ubiqos_discovery::{DeviceProperties, DomainId, ServiceDescriptor, ServiceRegistry};
-use ubiqos_distribution::Environment;
-use ubiqos_graph::{AbstractServiceGraph, DeviceId};
-use ubiqos_model::QosVector;
+use ubiqos_distribution::{Environment, ExhaustiveOptimal, OsdProblem, ServiceDistributor};
+use ubiqos_graph::{AbstractServiceGraph, ComponentId, DeviceId};
+use ubiqos_model::{QosVector, Weights};
 
 /// Raw session id → (devices its cut occupies, links its cut crosses):
 /// the per-session touch sets invalid-set selection intersects with a
@@ -114,6 +118,38 @@ struct ResourceDelta {
     links: BTreeSet<(usize, usize)>,
 }
 
+/// How the domain server's distribution tier places composed graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementStrategy {
+    /// The paper's greedy OSD heuristic — the default, and what every
+    /// existing experiment's deterministic logs were pinned against.
+    #[default]
+    Heuristic,
+    /// The exhaustive branch-and-bound optimum.
+    Optimal {
+        /// Seed each recovery re-placement's incumbent with the
+        /// session's previous placement (provably result-preserving;
+        /// see `ubiqos_distribution::ExhaustiveOptimal`).
+        warm_start: bool,
+    },
+}
+
+/// Accumulated optimal-solver counters across every [`Optimal`]
+/// placement, for the warm-vs-cold `BENCH_configure.json` comparison.
+///
+/// [`Optimal`]: PlacementStrategy::Optimal
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementTotals {
+    /// Optimal solves performed.
+    pub solves: u64,
+    /// Solves whose warm-start seed validated and seeded the incumbent.
+    pub warm_solves: u64,
+    /// Branch-and-bound nodes expanded, summed over all solves.
+    pub nodes_expanded: u64,
+    /// Subtrees cut by the incumbent bound, summed over all solves.
+    pub pruned_bound: u64,
+}
+
 /// The per-domain infrastructure server: registry + environment +
 /// repository + event service + the two-tier configurator.
 ///
@@ -159,6 +195,18 @@ pub struct DomainServer {
     retry_policy: RetryPolicy,
     /// How recovery passes select the sessions to re-place.
     recovery_mode: RecoveryMode,
+    /// Cross-request composition memo, epoch-validated against the
+    /// registry (a `Mutex` because `configure` runs on `&self`).
+    config_cache: Mutex<CompositionCache>,
+    /// Distribution-tier strategy.
+    placement: PlacementStrategy,
+    /// Persistent exhaustive solver, shared across every `Optimal`
+    /// placement of a recovery pass.
+    optimal: Mutex<ExhaustiveOptimal>,
+    /// Accumulated optimal-solver counters.
+    placement_totals: Mutex<PlacementTotals>,
+    /// Wall-clock per-stage profile of every configure call.
+    stages: Mutex<StageTimes>,
     next_session: u64,
     now_ms: f64,
 }
@@ -208,6 +256,11 @@ impl DomainServer {
             ladder: DegradationLadder::default(),
             retry_policy: RetryPolicy::default(),
             recovery_mode: RecoveryMode::default(),
+            config_cache: Mutex::new(CompositionCache::new()),
+            placement: PlacementStrategy::default(),
+            optimal: Mutex::new(ExhaustiveOptimal::new()),
+            placement_totals: Mutex::new(PlacementTotals::default()),
+            stages: Mutex::new(StageTimes::default()),
             next_session: 0,
             now_ms: 0.0,
         }
@@ -245,6 +298,61 @@ impl DomainServer {
     /// The configured recovery mode.
     pub fn recovery_mode(&self) -> RecoveryMode {
         self.recovery_mode
+    }
+
+    /// Enables or disables the configuration caches — the composition
+    /// memo and the registry's discovery memo — together. All observable
+    /// outputs (configurations, virtual overheads, event logs, digests)
+    /// are identical either way; the toggle exists for the cold-cache
+    /// benchmark runs and the cache-equivalence tests.
+    pub fn set_config_cache(&mut self, enabled: bool) {
+        self.config_cache
+            .lock()
+            .expect("config cache lock")
+            .set_enabled(enabled);
+        self.registry.set_query_memo(enabled);
+    }
+
+    /// Whether the composition cache is active.
+    pub fn config_cache_enabled(&self) -> bool {
+        self.config_cache.lock().expect("config cache lock").enabled()
+    }
+
+    /// Composition-cache counters.
+    pub fn config_cache_stats(&self) -> CompositionCacheStats {
+        self.config_cache.lock().expect("config cache lock").stats()
+    }
+
+    /// Selects the distribution-tier placement strategy.
+    pub fn set_placement_strategy(&mut self, strategy: PlacementStrategy) {
+        self.placement = strategy;
+    }
+
+    /// The active placement strategy.
+    pub fn placement_strategy(&self) -> PlacementStrategy {
+        self.placement
+    }
+
+    /// Accumulated optimal-solver counters (all zero under
+    /// [`PlacementStrategy::Heuristic`]).
+    pub fn placement_totals(&self) -> PlacementTotals {
+        *self.placement_totals.lock().expect("placement totals lock")
+    }
+
+    /// Resets the optimal-solver counters.
+    pub fn reset_placement_totals(&mut self) {
+        *self.placement_totals.lock().expect("placement totals lock") =
+            PlacementTotals::default();
+    }
+
+    /// Wall-clock per-stage configuration profile accumulated so far.
+    pub fn stage_times(&self) -> StageTimes {
+        *self.stages.lock().expect("stage lock")
+    }
+
+    /// Resets the wall-clock stage profile.
+    pub fn reset_stage_times(&mut self) {
+        *self.stages.lock().expect("stage lock") = StageTimes::default();
     }
 
     /// The number of sessions parked in the retry queue.
@@ -328,8 +436,28 @@ impl DomainServer {
         client_device: DeviceId,
         domain: Option<DomainId>,
     ) -> bool {
-        self.configure(abstract_graph, user_qos, client_device, domain)
+        self.preview(abstract_graph, user_qos, client_device, domain)
             .is_ok()
+    }
+
+    /// Runs the full two-tier pipeline against the residual environment
+    /// and returns the configuration it *would* deploy — without starting
+    /// a session, charging resources, downloading code, or advancing
+    /// virtual time. Equivalence tests use this to compare cached and
+    /// fresh configuration byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigureError`] from either tier.
+    pub fn preview(
+        &self,
+        abstract_graph: &AbstractServiceGraph,
+        user_qos: &QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+    ) -> Result<Configuration, ConfigureError> {
+        self.configure(abstract_graph, user_qos, client_device, domain)
+            .map(|(configuration, _)| configuration)
     }
 
     /// Advances wall-clock and every session's media position by
@@ -613,8 +741,8 @@ impl DomainServer {
             }
             let hosted: Vec<String> = self
                 .registry
-                .instances()
-                .filter(|desc| desc.prototype.pinned_to() == Some(device))
+                .hosted_on(d)
+                .into_iter()
                 .map(|desc| desc.instance_id.clone())
                 .collect();
             for instance_id in hosted {
@@ -894,7 +1022,7 @@ impl DomainServer {
             }
         }
         for raw_id in replace {
-            let (abstract_graph, user_qos, client_device, domain, old_factor) = {
+            let (abstract_graph, user_qos, client_device, domain, old_factor, warm) = {
                 let s = &self.sessions[&raw_id];
                 (
                     s.abstract_graph.clone(),
@@ -902,9 +1030,16 @@ impl DomainServer {
                     s.client_device,
                     s.domain,
                     s.degrade_factor,
+                    warm_seed_of(&s.configuration),
                 )
             };
-            match self.place_with_ladder(&abstract_graph, &user_qos, client_device, domain) {
+            match self.place_with_ladder(
+                &abstract_graph,
+                &user_qos,
+                client_device,
+                domain,
+                warm.as_deref(),
+            ) {
                 Ok((configuration, mut overhead, factor)) => {
                     overhead.downloading_ms = self.download_for(&configuration);
                     overhead.init_or_handoff_ms =
@@ -942,7 +1077,11 @@ impl DomainServer {
                 Err(e) => self.park_or_drop(raw_id, e, &mut report),
             }
         }
-        let retries = self.process_retries();
+        // A recovery event is a direct signal that capacity changed, so
+        // retry *every* parked session now, in priority order, rather
+        // than waiting for the backoff poll. Eager attempts are free:
+        // they consume no retry budget.
+        let retries = self.drain_retries(true);
         report.absorb(retries);
         report
     }
@@ -957,6 +1096,7 @@ impl DomainServer {
         user_qos: &QosVector,
         client_device: DeviceId,
         domain: Option<DomainId>,
+        warm: Option<&[usize]>,
     ) -> Result<(Configuration, ConfigOverhead, f64), ConfigureError> {
         let mut last_err = None;
         for step in self.ladder.steps(user_qos, abstract_graph) {
@@ -966,6 +1106,7 @@ impl DomainServer {
                 client_device,
                 domain,
                 step.factor,
+                warm,
             ) {
                 Ok((configuration, overhead)) => return Ok((configuration, overhead, step.factor)),
                 Err(e) => last_err = Some(e),
@@ -1002,20 +1143,38 @@ impl DomainServer {
         }
     }
 
-    /// Retries every parked session whose backoff has elapsed, in id
-    /// order. Success re-admits the session (charging its new placement);
-    /// failure doubles the backoff, and budget exhaustion drops the
-    /// session with the witnessing error. Harnesses should call this as
-    /// virtual time advances; recovery passes also drain it.
+    /// Retries every parked session whose backoff has elapsed, in
+    /// priority order — (park time, QoS satisfaction, resource
+    /// footprint); see [`RetryQueue`]. Success re-admits the session
+    /// (charging its new placement); failure doubles the backoff, and
+    /// budget exhaustion drops the session with the witnessing error.
+    /// Harnesses should call this as virtual time advances; recovery
+    /// passes additionally drain the whole queue *eagerly* (backoff and
+    /// budget ignored), since a recovery event signals fresh capacity.
     pub fn process_retries(&mut self) -> RecoveryReport {
+        self.drain_retries(false)
+    }
+
+    /// The retry pass. `eager` retries every parked session regardless of
+    /// backoff, and its failures are free — no attempt is consumed and
+    /// the schedule is untouched (only the witnessing error updates), so
+    /// a burst of recovery events cannot exhaust a session's budget.
+    fn drain_retries(&mut self, eager: bool) -> RecoveryReport {
         let mut report = RecoveryReport::default();
-        for raw_id in self.parked.due(self.now_ms) {
-            let mut parked = self.parked.remove(raw_id).expect("due id is parked");
+        let ids = if eager {
+            self.parked.all_in_priority_order()
+        } else {
+            self.parked.due(self.now_ms)
+        };
+        for raw_id in ids {
+            let mut parked = self.parked.remove(raw_id).expect("ranked id is parked");
+            let warm = warm_seed_of(&parked.session.configuration);
             let outcome = self.place_with_ladder(
                 &parked.session.abstract_graph,
                 &parked.session.user_qos,
                 parked.session.client_device,
                 parked.session.domain,
+                warm.as_deref(),
             );
             match outcome {
                 Ok((configuration, mut overhead, factor)) => {
@@ -1040,6 +1199,12 @@ impl DomainServer {
                         trigger: ReconfigureTrigger::SessionReadmitted,
                     });
                     report.readmitted.push(SessionId(raw_id));
+                }
+                Err(e) if eager => {
+                    // Free attempt: keep the budget and schedule intact,
+                    // remember the freshest witness.
+                    parked.last_error = e;
+                    self.parked.reinsert(raw_id, parked);
                 }
                 Err(e) => {
                     parked.attempts += 1;
@@ -1072,14 +1237,16 @@ impl DomainServer {
         client_device: DeviceId,
         domain: Option<DomainId>,
     ) -> Result<(Configuration, ConfigOverhead), ConfigureError> {
-        self.configure_scaled(abstract_graph, user_qos, client_device, domain, 1.0)
+        self.configure_scaled(abstract_graph, user_qos, client_device, domain, 1.0, None)
     }
 
     /// [`DomainServer::configure`] with the degradation ladder's demand
     /// factor: the graph is composed as usual, then every component's
     /// resource demand is scaled by `demand_factor` *before* the
     /// distribution tier fits it (a rung-`f` session streams — and
-    /// charges — proportionally less).
+    /// charges — proportionally less). `warm` optionally carries the
+    /// session's previous placement as a solver seed (used only under
+    /// [`PlacementStrategy::Optimal`] with warm starts enabled).
     fn configure_scaled(
         &self,
         abstract_graph: &AbstractServiceGraph,
@@ -1087,7 +1254,10 @@ impl DomainServer {
         client_device: DeviceId,
         domain: Option<DomainId>,
         demand_factor: f64,
+        warm: Option<&[usize]>,
     ) -> Result<(Configuration, ConfigOverhead), ConfigureError> {
+        let wall = Instant::now();
+        let discover_before = self.registry.discovery_stats().wall_nanos;
         let mut configurator = ServiceConfigurator::new(&self.registry);
         let request = ConfigureRequest {
             abstract_graph,
@@ -1097,11 +1267,29 @@ impl DomainServer {
             domain,
             env: &self.env,
         };
-        let mut app = configurator.compose_only(&request)?;
-        if demand_factor < 1.0 {
-            app.scale_resources(demand_factor);
+        let composed = self.compose_cached(&configurator, &request, demand_factor);
+        let compose_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let discover_ms =
+            (self.registry.discovery_stats().wall_nanos - discover_before) as f64 / 1e6;
+
+        let place = Instant::now();
+        let placed = composed.and_then(|app| match self.placement {
+            PlacementStrategy::Heuristic => configurator.distribute_only(app, &self.env),
+            PlacementStrategy::Optimal { warm_start } => {
+                self.place_optimal(app, if warm_start { warm } else { None })
+            }
+        });
+        {
+            let mut stages = self.stages.lock().expect("stage lock");
+            stages.discover_ms += discover_ms;
+            stages.compose_ms += (compose_wall_ms - discover_ms).max(0.0);
+            stages.place_ms += place.elapsed().as_secs_f64() * 1e3;
+            stages.configures += 1;
         }
-        let configuration = configurator.distribute_only(app, &self.env)?;
+        let configuration = placed?;
+        // The virtual overheads are a function of graph shape only, so a
+        // cache hit and a fresh composition price identically — virtual
+        // time and the deterministic logs cannot observe the cache.
         let overhead = ConfigOverhead {
             composition_ms: self.costs.composition_ms(
                 abstract_graph.spec_count(),
@@ -1116,9 +1304,96 @@ impl DomainServer {
         Ok((configuration, overhead))
     }
 
+    /// Composes the request's application through the epoch-validated
+    /// [`CompositionCache`], scaling resources by `demand_factor` before
+    /// the entry is stored (the factor is part of the key, so each ladder
+    /// rung caches its own scaled graph).
+    fn compose_cached(
+        &self,
+        configurator: &ServiceConfigurator<'_>,
+        request: &ConfigureRequest<'_>,
+        demand_factor: f64,
+    ) -> Result<ComposedApplication, ConfigureError> {
+        // Everything composition reads besides the registry: the Debug
+        // renderings are deterministic, and the client's device properties
+        // are covered by its index (they are fixed at construction). The
+        // rendering streams straight into the fingerprint — no per-request
+        // key string is allocated.
+        let key = CacheKey::of(format_args!(
+            "{:?}|{:?}|{:?}|{}|{:016x}",
+            request.abstract_graph,
+            request.user_qos,
+            request.domain,
+            request.client_device.index(),
+            demand_factor.to_bits()
+        ));
+        {
+            let mut cache = self.config_cache.lock().expect("config cache lock");
+            if let Some(app) = cache.lookup(key, &self.registry) {
+                #[cfg(debug_assertions)]
+                {
+                    // Prove the hit byte-identical to a fresh composition
+                    // (the epoch-revalidation soundness argument, checked).
+                    let mut fresh = configurator.compose_only(request)?;
+                    if demand_factor < 1.0 {
+                        fresh.scale_resources(demand_factor);
+                    }
+                    assert_eq!(
+                        app, fresh,
+                        "cached composition diverged from fresh recomposition"
+                    );
+                }
+                return Ok(app);
+            }
+        }
+        let epoch = self.registry.epoch();
+        let mut app = configurator.compose_only(request)?;
+        if demand_factor < 1.0 {
+            app.scale_resources(demand_factor);
+        }
+        let mut cache = self.config_cache.lock().expect("config cache lock");
+        if cache.enabled() {
+            let dep_types: BTreeSet<String> = request
+                .abstract_graph
+                .specs()
+                .map(|(_, spec)| spec.service_type.clone())
+                .collect();
+            cache.insert(key, app.clone(), dep_types, epoch);
+        }
+        Ok(app)
+    }
+
+    /// Places a composed application with the persistent exhaustive
+    /// branch-and-bound solver, optionally seeding its incumbent with
+    /// `warm` (a previous placement of the same session).
+    fn place_optimal(
+        &self,
+        app: ComposedApplication,
+        warm: Option<&[usize]>,
+    ) -> Result<Configuration, ConfigureError> {
+        let weights = Weights::default();
+        let mut solver = self.optimal.lock().expect("solver lock");
+        solver.set_warm_start(warm.map(<[usize]>::to_vec));
+        let problem = OsdProblem::new(&app.graph, &self.env, &weights);
+        let result = solver.distribute(&problem);
+        if let Some(stats) = solver.last_stats() {
+            let mut totals = self.placement_totals.lock().expect("placement totals lock");
+            totals.solves += 1;
+            if stats.warm_start_used {
+                totals.warm_solves += 1;
+            }
+            totals.nodes_expanded += stats.nodes_expanded;
+            totals.pruned_bound += stats.pruned_bound;
+        }
+        let cut = result?;
+        let cost = problem.cost(&cut);
+        Ok(Configuration { app, cut, cost })
+    }
+
     /// Downloads every instance of a configuration onto its assigned
     /// device, returning the total download time.
     fn download_for(&mut self, configuration: &Configuration) -> f64 {
+        let wall = Instant::now();
         let mut total = 0.0;
         for inst in &configuration.app.instances {
             if let Some(device) = configuration.cut.part_of(inst.component) {
@@ -1131,8 +1406,18 @@ impl DomainServer {
                 );
             }
         }
+        self.stages.lock().expect("stage lock").download_ms +=
+            wall.elapsed().as_secs_f64() * 1e3;
         total
     }
+}
+
+/// A session's current placement rendered as a warm-start seed for the
+/// exhaustive solver: `Some` only when every component is placed.
+fn warm_seed_of(configuration: &Configuration) -> Option<Vec<usize>> {
+    (0..configuration.app.graph.component_count())
+        .map(|i| configuration.cut.part_of(ComponentId::from_index(i)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1426,12 +1711,10 @@ mod tests {
             .unwrap()
             .availability()
             .is_zero());
-        // Device comes back; once the backoff elapses the retry queue
-        // re-admits the session at full quality.
+        // Device comes back: the recovery event triggers an *eager*
+        // retry pass, re-admitting the session at full quality right
+        // away — no waiting for the backoff poll.
         let rec = server.recover_device(DeviceId::from_index(1));
-        assert!(rec.readmitted.is_empty(), "backoff has not elapsed yet");
-        server.play(200.0);
-        let rec = server.process_retries();
         assert_eq!(rec.readmitted, vec![id]);
         assert_eq!(server.parked_count(), 0);
         let s = server.session(id).unwrap();
@@ -1659,12 +1942,15 @@ mod tests {
         assert_eq!(report.parked, vec![id]);
         assert!(report.dropped.is_empty());
         assert_eq!(server.parked_count(), 1);
-        // The parked session holds no charge: a fresh session fits as
-        // soon as capacity returns.
-        server.fluctuate(
+        // The parked session holds no charge, and the restoring
+        // fluctuation is itself a recovery event: the eager retry pass
+        // re-admits the session without waiting out the backoff.
+        let rec = server.fluctuate(
             DeviceId::from_index(0),
             ResourceVector::mem_cpu(256.0, 300.0),
         );
+        assert_eq!(rec.readmitted, vec![id]);
+        assert_eq!(server.parked_count(), 0);
         assert!(server
             .start_session(
                 "audio2",
@@ -1673,10 +1959,139 @@ mod tests {
                 DeviceId::from_index(1)
             )
             .is_ok());
-        // And the parked one comes back once its backoff elapses.
-        server.play(200.0);
-        let rec = server.process_retries();
-        assert_eq!(rec.readmitted, vec![id]);
         assert_eq!(server.session_count(), 2);
+    }
+
+    #[test]
+    fn composition_cache_hits_repeat_configurations_and_stays_invisible() {
+        let mut cached = two_desktop_server();
+        let mut cold = two_desktop_server();
+        cold.set_config_cache(false);
+
+        // Identical request sequences against both servers; every
+        // observable output must match. (Debug builds additionally
+        // cross-check each cache hit against a fresh composition.)
+        for server in [&mut cached, &mut cold] {
+            for i in 0..4 {
+                server
+                    .start_session(
+                        format!("audio-{i}"),
+                        audio_app(),
+                        QosVector::new(),
+                        DeviceId::from_index(1),
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(cached.now_ms(), cold.now_ms());
+        for (a, b) in cached.sessions().zip(cold.sessions()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.configuration, b.1.configuration);
+            assert_eq!(a.1.overhead_log, b.1.overhead_log);
+        }
+        let stats = cached.config_cache_stats();
+        assert_eq!(stats.misses, 1, "one fill, then hits");
+        assert_eq!(stats.hits, 3);
+        let cold_stats = cold.config_cache_stats();
+        assert_eq!((cold_stats.hits, cold_stats.misses), (0, 0));
+        // The wall-clock profile saw every call, in both modes.
+        assert_eq!(cached.stage_times().configures, cold.stage_times().configures);
+    }
+
+    #[test]
+    fn composition_cache_invalidates_on_dependent_churn() {
+        let mut server = two_desktop_server();
+        server
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
+            .unwrap();
+        // Unrelated churn: the next identical request revalidates the
+        // entry through the changelog instead of recomposing.
+        server.registry_mut().register(ServiceDescriptor::new(
+            "display@d2",
+            "video-display",
+            ServiceComponent::builder("video-display").build(),
+        ));
+        assert!(server.can_place(
+            &audio_app(),
+            &QosVector::new(),
+            DeviceId::from_index(1),
+            None
+        ));
+        let stats = server.config_cache_stats();
+        assert_eq!((stats.hits, stats.revalidations), (1, 1));
+        // Churn on a type the app depends on: fresh composition.
+        server.registry_mut().unregister("display@d2");
+        server.registry_mut().register(ServiceDescriptor::new(
+            "server@d2",
+            "audio-server",
+            ServiceComponent::builder("audio-server")
+                .role(ComponentRole::Source)
+                .qos_out(QosVector::new().with(D::Format, QosValue::token("MPEG")))
+                .resources(ResourceVector::mem_cpu(64.0, 40.0))
+                .build(),
+        ));
+        assert!(server.can_place(
+            &audio_app(),
+            &QosVector::new(),
+            DeviceId::from_index(1),
+            None
+        ));
+        assert_eq!(server.config_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn optimal_placement_matches_heuristic_cost_or_better_and_warm_starts() {
+        let mut heuristic = two_desktop_server();
+        let mut optimal = two_desktop_server();
+        optimal.set_placement_strategy(PlacementStrategy::Optimal { warm_start: true });
+        assert_eq!(
+            heuristic.placement_strategy(),
+            PlacementStrategy::Heuristic,
+            "heuristic stays the default"
+        );
+
+        let start = |server: &mut DomainServer| {
+            server
+                .start_session(
+                    "audio",
+                    audio_app(),
+                    QosVector::new(),
+                    DeviceId::from_index(1),
+                )
+                .unwrap()
+        };
+        let hid = start(&mut heuristic);
+        let oid = start(&mut optimal);
+        let h_cost = heuristic.session(hid).unwrap().configuration.cost;
+        let o_cost = optimal.session(oid).unwrap().configuration.cost;
+        assert!(
+            o_cost <= h_cost + 1e-9,
+            "exhaustive optimum ({o_cost}) cannot cost more than the heuristic ({h_cost})"
+        );
+        let totals = optimal.placement_totals();
+        assert_eq!(totals.solves, 1);
+        assert_eq!(totals.warm_solves, 0, "initial admission has no seed");
+        assert_eq!(
+            heuristic.placement_totals(),
+            PlacementTotals::default(),
+            "heuristic path never touches the solver"
+        );
+
+        // A recovery re-placement seeds the solver with the session's
+        // previous cut: the player (16 MB) no longer fits at full
+        // quality, so the ladder degrades — and the lower rungs replay
+        // the old placement as a feasible incumbent.
+        optimal.fluctuate(DeviceId::from_index(1), ResourceVector::mem_cpu(12.0, 25.0));
+        let totals = optimal.placement_totals();
+        assert!(totals.solves >= 2);
+        assert!(
+            totals.warm_solves >= 1,
+            "re-placement should warm-start: {totals:?}"
+        );
     }
 }

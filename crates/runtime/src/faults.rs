@@ -93,6 +93,12 @@ pub struct FaultCampaignConfig {
     /// ladder, no parking: re-placement failure drops immediately) for
     /// side-by-side comparison at the same admission workload.
     pub staged_recovery: bool,
+    /// Whether the configuration caches (composition memo + discovery
+    /// memo) are active. The caches are specified to be invisible to
+    /// every observable output, so campaigns with and without them must
+    /// produce byte-identical logs and digests — which `repro --
+    /// configure` asserts by flipping this flag.
+    pub config_cache: bool,
 }
 
 impl Default for FaultCampaignConfig {
@@ -108,6 +114,7 @@ impl Default for FaultCampaignConfig {
             flapping_links: 0,
             flap_period_h: 8.0,
             staged_recovery: true,
+            config_cache: true,
         }
     }
 }
@@ -391,6 +398,7 @@ pub fn run_fault_campaign_with(
         server.set_ladder(DegradationLadder::strict());
         server.set_retry_policy(RetryPolicy::strict());
     }
+    server.set_config_cache(cfg.config_cache);
     let workload = WorkloadConfig {
         requests: cfg.requests,
         horizon_h: cfg.horizon_h,
@@ -799,16 +807,14 @@ pub fn check_invariants(server: &DomainServer, down: &BTreeSet<usize>) -> Result
 
     // (4) Discovery hygiene: no registered instance is pinned to a down
     // device — crashed hosts' instances must stay unregistered until
-    // recovery re-registers them.
-    for desc in server.registry().instances() {
-        if let Some(host) = desc.prototype.pinned_to() {
-            if down.contains(&host.index()) {
-                return Err(format!(
-                    "discovery: instance `{}` visible while host dev{} is down",
-                    desc.instance_id,
-                    host.index()
-                ));
-            }
+    // recovery re-registers them. Checked through the registry's
+    // host index, which also exercises it under churn.
+    for &d in down {
+        if let Some(desc) = server.registry().hosted_on(d).first() {
+            return Err(format!(
+                "discovery: instance `{}` visible while host dev{d} is down",
+                desc.instance_id
+            ));
         }
     }
 

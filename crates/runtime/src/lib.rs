@@ -34,6 +34,7 @@
 
 pub mod apps;
 pub mod checkpoint;
+pub mod config_cache;
 pub mod cost_model;
 pub mod domain_server;
 pub mod event_service;
@@ -48,15 +49,16 @@ pub mod shrink;
 pub mod streaming;
 
 pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
+pub use config_cache::{CompositionCache, CompositionCacheStats};
 pub use cost_model::{CostModel, LinkKind};
-pub use domain_server::{DomainServer, Session, SessionId};
+pub use domain_server::{DomainServer, PlacementStrategy, PlacementTotals, Session, SessionId};
 pub use event_service::{EventService, RuntimeEvent};
 pub use faults::{
     campaign_schedule, run_fault_campaign, run_fault_campaign_with, CampaignOutcome, EventLog,
     FaultCampaignConfig, InvariantViolation,
 };
 pub use overhead::ConfigOverhead;
-pub use profiler::Profiler;
+pub use profiler::{Profiler, StageTimes};
 pub use recovery::{Degradation, RecoveryMode, RecoveryReport};
 pub use repository::ComponentRepository;
 pub use retry_queue::{ParkedSession, RetryPolicy, RetryQueue};

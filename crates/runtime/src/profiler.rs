@@ -58,9 +58,50 @@ impl Profiler {
     }
 }
 
+/// Wall-clock totals per configuration-pipeline stage, accumulated by
+/// the domain server across every `configure` call.
+///
+/// These are *real* (wall-clock) milliseconds for `BENCH_configure.json`
+/// and performance work — unlike the [`crate::cost_model::CostModel`]'s
+/// virtual overheads, they never feed deterministic logs, digests, or
+/// the simulated clock, so profiling cannot perturb reproducibility.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// Time inside `ServiceRegistry::discover_all` (memo hits included).
+    pub discover_ms: f64,
+    /// Composition-tier time minus discovery (OC checks, transcoder
+    /// insertion, cache bookkeeping).
+    pub compose_ms: f64,
+    /// Distribution-tier time (problem construction + solver).
+    pub place_ms: f64,
+    /// Component download bookkeeping time.
+    pub download_ms: f64,
+    /// `configure` invocations measured.
+    pub configures: u64,
+}
+
+impl StageTimes {
+    /// The summed configuration-pipeline time (all four stages).
+    pub fn total_ms(&self) -> f64 {
+        self.discover_ms + self.compose_ms + self.place_ms + self.download_ms
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_times_sum() {
+        let t = StageTimes {
+            discover_ms: 1.0,
+            compose_ms: 2.0,
+            place_ms: 3.0,
+            download_ms: 4.0,
+            configures: 2,
+        };
+        assert!((t.total_ms() - 10.0).abs() < 1e-12);
+    }
 
     #[test]
     fn exact_profiler_is_identity() {

@@ -10,10 +10,15 @@
 //! [`ConfigureError`](ubiqos::ConfigureError) as the witness that it was
 //! genuinely unplaceable.
 //!
-//! Everything is keyed and iterated in session-id order over a
-//! [`BTreeMap`], and all times are virtual milliseconds driven by
-//! [`DomainServer::play`](crate::DomainServer::play) — no wall clocks, so
-//! campaigns stay byte-for-byte reproducible.
+//! Retries are attempted in a deterministic *priority* order rather than
+//! raw id order: longest-parked first (fairness — nobody starves behind
+//! a newer session), then best pre-fault QoS satisfaction (the sessions
+//! that were delivering the most value come back first), then smallest
+//! resource footprint (easiest to fit into scarce residual capacity),
+//! with the session id as the final tiebreak. All inputs to the ordering
+//! are snapshotted at park time, and all times are virtual milliseconds
+//! driven by [`DomainServer::play`](crate::DomainServer::play) — no wall
+//! clocks, so campaigns stay byte-for-byte reproducible.
 
 use crate::domain_server::Session;
 use std::collections::BTreeMap;
@@ -68,6 +73,15 @@ pub struct ParkedSession {
     pub session: Session,
     /// Failed retries so far.
     pub attempts: u32,
+    /// Virtual time the session was first parked (priority key: older
+    /// parks retry first).
+    pub parked_at_ms: f64,
+    /// The session's QoS satisfaction when parked (priority key: better
+    /// sessions retry first).
+    pub satisfaction: f64,
+    /// Total resource demand of the session's last configuration
+    /// (priority key: lighter sessions retry first).
+    pub footprint: f64,
     /// Virtual time the next retry becomes due.
     pub next_retry_ms: f64,
     /// The error from the most recent placement failure (every ladder
@@ -97,7 +111,9 @@ impl RetryQueue {
         self.parked.is_empty()
     }
 
-    /// Parks a session (first park: zero attempts used).
+    /// Parks a session (first park: zero attempts used). The priority
+    /// keys — park time, QoS satisfaction, resource footprint — are
+    /// snapshotted here so later retries rank deterministically.
     pub fn park(
         &mut self,
         id: u64,
@@ -106,11 +122,22 @@ impl RetryQueue {
         now_ms: f64,
         policy: &RetryPolicy,
     ) {
+        let satisfaction = session.qos_satisfaction();
+        let footprint = session
+            .configuration
+            .app
+            .graph
+            .components()
+            .map(|(_, c)| c.resources().amounts().iter().sum::<f64>())
+            .sum();
         self.parked.insert(
             id,
             ParkedSession {
                 session,
                 attempts: 0,
+                parked_at_ms: now_ms,
+                satisfaction,
+                footprint,
                 next_retry_ms: now_ms + policy.backoff_ms(0),
                 last_error: error,
             },
@@ -127,13 +154,38 @@ impl RetryQueue {
         self.parked.insert(id, parked);
     }
 
-    /// Ids whose retries are due at `now_ms`, in id order.
+    /// Ids whose retries are due at `now_ms`, in priority order.
     pub fn due(&self, now_ms: f64) -> Vec<u64> {
-        self.parked
+        self.ranked(|p| p.next_retry_ms <= now_ms)
+    }
+
+    /// Every parked id in priority order, backoff ignored — the order an
+    /// *eager* retry pass (triggered by a recovery event rather than the
+    /// backoff poll) attempts re-admission in.
+    pub fn all_in_priority_order(&self) -> Vec<u64> {
+        self.ranked(|_| true)
+    }
+
+    /// Ids matching `keep`, sorted by (park time asc, satisfaction desc,
+    /// footprint asc, id asc). `f64::total_cmp` keeps the sort total and
+    /// deterministic.
+    fn ranked(&self, keep: impl Fn(&ParkedSession) -> bool) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .parked
             .iter()
-            .filter(|(_, p)| p.next_retry_ms <= now_ms)
+            .filter(|(_, p)| keep(p))
             .map(|(&id, _)| id)
-            .collect()
+            .collect();
+        ids.sort_by(|a, b| {
+            let pa = &self.parked[a];
+            let pb = &self.parked[b];
+            pa.parked_at_ms
+                .total_cmp(&pb.parked_at_ms)
+                .then(pb.satisfaction.total_cmp(&pa.satisfaction))
+                .then(pa.footprint.total_cmp(&pb.footprint))
+                .then(a.cmp(b))
+        });
+        ids
     }
 
     /// Iterates over every parked session in id order.
@@ -145,6 +197,76 @@ impl RetryQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ubiqos::Configuration;
+    use ubiqos_composition::{ComposedApplication, OcReport};
+    use ubiqos_graph::{Cut, DeviceId, ServiceComponent, ServiceGraph};
+    use ubiqos_model::{QosVector, ResourceVector};
+
+    /// A minimal session whose only distinguishing feature is its
+    /// component resource footprint.
+    fn session_with_footprint(mem: f64) -> Session {
+        let mut graph = ServiceGraph::new();
+        graph.add_component(
+            ServiceComponent::builder("c")
+                .resources(ResourceVector::mem_cpu(mem, 0.0))
+                .build(),
+        );
+        let cut = Cut::from_assignment(&graph, vec![0], 1).unwrap();
+        Session {
+            name: "t".into(),
+            abstract_graph: ubiqos_graph::AbstractServiceGraph::new(),
+            user_qos: QosVector::new(),
+            client_device: DeviceId::from_index(0),
+            domain: None,
+            configuration: Configuration {
+                app: ComposedApplication {
+                    graph,
+                    report: OcReport::default(),
+                    instances: Vec::new(),
+                },
+                cut,
+                cost: 0.0,
+            },
+            position_s: 0.0,
+            degrade_factor: 1.0,
+            overhead_log: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retry_order_is_wait_then_satisfaction_then_footprint() {
+        let policy = RetryPolicy::default();
+        let err = || {
+            ConfigureError::Composition(ubiqos_composition::CompositionError::MissingService {
+                service_type: "x".into(),
+                depth: 0,
+            })
+        };
+        let mut q = RetryQueue::new();
+        // Session 5: parked late.
+        q.park(5, session_with_footprint(1.0), err(), 1000.0, &policy);
+        // Sessions 7 and 3: parked together at t=0; 7 is lighter.
+        q.park(7, session_with_footprint(2.0), err(), 0.0, &policy);
+        q.park(3, session_with_footprint(8.0), err(), 0.0, &policy);
+        // Session 9: parked at t=0 too, but with a *worse* satisfaction
+        // snapshot than the perfect 1.0 of the empty-QoS sessions.
+        q.park(9, session_with_footprint(0.5), err(), 0.0, &policy);
+        q.remove(9).map(|mut p| {
+            p.satisfaction = 0.3;
+            q.reinsert(9, p);
+        });
+
+        // Oldest first; equal ages ranked by satisfaction desc, then
+        // footprint asc; the newest last regardless of weight.
+        assert_eq!(q.all_in_priority_order(), vec![7, 3, 9, 5]);
+        // `due` applies the same ranking to the backoff-filtered set.
+        assert_eq!(q.due(policy.backoff_ms(0)), vec![7, 3, 9]);
+        assert_eq!(
+            q.due(1000.0 + policy.backoff_ms(0)),
+            vec![7, 3, 9, 5],
+            "everything due ranks identically"
+        );
+    }
 
     #[test]
     fn backoff_doubles_and_saturates() {

@@ -1,0 +1,142 @@
+//! Satellite property for the configuration cache: under *any*
+//! interleaving of registry churn (register / unregister) and device
+//! faults (crash / recover), a cache-enabled domain server previews
+//! configurations byte-identical to a cache-disabled one.
+//!
+//! Two servers are driven through the identical operation sequence; the
+//! only difference is the composition cache (and discovery memo). After
+//! every operation both servers preview both application templates from
+//! every up client device, and the results — composed graph, placement,
+//! cost, or the exact error — must match. Debug builds additionally
+//! cross-check every cache hit against a fresh recomposition inside
+//! [`DomainServer`] itself.
+
+use proptest::prelude::*;
+use ubiqos_discovery::ServiceDescriptor;
+use ubiqos_graph::{ComponentRole, DeviceId, ServiceComponent};
+use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
+use ubiqos_runtime::faults::{app_template, build_space};
+use ubiqos_runtime::DomainServer;
+
+const DEVICES: usize = 4;
+
+/// One registry/fault operation, applied identically to both servers.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Register an extra unpinned `wav-source` instance (slot 0-3).
+    Register(usize),
+    /// Unregister that slot's instance if present (no-op otherwise —
+    /// identical on both servers either way).
+    Unregister(usize),
+    /// Crash a device (skipped while already down).
+    Crash(usize),
+    /// Recover a device (skipped while up).
+    Recover(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..4usize).prop_map(Op::Register),
+        (0..4usize).prop_map(Op::Unregister),
+        (1..DEVICES).prop_map(Op::Crash),
+        (1..DEVICES).prop_map(Op::Recover),
+    ]
+}
+
+/// An extra discoverable source whose registration churns the epoch of
+/// the `wav-source` type the WAV template depends on.
+fn extra_source(slot: usize) -> ServiceDescriptor {
+    ServiceDescriptor::new(
+        format!("wav-source@extra{slot}"),
+        "wav-source",
+        ServiceComponent::builder("wav-source")
+            .role(ComponentRole::Source)
+            .qos_out(
+                QosVector::new()
+                    .with(QosDimension::Format, QosValue::token("WAV"))
+                    .with(QosDimension::FrameRate, QosValue::exact(30.0)),
+            )
+            .capability(QosDimension::FrameRate, QosValue::range(1.0, 30.0))
+            .resources(ResourceVector::mem_cpu(20.0, 26.0))
+            .build(),
+    )
+}
+
+/// Previews both templates from every up client on both servers and
+/// asserts byte-identical outcomes.
+fn assert_previews_match(cached: &DomainServer, fresh: &DomainServer, down: &[bool], label: &str) {
+    for template in 0..2 {
+        let (name, graph) = app_template(template);
+        for client in 1..DEVICES {
+            if down[client] {
+                continue;
+            }
+            let a = cached.preview(&graph, &QosVector::new(), DeviceId::from_index(client), None);
+            let b = fresh.preview(&graph, &QosVector::new(), DeviceId::from_index(client), None);
+            assert_eq!(
+                a, b,
+                "cached and fresh previews diverged for {name} from dev{client} after {label}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_interleaving_yields_identical_cached_and_fresh_previews(
+        ops in proptest::collection::vec(op_strategy(), 1..12)
+    ) {
+        let mut cached = build_space(DEVICES);
+        let mut fresh = build_space(DEVICES);
+        fresh.set_config_cache(false);
+        let mut down = [false; DEVICES];
+
+        // Seed the cache before any churn so later hits must survive
+        // epoch revalidation, not just start cold.
+        assert_previews_match(&cached, &fresh, &down, "warm-up");
+
+        for (step, &op) in ops.iter().enumerate() {
+            let label = format!("step {step} {op:?}");
+            match op {
+                Op::Register(slot) => {
+                    // Re-registering an id replaces it — identical on
+                    // both servers, so no need to skip.
+                    cached.registry_mut().register(extra_source(slot));
+                    fresh.registry_mut().register(extra_source(slot));
+                }
+                Op::Unregister(slot) => {
+                    let id = format!("wav-source@extra{slot}");
+                    let a = cached.registry_mut().unregister(&id);
+                    let b = fresh.registry_mut().unregister(&id);
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                }
+                Op::Crash(d) => {
+                    if !down[d] {
+                        cached.handle_crash(DeviceId::from_index(d));
+                        fresh.handle_crash(DeviceId::from_index(d));
+                        down[d] = true;
+                    }
+                }
+                Op::Recover(d) => {
+                    if down[d] {
+                        cached.recover_device(DeviceId::from_index(d));
+                        fresh.recover_device(DeviceId::from_index(d));
+                        down[d] = false;
+                    }
+                }
+            }
+            assert_previews_match(&cached, &fresh, &down, &label);
+        }
+
+        let stats = cached.config_cache_stats();
+        prop_assert!(
+            stats.hits + stats.misses > 0,
+            "the cached server must actually exercise its cache: {stats:?}"
+        );
+        let fresh_stats = fresh.config_cache_stats();
+        prop_assert_eq!(fresh_stats.hits, 0, "a disabled cache never hits");
+        prop_assert_eq!(fresh_stats.misses, 0, "nor counts misses");
+    }
+}

@@ -172,11 +172,10 @@ fn park_and_readmit_refund_resources_exactly() {
         "a parked session holds exactly nothing"
     );
 
-    // Recover, re-admit, stop: the environment returns to the identical
-    // idle snapshot (refund is the exact inverse of the readmit charge).
-    server.recover_device(DeviceId::from_index(1));
-    server.play(200.0);
-    let rec = server.process_retries();
+    // Recover (which eagerly re-admits), then stop: the environment
+    // returns to the identical idle snapshot (refund is the exact
+    // inverse of the readmit charge).
+    let rec = server.recover_device(DeviceId::from_index(1));
     assert_eq!(rec.readmitted, vec![id]);
     assert_ne!(server.env(), &idle, "the readmitted session charges again");
     assert!(server.stop_session(id).is_some());
