@@ -170,6 +170,29 @@ fn osd() {
     }
 }
 
+/// One rung of the detection-lag ladder in `BENCH_faults.json`: the
+/// imperfect-detection campaign at a fixed suspicion grace window.
+#[derive(serde::Serialize)]
+struct DetectionLagRow {
+    /// Suspicion grace window (hours of missed renewals before the lease
+    /// expires).
+    grace_h: f64,
+    /// Heartbeat renewal period (hours).
+    heartbeat_period_h: f64,
+    /// Worst-case detection lag the soundness invariant enforces:
+    /// `grace + heartbeat period`.
+    max_detection_lag_h: f64,
+    suspicions: u32,
+    false_suspected: u32,
+    reinstatements: u32,
+    stale_views: u32,
+    parked: u32,
+    readmitted: u32,
+    dropped: u32,
+    completed: u32,
+    log_digest: u64,
+}
+
 /// Runs one campaign; on an invariant violation, shrinks the fault
 /// schedule to a 1-minimal reproducer before aborting, so the artifact
 /// failure is immediately debuggable.
@@ -258,10 +281,78 @@ fn faults() {
         first.report.completed,
         strict.report.completed
     );
+    // The detection-lag ladder: the identical workload under imperfect
+    // failure detection (partitions, lossy heartbeats) at three grace
+    // windows. Longer grace tolerates longer network blips but widens
+    // the stale window in which placements land on dead devices.
+    println!();
+    println!(
+        "---- imperfect detection: detection-lag ladder (grace + {:.2}h heartbeat) ----",
+        ubiqos_bench::faults_config_imperfect(0.5).heartbeat_period_h
+    );
+    println!(
+        "{:>7} | {:>9} | {:>10} | {:>5} | {:>9} | {:>10} | {:>6} | {:>10} | {:>7}",
+        "grace h",
+        "lag bound",
+        "suspicions",
+        "false",
+        "reinstate",
+        "staleviews",
+        "parked",
+        "readmitted",
+        "dropped"
+    );
+    let mut ladder: Vec<DetectionLagRow> = Vec::new();
+    for grace_h in [0.5, 1.0, 2.0] {
+        let cfg = ubiqos_bench::faults_config_imperfect(grace_h);
+        let outcome = run_or_shrink(&cfg);
+        let r = &outcome.report;
+        let row = DetectionLagRow {
+            grace_h,
+            heartbeat_period_h: cfg.heartbeat_period_h,
+            max_detection_lag_h: grace_h + cfg.heartbeat_period_h,
+            suspicions: r.suspicions,
+            false_suspected: r.false_suspected,
+            reinstatements: r.reinstatements,
+            stale_views: r.stale_views,
+            parked: r.parked,
+            readmitted: r.readmitted,
+            dropped: r.dropped,
+            completed: r.completed,
+            log_digest: r.log_digest,
+        };
+        println!(
+            "{:>7.2} | {:>8.2}h | {:>10} | {:>5} | {:>9} | {:>10} | {:>6} | {:>10} | {:>7}",
+            row.grace_h,
+            row.max_detection_lag_h,
+            row.suspicions,
+            row.false_suspected,
+            row.reinstatements,
+            row.stale_views,
+            row.parked,
+            row.readmitted,
+            row.dropped
+        );
+        assert_eq!(
+            r.parked_at_end, 0,
+            "imperfect campaigns must converge (grace {grace_h}h)"
+        );
+        ladder.push(row);
+    }
+
     println!();
     ubiqos_bench::dump_json("faults.json", &first.report);
     ubiqos_bench::dump_json("faults_strict.json", &strict.report);
-    match serde_json::to_string_pretty(&first.report) {
+    // BENCH_faults.json keeps the perfect-detection report's top-level
+    // keys byte-for-byte (the nightly drift gate pins them) and grows a
+    // `detection_lag` array with the ladder rows.
+    let merged = serde_json::to_value(&first.report).and_then(|mut value| {
+        if let serde_json::Value::Object(pairs) = &mut value {
+            pairs.push(("detection_lag".to_owned(), serde_json::to_value(&ladder)?));
+        }
+        serde_json::to_string_pretty(&value)
+    });
+    match merged {
         Ok(json) => match std::fs::write("BENCH_faults.json", json) {
             Ok(()) => println!("(fault campaign written to BENCH_faults.json)"),
             Err(e) => eprintln!("warning: could not write BENCH_faults.json: {e}"),

@@ -89,6 +89,9 @@ pub struct OsdPhase {
 /// The full `BENCH_configure.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConfigureBenchReport {
+    /// Artifact schema version ([`ubiqos::BENCH_SCHEMA_VERSION`]). The
+    /// nightly drift gate refuses to compare artifacts across versions.
+    pub schema_version: u32,
     /// Requests in each steady-state phase.
     pub requests: usize,
     /// Live-session window of the steady-state workload.
@@ -141,7 +144,14 @@ impl ConfigureBenchReport {
     pub fn render(&self) -> String {
         let mut out = format!(
             "{:<9} | {:>8} | {:>6} | {:>6} | {:>11} | {:>10} | {:>8} | {:>11}\n",
-            "cache", "admitted", "hits", "misses", "discover ms", "compose ms", "place ms", "pipeline ms"
+            "cache",
+            "admitted",
+            "hits",
+            "misses",
+            "discover ms",
+            "compose ms",
+            "place ms",
+            "pipeline ms"
         );
         for p in [&self.cold, &self.warm] {
             out.push_str(&format!(
@@ -404,6 +414,7 @@ pub fn run_configure_bench(requests: usize, rounds: usize) -> ConfigureBenchRepo
     let warm_node_ratio =
         cold_osd.nodes_expanded as f64 / (warm_osd.nodes_expanded as f64).max(1.0);
     ConfigureBenchReport {
+        schema_version: ubiqos::BENCH_SCHEMA_VERSION,
         requests,
         window,
         cache_logs_identical: cold_trace == warm_trace,
@@ -429,7 +440,11 @@ mod tests {
         let (warm, warm_trace) = steady_state_phase(true, 40, 12);
         assert_eq!(cold_trace, warm_trace, "cache must be unobservable");
         assert_eq!(cold.trace_digest, warm.trace_digest);
-        assert_eq!((cold.hits, cold.misses), (0, 0), "disabled cache counts nothing");
+        assert_eq!(
+            (cold.hits, cold.misses),
+            (0, 0),
+            "disabled cache counts nothing"
+        );
         assert!(warm.hits > 0, "steady state must hit: {warm:?}");
         // Two templates x five clients: at most ten distinct keys.
         assert!(warm.misses <= 10, "{warm:?}");
@@ -440,9 +455,15 @@ mod tests {
     fn warm_start_saves_nodes_without_changing_placements() {
         let (cold, cold_cuts) = replacement_phase(false, 1);
         let (warm, warm_cuts) = replacement_phase(true, 1);
-        assert_eq!(cold_cuts, warm_cuts, "warm start must not change placements");
+        assert_eq!(
+            cold_cuts, warm_cuts,
+            "warm start must not change placements"
+        );
         assert_eq!(cold.solves, warm.solves, "same events, same solves");
-        assert!(warm.warm_solves > 0, "warm seeds must actually be used: {warm:?}");
+        assert!(
+            warm.warm_solves > 0,
+            "warm seeds must actually be used: {warm:?}"
+        );
         assert_eq!(cold.warm_solves, 0);
         // Node counts are timing-independent, so the headline 2x claim
         // holds even in slow debug builds.

@@ -95,6 +95,22 @@ pub fn faults_config_strict() -> FaultCampaignConfig {
     }
 }
 
+/// An imperfect-detection variant of [`faults_config`]: the identical
+/// seed, workload, and fault budget, plus network partitions, seeded
+/// heartbeat loss, and a nonzero suspicion grace window. The
+/// `repro -- faults` artifact runs one campaign per grace rung and
+/// reports the resulting detection-lag ladder in `BENCH_faults.json`.
+pub fn faults_config_imperfect(grace_h: f64) -> FaultCampaignConfig {
+    FaultCampaignConfig {
+        detection_grace_h: grace_h,
+        heartbeat_period_h: 0.25,
+        partitions: 4,
+        partition_max: 2,
+        heartbeat_loss: 0.1,
+        ..faults_config()
+    }
+}
+
 /// Writes reproduction data as pretty JSON under `target/repro/`, so
 /// figure data survives the bench run for plotting. Failures are
 /// reported but never abort a bench.
@@ -114,6 +130,26 @@ pub fn dump_json<T: serde::Serialize>(file: &str, data: &T) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The CI `perfect-detection` job's baseline pin: the default
+    /// `repro -- faults` campaign runs in perfect-detection mode and
+    /// must keep reproducing the artifact digest recorded when the
+    /// campaign was introduced. Imperfect-detection machinery (leases,
+    /// heartbeats, partitions) must stay invisible at grace zero.
+    #[test]
+    fn repro_faults_baseline_digest_is_pinned() {
+        let cfg = faults_config();
+        assert!(cfg.perfect_detection(), "the artifact baseline is grace-0");
+        let outcome =
+            ubiqos_runtime::run_fault_campaign(&cfg).expect("campaign holds its invariants");
+        assert_eq!(
+            outcome.report.log_digest, 0xe410_69cc_6f8b_564d,
+            "BENCH_faults.json baseline digest drifted"
+        );
+        assert_eq!(outcome.report.schema_version, ubiqos::BENCH_SCHEMA_VERSION);
+        assert_eq!(outcome.report.suspicions, 0);
+        assert_eq!(outcome.report.stale_views, 0);
+    }
 
     #[test]
     fn configs_are_paper_scale() {

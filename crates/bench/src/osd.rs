@@ -57,6 +57,9 @@ pub struct OsdBenchCase {
 /// The full `BENCH_osd.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OsdBenchReport {
+    /// Artifact schema version ([`ubiqos::BENCH_SCHEMA_VERSION`]). The
+    /// nightly drift gate refuses to compare artifacts across versions.
+    pub schema_version: u32,
     /// One row per (nodes, devices) rung.
     pub cases: Vec<OsdBenchCase>,
     /// Worker threads the parallel rows used.
@@ -218,6 +221,7 @@ pub fn run_osd_bench(instances: usize) -> OsdBenchReport {
         })
         .collect();
     OsdBenchReport {
+        schema_version: ubiqos::BENCH_SCHEMA_VERSION,
         cases,
         threads: ubiqos_parallel::thread_count(),
         serial_fallback_threshold: ExhaustiveOptimal::new().parallel_threshold(),

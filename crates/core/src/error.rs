@@ -12,6 +12,16 @@ pub enum ConfigureError {
     Composition(CompositionError),
     /// The distribution tier failed (graph does not fit the devices).
     Distribution(DistributionError),
+    /// The configuration was computed against a stale view of the
+    /// environment: placement landed a component on a device that is
+    /// unreachable (crashed or partitioned) but not yet suspected by the
+    /// failure detector, and the download/activation step failed. The
+    /// witnessed device index lets recovery reconcile detector state
+    /// with ground truth.
+    StaleView {
+        /// Index of the unreachable device the placement chose.
+        device: usize,
+    },
 }
 
 impl fmt::Display for ConfigureError {
@@ -19,6 +29,9 @@ impl fmt::Display for ConfigureError {
         match self {
             ConfigureError::Composition(e) => write!(f, "composition failed: {e}"),
             ConfigureError::Distribution(e) => write!(f, "distribution failed: {e}"),
+            ConfigureError::StaleView { device } => {
+                write!(f, "stale view: activation on unreachable device d{device}")
+            }
         }
     }
 }
@@ -28,6 +41,7 @@ impl Error for ConfigureError {
         match self {
             ConfigureError::Composition(e) => Some(e),
             ConfigureError::Distribution(e) => Some(e),
+            ConfigureError::StaleView { .. } => None,
         }
     }
 }
@@ -60,5 +74,12 @@ mod tests {
         let d = ConfigureError::from(DistributionError::NoDevices);
         assert!(d.to_string().contains("distribution failed"));
         assert!(d.source().is_some());
+
+        let s = ConfigureError::StaleView { device: 3 };
+        assert_eq!(
+            s.to_string(),
+            "stale view: activation on unreachable device d3"
+        );
+        assert!(s.source().is_none());
     }
 }

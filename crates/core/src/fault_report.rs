@@ -11,13 +11,21 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Schema version stamped into every `BENCH_*.json` artifact. Bump it
+/// whenever a field is added, renamed, or its meaning changes; the
+/// nightly drift gate refuses to compare artifacts across versions
+/// instead of silently misreading renamed fields.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
 /// Aggregated outcome of one fault-injection campaign.
 ///
 /// Every counter is exact and deterministic for a given campaign seed:
 /// two runs of the same campaign must produce byte-identical reports
 /// (and byte-identical event logs — compare [`FaultReport::log_digest`]).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultReport {
+    /// Artifact schema version (see [`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// The campaign's master seed.
     pub seed: u64,
     /// Total events applied (workload + faults).
@@ -43,6 +51,30 @@ pub struct FaultReport {
     pub moves: u32,
     /// User moves the configurator could not satisfy.
     pub move_failures: u32,
+    /// Injected partition events (device groups cut off from the domain
+    /// server while still running).
+    pub partitions: u32,
+    /// Injected heal events (partitioned groups rejoining).
+    pub heals: u32,
+    /// Injected heartbeat-jam windows (detector signal lost while the
+    /// device stays healthy and reachable).
+    pub heartbeat_jams: u32,
+
+    /// Devices the failure detector suspected (registry lease expired
+    /// after the grace window; zero in perfect-detection mode, where
+    /// every fault is observed instantly).
+    pub suspicions: u32,
+    /// Suspicions of devices that were actually healthy at suspicion
+    /// time (partitioned or jammed, not crashed) — spurious parks the
+    /// detector must cleanly undo on heal.
+    pub false_suspected: u32,
+    /// Suspected devices whose lease was renewed again (heal or
+    /// recovery observed through a heartbeat) and that were restored.
+    pub reinstatements: u32,
+    /// Witnessed stale-view failures: a placement chose a
+    /// dead-but-not-yet-suspected device and the download/activation
+    /// step failed with `ConfigureError::StaleView`.
+    pub stale_views: u32,
 
     /// Application arrivals from the workload.
     pub arrivals: u32,
@@ -91,6 +123,48 @@ pub struct FaultReport {
     pub log_digest: u64,
 }
 
+impl Default for FaultReport {
+    fn default() -> Self {
+        FaultReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            seed: 0,
+            events: 0,
+            crashes: 0,
+            correlated_crashes: 0,
+            device_recoveries: 0,
+            fluctuations: 0,
+            link_fluctuations: 0,
+            switches: 0,
+            switch_failures: 0,
+            moves: 0,
+            move_failures: 0,
+            partitions: 0,
+            heals: 0,
+            heartbeat_jams: 0,
+            suspicions: 0,
+            false_suspected: 0,
+            reinstatements: 0,
+            stale_views: 0,
+            arrivals: 0,
+            admitted: 0,
+            denied: 0,
+            completed: 0,
+            dropped: 0,
+            replacements: 0,
+            degraded: 0,
+            parked: 0,
+            readmitted: 0,
+            live_at_end: 0,
+            parked_at_end: 0,
+            recovery_passes: 0,
+            recovery_considered: 0,
+            recovery_affected: 0,
+            invariant_checks: 0,
+            log_digest: 0,
+        }
+    }
+}
+
 impl FaultReport {
     /// Renders the report as an aligned, human-readable block.
     pub fn render(&self) -> String {
@@ -98,6 +172,8 @@ impl FaultReport {
             "campaign seed      : {:#018x}\n\
              events applied     : {}\n\
              faults             : {} crash ({} correlated groups) / {} recover / {} fluctuate / {} link / {} switch ({} failed) / {} move ({} failed)\n\
+             detector faults    : {} partitions / {} heals / {} heartbeat jams\n\
+             failure detection  : {} suspicions ({} false), {} reinstated, {} stale views witnessed\n\
              workload           : {} arrivals = {} admitted + {} denied\n\
              session fates      : {} completed, {} dropped, {} live at end, {} parked at end\n\
              staged recovery    : {} degraded, {} parked, {} readmitted\n\
@@ -115,6 +191,13 @@ impl FaultReport {
             self.switch_failures,
             self.moves,
             self.move_failures,
+            self.partitions,
+            self.heals,
+            self.heartbeat_jams,
+            self.suspicions,
+            self.false_suspected,
+            self.reinstatements,
+            self.stale_views,
             self.arrivals,
             self.admitted,
             self.denied,
@@ -186,8 +269,14 @@ mod tests {
         assert!(s.contains("3 admitted + 1 denied"));
         assert!(s.contains("staged recovery"));
         assert!(s.contains("parked at end"));
+        assert!(s.contains("failure detection"));
         assert!(s.contains("invariant checks"));
         assert_eq!(report.to_string(), s);
+    }
+
+    #[test]
+    fn default_report_carries_the_current_schema_version() {
+        assert_eq!(FaultReport::default().schema_version, BENCH_SCHEMA_VERSION);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub mod trigger;
 
 pub use configurator::{Configuration, ConfigureRequest, ServiceConfigurator};
 pub use error::ConfigureError;
-pub use fault_report::FaultReport;
+pub use fault_report::{FaultReport, BENCH_SCHEMA_VERSION};
 pub use trigger::ReconfigureTrigger;
 
 // Re-export the tiers and substrates as a single coherent API surface.

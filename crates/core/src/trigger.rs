@@ -62,6 +62,15 @@ pub enum ReconfigureTrigger {
     SessionParked,
     /// A previously parked session was re-admitted from the retry queue.
     SessionReadmitted,
+    /// The failure detector suspects a device: its registry lease
+    /// expired after the grace window without a heartbeat renewal. The
+    /// suspicion may be *false* (a healthy device behind a partition or
+    /// jammed heartbeats), so components on it are parked, not dropped.
+    DeviceSuspected(DeviceId),
+    /// A suspected device renewed its lease (heal or recovery observed
+    /// through a heartbeat): the suspicion is withdrawn and the device's
+    /// capacity and hosted instances are restored.
+    DeviceReinstated(DeviceId),
 }
 
 impl ReconfigureTrigger {
@@ -78,6 +87,7 @@ impl ReconfigureTrigger {
             ReconfigureTrigger::UserMoved { .. }
                 | ReconfigureTrigger::DeviceSwitched { .. }
                 | ReconfigureTrigger::DeviceCrashed(_)
+                | ReconfigureTrigger::DeviceSuspected(_)
         )
     }
 
@@ -95,7 +105,9 @@ impl ReconfigureTrigger {
     pub fn requires_state_handoff(&self) -> bool {
         matches!(
             self,
-            ReconfigureTrigger::DeviceSwitched { .. } | ReconfigureTrigger::DeviceCrashed(_)
+            ReconfigureTrigger::DeviceSwitched { .. }
+                | ReconfigureTrigger::DeviceCrashed(_)
+                | ReconfigureTrigger::DeviceSuspected(_)
         )
     }
 }
@@ -124,6 +136,12 @@ impl fmt::Display for ReconfigureTrigger {
             }
             ReconfigureTrigger::SessionParked => f.write_str("session parked for retry"),
             ReconfigureTrigger::SessionReadmitted => f.write_str("session re-admitted from park"),
+            ReconfigureTrigger::DeviceSuspected(d) => {
+                write!(f, "device {d} suspected (lease expired)")
+            }
+            ReconfigureTrigger::DeviceReinstated(d) => {
+                write!(f, "device {d} reinstated (lease renewed)")
+            }
         }
     }
 }
@@ -152,6 +170,13 @@ mod tests {
         );
         assert!(!ReconfigureTrigger::SessionParked.requires_recomposition());
         assert!(!ReconfigureTrigger::SessionReadmitted.requires_recomposition());
+        // A suspected device is treated like a crashed one by both tiers
+        // (its instances must be replaced even if the suspicion turns
+        // out to be false); a reinstatement is like a recovery.
+        assert!(ReconfigureTrigger::DeviceSuspected(d0).requires_recomposition());
+        assert!(ReconfigureTrigger::DeviceSuspected(d0).requires_state_handoff());
+        assert!(!ReconfigureTrigger::DeviceReinstated(d0).requires_recomposition());
+        assert!(!ReconfigureTrigger::DeviceReinstated(d0).requires_state_handoff());
     }
 
     #[test]

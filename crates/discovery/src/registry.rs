@@ -106,6 +106,12 @@ pub struct ServiceRegistry {
     /// Epoch-keyed memo of `discover_all` results (interior mutability:
     /// discovery is `&self`).
     memo: Mutex<QueryMemo>,
+    /// Host device index → virtual-time lease expiry (ms). Registrations
+    /// on a device are *leased*: a failure detector renews the lease on
+    /// every heartbeat and treats an expired lease as suspicion. Runtime
+    /// state — not serialized (a restarted registry starts with no
+    /// leases, exactly like a restarted detector).
+    leases: BTreeMap<usize, u64>,
 }
 
 /// Only the authoritative state (domains, instances, epoch) is
@@ -160,6 +166,7 @@ impl Clone for ServiceRegistry {
             changelog: self.changelog.clone(),
             changelog_base: self.changelog_base,
             memo: Mutex::new(self.memo.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+            leases: self.leases.clone(),
         }
     }
 }
@@ -224,6 +231,37 @@ impl ServiceRegistry {
         }
     }
 
+    /// Grants or renews the registration lease for host device `device`
+    /// until virtual time `expiry_ms`. Heartbeat-driven: the domain
+    /// server calls this whenever a heartbeat from the device arrives.
+    /// Renewals never bump the epoch — a lease says nothing about which
+    /// instances exist, only about how fresh the registry's view of the
+    /// device is.
+    pub fn renew_lease(&mut self, device: usize, expiry_ms: u64) {
+        self.leases.insert(device, expiry_ms);
+    }
+
+    /// The lease expiry for `device` (virtual ms), if one was granted.
+    pub fn lease_expiry(&self, device: usize) -> Option<u64> {
+        self.leases.get(&device).copied()
+    }
+
+    /// Revokes `device`'s lease — called when the detector acts on the
+    /// expiry (suspicion) so the same expiry is not acted on twice.
+    pub fn revoke_lease(&mut self, device: usize) {
+        self.leases.remove(&device);
+    }
+
+    /// Devices whose lease has expired at `now_ms` (ascending index
+    /// order, so expiry processing is deterministic).
+    pub fn expired_leases(&self, now_ms: u64) -> Vec<usize> {
+        self.leases
+            .iter()
+            .filter(|(_, &expiry)| expiry <= now_ms)
+            .map(|(&d, _)| d)
+            .collect()
+    }
+
     /// Whether the secondary indexes cover the current instance set. A
     /// deserialized registry arrives with empty indexes (they are derived
     /// state and not serialized); mutations rebuild them on first touch
@@ -255,7 +293,10 @@ impl ServiceRegistry {
     /// input or output QoS (what the by-format index is keyed on).
     fn format_tokens(descriptor: &ServiceDescriptor) -> BTreeSet<String> {
         let mut tokens = BTreeSet::new();
-        for qos in [descriptor.prototype.qos_in(), descriptor.prototype.qos_out()] {
+        for qos in [
+            descriptor.prototype.qos_in(),
+            descriptor.prototype.qos_out(),
+        ] {
             match qos.get(&QosDimension::Format) {
                 Some(QosValue::Token(t)) => {
                     tokens.insert(t.clone());
@@ -397,9 +438,7 @@ impl ServiceRegistry {
             let Some(ids) = self.by_host.get(&device) else {
                 return Vec::new();
             };
-            ids.iter()
-                .filter_map(|id| self.lookup(id))
-                .collect()
+            ids.iter().filter_map(|id| self.lookup(id)).collect()
         } else {
             // Deserialized registry, indexes not rebuilt yet: scan.
             self.instances()
@@ -415,9 +454,7 @@ impl ServiceRegistry {
             let Some(ids) = self.by_format.get(token) else {
                 return Vec::new();
             };
-            ids.iter()
-                .filter_map(|id| self.lookup(id))
-                .collect()
+            ids.iter().filter_map(|id| self.lookup(id)).collect()
         } else {
             let mut hits: Vec<&ServiceDescriptor> = self
                 .instances()
@@ -760,7 +797,11 @@ mod tests {
         r.register(pinned("c1", 1));
         r.register(pinned("c2", 0));
         r.register(desc("free", "cam"));
-        let on0: Vec<&str> = r.hosted_on(0).iter().map(|d| d.instance_id.as_str()).collect();
+        let on0: Vec<&str> = r
+            .hosted_on(0)
+            .iter()
+            .map(|d| d.instance_id.as_str())
+            .collect();
         assert_eq!(on0, vec!["c0", "c2"]);
         assert_eq!(r.hosted_on(2).len(), 0);
         r.unregister("c0");
@@ -769,6 +810,34 @@ mod tests {
         r.register(pinned("c2", 1));
         assert_eq!(r.hosted_on(0).len(), 0);
         assert_eq!(r.hosted_on(1).len(), 2);
+    }
+
+    #[test]
+    fn leases_expire_renew_and_stay_epoch_neutral() {
+        let mut r = ServiceRegistry::new();
+        assert_eq!(r.lease_expiry(0), None);
+        assert!(r.expired_leases(u64::MAX).is_empty());
+        r.renew_lease(0, 1_000);
+        r.renew_lease(1, 2_000);
+        r.renew_lease(2, 3_000);
+        // Renewals are lease-table-only: no epoch bump, no churn.
+        assert_eq!(r.epoch(), 0);
+        assert_eq!(r.lease_expiry(1), Some(2_000));
+        assert_eq!(r.expired_leases(999), Vec::<usize>::new());
+        assert_eq!(r.expired_leases(2_000), vec![0, 1]);
+        // Renewing pushes the expiry out; revoking removes the lease so
+        // the same expiry is never acted on twice.
+        r.renew_lease(0, 5_000);
+        assert_eq!(r.expired_leases(2_000), vec![1]);
+        r.revoke_lease(1);
+        assert_eq!(r.expired_leases(u64::MAX), vec![0, 2]);
+        // Clones carry the lease table; serialization does not (a fresh
+        // detector starts with no leases).
+        let cloned = r.clone();
+        assert_eq!(cloned.lease_expiry(0), Some(5_000));
+        let json = serde_json::to_string(&r).unwrap();
+        let restored: ServiceRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.lease_expiry(0), None);
     }
 
     #[test]
@@ -821,7 +890,10 @@ mod tests {
         let mut plain = r.clone();
         plain.set_query_memo(false);
         assert_eq!(plain.discover_all(&q), r.discover_all(&q));
-        assert_eq!(plain.discovery_stats().memo_hits, r.discovery_stats().memo_hits - 1);
+        assert_eq!(
+            plain.discovery_stats().memo_hits,
+            r.discovery_stats().memo_hits - 1
+        );
     }
 
     #[test]

@@ -1096,9 +1096,9 @@ mod tests {
             .unwrap();
         let n = g.component_count();
         for bad in [
-            vec![0; n - 1],     // wrong length
-            vec![9; n],         // device out of range
-            vec![1; n],         // infeasible: everything on the PDA
+            vec![0; n - 1], // wrong length
+            vec![9; n],     // device out of range
+            vec![1; n],     // infeasible: everything on the PDA
         ] {
             let mut solver = ExhaustiveOptimal::new()
                 .with_parallel(false)

@@ -169,7 +169,12 @@ impl CompositionCache {
             None => false,
             Some(entry) if entry.epoch == current => true,
             Some(entry) => match registry.changed_types_since(entry.epoch) {
-                Some(changed) if entry.dep_types.iter().all(|t| !changed.contains(t.as_str())) => {
+                Some(changed)
+                    if entry
+                        .dep_types
+                        .iter()
+                        .all(|t| !changed.contains(t.as_str())) =>
+                {
                     entry.epoch = current;
                     self.stats.revalidations += 1;
                     true

@@ -14,15 +14,16 @@ use crate::retry_queue::{ParkedSession, RetryPolicy, RetryQueue};
 use crate::streaming::{delivered_qos, DeliveredQos};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 use ubiqos::{
     Configuration, ConfigureError, ConfigureRequest, ReconfigureTrigger, ServiceConfigurator,
 };
-use ubiqos_composition::{ComposedApplication, DegradationLadder};
+use ubiqos_composition::{ComposedApplication, DegradationLadder, OcReport};
 use ubiqos_discovery::{DeviceProperties, DomainId, ServiceDescriptor, ServiceRegistry};
 use ubiqos_distribution::{Environment, ExhaustiveOptimal, OsdProblem, ServiceDistributor};
-use ubiqos_graph::{AbstractServiceGraph, ComponentId, DeviceId};
+use ubiqos_graph::{AbstractServiceGraph, ComponentId, Cut, DeviceId, ServiceGraph};
 use ubiqos_model::{QosVector, Weights};
 
 /// Raw session id → (devices its cut occupies, links its cut crosses):
@@ -207,6 +208,19 @@ pub struct DomainServer {
     placement_totals: Mutex<PlacementTotals>,
     /// Wall-clock per-stage profile of every configure call.
     stages: Mutex<StageTimes>,
+    /// Ground-truth set of devices currently unreachable from this
+    /// server (crashed or partitioned), injected by the fault harness.
+    /// Placement never reads it — only the download/activation step
+    /// does, which is what makes stale-view admissions fail *witnessed*
+    /// instead of silently succeeding. Empty in perfect-detection mode.
+    unreachable: BTreeSet<usize>,
+    /// Devices the failure detector currently suspects (registry lease
+    /// expired without a heartbeat renewal). The detector's *belief*,
+    /// which may lag — or falsely lead — the ground truth above.
+    suspected: BTreeSet<usize>,
+    /// Witnessed stale-view activation failures (atomic: the check runs
+    /// inside `configure`, which is `&self`).
+    stale_views: AtomicU64,
     next_session: u64,
     now_ms: f64,
 }
@@ -261,6 +275,9 @@ impl DomainServer {
             optimal: Mutex::new(ExhaustiveOptimal::new()),
             placement_totals: Mutex::new(PlacementTotals::default()),
             stages: Mutex::new(StageTimes::default()),
+            unreachable: BTreeSet::new(),
+            suspected: BTreeSet::new(),
+            stale_views: AtomicU64::new(0),
             next_session: 0,
             now_ms: 0.0,
         }
@@ -315,7 +332,10 @@ impl DomainServer {
 
     /// Whether the composition cache is active.
     pub fn config_cache_enabled(&self) -> bool {
-        self.config_cache.lock().expect("config cache lock").enabled()
+        self.config_cache
+            .lock()
+            .expect("config cache lock")
+            .enabled()
     }
 
     /// Composition-cache counters.
@@ -341,8 +361,7 @@ impl DomainServer {
 
     /// Resets the optimal-solver counters.
     pub fn reset_placement_totals(&mut self) {
-        *self.placement_totals.lock().expect("placement totals lock") =
-            PlacementTotals::default();
+        *self.placement_totals.lock().expect("placement totals lock") = PlacementTotals::default();
     }
 
     /// Wall-clock per-stage configuration profile accumulated so far.
@@ -561,6 +580,59 @@ impl DomainServer {
         Some(parked.session)
     }
 
+    /// Parks an application *arrival* that could not be activated — the
+    /// stale-view admission path. The session never held a placement, so
+    /// it enters the retry queue with an empty configuration (footprint
+    /// zero) and `error` as its witness; the next retry or eager
+    /// recovery drain configures it from scratch. Nothing is charged and
+    /// nothing needs refunding — the failed `configure` call already
+    /// guaranteed that.
+    ///
+    /// Returns the allocated session id, which behaves exactly like an
+    /// admitted-then-parked session for [`DomainServer::stop_session`]
+    /// and [`DomainServer::process_retries`].
+    pub fn park_arrival(
+        &mut self,
+        name: impl Into<String>,
+        abstract_graph: AbstractServiceGraph,
+        user_qos: QosVector,
+        client_device: DeviceId,
+        domain: Option<DomainId>,
+        error: ConfigureError,
+    ) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        let graph = ServiceGraph::new();
+        let cut = Cut::from_assignment(&graph, Vec::new(), 1).expect("empty cut is consistent");
+        let session = Session {
+            name: name.into(),
+            abstract_graph,
+            user_qos,
+            client_device,
+            domain,
+            configuration: Configuration {
+                app: ComposedApplication {
+                    graph,
+                    report: OcReport::default(),
+                    instances: Vec::new(),
+                },
+                cut,
+                cost: 0.0,
+            },
+            position_s: 0.0,
+            degrade_factor: 1.0,
+            overhead_log: Vec::new(),
+        };
+        self.parked
+            .park(id.0, session, error, self.now_ms, &self.retry_policy);
+        self.events.publish(RuntimeEvent {
+            at_ms: self.now_ms,
+            session: Some(id.0),
+            trigger: ReconfigureTrigger::SessionParked,
+        });
+        id
+    }
+
     /// Handles a portal switch (e.g. PC → PDA): recomposes for the new
     /// client device, redistributes, downloads anything missing, and
     /// performs state handoff so the media "continues from the
@@ -725,9 +797,46 @@ impl DomainServer {
     /// re-composition of affected sessions falls back to surviving
     /// instances instead of failing on an unplaceable pin.
     pub fn handle_crash_many(&mut self, devices: &[DeviceId]) -> RecoveryReport {
+        let label = match devices {
+            [single] => format!("recover from {single} crash"),
+            _ => {
+                let names: Vec<String> = devices.iter().map(ToString::to_string).collect();
+                format!("recover from correlated crash of {}", names.join("+"))
+            }
+        };
+        self.take_down_many(devices, &label, false)
+    }
+
+    /// The failure detector suspects `devices`: their registry leases
+    /// expired without a heartbeat renewal. The *effect* is exactly a
+    /// crash — capacity zeroed, hosted instances hidden from discovery,
+    /// touching sessions re-placed or parked through the staged
+    /// pipeline — because the detector cannot tell a crash from a
+    /// partition. Only the published trigger differs
+    /// ([`ReconfigureTrigger::DeviceSuspected`]), recording that this is
+    /// a belief, not ground truth, and may be withdrawn by
+    /// [`DomainServer::heartbeat`].
+    pub fn suspect_many(&mut self, devices: &[DeviceId]) -> RecoveryReport {
+        let names: Vec<String> = devices.iter().map(ToString::to_string).collect();
+        let label = format!("park off suspected {}", names.join("+"));
+        self.take_down_many(devices, &label, true)
+    }
+
+    fn take_down_many(
+        &mut self,
+        devices: &[DeviceId],
+        label: &str,
+        suspicion: bool,
+    ) -> RecoveryReport {
         let mut delta = ResourceDelta::default();
         for &device in devices {
             let d = device.index();
+            if suspicion {
+                self.suspected.insert(d);
+                // Revoke so the same expired lease is never acted on
+                // twice by a later anti-entropy sweep.
+                self.registry.revoke_lease(d);
+            }
             if let Some(dev) = self.capacity.device_mut(d) {
                 let dim = dev.availability().dim();
                 dev.set_availability(ubiqos_model::ResourceVector::zero(dim));
@@ -753,17 +862,14 @@ impl DomainServer {
             self.events.publish(RuntimeEvent {
                 at_ms: self.now_ms,
                 session: None,
-                trigger: ReconfigureTrigger::DeviceCrashed(device),
+                trigger: if suspicion {
+                    ReconfigureTrigger::DeviceSuspected(device)
+                } else {
+                    ReconfigureTrigger::DeviceCrashed(device)
+                },
             });
         }
-        let label = match devices {
-            [single] => format!("recover from {single} crash"),
-            _ => {
-                let names: Vec<String> = devices.iter().map(ToString::to_string).collect();
-                format!("recover from correlated crash of {}", names.join("+"))
-            }
-        };
-        self.recovery_pass(&label, &delta)
+        self.recovery_pass(label, &delta)
     }
 
     /// Brings a crashed (or degraded) device back: its capacity returns
@@ -774,6 +880,31 @@ impl DomainServer {
     /// bandwidth — a rebooted node does not repair the network around it)
     /// or where the other endpoint is still down (those stay at zero).
     pub fn recover_device(&mut self, device: DeviceId) -> RecoveryReport {
+        let label = format!("re-place after {device} recovery");
+        self.bring_up(device, &label, ReconfigureTrigger::DeviceRecovered(device))
+    }
+
+    /// Withdraws a suspicion: the device's lease was renewed again (its
+    /// heartbeats reached the server after a heal or recovery), so its
+    /// capacity and hosted instances are restored exactly as after a
+    /// real crash+recovery, publishing
+    /// [`ReconfigureTrigger::DeviceReinstated`]. For a *falsely*
+    /// suspected device (healthy behind a partition) this is the clean
+    /// undo the detector owes it: parked sessions become placeable again
+    /// and the eager retry drain inside the recovery pass re-admits
+    /// them.
+    pub fn reinstate_device(&mut self, device: DeviceId) -> RecoveryReport {
+        self.suspected.remove(&device.index());
+        let label = format!("re-place after {device} reinstatement");
+        self.bring_up(device, &label, ReconfigureTrigger::DeviceReinstated(device))
+    }
+
+    fn bring_up(
+        &mut self,
+        device: DeviceId,
+        label: &str,
+        trigger: ReconfigureTrigger,
+    ) -> RecoveryReport {
         let d = device.index();
         if let (Some(dev), Some(fresh)) = (self.capacity.device_mut(d), self.pristine.device(d)) {
             dev.set_availability(fresh.availability().clone());
@@ -807,9 +938,81 @@ impl DomainServer {
         self.events.publish(RuntimeEvent {
             at_ms: self.now_ms,
             session: None,
-            trigger: ReconfigureTrigger::DeviceRecovered(device),
+            trigger,
         });
-        self.recovery_pass(&format!("re-place after {device} recovery"), &delta)
+        self.recovery_pass(label, &delta)
+    }
+
+    /// Records a heartbeat from `device`: its registry lease is renewed
+    /// to `now + grace_ms` of server virtual time. If the device was
+    /// *suspected*, the heartbeat is also the anti-entropy signal that
+    /// the suspicion is stale (the device healed, or recovered and came
+    /// back) — it is reinstated and the recovery pass's report returned.
+    ///
+    /// Renewal itself is epoch-neutral on the registry: steady-state
+    /// heartbeats do not invalidate composition caches.
+    pub fn heartbeat(&mut self, device: DeviceId, grace_ms: f64) -> Option<RecoveryReport> {
+        let expiry = (self.now_ms + grace_ms) as u64;
+        self.registry.renew_lease(device.index(), expiry);
+        if self.suspected.contains(&device.index()) {
+            Some(self.reinstate_device(device))
+        } else {
+            None
+        }
+    }
+
+    /// The anti-entropy sweep on lease expiry: every device whose lease
+    /// has expired at the server's current virtual time — and that is
+    /// not already suspected — becomes suspected via
+    /// [`DomainServer::suspect_many`]. Returns the newly suspected
+    /// devices paired with their recovery reports, in ascending device
+    /// order (deterministic for a given state).
+    pub fn expire_overdue_leases(&mut self) -> Vec<(DeviceId, RecoveryReport)> {
+        let overdue: Vec<usize> = self
+            .registry
+            .expired_leases(self.now_ms as u64)
+            .into_iter()
+            .filter(|d| !self.suspected.contains(d))
+            .collect();
+        overdue
+            .into_iter()
+            .map(|d| {
+                let device = DeviceId::from_index(d);
+                let report = self.suspect_many(&[device]);
+                (device, report)
+            })
+            .collect()
+    }
+
+    /// Ground-truth reachability injection: the fault harness marks
+    /// devices unreachable (crashed, or partitioned away from this
+    /// server) so the download/activation step can fail placements the
+    /// detector's stale view allowed. Placement and composition never
+    /// read this set — that is the whole point: the control plane acts
+    /// on its *belief*, and reality pushes back only at activation time.
+    /// Perfect-detection campaigns never call this, leaving the check
+    /// inert.
+    pub fn set_reachable(&mut self, device: DeviceId, reachable: bool) {
+        if reachable {
+            self.unreachable.remove(&device.index());
+        } else {
+            self.unreachable.insert(device.index());
+        }
+    }
+
+    /// Whether the failure detector currently suspects `device`.
+    pub fn is_suspected(&self, device: DeviceId) -> bool {
+        self.suspected.contains(&device.index())
+    }
+
+    /// Device indices the failure detector currently suspects.
+    pub fn suspected_devices(&self) -> &BTreeSet<usize> {
+        &self.suspected
+    }
+
+    /// Witnessed stale-view activation failures so far (monotone).
+    pub fn stale_view_count(&self) -> u64 {
+        self.stale_views.load(Ordering::Relaxed)
     }
 
     /// Applies a link-bandwidth fluctuation: the capacity of the `a`-`b`
@@ -1287,6 +1490,20 @@ impl DomainServer {
             stages.configures += 1;
         }
         let configuration = placed?;
+        // Composition and placement above ran against the detector's
+        // (possibly stale) view; activation is the first contact with
+        // ground truth. A component landing on an unreachable device
+        // fails *here*, witnessed, before anything is charged.
+        if !self.unreachable.is_empty() {
+            for inst in &configuration.app.instances {
+                if let Some(device) = configuration.cut.part_of(inst.component) {
+                    if self.unreachable.contains(&device) {
+                        self.stale_views.fetch_add(1, Ordering::Relaxed);
+                        return Err(ConfigureError::StaleView { device });
+                    }
+                }
+            }
+        }
         // The virtual overheads are a function of graph shape only, so a
         // cache hit and a fresh composition price identically — virtual
         // time and the deterministic logs cannot observe the cache.
@@ -1406,8 +1623,7 @@ impl DomainServer {
                 );
             }
         }
-        self.stages.lock().expect("stage lock").download_ms +=
-            wall.elapsed().as_secs_f64() * 1e3;
+        self.stages.lock().expect("stage lock").download_ms += wall.elapsed().as_secs_f64() * 1e3;
         total
     }
 }
@@ -1723,6 +1939,137 @@ mod tests {
     }
 
     #[test]
+    fn suspicion_parks_then_heartbeat_reinstates_and_readmits() {
+        let mut server = two_desktop_server();
+        let idle = server.env().clone();
+        let rx = server.events().subscribe();
+        let id = server
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
+            .unwrap();
+        // The detector (wrongly or rightly — it cannot tell) suspects the
+        // client device: exactly a crash from the pipeline's viewpoint.
+        let report = server.suspect_many(&[DeviceId::from_index(1)]);
+        assert_eq!(report.parked, vec![id]);
+        assert!(server.is_suspected(DeviceId::from_index(1)));
+        assert_eq!(server.parked_count(), 1);
+        // A heartbeat from the suspected device withdraws the suspicion
+        // and eagerly re-admits the parked session.
+        let rec = server
+            .heartbeat(DeviceId::from_index(1), 3_600_000.0)
+            .expect("suspected device's heartbeat reinstates");
+        assert_eq!(rec.readmitted, vec![id]);
+        assert!(!server.is_suspected(DeviceId::from_index(1)));
+        assert_eq!(server.parked_count(), 0);
+        // The clean-undo guarantee: stopping the session restores the
+        // idle environment exactly — no resources leaked through the
+        // park/reinstate round trip.
+        server.stop_session(id).unwrap();
+        assert_eq!(server.env(), &idle);
+        let triggers: Vec<ReconfigureTrigger> = rx.try_iter().map(|e| e.trigger).collect();
+        assert!(
+            triggers.contains(&ReconfigureTrigger::DeviceSuspected(DeviceId::from_index(
+                1
+            )))
+        );
+        assert!(
+            triggers.contains(&ReconfigureTrigger::DeviceReinstated(DeviceId::from_index(
+                1
+            )))
+        );
+    }
+
+    #[test]
+    fn stale_view_admission_fails_witnessed_and_charges_nothing() {
+        let mut server = two_desktop_server();
+        let idle = server.env().clone();
+        // Ground truth: d0 (hosting the pinned audio-server) is dead, but
+        // the detector has not noticed — discovery still advertises it.
+        server.set_reachable(DeviceId::from_index(0), false);
+        let err = server
+            .start_session(
+                "audio",
+                audio_app(),
+                QosVector::new(),
+                DeviceId::from_index(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ConfigureError::StaleView { device: 0 }));
+        assert_eq!(server.stale_view_count(), 1);
+        assert_eq!(
+            server.env(),
+            &idle,
+            "nothing charged on a failed activation"
+        );
+        assert_eq!(server.session_count(), 0);
+        // The arrival parks instead of being dropped; once reality and
+        // the view re-converge, a retry admits it from scratch.
+        let id = server.park_arrival(
+            "audio",
+            audio_app(),
+            QosVector::new(),
+            DeviceId::from_index(1),
+            None,
+            err,
+        );
+        assert_eq!(server.parked_count(), 1);
+        server.set_reachable(DeviceId::from_index(0), true);
+        server.play(200.0); // past the retry backoff
+        let report = server.process_retries();
+        assert_eq!(report.readmitted, vec![id]);
+        assert_eq!(server.session_count(), 1);
+        assert!(!server
+            .session(id)
+            .unwrap()
+            .configuration
+            .app
+            .instances
+            .is_empty());
+    }
+
+    #[test]
+    fn lease_sweep_suspects_and_false_suspicion_is_cleanly_undone() {
+        let mut server = two_desktop_server();
+        let idle = server.env().clone();
+        // Both devices heartbeat with a 60s grace window.
+        assert!(server
+            .heartbeat(DeviceId::from_index(0), 60_000.0)
+            .is_none());
+        assert!(server
+            .heartbeat(DeviceId::from_index(1), 60_000.0)
+            .is_none());
+        // d1 keeps renewing, d0 goes silent (partitioned, say).
+        server.play(45.0);
+        assert!(server
+            .heartbeat(DeviceId::from_index(1), 60_000.0)
+            .is_none());
+        server.play(45.0); // d0's lease is now 30s overdue
+        let swept = server.expire_overdue_leases();
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].0, DeviceId::from_index(0));
+        assert!(server.is_suspected(DeviceId::from_index(0)));
+        assert!(server
+            .capacity()
+            .device(0)
+            .unwrap()
+            .availability()
+            .is_zero());
+        // The same expired lease is revoked — a second sweep is a no-op.
+        assert!(server.expire_overdue_leases().is_empty());
+        // The partition heals: d0's heartbeat gets through again and the
+        // false suspicion is withdrawn, restoring pristine capacity.
+        assert!(server
+            .heartbeat(DeviceId::from_index(0), 60_000.0)
+            .is_some());
+        assert!(!server.is_suspected(DeviceId::from_index(0)));
+        assert_eq!(server.capacity(), &idle);
+    }
+
+    #[test]
     fn strict_retry_policy_drops_with_witness() {
         let mut server = two_desktop_server();
         server.set_ladder(ubiqos_composition::DegradationLadder::strict());
@@ -1995,7 +2342,10 @@ mod tests {
         let cold_stats = cold.config_cache_stats();
         assert_eq!((cold_stats.hits, cold_stats.misses), (0, 0));
         // The wall-clock profile saw every call, in both modes.
-        assert_eq!(cached.stage_times().configures, cold.stage_times().configures);
+        assert_eq!(
+            cached.stage_times().configures,
+            cold.stage_times().configures
+        );
     }
 
     #[test]

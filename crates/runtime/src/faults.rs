@@ -32,10 +32,40 @@
 //! [`FaultCampaignConfig::staged_recovery`]` = false` reverts to the
 //! strict drop-on-first-failure baseline for comparison.
 //!
+//! # Imperfect failure detection
+//!
+//! By default the harness is a *perfect* detector: every crash is
+//! observed the instant it happens (the crash arm immediately zeroes the
+//! device and re-places its sessions). Setting
+//! [`FaultCampaignConfig::detection_grace_h`] `> 0` switches to the
+//! realistic model: devices renew registry **leases** through periodic
+//! heartbeats (DES events), a crashed or partitioned device silently
+//! stops renewing, and only when its lease has been expired for the
+//! grace window does the detector *suspect* it — zeroing its capacity,
+//! hiding its hosted instances from discovery, and parking its sessions.
+//! Between failure and suspicion the control plane acts on a stale view:
+//! placements onto the dead device fail witnessed at activation time
+//! ([`ubiqos::ConfigureError::StaleView`]) and the arrival parks into
+//! the retry queue instead of being denied. Partitions and heartbeat
+//! jams make healthy devices look dead (*false suspicion*), which a
+//! later heartbeat must cleanly undo — the conservation invariants
+//! above keep running after every event, so any leaked or double-
+//! refunded charge under false suspicion aborts the campaign.
+//!
+//! Two extra invariants guard the detector itself: **soundness after
+//! grace** (a ground-unreachable device is suspected within grace +
+//! heartbeat period) and **eventual completeness** (after the horizon,
+//! the retry queue is pumped dry — an eventually-healed schedule ends
+//! with zero permanently parked sessions).
+//!
 //! The whole campaign is a pure function of
 //! [`FaultCampaignConfig::seed`]: the event log renders byte-identically
 //! across runs and across `UBIQOS_THREADS` settings, which
-//! `tests/fault_injection.rs` and `repro -- faults` both assert.
+//! `tests/fault_injection.rs` and `repro -- faults` both assert. With
+//! `detection_grace_h = 0` (and no partition/jam overlays) the campaign
+//! reproduces the perfect-detection logs and digests byte-identically —
+//! no heartbeat events exist, no extra RNG draws happen, no new log
+//! lines appear.
 
 use crate::cost_model::LinkKind;
 use crate::domain_server::{DomainServer, SessionId};
@@ -47,7 +77,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fmt::Write as _;
 use ubiqos::fault_report::fnv1a;
-use ubiqos::FaultReport;
+use ubiqos::{ConfigureError, FaultReport};
 use ubiqos_composition::{diagnose, DegradationLadder};
 use ubiqos_discovery::{DeviceProperties, ServiceDescriptor};
 use ubiqos_distribution::{Device, Environment};
@@ -99,6 +129,35 @@ pub struct FaultCampaignConfig {
     /// produce byte-identical logs and digests — which `repro --
     /// configure` asserts by flipping this flag.
     pub config_cache: bool,
+    /// Failure-detection grace window in hours. `0.0` (the default) is
+    /// **perfect detection**: crashes are observed instantly, no
+    /// heartbeats or leases exist, and the campaign reproduces the
+    /// pre-detector logs byte-identically. `> 0.0` enables the
+    /// lease/heartbeat detector: a device is suspected only after its
+    /// lease has gone unrenewed for this long.
+    pub detection_grace_h: f64,
+    /// Heartbeat period in hours (each device renews its lease this
+    /// often while reachable). Only read when `detection_grace_h > 0`.
+    pub heartbeat_period_h: f64,
+    /// Number of partition/heal pairs overlaid on the fault schedule
+    /// (device groups cut off from the domain server while still
+    /// running; every partition heals inside the horizon).
+    pub partitions: usize,
+    /// Largest device-group size a partition may cut off.
+    pub partition_max: usize,
+    /// Probability in `[0, 1]` of seeded heartbeat-jam windows (detector
+    /// signal lost while the device stays healthy). `0.0` draws nothing
+    /// from the RNG.
+    pub heartbeat_loss: f64,
+}
+
+impl FaultCampaignConfig {
+    /// Whether this campaign runs the perfect detector (no grace window,
+    /// no leases, no heartbeats) — the mode whose logs and digests are
+    /// pinned by `tests/fault_injection.rs` and the CI baseline.
+    pub fn perfect_detection(&self) -> bool {
+        self.detection_grace_h <= 0.0
+    }
 }
 
 impl Default for FaultCampaignConfig {
@@ -115,6 +174,11 @@ impl Default for FaultCampaignConfig {
             flap_period_h: 8.0,
             staged_recovery: true,
             config_cache: true,
+            detection_grace_h: 0.0,
+            heartbeat_period_h: 0.25,
+            partitions: 0,
+            partition_max: 1,
+            heartbeat_loss: 0.0,
         }
     }
 }
@@ -199,6 +263,36 @@ enum CampaignEvent {
     Departure(usize),
     /// Fault `j` of the schedule fires.
     Fault(usize),
+    /// Device `d` sends its periodic heartbeat (imperfect mode only;
+    /// lost while the device is down, partitioned, or jammed).
+    Heartbeat(usize),
+    /// The anti-entropy sweep scheduled `grace` after a lease renewal:
+    /// any lease now expired turns into a suspicion (imperfect only).
+    /// Carries the renewing device for the transcript; the sweep itself
+    /// is global.
+    LeaseCheck(#[allow(dead_code)] usize),
+}
+
+/// Ground-truth bookkeeping the imperfect detector is *not* allowed to
+/// read — only the harness (playing the role of physical reality) does.
+struct DetectorState {
+    /// Nesting depth of partitions covering each device (> 0 = cut off).
+    partition_depth: Vec<u32>,
+    /// Heartbeats from each device are lost until this hour.
+    jam_until_h: Vec<f64>,
+    /// Hour each currently-unreachable device became unreachable, for
+    /// the soundness-after-grace invariant.
+    unreachable_since: BTreeMap<usize, f64>,
+}
+
+impl DetectorState {
+    fn new(devices: usize) -> Self {
+        DetectorState {
+            partition_depth: vec![0; devices],
+            jam_until_h: vec![0.0; devices],
+            unreachable_since: BTreeMap::new(),
+        }
+    }
 }
 
 /// Builds the campaign's smart space: `devices` devices with cycling
@@ -377,6 +471,9 @@ pub fn campaign_schedule(cfg: &FaultCampaignConfig) -> Vec<TimedFault> {
         scope_max: cfg.scope_max,
         flapping_links: cfg.flapping_links,
         flap_period_h: cfg.flap_period_h,
+        partitions: cfg.partitions,
+        partition_max: cfg.partition_max,
+        heartbeat_loss: cfg.heartbeat_loss,
     }
     .generate()
 }
@@ -408,6 +505,25 @@ pub fn run_fault_campaign_with(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let trace = workload.generate(&mut rng);
 
+    let imperfect = !cfg.perfect_detection();
+    let grace_ms = cfg.detection_grace_h * 3_600_000.0;
+    // The detector lives exactly as long as the heartbeat stream: lease
+    // checks that fire after the last scheduled heartbeat are ignored
+    // (otherwise every healthy device would be "suspected" at the end of
+    // the campaign simply because its renewals stopped with the
+    // schedule). The final anti-entropy sweep below reconciles whatever
+    // is still unreachable at that point.
+    let hb_steps = if imperfect {
+        assert!(
+            cfg.heartbeat_period_h > 0.0,
+            "imperfect detection needs a positive heartbeat period"
+        );
+        (cfg.horizon_h / cfg.heartbeat_period_h).floor() as usize
+    } else {
+        0
+    };
+    let hb_end_h = hb_steps as f64 * cfg.heartbeat_period_h;
+
     let mut queue: EventQueue<CampaignEvent> = EventQueue::new();
     for (i, r) in trace.iter().enumerate() {
         queue.schedule(r.arrival_h, CampaignEvent::Arrival(i));
@@ -416,6 +532,18 @@ pub fn run_fault_campaign_with(
     for (j, f) in schedule.iter().enumerate() {
         queue.schedule(f.at_h, CampaignEvent::Fault(j));
     }
+    if imperfect {
+        // Multiples of the period (not an accumulating sum) so the last
+        // heartbeat lands exactly on the horizon when it divides evenly.
+        for d in 0..cfg.devices {
+            for k in 0..=hb_steps {
+                queue.schedule(
+                    k as f64 * cfg.heartbeat_period_h,
+                    CampaignEvent::Heartbeat(d),
+                );
+            }
+        }
+    }
 
     let mut report = FaultReport {
         seed: cfg.seed,
@@ -423,6 +551,7 @@ pub fn run_fault_campaign_with(
     };
     let mut log = EventLog::default();
     let mut down: BTreeSet<usize> = BTreeSet::new();
+    let mut det = DetectorState::new(cfg.devices);
     // request index -> live session, and the reverse (for drop handling).
     let mut active: BTreeMap<usize, SessionId> = BTreeMap::new();
     let mut by_session: BTreeMap<SessionId, usize> = BTreeMap::new();
@@ -433,16 +562,17 @@ pub fn run_fault_campaign_with(
         let delta_h = (at_h - last_h).max(0.0);
         server.play(delta_h * 3600.0);
         last_h = at_h;
-        report.events += 1;
 
-        let line = match event {
+        let mut lines: Vec<String> = Vec::new();
+        match event {
             CampaignEvent::Arrival(i) => {
+                report.events += 1;
                 let req = &trace[i];
                 report.arrivals += 1;
                 let up: Vec<usize> = (0..cfg.devices).filter(|d| !down.contains(d)).collect();
                 let client = up[(splitmix64(cfg.seed ^ i as u64) % up.len() as u64) as usize];
                 let (name, graph) = app_template(req.graph_index);
-                match server.start_session(
+                lines.push(match server.start_session(
                     format!("{name}-{i}"),
                     graph,
                     QosVector::new(),
@@ -454,37 +584,108 @@ pub fn run_fault_campaign_with(
                         by_session.insert(id, i);
                         format!("arrive  req{i} {name} client=dev{client} -> admitted as {id}")
                     }
+                    Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
+                        // The stale-view admission path: the view said
+                        // yes, reality said no at activation. Nothing
+                        // was charged; the session parks (counted as
+                        // admitted — its fate resolves later) instead
+                        // of being denied outright.
+                        report.admitted += 1;
+                        report.parked += 1;
+                        let (_, graph) = app_template(req.graph_index);
+                        let id = server.park_arrival(
+                            format!("{name}-{i}"),
+                            graph,
+                            QosVector::new(),
+                            DeviceId::from_index(client),
+                            None,
+                            e,
+                        );
+                        active.insert(i, id);
+                        by_session.insert(id, i);
+                        format!(
+                            "arrive  req{i} {name} client=dev{client} -> parked on stale view as {id}"
+                        )
+                    }
                     Err(e) => {
                         report.denied += 1;
                         format!("arrive  req{i} {name} client=dev{client} -> denied ({e})")
                     }
-                }
+                });
             }
-            CampaignEvent::Departure(i) => match active.remove(&i) {
-                Some(id) => {
-                    by_session.remove(&id);
-                    let stopped = server.stop_session(id);
-                    debug_assert!(stopped.is_some(), "active map tracks live sessions");
-                    report.completed += 1;
-                    format!("depart  req{i} -> completed ({id})")
-                }
-                None => format!("depart  req{i} -> already gone"),
-            },
+            CampaignEvent::Departure(i) => {
+                report.events += 1;
+                lines.push(match active.remove(&i) {
+                    Some(id) => {
+                        by_session.remove(&id);
+                        let stopped = server.stop_session(id);
+                        debug_assert!(stopped.is_some(), "active map tracks live sessions");
+                        report.completed += 1;
+                        format!("depart  req{i} -> completed ({id})")
+                    }
+                    None => format!("depart  req{i} -> already gone"),
+                });
+            }
             CampaignEvent::Fault(j) => {
+                report.events += 1;
                 let fault = &schedule[j];
-                apply_fault(
+                lines.push(apply_fault(
                     &mut server,
                     fault,
                     cfg,
                     &mut down,
+                    &mut det,
                     &mut active,
                     &mut by_session,
                     &mut report,
-                )
+                ));
             }
-        };
-        log.push(idx, at_h, &line);
-        idx += 1;
+            CampaignEvent::Heartbeat(d) => {
+                let lost =
+                    down.contains(&d) || det.partition_depth[d] > 0 || at_h < det.jam_until_h[d];
+                if !lost {
+                    if let Some(rec) = server.heartbeat(DeviceId::from_index(d), grace_ms) {
+                        // A heartbeat from a *suspected* device: the
+                        // suspicion was stale (heal or recovery) and is
+                        // withdrawn.
+                        report.reinstatements += 1;
+                        count_pass(&rec, &mut report);
+                        let tail = absorb_recovery(&rec, &mut active, &mut by_session, &mut report);
+                        lines.push(format!(
+                            "detect  reinstate dev{d} (lease renewed) -> {tail}"
+                        ));
+                    }
+                    queue.schedule(at_h + cfg.detection_grace_h, CampaignEvent::LeaseCheck(d));
+                }
+            }
+            CampaignEvent::LeaseCheck(_) if at_h > hb_end_h + 1e-9 => {
+                // Detector decommissioned with the heartbeat stream; the
+                // final sweep below reconciles remaining ground truth.
+            }
+            CampaignEvent::LeaseCheck(_) => {
+                // Anti-entropy: *every* overdue lease is swept, not just
+                // the one whose renewal scheduled this check.
+                for (device, rec) in server.expire_overdue_leases() {
+                    report.suspicions += 1;
+                    let ground_up = !down.contains(&device.index());
+                    if ground_up {
+                        report.false_suspected += 1;
+                    }
+                    count_pass(&rec, &mut report);
+                    let tail = absorb_recovery(&rec, &mut active, &mut by_session, &mut report);
+                    let tag = if ground_up { " (falsely)" } else { "" };
+                    lines.push(format!(
+                        "detect  suspect dev{}{tag} (lease expired) -> {tail}",
+                        device.index()
+                    ));
+                }
+            }
+        }
+        let event_line = lines.last().cloned().unwrap_or_default();
+        for line in &lines {
+            log.push(idx, at_h, line);
+            idx += 1;
+        }
 
         // Drain any parked-session retries that became due as virtual
         // time advanced (recovery passes drain their own; this catches
@@ -497,17 +698,94 @@ pub fn run_fault_campaign_with(
         }
 
         report.invariant_checks += 1;
-        if let Err(violation) = check_invariants(&server, &down) {
+        let observed: BTreeSet<usize> = if imperfect {
+            server.suspected_devices().clone()
+        } else {
+            down.clone()
+        };
+        if let Err(violation) = check_invariants(&server, &observed) {
             return Err(InvariantViolation {
                 at_h_milli: (at_h * 1000.0).round() as u64,
-                event: line,
+                event: event_line,
                 violation,
             });
+        }
+        if imperfect && at_h <= hb_end_h + 1e-9 {
+            // Detector soundness after grace: once a device has been
+            // unreachable longer than grace + one heartbeat period, some
+            // lease check must have suspected it. Only enforceable while
+            // the heartbeat stream (and thus the detector) is running.
+            let lag = cfg.detection_grace_h + cfg.heartbeat_period_h + 1e-6;
+            for (&d, &since) in &det.unreachable_since {
+                if at_h > since + lag && !server.is_suspected(DeviceId::from_index(d)) {
+                    return Err(InvariantViolation {
+                        at_h_milli: (at_h * 1000.0).round() as u64,
+                        event: event_line,
+                        violation: format!(
+                            "detector unsound: dev{d} unreachable since t={since:.4}h \
+                             still unsuspected at t={at_h:.4}h (grace {:.4}h)",
+                            cfg.detection_grace_h
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if imperfect {
+        // Anti-entropy finalize: any device still unreachable at the end
+        // of the horizon whose lease check has not fired yet is swept
+        // now, so the convergence drain below sees the true capacity.
+        for d in 0..cfg.devices {
+            let unreachable = down.contains(&d) || det.partition_depth[d] > 0;
+            if unreachable && !server.is_suspected(DeviceId::from_index(d)) {
+                report.suspicions += 1;
+                if !down.contains(&d) {
+                    report.false_suspected += 1;
+                }
+                let rec = server.suspect_many(&[DeviceId::from_index(d)]);
+                count_pass(&rec, &mut report);
+                let tail = absorb_recovery(&rec, &mut active, &mut by_session, &mut report);
+                log.push(
+                    idx,
+                    last_h,
+                    &format!("detect  suspect dev{d} (final sweep) -> {tail}"),
+                );
+                idx += 1;
+            }
+        }
+        // Eventual completeness: pump the retry queue dry. Every parked
+        // session either re-admits (the schedule eventually healed) or
+        // exhausts its finite retry budget and drops witnessed — nothing
+        // stays parked forever.
+        while server.parked_count() > 0 {
+            let next_ms = server
+                .parked_sessions()
+                .map(|(_, p)| p.next_retry_ms)
+                .fold(f64::INFINITY, f64::min);
+            if next_ms > server.now_ms() {
+                server.play((next_ms - server.now_ms()) / 1000.0);
+            }
+            let rec = server.process_retries();
+            let drain_h = server.now_ms() / 3_600_000.0;
+            let tail = absorb_recovery(&rec, &mut active, &mut by_session, &mut report);
+            log.push(idx, drain_h, &format!("drain   parked queue -> {tail}"));
+            idx += 1;
+            report.invariant_checks += 1;
+            let observed: BTreeSet<usize> = server.suspected_devices().clone();
+            if let Err(violation) = check_invariants(&server, &observed) {
+                return Err(InvariantViolation {
+                    at_h_milli: (drain_h * 1000.0).round() as u64,
+                    event: "drain   parked queue".to_owned(),
+                    violation,
+                });
+            }
         }
     }
 
     report.live_at_end = server.session_count() as u32;
     report.parked_at_end = server.parked_count() as u32;
+    report.stale_views = server.stale_view_count() as u32;
     // Everything still live or parked at the horizon is neither
     // completed nor dropped; fates must balance exactly.
     report.log_digest = log.digest();
@@ -517,15 +795,18 @@ pub fn run_fault_campaign_with(
 
 /// Applies one fault to the server, updating the bookkeeping and
 /// returning the log line describing what actually happened.
+#[allow(clippy::too_many_arguments)]
 fn apply_fault(
     server: &mut DomainServer,
     fault: &TimedFault,
     cfg: &FaultCampaignConfig,
     down: &mut BTreeSet<usize>,
+    det: &mut DetectorState,
     active: &mut BTreeMap<usize, SessionId>,
     by_session: &mut BTreeMap<SessionId, usize>,
     report: &mut FaultReport,
 ) -> String {
+    let imperfect = !cfg.perfect_detection();
     match fault.kind {
         FaultKind::Crash { device } => {
             // The schedule's up/down state machine ran in generation
@@ -540,6 +821,13 @@ fn apply_fault(
             }
             report.crashes += 1;
             down.insert(device);
+            if imperfect {
+                // Ground truth only: the detector learns nothing until
+                // the device's lease expires.
+                server.set_reachable(DeviceId::from_index(device), false);
+                det.unreachable_since.entry(device).or_insert(fault.at_h);
+                return format!("fault   crash dev{device} -> undetected (awaiting lease expiry)");
+            }
             let rec = server.handle_crash(DeviceId::from_index(device));
             count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
@@ -565,6 +853,17 @@ fn apply_fault(
                 report.correlated_crashes += 1;
             }
             down.extend(members.iter().copied());
+            if imperfect {
+                for &d in &members {
+                    server.set_reachable(DeviceId::from_index(d), false);
+                    det.unreachable_since.entry(d).or_insert(fault.at_h);
+                }
+                let last = members.last().expect("non-empty");
+                return format!(
+                    "fault   crash-scope dev{first}..dev{last} ({} members) -> undetected (awaiting lease expiry)",
+                    members.len()
+                );
+            }
             let ids: Vec<DeviceId> = members.iter().map(|&d| DeviceId::from_index(d)).collect();
             let rec = server.handle_crash_many(&ids);
             count_pass(&rec, report);
@@ -581,6 +880,17 @@ fn apply_fault(
             }
             report.device_recoveries += 1;
             down.remove(&device);
+            if imperfect {
+                // Ground truth restored; if the crash was never even
+                // suspected (shorter than the grace window) the blip is
+                // tolerated invisibly, otherwise the next heartbeat
+                // renews the lease and reinstates the device.
+                if det.partition_depth[device] == 0 {
+                    server.set_reachable(DeviceId::from_index(device), true);
+                    det.unreachable_since.remove(&device);
+                }
+                return format!("fault   recover dev{device} -> reachable (awaiting heartbeat)");
+            }
             let rec = server.recover_device(DeviceId::from_index(device));
             count_pass(&rec, report);
             let tail = absorb_recovery(&rec, active, by_session, report);
@@ -589,6 +899,13 @@ fn apply_fault(
         FaultKind::Fluctuate { device, factor } => {
             if down.contains(&device) {
                 return format!("fault   fluctuate dev{device} -> skipped (down)");
+            }
+            if server.is_suspected(DeviceId::from_index(device)) {
+                // A suspected device's capacity is held at zero by the
+                // detector; applying the fluctuation would overwrite it.
+                // Physically the fluctuation happens on the (healthy)
+                // device, but the domain server cannot observe it.
+                return format!("fault   fluctuate dev{device} -> skipped (suspected)");
             }
             report.fluctuations += 1;
             let pristine = server
@@ -661,6 +978,54 @@ fn apply_fault(
                     format!("fault   move-user {id} -> dev{to} failed ({e}), old config kept")
                 }
             }
+        }
+        FaultKind::Partition { first, count } => {
+            if !imperfect {
+                return format!(
+                    "fault   partition dev{first}+{count} -> skipped (perfect detection)"
+                );
+            }
+            report.partitions += 1;
+            let hi = (first + count).min(cfg.devices);
+            for d in first..hi {
+                det.partition_depth[d] += 1;
+                if det.partition_depth[d] == 1 && !down.contains(&d) {
+                    server.set_reachable(DeviceId::from_index(d), false);
+                    det.unreachable_since.entry(d).or_insert(fault.at_h);
+                }
+            }
+            format!(
+                "fault   partition dev{first}+{} -> cut off from the domain server",
+                hi - first
+            )
+        }
+        FaultKind::Heal { first, count } => {
+            if !imperfect {
+                return format!("fault   heal dev{first}+{count} -> skipped (perfect detection)");
+            }
+            report.heals += 1;
+            let hi = (first + count).min(cfg.devices);
+            for d in first..hi {
+                det.partition_depth[d] = det.partition_depth[d].saturating_sub(1);
+                if det.partition_depth[d] == 0 && !down.contains(&d) {
+                    server.set_reachable(DeviceId::from_index(d), true);
+                    det.unreachable_since.remove(&d);
+                }
+            }
+            format!(
+                "fault   heal dev{first}+{} -> rejoined (awaiting heartbeat)",
+                hi - first
+            )
+        }
+        FaultKind::JamHeartbeats { device, until_h } => {
+            if !imperfect {
+                return format!(
+                    "fault   jam-heartbeats dev{device} -> skipped (perfect detection)"
+                );
+            }
+            report.heartbeat_jams += 1;
+            det.jam_until_h[device] = det.jam_until_h[device].max(until_h);
+            format!("fault   jam-heartbeats dev{device} until t={until_h:010.4}h")
         }
     }
 }
@@ -967,5 +1332,128 @@ mod tests {
     fn invariants_pass_on_a_fresh_space() {
         let server = build_space(4);
         assert_eq!(check_invariants(&server, &BTreeSet::new()), Ok(()));
+    }
+
+    /// An imperfect-detection campaign config with every detector
+    /// feature active: a 1 h grace window, partitions, and lossy
+    /// heartbeats on top of the usual crash/flap schedule.
+    fn imperfect_cfg() -> FaultCampaignConfig {
+        FaultCampaignConfig {
+            detection_grace_h: 1.0,
+            heartbeat_period_h: 0.25,
+            partitions: 2,
+            partition_max: 2,
+            heartbeat_loss: 0.3,
+            scope_max: 2,
+            ..FaultCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn imperfect_detection_converges_and_balances() {
+        let outcome = run_fault_campaign(&imperfect_cfg()).expect("no violations");
+        let r = &outcome.report;
+        assert!(r.session_fates_balance(), "{r:?}");
+        assert!(r.partitions > 0, "partition overlay must fire: {r}");
+        assert_eq!(r.heals, r.partitions, "every partition heals in-horizon");
+        assert!(
+            r.suspicions > 0,
+            "crashes/partitions must be suspected: {r}"
+        );
+        assert!(
+            r.false_suspected > 0,
+            "partitioned-but-healthy devices must be falsely suspected: {r}"
+        );
+        assert!(
+            r.reinstatements > 0,
+            "healed/recovered devices must be reinstated by a heartbeat: {r}"
+        );
+        // Eventual completeness: the convergence drain leaves nothing
+        // permanently parked.
+        assert_eq!(
+            r.parked_at_end, 0,
+            "converged schedules park nothing forever: {r}"
+        );
+    }
+
+    #[test]
+    fn imperfect_detection_is_deterministic() {
+        let cfg = imperfect_cfg();
+        let a = run_fault_campaign(&cfg).expect("no violations");
+        let b = run_fault_campaign(&cfg).expect("no violations");
+        assert_eq!(a.log.render(), b.log.render(), "byte-identical logs");
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn partitions_without_crashes_only_false_suspect_and_fully_reinstate() {
+        // No crashes at all: every suspicion is of a healthy device, and
+        // every one must be cleanly undone by a post-heal heartbeat.
+        let cfg = FaultCampaignConfig {
+            faults: 0,
+            detection_grace_h: 0.5,
+            heartbeat_period_h: 0.25,
+            partitions: 3,
+            partition_max: 2,
+            ..FaultCampaignConfig::default()
+        };
+        let r = run_fault_campaign(&cfg).expect("no violations").report;
+        assert_eq!(r.crashes, 0);
+        assert!(r.suspicions > 0, "partitions outlast the grace window: {r}");
+        assert_eq!(
+            r.false_suspected, r.suspicions,
+            "all suspicions are false: {r}"
+        );
+        assert_eq!(
+            r.reinstatements, r.suspicions,
+            "all suspicions are undone: {r}"
+        );
+        assert_eq!(r.parked_at_end, 0, "{r}");
+        assert!(r.session_fates_balance(), "{r:?}");
+    }
+
+    #[test]
+    fn grace_zero_reproduces_the_perfect_detection_bytes() {
+        // The equivalence the CI baseline job pins: detector knobs at
+        // their defaults (grace 0, no partitions, no loss) are not
+        // merely *similar* to the pre-detector harness — the logs are
+        // byte-identical, because no heartbeat events exist, no extra
+        // RNG draws happen, and no new log lines fire.
+        let cfg = FaultCampaignConfig {
+            detection_grace_h: 0.0,
+            heartbeat_period_h: 0.125, // ignored when grace is zero
+            partitions: 0,
+            partition_max: 3, // ignored when partitions is zero
+            heartbeat_loss: 0.0,
+            ..FaultCampaignConfig::default()
+        };
+        assert!(cfg.perfect_detection());
+        let explicit = run_fault_campaign(&cfg).expect("no violations");
+        let default = run_fault_campaign(&FaultCampaignConfig::default()).expect("no violations");
+        assert_eq!(explicit.log.render(), default.log.render());
+        assert_eq!(explicit.report, default.report);
+    }
+
+    #[test]
+    fn stale_view_parks_surface_in_the_log_and_report() {
+        // A long grace window and plenty of partitions maximize the
+        // window where placement acts on a stale view; some arrival or
+        // re-placement must hit it.
+        let cfg = FaultCampaignConfig {
+            requests: 300,
+            detection_grace_h: 2.0,
+            heartbeat_period_h: 0.5,
+            partitions: 4,
+            partition_max: 2,
+            scope_max: 2,
+            ..FaultCampaignConfig::default()
+        };
+        let outcome = run_fault_campaign(&cfg).expect("no violations");
+        let r = &outcome.report;
+        assert!(
+            r.stale_views > 0,
+            "stale-view activations must be witnessed: {r}"
+        );
+        assert!(r.session_fates_balance(), "{r:?}");
     }
 }

@@ -251,10 +251,10 @@ mod tests {
         // Session 9: parked at t=0 too, but with a *worse* satisfaction
         // snapshot than the perfect 1.0 of the empty-QoS sessions.
         q.park(9, session_with_footprint(0.5), err(), 0.0, &policy);
-        q.remove(9).map(|mut p| {
+        if let Some(mut p) = q.remove(9) {
             p.satisfaction = 0.3;
             q.reinsert(9, p);
-        });
+        }
 
         // Oldest first; equal ages ranked by satisfaction desc, then
         // footprint asc; the newest last regardless of weight.

@@ -14,12 +14,23 @@
 //!    keeping each deletion only if the violation survives, repeated to a
 //!    fixpoint.
 //!
-//! The result is 1-minimal: removing any single remaining event makes
-//! the violation disappear. Every probe replays the *whole* candidate
+//! Deletion is **pair-aware** for the detector events: removing a
+//! [`FaultKind::Partition`] also removes its matching later
+//! [`FaultKind::Heal`] (same device group), so a shrunk schedule never
+//! contains a heal of a partition that was deleted out from under it. A
+//! heal may be deleted *alone* — an unhealed partition is a valid (if
+//! hostile) schedule — and [`FaultKind::JamHeartbeats`] is
+//! self-contained, shrinking like any other event. Prefix truncation
+//! can only drop heals after their partitions, so it never unmatches
+//! one either.
+//!
+//! The result is 1-minimal under these deletion steps: removing any
+//! remaining event (with its pair partner, where applicable) makes the
+//! violation disappear. Every probe replays the *whole* candidate
 //! schedule through the caller's predicate, so determinism of the
 //! harness is what makes shrinking sound.
 
-use ubiqos_sim::TimedFault;
+use ubiqos_sim::{FaultKind, TimedFault};
 
 /// A shrunk reproducer: the minimal schedule and the violation it still
 /// triggers.
@@ -68,15 +79,19 @@ where
     }
     current.truncate(hi);
 
-    // Phase 2: greedy single-event deletion to a fixpoint. Scan from the
-    // back so index bookkeeping survives removals.
+    // Phase 2: greedy deletion to a fixpoint — one event at a time,
+    // except that a partition takes its matching heal along. Scan from
+    // the back so index bookkeeping survives removals.
     loop {
         let mut removed_any = false;
         let mut i = current.len();
         while i > 0 {
             i -= 1;
             let mut candidate = current.clone();
-            candidate.remove(i);
+            // Remove back-to-front so the earlier index stays valid.
+            for &j in removal_group(&current, i).iter().rev() {
+                candidate.remove(j);
+            }
             probes += 1;
             if let Some(m) = violates(&candidate) {
                 message = m;
@@ -94,6 +109,23 @@ where
         violation: message,
         probes,
     })
+}
+
+/// The indices (ascending) that one deletion step at `i` removes:
+/// normally just `[i]`, but a partition also takes the first later heal
+/// of the same device group, keeping every candidate free of unmatched
+/// heals.
+fn removal_group(schedule: &[TimedFault], i: usize) -> Vec<usize> {
+    let mut group = vec![i];
+    if let FaultKind::Partition { first, count } = schedule[i].kind {
+        let heal = schedule.iter().enumerate().skip(i + 1).find(|(_, f)| {
+            matches!(f.kind, FaultKind::Heal { first: hf, count: hc } if hf == first && hc == count)
+        });
+        if let Some((j, _)) = heal {
+            group.push(j);
+        }
+    }
+    group
 }
 
 #[cfg(test)]
@@ -145,6 +177,90 @@ mod tests {
     fn clean_schedules_are_not_shrunk() {
         let schedule = vec![fault(1.0, 0), fault(2.0, 2)];
         assert!(shrink_schedule(&schedule, crash_1_then_3).is_none());
+    }
+
+    fn partition(at_h: f64, first: usize, count: usize) -> TimedFault {
+        TimedFault {
+            at_h,
+            kind: FaultKind::Partition { first, count },
+        }
+    }
+
+    fn heal(at_h: f64, first: usize, count: usize) -> TimedFault {
+        TimedFault {
+            at_h,
+            kind: FaultKind::Heal { first, count },
+        }
+    }
+
+    /// True when every heal in `schedule` is preceded by a matching
+    /// partition it closes (multiset pairing, scanned in time order).
+    fn heals_are_matched(schedule: &[TimedFault]) -> bool {
+        let mut open: Vec<(usize, usize)> = Vec::new();
+        for f in schedule {
+            match f.kind {
+                FaultKind::Partition { first, count } => open.push((first, count)),
+                FaultKind::Heal { first, count } => {
+                    match open.iter().position(|&p| p == (first, count)) {
+                        Some(i) => {
+                            open.remove(i);
+                        }
+                        None => return false,
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn partitions_take_their_heals_along() {
+        // The violation only needs the two crashes; the partition/heal
+        // pairs and the jam are noise that must shrink away without ever
+        // leaving a heal unmatched.
+        let schedule = vec![
+            partition(0.2, 1, 2),
+            fault(0.5, 0),
+            fault(1.0, 1),
+            partition(1.2, 0, 1),
+            heal(1.6, 1, 2),
+            TimedFault {
+                at_h: 1.8,
+                kind: FaultKind::JamHeartbeats {
+                    device: 2,
+                    until_h: 2.5,
+                },
+            },
+            fault(2.0, 3),
+            heal(2.4, 0, 1),
+        ];
+        let outcome = shrink_schedule(&schedule, |candidate| {
+            assert!(
+                heals_are_matched(candidate),
+                "probe contained an unmatched heal: {candidate:?}"
+            );
+            crash_1_then_3(candidate)
+        })
+        .expect("full schedule violates");
+        assert_eq!(outcome.schedule, vec![fault(1.0, 1), fault(2.0, 3)]);
+        assert!(heals_are_matched(&outcome.schedule));
+    }
+
+    #[test]
+    fn heals_may_be_removed_alone() {
+        // A predicate that needs the partition but not its heal: the
+        // shrinker should strip the heal and keep the bare (unhealed)
+        // partition, which is a valid schedule.
+        let schedule = vec![partition(0.5, 1, 2), fault(1.0, 4), heal(2.0, 1, 2)];
+        let needs_partition = |candidate: &[TimedFault]| {
+            candidate
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::Partition { first: 1, count: 2 }))
+                .then(|| "partition of dev1+2 present".to_owned())
+        };
+        let outcome = shrink_schedule(&schedule, needs_partition).expect("violates");
+        assert_eq!(outcome.schedule, vec![partition(0.5, 1, 2)]);
     }
 
     #[test]

@@ -75,6 +75,37 @@ pub enum FaultKind {
         /// The new portal device.
         to: usize,
     },
+    /// The contiguous device group `first..first+count` is partitioned
+    /// away from the domain server: heartbeats stop arriving and
+    /// downloads/activations to the group fail, but the devices keep
+    /// running. Detection only happens through lease expiry.
+    Partition {
+        /// First device of the partitioned group.
+        first: usize,
+        /// Number of devices cut off together.
+        count: usize,
+    },
+    /// The matching partition heals: heartbeats resume and the group is
+    /// reachable again. Every generated `Partition` has a `Heal` inside
+    /// the horizon, so schedules are eventually-healed by construction.
+    Heal {
+        /// First device of the healed group.
+        first: usize,
+        /// Number of devices rejoining together.
+        count: usize,
+    },
+    /// Heartbeats from `device` are lost until `until_h` while the
+    /// device and its data path stay healthy — only the detector signal
+    /// is jammed. A jam longer than the lease grace window causes a
+    /// *false suspicion* the detector must cleanly undo.
+    JamHeartbeats {
+        /// The device whose heartbeats are dropped.
+        device: usize,
+        /// Simulated hour the jam ends (self-contained: no paired
+        /// "unjam" event exists, so schedule shrinking needs no pairing
+        /// logic for jams).
+        until_h: f64,
+    },
 }
 
 impl FaultKind {
@@ -88,6 +119,9 @@ impl FaultKind {
             FaultKind::DegradeLink { .. } => "degrade-link",
             FaultKind::SwitchDevice { .. } => "switch-device",
             FaultKind::MoveUser { .. } => "move-user",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::Heal { .. } => "heal",
+            FaultKind::JamHeartbeats { .. } => "jam-heartbeats",
         }
     }
 }
@@ -124,6 +158,20 @@ pub struct FaultScheduleConfig {
     pub flapping_links: usize,
     /// Full degrade→restore period of each flapping link, in hours.
     pub flap_period_h: f64,
+    /// Number of partition/heal pairs overlaid on the schedule. Each
+    /// pair cuts a contiguous device group off from the domain server
+    /// and heals it strictly before the horizon ends, so every
+    /// generated schedule is eventually-healed. `0` disables partitions
+    /// (the PR 4 behaviour) and draws nothing from the RNG stream.
+    pub partitions: usize,
+    /// Largest device group a single partition may cut off (at least one
+    /// device always stays reachable). `1` restricts partitions to
+    /// single devices.
+    pub partition_max: usize,
+    /// Probability that each of the seeded heartbeat-jam candidate
+    /// windows (one per scheduled event) materialises. `0.0` disables
+    /// heartbeat loss and draws nothing from the RNG stream.
+    pub heartbeat_loss: f64,
 }
 
 impl Default for FaultScheduleConfig {
@@ -137,6 +185,9 @@ impl Default for FaultScheduleConfig {
             scope_max: 1,
             flapping_links: 0,
             flap_period_h: 8.0,
+            partitions: 0,
+            partition_max: 1,
+            heartbeat_loss: 0.0,
         }
     }
 }
@@ -170,6 +221,8 @@ impl FaultScheduleConfig {
             })
             .collect();
         self.overlay_flapping(&mut rng, &mut schedule);
+        self.overlay_partitions(&mut rng, &mut schedule);
+        self.overlay_heartbeat_loss(&mut rng, &mut schedule);
         // Stable sort keeps the generation order on exact time ties, so
         // the schedule is a pure function of the seed.
         schedule.sort_by(|x, y| {
@@ -205,6 +258,60 @@ impl FaultScheduleConfig {
                 });
                 degraded = !degraded;
                 t += self.flap_period_h / 2.0;
+            }
+        }
+    }
+
+    /// Appends the partition/heal pairs. Draws happen strictly *after*
+    /// every base-schedule and flapping draw, so configs with
+    /// `partitions == 0` reproduce the PR 4 RNG stream bit-exactly.
+    fn overlay_partitions(&self, rng: &mut StdRng, schedule: &mut Vec<TimedFault>) {
+        for _ in 0..self.partitions {
+            let first = rng.gen_range(0..self.devices);
+            let cap = self
+                .partition_max
+                .max(1)
+                .min(self.devices - first)
+                .min(self.devices - 1);
+            let count = if cap >= 2 {
+                rng.gen_range(1..cap + 1)
+            } else {
+                1
+            };
+            let start = rng.gen_range(0.0..self.horizon_h * 0.8);
+            let len = rng
+                .gen_range(self.horizon_h * 0.02..self.horizon_h * 0.2)
+                .min((self.horizon_h - start) * 0.9);
+            schedule.push(TimedFault {
+                at_h: start,
+                kind: FaultKind::Partition { first, count },
+            });
+            schedule.push(TimedFault {
+                at_h: start + len,
+                kind: FaultKind::Heal { first, count },
+            });
+        }
+    }
+
+    /// Appends the heartbeat-jam windows: one seeded candidate per
+    /// scheduled event, each materialising with probability
+    /// `heartbeat_loss`. Draws nothing when the probability is zero.
+    fn overlay_heartbeat_loss(&self, rng: &mut StdRng, schedule: &mut Vec<TimedFault>) {
+        if self.heartbeat_loss <= 0.0 {
+            return;
+        }
+        for _ in 0..self.events.max(8) {
+            let device = rng.gen_range(0..self.devices);
+            let start = rng.gen_range(0.0..self.horizon_h * 0.9);
+            let len = rng.gen_range(self.horizon_h * 0.01..self.horizon_h * 0.1);
+            if rng.gen_range(0.0..1.0) < self.heartbeat_loss {
+                schedule.push(TimedFault {
+                    at_h: start,
+                    kind: FaultKind::JamHeartbeats {
+                        device,
+                        until_h: (start + len).min(self.horizon_h),
+                    },
+                });
             }
         }
     }
@@ -321,6 +428,12 @@ mod tests {
                 FaultKind::SwitchDevice { to, .. } | FaultKind::MoveUser { to, .. } => {
                     assert!(to < cfg.devices);
                 }
+                FaultKind::Partition { first, count } | FaultKind::Heal { first, count } => {
+                    assert!(count >= 1 && first + count <= cfg.devices);
+                }
+                FaultKind::JamHeartbeats { device, until_h } => {
+                    assert!(device < cfg.devices && until_h <= cfg.horizon_h);
+                }
             }
         }
     }
@@ -373,6 +486,12 @@ mod tests {
             },
             FaultKind::SwitchDevice { pick: 0, to: 0 },
             FaultKind::MoveUser { pick: 0, to: 0 },
+            FaultKind::Partition { first: 0, count: 1 },
+            FaultKind::Heal { first: 0, count: 1 },
+            FaultKind::JamHeartbeats {
+                device: 0,
+                until_h: 1.0,
+            },
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();
@@ -450,6 +569,97 @@ mod tests {
         }
         // Still deterministic per seed.
         assert_eq!(schedule, cfg.generate());
+    }
+
+    #[test]
+    fn partitions_pair_up_and_heal_inside_the_horizon() {
+        let cfg = FaultScheduleConfig {
+            events: 40,
+            devices: 6,
+            partitions: 5,
+            partition_max: 3,
+            seed: 23,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        let cuts: Vec<(f64, usize, usize)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::Partition { first, count } => Some((f.at_h, first, count)),
+                _ => None,
+            })
+            .collect();
+        let heals: Vec<(f64, usize, usize)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::Heal { first, count } => Some((f.at_h, first, count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cuts.len(), cfg.partitions);
+        assert_eq!(heals.len(), cfg.partitions);
+        for (at_h, first, count) in &cuts {
+            assert!((1..=cfg.partition_max).contains(count));
+            assert!(first + count <= cfg.devices && *count < cfg.devices);
+            // The matching heal exists, strictly later, strictly inside
+            // the horizon: every schedule is eventually-healed.
+            let heal = heals
+                .iter()
+                .find(|(h, f, c)| f == first && c == count && *h > *at_h)
+                .expect("every partition has a later matching heal");
+            assert!(heal.0 < cfg.horizon_h);
+        }
+        // Disabled knobs draw no partition events and leave the base
+        // schedule untouched relative to the same seed.
+        let base = FaultScheduleConfig {
+            partitions: 0,
+            ..cfg.clone()
+        };
+        let plain = base.generate();
+        assert!(plain
+            .iter()
+            .all(|f| !matches!(f.kind, FaultKind::Partition { .. } | FaultKind::Heal { .. })));
+        let without_overlay: Vec<TimedFault> = schedule
+            .iter()
+            .filter(|f| !matches!(f.kind, FaultKind::Partition { .. } | FaultKind::Heal { .. }))
+            .copied()
+            .collect();
+        assert_eq!(
+            without_overlay, plain,
+            "overlay must not perturb base draws"
+        );
+    }
+
+    #[test]
+    fn heartbeat_jams_are_seeded_and_gated() {
+        let cfg = FaultScheduleConfig {
+            events: 60,
+            devices: 5,
+            heartbeat_loss: 0.5,
+            seed: 31,
+            ..FaultScheduleConfig::default()
+        };
+        let schedule = cfg.generate();
+        let jams: Vec<(f64, f64)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::JamHeartbeats { until_h, .. } => Some((f.at_h, until_h)),
+                _ => None,
+            })
+            .collect();
+        assert!(!jams.is_empty(), "p=0.5 over 60 candidates should jam");
+        for (at_h, until_h) in jams {
+            assert!(until_h > at_h, "jam windows have positive length");
+        }
+        assert_eq!(schedule, cfg.generate());
+        let off = FaultScheduleConfig {
+            heartbeat_loss: 0.0,
+            ..cfg
+        };
+        assert!(off
+            .generate()
+            .iter()
+            .all(|f| !matches!(f.kind, FaultKind::JamHeartbeats { .. })));
     }
 
     #[test]

@@ -148,6 +148,13 @@ proptest! {
                 FaultKind::SwitchDevice { to, .. } | FaultKind::MoveUser { to, .. } => {
                     prop_assert!(to < devices);
                 }
+                FaultKind::Partition { first, count } | FaultKind::Heal { first, count } => {
+                    prop_assert!(count >= 1 && first + count <= devices);
+                }
+                FaultKind::JamHeartbeats { device, until_h } => {
+                    prop_assert!(device < devices);
+                    prop_assert!(until_h <= cfg.horizon_h);
+                }
             }
         }
         prop_assert!(crashes >= 0, "more recoveries than crashes");

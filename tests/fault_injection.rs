@@ -8,7 +8,14 @@
 //! single event. This file drives that checker across many random
 //! schedules and pins the determinism guarantee.
 
+use proptest::prelude::*;
+use std::sync::Mutex;
 use ubiqos_runtime::{run_fault_campaign, FaultCampaignConfig};
+
+/// Serialises the tests that mutate the process-global `UBIQOS_THREADS`
+/// variable; every other assertion in this file is thread-count
+/// independent by design (that is the property under test).
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// ≥ 50 random fault schedules, varying space size and fault density,
 /// every invariant checked after every event. The nightly workflow
@@ -86,9 +93,8 @@ fn default_campaign_digest_is_pinned_across_thread_settings() {
 /// byte-identical logs (and therefore identical staged-recovery
 /// decisions: who degraded, who parked, who was re-admitted).
 ///
-/// Env mutation is process-global, but this is the only test that sets
-/// `UBIQOS_THREADS`, and every other assertion in this file is
-/// thread-count independent by design (that is the property under test).
+/// Env mutation is process-global, so every test that sets
+/// `UBIQOS_THREADS` holds [`ENV_LOCK`] for the duration.
 #[test]
 fn recovery_log_is_identical_across_thread_settings() {
     let cfg = FaultCampaignConfig {
@@ -99,6 +105,7 @@ fn recovery_log_is_identical_across_thread_settings() {
         flapping_links: 1,
         ..FaultCampaignConfig::default()
     };
+    let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     std::env::set_var("UBIQOS_THREADS", "1");
     let serial = run_fault_campaign(&cfg).expect("serial campaign holds");
     std::env::set_var("UBIQOS_THREADS", "8");
@@ -111,6 +118,61 @@ fn recovery_log_is_identical_across_thread_settings() {
         "the comparison must cover actual staged-recovery decisions: {}",
         serial.report
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Imperfect-detection campaigns are thread-count independent across
+    /// arbitrary seeds and heartbeat-loss rates: the lease-expiry
+    /// (suspicion) order, the full event log, and the report — including
+    /// its digest and every detector counter — agree byte-for-byte
+    /// between `UBIQOS_THREADS=1` and `UBIQOS_THREADS=8`.
+    #[test]
+    fn detector_trace_is_thread_count_independent(
+        seed in 0u64..u64::MAX,
+        loss in 0.0f64..0.6,
+    ) {
+        let cfg = FaultCampaignConfig {
+            seed,
+            devices: 4,
+            requests: 60,
+            horizon_h: 24.0,
+            faults: 24,
+            scope_max: 2,
+            detection_grace_h: 0.5,
+            heartbeat_period_h: 0.25,
+            partitions: 2,
+            partition_max: 2,
+            heartbeat_loss: loss,
+            ..FaultCampaignConfig::default()
+        };
+        let (serial, threaded) = {
+            let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            std::env::set_var("UBIQOS_THREADS", "1");
+            let serial = run_fault_campaign(&cfg)
+                .unwrap_or_else(|v| panic!("seed {seed} loss {loss}: serial: {v}"));
+            std::env::set_var("UBIQOS_THREADS", "8");
+            let threaded = run_fault_campaign(&cfg)
+                .unwrap_or_else(|v| panic!("seed {seed} loss {loss}: threaded: {v}"));
+            std::env::remove_var("UBIQOS_THREADS");
+            (serial, threaded)
+        };
+        // Lease expiries drive suspicion: their order is the detector's
+        // observable schedule, asserted on its own before the full log.
+        let suspicion_order = |log: &str| -> Vec<String> {
+            log.lines()
+                .filter(|l| l.contains("detect  suspect"))
+                .map(str::to_owned)
+                .collect()
+        };
+        prop_assert_eq!(
+            suspicion_order(&serial.log.render()),
+            suspicion_order(&threaded.log.render())
+        );
+        prop_assert_eq!(serial.log.render(), threaded.log.render());
+        prop_assert_eq!(&serial.report, &threaded.report);
+    }
 }
 
 /// Sessions are only dropped with a recorded `ConfigureError` witness —
