@@ -6,58 +6,59 @@
 //! cargo run --release -p ubiqos-bench --bin repro -- table1  # one artifact
 //! ```
 //!
-//! Valid artifact names: `table1`, `fig3`, `fig4`, `fig5`, `multi-seed`,
-//! `osd`, `faults`, `configure`. Figure data is also written as JSON
-//! under `target/repro/`; the `osd` solver benchmark additionally writes
-//! `BENCH_osd.json`, the `faults` campaign `BENCH_faults.json`, and the
-//! `configure` cache/warm-start benchmark `BENCH_configure.json` in the
-//! working directory.
+//! Valid artifact names are the keys of [`ARTIFACTS`]. Figure data is
+//! also written as JSON under `target/repro/`; the `osd` solver
+//! benchmark additionally writes `BENCH_osd.json`, the `faults`
+//! campaign `BENCH_faults.json`, the `configure` cache/warm-start
+//! benchmark `BENCH_configure.json`, and the `scale` pipeline sweep
+//! `BENCH_scale.json` in the working directory. `scale` reads
+//! `UBIQOS_SCALE_ARRIVALS` (default 100000) so CI smoke runs can
+//! shrink the sweep without touching the full nightly campaign.
 
 use ubiqos_sim::{Fig5Config, Policy};
 
+/// The artifact dispatch table: one `(name, runner)` row per
+/// reproduction. Adding an artifact means adding a row here — `main`'s
+/// argument handling and the usage message derive from this table.
+const ARTIFACTS: &[(&str, fn())] = &[
+    ("table1", table1),
+    ("fig3", fig3),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("multi-seed", multi_seed),
+    ("osd", osd),
+    ("faults", faults),
+    ("configure", configure),
+    ("scale", scale),
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
-    let mut ran = 0;
-
-    if want("table1") {
-        table1();
-        ran += 1;
-    }
-    if want("fig3") {
-        fig3();
-        ran += 1;
-    }
-    if want("fig4") {
-        fig4();
-        ran += 1;
-    }
-    if want("fig5") {
-        fig5();
-        ran += 1;
-    }
-    if want("multi-seed") {
-        multi_seed();
-        ran += 1;
-    }
-    if want("osd") {
-        osd();
-        ran += 1;
-    }
-    if want("faults") {
-        faults();
-        ran += 1;
-    }
-    if want("configure") {
-        configure();
-        ran += 1;
-    }
-    if ran == 0 {
+    let known = |arg: &str| ARTIFACTS.iter().any(|&(name, _)| name == arg);
+    if let Some(unknown) = args.iter().find(|a| !known(a)) {
+        let names: Vec<&str> = ARTIFACTS.iter().map(|&(name, _)| name).collect();
         eprintln!(
-            "unknown artifact {:?}; expected one of: table1 fig3 fig4 fig5 multi-seed osd faults configure",
-            args
+            "unknown artifact {unknown:?}; expected one of: {}",
+            names.join(" ")
         );
         std::process::exit(2);
+    }
+    for &(name, run) in ARTIFACTS {
+        if args.is_empty() || args.iter().any(|a| a == name) {
+            run();
+        }
+    }
+}
+
+/// Writes a headline artifact next to the sources so the claim is
+/// inspectable without digging through `target/`.
+fn write_bench<T: serde::Serialize>(file: &str, report: &T) {
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => match std::fs::write(file, json) {
+            Ok(()) => println!("(benchmark written to {file})"),
+            Err(e) => eprintln!("warning: could not write {file}: {e}"),
+        },
+        Err(e) => eprintln!("warning: could not serialize {file}: {e}"),
     }
 }
 
@@ -159,15 +160,7 @@ fn osd() {
     }
     println!();
     ubiqos_bench::dump_json("osd.json", &report);
-    // The headline artifact also lands next to the sources so the claim
-    // is inspectable without digging through target/.
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => match std::fs::write("BENCH_osd.json", json) {
-            Ok(()) => println!("(solver benchmark written to BENCH_osd.json)"),
-            Err(e) => eprintln!("warning: could not write BENCH_osd.json: {e}"),
-        },
-        Err(e) => eprintln!("warning: could not serialize the osd report: {e}"),
-    }
+    write_bench("BENCH_osd.json", &report);
 }
 
 /// One rung of the detection-lag ladder in `BENCH_faults.json`: the
@@ -350,13 +343,10 @@ fn faults() {
         if let serde_json::Value::Object(pairs) = &mut value {
             pairs.push(("detection_lag".to_owned(), serde_json::to_value(&ladder)?));
         }
-        serde_json::to_string_pretty(&value)
+        Ok(value)
     });
     match merged {
-        Ok(json) => match std::fs::write("BENCH_faults.json", json) {
-            Ok(()) => println!("(fault campaign written to BENCH_faults.json)"),
-            Err(e) => eprintln!("warning: could not write BENCH_faults.json: {e}"),
-        },
+        Ok(value) => write_bench("BENCH_faults.json", &value),
         Err(e) => eprintln!("warning: could not serialize the fault report: {e}"),
     }
 }
@@ -379,11 +369,28 @@ fn configure() {
     }
     println!();
     ubiqos_bench::dump_json("configure.json", &report);
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => match std::fs::write("BENCH_configure.json", json) {
-            Ok(()) => println!("(configuration benchmark written to BENCH_configure.json)"),
-            Err(e) => eprintln!("warning: could not write BENCH_configure.json: {e}"),
-        },
-        Err(e) => eprintln!("warning: could not serialize the configure report: {e}"),
+    write_bench("BENCH_configure.json", &report);
+}
+
+fn scale() {
+    println!("================ Batched pipeline scaling ================");
+    let arrivals = std::env::var("UBIQOS_SCALE_ARRIVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let report = ubiqos_bench::scale::run_scale_bench(arrivals, &[1, 4, 32, 256], &[1, 8]);
+    println!("{}", report.render());
+    // Byte-identity to the serial reference is part of the artifact, not
+    // a side note: batching may only ever change wall-clock.
+    assert!(
+        report.all_match_serial,
+        "a batched cell diverged from the serial digest {:#018x}",
+        report.serial_digest
+    );
+    if !report.scale_ok(2.0) {
+        eprintln!("warning: batched speedup below 2x at the widest thread count");
     }
+    println!();
+    ubiqos_bench::dump_json("scale.json", &report);
+    write_bench("BENCH_scale.json", &report);
 }

@@ -34,7 +34,7 @@ use ubiqos::fault_report::fnv1a;
 use ubiqos_graph::{AbstractComponentSpec, AbstractServiceGraph, ComponentId, DeviceId, PinHint};
 use ubiqos_model::QosVector;
 use ubiqos_runtime::faults::{app_template, build_space};
-use ubiqos_runtime::{DomainServer, FaultCampaignConfig, PlacementStrategy, SessionId};
+use ubiqos_runtime::{DomainServer, FaultCampaignConfig, PlacementStrategy, SessionId, StageTimes};
 
 /// One steady-state run at a fixed cache setting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,17 +51,11 @@ pub struct CachePhase {
     pub misses: u64,
     /// Cache entries revalidated across a registry-epoch bump.
     pub revalidations: u64,
-    /// Wall-clock spent in discovery queries (ms).
-    pub discover_ms: f64,
-    /// Wall-clock spent composing (ms, discovery excluded).
-    pub compose_ms: f64,
-    /// Wall-clock spent placing (ms).
-    pub place_ms: f64,
-    /// Wall-clock spent resolving component downloads (ms).
-    pub download_ms: f64,
-    /// `discover + compose + place` — the configure pipeline the cache
-    /// can shorten.
-    pub pipeline_ms: f64,
+    /// Per-stage wall clock — the same [`StageTimes`] type
+    /// `BENCH_scale.json` uses, so stage accounting has exactly one
+    /// schema across artifacts. (`pipeline_ms` is derived:
+    /// [`StageTimes::pipeline_ms`].)
+    pub stages: StageTimes,
     /// End-to-end wall clock of the whole phase (ms), bookkeeping
     /// included.
     pub wall_ms: f64,
@@ -160,10 +154,10 @@ impl ConfigureBenchReport {
                 p.admitted,
                 p.hits,
                 p.misses,
-                p.discover_ms,
-                p.compose_ms,
-                p.place_ms,
-                p.pipeline_ms
+                p.stages.discover_ms,
+                p.stages.compose_ms,
+                p.stages.place_ms,
+                p.stages.pipeline_ms()
             ));
         }
         let _ = writeln!(
@@ -256,7 +250,6 @@ fn steady_state_phase(cache: bool, requests: usize, window: usize) -> (CachePhas
         }
     }
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
-    let stages = server.stage_times();
     let stats = server.config_cache_stats();
     let phase = CachePhase {
         cache,
@@ -265,11 +258,7 @@ fn steady_state_phase(cache: bool, requests: usize, window: usize) -> (CachePhas
         hits: stats.hits,
         misses: stats.misses,
         revalidations: stats.revalidations,
-        discover_ms: stages.discover_ms,
-        compose_ms: stages.compose_ms,
-        place_ms: stages.place_ms,
-        download_ms: stages.download_ms,
-        pipeline_ms: stages.discover_ms + stages.compose_ms + stages.place_ms,
+        stages: server.stage_times(),
         wall_ms,
         trace_digest: fnv1a(trace.as_bytes()),
     };
@@ -391,7 +380,7 @@ fn best_of(reps: usize, mut phase: impl FnMut() -> (CachePhase, String)) -> (Cac
             next.1, best.1,
             "steady-state phases must be deterministic across repetitions"
         );
-        if next.0.pipeline_ms < best.0.pipeline_ms {
+        if next.0.stages.pipeline_ms() < best.0.stages.pipeline_ms() {
             best = next;
         }
     }
@@ -410,7 +399,7 @@ pub fn run_configure_bench(requests: usize, rounds: usize) -> ConfigureBenchRepo
     let (warm, warm_trace) = best_of(3, || steady_state_phase(true, requests, window));
     let (cold_osd, cold_cuts) = replacement_phase(false, rounds);
     let (warm_osd, warm_cuts) = replacement_phase(true, rounds);
-    let cache_speedup = cold.pipeline_ms / warm.pipeline_ms.max(1e-6);
+    let cache_speedup = cold.stages.pipeline_ms() / warm.stages.pipeline_ms().max(1e-6);
     let warm_node_ratio =
         cold_osd.nodes_expanded as f64 / (warm_osd.nodes_expanded as f64).max(1.0);
     ConfigureBenchReport {

@@ -1,0 +1,257 @@
+//! The admission-throughput scaling benchmark behind `BENCH_scale.json`.
+//!
+//! One overload campaign — `arrivals` requests packed into a two-hour
+//! horizon on the six-device fault-harness space, no injected faults —
+//! runs once through the serial DES reference loop and once per
+//! (batch size × thread count) cell through the batched pipeline
+//! runtime. The batched runtime must stay **byte-identical** to the
+//! serial loop: every cell's report and event-log digest are compared
+//! against the serial baseline and any divergence fails the artifact.
+//!
+//! What the artifact records per cell: wall clock, sustained admitted
+//! requests per second, speedup over serial, the pipeline's overlap
+//! counters ([`PipelineStats`]) and the stage accounting
+//! ([`StageTimes`], including the queue-wait and batch-size histograms
+//! the batched runtime fills in). The headline claim — the batched
+//! runtime sustains ≥2x serial throughput at the widest cell — is
+//! checked by [`ScaleReport::scale_ok`] and surfaced by
+//! `repro -- scale`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+use ubiqos_runtime::{
+    run_fault_campaign, run_fault_campaign_batched, FaultCampaignConfig, PipelineConfig,
+    PipelineStats, StageTimes,
+};
+
+/// The scale campaign at a given arrival count: a pure admission
+/// overload (no faults, no detector) so throughput measures the
+/// discover→compose→place→download pipeline and nothing else. The
+/// invariant stride is raised — the full sweep is O(live sessions ×
+/// cut parts) and would dominate 10⁵-arrival runs — identically for
+/// the serial and batched cells, so their reports stay comparable.
+pub fn scale_config(arrivals: usize) -> FaultCampaignConfig {
+    FaultCampaignConfig {
+        seed: 0x1cdc_2002,
+        devices: 6,
+        requests: arrivals,
+        horizon_h: 2.0,
+        faults: 0,
+        invariant_stride: 64,
+        ..FaultCampaignConfig::default()
+    }
+}
+
+/// One batched run at a fixed (batch size, thread count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleCell {
+    /// Maximum events admitted per batch.
+    pub batch_size: usize,
+    /// Worker threads the speculation stage fans out over.
+    pub threads: usize,
+    /// End-to-end wall clock of the campaign (ms).
+    pub wall_ms: f64,
+    /// Sustained arrivals processed per wall-clock second.
+    pub sustained_rps: f64,
+    /// `serial_wall_ms / wall_ms` — what batching buys in this cell.
+    pub speedup: f64,
+    /// The cell's event-log digest.
+    pub digest: u64,
+    /// Whether report *and* digest were byte-identical to serial.
+    pub matches_serial: bool,
+    /// Overlap counters from the pipeline runtime.
+    pub stats: PipelineStats,
+    /// Per-stage wall clock plus the queue-wait and batch-size
+    /// histograms — the same [`StageTimes`] type `BENCH_configure.json`
+    /// embeds, so stage accounting has exactly one schema.
+    pub stages: StageTimes,
+}
+
+/// The full `BENCH_scale.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Artifact schema version ([`ubiqos::BENCH_SCHEMA_VERSION`]). The
+    /// nightly drift gate refuses to compare artifacts across versions.
+    pub schema_version: u32,
+    /// Queued arrivals in every run.
+    pub arrivals: usize,
+    /// Arrivals admitted (identical in every cell, pinned to serial).
+    pub admitted: u32,
+    /// Arrivals denied (identical in every cell, pinned to serial).
+    pub denied: u32,
+    /// Serial reference wall clock (ms).
+    pub serial_wall_ms: f64,
+    /// Serial reference sustained arrivals per second.
+    pub serial_rps: f64,
+    /// Serial reference event-log digest — the value every cell must
+    /// reproduce.
+    pub serial_digest: u64,
+    /// Serial reference stage accounting (histograms empty: the serial
+    /// loop has no batches and no queue).
+    pub serial_stages: StageTimes,
+    /// One row per (batch size × thread count).
+    pub cells: Vec<ScaleCell>,
+    /// Best speedup among cells at the widest thread count.
+    pub best_speedup: f64,
+    /// Whether every cell matched the serial report and digest.
+    pub all_match_serial: bool,
+}
+
+impl ScaleReport {
+    /// The headline claim: every cell byte-identical to serial, and the
+    /// widest cell at least `factor`x faster.
+    pub fn scale_ok(&self, factor: f64) -> bool {
+        self.all_match_serial && self.best_speedup >= factor
+    }
+
+    /// Renders the sweep as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} arrivals, serial {:.0} ms ({:.0} req/s), digest {:#018x}\n",
+            self.arrivals, self.serial_wall_ms, self.serial_rps, self.serial_digest
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} | {:>7} | {:>9} | {:>7} | {:>7} | {:>7} | {:>8} | {:>12} | {:>6}",
+            "batch",
+            "threads",
+            "wall ms",
+            "req/s",
+            "speedup",
+            "adopted",
+            "inline",
+            "p99 wait us",
+            "digest"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:>5} | {:>7} | {:>9.0} | {:>7.0} | {:>6.2}x | {:>7} | {:>8} | {:>12} | {:>6}",
+                c.batch_size,
+                c.threads,
+                c.wall_ms,
+                c.sustained_rps,
+                c.speedup,
+                c.stats.adopted,
+                c.stats.inline_speculated,
+                c.stages.queue_wait_us.quantile_upper(0.99),
+                if c.matches_serial { "==" } else { "DRIFT" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "best speedup {:.2}x at the widest thread count; digests {}",
+            self.best_speedup,
+            if self.all_match_serial {
+                "byte-identical in every cell"
+            } else {
+                "DIVERGED"
+            }
+        );
+        out
+    }
+}
+
+/// Runs the full sweep: one serial reference, then one batched cell per
+/// (batch size × thread count). Digest equality against serial is
+/// recorded per cell, never assumed.
+pub fn run_scale_bench(
+    arrivals: usize,
+    batch_sizes: &[usize],
+    thread_counts: &[usize],
+) -> ScaleReport {
+    let cfg = scale_config(arrivals);
+    let wall = Instant::now();
+    let serial = run_fault_campaign(&cfg).expect("the scale campaign holds its invariants");
+    let serial_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let serial_rps = arrivals as f64 / (serial_wall_ms / 1e3).max(1e-9);
+
+    let widest = thread_counts.iter().copied().max().unwrap_or(1);
+    let mut cells = Vec::with_capacity(batch_sizes.len() * thread_counts.len());
+    let mut best_speedup: f64 = 0.0;
+    let mut all_match = true;
+    for &threads in thread_counts {
+        for &batch_size in batch_sizes {
+            let pipeline = PipelineConfig {
+                batch_size,
+                threads,
+            };
+            let wall = Instant::now();
+            let outcome = run_fault_campaign_batched(&cfg, &pipeline)
+                .expect("the batched scale campaign holds its invariants");
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let matches_serial = outcome.report == serial.report
+                && outcome.report.log_digest == serial.report.log_digest;
+            all_match &= matches_serial;
+            let speedup = serial_wall_ms / wall_ms.max(1e-9);
+            if threads == widest {
+                best_speedup = best_speedup.max(speedup);
+            }
+            cells.push(ScaleCell {
+                batch_size,
+                threads,
+                wall_ms,
+                sustained_rps: arrivals as f64 / (wall_ms / 1e3).max(1e-9),
+                speedup,
+                digest: outcome.report.log_digest,
+                matches_serial,
+                stats: outcome
+                    .pipeline
+                    .expect("batched campaigns report pipeline stats"),
+                stages: outcome.stages,
+            });
+        }
+    }
+    ScaleReport {
+        schema_version: ubiqos::BENCH_SCHEMA_VERSION,
+        arrivals,
+        admitted: serial.report.admitted,
+        denied: serial.report.denied,
+        serial_wall_ms,
+        serial_rps,
+        serial_digest: serial.report.log_digest,
+        serial_stages: serial.stages,
+        cells,
+        best_speedup,
+        all_match_serial: all_match,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_is_byte_identical_to_serial() {
+        let report = run_scale_bench(250, &[1, 32], &[1, 2]);
+        assert!(report.all_match_serial, "{}", report.render());
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.schema_version, ubiqos::BENCH_SCHEMA_VERSION);
+        assert_eq!(report.arrivals as u32, report.admitted + report.denied);
+        for cell in &report.cells {
+            assert_eq!(cell.digest, report.serial_digest);
+            assert_eq!(
+                cell.stats.adopted + cell.stats.inline_speculated,
+                u64::from(report.admitted + report.denied),
+                "every arrival is either adopted or speculated inline"
+            );
+            assert!(cell.stages.batch_sizes.total() > 0);
+        }
+        // The serial reference has no queue and no batches.
+        assert_eq!(report.serial_stages.batch_sizes.total(), 0);
+        assert_eq!(report.serial_stages.queue_wait_us.total(), 0);
+        let rendered = report.render();
+        assert!(rendered.contains("byte-identical in every cell"));
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn scale_config_is_a_pure_admission_overload() {
+        let cfg = scale_config(1000);
+        assert_eq!(cfg.requests, 1000);
+        assert_eq!(cfg.faults, 0);
+        assert!(cfg.perfect_detection());
+        assert!(cfg.invariant_stride > 1);
+    }
+}

@@ -9,6 +9,8 @@
 //!   regardless of which worker produced them;
 //! * [`par_run`] — the index-only variant for "run these N independent
 //!   jobs" fan-outs;
+//! * [`par_map_threads`] — [`par_map`] with an explicit worker count,
+//!   for callers that sweep thread counts inside one process;
 //! * [`thread_count`] — the worker count used by both, derived from
 //!   `std::thread::available_parallelism` and overridable with the
 //!   `UBIQOS_THREADS` environment variable (handy both for pinning
@@ -54,7 +56,24 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = thread_count().min(items.len());
+    par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count instead of the
+/// `UBIQOS_THREADS`-derived default.
+///
+/// Callers that sweep thread counts inside one process (the pipeline
+/// runtime's scale driver, the batched ≡ serial equivalence proptests)
+/// use this to pin the fan-out width per call without mutating the
+/// process-global environment. Results are reassembled in input order,
+/// so the output is identical at every `workers` value.
+pub fn par_map_threads<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = workers.min(items.len());
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -151,5 +170,15 @@ mod tests {
         if std::env::var("UBIQOS_THREADS").is_err() {
             assert!(thread_count() >= 2);
         }
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree_with_serial() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x + 1).collect();
+        for workers in [0, 1, 2, 8, 200] {
+            assert_eq!(par_map_threads(workers, &items, |_, &x| x + 1), expect);
+        }
+        assert_eq!(par_map_threads(4, &[] as &[usize], |_, &x| x), Vec::new());
     }
 }

@@ -69,14 +69,16 @@
 
 use crate::cost_model::LinkKind;
 use crate::domain_server::{DomainServer, SessionId};
+use crate::pipeline::{PipelineConfig, PipelineStats, SpecTable};
+use crate::profiler::StageTimes;
 use crate::recovery::RecoveryReport;
 use crate::retry_queue::RetryPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
-use ubiqos::fault_report::fnv1a;
+use std::time::Instant;
 use ubiqos::{ConfigureError, FaultReport};
 use ubiqos_composition::{diagnose, DegradationLadder};
 use ubiqos_discovery::{DeviceProperties, ServiceDescriptor};
@@ -85,7 +87,7 @@ use ubiqos_graph::{
     AbstractComponentSpec, AbstractServiceGraph, ComponentRole, DeviceId, PinHint, ServiceComponent,
 };
 use ubiqos_model::{QosDimension, QosValue, QosVector, ResourceVector};
-use ubiqos_sim::{EventQueue, FaultKind, FaultScheduleConfig, TimedFault, WorkloadConfig};
+use ubiqos_sim::{EventQueue, FaultKind, FaultScheduleConfig, Request, TimedFault, WorkloadConfig};
 
 /// Mix constant separating the fault-schedule RNG stream from the
 /// workload stream (both derive from the campaign seed).
@@ -149,6 +151,15 @@ pub struct FaultCampaignConfig {
     /// signal lost while the device stays healthy). `0.0` draws nothing
     /// from the RNG.
     pub heartbeat_loss: f64,
+    /// Run the full invariant sweep every N-th event (default `1`:
+    /// after every event, the behavior every pinned digest was captured
+    /// under). Scale campaigns raise this — the sweep is O(live
+    /// sessions × cut parts) and would otherwise dominate 10⁵-arrival
+    /// runs — using the *same* stride for the serial and batched cells
+    /// so their reports stay comparable. Values < 1 are treated as 1;
+    /// skipped sweeps emit nothing, so the stride never perturbs logs
+    /// or digests, only `invariant_checks`.
+    pub invariant_stride: usize,
 }
 
 impl FaultCampaignConfig {
@@ -179,6 +190,7 @@ impl Default for FaultCampaignConfig {
             partitions: 0,
             partition_max: 1,
             heartbeat_loss: 0.0,
+            invariant_stride: 1,
         }
     }
 }
@@ -194,8 +206,28 @@ pub struct EventLog {
 
 impl EventLog {
     fn push(&mut self, idx: usize, at_h: f64, text: &str) {
-        self.lines
-            .push(format!("[{idx:04}] t={at_h:010.4}h {text}"));
+        self.push_args(idx, at_h, format_args!("{text}"));
+    }
+
+    /// Formats one line straight into its final String — prefix and text
+    /// in a single pass, no intermediate allocation. This is the event
+    /// loop's hot path: at 10⁵ arrivals the naive
+    /// `format!("[{idx:04}] t={at_h:010.4}h {text}")` over a separately
+    /// formatted `text` costs more than the admission work it records.
+    fn push_args(&mut self, idx: usize, at_h: f64, args: fmt::Arguments<'_>) {
+        let mut line = String::with_capacity(128);
+        line.push('[');
+        push_padded_int(&mut line, idx as u64, 4);
+        line.push_str("] t=");
+        push_hours(&mut line, at_h);
+        line.push_str("h ");
+        if let Some(text) = args.as_str() {
+            line.push_str(text);
+        } else {
+            use fmt::Write as _;
+            let _ = line.write_fmt(args);
+        }
+        self.lines.push(line);
     }
 
     /// The log lines, in event order.
@@ -214,10 +246,67 @@ impl EventLog {
         out
     }
 
-    /// FNV-1a digest of [`EventLog::render`].
+    /// FNV-1a digest of [`EventLog::render`], streamed line by line so
+    /// the multi-megabyte joined string is never materialized.
     pub fn digest(&self) -> u64 {
-        fnv1a(self.render().as_bytes())
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for line in &self.lines {
+            eat(line.as_bytes());
+            eat(b"\n");
+        }
+        hash
     }
+}
+
+/// Appends `value` in decimal, zero-padded to at least `width` digits —
+/// the bytes `format!("{value:0width$}")` produces, without the
+/// formatting machinery.
+fn push_padded_int(out: &mut String, value: u64, width: usize) {
+    let mut buf = [0u8; 20];
+    let mut n = 0;
+    let mut v = value;
+    loop {
+        buf[n] = b'0' + (v % 10) as u8;
+        v /= 10;
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    for _ in n..width {
+        out.push('0');
+    }
+    for i in (0..n).rev() {
+        out.push(buf[i] as char);
+    }
+}
+
+/// Appends `at_h` as `format!("{at_h:010.4}")` would. The fast path
+/// formats the scaled integer directly; values whose fourth decimal sits
+/// near a rounding boundary (where a naive `* 1e4` could round the other
+/// way than the exact decimal expansion `{:.4}` works from), negative
+/// values, and values too wide for the `010` pad all fall back to the
+/// std formatter. The `fast_hours_matches_std_formatting` test sweeps
+/// both paths against `format!` to keep every digest byte-stable.
+fn push_hours(out: &mut String, at_h: f64) {
+    use fmt::Write as _;
+    let scaled = at_h * 1e4;
+    // Fast-path guard: in-range, and ≥ 10 ulps clear of the x.5 rounding
+    // boundary of the fourth decimal (ulp(1e9) ≈ 1.2e-7 ≪ 1e-5).
+    if !(0.0..=999_999_999.0).contains(&scaled) || (scaled.fract() - 0.5).abs() <= 1e-5 {
+        let _ = write!(out, "{at_h:010.4}");
+        return;
+    }
+    let r = scaled.round() as u64;
+    push_padded_int(out, r / 10_000, 5);
+    out.push('.');
+    push_padded_int(out, r % 10_000, 4);
 }
 
 /// An invariant broken mid-campaign: where, during what, and how.
@@ -252,11 +341,19 @@ pub struct CampaignOutcome {
     pub report: FaultReport,
     /// The deterministic event log.
     pub log: EventLog,
+    /// Wall-clock stage profile captured from the domain server at the
+    /// end of the run (includes the pipeline runtime's queue-wait and
+    /// batch-size histograms, which stay empty on the serial path).
+    /// Never feeds logs or digests.
+    pub stages: StageTimes,
+    /// Overlap counters of the batched pipeline runtime; `None` for
+    /// serial runs.
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// One event in the merged campaign timeline.
 #[derive(Debug, Clone, Copy)]
-enum CampaignEvent {
+pub(crate) enum CampaignEvent {
     /// Request `i` of the workload arrives.
     Arrival(usize),
     /// Request `i`'s lifetime ends.
@@ -431,7 +528,7 @@ pub fn app_template(graph_index: usize) -> (&'static str, AbstractServiceGraph) 
 
 /// SplitMix64 step — used to derive per-request client devices from the
 /// campaign seed without consuming the workload RNG stream.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -490,18 +587,80 @@ pub fn run_fault_campaign_with(
     cfg: &FaultCampaignConfig,
     schedule: &[TimedFault],
 ) -> Result<CampaignOutcome, InvariantViolation> {
+    run_fault_campaign_impl(cfg, schedule, None)
+}
+
+/// Pulls the next event to commit, refilling the admission batch from
+/// the DES queue when it runs dry.
+///
+/// Serial mode (`pipeline == None`) admits exactly one event per refill
+/// — the historical pop-one loop. Batched mode admits up to
+/// `batch_size` events bounded by the lease-check horizon (see
+/// [`crate::pipeline`] module docs for why that preserves the serial
+/// pop order), then primes the speculation table for the batch's
+/// arrivals on the worker pool before the first commit.
+#[allow(clippy::too_many_arguments)]
+fn next_event(
+    pending: &mut VecDeque<(f64, CampaignEvent)>,
+    queue: &mut EventQueue<CampaignEvent>,
+    pipeline: Option<&PipelineConfig>,
+    cfg: &FaultCampaignConfig,
+    trace: &[Request],
+    down: &BTreeSet<usize>,
+    spec: &mut SpecTable,
+    server: &DomainServer,
+    batch_wall: &mut Instant,
+) -> Option<(f64, CampaignEvent)> {
+    if pending.is_empty() {
+        let max = pipeline.map_or(1, |pl| pl.batch_size.max(1));
+        let imperfect = !cfg.perfect_detection();
+        let mut horizon = f64::INFINITY;
+        while pending.len() < max {
+            match queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    let (at_h, ev) = queue.pop().expect("peeked event pops");
+                    if imperfect {
+                        if let CampaignEvent::Heartbeat(_) = ev {
+                            horizon = horizon.min(at_h + cfg.detection_grace_h);
+                        }
+                    }
+                    pending.push_back((at_h, ev));
+                }
+                _ => break,
+            }
+        }
+        if let Some(pl) = pipeline {
+            if !pending.is_empty() {
+                server.record_batch_size(pending.len());
+                spec.prime(server, pl, cfg, trace, down, pending.iter().map(|(_, e)| e));
+                *batch_wall = Instant::now();
+            }
+        }
+    }
+    let next = pending.pop_front();
+    if next.is_some() && pipeline.is_some() {
+        server.record_queue_wait_us(u64::try_from(batch_wall.elapsed().as_micros()).unwrap_or(0));
+    }
+    next
+}
+
+/// The shared campaign body behind [`run_fault_campaign_with`]
+/// (`pipeline == None`: commit events straight off the DES queue) and
+/// [`crate::pipeline::run_fault_campaign_batched`] (`Some`: admit in
+/// batches, speculate arrival pipelines on the worker pool, commit in
+/// the identical deterministic order).
+pub(crate) fn run_fault_campaign_impl(
+    cfg: &FaultCampaignConfig,
+    schedule: &[TimedFault],
+    pipeline: Option<&PipelineConfig>,
+) -> Result<CampaignOutcome, InvariantViolation> {
     let mut server = build_space(cfg.devices);
     if !cfg.staged_recovery {
         server.set_ladder(DegradationLadder::strict());
         server.set_retry_policy(RetryPolicy::strict());
     }
     server.set_config_cache(cfg.config_cache);
-    let workload = WorkloadConfig {
-        requests: cfg.requests,
-        horizon_h: cfg.horizon_h,
-        graph_count: 2,
-        ..WorkloadConfig::default()
-    };
+    let workload = WorkloadConfig::overload(cfg.requests, cfg.horizon_h);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let trace = workload.generate(&mut rng);
 
@@ -557,8 +716,28 @@ pub fn run_fault_campaign_with(
     let mut by_session: BTreeMap<SessionId, usize> = BTreeMap::new();
     let mut last_h = 0.0_f64;
     let mut idx = 0usize;
+    let stride = cfg.invariant_stride.max(1) as u64;
+    let mut iterations = 0u64;
+    // Hour of the last anti-entropy sweep: consecutive lease checks at
+    // one instant share a single sweep (see the LeaseCheck arm).
+    let mut last_sweep_h: Option<f64> = None;
+    let mut spec = SpecTable::default();
+    let mut pending: VecDeque<(f64, CampaignEvent)> = VecDeque::new();
+    let mut batch_wall = Instant::now();
+    // Reused across arrivals: the reachable-device scratch buffer.
+    let mut up: Vec<usize> = Vec::with_capacity(cfg.devices);
 
-    while let Some((at_h, event)) = queue.pop() {
+    while let Some((at_h, event)) = next_event(
+        &mut pending,
+        &mut queue,
+        pipeline,
+        cfg,
+        &trace,
+        &down,
+        &mut spec,
+        &server,
+        &mut batch_wall,
+    ) {
         let delta_h = (at_h - last_h).max(0.0);
         server.play(delta_h * 3600.0);
         last_h = at_h;
@@ -569,20 +748,49 @@ pub fn run_fault_campaign_with(
                 report.events += 1;
                 let req = &trace[i];
                 report.arrivals += 1;
-                let up: Vec<usize> = (0..cfg.devices).filter(|d| !down.contains(d)).collect();
+                up.clear();
+                up.extend((0..cfg.devices).filter(|d| !down.contains(d)));
                 let client = up[(splitmix64(cfg.seed ^ i as u64) % up.len() as u64) as usize];
                 let (name, graph) = app_template(req.graph_index);
-                lines.push(match server.start_session(
-                    format!("{name}-{i}"),
-                    graph,
-                    QosVector::new(),
-                    DeviceId::from_index(client),
-                ) {
+                // Batched mode adopts a speculated pipeline outcome in
+                // this event's deterministic commit slot; with the
+                // table invalidated on every mutation, speculate +
+                // admit is exactly `start_session` decomposed, so both
+                // arms produce byte-identical logs and accounting.
+                let outcome = if pipeline.is_some() {
+                    let speculated =
+                        spec.take_or_speculate(&server, (req.graph_index, client), &graph);
+                    server.admit_speculated(
+                        || format!("{name}-{i}"),
+                        graph,
+                        QosVector::new(),
+                        DeviceId::from_index(client),
+                        speculated,
+                    )
+                } else {
+                    server.start_session(
+                        format!("{name}-{i}"),
+                        graph,
+                        QosVector::new(),
+                        DeviceId::from_index(client),
+                    )
+                };
+                // Hot path: these lines go straight into the log (one
+                // String, one formatting pass) instead of through the
+                // `lines` staging buffer.
+                match outcome {
                     Ok(id) => {
+                        spec.invalidate();
                         report.admitted += 1;
                         active.insert(i, id);
                         by_session.insert(id, i);
-                        format!("arrive  req{i} {name} client=dev{client} -> admitted as {id}")
+                        log.push_args(
+                            idx,
+                            at_h,
+                            format_args!(
+                                "arrive  req{i} {name} client=dev{client} -> admitted as {id}"
+                            ),
+                        );
                     }
                     Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
                         // The stale-view admission path: the view said
@@ -603,31 +811,54 @@ pub fn run_fault_campaign_with(
                         );
                         active.insert(i, id);
                         by_session.insert(id, i);
-                        format!(
-                            "arrive  req{i} {name} client=dev{client} -> parked on stale view as {id}"
-                        )
+                        log.push_args(
+                            idx,
+                            at_h,
+                            format_args!(
+                                "arrive  req{i} {name} client=dev{client} -> parked on stale view as {id}"
+                            ),
+                        );
                     }
                     Err(e) => {
                         report.denied += 1;
-                        format!("arrive  req{i} {name} client=dev{client} -> denied ({e})")
+                        log.push_args(
+                            idx,
+                            at_h,
+                            format_args!(
+                                "arrive  req{i} {name} client=dev{client} -> denied ({e})"
+                            ),
+                        );
                     }
-                });
+                }
+                idx += 1;
             }
             CampaignEvent::Departure(i) => {
                 report.events += 1;
-                lines.push(match active.remove(&i) {
+                match active.remove(&i) {
                     Some(id) => {
                         by_session.remove(&id);
                         let stopped = server.stop_session(id);
                         debug_assert!(stopped.is_some(), "active map tracks live sessions");
+                        // The refund changed residual capacity.
+                        spec.invalidate();
                         report.completed += 1;
-                        format!("depart  req{i} -> completed ({id})")
+                        log.push_args(
+                            idx,
+                            at_h,
+                            format_args!("depart  req{i} -> completed ({id})"),
+                        );
                     }
-                    None => format!("depart  req{i} -> already gone"),
-                });
+                    None => {
+                        log.push_args(idx, at_h, format_args!("depart  req{i} -> already gone"));
+                    }
+                }
+                idx += 1;
             }
             CampaignEvent::Fault(j) => {
                 report.events += 1;
+                // Conservatively treat every fault as a mutation (even
+                // skipped ones — the check costs nothing).
+                spec.invalidate();
                 let fault = &schedule[j];
                 lines.push(apply_fault(
                     &mut server,
@@ -648,6 +879,7 @@ pub fn run_fault_campaign_with(
                         // A heartbeat from a *suspected* device: the
                         // suspicion was stale (heal or recovery) and is
                         // withdrawn.
+                        spec.invalidate();
                         report.reinstatements += 1;
                         count_pass(&rec, &mut report);
                         let tail = absorb_recovery(&rec, &mut active, &mut by_session, &mut report);
@@ -662,10 +894,25 @@ pub fn run_fault_campaign_with(
                 // Detector decommissioned with the heartbeat stream; the
                 // final sweep below reconciles remaining ground truth.
             }
+            CampaignEvent::LeaseCheck(_) if last_sweep_h == Some(at_h) => {
+                // Hoisted: heartbeats land on shared period multiples,
+                // so their lease checks cluster at identical instants
+                // and pop consecutively (in-loop schedules always
+                // follow same-time setup events in seq order, and only
+                // lease checks are scheduled in-loop). The first check
+                // at this instant already swept *every* overdue lease
+                // and revoked it; nothing between two same-instant
+                // checks can create a new overdue lease, so the repeat
+                // sweep is provably empty and skipped — no lines, no
+                // counters, digests byte-identical to sweeping again.
+            }
             CampaignEvent::LeaseCheck(_) => {
                 // Anti-entropy: *every* overdue lease is swept, not just
                 // the one whose renewal scheduled this check.
+                last_sweep_h = Some(at_h);
+                let mut swept = false;
                 for (device, rec) in server.expire_overdue_leases() {
+                    swept = true;
                     report.suspicions += 1;
                     let ground_up = !down.contains(&device.index());
                     if ground_up {
@@ -679,9 +926,11 @@ pub fn run_fault_campaign_with(
                         device.index()
                     ));
                 }
+                if swept {
+                    spec.invalidate();
+                }
             }
         }
-        let event_line = lines.last().cloned().unwrap_or_default();
         for line in &lines {
             log.push(idx, at_h, line);
             idx += 1;
@@ -692,11 +941,19 @@ pub fn run_fault_campaign_with(
         // time passing through arrivals/departures/switches).
         let retries = server.process_retries();
         if !retries.is_empty() {
+            spec.invalidate();
             let tail = absorb_recovery(&retries, &mut active, &mut by_session, &mut report);
             log.push(idx, at_h, &format!("retry   parked queue -> {tail}"));
             idx += 1;
         }
 
+        iterations += 1;
+        if !iterations.is_multiple_of(stride) {
+            continue;
+        }
+        // Cloned lazily — only checked iterations pay for the violation
+        // context.
+        let event_line = log.lines().last().cloned().unwrap_or_default();
         report.invariant_checks += 1;
         let observed: BTreeSet<usize> = if imperfect {
             server.suspected_devices().clone()
@@ -790,7 +1047,12 @@ pub fn run_fault_campaign_with(
     // completed nor dropped; fates must balance exactly.
     report.log_digest = log.digest();
     debug_assert!(report.session_fates_balance(), "fates balance: {report:?}");
-    Ok(CampaignOutcome { report, log })
+    Ok(CampaignOutcome {
+        report,
+        log,
+        stages: server.stage_times(),
+        pipeline: pipeline.map(|_| spec.stats.clone()),
+    })
 }
 
 /// Applies one fault to the server, updating the bookkeeping and
@@ -1214,6 +1476,60 @@ pub fn check_invariants(server: &DomainServer, down: &BTreeSet<usize>) -> Result
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ubiqos::fault_report::fnv1a;
+
+    /// The event-log fast path must reproduce `format!` byte-for-byte —
+    /// every campaign digest depends on it. Sweeps exact representables,
+    /// rounding boundaries (which must take the fallback), pathological
+    /// values, and a seeded random cloud.
+    #[test]
+    fn fast_hours_matches_std_formatting() {
+        let mut cases: Vec<f64> = vec![
+            0.0,
+            0.0001,
+            0.00005,
+            0.00014999999,
+            0.12345,
+            1.0 / 3.0,
+            2.5,
+            41.9999999,
+            47.99995,
+            1000.0,
+            99_999.999_9,
+            99_999.999_99,
+            100_000.0,
+            1e12,
+            -1.5,
+            f64::NAN,
+            f64::INFINITY,
+        ];
+        let mut x = 0x1cdc_2002_u64;
+        for _ in 0..20_000 {
+            x = splitmix64(x);
+            // Hours in [0, 1049): the magnitude every campaign uses.
+            cases.push((x % (1 << 20)) as f64 / 1000.0 + (splitmix64(x) % 1000) as f64 * 1e-7);
+        }
+        for at_h in cases {
+            let mut fast = String::new();
+            push_hours(&mut fast, at_h);
+            assert_eq!(fast, format!("{at_h:010.4}"), "at_h = {at_h:?}");
+        }
+        let mut s = String::new();
+        push_padded_int(&mut s, 7, 4);
+        s.push(' ');
+        push_padded_int(&mut s, 123_456, 4);
+        assert_eq!(s, "0007 123456");
+    }
+
+    /// The streamed digest must agree with hashing the rendered log.
+    #[test]
+    fn streamed_digest_matches_rendered_digest() {
+        let mut log = EventLog::default();
+        log.push(0, 0.25, "arrive  req0");
+        log.push_args(1, 17.333333, format_args!("depart  req{} -> gone", 0));
+        assert_eq!(log.digest(), fnv1a(log.render().as_bytes()));
+        assert!(log.lines()[1].starts_with("[0001] t=00017.3333h "));
+    }
 
     #[test]
     fn campaign_completes_and_balances() {

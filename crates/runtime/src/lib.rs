@@ -21,6 +21,9 @@
 //!   the paper's PC→PDA vs PDA→PC asymmetry);
 //! * [`streaming`] — delivered-QoS computation for a deployed
 //!   configuration;
+//! * [`pipeline`] — the batched admission runtime overlapping
+//!   independent sessions' discover→compose→place→download pipelines
+//!   while committing in the serial runtime's deterministic order;
 //! * [`apps`] — the two prototype applications: *mobile audio-on-demand*
 //!   and *video conferencing*;
 //! * [`scenario`] — the scripted four-event experiment of Figures 3-4.
@@ -40,6 +43,7 @@ pub mod domain_server;
 pub mod event_service;
 pub mod faults;
 pub mod overhead;
+pub mod pipeline;
 pub mod profiler;
 pub mod recovery;
 pub mod repository;
@@ -58,7 +62,10 @@ pub use faults::{
     FaultCampaignConfig, InvariantViolation,
 };
 pub use overhead::ConfigOverhead;
-pub use profiler::{Profiler, StageTimes};
+pub use pipeline::{
+    run_fault_campaign_batched, run_fault_campaign_batched_with, PipelineConfig, PipelineStats,
+};
+pub use profiler::{PowHistogram, Profiler, StageTimes};
 pub use recovery::{Degradation, RecoveryMode, RecoveryReport};
 pub use repository::ComponentRepository;
 pub use retry_queue::{ParkedSession, RetryPolicy, RetryQueue};

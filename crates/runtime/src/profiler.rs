@@ -5,6 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use ubiqos_model::ResourceVector;
 
 /// Measures component resource requirements with bounded multiplicative
@@ -58,6 +59,62 @@ impl Profiler {
     }
 }
 
+/// A power-of-two bucketed histogram of non-negative integer samples.
+///
+/// Bucket `0` counts exact zeros; bucket `i ≥ 1` counts samples in
+/// `[2^(i-1), 2^i)`. The bucket vector grows lazily to the largest
+/// sample seen, so an empty histogram serializes as `[]` and artifacts
+/// stay compact. Used for the pipeline runtime's queue-wait (µs) and
+/// batch-size distributions in `BENCH_scale.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowHistogram {
+    /// `counts[i]` = samples in bucket `i` (see type docs).
+    pub counts: Vec<u64>,
+}
+
+impl PowHistogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0` for the zero bucket).
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// The smallest bucket upper bound covering at least `q` (in
+    /// `[0, 1]`) of the samples — a coarse quantile for rendering.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let need = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                return Self::bucket_upper(i);
+            }
+        }
+        Self::bucket_upper(self.counts.len().saturating_sub(1))
+    }
+}
+
 /// Wall-clock totals per configuration-pipeline stage, accumulated by
 /// the domain server across every `configure` call.
 ///
@@ -65,7 +122,12 @@ impl Profiler {
 /// and performance work — unlike the [`crate::cost_model::CostModel`]'s
 /// virtual overheads, they never feed deterministic logs, digests, or
 /// the simulated clock, so profiling cannot perturb reproducibility.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// The same struct is the shared stage-accounting type of
+/// `BENCH_scale.json`: the pipeline runtime folds its queue-wait and
+/// batch-size distributions into the two histograms (both stay empty
+/// under the serial runtime).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageTimes {
     /// Time inside `ServiceRegistry::discover_all` (memo hits included).
     pub discover_ms: f64,
@@ -78,12 +140,24 @@ pub struct StageTimes {
     pub download_ms: f64,
     /// `configure` invocations measured.
     pub configures: u64,
+    /// Wall-clock µs each event spent between batch admission (pop from
+    /// the DES queue) and its deterministic commit — the pipeline
+    /// runtime's queue-wait distribution. Empty under the serial loop.
+    pub queue_wait_us: PowHistogram,
+    /// Events per admitted batch. Empty under the serial loop.
+    pub batch_sizes: PowHistogram,
 }
 
 impl StageTimes {
     /// The summed configuration-pipeline time (all four stages).
     pub fn total_ms(&self) -> f64 {
         self.discover_ms + self.compose_ms + self.place_ms + self.download_ms
+    }
+
+    /// `discover + compose + place` — the pipeline span a composition
+    /// cache (or batched speculation) can shorten; downloads excluded.
+    pub fn pipeline_ms(&self) -> f64 {
+        self.discover_ms + self.compose_ms + self.place_ms
     }
 }
 
@@ -99,8 +173,32 @@ mod tests {
             place_ms: 3.0,
             download_ms: 4.0,
             configures: 2,
+            ..StageTimes::default()
         };
         assert!((t.total_ms() - 10.0).abs() < 1e-12);
+        assert!((t.pipeline_ms() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow_histogram_buckets_by_bit_width() {
+        let mut h = PowHistogram::default();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        // zeros -> bucket 0; 1 -> bucket 1; {2,3} -> bucket 2;
+        // {4,7} -> bucket 3; 8 -> bucket 4; 1024 -> bucket 11.
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 2);
+        assert_eq!(h.counts[3], 2);
+        assert_eq!(h.counts[4], 1);
+        assert_eq!(h.counts[11], 1);
+        assert_eq!(h.total(), 9);
+        assert_eq!(PowHistogram::bucket_upper(0), 0);
+        assert_eq!(PowHistogram::bucket_upper(3), 7);
+        assert_eq!(h.quantile_upper(1.0), 2047);
+        assert!(h.quantile_upper(0.5) <= 7);
+        assert_eq!(PowHistogram::default().quantile_upper(0.5), 0);
     }
 
     #[test]

@@ -55,6 +55,21 @@ impl Default for WorkloadConfig {
 }
 
 impl WorkloadConfig {
+    /// An overload workload for throughput benchmarking: `requests`
+    /// arrivals packed into a short `horizon_h` (lifetimes and graph
+    /// selection keep the Figure 5 shape, over the fault harness's two
+    /// templates). With arrivals vastly outnumbering what the space can
+    /// carry, the admission path — not the schedule — is the
+    /// bottleneck, which is what `repro -- scale` measures.
+    pub fn overload(requests: usize, horizon_h: f64) -> Self {
+        WorkloadConfig {
+            requests,
+            horizon_h,
+            graph_count: 2,
+            ..WorkloadConfig::default()
+        }
+    }
+
     /// Generates the request trace, sorted by arrival time.
     ///
     /// Arrivals are uniform over the horizon; lifetimes are exponential
