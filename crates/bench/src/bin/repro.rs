@@ -11,9 +11,13 @@
 //! benchmark additionally writes `BENCH_osd.json`, the `faults`
 //! campaign `BENCH_faults.json`, the `configure` cache/warm-start
 //! benchmark `BENCH_configure.json`, and the `scale` pipeline sweep
-//! `BENCH_scale.json` in the working directory. `scale` reads
-//! `UBIQOS_SCALE_ARRIVALS` (default 100000) so CI smoke runs can
-//! shrink the sweep without touching the full nightly campaign.
+//! `BENCH_scale.json`, and the `federation` shard sweep
+//! `BENCH_federation.json` in the working directory. `scale` reads
+//! `UBIQOS_SCALE_ARRIVALS` (default 100000) and `federation` reads
+//! `UBIQOS_FED_ARRIVALS` (default 20000) plus `UBIQOS_FED_SHARDS` (a
+//! comma-separated shard-count list, default `1,2,4,8`) so CI smoke
+//! runs can shrink the sweeps without touching the full nightly
+//! campaigns.
 
 use ubiqos_sim::{Fig5Config, Policy};
 
@@ -30,6 +34,7 @@ const ARTIFACTS: &[(&str, fn())] = &[
     ("faults", faults),
     ("configure", configure),
     ("scale", scale),
+    ("federation", federation),
 ];
 
 fn main() {
@@ -393,4 +398,43 @@ fn scale() {
     println!();
     ubiqos_bench::dump_json("scale.json", &report);
     write_bench("BENCH_scale.json", &report);
+}
+
+fn federation() {
+    println!("================ Sharded federation scaling ================");
+    let arrivals = std::env::var("UBIQOS_FED_ARRIVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let shard_counts: Vec<usize> = std::env::var("UBIQOS_FED_SHARDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .expect("UBIQOS_FED_SHARDS is a comma-separated list of shard counts")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let report = ubiqos_bench::federation::run_federation_bench(arrivals, &shard_counts);
+    println!("{}", report.render());
+    // Byte-identity of the 1-shard cell to the serial reference is part
+    // of the artifact, not a side note: sharding may only ever change
+    // wall-clock and which shard logs what, never the merged behaviour.
+    assert!(
+        report.one_shard_matches_serial,
+        "the 1-shard federation cell diverged from the serial digest {:#018x}",
+        report.serial_digest
+    );
+    // Sharding shrinks the discovery/placement share of each admission
+    // but not its composition share, so the sweep saturates well below
+    // linear; 1.2x is the regression floor, not the aspiration.
+    if !report.scale_ok(1.2) {
+        eprintln!("warning: best shard-sweep speedup below 1.2x over serial");
+    }
+    println!();
+    ubiqos_bench::dump_json("federation.json", &report);
+    write_bench("BENCH_federation.json", &report);
 }

@@ -26,6 +26,7 @@
 //! [`ConfigureBenchReport::cache_ok`] / [`ConfigureBenchReport::warm_ok`]
 //! and surfaced by `repro -- configure`.
 
+use crate::hist::{Align, TextTable};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -136,30 +137,29 @@ impl ConfigureBenchReport {
 
     /// Renders the phases as aligned tables.
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "{:<9} | {:>8} | {:>6} | {:>6} | {:>11} | {:>10} | {:>8} | {:>11}\n",
-            "cache",
-            "admitted",
-            "hits",
-            "misses",
-            "discover ms",
-            "compose ms",
-            "place ms",
-            "pipeline ms"
-        );
+        let mut table = TextTable::new(&[
+            ("cache", 9, Align::Left),
+            ("admitted", 8, Align::Right),
+            ("hits", 6, Align::Right),
+            ("misses", 6, Align::Right),
+            ("discover ms", 11, Align::Right),
+            ("compose ms", 10, Align::Right),
+            ("place ms", 8, Align::Right),
+            ("pipeline ms", 11, Align::Right),
+        ]);
         for p in [&self.cold, &self.warm] {
-            out.push_str(&format!(
-                "{:<9} | {:>8} | {:>6} | {:>6} | {:>11.1} | {:>10.1} | {:>8.1} | {:>11.1}\n",
-                if p.cache { "on" } else { "off" },
-                p.admitted,
-                p.hits,
-                p.misses,
-                p.stages.discover_ms,
-                p.stages.compose_ms,
-                p.stages.place_ms,
-                p.stages.pipeline_ms()
-            ));
+            table.row(&[
+                (if p.cache { "on" } else { "off" }).to_string(),
+                p.admitted.to_string(),
+                p.hits.to_string(),
+                p.misses.to_string(),
+                format!("{:.1}", p.stages.discover_ms),
+                format!("{:.1}", p.stages.compose_ms),
+                format!("{:.1}", p.stages.place_ms),
+                format!("{:.1}", p.stages.pipeline_ms()),
+            ]);
         }
+        let mut out = table.finish();
         let _ = writeln!(
             out,
             "cache speedup {:.1}x on the configure pipeline; traces {}",
@@ -171,22 +171,23 @@ impl ConfigureBenchReport {
             }
         );
         let _ = writeln!(out);
-        let _ = writeln!(
-            out,
-            "{:<10} | {:>6} | {:>11} | {:>10} | {:>12}",
-            "warm start", "solves", "warm solves", "expanded", "bound-pruned"
-        );
+        let mut osd = TextTable::new(&[
+            ("warm start", 10, Align::Left),
+            ("solves", 6, Align::Right),
+            ("warm solves", 11, Align::Right),
+            ("expanded", 10, Align::Right),
+            ("bound-pruned", 12, Align::Right),
+        ]);
         for p in [&self.cold_osd, &self.warm_osd] {
-            let _ = writeln!(
-                out,
-                "{:<10} | {:>6} | {:>11} | {:>10} | {:>12}",
-                if p.warm_start { "on" } else { "off" },
-                p.solves,
-                p.warm_solves,
-                p.nodes_expanded,
-                p.pruned_bound
-            );
+            osd.row(&[
+                (if p.warm_start { "on" } else { "off" }).to_string(),
+                p.solves.to_string(),
+                p.warm_solves.to_string(),
+                p.nodes_expanded.to_string(),
+                p.pruned_bound.to_string(),
+            ]);
         }
+        out.push_str(&osd.finish());
         let _ = writeln!(
             out,
             "warm start expands {:.1}x fewer nodes; placements {}",

@@ -1,0 +1,276 @@
+//! The sharded-federation scaling benchmark behind
+//! `BENCH_federation.json`.
+//!
+//! One overload campaign — `arrivals` requests packed into a two-hour
+//! horizon on a 24-device space, no injected infrastructure faults, a
+//! mobility-wave overlay dragging sessions between domains — runs once
+//! through the serial DES reference loop and once per shard count
+//! through the federated runtime ([`ubiqos_runtime::federation`]). The
+//! 1-shard cell must stay **byte-identical** to the serial loop:
+//! report and event-log digest are compared and any divergence fails
+//! the artifact. Cells at 2+ shards are pinned by their per-shard and
+//! combined digests instead (the split changes which shard logs what,
+//! deterministically).
+//!
+//! What the artifact records per cell: wall clock, sustained admitted
+//! requests per second, speedup over serial, the federation's message
+//! and handoff counters ([`FederationStats`]) and the aggregated
+//! shard-attributed stage accounting ([`StageTimes`]). The headline
+//! claim — sharding the space speeds the campaign up, because each
+//! shard discovers and places over a fraction of the devices — is
+//! checked by [`FederationReport::scale_ok`] and surfaced by
+//! `repro -- federation`.
+
+use crate::hist::{match_cell, p99_us, shard_wait_summary, Align, TextTable};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::time::Instant;
+use ubiqos_runtime::{
+    run_fault_campaign_with, run_federation_campaign_with, FaultCampaignConfig, FederationConfig,
+    FederationStats, StageTimes,
+};
+use ubiqos_sim::MobilityWaveConfig;
+
+/// The federation campaign at a given arrival count and shard count: a
+/// pure admission overload on 24 devices (no infrastructure faults, so
+/// throughput measures the configure pipeline and the federation
+/// protocol) plus a mobility-wave overlay that keeps sessions crossing
+/// shard boundaries. The invariant stride is raised identically to the
+/// serial reference so the reports stay comparable.
+pub fn federation_config(arrivals: usize, shards: usize) -> FederationConfig {
+    FederationConfig {
+        base: FaultCampaignConfig {
+            seed: 0x1cdc_2002,
+            devices: 24,
+            requests: arrivals,
+            horizon_h: 2.0,
+            faults: 0,
+            invariant_stride: 64,
+            ..FaultCampaignConfig::default()
+        },
+        shards,
+        mobility: MobilityWaveConfig {
+            moves: 64,
+            waves: 4,
+            horizon_h: 2.0,
+            devices: 24,
+            ..MobilityWaveConfig::default()
+        },
+        ..FederationConfig::default()
+    }
+}
+
+/// One federated run at a fixed shard count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationCell {
+    /// Domain-server shards the space was split across.
+    pub shards: usize,
+    /// End-to-end wall clock of the campaign (ms).
+    pub wall_ms: f64,
+    /// Sustained arrivals processed per wall-clock second.
+    pub sustained_rps: f64,
+    /// `serial_wall_ms / wall_ms` — what sharding buys in this cell.
+    pub speedup: f64,
+    /// Arrivals admitted, summed over shards.
+    pub admitted: u64,
+    /// Per-shard event-log digests — the values the equivalence tests
+    /// pin per shard count.
+    pub shard_digests: Vec<u64>,
+    /// FNV-1a over the concatenated per-shard digests.
+    pub combined_digest: u64,
+    /// For the 1-shard cell: whether report *and* log were
+    /// byte-identical to the serial reference. `true` (vacuously) for
+    /// multi-shard cells.
+    pub matches_serial: bool,
+    /// Message, discovery, and handoff counters.
+    pub stats: FederationStats,
+    /// Stage accounting summed over shards, with each shard's queue
+    /// waits attributed to its own slot
+    /// ([`StageTimes::shard_queue_wait_us`]).
+    pub stages: StageTimes,
+}
+
+/// The full `BENCH_federation.json` artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FederationReport {
+    /// Artifact schema version ([`ubiqos::BENCH_SCHEMA_VERSION`]). The
+    /// nightly drift gate refuses to compare artifacts across versions.
+    pub schema_version: u32,
+    /// Queued arrivals in every run.
+    pub arrivals: usize,
+    /// Serial reference wall clock (ms).
+    pub serial_wall_ms: f64,
+    /// Serial reference sustained arrivals per second.
+    pub serial_rps: f64,
+    /// Serial reference event-log digest — the value the 1-shard cell
+    /// must reproduce.
+    pub serial_digest: u64,
+    /// One row per shard count.
+    pub cells: Vec<FederationCell>,
+    /// Best speedup over the serial reference among the cells.
+    pub best_speedup: f64,
+    /// Whether the 1-shard cell (when present) matched the serial
+    /// report and log byte-for-byte.
+    pub one_shard_matches_serial: bool,
+}
+
+impl FederationReport {
+    /// The headline claim: the 1-shard cell byte-identical to serial,
+    /// every cell's fates balanced at run time, and the best cell at
+    /// least `factor`x faster than serial.
+    pub fn scale_ok(&self, factor: f64) -> bool {
+        self.one_shard_matches_serial && self.best_speedup >= factor
+    }
+
+    /// Renders the sweep as an aligned table plus one per-shard
+    /// queue-wait summary line per cell.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} arrivals, serial {:.0} ms ({:.0} req/s), digest {:#018x}\n",
+            self.arrivals, self.serial_wall_ms, self.serial_rps, self.serial_digest
+        );
+        let mut table = TextTable::new(&[
+            ("shards", 6, Align::Right),
+            ("wall ms", 9, Align::Right),
+            ("req/s", 7, Align::Right),
+            ("speedup", 7, Align::Right),
+            ("admitted", 8, Align::Right),
+            ("fwd", 5, Align::Right),
+            ("handoffs", 8, Align::Right),
+            ("aborted", 7, Align::Right),
+            ("p99 wait us", 12, Align::Right),
+            ("serial", 6, Align::Right),
+        ]);
+        for c in &self.cells {
+            table.row(&[
+                c.shards.to_string(),
+                format!("{:.0}", c.wall_ms),
+                format!("{:.0}", c.sustained_rps),
+                format!("{:.2}x", c.speedup),
+                c.admitted.to_string(),
+                c.stats.forwarded.to_string(),
+                c.stats.handoffs_committed.to_string(),
+                c.stats.handoffs_aborted.to_string(),
+                p99_us(&c.stages.queue_wait_us).to_string(),
+                (if c.shards == 1 {
+                    match_cell(c.matches_serial)
+                } else {
+                    "-"
+                })
+                .to_string(),
+            ]);
+        }
+        out.push_str(&table.finish());
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{} shard(s): digest {:#018x}, waits {}",
+                c.shards,
+                c.combined_digest,
+                shard_wait_summary(&c.stages)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "best speedup {:.2}x over serial; 1-shard cell {}",
+            self.best_speedup,
+            if self.one_shard_matches_serial {
+                "byte-identical to the serial reference"
+            } else {
+                "DIVERGED from the serial reference"
+            }
+        );
+        out
+    }
+}
+
+/// Runs the full sweep: one serial reference, then one federated cell
+/// per shard count. The fault schedule (base + mobility overlay) is
+/// derived once and shared by every run, so all cells face the
+/// identical workload.
+pub fn run_federation_bench(arrivals: usize, shard_counts: &[usize]) -> FederationReport {
+    let serial_cfg = federation_config(arrivals, 1);
+    let schedule = serial_cfg.schedule();
+    let wall = Instant::now();
+    let serial = run_fault_campaign_with(&serial_cfg.base, &schedule)
+        .expect("the federation campaign holds its invariants serially");
+    let serial_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let serial_rps = arrivals as f64 / (serial_wall_ms / 1e3).max(1e-9);
+
+    let mut cells = Vec::with_capacity(shard_counts.len());
+    let mut best_speedup: f64 = 0.0;
+    let mut one_shard_matches = true;
+    for &shards in shard_counts {
+        let cfg = federation_config(arrivals, shards);
+        let wall = Instant::now();
+        let outcome = run_federation_campaign_with(&cfg, &schedule)
+            .expect("the federated campaign holds its invariants");
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        assert!(outcome.fates_balance(), "shard fate ledgers must balance");
+        let matches_serial = shards != 1
+            || (outcome.shards[0].report == serial.report
+                && outcome.shards[0].log.render() == serial.log.render());
+        if shards == 1 {
+            one_shard_matches &= matches_serial;
+        }
+        let mut stages = StageTimes::default();
+        for (s, shard) in outcome.shards.iter().enumerate() {
+            stages.absorb_shard(s, &shard.stages);
+        }
+        let speedup = serial_wall_ms / wall_ms.max(1e-9);
+        best_speedup = best_speedup.max(speedup);
+        cells.push(FederationCell {
+            shards,
+            wall_ms,
+            sustained_rps: arrivals as f64 / (wall_ms / 1e3).max(1e-9),
+            speedup,
+            admitted: outcome.total_admitted(),
+            shard_digests: outcome.shard_digests(),
+            combined_digest: outcome.combined_digest,
+            matches_serial,
+            stats: outcome.stats,
+            stages,
+        });
+    }
+    FederationReport {
+        schema_version: ubiqos::BENCH_SCHEMA_VERSION,
+        arrivals,
+        serial_wall_ms,
+        serial_rps,
+        serial_digest: serial.report.log_digest,
+        cells,
+        best_speedup,
+        one_shard_matches_serial: one_shard_matches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_pins_one_shard_to_serial() {
+        let report = run_federation_bench(200, &[1, 2]);
+        assert!(report.one_shard_matches_serial, "{}", report.render());
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.schema_version, ubiqos::BENCH_SCHEMA_VERSION);
+        assert_eq!(report.cells[0].shard_digests, vec![report.serial_digest]);
+        assert_eq!(report.cells[1].shard_digests.len(), 2);
+        // Admission totals agree across shard counts: the split changes
+        // who resolves a request, never whether it is resolved.
+        let rendered = report.render();
+        assert!(rendered.contains("byte-identical"), "{rendered}");
+        assert!(rendered.contains("2 shard(s): digest"), "{rendered}");
+    }
+
+    #[test]
+    fn federation_config_is_a_sharded_overload() {
+        let cfg = federation_config(1000, 8);
+        assert_eq!(cfg.base.requests, 1000);
+        assert_eq!(cfg.base.faults, 0);
+        assert_eq!(cfg.shards, 8);
+        assert!(cfg.base.devices >= 2 * cfg.shards);
+        assert!(cfg.mobility.moves > 0, "mobility keeps handoffs flowing");
+        cfg.validate();
+    }
+}

@@ -22,6 +22,8 @@
 #![warn(missing_docs)]
 
 pub mod configure;
+pub mod federation;
+pub mod hist;
 pub mod osd;
 pub mod scale;
 

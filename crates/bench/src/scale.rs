@@ -17,6 +17,7 @@
 //! checked by [`ScaleReport::scale_ok`] and surfaced by
 //! `repro -- scale`.
 
+use crate::hist::{match_cell, p99_us, Align, TextTable};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -111,34 +112,31 @@ impl ScaleReport {
             "{} arrivals, serial {:.0} ms ({:.0} req/s), digest {:#018x}\n",
             self.arrivals, self.serial_wall_ms, self.serial_rps, self.serial_digest
         );
-        let _ = writeln!(
-            out,
-            "{:>5} | {:>7} | {:>9} | {:>7} | {:>7} | {:>7} | {:>8} | {:>12} | {:>6}",
-            "batch",
-            "threads",
-            "wall ms",
-            "req/s",
-            "speedup",
-            "adopted",
-            "inline",
-            "p99 wait us",
-            "digest"
-        );
+        let mut table = TextTable::new(&[
+            ("batch", 5, Align::Right),
+            ("threads", 7, Align::Right),
+            ("wall ms", 9, Align::Right),
+            ("req/s", 7, Align::Right),
+            ("speedup", 7, Align::Right),
+            ("adopted", 7, Align::Right),
+            ("inline", 8, Align::Right),
+            ("p99 wait us", 12, Align::Right),
+            ("digest", 6, Align::Right),
+        ]);
         for c in &self.cells {
-            let _ = writeln!(
-                out,
-                "{:>5} | {:>7} | {:>9.0} | {:>7.0} | {:>6.2}x | {:>7} | {:>8} | {:>12} | {:>6}",
-                c.batch_size,
-                c.threads,
-                c.wall_ms,
-                c.sustained_rps,
-                c.speedup,
-                c.stats.adopted,
-                c.stats.inline_speculated,
-                c.stages.queue_wait_us.quantile_upper(0.99),
-                if c.matches_serial { "==" } else { "DRIFT" }
-            );
+            table.row(&[
+                c.batch_size.to_string(),
+                c.threads.to_string(),
+                format!("{:.0}", c.wall_ms),
+                format!("{:.0}", c.sustained_rps),
+                format!("{:.2}x", c.speedup),
+                c.stats.adopted.to_string(),
+                c.stats.inline_speculated.to_string(),
+                p99_us(&c.stages.queue_wait_us).to_string(),
+                match_cell(c.matches_serial).to_string(),
+            ]);
         }
+        out.push_str(&table.finish());
         let _ = writeln!(
             out,
             "best speedup {:.2}x at the widest thread count; digests {}",

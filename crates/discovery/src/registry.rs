@@ -194,6 +194,45 @@ impl ServiceRegistry {
         self.domains.len()
     }
 
+    /// The direct children of `id`, in id order.
+    pub fn children(&self, id: DomainId) -> Vec<DomainId> {
+        (0..self.domains.len())
+            .map(DomainId::from_index)
+            .filter(|&c| self.domains[c.index()].parent == Some(id))
+            .collect()
+    }
+
+    /// `id`'s ancestor chain, nearest parent first (empty for a root).
+    pub fn ancestors(&self, id: DomainId) -> Vec<DomainId> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        while let Some(parent) = self.domains.get(cur.index()).and_then(|d| d.parent) {
+            chain.push(parent);
+            cur = parent;
+        }
+        chain
+    }
+
+    /// The deterministic order a federated resolver consults domains in
+    /// when a query cannot be satisfied inside `id`: the domain itself,
+    /// then its ancestors nearest-first, then its siblings (other
+    /// children of its parent) in id order, then every remaining domain
+    /// in id order. Each domain appears exactly once.
+    pub fn resolution_order(&self, id: DomainId) -> Vec<DomainId> {
+        let mut order = vec![id];
+        order.extend(self.ancestors(id));
+        if let Some(parent) = self.domains.get(id.index()).and_then(|d| d.parent) {
+            order.extend(self.children(parent).into_iter().filter(|&s| s != id));
+        }
+        for i in 0..self.domains.len() {
+            let d = DomainId::from_index(i);
+            if !order.contains(&d) {
+                order.push(d);
+            }
+        }
+        order
+    }
+
     /// The registry's current epoch: a monotonic counter bumped by every
     /// mutation. Two equal epochs guarantee identical discovery results
     /// for identical queries, which is what lets higher layers memoize
@@ -928,5 +967,34 @@ mod tests {
         assert_eq!(r.domain(campus).unwrap().name, "campus");
         assert!(r.domain(office).unwrap().parent.is_some());
         assert!(r.domain(DomainId::from_index(99)).is_none());
+    }
+
+    #[test]
+    fn domain_tree_helpers() {
+        let (mut r, campus, building, office) = registry_with_hierarchy();
+        let lab = r.add_domain("lab", Some(building));
+        assert_eq!(r.children(campus), vec![building]);
+        assert_eq!(r.children(building), vec![office, lab]);
+        assert!(r.children(office).is_empty());
+        assert_eq!(r.ancestors(office), vec![building, campus]);
+        assert!(r.ancestors(campus).is_empty());
+    }
+
+    #[test]
+    fn resolution_order_is_self_ancestors_siblings_rest() {
+        let (mut r, campus, building, office) = registry_with_hierarchy();
+        let lab = r.add_domain("lab", Some(building));
+        let annex = r.add_domain("annex", Some(campus));
+        // office: itself, parents nearest-first, sibling lab, then the
+        // remaining domain (annex) in id order. Each exactly once.
+        assert_eq!(
+            r.resolution_order(office),
+            vec![office, building, campus, lab, annex]
+        );
+        // A root has no ancestors or siblings; the rest follow in order.
+        assert_eq!(
+            r.resolution_order(campus),
+            vec![campus, building, office, lab, annex]
+        );
     }
 }

@@ -221,6 +221,10 @@ pub struct DomainServer {
     /// Witnessed stale-view activation failures (atomic: the check runs
     /// inside `configure`, which is `&self`).
     stale_views: AtomicU64,
+    /// Which federation shard this server runs as (`0` when unsharded).
+    /// Only routes wall-clock queue-wait samples to their per-shard
+    /// histogram slot — never read by any deterministic path.
+    shard_index: usize,
     next_session: u64,
     now_ms: f64,
 }
@@ -278,6 +282,7 @@ impl DomainServer {
             unreachable: BTreeSet::new(),
             suspected: BTreeSet::new(),
             stale_views: AtomicU64::new(0),
+            shard_index: 0,
             next_session: 0,
             now_ms: 0.0,
         }
@@ -371,13 +376,25 @@ impl DomainServer {
 
     /// Records one pipeline-runtime queue-wait sample (µs between an
     /// event's batch admission and its deterministic commit) into the
-    /// stage profile. Wall-clock only — never observable in logs.
+    /// stage profile, attributed to this server's shard slot — no single
+    /// global admission queue is assumed. Wall-clock only — never
+    /// observable in logs.
     pub fn record_queue_wait_us(&self, us: u64) {
         self.stages
             .lock()
             .expect("stage lock")
-            .queue_wait_us
-            .record(us);
+            .record_shard_queue_wait(self.shard_index, us);
+    }
+
+    /// Declares which federation shard this server runs as, so queue-wait
+    /// samples land in the matching per-shard histogram slot.
+    pub fn set_shard_index(&mut self, shard: usize) {
+        self.shard_index = shard;
+    }
+
+    /// The shard index this server runs as (`0` when unsharded).
+    pub fn shard_index(&self) -> usize {
+        self.shard_index
     }
 
     /// Records one admitted batch's size into the stage profile.
@@ -402,6 +419,11 @@ impl DomainServer {
     /// Iterates over the parked sessions in id order.
     pub fn parked_sessions(&self) -> impl Iterator<Item = (SessionId, &ParkedSession)> {
         self.parked.iter().map(|(id, p)| (SessionId(id), p))
+    }
+
+    /// Whether `id` is currently parked in the retry queue.
+    pub fn is_parked(&self, id: SessionId) -> bool {
+        self.parked.contains(id.0)
     }
 
     /// Mutable access to the service registry (device/service arrival and

@@ -205,7 +205,7 @@ pub struct EventLog {
 }
 
 impl EventLog {
-    fn push(&mut self, idx: usize, at_h: f64, text: &str) {
+    pub(crate) fn push(&mut self, idx: usize, at_h: f64, text: &str) {
         self.push_args(idx, at_h, format_args!("{text}"));
     }
 
@@ -214,7 +214,7 @@ impl EventLog {
     /// loop's hot path: at 10⁵ arrivals the naive
     /// `format!("[{idx:04}] t={at_h:010.4}h {text}")` over a separately
     /// formatted `text` costs more than the admission work it records.
-    fn push_args(&mut self, idx: usize, at_h: f64, args: fmt::Arguments<'_>) {
+    pub(crate) fn push_args(&mut self, idx: usize, at_h: f64, args: fmt::Arguments<'_>) {
         let mut line = String::with_capacity(128);
         line.push('[');
         push_padded_int(&mut line, idx as u64, 4);
@@ -372,18 +372,18 @@ pub(crate) enum CampaignEvent {
 
 /// Ground-truth bookkeeping the imperfect detector is *not* allowed to
 /// read — only the harness (playing the role of physical reality) does.
-struct DetectorState {
+pub(crate) struct DetectorState {
     /// Nesting depth of partitions covering each device (> 0 = cut off).
-    partition_depth: Vec<u32>,
+    pub(crate) partition_depth: Vec<u32>,
     /// Heartbeats from each device are lost until this hour.
-    jam_until_h: Vec<f64>,
+    pub(crate) jam_until_h: Vec<f64>,
     /// Hour each currently-unreachable device became unreachable, for
     /// the soundness-after-grace invariant.
-    unreachable_since: BTreeMap<usize, f64>,
+    pub(crate) unreachable_since: BTreeMap<usize, f64>,
 }
 
 impl DetectorState {
-    fn new(devices: usize) -> Self {
+    pub(crate) fn new(devices: usize) -> Self {
         DetectorState {
             partition_depth: vec![0; devices],
             jam_until_h: vec![0.0; devices],
@@ -1058,7 +1058,7 @@ pub(crate) fn run_fault_campaign_impl(
 /// Applies one fault to the server, updating the bookkeeping and
 /// returning the log line describing what actually happened.
 #[allow(clippy::too_many_arguments)]
-fn apply_fault(
+pub(crate) fn apply_fault(
     server: &mut DomainServer,
     fault: &TimedFault,
     cfg: &FaultCampaignConfig,
@@ -1297,7 +1297,7 @@ fn apply_fault(
 /// parked sessions stay tracked (a later departure reaches them through
 /// `stop_session`), dropped ones leave the active maps. Every drop must
 /// carry its witnessing error (asserted here).
-fn absorb_recovery(
+pub(crate) fn absorb_recovery(
     rec: &RecoveryReport,
     active: &mut BTreeMap<usize, SessionId>,
     by_session: &mut BTreeMap<SessionId, usize>,
@@ -1339,7 +1339,7 @@ fn absorb_recovery(
 /// Counts one recovery pass's O(affected)-vs-O(considered) work into the
 /// campaign report (fault arms only — the retry-queue drain is not a
 /// pass).
-fn count_pass(rec: &RecoveryReport, report: &mut FaultReport) {
+pub(crate) fn count_pass(rec: &RecoveryReport, report: &mut FaultReport) {
     report.recovery_passes += 1;
     report.recovery_considered += rec.considered as u32;
     report.recovery_affected += rec.affected as u32;

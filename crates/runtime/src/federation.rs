@@ -1,0 +1,2427 @@
+//! Sharded multi-domain federation: the fault-campaign harness scaled
+//! out over N [`DomainServer`] shards.
+//!
+//! PR 1-6 grew a single domain server that admits, degrades, parks,
+//! and recovers sessions under a deterministic fault schedule. This
+//! module shards that world: the device space splits into contiguous
+//! blocks, each owned by one `DomainServer` keyed to a subtree of the
+//! shared [`DomainId`] tree (`campus` → optional `wing{w}` → `shard{s}`),
+//! and the shards communicate *only* by typed message passing over a
+//! [`Transport`] (the in-process [`ChannelTransport`] here; a socket
+//! transport can slot in later without touching the protocol).
+//!
+//! ## Cross-domain discovery
+//!
+//! An arrival is routed to the shard owning its client device. When
+//! that shard cannot compose the application locally (its registry is
+//! specialized and lacks the service type), it resolves through the
+//! domain tree: candidate shards in
+//! [`ServiceRegistry::resolution_order`](ubiqos_discovery::ServiceRegistry::resolution_order)
+//! order (same wing first, then the rest) are probed with
+//! [`FederationMsg::DiscoverRemote`], and the first shard advertising
+//! the missing type admits the session itself.
+//!
+//! ## Two-phase session handoff
+//!
+//! A `move-user` whose destination device lives on another shard runs
+//! a two-phase protocol: **reserve** on the destination (resources
+//! charged there under a lease), then **commit-and-release** on the
+//! source after `commit_lag_h` — with exact refunds on every abort
+//! path. The protocol stays correct when the detector suspects either
+//! shard mid-move:
+//!
+//! * destination suspected at initiation → the session is *parked*
+//!   into the PR-3 retry queue on the source with a witnessed
+//!   [`ConfigureError::StaleView`], never half-moved;
+//! * destination suspected at decide time → abort, and the
+//!   destination's reservation is released by its own lease expiry
+//!   (`reserve_grace_h`), witnessed in its log;
+//! * source partitioned at decide time → abort; the abort message is
+//!   delivered only after the partition heals, and the reservation
+//!   lease expires first, cleaning up without it.
+//!
+//! `commit_lag_h < reserve_grace_h` is enforced, so a commit always
+//! races ahead of its own reservation's expiry while both shards are
+//! healthy; a *late* commit (delivered after expiry because of a
+//! partition) re-admits the session on the destination instead of
+//! double-charging it.
+//!
+//! ## Ordering and determinism
+//!
+//! All cross-shard events commit in the established total order — the
+//! global DES queue pops (virtual time, then scheduling sequence), and
+//! every in-flight message carries a sequence number so same-instant
+//! deliveries replay in send order. Overlay events (reserve decides,
+//! lease expiries, deferred deliveries) only exist when `shards > 1`,
+//! so the 1-shard configuration pops the *identical* event sequence as
+//! the serial reference and reproduces its log **byte-identically**;
+//! per-shard digests at every other shard count are pinned in
+//! `tests/federation_equivalence.rs`.
+
+use crate::domain_server::{DomainServer, SessionId};
+use crate::faults::{
+    app_template, apply_fault, build_space, campaign_schedule, check_invariants, count_pass,
+    splitmix64, DetectorState, EventLog, FaultCampaignConfig, InvariantViolation,
+};
+use crate::profiler::StageTimes;
+use crate::recovery::RecoveryReport;
+use crate::retry_queue::RetryPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use ubiqos::fault_report::fnv1a;
+use ubiqos::{ConfigureError, FaultReport};
+use ubiqos_composition::DegradationLadder;
+use ubiqos_discovery::{DiscoveryQuery, DomainId, ServiceRegistry};
+use ubiqos_graph::{AbstractServiceGraph, DeviceId};
+use ubiqos_model::QosVector;
+use ubiqos_sim::{
+    merge_schedules, EventQueue, FaultKind, MobilityWaveConfig, Request, TimedFault, WorkloadConfig,
+};
+
+/// Slack for "has this instant passed" comparisons on event times.
+const TIME_EPS: f64 = 1e-9;
+
+/// One scheduled shard-level partition: the federation's failure
+/// detector loses contact with `shard` for `[from_h, to_h)` hours.
+/// Messages to or from the shard are deferred until the heal; the
+/// shard itself keeps running (it is partitioned, not crashed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPartition {
+    /// The shard cut off from its peers.
+    pub shard: usize,
+    /// Partition start (hours).
+    pub from_h: f64,
+    /// Heal time (hours, exclusive).
+    pub to_h: f64,
+}
+
+/// Parameters of one federated campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederationConfig {
+    /// The underlying fault-campaign config. `base.devices` is the
+    /// *global* device count, split contiguously across the shards;
+    /// workload, fault schedule, and client draws all derive from
+    /// `base.seed` exactly as in the serial harness.
+    pub base: FaultCampaignConfig,
+    /// Number of `DomainServer` shards (≥ 1; every shard needs ≥ 2
+    /// devices). `1` reproduces the serial reference byte-identically.
+    pub shards: usize,
+    /// Mobility-wave overlay merged into the base fault schedule —
+    /// the bursts of `move-user`/`switch-device` events that drag
+    /// sessions across shard boundaries.
+    pub mobility: MobilityWaveConfig,
+    /// Hours between a handoff's reserve and its commit/abort decision
+    /// on the source shard. Must be strictly less than
+    /// `reserve_grace_h`.
+    pub commit_lag_h: f64,
+    /// Reservation lease on the destination shard: a reserved-but-not
+    /// -committed session is released (exact refund) this many hours
+    /// after the reserve, witnessing the source's stale view.
+    pub reserve_grace_h: f64,
+    /// Scheduled shard-level partitions (the federation-level analog
+    /// of the PR-5 device partitions).
+    pub shard_partitions: Vec<ShardPartition>,
+    /// Grace before a partitioned shard is *suspected* by its peers.
+    pub shard_grace_h: f64,
+    /// Inter-shard heartbeat period: a healed shard stays suspected
+    /// until its next heartbeat multiple.
+    pub shard_heartbeat_h: f64,
+    /// When `true` (and `shards > 1`), odd shards drop their
+    /// space-wide `mpeg-source` so cross-shard discovery has real work
+    /// to do. The 1-shard configuration never specializes.
+    pub specialize_registry: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            base: FaultCampaignConfig::default(),
+            shards: 1,
+            mobility: MobilityWaveConfig {
+                devices: FaultCampaignConfig::default().devices,
+                ..MobilityWaveConfig::default()
+            },
+            commit_lag_h: 0.02,
+            reserve_grace_h: 0.1,
+            shard_partitions: Vec::new(),
+            shard_grace_h: 0.05,
+            shard_heartbeat_h: 0.25,
+            specialize_registry: true,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// The merged fault schedule this config runs: the seeded base
+    /// campaign schedule plus the mobility-wave overlay, in the
+    /// deterministic merge order. The serial equivalence reference is
+    /// `run_fault_campaign_with(&cfg.base, &cfg.schedule())`.
+    pub fn schedule(&self) -> Vec<TimedFault> {
+        merge_schedules(&campaign_schedule(&self.base), &self.mobility.generate())
+    }
+
+    /// Checks structural validity (shard/device arithmetic, lease
+    /// windows, partition windows).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid config.
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "federation needs at least one shard");
+        assert!(
+            self.base.devices >= 2 * self.shards,
+            "every shard needs at least 2 devices ({} devices / {} shards)",
+            self.base.devices,
+            self.shards
+        );
+        assert!(
+            self.commit_lag_h > 0.0 && self.commit_lag_h < self.reserve_grace_h,
+            "commit lag must fall strictly inside the reservation lease"
+        );
+        assert!(self.shard_grace_h > 0.0, "shard grace must be positive");
+        assert!(
+            self.shard_heartbeat_h > 0.0,
+            "shard heartbeat period must be positive"
+        );
+        if self.mobility.moves > 0 {
+            assert!(
+                self.mobility.devices <= self.base.devices,
+                "mobility destinations must index the global device space"
+            );
+        }
+        for p in &self.shard_partitions {
+            assert!(p.shard < self.shards, "partitioned shard out of range");
+            assert!(
+                p.from_h.is_finite() && p.to_h.is_finite() && p.from_h < p.to_h,
+                "shard partition window must be a finite forward interval"
+            );
+        }
+    }
+}
+
+/// The typed messages shards exchange. A socket transport would carry
+/// exactly these (plus serialized session snapshots for `Reserve`,
+/// which the in-process transport reads from the shared handoff table).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FederationMsg {
+    /// "Does your registry advertise `service_type`?" — cross-domain
+    /// discovery for request `req`, resolved through the domain tree.
+    DiscoverRemote {
+        /// The service type the origin shard lacks.
+        service_type: String,
+        /// The workload request being resolved (transcript context).
+        req: usize,
+    },
+    /// Reply to [`FederationMsg::DiscoverRemote`].
+    DiscoverFound {
+        /// Whether the queried registry advertises the type.
+        found: bool,
+    },
+    /// Phase 1: charge resources for handoff `hid` on the destination
+    /// under a lease.
+    Reserve {
+        /// The handoff this reserve belongs to.
+        hid: u64,
+    },
+    /// The destination holds a reservation for `hid`.
+    ReserveOk {
+        /// The acknowledged handoff.
+        hid: u64,
+    },
+    /// The destination could not place the session.
+    ReserveErr {
+        /// The declined handoff.
+        hid: u64,
+        /// Why placement failed (display form of the configure error).
+        error: String,
+    },
+    /// Phase 2: the source released the session; the destination
+    /// promotes its reservation to ownership.
+    Commit {
+        /// The committed handoff.
+        hid: u64,
+    },
+    /// Phase 2 alternative: release the reservation, exact refund.
+    Abort {
+        /// The aborted handoff.
+        hid: u64,
+    },
+}
+
+/// One in-flight message: payload plus the routing and ordering
+/// envelope the transport delivers it under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Global send sequence — same-instant deliveries replay in send
+    /// order, keeping the cross-shard event order total.
+    pub seq: u64,
+    /// Sending shard.
+    pub from: usize,
+    /// Receiving shard.
+    pub to: usize,
+    /// Virtual hour the message was sent.
+    pub sent_at_h: f64,
+    /// Virtual hour the message becomes deliverable — `sent_at_h`
+    /// unless a shard partition defers it to the heal.
+    pub deliver_at_h: f64,
+    /// The payload.
+    pub msg: FederationMsg,
+}
+
+/// Message fabric between shards. The engine is transport-agnostic:
+/// anything that can queue an [`Envelope`] per destination shard and
+/// hand queued envelopes back works (sockets later; channels now).
+pub trait Transport {
+    /// Queues `env` for its destination shard.
+    fn send(&mut self, env: Envelope);
+    /// Removes and returns everything queued for `shard`, in send
+    /// order.
+    fn drain(&mut self, shard: usize) -> Vec<Envelope>;
+}
+
+/// The in-process transport: one `std::sync::mpsc` channel per shard.
+pub struct ChannelTransport {
+    senders: Vec<mpsc::Sender<Envelope>>,
+    receivers: Vec<mpsc::Receiver<Envelope>>,
+}
+
+impl ChannelTransport {
+    /// A fabric connecting `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        ChannelTransport { senders, receivers }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, env: Envelope) {
+        self.senders[env.to]
+            .send(env)
+            .expect("own receiver outlives the fabric");
+    }
+
+    fn drain(&mut self, shard: usize) -> Vec<Envelope> {
+        self.receivers[shard].try_iter().collect()
+    }
+}
+
+/// Federation-level counters (all deterministic; serialized into
+/// `BENCH_federation.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FederationStats {
+    /// Envelopes sent over the transport.
+    pub messages: u64,
+    /// Cross-domain discovery probes issued.
+    pub remote_discoveries: u64,
+    /// Arrivals admitted on a non-home shard after remote discovery.
+    pub forwarded: u64,
+    /// Two-phase handoffs started.
+    pub handoffs_initiated: u64,
+    /// Handoffs whose source committed (custody transferred).
+    pub handoffs_committed: u64,
+    /// Handoffs aborted at or before decide time.
+    pub handoffs_aborted: u64,
+    /// Moves parked on the source because the destination shard was
+    /// suspected at initiation.
+    pub handoffs_parked_dest_suspected: u64,
+    /// Destination reservations released by their own lease expiry.
+    pub reservation_expiries: u64,
+    /// Commits delivered after the reservation lease had expired
+    /// (re-admitted instead of promoted).
+    pub late_commits: u64,
+    /// Sessions each shard committed *away* (by shard index).
+    pub handed_out: Vec<u32>,
+    /// Sessions each shard received custody of (by shard index).
+    pub handed_in: Vec<u32>,
+    /// Arrivals each shard forwarded elsewhere (by shard index).
+    pub forwarded_out: Vec<u32>,
+    /// Forwarded arrivals each shard resolved (by shard index).
+    pub forwarded_in: Vec<u32>,
+}
+
+impl FederationStats {
+    fn new(shards: usize) -> Self {
+        FederationStats {
+            handed_out: vec![0; shards],
+            handed_in: vec![0; shards],
+            forwarded_out: vec![0; shards],
+            forwarded_in: vec![0; shards],
+            ..FederationStats::default()
+        }
+    }
+}
+
+/// One shard's finished campaign: its report, full event log, and
+/// wall-clock stage profile.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Aggregate counters and the shard's log digest.
+    pub report: FaultReport,
+    /// The shard's deterministic event log.
+    pub log: EventLog,
+    /// Wall-clock stage profile (never feeds logs or digests).
+    pub stages: StageTimes,
+}
+
+/// A finished federated campaign.
+#[derive(Debug, Clone)]
+pub struct FederationOutcome {
+    /// Per-shard outcomes, by shard index.
+    pub shards: Vec<ShardOutcome>,
+    /// Federation-level counters.
+    pub stats: FederationStats,
+    /// FNV-1a over the concatenated per-shard log digests (little
+    /// -endian) — one number pinning the whole federated run.
+    pub combined_digest: u64,
+}
+
+impl FederationOutcome {
+    /// Per-shard log digests, by shard index.
+    pub fn shard_digests(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.report.log_digest).collect()
+    }
+
+    /// The federated fate ledger: per shard, every arrival was
+    /// admitted or denied, and every session the shard ever owned
+    /// (admitted locally or handed in) completed, dropped, stayed
+    /// live or parked, or was handed out — nothing duplicated,
+    /// nothing leaked.
+    pub fn fates_balance(&self) -> bool {
+        self.shards.iter().enumerate().all(|(s, sh)| {
+            let r = &sh.report;
+            r.arrivals == r.admitted + r.denied
+                && r.admitted + self.stats.handed_in[s]
+                    == r.completed
+                        + r.dropped
+                        + r.live_at_end
+                        + r.parked_at_end
+                        + self.stats.handed_out[s]
+        })
+    }
+
+    /// Total admitted sessions across the federation.
+    pub fn total_admitted(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| u64::from(s.report.admitted))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------
+
+/// One event in the federated timeline. `Arrival`/`Departure`/`Fault`/
+/// `Heartbeat`/`LeaseCheck` are scheduled in the serial harness's exact
+/// setup order (so the 1-shard pop sequence is identical); `Decide`,
+/// `Expire`, and `Deliver` are federation overlays that only exist at
+/// `shards > 1`.
+#[derive(Debug, Clone, Copy)]
+enum FedEvent {
+    Arrival(usize),
+    Departure(usize),
+    Fault(usize),
+    Heartbeat(usize),
+    LeaseCheck(usize),
+    /// Commit-or-abort decision for handoff `hid` on its source shard.
+    Decide(u64),
+    /// Reservation lease expiry for handoff `hid` on its destination.
+    Expire(u64),
+    /// A deferred message for `shard` becomes deliverable.
+    Deliver(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandoffState {
+    Reserving,
+    Reserved,
+    Committed,
+    Aborted,
+}
+
+/// What the destination currently holds for a handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reservation {
+    /// Nothing reserved (yet, or ever).
+    None,
+    /// A live reserved session (raw id), resources charged.
+    Live(u64),
+    /// The reservation was parked by a destination-side recovery pass.
+    Parked(u64),
+    /// Released by lease expiry before commit/abort arrived.
+    Expired,
+    /// Dropped by a destination-side recovery pass (witnessed).
+    Dead,
+    /// Fully resolved (promoted, released, or declined).
+    Done,
+}
+
+/// One two-phase session handoff.
+struct Handoff {
+    req: usize,
+    source: usize,
+    dest: usize,
+    sid: SessionId,
+    is_move: bool,
+    name: String,
+    graph: AbstractServiceGraph,
+    qos: QosVector,
+    client_local: usize,
+    to_global: usize,
+    state: HandoffState,
+    reservation: Reservation,
+    /// The user departed while the session was in flight; the commit
+    /// completes it on arrival.
+    departed: bool,
+}
+
+/// Where a request's session currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// Owned by `shard` as session `id` (live or parked there).
+    At { shard: usize, id: SessionId },
+    /// Mid-handoff: released by the source, not yet landed.
+    InFlight { hid: u64 },
+    /// Resolved (completed, dropped, or denied) on `shard`.
+    Gone { shard: usize },
+}
+
+/// One shard: a full serial-harness state bundle around its own
+/// `DomainServer`.
+struct Shard {
+    server: DomainServer,
+    /// The base config with `devices` rewritten to this shard's size.
+    cfg: FaultCampaignConfig,
+    log: EventLog,
+    report: FaultReport,
+    down: BTreeSet<usize>,
+    det: DetectorState,
+    active: BTreeMap<usize, SessionId>,
+    by_session: BTreeMap<SessionId, usize>,
+    last_h: f64,
+    idx: usize,
+    iterations: u64,
+    last_sweep_h: Option<f64>,
+}
+
+struct Engine<'a> {
+    cfg: &'a FederationConfig,
+    schedule: Vec<TimedFault>,
+    trace: Vec<Request>,
+    shards: Vec<Shard>,
+    /// Global index of each shard's first device.
+    offsets: Vec<usize>,
+    sizes: Vec<usize>,
+    /// Per shard: the other shards in domain-tree resolution order.
+    candidates: Vec<Vec<usize>>,
+    specialized: bool,
+    imperfect: bool,
+    grace_ms: f64,
+    hb_end_h: f64,
+    queue: EventQueue<FedEvent>,
+    transport: Box<dyn Transport>,
+    /// Undelivered envelopes keyed by (deliver-time bits, seq) — the
+    /// deterministic delivery order.
+    pending: BTreeMap<(u64, u64), Envelope>,
+    next_seq: u64,
+    next_hid: u64,
+    handoffs: BTreeMap<u64, Handoff>,
+    /// (shard, raw reserved id) → handoff — how destination-side
+    /// recovery passes recognize reservations.
+    res_index: BTreeMap<(usize, u64), u64>,
+    /// Request index → current session location.
+    directory: BTreeMap<usize, Loc>,
+    stats: FederationStats,
+}
+
+/// Builds the shared domain tree into one shard's registry and returns
+/// the shard-domain ids (identical across shards — every registry runs
+/// the same construction). With ≥ 4 shards the tree gets a wing layer
+/// (two shards per wing), so resolution order prefers the same-wing
+/// sibling before crossing the campus.
+fn build_domain_tree(reg: &mut ServiceRegistry, shards: usize) -> Vec<DomainId> {
+    let root = reg.add_domain("campus", None);
+    if shards >= 4 {
+        let wing_ids: Vec<DomainId> = (0..shards.div_ceil(2))
+            .map(|w| reg.add_domain(format!("wing{w}"), Some(root)))
+            .collect();
+        (0..shards)
+            .map(|s| reg.add_domain(format!("shard{s}"), Some(wing_ids[s / 2])))
+            .collect()
+    } else {
+        (0..shards)
+            .map(|s| reg.add_domain(format!("shard{s}"), Some(root)))
+            .collect()
+    }
+}
+
+/// Runs a federated campaign with the config-derived schedule.
+///
+/// # Panics
+///
+/// Panics on a structurally invalid config (see
+/// [`FederationConfig::validate`]).
+pub fn run_federation_campaign(
+    cfg: &FederationConfig,
+) -> Result<FederationOutcome, InvariantViolation> {
+    run_federation_campaign_with(cfg, &cfg.schedule())
+}
+
+/// Runs a federated campaign against an explicit (already merged)
+/// fault schedule, over the in-process [`ChannelTransport`].
+pub fn run_federation_campaign_with(
+    cfg: &FederationConfig,
+    schedule: &[TimedFault],
+) -> Result<FederationOutcome, InvariantViolation> {
+    let transport = Box::new(ChannelTransport::new(cfg.shards));
+    run_federation_campaign_over(cfg, schedule, transport)
+}
+
+/// Runs a federated campaign over a caller-supplied transport.
+pub fn run_federation_campaign_over(
+    cfg: &FederationConfig,
+    schedule: &[TimedFault],
+    transport: Box<dyn Transport>,
+) -> Result<FederationOutcome, InvariantViolation> {
+    cfg.validate();
+    let mut engine = Engine::new(cfg, schedule.to_vec(), transport);
+    engine.run()?;
+    Ok(engine.finish())
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a FederationConfig,
+        schedule: Vec<TimedFault>,
+        transport: Box<dyn Transport>,
+    ) -> Self {
+        let n = cfg.shards;
+        let base = &cfg.base;
+        // Contiguous device blocks: D/N each, first D%N shards one
+        // larger.
+        let mut sizes = vec![base.devices / n; n];
+        for size in sizes.iter_mut().take(base.devices % n) {
+            *size += 1;
+        }
+        let mut offsets = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let specialized = n > 1 && cfg.specialize_registry;
+
+        let mut shards = Vec::with_capacity(n);
+        let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for (s, &size) in sizes.iter().enumerate() {
+            let mut server = build_space(size);
+            server.set_shard_index(s);
+            let mut local = base.clone();
+            local.devices = size;
+            if !local.staged_recovery {
+                server.set_ladder(DegradationLadder::strict());
+                server.set_retry_policy(RetryPolicy::strict());
+            }
+            server.set_config_cache(local.config_cache);
+            let shard_domains = build_domain_tree(server.registry_mut(), n);
+            if candidates.is_empty() {
+                // Same tree in every registry — compute the resolution
+                // orders once, from the first.
+                for (me, &dom) in shard_domains.iter().enumerate() {
+                    let order = server.registry().resolution_order(dom);
+                    candidates.push(
+                        order
+                            .iter()
+                            .filter_map(|d| shard_domains.iter().position(|x| x == d))
+                            .filter(|&x| x != me)
+                            .collect(),
+                    );
+                }
+            }
+            if specialized && s % 2 == 1 {
+                server.registry_mut().unregister("mpeg-source@space");
+            }
+            shards.push(Shard {
+                server,
+                log: EventLog::default(),
+                report: FaultReport {
+                    seed: base.seed,
+                    ..FaultReport::default()
+                },
+                down: BTreeSet::new(),
+                det: DetectorState::new(size),
+                active: BTreeMap::new(),
+                by_session: BTreeMap::new(),
+                last_h: 0.0,
+                idx: 0,
+                iterations: 0,
+                last_sweep_h: None,
+                cfg: local,
+            });
+        }
+
+        let workload = WorkloadConfig::overload(base.requests, base.horizon_h);
+        let mut rng = StdRng::seed_from_u64(base.seed);
+        let trace = workload.generate(&mut rng);
+
+        let imperfect = !base.perfect_detection();
+        let grace_ms = base.detection_grace_h * 3_600_000.0;
+        let hb_steps = if imperfect {
+            assert!(
+                base.heartbeat_period_h > 0.0,
+                "imperfect detection needs a positive heartbeat period"
+            );
+            (base.horizon_h / base.heartbeat_period_h).floor() as usize
+        } else {
+            0
+        };
+        let hb_end_h = hb_steps as f64 * base.heartbeat_period_h;
+
+        // Exact serial setup order: arrival+departure per request,
+        // faults per schedule index, heartbeats device-major over the
+        // *global* device index. At one shard this makes the DES pop
+        // sequence identical to the reference.
+        let mut queue: EventQueue<FedEvent> = EventQueue::new();
+        for (i, r) in trace.iter().enumerate() {
+            queue.schedule(r.arrival_h, FedEvent::Arrival(i));
+            queue.schedule(r.departure_h(), FedEvent::Departure(i));
+        }
+        for (j, f) in schedule.iter().enumerate() {
+            queue.schedule(f.at_h, FedEvent::Fault(j));
+        }
+        if imperfect {
+            for d in 0..base.devices {
+                for k in 0..=hb_steps {
+                    queue.schedule(k as f64 * base.heartbeat_period_h, FedEvent::Heartbeat(d));
+                }
+            }
+        }
+
+        let stats = FederationStats::new(n);
+        Engine {
+            cfg,
+            schedule,
+            trace,
+            shards,
+            offsets,
+            sizes,
+            candidates,
+            specialized,
+            imperfect,
+            grace_ms,
+            hb_end_h,
+            queue,
+            transport,
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            next_hid: 0,
+            handoffs: BTreeMap::new(),
+            res_index: BTreeMap::new(),
+            directory: BTreeMap::new(),
+            stats,
+        }
+    }
+
+    /// The shard owning global device `g`.
+    fn owner(&self, g: usize) -> usize {
+        debug_assert!(g < self.cfg.base.devices, "global device in range");
+        match self.offsets.binary_search(&g) {
+            Ok(s) => s,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Advances shard `s`'s virtual clock to `at_h` (monotone, exactly
+    /// the serial `play` step).
+    fn advance(&mut self, s: usize, at_h: f64) {
+        let shard = &mut self.shards[s];
+        let delta_h = (at_h - shard.last_h).max(0.0);
+        shard.server.play(delta_h * 3600.0);
+        shard.last_h = at_h;
+    }
+
+    /// Appends one line to shard `s`'s log.
+    fn slog(&mut self, s: usize, at_h: f64, line: &str) {
+        let shard = &mut self.shards[s];
+        let idx = shard.idx;
+        shard.log.push(idx, at_h, line);
+        shard.idx += 1;
+    }
+
+    /// Whether shard `s` is reachable (no partition window covers `t`).
+    fn reachable_shard(&self, s: usize, t: f64) -> bool {
+        !self
+            .cfg
+            .shard_partitions
+            .iter()
+            .any(|p| p.shard == s && t >= p.from_h && t < p.to_h)
+    }
+
+    /// Whether the federation's failure detector suspects shard `s` at
+    /// `t`: a partition has lasted past the grace, and the suspicion
+    /// holds until the first heartbeat multiple at or after the heal.
+    /// Closed-form over the schedule — no DES events, so overlay
+    /// timing never perturbs the per-shard event order.
+    fn suspected_shard(&self, s: usize, t: f64) -> bool {
+        self.cfg.shard_partitions.iter().any(|p| {
+            if p.shard != s {
+                return false;
+            }
+            let from = p.from_h + self.cfg.shard_grace_h;
+            let to = (p.to_h / self.cfg.shard_heartbeat_h).ceil() * self.cfg.shard_heartbeat_h;
+            t >= from && t < to
+        })
+    }
+
+    /// When a message sent at `at_h` between `from` and `to` becomes
+    /// deliverable: the first instant no partition window covers either
+    /// endpoint (fixpoint over the windows).
+    fn delivery_time(&self, from: usize, to: usize, at_h: f64) -> f64 {
+        let mut t = at_h;
+        loop {
+            let mut moved = false;
+            for p in &self.cfg.shard_partitions {
+                if (p.shard == from || p.shard == to) && t >= p.from_h && t < p.to_h {
+                    t = p.to_h;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return t;
+            }
+        }
+    }
+
+    /// Sends a message: stamps the envelope, counts it, hands it to
+    /// the transport, and — when delivery is deferred by a partition —
+    /// schedules the wakeup that pumps it.
+    fn send(&mut self, from: usize, to: usize, at_h: f64, msg: FederationMsg) {
+        let deliver_at_h = self.delivery_time(from, to, at_h);
+        let env = Envelope {
+            seq: self.next_seq,
+            from,
+            to,
+            sent_at_h: at_h,
+            deliver_at_h,
+            msg,
+        };
+        self.next_seq += 1;
+        self.stats.messages += 1;
+        self.transport.send(env);
+        if deliver_at_h > at_h + TIME_EPS {
+            self.queue.schedule(deliver_at_h, FedEvent::Deliver(to));
+        }
+    }
+
+    fn run(&mut self) -> Result<(), InvariantViolation> {
+        self.run_events()?;
+        self.finalize_shards()
+    }
+
+    fn run_events(&mut self) -> Result<(), InvariantViolation> {
+        while let Some((at_h, event)) = self.queue.pop() {
+            let mut touched: BTreeSet<usize> = BTreeSet::new();
+            match event {
+                FedEvent::Arrival(i) => self.on_arrival(i, at_h, &mut touched),
+                FedEvent::Departure(i) => self.on_departure(i, at_h, &mut touched),
+                FedEvent::Fault(j) => self.on_fault(j, at_h, &mut touched),
+                FedEvent::Heartbeat(g) => self.on_heartbeat(g, at_h, &mut touched),
+                FedEvent::LeaseCheck(g) => self.on_lease_check(g, at_h, &mut touched),
+                FedEvent::Decide(hid) => self.on_decide(hid, at_h, &mut touched),
+                FedEvent::Expire(hid) => self.on_expire(hid, at_h, &mut touched),
+                FedEvent::Deliver(to) => {
+                    // The pump below delivers everything due.
+                    debug_assert!(to < self.shards.len(), "deliver target in range");
+                }
+            }
+            self.pump(at_h, &mut touched);
+            for s in touched {
+                self.finish_event(s, at_h)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes an arrival: serial client draw over the *global* up
+    /// list, admission on the owner shard, cross-domain forwarding
+    /// when a specialized registry lacks the service type.
+    fn on_arrival(&mut self, i: usize, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let req = self.trace[i];
+        let mut up: Vec<usize> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            let off = self.offsets[s];
+            up.extend(
+                (0..self.sizes[s])
+                    .filter(|d| !sh.down.contains(d))
+                    .map(|d| off + d),
+            );
+        }
+        let client = up[(splitmix64(self.cfg.base.seed ^ i as u64) % up.len() as u64) as usize];
+        let a = self.owner(client);
+        let client_local = client - self.offsets[a];
+        self.advance(a, at_h);
+        touched.insert(a);
+        self.shards[a].report.events += 1;
+        let (name, graph) = app_template(req.graph_index);
+        let outcome = self.shards[a].server.start_session(
+            format!("{name}-{i}"),
+            graph,
+            QosVector::new(),
+            DeviceId::from_index(client_local),
+        );
+        match outcome {
+            Ok(id) => {
+                let shard = &mut self.shards[a];
+                shard.report.arrivals += 1;
+                shard.report.admitted += 1;
+                shard.active.insert(i, id);
+                shard.by_session.insert(id, i);
+                self.directory.insert(i, Loc::At { shard: a, id });
+                self.slog(
+                    a,
+                    at_h,
+                    &format!("arrive  req{i} {name} client=dev{client} -> admitted as {id}"),
+                );
+            }
+            Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
+                let (_, graph) = app_template(req.graph_index);
+                let shard = &mut self.shards[a];
+                shard.report.arrivals += 1;
+                shard.report.admitted += 1;
+                shard.report.parked += 1;
+                let id = shard.server.park_arrival(
+                    format!("{name}-{i}"),
+                    graph,
+                    QosVector::new(),
+                    DeviceId::from_index(client_local),
+                    None,
+                    e,
+                );
+                shard.active.insert(i, id);
+                shard.by_session.insert(id, i);
+                self.directory.insert(i, Loc::At { shard: a, id });
+                self.slog(
+                    a,
+                    at_h,
+                    &format!(
+                        "arrive  req{i} {name} client=dev{client} -> parked on stale view as {id}"
+                    ),
+                );
+            }
+            Err(e) => {
+                // Cross-domain resolution: only for composition
+                // failures on a specialized, reachable shard.
+                let forwardable = self.specialized
+                    && matches!(e, ConfigureError::Composition(_))
+                    && self.reachable_shard(a, at_h);
+                let dest = if forwardable {
+                    self.resolve_remote(a, req.graph_index, i, at_h)
+                } else {
+                    None
+                };
+                match dest {
+                    Some(b) => {
+                        let probe = probe_type(req.graph_index);
+                        self.stats.forwarded += 1;
+                        self.stats.forwarded_out[a] += 1;
+                        self.stats.forwarded_in[b] += 1;
+                        self.slog(
+                            a,
+                            at_h,
+                            &format!(
+                                "arrive  req{i} {name} client=dev{client} -> forwarded to shard{b} (no local {probe})"
+                            ),
+                        );
+                        self.admit_forwarded(i, req.graph_index, a, b, at_h, touched);
+                    }
+                    None => {
+                        let shard = &mut self.shards[a];
+                        shard.report.arrivals += 1;
+                        shard.report.denied += 1;
+                        self.directory.insert(i, Loc::Gone { shard: a });
+                        self.slog(
+                            a,
+                            at_h,
+                            &format!("arrive  req{i} {name} client=dev{client} -> denied ({e})"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Probes candidate shards (domain-tree resolution order) for the
+    /// request's service type over the transport. Returns the first
+    /// reachable, unsuspected shard advertising it.
+    fn resolve_remote(
+        &mut self,
+        a: usize,
+        graph_index: usize,
+        i: usize,
+        at_h: f64,
+    ) -> Option<usize> {
+        let probe = probe_type(graph_index);
+        let candidates = self.candidates[a].clone();
+        for b in candidates {
+            if !self.reachable_shard(b, at_h) || self.suspected_shard(b, at_h) {
+                continue;
+            }
+            self.stats.remote_discoveries += 1;
+            if self.remote_probe(a, b, probe, i, at_h) {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// One synchronous `DiscoverRemote` round trip through the
+    /// transport (both shards known reachable at `at_h`, so both legs
+    /// deliver immediately). Unrelated envelopes swept up by the
+    /// drains are re-queued into `pending`.
+    fn remote_probe(&mut self, from: usize, to: usize, ty: &str, req: usize, at_h: f64) -> bool {
+        self.send(
+            from,
+            to,
+            at_h,
+            FederationMsg::DiscoverRemote {
+                service_type: ty.to_owned(),
+                req,
+            },
+        );
+        let mut found = false;
+        for env in self.transport.drain(to) {
+            if let FederationMsg::DiscoverRemote { service_type, .. } = &env.msg {
+                let hit = self.shards[to]
+                    .server
+                    .registry()
+                    .discover(&DiscoveryQuery::new(service_type.clone()))
+                    .is_some();
+                self.send(to, from, at_h, FederationMsg::DiscoverFound { found: hit });
+            } else {
+                self.pending
+                    .insert((env.deliver_at_h.to_bits(), env.seq), env);
+            }
+        }
+        for env in self.transport.drain(from) {
+            if let FederationMsg::DiscoverFound { found: f } = env.msg {
+                found = f;
+            } else {
+                self.pending
+                    .insert((env.deliver_at_h.to_bits(), env.seq), env);
+            }
+        }
+        found
+    }
+
+    /// Admits a forwarded arrival on shard `b`: its own deterministic
+    /// client draw over its local up list, then the serial admission
+    /// arms with a `via shard{a}` transcript tag.
+    fn admit_forwarded(
+        &mut self,
+        i: usize,
+        graph_index: usize,
+        a: usize,
+        b: usize,
+        at_h: f64,
+        touched: &mut BTreeSet<usize>,
+    ) {
+        self.advance(b, at_h);
+        touched.insert(b);
+        let b_up: Vec<usize> = (0..self.sizes[b])
+            .filter(|d| !self.shards[b].down.contains(d))
+            .collect();
+        debug_assert!(!b_up.is_empty(), "per-shard crash skips keep one device up");
+        let client_local =
+            b_up[(splitmix64(self.cfg.base.seed ^ i as u64) % b_up.len() as u64) as usize];
+        let client = self.offsets[b] + client_local;
+        let (name, graph) = app_template(graph_index);
+        let outcome = self.shards[b].server.start_session(
+            format!("{name}-{i}"),
+            graph,
+            QosVector::new(),
+            DeviceId::from_index(client_local),
+        );
+        match outcome {
+            Ok(id) => {
+                let shard = &mut self.shards[b];
+                shard.report.arrivals += 1;
+                shard.report.admitted += 1;
+                shard.active.insert(i, id);
+                shard.by_session.insert(id, i);
+                self.directory.insert(i, Loc::At { shard: b, id });
+                self.slog(
+                    b,
+                    at_h,
+                    &format!(
+                        "arrive  req{i} {name} client=dev{client} via shard{a} -> admitted as {id}"
+                    ),
+                );
+            }
+            Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
+                let (_, graph) = app_template(graph_index);
+                let shard = &mut self.shards[b];
+                shard.report.arrivals += 1;
+                shard.report.admitted += 1;
+                shard.report.parked += 1;
+                let id = shard.server.park_arrival(
+                    format!("{name}-{i}"),
+                    graph,
+                    QosVector::new(),
+                    DeviceId::from_index(client_local),
+                    None,
+                    e,
+                );
+                shard.active.insert(i, id);
+                shard.by_session.insert(id, i);
+                self.directory.insert(i, Loc::At { shard: b, id });
+                self.slog(
+                    b,
+                    at_h,
+                    &format!(
+                        "arrive  req{i} {name} client=dev{client} via shard{a} -> parked on stale view as {id}"
+                    ),
+                );
+            }
+            Err(e) => {
+                let shard = &mut self.shards[b];
+                shard.report.arrivals += 1;
+                shard.report.denied += 1;
+                self.directory.insert(i, Loc::Gone { shard: b });
+                self.slog(
+                    b,
+                    at_h,
+                    &format!(
+                        "arrive  req{i} {name} client=dev{client} via shard{a} -> denied ({e})"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Routes a departure through the directory to the owning shard
+    /// (serial arm verbatim); a mid-handoff departure is deferred to
+    /// the commit.
+    fn on_departure(&mut self, i: usize, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let s = match self.directory.get(&i) {
+            Some(Loc::At { shard, .. }) | Some(Loc::Gone { shard }) => *shard,
+            Some(Loc::InFlight { hid }) => {
+                let hid = *hid;
+                let a = self.handoffs[&hid].source;
+                self.advance(a, at_h);
+                touched.insert(a);
+                self.shards[a].report.events += 1;
+                self.handoffs
+                    .get_mut(&hid)
+                    .expect("tracked handoff")
+                    .departed = true;
+                self.slog(
+                    a,
+                    at_h,
+                    &format!("depart  req{i} -> in flight (h{hid}, deferred to commit)"),
+                );
+                return;
+            }
+            // Denied-before-tracking can't happen (every arrival sets
+            // the directory), but route defensively to the home shard.
+            None => 0,
+        };
+        self.advance(s, at_h);
+        touched.insert(s);
+        let shard = &mut self.shards[s];
+        shard.report.events += 1;
+        match shard.active.remove(&i) {
+            Some(id) => {
+                shard.by_session.remove(&id);
+                let stopped = shard.server.stop_session(id);
+                debug_assert!(stopped.is_some(), "active map tracks live sessions");
+                shard.report.completed += 1;
+                self.directory.insert(i, Loc::Gone { shard: s });
+                self.slog(s, at_h, &format!("depart  req{i} -> completed ({id})"));
+            }
+            None => {
+                self.slog(s, at_h, &format!("depart  req{i} -> already gone"));
+            }
+        }
+    }
+
+    /// Dispatches one scheduled fault: single-device kinds remap to
+    /// the owner shard's local index and replay the serial arm; scoped
+    /// kinds split into per-shard sub-scopes; moves and switches pick
+    /// over the global live-session list and become two-phase handoffs
+    /// when they cross a shard boundary.
+    fn on_fault(&mut self, j: usize, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let fault = self.schedule[j];
+        match fault.kind {
+            FaultKind::Crash { device }
+            | FaultKind::Recover { device }
+            | FaultKind::Fluctuate { device, .. }
+            | FaultKind::JamHeartbeats { device, .. } => {
+                let s = self.owner(device);
+                let local = device - self.offsets[s];
+                let kind = match fault.kind {
+                    FaultKind::Crash { .. } => FaultKind::Crash { device: local },
+                    FaultKind::Recover { .. } => FaultKind::Recover { device: local },
+                    FaultKind::Fluctuate { factor, .. } => FaultKind::Fluctuate {
+                        device: local,
+                        factor,
+                    },
+                    FaultKind::JamHeartbeats { until_h, .. } => FaultKind::JamHeartbeats {
+                        device: local,
+                        until_h,
+                    },
+                    _ => unreachable!(),
+                };
+                self.apply_local_fault(
+                    s,
+                    TimedFault {
+                        at_h: fault.at_h,
+                        kind,
+                    },
+                    at_h,
+                    touched,
+                );
+            }
+            FaultKind::DegradeLink { a, b, factor } => {
+                let sa = self.owner(a);
+                let sb = self.owner(b);
+                if sa == sb {
+                    let off = self.offsets[sa];
+                    let kind = FaultKind::DegradeLink {
+                        a: a - off,
+                        b: b - off,
+                        factor,
+                    };
+                    self.apply_local_fault(
+                        sa,
+                        TimedFault {
+                            at_h: fault.at_h,
+                            kind,
+                        },
+                        at_h,
+                        touched,
+                    );
+                } else {
+                    // No inter-shard links exist in the sharded space;
+                    // the fault is observed (and logged) by the lower
+                    // endpoint's owner.
+                    let s = sa.min(sb);
+                    self.advance(s, at_h);
+                    touched.insert(s);
+                    self.shards[s].report.events += 1;
+                    self.slog(
+                        s,
+                        at_h,
+                        &format!(
+                            "fault   degrade-link dev{a}-dev{b} -> skipped (cross-shard link)"
+                        ),
+                    );
+                }
+            }
+            FaultKind::CrashScope { first, count }
+            | FaultKind::Partition { first, count }
+            | FaultKind::Heal { first, count } => {
+                let lo = first;
+                let hi = first + count;
+                let mut any = false;
+                for s in 0..self.shards.len() {
+                    let s_lo = lo.max(self.offsets[s]);
+                    let s_hi = hi.min(self.offsets[s] + self.sizes[s]);
+                    if s_lo >= s_hi {
+                        continue;
+                    }
+                    any = true;
+                    let off = self.offsets[s];
+                    let kind = match fault.kind {
+                        FaultKind::CrashScope { .. } => FaultKind::CrashScope {
+                            first: s_lo - off,
+                            count: s_hi - s_lo,
+                        },
+                        FaultKind::Partition { .. } => FaultKind::Partition {
+                            first: s_lo - off,
+                            count: s_hi - s_lo,
+                        },
+                        FaultKind::Heal { .. } => FaultKind::Heal {
+                            first: s_lo - off,
+                            count: s_hi - s_lo,
+                        },
+                        _ => unreachable!(),
+                    };
+                    self.apply_local_fault(
+                        s,
+                        TimedFault {
+                            at_h: fault.at_h,
+                            kind,
+                        },
+                        at_h,
+                        touched,
+                    );
+                }
+                debug_assert!(any, "scoped faults index the device space");
+            }
+            FaultKind::SwitchDevice { pick, to } => {
+                self.on_move(pick, to, false, at_h, touched);
+            }
+            FaultKind::MoveUser { pick, to } => {
+                self.on_move(pick, to, true, at_h, touched);
+            }
+        }
+    }
+
+    /// Replays the serial fault arm on shard `s` with a shard-local
+    /// fault.
+    fn apply_local_fault(
+        &mut self,
+        s: usize,
+        fault: TimedFault,
+        at_h: f64,
+        touched: &mut BTreeSet<usize>,
+    ) {
+        self.advance(s, at_h);
+        touched.insert(s);
+        let shard = &mut self.shards[s];
+        shard.report.events += 1;
+        let line = apply_fault(
+            &mut shard.server,
+            &fault,
+            &shard.cfg,
+            &mut shard.down,
+            &mut shard.det,
+            &mut shard.active,
+            &mut shard.by_session,
+            &mut shard.report,
+        );
+        self.slog(s, at_h, &line);
+    }
+
+    /// The `move-user` / `switch-device` arm over the federated
+    /// session space: serial pick semantics (shard-major live-session
+    /// list), local execution when source and destination share a
+    /// shard, two-phase handoff otherwise.
+    fn on_move(
+        &mut self,
+        pick: u64,
+        to: usize,
+        is_move: bool,
+        at_h: f64,
+        touched: &mut BTreeSet<usize>,
+    ) {
+        let label = if is_move {
+            "move-user"
+        } else {
+            "switch-device"
+        };
+        let mut ids: Vec<(usize, SessionId)> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            ids.extend(
+                sh.by_session
+                    .keys()
+                    .copied()
+                    .filter(|&id| sh.server.session(id).is_some())
+                    .map(|id| (s, id)),
+            );
+        }
+        if ids.is_empty() {
+            let s = self.owner(to);
+            self.advance(s, at_h);
+            touched.insert(s);
+            self.shards[s].report.events += 1;
+            self.slog(
+                s,
+                at_h,
+                &format!("fault   {label} -> skipped (no live session)"),
+            );
+            return;
+        }
+        let (a, id) = ids[(pick % ids.len() as u64) as usize];
+        let b = self.owner(to);
+        self.advance(a, at_h);
+        touched.insert(a);
+        self.shards[a].report.events += 1;
+        if self.handoffs.values().any(|h| {
+            h.source == a
+                && h.sid == id
+                && !matches!(h.state, HandoffState::Committed | HandoffState::Aborted)
+        }) {
+            self.slog(
+                a,
+                at_h,
+                &format!("fault   {label} {id} -> skipped (handoff in progress)"),
+            );
+            return;
+        }
+        if a == b {
+            // Serial arm verbatim (global `to` == local index + shard
+            // offset; identical text at one shard).
+            let local_to = to - self.offsets[a];
+            let shard = &mut self.shards[a];
+            if is_move {
+                shard.report.moves += 1;
+            } else {
+                shard.report.switches += 1;
+            }
+            let result = if is_move {
+                shard
+                    .server
+                    .move_user(id, None, DeviceId::from_index(local_to))
+            } else {
+                shard
+                    .server
+                    .switch_device(id, DeviceId::from_index(local_to))
+            };
+            let line = match result {
+                Ok(plan) => format!(
+                    "fault   {label} {id} -> dev{to} (resume at {:.4}s)",
+                    plan.resume_position_s()
+                ),
+                Err(e) => {
+                    if is_move {
+                        shard.report.move_failures += 1;
+                    } else {
+                        shard.report.switch_failures += 1;
+                    }
+                    format!("fault   {label} {id} -> dev{to} failed ({e}), old config kept")
+                }
+            };
+            self.slog(a, at_h, &line);
+        } else {
+            self.initiate_handoff(a, b, id, to, is_move, at_h);
+        }
+    }
+
+    /// Starts (or parks) a cross-shard handoff at `at_h`.
+    fn initiate_handoff(
+        &mut self,
+        a: usize,
+        b: usize,
+        id: SessionId,
+        to_global: usize,
+        is_move: bool,
+        at_h: f64,
+    ) {
+        let label = if is_move {
+            "move-user"
+        } else {
+            "switch-device"
+        };
+        {
+            let report = &mut self.shards[a].report;
+            if is_move {
+                report.moves += 1;
+            } else {
+                report.switches += 1;
+            }
+        }
+        let (name, graph, qos, old_client) = {
+            let s = self.shards[a]
+                .server
+                .session(id)
+                .expect("picked live session");
+            (
+                s.name.clone(),
+                s.abstract_graph.clone(),
+                s.user_qos.clone(),
+                s.client_device,
+            )
+        };
+        let req = self.shards[a].by_session[&id];
+        if self.suspected_shard(b, at_h) {
+            // Suspected destination: never half-move. The session is
+            // stopped (exact refund) and parked on the source into the
+            // retry queue, witnessed by the stale view of dev`to`.
+            self.stats.handoffs_parked_dest_suspected += 1;
+            let witness = ConfigureError::StaleView { device: to_global };
+            let shard = &mut self.shards[a];
+            let stopped = shard.server.stop_session(id);
+            debug_assert!(stopped.is_some(), "picked session was live");
+            let pid = shard
+                .server
+                .park_arrival(name, graph, qos, old_client, None, witness);
+            shard.report.parked += 1;
+            if is_move {
+                shard.report.move_failures += 1;
+            } else {
+                shard.report.switch_failures += 1;
+            }
+            shard.by_session.remove(&id);
+            shard.active.insert(req, pid);
+            shard.by_session.insert(pid, req);
+            self.directory.insert(req, Loc::At { shard: a, id: pid });
+            self.slog(
+                a,
+                at_h,
+                &format!(
+                    "fault   {label} {id} -> dev{to_global}@shard{b} parked (destination suspected) as {pid}"
+                ),
+            );
+            return;
+        }
+        let hid = self.next_hid;
+        self.next_hid += 1;
+        self.stats.handoffs_initiated += 1;
+        let client_local = to_global - self.offsets[b];
+        self.handoffs.insert(
+            hid,
+            Handoff {
+                req,
+                source: a,
+                dest: b,
+                sid: id,
+                is_move,
+                name,
+                graph,
+                qos,
+                client_local,
+                to_global,
+                state: HandoffState::Reserving,
+                reservation: Reservation::None,
+                departed: false,
+            },
+        );
+        self.send(a, b, at_h, FederationMsg::Reserve { hid });
+        let decide_h = at_h + self.cfg.commit_lag_h;
+        self.queue.schedule(decide_h, FedEvent::Decide(hid));
+        self.slog(
+            a,
+            at_h,
+            &format!(
+                "fault   {label} {id} -> dev{to_global}@shard{b} reserving (h{hid}, decide at t={decide_h:.4}h)"
+            ),
+        );
+    }
+
+    /// The commit-or-abort decision on the source shard,
+    /// `commit_lag_h` after the reserve.
+    fn on_decide(&mut self, hid: u64, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let (a, b, sid, req, is_move, state) = {
+            let h = &self.handoffs[&hid];
+            (h.source, h.dest, h.sid, h.req, h.is_move, h.state)
+        };
+        self.advance(a, at_h);
+        touched.insert(a);
+        match state {
+            HandoffState::Committed | HandoffState::Aborted => {
+                self.slog(
+                    a,
+                    at_h,
+                    &format!("handoff h{hid} decide -> already resolved"),
+                );
+            }
+            HandoffState::Reserving | HandoffState::Reserved => {
+                let tracked = self.shards[a].by_session.contains_key(&sid);
+                let live = tracked && self.shards[a].server.session(sid).is_some();
+                if !tracked {
+                    self.abort_handoff(hid, a, b, at_h, "session gone", false, is_move);
+                } else if !live {
+                    self.abort_handoff(hid, a, b, at_h, "session parked on source", false, is_move);
+                } else if state == HandoffState::Reserving {
+                    self.abort_handoff(
+                        hid,
+                        a,
+                        b,
+                        at_h,
+                        "no reserve acknowledgement",
+                        true,
+                        is_move,
+                    );
+                } else if self.suspected_shard(b, at_h) {
+                    let reason = format!("destination shard{b} suspected");
+                    self.abort_handoff(hid, a, b, at_h, &reason, true, is_move);
+                } else if !self.reachable_shard(a, at_h) {
+                    let reason = format!("source shard{a} partitioned");
+                    self.abort_handoff(hid, a, b, at_h, &reason, true, is_move);
+                } else {
+                    // Commit: release on the source (exact refund),
+                    // custody transfers in flight.
+                    let shard = &mut self.shards[a];
+                    let stopped = shard.server.stop_session(sid);
+                    debug_assert!(stopped.is_some(), "decide saw a live session");
+                    shard.active.remove(&req);
+                    shard.by_session.remove(&sid);
+                    self.handoffs.get_mut(&hid).expect("tracked").state = HandoffState::Committed;
+                    self.stats.handed_out[a] += 1;
+                    self.stats.handoffs_committed += 1;
+                    self.directory.insert(req, Loc::InFlight { hid });
+                    self.send(a, b, at_h, FederationMsg::Commit { hid });
+                    self.slog(
+                        a,
+                        at_h,
+                        &format!(
+                            "handoff h{hid} decide -> commit ({sid} released from shard{a}, in flight to shard{b})"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Aborts handoff `hid` at decide time: the source keeps (or has
+    /// already lost) the session, and the destination is told to
+    /// release whatever it holds. When the source is partitioned the
+    /// abort itself defers — the reservation lease expires first and
+    /// cleans up without it.
+    #[allow(clippy::too_many_arguments)]
+    fn abort_handoff(
+        &mut self,
+        hid: u64,
+        a: usize,
+        b: usize,
+        at_h: f64,
+        reason: &str,
+        count_failure: bool,
+        is_move: bool,
+    ) {
+        self.handoffs.get_mut(&hid).expect("tracked").state = HandoffState::Aborted;
+        self.stats.handoffs_aborted += 1;
+        let line = if count_failure {
+            let report = &mut self.shards[a].report;
+            if is_move {
+                report.move_failures += 1;
+            } else {
+                report.switch_failures += 1;
+            }
+            format!("handoff h{hid} decide -> abort ({reason}), old config kept")
+        } else {
+            format!("handoff h{hid} decide -> abort ({reason})")
+        };
+        self.send(a, b, at_h, FederationMsg::Abort { hid });
+        self.slog(a, at_h, &line);
+    }
+
+    /// Reservation lease expiry on the destination: a reservation not
+    /// yet committed or aborted is released with an exact refund,
+    /// witnessing the source's stale view of the handoff.
+    fn on_expire(&mut self, hid: u64, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let (b, reservation, to_global) = {
+            let h = &self.handoffs[&hid];
+            (h.dest, h.reservation, h.to_global)
+        };
+        match reservation {
+            Reservation::Live(raw) | Reservation::Parked(raw) => {
+                self.advance(b, at_h);
+                touched.insert(b);
+                let rid = SessionId::from_raw(raw);
+                let released = self.shards[b].server.stop_session(rid);
+                debug_assert!(released.is_some(), "reservation index tracks holdings");
+                self.res_index.remove(&(b, raw));
+                self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Expired;
+                self.stats.reservation_expiries += 1;
+                let witness = ConfigureError::StaleView { device: to_global };
+                self.slog(
+                    b,
+                    at_h,
+                    &format!(
+                        "handoff h{hid} reservation lease expired -> {rid} released ({witness})"
+                    ),
+                );
+            }
+            _ => {
+                // Already resolved — the expiry is a no-op and the
+                // shard is not even touched.
+            }
+        }
+    }
+
+    /// Serial heartbeat arm, routed to the owner shard.
+    fn on_heartbeat(&mut self, g: usize, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let s = self.owner(g);
+        let d = g - self.offsets[s];
+        self.advance(s, at_h);
+        touched.insert(s);
+        let shard = &mut self.shards[s];
+        let lost = shard.down.contains(&d)
+            || shard.det.partition_depth[d] > 0
+            || at_h < shard.det.jam_until_h[d];
+        if !lost {
+            if let Some(rec) = shard
+                .server
+                .heartbeat(DeviceId::from_index(d), self.grace_ms)
+            {
+                shard.report.reinstatements += 1;
+                count_pass(&rec, &mut shard.report);
+                let tail = self.absorb(s, &rec);
+                self.slog(
+                    s,
+                    at_h,
+                    &format!("detect  reinstate dev{d} (lease renewed) -> {tail}"),
+                );
+            }
+            self.queue.schedule(
+                at_h + self.cfg.base.detection_grace_h,
+                FedEvent::LeaseCheck(g),
+            );
+        }
+    }
+
+    /// Serial lease-check arm (anti-entropy sweep), routed to the
+    /// owner shard. Per-shard sweep hoisting: same-instant checks on
+    /// one shard share a single sweep.
+    fn on_lease_check(&mut self, g: usize, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let s = self.owner(g);
+        self.advance(s, at_h);
+        touched.insert(s);
+        if at_h > self.hb_end_h + 1e-9 {
+            return;
+        }
+        if self.shards[s].last_sweep_h == Some(at_h) {
+            return;
+        }
+        self.shards[s].last_sweep_h = Some(at_h);
+        for (device, rec) in self.shards[s].server.expire_overdue_leases() {
+            let shard = &mut self.shards[s];
+            shard.report.suspicions += 1;
+            let ground_up = !shard.down.contains(&device.index());
+            if ground_up {
+                shard.report.false_suspected += 1;
+            }
+            count_pass(&rec, &mut shard.report);
+            let tail = self.absorb(s, &rec);
+            let tag = if ground_up { " (falsely)" } else { "" };
+            self.slog(
+                s,
+                at_h,
+                &format!(
+                    "detect  suspect dev{}{tag} (lease expired) -> {tail}",
+                    device.index()
+                ),
+            );
+        }
+    }
+
+    /// Drains the transport into the pending buffer and delivers
+    /// everything due at `at_h`, in (deliver time, send seq) order.
+    /// Deliveries may send further messages, so the pump loops to a
+    /// fixpoint.
+    fn pump(&mut self, at_h: f64, touched: &mut BTreeSet<usize>) {
+        loop {
+            for s in 0..self.shards.len() {
+                for env in self.transport.drain(s) {
+                    self.pending
+                        .insert((env.deliver_at_h.to_bits(), env.seq), env);
+                }
+            }
+            let due = self
+                .pending
+                .iter()
+                .next()
+                .filter(|((bits, _), _)| f64::from_bits(*bits) <= at_h + TIME_EPS)
+                .map(|(&k, _)| k);
+            match due {
+                Some(key) => {
+                    let env = self.pending.remove(&key).expect("keyed");
+                    self.deliver(env, at_h, touched);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Processes one delivered message on its destination shard.
+    fn deliver(&mut self, env: Envelope, at_h: f64, touched: &mut BTreeSet<usize>) {
+        // Attribute the message's queueing delay (virtual µs spent
+        // deferred behind a partition; zero for immediate delivery) to
+        // the destination shard's queue-wait slot, so the federation
+        // artifact reports per-shard message-queue distributions
+        // through the same [`StageTimes`] schema the pipeline uses.
+        let wait_h = (env.deliver_at_h - env.sent_at_h).max(0.0);
+        self.shards[env.to]
+            .server
+            .record_queue_wait_us((wait_h * 3.6e9) as u64);
+        match env.msg {
+            FederationMsg::DiscoverRemote { .. } | FederationMsg::DiscoverFound { .. } => {
+                // Discovery round trips resolve synchronously inside
+                // `remote_probe`; a stray one (sent into a partition)
+                // is stale by delivery time and dropped.
+            }
+            FederationMsg::Reserve { hid } => {
+                let b = env.to;
+                self.advance(b, at_h);
+                touched.insert(b);
+                let (state, name, graph, qos, client_local) = {
+                    let h = &self.handoffs[&hid];
+                    (
+                        h.state,
+                        h.name.clone(),
+                        h.graph.clone(),
+                        h.qos.clone(),
+                        h.client_local,
+                    )
+                };
+                if state == HandoffState::Aborted {
+                    self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
+                    self.slog(
+                        b,
+                        at_h,
+                        &format!("fedmsg  h{hid} reserve -> declined (handoff aborted)"),
+                    );
+                    return;
+                }
+                match self.shards[b].server.start_session(
+                    name,
+                    graph,
+                    qos,
+                    DeviceId::from_index(client_local),
+                ) {
+                    Ok(rid) => {
+                        self.handoffs.get_mut(&hid).expect("tracked").reservation =
+                            Reservation::Live(rid.raw());
+                        self.res_index.insert((b, rid.raw()), hid);
+                        let expire_h = at_h + self.cfg.reserve_grace_h;
+                        self.queue.schedule(expire_h, FedEvent::Expire(hid));
+                        self.send(b, env.from, at_h, FederationMsg::ReserveOk { hid });
+                        self.slog(
+                            b,
+                            at_h,
+                            &format!(
+                                "fedmsg  h{hid} reserve dev{client_local} -> held as {rid} (lease until t={expire_h:.4}h)"
+                            ),
+                        );
+                    }
+                    Err(e) => {
+                        self.handoffs.get_mut(&hid).expect("tracked").reservation =
+                            Reservation::Done;
+                        self.send(
+                            b,
+                            env.from,
+                            at_h,
+                            FederationMsg::ReserveErr {
+                                hid,
+                                error: format!("{e}"),
+                            },
+                        );
+                        self.slog(
+                            b,
+                            at_h,
+                            &format!("fedmsg  h{hid} reserve dev{client_local} -> declined ({e})"),
+                        );
+                    }
+                }
+            }
+            FederationMsg::ReserveOk { hid } => {
+                let a = env.to;
+                self.advance(a, at_h);
+                touched.insert(a);
+                let h = self.handoffs.get_mut(&hid).expect("tracked");
+                if h.state == HandoffState::Reserving {
+                    h.state = HandoffState::Reserved;
+                    self.slog(a, at_h, &format!("fedmsg  h{hid} reserve-ok -> reserved"));
+                } else {
+                    self.slog(
+                        a,
+                        at_h,
+                        &format!("fedmsg  h{hid} reserve-ok -> ignored (already resolved)"),
+                    );
+                }
+            }
+            FederationMsg::ReserveErr { hid, error } => {
+                let a = env.to;
+                self.advance(a, at_h);
+                touched.insert(a);
+                let (state, sid, is_move) = {
+                    let h = &self.handoffs[&hid];
+                    (h.state, h.sid, h.is_move)
+                };
+                if state == HandoffState::Reserving {
+                    self.handoffs.get_mut(&hid).expect("tracked").state = HandoffState::Aborted;
+                    self.stats.handoffs_aborted += 1;
+                    let shard = &mut self.shards[a];
+                    if shard.by_session.contains_key(&sid) && shard.server.session(sid).is_some() {
+                        if is_move {
+                            shard.report.move_failures += 1;
+                        } else {
+                            shard.report.switch_failures += 1;
+                        }
+                    }
+                    self.slog(
+                        a,
+                        at_h,
+                        &format!(
+                            "fedmsg  h{hid} reserve-err ({error}) -> aborted, old config kept"
+                        ),
+                    );
+                } else {
+                    self.slog(
+                        a,
+                        at_h,
+                        &format!("fedmsg  h{hid} reserve-err -> ignored (already resolved)"),
+                    );
+                }
+            }
+            FederationMsg::Commit { hid } => {
+                self.deliver_commit(hid, at_h, touched);
+            }
+            FederationMsg::Abort { hid } => {
+                let b = env.to;
+                self.advance(b, at_h);
+                touched.insert(b);
+                let reservation = self.handoffs[&hid].reservation;
+                match reservation {
+                    Reservation::Live(raw) | Reservation::Parked(raw) => {
+                        let rid = SessionId::from_raw(raw);
+                        let released = self.shards[b].server.stop_session(rid);
+                        debug_assert!(released.is_some(), "reservation index tracks holdings");
+                        self.res_index.remove(&(b, raw));
+                        self.handoffs.get_mut(&hid).expect("tracked").reservation =
+                            Reservation::Done;
+                        self.slog(
+                            b,
+                            at_h,
+                            &format!(
+                                "fedmsg  h{hid} abort -> reservation {rid} released (exact refund)"
+                            ),
+                        );
+                    }
+                    _ => {
+                        self.slog(b, at_h, &format!("fedmsg  h{hid} abort -> nothing held"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase-2 commit on the destination: promote the reservation to
+    /// ownership — or, when the lease already expired (partition-
+    /// -delayed commit), re-admit the session from its snapshot.
+    fn deliver_commit(&mut self, hid: u64, at_h: f64, touched: &mut BTreeSet<usize>) {
+        let (b, req, reservation, departed, name, graph, qos, client_local) = {
+            let h = &self.handoffs[&hid];
+            (
+                h.dest,
+                h.req,
+                h.reservation,
+                h.departed,
+                h.name.clone(),
+                h.graph.clone(),
+                h.qos.clone(),
+                h.client_local,
+            )
+        };
+        self.advance(b, at_h);
+        touched.insert(b);
+        self.stats.handed_in[b] += 1;
+        match reservation {
+            Reservation::Live(raw) | Reservation::Parked(raw) => {
+                let rid = SessionId::from_raw(raw);
+                self.res_index.remove(&(b, raw));
+                self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
+                if departed {
+                    let stopped = self.shards[b].server.stop_session(rid);
+                    debug_assert!(stopped.is_some(), "reservation index tracks holdings");
+                    self.shards[b].report.completed += 1;
+                    self.directory.insert(req, Loc::Gone { shard: b });
+                    self.slog(
+                        b,
+                        at_h,
+                        &format!("fedmsg  h{hid} commit -> {rid} arrived, user already departed (completed)"),
+                    );
+                } else {
+                    let parked_tag = if matches!(reservation, Reservation::Parked(_)) {
+                        " (parked)"
+                    } else {
+                        ""
+                    };
+                    let shard = &mut self.shards[b];
+                    shard.active.insert(req, rid);
+                    shard.by_session.insert(rid, req);
+                    self.directory.insert(req, Loc::At { shard: b, id: rid });
+                    self.slog(
+                        b,
+                        at_h,
+                        &format!("fedmsg  h{hid} commit -> session {rid} now owned by shard{b}{parked_tag}"),
+                    );
+                }
+            }
+            Reservation::Expired | Reservation::Dead => {
+                self.stats.late_commits += 1;
+                self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
+                if departed {
+                    self.shards[b].report.completed += 1;
+                    self.directory.insert(req, Loc::Gone { shard: b });
+                    self.slog(
+                        b,
+                        at_h,
+                        &format!(
+                            "fedmsg  h{hid} commit -> lease expired, user departed (completed)"
+                        ),
+                    );
+                } else {
+                    match self.shards[b].server.start_session(
+                        name,
+                        graph,
+                        qos,
+                        DeviceId::from_index(client_local),
+                    ) {
+                        Ok(rid) => {
+                            let shard = &mut self.shards[b];
+                            shard.active.insert(req, rid);
+                            shard.by_session.insert(rid, req);
+                            self.directory.insert(req, Loc::At { shard: b, id: rid });
+                            self.slog(
+                                b,
+                                at_h,
+                                &format!(
+                                    "fedmsg  h{hid} commit -> lease expired, re-admitted as {rid}"
+                                ),
+                            );
+                        }
+                        Err(e) => {
+                            let shard = &mut self.shards[b];
+                            shard.report.parked += 1;
+                            let pid = shard.server.park_arrival(
+                                self.handoffs[&hid].name.clone(),
+                                self.handoffs[&hid].graph.clone(),
+                                self.handoffs[&hid].qos.clone(),
+                                DeviceId::from_index(client_local),
+                                None,
+                                e,
+                            );
+                            let shard = &mut self.shards[b];
+                            shard.active.insert(req, pid);
+                            shard.by_session.insert(pid, req);
+                            self.directory.insert(req, Loc::At { shard: b, id: pid });
+                            self.slog(
+                                b,
+                                at_h,
+                                &format!("fedmsg  h{hid} commit -> lease expired, parked on arrival as {pid}"),
+                            );
+                        }
+                    }
+                }
+            }
+            Reservation::None | Reservation::Done => {
+                // Declined reserve followed by a commit cannot happen
+                // (decide aborts on `Reserving`); log defensively.
+                self.slog(
+                    b,
+                    at_h,
+                    &format!("fedmsg  h{hid} commit -> nothing held (ignored)"),
+                );
+            }
+        }
+    }
+
+    /// Folds a recovery report into shard `s`'s bookkeeping (the
+    /// serial `absorb_recovery`, made reservation-aware).
+    fn absorb(&mut self, s: usize, rec: &RecoveryReport) -> String {
+        fed_absorb(
+            rec,
+            s,
+            &mut self.shards[s],
+            &mut self.directory,
+            &mut self.handoffs,
+            &mut self.res_index,
+        )
+    }
+
+    /// The serial per-event epilogue for one touched shard: retry
+    /// drain, invariant sweep (stride-gated per shard), and detector
+    /// soundness.
+    fn finish_event(&mut self, s: usize, at_h: f64) -> Result<(), InvariantViolation> {
+        let retries = self.shards[s].server.process_retries();
+        if !retries.is_empty() {
+            let tail = self.absorb(s, &retries);
+            self.slog(s, at_h, &format!("retry   parked queue -> {tail}"));
+        }
+        let shard = &mut self.shards[s];
+        shard.iterations += 1;
+        let stride = shard.cfg.invariant_stride.max(1) as u64;
+        if !shard.iterations.is_multiple_of(stride) {
+            return Ok(());
+        }
+        let event_line = shard.log.lines().last().cloned().unwrap_or_default();
+        shard.report.invariant_checks += 1;
+        let observed: BTreeSet<usize> = if self.imperfect {
+            shard.server.suspected_devices().clone()
+        } else {
+            shard.down.clone()
+        };
+        if let Err(violation) = check_invariants(&shard.server, &observed) {
+            return Err(InvariantViolation {
+                at_h_milli: (at_h * 1000.0).round() as u64,
+                event: event_line,
+                violation,
+            });
+        }
+        if self.imperfect && at_h <= self.hb_end_h + 1e-9 {
+            let lag = shard.cfg.detection_grace_h + shard.cfg.heartbeat_period_h + 1e-6;
+            for (&d, &since) in &shard.det.unreachable_since {
+                if at_h > since + lag && !shard.server.is_suspected(DeviceId::from_index(d)) {
+                    return Err(InvariantViolation {
+                        at_h_milli: (at_h * 1000.0).round() as u64,
+                        event: event_line,
+                        violation: format!(
+                            "detector unsound: dev{d} unreachable since t={since:.4}h \
+                             still unsuspected at t={at_h:.4}h (grace {:.4}h)",
+                            shard.cfg.detection_grace_h
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The serial end-of-campaign phase, per shard in index order:
+    /// final anti-entropy sweep and convergence drain (imperfect mode),
+    /// then report finalization. Also asserts the federation reached a
+    /// quiescent state: no undelivered messages, every handoff
+    /// terminal, no reservation still indexed.
+    fn finalize_shards(&mut self) -> Result<(), InvariantViolation> {
+        assert!(
+            self.pending.is_empty(),
+            "all envelopes delivered by the horizon"
+        );
+        for (hid, h) in &self.handoffs {
+            assert!(
+                matches!(h.state, HandoffState::Committed | HandoffState::Aborted),
+                "handoff h{hid} left non-terminal"
+            );
+        }
+        assert!(
+            self.res_index.is_empty(),
+            "no reservation outlives its handoff"
+        );
+        for s in 0..self.shards.len() {
+            if self.imperfect {
+                for d in 0..self.sizes[s] {
+                    let shard = &self.shards[s];
+                    let unreachable = shard.down.contains(&d) || shard.det.partition_depth[d] > 0;
+                    if unreachable && !shard.server.is_suspected(DeviceId::from_index(d)) {
+                        let shard = &mut self.shards[s];
+                        shard.report.suspicions += 1;
+                        if !shard.down.contains(&d) {
+                            shard.report.false_suspected += 1;
+                        }
+                        let rec = shard.server.suspect_many(&[DeviceId::from_index(d)]);
+                        count_pass(&rec, &mut shard.report);
+                        let tail = self.absorb(s, &rec);
+                        let last_h = self.shards[s].last_h;
+                        self.slog(
+                            s,
+                            last_h,
+                            &format!("detect  suspect dev{d} (final sweep) -> {tail}"),
+                        );
+                    }
+                }
+                while self.shards[s].server.parked_count() > 0 {
+                    let shard = &mut self.shards[s];
+                    let next_ms = shard
+                        .server
+                        .parked_sessions()
+                        .map(|(_, p)| p.next_retry_ms)
+                        .fold(f64::INFINITY, f64::min);
+                    if next_ms > shard.server.now_ms() {
+                        let delta_s = (next_ms - shard.server.now_ms()) / 1000.0;
+                        shard.server.play(delta_s);
+                    }
+                    let rec = shard.server.process_retries();
+                    let drain_h = shard.server.now_ms() / 3_600_000.0;
+                    let tail = self.absorb(s, &rec);
+                    self.slog(s, drain_h, &format!("drain   parked queue -> {tail}"));
+                    let shard = &mut self.shards[s];
+                    shard.last_h = shard.last_h.max(drain_h);
+                    shard.report.invariant_checks += 1;
+                    let observed: BTreeSet<usize> = shard.server.suspected_devices().clone();
+                    if let Err(violation) = check_invariants(&shard.server, &observed) {
+                        return Err(InvariantViolation {
+                            at_h_milli: (drain_h * 1000.0).round() as u64,
+                            event: "drain   parked queue".to_owned(),
+                            violation,
+                        });
+                    }
+                }
+            }
+            let shard = &mut self.shards[s];
+            shard.report.live_at_end = shard.server.session_count() as u32;
+            shard.report.parked_at_end = shard.server.parked_count() as u32;
+            shard.report.stale_views = shard.server.stale_view_count() as u32;
+            shard.report.log_digest = shard.log.digest();
+        }
+        Ok(())
+    }
+
+    /// Consumes the engine into the outcome.
+    fn finish(self) -> FederationOutcome {
+        let shards: Vec<ShardOutcome> = self
+            .shards
+            .into_iter()
+            .map(|sh| ShardOutcome {
+                stages: sh.server.stage_times(),
+                report: sh.report,
+                log: sh.log,
+            })
+            .collect();
+        let mut bytes = Vec::with_capacity(shards.len() * 8);
+        for sh in &shards {
+            bytes.extend_from_slice(&sh.report.log_digest.to_le_bytes());
+        }
+        let combined_digest = fnv1a(&bytes);
+        let outcome = FederationOutcome {
+            shards,
+            stats: self.stats,
+            combined_digest,
+        };
+        debug_assert!(
+            outcome.fates_balance(),
+            "federated fates balance: {:?}",
+            outcome.stats
+        );
+        outcome
+    }
+}
+
+/// The service type an application template needs from a remote
+/// registry when the local one is specialized: even graphs stream WAV
+/// (ubiquitous), odd graphs need the `mpeg-source` that odd shards
+/// drop.
+fn probe_type(graph_index: usize) -> &'static str {
+    if graph_index % 2 == 1 {
+        "mpeg-source"
+    } else {
+        "wav-source"
+    }
+}
+
+/// The serial `absorb_recovery`, extended with reservation custody: a
+/// reserved session swept up by a destination-side recovery pass is
+/// re-tagged on its handoff (parked / re-admitted / dead) instead of
+/// entering the shard's fate ledger — it is not owned here until its
+/// commit arrives. The rendered tail is byte-identical to the serial
+/// harness (at one shard no reservations exist, so the counters match
+/// exactly too).
+fn fed_absorb(
+    rec: &RecoveryReport,
+    s: usize,
+    shard: &mut Shard,
+    directory: &mut BTreeMap<usize, Loc>,
+    handoffs: &mut BTreeMap<u64, Handoff>,
+    res_index: &mut BTreeMap<(usize, u64), u64>,
+) -> String {
+    assert_eq!(
+        rec.dropped.len(),
+        rec.drop_errors.len(),
+        "every drop carries the error witnessing unplaceability"
+    );
+    let mut res_dropped = 0usize;
+    for (id, (witness_id, _)) in rec.dropped.iter().zip(&rec.drop_errors) {
+        assert_eq!(id, witness_id, "drop witnesses line up");
+        if let Some(hid) = res_index.remove(&(s, id.raw())) {
+            handoffs
+                .get_mut(&hid)
+                .expect("indexed handoff exists")
+                .reservation = Reservation::Dead;
+            res_dropped += 1;
+            continue;
+        }
+        let req = shard
+            .by_session
+            .remove(id)
+            .expect("dropped sessions were tracked");
+        shard.active.remove(&req);
+        directory.insert(req, Loc::Gone { shard: s });
+    }
+    let mut res_parked = 0usize;
+    for id in &rec.parked {
+        if let Some(&hid) = res_index.get(&(s, id.raw())) {
+            handoffs
+                .get_mut(&hid)
+                .expect("indexed handoff exists")
+                .reservation = Reservation::Parked(id.raw());
+            res_parked += 1;
+        }
+    }
+    let mut res_readmitted = 0usize;
+    for id in &rec.readmitted {
+        if let Some(&hid) = res_index.get(&(s, id.raw())) {
+            handoffs
+                .get_mut(&hid)
+                .expect("indexed handoff exists")
+                .reservation = Reservation::Live(id.raw());
+            res_readmitted += 1;
+        }
+    }
+    shard.report.replacements += rec.replacements() as u32;
+    shard.report.degraded += rec.degraded.len() as u32;
+    shard.report.parked += (rec.parked.len() - res_parked) as u32;
+    shard.report.readmitted += (rec.readmitted.len() - res_readmitted) as u32;
+    shard.report.dropped += (rec.dropped.len() - res_dropped) as u32;
+    let mut tail = format!(
+        "re-placed {} ({} degraded), parked {}, readmitted {}, dropped {}; affected {}/{}",
+        rec.replacements(),
+        rec.degraded.len(),
+        rec.parked.len(),
+        rec.readmitted.len(),
+        rec.dropped.len(),
+        rec.affected,
+        rec.considered,
+    );
+    for (id, err) in &rec.drop_errors {
+        let _ = write!(tail, "; {id} unplaceable ({err})");
+    }
+    tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::run_fault_campaign_with;
+
+    fn small_cfg(shards: usize) -> FederationConfig {
+        FederationConfig {
+            base: FaultCampaignConfig {
+                devices: 6,
+                requests: 48,
+                horizon_h: 12.0,
+                faults: 10,
+                ..FaultCampaignConfig::default()
+            },
+            shards,
+            mobility: MobilityWaveConfig {
+                moves: 10,
+                waves: 2,
+                horizon_h: 12.0,
+                devices: 6,
+                ..MobilityWaveConfig::default()
+            },
+            ..FederationConfig::default()
+        }
+    }
+
+    #[test]
+    fn channel_transport_preserves_send_order() {
+        let mut t = ChannelTransport::new(2);
+        for seq in 0..3 {
+            t.send(Envelope {
+                seq,
+                from: 0,
+                to: 1,
+                sent_at_h: 0.0,
+                deliver_at_h: 0.0,
+                msg: FederationMsg::ReserveOk { hid: seq },
+            });
+        }
+        assert!(t.drain(0).is_empty(), "nothing queued for shard 0");
+        let got: Vec<u64> = t.drain(1).into_iter().map(|e| e.seq).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(t.drain(1).is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn shard_suspicion_windows_are_closed_form() {
+        let mut cfg = small_cfg(2);
+        cfg.shard_partitions = vec![ShardPartition {
+            shard: 1,
+            from_h: 1.0,
+            to_h: 1.1,
+        }];
+        cfg.shard_grace_h = 0.05;
+        cfg.shard_heartbeat_h = 0.25;
+        let engine = Engine::new(&cfg, Vec::new(), Box::new(ChannelTransport::new(2)));
+        // Reachability tracks the raw window.
+        assert!(engine.reachable_shard(1, 0.99));
+        assert!(!engine.reachable_shard(1, 1.0));
+        assert!(!engine.reachable_shard(1, 1.05));
+        assert!(engine.reachable_shard(1, 1.1));
+        // Suspicion starts after the grace and holds until the next
+        // heartbeat multiple after the heal (1.25h).
+        assert!(!engine.suspected_shard(1, 1.02));
+        assert!(engine.suspected_shard(1, 1.05));
+        assert!(engine.suspected_shard(1, 1.2));
+        assert!(!engine.suspected_shard(1, 1.25));
+        // The other shard is never implicated.
+        assert!(engine.reachable_shard(0, 1.05) && !engine.suspected_shard(0, 1.05));
+        // Messages into the window defer to the heal.
+        assert_eq!(engine.delivery_time(0, 1, 1.05), 1.1);
+        assert_eq!(engine.delivery_time(1, 0, 1.05), 1.1);
+        assert_eq!(engine.delivery_time(0, 1, 1.2), 1.2);
+    }
+
+    #[test]
+    fn one_shard_is_byte_identical_to_serial_reference() {
+        let cfg = small_cfg(1);
+        let schedule = cfg.schedule();
+        let fed = run_federation_campaign_with(&cfg, &schedule).expect("federated run");
+        let serial = run_fault_campaign_with(&cfg.base, &schedule).expect("serial run");
+        assert_eq!(fed.shards.len(), 1);
+        assert_eq!(
+            fed.shards[0].log.render(),
+            serial.log.render(),
+            "1-shard log must be byte-identical to the serial DES reference"
+        );
+        assert_eq!(fed.shards[0].report, serial.report);
+        assert_eq!(fed.stats.handoffs_initiated, 0, "no cross-shard traffic");
+        assert_eq!(fed.stats.messages, 0);
+        assert!(fed.fates_balance());
+    }
+
+    #[test]
+    fn one_shard_is_byte_identical_under_imperfect_detection() {
+        let mut cfg = small_cfg(1);
+        cfg.base.detection_grace_h = 0.05;
+        cfg.base.partitions = 1;
+        let schedule = cfg.schedule();
+        let fed = run_federation_campaign_with(&cfg, &schedule).expect("federated run");
+        let serial = run_fault_campaign_with(&cfg.base, &schedule).expect("serial run");
+        assert_eq!(fed.shards[0].log.render(), serial.log.render());
+        assert_eq!(fed.shards[0].report, serial.report);
+    }
+
+    #[test]
+    fn two_shards_balance_and_cross_traffic_flows() {
+        let cfg = small_cfg(2);
+        let fed = run_federation_campaign(&cfg).expect("federated run");
+        assert!(fed.fates_balance(), "fate ledger: {:?}", fed.stats);
+        let arrivals: u32 = fed.shards.iter().map(|s| s.report.arrivals).sum();
+        assert_eq!(
+            arrivals as usize, cfg.base.requests,
+            "every arrival resolved on exactly one shard"
+        );
+        assert!(
+            fed.stats.forwarded > 0,
+            "specialized registries force cross-domain discovery: {:?}",
+            fed.stats
+        );
+        assert!(
+            fed.stats.handoffs_initiated > 0,
+            "mobility waves cross the shard boundary"
+        );
+        assert_eq!(
+            fed.stats.handoffs_initiated,
+            fed.stats.handoffs_committed + fed.stats.handoffs_aborted,
+            "every handoff resolves"
+        );
+        // Determinism: the same config reproduces the same digests.
+        let again = run_federation_campaign(&cfg).expect("rerun");
+        assert_eq!(fed.shard_digests(), again.shard_digests());
+        assert_eq!(fed.combined_digest, again.combined_digest);
+    }
+
+    #[test]
+    fn owner_maps_contiguous_blocks() {
+        let cfg = small_cfg(2);
+        let engine = Engine::new(&cfg, Vec::new(), Box::new(ChannelTransport::new(2)));
+        assert_eq!(engine.sizes, vec![3, 3]);
+        assert_eq!(engine.offsets, vec![0, 3]);
+        for g in 0..6 {
+            assert_eq!(engine.owner(g), g / 3);
+        }
+        // Uneven split: first shards take the remainder.
+        let mut cfg7 = small_cfg(3);
+        cfg7.base.devices = 7;
+        cfg7.mobility.devices = 7;
+        let e7 = Engine::new(&cfg7, Vec::new(), Box::new(ChannelTransport::new(3)));
+        assert_eq!(e7.sizes, vec![3, 2, 2]);
+        assert_eq!(e7.candidates[0], vec![1, 2]);
+        assert_eq!(e7.candidates[2], vec![0, 1]);
+    }
+}

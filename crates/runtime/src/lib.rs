@@ -24,6 +24,10 @@
 //! * [`pipeline`] — the batched admission runtime overlapping
 //!   independent sessions' discover→compose→place→download pipelines
 //!   while committing in the serial runtime's deterministic order;
+//! * [`federation`] — the sharded multi-domain deployment: N domain
+//!   servers own subtrees of the domain hierarchy, resolve discovery
+//!   across shards, and hand sessions off with a two-phase
+//!   reserve/commit protocol that stays correct under suspicion;
 //! * [`apps`] — the two prototype applications: *mobile audio-on-demand*
 //!   and *video conferencing*;
 //! * [`scenario`] — the scripted four-event experiment of Figures 3-4.
@@ -42,6 +46,7 @@ pub mod cost_model;
 pub mod domain_server;
 pub mod event_service;
 pub mod faults;
+pub mod federation;
 pub mod overhead;
 pub mod pipeline;
 pub mod profiler;
@@ -60,6 +65,11 @@ pub use event_service::{EventService, RuntimeEvent};
 pub use faults::{
     campaign_schedule, run_fault_campaign, run_fault_campaign_with, CampaignOutcome, EventLog,
     FaultCampaignConfig, InvariantViolation,
+};
+pub use federation::{
+    run_federation_campaign, run_federation_campaign_over, run_federation_campaign_with,
+    ChannelTransport, Envelope, FederationConfig, FederationMsg, FederationOutcome,
+    FederationStats, ShardOutcome, ShardPartition, Transport,
 };
 pub use overhead::ConfigOverhead;
 pub use pipeline::{

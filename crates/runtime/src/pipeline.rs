@@ -63,6 +63,20 @@
 //! batch preserves the serial pop order exactly. Under perfect
 //! detection no in-loop schedules exist at all and batches are bounded
 //! only by [`PipelineConfig::batch_size`].
+//!
+//! # Relation to the federated runtime
+//!
+//! [`crate::federation`] scales the *other* axis: instead of
+//! overlapping stages of one domain's admission loop, it shards the
+//! domain itself across servers and serializes *cross-shard* effects
+//! through the same `(virtual time, sequence number)` total order this
+//! module uses for commits. The two runtimes also share the
+//! [`crate::profiler::StageTimes`] queue-wait accounting — here the
+//! histogram samples are wall-clock waits between batch admission and
+//! commit; there they are virtual message-delivery delays recorded into
+//! per-shard slots (`shard_queue_wait_us`). Both preserve the same
+//! byte-identity contract against the serial loop at their degenerate
+//! setting (`batch_size: 1` / one shard).
 
 use crate::domain_server::DomainServer;
 use crate::faults::{

@@ -96,6 +96,16 @@ impl PowHistogram {
         }
     }
 
+    /// Folds another histogram into this one, bucket-wise.
+    pub fn merge(&mut self, other: &PowHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
     /// The smallest bucket upper bound covering at least `q` (in
     /// `[0, 1]`) of the samples — a coarse quantile for rendering.
     pub fn quantile_upper(&self, q: f64) -> u64 {
@@ -146,6 +156,12 @@ pub struct StageTimes {
     pub queue_wait_us: PowHistogram,
     /// Events per admitted batch. Empty under the serial loop.
     pub batch_sizes: PowHistogram,
+    /// Queue waits split by the admission queue (shard) that absorbed
+    /// them. Slot `s` is shard `s`'s own wait distribution; the merged
+    /// view above remains the union. A single-server runtime records
+    /// everything into slot 0, so unsharded artifacts stay unchanged
+    /// apart from the extra field.
+    pub shard_queue_wait_us: Vec<PowHistogram>,
 }
 
 impl StageTimes {
@@ -158,6 +174,49 @@ impl StageTimes {
     /// cache (or batched speculation) can shorten; downloads excluded.
     pub fn pipeline_ms(&self) -> f64 {
         self.discover_ms + self.compose_ms + self.place_ms
+    }
+
+    /// Records one queue wait attributed to shard `shard`, growing the
+    /// per-shard slot vector as needed. Keeps the merged histogram and
+    /// the shard slot in sync.
+    pub fn record_shard_queue_wait(&mut self, shard: usize, wait_us: u64) {
+        self.queue_wait_us.record(wait_us);
+        if self.shard_queue_wait_us.len() <= shard {
+            self.shard_queue_wait_us
+                .resize_with(shard + 1, PowHistogram::default);
+        }
+        self.shard_queue_wait_us[shard].record(wait_us);
+    }
+
+    /// Folds another server's stage profile into this one, attributing
+    /// its queue waits to shard `shard` — how a federation aggregates N
+    /// per-shard servers into one campaign-wide profile.
+    pub fn absorb_shard(&mut self, shard: usize, other: &StageTimes) {
+        self.discover_ms += other.discover_ms;
+        self.compose_ms += other.compose_ms;
+        self.place_ms += other.place_ms;
+        self.download_ms += other.download_ms;
+        self.configures += other.configures;
+        self.queue_wait_us.merge(&other.queue_wait_us);
+        self.batch_sizes.merge(&other.batch_sizes);
+        if other.shard_queue_wait_us.is_empty() {
+            // A single-queue profile: every wait it saw belongs to the
+            // shard it ran as.
+            if self.shard_queue_wait_us.len() <= shard {
+                self.shard_queue_wait_us
+                    .resize_with(shard + 1, PowHistogram::default);
+            }
+            self.shard_queue_wait_us[shard].merge(&other.queue_wait_us);
+        } else {
+            // Already shard-aware: slot indices are global, fold verbatim.
+            for (s, h) in other.shard_queue_wait_us.iter().enumerate() {
+                if self.shard_queue_wait_us.len() <= s {
+                    self.shard_queue_wait_us
+                        .resize_with(s + 1, PowHistogram::default);
+                }
+                self.shard_queue_wait_us[s].merge(h);
+            }
+        }
     }
 }
 

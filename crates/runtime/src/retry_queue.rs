@@ -111,6 +111,13 @@ impl RetryQueue {
         self.parked.is_empty()
     }
 
+    /// Whether session `id` is currently parked — the hook federation
+    /// handoff tests use to assert a suspected-destination move landed
+    /// in the retry queue rather than being duplicated or leaked.
+    pub fn contains(&self, id: u64) -> bool {
+        self.parked.contains_key(&id)
+    }
+
     /// Parks a session (first park: zero attempts used). The priority
     /// keys — park time, QoS satisfaction, resource footprint — are
     /// snapshotted here so later retries rank deterministically.

@@ -24,6 +24,7 @@ pub mod des;
 pub mod faultgen;
 pub mod graphgen;
 pub mod metrics;
+pub mod mobility;
 pub mod scenario;
 pub mod table1;
 pub mod workload;
@@ -32,6 +33,7 @@ pub use des::EventQueue;
 pub use faultgen::{FaultKind, FaultScheduleConfig, TimedFault};
 pub use graphgen::GraphGenConfig;
 pub use metrics::WindowedRate;
+pub use mobility::{merge_schedules, MobilityWaveConfig};
 pub use scenario::{
     run_fig5, run_fig5_multi, Fig5Config, Fig5Outcome, Policy, PolicySummary, SuccessSeries,
 };

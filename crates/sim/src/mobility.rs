@@ -1,0 +1,174 @@
+//! Mobility-wave workload shaping.
+//!
+//! The paper's §3.3 user-mobility trigger fires one user at a time; a
+//! federated deployment sees *waves* — a lecture lets out, a shift
+//! changes, and a burst of users walks from one smart space into
+//! another, dragging their sessions across shard boundaries together.
+//! This module generates that shape as plain fault data: a seeded,
+//! time-clustered burst of [`FaultKind::MoveUser`] (with periodic
+//! [`FaultKind::SwitchDevice`] portal switches mixed in) that merges
+//! into any base fault schedule and replays through the same harness.
+
+use crate::faultgen::{FaultKind, TimedFault};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one seeded mobility-wave overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityWaveConfig {
+    /// Seed of the overlay's own RNG stream (independent of the base
+    /// fault schedule and the workload).
+    pub seed: u64,
+    /// Total move/switch events across all waves.
+    pub moves: usize,
+    /// Number of wave bursts spread over the horizon (≥ 1 when
+    /// `moves > 0`).
+    pub waves: usize,
+    /// Horizon the waves are placed inside, in hours.
+    pub horizon_h: f64,
+    /// Device count of the target space (destination devices are drawn
+    /// from `0..devices`).
+    pub devices: usize,
+    /// Every `switch_every`-th event is a portal switch instead of a
+    /// user move (`0` disables switches entirely).
+    pub switch_every: usize,
+}
+
+impl Default for MobilityWaveConfig {
+    fn default() -> Self {
+        MobilityWaveConfig {
+            seed: 0x000b_1117_0001,
+            moves: 32,
+            waves: 4,
+            horizon_h: 48.0,
+            devices: 8,
+            switch_every: 4,
+        }
+    }
+}
+
+impl MobilityWaveConfig {
+    /// Generates the overlay: `moves` events clustered around `waves`
+    /// evenly spaced wave centers, sorted by time. Pure function of the
+    /// config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid config (no devices, non-positive
+    /// horizon, or moves without waves).
+    pub fn generate(&self) -> Vec<TimedFault> {
+        if self.moves == 0 {
+            return Vec::new();
+        }
+        assert!(self.devices > 0, "mobility waves need a device pool");
+        assert!(self.horizon_h > 0.0, "mobility waves need a horizon");
+        assert!(self.waves > 0, "moves without waves have no placement");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Wave w centers at (w+1)/(waves+1) of the horizon, with events
+        // jittered ±half the inter-wave gap around it so consecutive
+        // waves stay distinct bursts instead of blurring together.
+        let gap_h = self.horizon_h / (self.waves as f64 + 1.0);
+        let spread_h = gap_h / 2.0;
+        let mut out = Vec::with_capacity(self.moves);
+        for m in 0..self.moves {
+            let wave = m % self.waves;
+            let center_h = gap_h * (wave as f64 + 1.0);
+            let jitter_h = rng.gen_range(-spread_h..spread_h);
+            let at_h = (center_h + jitter_h).clamp(0.0, self.horizon_h);
+            let pick: u64 = rng.gen();
+            let to = rng.gen_range(0..self.devices);
+            let kind = if self.switch_every > 0 && (m + 1).is_multiple_of(self.switch_every) {
+                FaultKind::SwitchDevice { pick, to }
+            } else {
+                FaultKind::MoveUser { pick, to }
+            };
+            out.push(TimedFault { at_h, kind });
+        }
+        out.sort_by(|a, b| a.at_h.partial_cmp(&b.at_h).expect("finite event times"));
+        out
+    }
+}
+
+/// Merges a mobility overlay into a base fault schedule, preserving the
+/// deterministic order: stable sort by time, base events before overlay
+/// events at equal instants (the overlay is appended, and the sort is
+/// stable).
+pub fn merge_schedules(base: &[TimedFault], overlay: &[TimedFault]) -> Vec<TimedFault> {
+    let mut merged: Vec<TimedFault> = Vec::with_capacity(base.len() + overlay.len());
+    merged.extend_from_slice(base);
+    merged.extend_from_slice(overlay);
+    merged.sort_by(|a, b| a.at_h.partial_cmp(&b.at_h).expect("finite event times"));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wave_is_deterministic_and_sorted() {
+        let cfg = MobilityWaveConfig::default();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a, b, "same config, same overlay");
+        assert_eq!(a.len(), cfg.moves);
+        assert!(a.windows(2).all(|w| w[0].at_h <= w[1].at_h), "sorted");
+        assert!(a.iter().all(|f| (0.0..=cfg.horizon_h).contains(&f.at_h)));
+    }
+
+    #[test]
+    fn waves_cluster_and_mix_switches() {
+        let cfg = MobilityWaveConfig {
+            moves: 40,
+            waves: 4,
+            switch_every: 4,
+            ..MobilityWaveConfig::default()
+        };
+        let wave = cfg.generate();
+        let switches = wave
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::SwitchDevice { .. }))
+            .count();
+        let moves = wave
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::MoveUser { .. }))
+            .count();
+        assert_eq!(switches, 10, "every 4th event is a portal switch");
+        assert_eq!(moves, 30);
+        // Every event sits within half an inter-wave gap of some center.
+        let gap = cfg.horizon_h / (cfg.waves as f64 + 1.0);
+        for f in &wave {
+            let near_center =
+                (1..=cfg.waves).any(|w| (f.at_h - gap * w as f64).abs() <= gap / 2.0 + 1e-9);
+            assert!(near_center, "event at t={} is outside every wave", f.at_h);
+        }
+    }
+
+    #[test]
+    fn empty_and_merge() {
+        let none = MobilityWaveConfig {
+            moves: 0,
+            ..MobilityWaveConfig::default()
+        };
+        assert!(none.generate().is_empty());
+        let base = vec![
+            TimedFault {
+                at_h: 1.0,
+                kind: FaultKind::Crash { device: 0 },
+            },
+            TimedFault {
+                at_h: 3.0,
+                kind: FaultKind::Recover { device: 0 },
+            },
+        ];
+        let overlay = vec![TimedFault {
+            at_h: 1.0,
+            kind: FaultKind::MoveUser { pick: 7, to: 1 },
+        }];
+        let merged = merge_schedules(&base, &overlay);
+        assert_eq!(merged.len(), 3);
+        // Stable: the base event keeps priority at the shared instant.
+        assert!(matches!(merged[0].kind, FaultKind::Crash { .. }));
+        assert!(matches!(merged[1].kind, FaultKind::MoveUser { .. }));
+    }
+}
