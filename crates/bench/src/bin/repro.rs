@@ -418,7 +418,25 @@ fn federation() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4, 8]);
-    let report = ubiqos_bench::federation::run_federation_bench(arrivals, &shard_counts);
+    let losses: Vec<f64> = std::env::var("UBIQOS_FED_LOSS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .expect("UBIQOS_FED_LOSS is a comma-separated list of drop rates")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![0.01, 0.1, 0.3]);
+    let loss_shards = *shard_counts.iter().max().unwrap_or(&4).min(&4);
+    let report = ubiqos_bench::federation::run_federation_bench(
+        arrivals,
+        &shard_counts,
+        loss_shards,
+        &losses,
+    );
     println!("{}", report.render());
     // Byte-identity of the 1-shard cell to the serial reference is part
     // of the artifact, not a side note: sharding may only ever change
@@ -427,6 +445,13 @@ fn federation() {
         report.one_shard_matches_serial,
         "the 1-shard federation cell diverged from the serial digest {:#018x}",
         report.serial_digest
+    );
+    // The lossy sweep's convergence contract is equally hard: every
+    // seeded drop/dup/reorder schedule must drain to the exact digests
+    // of the perfect run.
+    assert!(
+        report.lossy_converges,
+        "a lossy federation run diverged from the perfect digests"
     );
     // Sharding shrinks the discovery/placement share of each admission
     // but not its composition share, so the sweep saturates well below

@@ -26,8 +26,8 @@ use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::time::Instant;
 use ubiqos_runtime::{
-    run_fault_campaign_with, run_federation_campaign_with, FaultCampaignConfig, FederationConfig,
-    FederationStats, StageTimes,
+    run_fault_campaign_with, run_federation_campaign_lossy, run_federation_campaign_with,
+    FaultCampaignConfig, FederationConfig, FederationStats, LossConfig, StageTimes,
 };
 use ubiqos_sim::MobilityWaveConfig;
 
@@ -90,6 +90,43 @@ pub struct FederationCell {
     pub stages: StageTimes,
 }
 
+/// One lossy-transport run of the same campaign: the seeded fault
+/// injector drops/duplicates/reorders copies at the configured rate
+/// and the reliable sublayer recovers, so the row measures the *cost*
+/// of loss (retransmissions, absorbed duplicates, convergence delay)
+/// against the pinned guarantee that the logical outcome never moves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossCell {
+    /// Per-copy drop probability of the schedule.
+    pub loss: f64,
+    /// End-to-end wall clock of the lossy campaign (ms).
+    pub wall_ms: f64,
+    /// Physical copies dropped by the injector (burst drops included).
+    pub drops: u64,
+    /// Extra copies injected by duplication.
+    pub dups: u64,
+    /// Copies that arrived late (the reorder mechanism).
+    pub delays: u64,
+    /// Payload retransmissions the reliable sublayer issued.
+    pub retransmissions: u64,
+    /// Duplicate payload copies the receivers absorbed.
+    pub duplicate_drops: u64,
+    /// Standalone ack frames sent.
+    pub acks_sent: u64,
+    /// Payloads parked in the in-order release buffer.
+    pub reorder_buffered: u64,
+    /// Deepest any release buffer grew.
+    pub reorder_depth_max: u64,
+    /// Worst virtual-time gap between a payload's send and its release
+    /// by the receiver (µs).
+    pub convergence_delay_us_max: u64,
+    /// Mean virtual-time send-to-release gap per payload (µs).
+    pub convergence_delay_us_mean: f64,
+    /// Whether the per-shard event-log digests match the perfect run
+    /// at the same shard count — the convergence contract.
+    pub digests_match_perfect: bool,
+}
+
 /// The full `BENCH_federation.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FederationReport {
@@ -112,6 +149,12 @@ pub struct FederationReport {
     /// Whether the 1-shard cell (when present) matched the serial
     /// report and log byte-for-byte.
     pub one_shard_matches_serial: bool,
+    /// Shard count of the lossy-transport sweep.
+    pub loss_shards: usize,
+    /// One row per loss rate, all at `loss_shards` shards.
+    pub loss_cells: Vec<LossCell>,
+    /// Whether every lossy run converged to the perfect digests.
+    pub lossy_converges: bool,
 }
 
 impl FederationReport {
@@ -180,15 +223,94 @@ impl FederationReport {
                 "DIVERGED from the serial reference"
             }
         );
+        if !self.loss_cells.is_empty() {
+            let _ = writeln!(
+                out,
+                "lossy transport at {} shards (seeded drop/dup/reorder):",
+                self.loss_shards
+            );
+            let mut table = TextTable::new(&[
+                ("loss", 5, Align::Right),
+                ("wall ms", 9, Align::Right),
+                ("dropped", 7, Align::Right),
+                ("retx", 6, Align::Right),
+                ("dup-drop", 8, Align::Right),
+                ("reorder", 7, Align::Right),
+                ("acks", 7, Align::Right),
+                ("conv max ms", 12, Align::Right),
+                ("conv avg ms", 12, Align::Right),
+                ("converged", 9, Align::Right),
+            ]);
+            for c in &self.loss_cells {
+                table.row(&[
+                    format!("{:.2}", c.loss),
+                    format!("{:.0}", c.wall_ms),
+                    c.drops.to_string(),
+                    c.retransmissions.to_string(),
+                    c.duplicate_drops.to_string(),
+                    c.reorder_buffered.to_string(),
+                    c.acks_sent.to_string(),
+                    format!("{:.3}", c.convergence_delay_us_max as f64 / 1e3),
+                    format!("{:.3}", c.convergence_delay_us_mean / 1e3),
+                    match_cell(c.digests_match_perfect).to_string(),
+                ]);
+            }
+            out.push_str(&table.finish());
+        }
         out
     }
 }
 
-/// Runs the full sweep: one serial reference, then one federated cell
-/// per shard count. The fault schedule (base + mobility overlay) is
-/// derived once and shared by every run, so all cells face the
-/// identical workload.
-pub fn run_federation_bench(arrivals: usize, shard_counts: &[usize]) -> FederationReport {
+/// Runs the lossy-transport sweep: the same campaign at `shards`
+/// shards, once perfectly and once per loss rate, asserting the
+/// convergence contract (identical per-shard digests) in every cell.
+pub fn run_federation_loss_sweep(arrivals: usize, shards: usize, losses: &[f64]) -> Vec<LossCell> {
+    let cfg = federation_config(arrivals, shards);
+    let schedule = cfg.schedule();
+    let perfect = run_federation_campaign_with(&cfg, &schedule)
+        .expect("the perfect reference holds its invariants");
+    losses
+        .iter()
+        .map(|&loss| {
+            let lc = LossConfig::lossy(0x1cdc_2002 ^ loss.to_bits(), loss)
+                .align_bursts(&cfg.shard_partitions);
+            let wall = Instant::now();
+            let (outcome, loss_stats) = run_federation_campaign_lossy(&cfg, &schedule, lc)
+                .expect("the lossy campaign holds its invariants");
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let digests_match_perfect = outcome.shard_digests() == perfect.shard_digests();
+            let released = outcome.stats.messages.max(1);
+            LossCell {
+                loss,
+                wall_ms,
+                drops: loss_stats.drops + loss_stats.burst_drops,
+                dups: loss_stats.dups,
+                delays: loss_stats.delays,
+                retransmissions: outcome.stats.retransmissions,
+                duplicate_drops: outcome.stats.duplicate_drops,
+                acks_sent: outcome.stats.acks_sent,
+                reorder_buffered: outcome.stats.reorder_buffered,
+                reorder_depth_max: outcome.stats.reorder_depth_max,
+                convergence_delay_us_max: outcome.stats.convergence_delay_us_max,
+                convergence_delay_us_mean: outcome.stats.convergence_delay_us_total as f64
+                    / released as f64,
+                digests_match_perfect,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full sweep: one serial reference, one federated cell per
+/// shard count, then the lossy-transport sweep at `loss_shards`
+/// shards. The fault schedule (base + mobility overlay) is derived
+/// once and shared by every run, so all cells face the identical
+/// workload.
+pub fn run_federation_bench(
+    arrivals: usize,
+    shard_counts: &[usize],
+    loss_shards: usize,
+    losses: &[f64],
+) -> FederationReport {
     let serial_cfg = federation_config(arrivals, 1);
     let schedule = serial_cfg.schedule();
     let wall = Instant::now();
@@ -232,6 +354,8 @@ pub fn run_federation_bench(arrivals: usize, shard_counts: &[usize]) -> Federati
             stages,
         });
     }
+    let loss_cells = run_federation_loss_sweep(arrivals, loss_shards, losses);
+    let lossy_converges = loss_cells.iter().all(|c| c.digests_match_perfect);
     FederationReport {
         schema_version: ubiqos::BENCH_SCHEMA_VERSION,
         arrivals,
@@ -241,6 +365,9 @@ pub fn run_federation_bench(arrivals: usize, shard_counts: &[usize]) -> Federati
         cells,
         best_speedup,
         one_shard_matches_serial: one_shard_matches,
+        loss_shards,
+        loss_cells,
+        lossy_converges,
     }
 }
 
@@ -250,9 +377,16 @@ mod tests {
 
     #[test]
     fn small_sweep_pins_one_shard_to_serial() {
-        let report = run_federation_bench(200, &[1, 2]);
+        let report = run_federation_bench(200, &[1, 2], 2, &[0.1]);
         assert!(report.one_shard_matches_serial, "{}", report.render());
+        assert!(report.lossy_converges, "{}", report.render());
         assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.loss_cells.len(), 1);
+        assert!(
+            report.loss_cells[0].retransmissions > 0,
+            "10% loss must force recovery: {}",
+            report.render()
+        );
         assert_eq!(report.schema_version, ubiqos::BENCH_SCHEMA_VERSION);
         assert_eq!(report.cells[0].shard_digests, vec![report.serial_digest]);
         assert_eq!(report.cells[1].shard_digests.len(), 2);
@@ -261,6 +395,10 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("byte-identical"), "{rendered}");
         assert!(rendered.contains("2 shard(s): digest"), "{rendered}");
+        assert!(
+            rendered.contains("lossy transport at 2 shards"),
+            "{rendered}"
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::fmt;
 /// whenever a field is added, renamed, or its meaning changes; the
 /// nightly drift gate refuses to compare artifacts across versions
 /// instead of silently misreading renamed fields.
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Aggregated outcome of one fault-injection campaign.
 ///
@@ -116,6 +116,20 @@ pub struct FaultReport {
     /// actually done.
     pub recovery_affected: u32,
 
+    /// Payload retransmissions this node's reliable transport sublayer
+    /// issued (sender side; zero on a perfect transport and in every
+    /// serial campaign).
+    #[serde(default)]
+    pub retransmissions: u32,
+    /// Duplicate payload copies the reliable sublayer absorbed and
+    /// dropped before they could reach a handler (receiver side).
+    #[serde(default)]
+    pub duplicate_drops: u32,
+    /// Deepest the receiver-side in-order release buffer ever grew —
+    /// how far ahead of a missing payload the network delivered.
+    #[serde(default)]
+    pub reorder_depth_max: u32,
+
     /// Invariant checkpoints passed (one full sweep after every event).
     pub invariant_checks: u32,
     /// FNV-1a hash of the rendered event log, for cheap determinism
@@ -159,6 +173,9 @@ impl Default for FaultReport {
             recovery_passes: 0,
             recovery_considered: 0,
             recovery_affected: 0,
+            retransmissions: 0,
+            duplicate_drops: 0,
+            reorder_depth_max: 0,
             invariant_checks: 0,
             log_digest: 0,
         }
@@ -178,6 +195,7 @@ impl FaultReport {
              session fates      : {} completed, {} dropped, {} live at end, {} parked at end\n\
              staged recovery    : {} degraded, {} parked, {} readmitted\n\
              re-placements      : {} across {} passes ({} affected of {} considered)\n\
+             transport          : {} retransmissions, {} duplicate drops, reorder depth {}\n\
              invariant checks   : {}\n\
              event log digest   : {:#018x}\n",
             self.seed,
@@ -212,6 +230,9 @@ impl FaultReport {
             self.recovery_passes,
             self.recovery_affected,
             self.recovery_considered,
+            self.retransmissions,
+            self.duplicate_drops,
+            self.reorder_depth_max,
             self.invariant_checks,
             self.log_digest,
         )
@@ -270,6 +291,7 @@ mod tests {
         assert!(s.contains("staged recovery"));
         assert!(s.contains("parked at end"));
         assert!(s.contains("failure detection"));
+        assert!(s.contains("transport"));
         assert!(s.contains("invariant checks"));
         assert_eq!(report.to_string(), s);
     }

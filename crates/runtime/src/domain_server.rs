@@ -386,6 +386,17 @@ impl DomainServer {
             .record_shard_queue_wait(self.shard_index, us);
     }
 
+    /// Records one fully-acknowledged payload's retransmission count
+    /// into the stage profile, attributed to this server's shard slot
+    /// (this server was the sender). Wall-clock-profile only — never
+    /// observable in logs.
+    pub fn record_retransmits(&self, retransmits: u64) {
+        self.stages
+            .lock()
+            .expect("stage lock")
+            .record_shard_retransmit(self.shard_index, retransmits);
+    }
+
     /// Declares which federation shard this server runs as, so queue-wait
     /// samples land in the matching per-shard histogram slot.
     pub fn set_shard_index(&mut self, shard: usize) {

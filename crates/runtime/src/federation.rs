@@ -57,6 +57,27 @@
 //! the serial reference and reproduces its log **byte-identically**;
 //! per-shard digests at every other shard count are pinned in
 //! `tests/federation_equivalence.rs`.
+//!
+//! ## Reliable delivery over a lossy transport
+//!
+//! The engine no longer assumes the [`Transport`] is perfect. A
+//! reliability sublayer sits between the handlers and the fabric:
+//! payloads carry per-(src, dst)-link monotone sequence numbers,
+//! receivers dedup + release in order and acknowledge cumulatively
+//! (piggybacked on reverse traffic plus standalone
+//! [`FederationMsg::Ack`] frames), and unacknowledged payloads
+//! retransmit on a virtual-time timer with capped exponential backoff
+//! (the [`RetryPolicy`] doubling discipline). Net-layer events live on
+//! their **own** DES queue: an application event opens a *turn* that
+//! cannot complete while a payload due at its instant is still
+//! physically undelivered, so the net queue spins (retransmissions,
+//! late arrivals) without ever perturbing the application event order.
+//! The consequence is the equivalence contract this module pins: under
+//! any seeded loss/dup/reorder/delay schedule (see
+//! [`LossyTransport`](crate::transport::LossyTransport)), every shard
+//! replays the exact per-shard handler sequence — and therefore the
+//! exact log bytes — of the perfect run, while the zero-loss path
+//! stays byte-identical to the bare [`ChannelTransport`].
 
 use crate::domain_server::{DomainServer, SessionId};
 use crate::faults::{
@@ -66,12 +87,14 @@ use crate::faults::{
 use crate::profiler::StageTimes;
 use crate::recovery::RecoveryReport;
 use crate::retry_queue::RetryPolicy;
+use crate::transport::{
+    ChannelTransport, Envelope, LossConfig, LossStats, LossyTransport, Transport,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::sync::mpsc;
 use ubiqos::fault_report::fnv1a;
 use ubiqos::{ConfigureError, FaultReport};
 use ubiqos_composition::DegradationLadder;
@@ -134,6 +157,12 @@ pub struct FederationConfig {
     /// space-wide `mpeg-source` so cross-shard discovery has real work
     /// to do. The 1-shard configuration never specializes.
     pub specialize_registry: bool,
+    /// Virtual-time retransmission backoff of the reliable-delivery
+    /// sublayer: `base * 2^attempts` milliseconds, saturating at the
+    /// cap. `max_attempts` is ignored — the reliable layer never gives
+    /// up on a payload (loss is bounded away from 1, so retransmission
+    /// converges).
+    pub retx_policy: RetryPolicy,
 }
 
 impl Default for FederationConfig {
@@ -151,6 +180,14 @@ impl Default for FederationConfig {
             shard_grace_h: 0.05,
             shard_heartbeat_h: 0.25,
             specialize_registry: true,
+            // Ten virtual seconds base, ~5.3 virtual minutes cap —
+            // transport-scale, far below the session-level lease and
+            // retry windows.
+            retx_policy: RetryPolicy {
+                base_backoff_ms: 10_000.0,
+                max_backoff_ms: 320_000.0,
+                max_attempts: 0,
+            },
         }
     }
 }
@@ -187,6 +224,11 @@ impl FederationConfig {
             self.shard_heartbeat_h > 0.0,
             "shard heartbeat period must be positive"
         );
+        assert!(
+            self.retx_policy.base_backoff_ms > 0.0
+                && self.retx_policy.max_backoff_ms >= self.retx_policy.base_backoff_ms,
+            "retransmission backoff must be positive and capped above its base"
+        );
         if self.mobility.moves > 0 {
             assert!(
                 self.mobility.devices <= self.base.devices,
@@ -220,6 +262,9 @@ pub enum FederationMsg {
     DiscoverFound {
         /// Whether the queried registry advertises the type.
         found: bool,
+        /// The request the reply resolves (correlates the reply with
+        /// its pending discovery across retransmissions).
+        req: usize,
     },
     /// Phase 1: charge resources for handoff `hid` on the destination
     /// under a lease.
@@ -250,69 +295,12 @@ pub enum FederationMsg {
         /// The aborted handoff.
         hid: u64,
     },
-}
-
-/// One in-flight message: payload plus the routing and ordering
-/// envelope the transport delivers it under.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Envelope {
-    /// Global send sequence — same-instant deliveries replay in send
-    /// order, keeping the cross-shard event order total.
-    pub seq: u64,
-    /// Sending shard.
-    pub from: usize,
-    /// Receiving shard.
-    pub to: usize,
-    /// Virtual hour the message was sent.
-    pub sent_at_h: f64,
-    /// Virtual hour the message becomes deliverable — `sent_at_h`
-    /// unless a shard partition defers it to the heal.
-    pub deliver_at_h: f64,
-    /// The payload.
-    pub msg: FederationMsg,
-}
-
-/// Message fabric between shards. The engine is transport-agnostic:
-/// anything that can queue an [`Envelope`] per destination shard and
-/// hand queued envelopes back works (sockets later; channels now).
-pub trait Transport {
-    /// Queues `env` for its destination shard.
-    fn send(&mut self, env: Envelope);
-    /// Removes and returns everything queued for `shard`, in send
-    /// order.
-    fn drain(&mut self, shard: usize) -> Vec<Envelope>;
-}
-
-/// The in-process transport: one `std::sync::mpsc` channel per shard.
-pub struct ChannelTransport {
-    senders: Vec<mpsc::Sender<Envelope>>,
-    receivers: Vec<mpsc::Receiver<Envelope>>,
-}
-
-impl ChannelTransport {
-    /// A fabric connecting `shards` shards.
-    pub fn new(shards: usize) -> Self {
-        let mut senders = Vec::with_capacity(shards);
-        let mut receivers = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            let (tx, rx) = mpsc::channel();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        ChannelTransport { senders, receivers }
-    }
-}
-
-impl Transport for ChannelTransport {
-    fn send(&mut self, env: Envelope) {
-        self.senders[env.to]
-            .send(env)
-            .expect("own receiver outlives the fabric");
-    }
-
-    fn drain(&mut self, shard: usize) -> Vec<Envelope> {
-        self.receivers[shard].try_iter().collect()
-    }
+    /// Standalone cumulative acknowledgement frame of the reliable
+    /// sublayer. Carries no payload — the acknowledgement itself rides
+    /// in the envelope's `ack_upto` field, like the piggyback on every
+    /// other message. Never sequenced, never retransmitted, and never
+    /// surfaced to the application layer.
+    Ack,
 }
 
 /// Federation-level counters (all deterministic; serialized into
@@ -339,6 +327,32 @@ pub struct FederationStats {
     /// Commits delivered after the reservation lease had expired
     /// (re-admitted instead of promoted).
     pub late_commits: u64,
+    /// Payload retransmissions issued by the reliable sublayer (zero
+    /// on a perfect transport).
+    #[serde(default)]
+    pub retransmissions: u64,
+    /// Duplicate payload copies absorbed before reaching a handler.
+    #[serde(default)]
+    pub duplicate_drops: u64,
+    /// Standalone ack frames sent (one per received payload copy).
+    #[serde(default)]
+    pub acks_sent: u64,
+    /// Payload copies held in a receiver's in-order release buffer
+    /// because an earlier sequence number was still missing.
+    #[serde(default)]
+    pub reorder_buffered: u64,
+    /// Deepest any in-order release buffer ever grew.
+    #[serde(default)]
+    pub reorder_depth_max: u64,
+    /// Largest gap (virtual µs) between a payload's send instant and
+    /// its physical release by the receiver's reliable layer — how far
+    /// behind the perfect run the lossy transport ever dragged a
+    /// message before convergence.
+    #[serde(default)]
+    pub convergence_delay_us_max: u64,
+    /// Sum of those per-payload release delays (virtual µs).
+    #[serde(default)]
+    pub convergence_delay_us_total: u64,
     /// Sessions each shard committed *away* (by shard index).
     pub handed_out: Vec<u32>,
     /// Sessions each shard received custody of (by shard index).
@@ -442,6 +456,76 @@ enum FedEvent {
     Deliver(usize),
 }
 
+/// Net-layer events: physical arrivals and retransmission timers.
+/// They live on their own DES queue so transport jitter and backoff
+/// scheduling can never perturb the application event order (net
+/// events consume no application-queue sequence numbers).
+#[derive(Debug, Clone, Copy)]
+enum NetEvent {
+    /// A stashed copy's physical arrival instant has been reached.
+    Arrive,
+    /// Retransmission timer for payload `seq` on link (`from`, `to`).
+    /// Fires as a no-op once the payload has been acknowledged.
+    Retx { from: usize, to: usize, seq: u64 },
+}
+
+/// One application event being processed. The turn stays open until
+/// every payload due at its instant has been physically delivered and
+/// handled; while it is blocked, only net events (arrivals,
+/// retransmissions) advance. This is what makes every lossy schedule
+/// replay the exact per-shard handler sequence of the perfect run.
+struct Turn {
+    at_h: f64,
+    touched: BTreeSet<usize>,
+}
+
+/// One unacknowledged payload in a link's retransmission window.
+struct TxEntry {
+    /// The payload as first transmitted (attempt counter and piggyback
+    /// are re-stamped on every copy).
+    env: Envelope,
+    /// Retransmissions issued so far.
+    attempts: u32,
+}
+
+/// Per-directed-link reliable-delivery state: the sender's
+/// retransmission window and the receiver's dedup/in-order cursor.
+#[derive(Default)]
+struct LinkState {
+    /// Next payload sequence to assign (sender side).
+    tx_next_seq: u64,
+    /// Unacknowledged payloads by link sequence (sender side).
+    tx: BTreeMap<u64, TxEntry>,
+    /// Standalone-ack frame counter (sender side; only diversifies
+    /// each ack copy's seeded fate — acks are unsequenced).
+    ack_next: u64,
+    /// Next payload sequence the receiver will release (everything
+    /// below it has been released; cumulative acks carry this value).
+    rx_expected: u64,
+    /// Out-of-order payloads held for in-order release (receiver
+    /// side).
+    rx_buffer: BTreeMap<u64, Envelope>,
+}
+
+/// A cross-domain discovery waiting on its `DiscoverFound` reply. The
+/// reply always resolves within the originating arrival's turn (probe
+/// legs are only sent between mutually reachable shards, so their
+/// delivery times equal the arrival instant), so this map is empty
+/// between turns.
+struct DiscoveryState {
+    /// The shard resolving the arrival.
+    origin: usize,
+    /// The arrival's application template.
+    graph_index: usize,
+    /// Global client device id (transcript context).
+    client: usize,
+    /// The local composition error, replayed verbatim in the denial
+    /// line if every candidate declines.
+    err: String,
+    /// Index into `candidates[origin]` of the probe in flight.
+    pos: usize,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum HandoffState {
     Reserving,
@@ -530,10 +614,33 @@ struct Engine<'a> {
     grace_ms: f64,
     hb_end_h: f64,
     queue: EventQueue<FedEvent>,
+    /// Net-layer queue: physical arrivals and retransmission timers.
+    netq: EventQueue<NetEvent>,
     transport: Box<dyn Transport>,
-    /// Undelivered envelopes keyed by (deliver-time bits, seq) — the
-    /// deterministic delivery order.
+    /// Released-but-undelivered envelopes keyed by (deliver-time bits,
+    /// send seq) — the deterministic delivery order.
     pending: BTreeMap<(u64, u64), Envelope>,
+    /// Sent payloads the receiver's reliable layer has not yet
+    /// released, by the same key. An open turn cannot complete while
+    /// one of these is due at or before its instant.
+    in_flight: BTreeSet<(u64, u64)>,
+    /// Per-directed-link reliable-delivery state.
+    links: BTreeMap<(usize, usize), LinkState>,
+    /// Physically arrived copies awaiting their arrival instant, keyed
+    /// by (arrive-time bits, stash order).
+    net_rx: BTreeMap<(u64, u64), Envelope>,
+    /// Monotone stash counter for `net_rx` (drain-order tiebreak).
+    next_stash: u64,
+    /// Envelope sequence for standalone ack frames — a disjoint stream
+    /// so acks never consume application payload sequence numbers.
+    next_net_seq: u64,
+    /// Global net-layer clock (max of all popped event times; runs
+    /// ahead of a blocked turn's instant while retransmissions spin).
+    now_h: f64,
+    /// The application event currently being processed, if any.
+    turn: Option<Turn>,
+    /// Cross-domain discoveries awaiting their reply.
+    pending_discovery: BTreeMap<usize, DiscoveryState>,
     next_seq: u64,
     next_hid: u64,
     handoffs: BTreeMap<u64, Handoff>,
@@ -586,6 +693,27 @@ pub fn run_federation_campaign_with(
 ) -> Result<FederationOutcome, InvariantViolation> {
     let transport = Box::new(ChannelTransport::new(cfg.shards));
     run_federation_campaign_over(cfg, schedule, transport)
+}
+
+/// Runs a federated campaign over a seeded lossy transport
+/// ([`LossyTransport`] decorating the in-process channels) and returns
+/// the outcome together with the injection counters.
+///
+/// The reliability sublayer guarantees the outcome's per-shard logs,
+/// digests, and reports are identical to the perfect-transport run of
+/// the same config and schedule — the loss stats (plus the
+/// retransmission counters in [`FederationStats`]) are the only
+/// visible difference.
+pub fn run_federation_campaign_lossy(
+    cfg: &FederationConfig,
+    schedule: &[TimedFault],
+    loss: LossConfig,
+) -> Result<(FederationOutcome, LossStats), InvariantViolation> {
+    let lossy = LossyTransport::new(Box::new(ChannelTransport::new(cfg.shards)), loss);
+    let handle = lossy.stats_handle();
+    let outcome = run_federation_campaign_over(cfg, schedule, Box::new(lossy))?;
+    let stats = *handle.borrow();
+    Ok((outcome, stats))
 }
 
 /// Runs a federated campaign over a caller-supplied transport.
@@ -722,8 +850,17 @@ impl<'a> Engine<'a> {
             grace_ms,
             hb_end_h,
             queue,
+            netq: EventQueue::new(),
             transport,
             pending: BTreeMap::new(),
+            in_flight: BTreeSet::new(),
+            links: BTreeMap::new(),
+            net_rx: BTreeMap::new(),
+            next_stash: 0,
+            next_net_seq: 0,
+            now_h: 0.0,
+            turn: None,
+            pending_discovery: BTreeMap::new(),
             next_seq: 0,
             next_hid: 0,
             handoffs: BTreeMap::new(),
@@ -803,25 +940,237 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Sends a message: stamps the envelope, counts it, hands it to
-    /// the transport, and — when delivery is deferred by a partition —
-    /// schedules the wakeup that pumps it.
+    /// Sends a payload through the reliable sublayer: stamps the
+    /// envelope (app seq, link seq), counts it, registers it in flight
+    /// and in the link's retransmission window, transmits the first
+    /// copy, arms the retransmission timer, and — when application
+    /// -level delivery is deferred by a partition — schedules the
+    /// wakeup turn that will deliver it.
     fn send(&mut self, from: usize, to: usize, at_h: f64, msg: FederationMsg) {
         let deliver_at_h = self.delivery_time(from, to, at_h);
+        let link = self.links.entry((from, to)).or_default();
+        let link_seq = link.tx_next_seq;
+        link.tx_next_seq += 1;
         let env = Envelope {
             seq: self.next_seq,
             from,
             to,
             sent_at_h: at_h,
             deliver_at_h,
+            link_seq,
+            attempt: 0,
+            ack_upto: 0, // stamped per copy by `transmit`
+            tx_at_h: at_h,
+            arrive_at_h: at_h,
             msg,
         };
         self.next_seq += 1;
         self.stats.messages += 1;
-        self.transport.send(env);
+        self.in_flight.insert((deliver_at_h.to_bits(), env.seq));
+        self.links
+            .get_mut(&(from, to))
+            .expect("link just ensured")
+            .tx
+            .insert(
+                link_seq,
+                TxEntry {
+                    env: env.clone(),
+                    attempts: 0,
+                },
+            );
+        self.netq.schedule(
+            at_h + self.rto_h(0),
+            NetEvent::Retx {
+                from,
+                to,
+                seq: link_seq,
+            },
+        );
+        self.transmit(env);
         if deliver_at_h > at_h + TIME_EPS {
             self.queue.schedule(deliver_at_h, FedEvent::Deliver(to));
         }
+    }
+
+    /// The retransmission timeout after `attempts` transmissions, in
+    /// virtual hours (the [`RetryPolicy`] doubling discipline at
+    /// transport scale).
+    fn rto_h(&self, attempts: u32) -> f64 {
+        self.cfg.retx_policy.backoff_ms(attempts) / 3_600_000.0
+    }
+
+    /// Hands one copy to the transport with a fresh cumulative
+    /// piggyback, then sweeps whatever the fabric delivered into the
+    /// arrival stash.
+    fn transmit(&mut self, mut env: Envelope) {
+        env.ack_upto = self
+            .links
+            .entry((env.to, env.from))
+            .or_default()
+            .rx_expected;
+        self.transport.send(env);
+        self.collect_transport();
+    }
+
+    /// Drains every shard's inbox into the arrival stash, scheduling a
+    /// net wakeup for copies that arrive in the future (transport
+    /// jitter). Copies already due are processed by the next
+    /// `process_net_due` sweep.
+    fn collect_transport(&mut self) {
+        for s in 0..self.shards.len() {
+            for env in self.transport.drain(s) {
+                if env.arrive_at_h > self.now_h + TIME_EPS {
+                    self.netq.schedule(env.arrive_at_h, NetEvent::Arrive);
+                }
+                let key = (env.arrive_at_h.to_bits(), self.next_stash);
+                self.next_stash += 1;
+                self.net_rx.insert(key, env);
+            }
+        }
+    }
+
+    /// Processes every stashed copy whose arrival instant has been
+    /// reached, in (arrival time, drain order). Processing may send
+    /// acks, which can arrive immediately — the loop re-inspects the
+    /// stash each round.
+    fn process_net_due(&mut self) {
+        loop {
+            let key = match self.net_rx.keys().next() {
+                Some(&(bits, s)) if f64::from_bits(bits) <= self.now_h + TIME_EPS => (bits, s),
+                _ => return,
+            };
+            let env = self.net_rx.remove(&key).expect("keyed");
+            self.on_net_copy(env);
+        }
+    }
+
+    /// Receiver-side reliable layer for one physically arrived copy:
+    /// apply its cumulative piggyback, then dedup / buffer / release
+    /// the payload and acknowledge the copy.
+    fn on_net_copy(&mut self, env: Envelope) {
+        // The piggyback acknowledges the reverse link: `env.from` has
+        // released everything below `ack_upto` of what `env.to` sent.
+        self.apply_ack(env.to, env.from, env.ack_upto);
+        if matches!(env.msg, FederationMsg::Ack) {
+            return; // acks are pure control frames
+        }
+        let (from, to) = (env.from, env.to);
+        let link = self.links.entry((from, to)).or_default();
+        let seq = env.link_seq;
+        if seq < link.rx_expected || link.rx_buffer.contains_key(&seq) {
+            // A retransmission of something already released or held:
+            // absorb it here — handlers must never see duplicates —
+            // and re-ack so the sender can stop retransmitting even if
+            // the original ack was lost.
+            self.stats.duplicate_drops += 1;
+            self.shards[to].report.duplicate_drops += 1;
+            self.send_ack(to, from);
+            return;
+        }
+        if seq > link.rx_expected {
+            // A gap: hold for in-order release.
+            link.rx_buffer.insert(seq, env);
+            let depth = link.rx_buffer.len() as u64;
+            self.stats.reorder_buffered += 1;
+            self.stats.reorder_depth_max = self.stats.reorder_depth_max.max(depth);
+            let report = &mut self.shards[to].report;
+            report.reorder_depth_max = report.reorder_depth_max.max(depth as u32);
+            self.send_ack(to, from);
+            return;
+        }
+        // The expected sequence: release it plus any consecutive run
+        // it unblocks.
+        let mut released = vec![env];
+        link.rx_expected += 1;
+        while let Some(next) = link.rx_buffer.remove(&link.rx_expected) {
+            released.push(next);
+            link.rx_expected += 1;
+        }
+        for env in released {
+            let key = (env.deliver_at_h.to_bits(), env.seq);
+            let was_in_flight = self.in_flight.remove(&key);
+            debug_assert!(was_in_flight, "released payload was in flight");
+            let delay_us = ((self.now_h - env.sent_at_h).max(0.0) * 3.6e9) as u64;
+            self.stats.convergence_delay_us_total += delay_us;
+            self.stats.convergence_delay_us_max = self.stats.convergence_delay_us_max.max(delay_us);
+            self.pending.insert(key, env);
+        }
+        self.send_ack(to, from);
+    }
+
+    /// Clears acknowledged payloads from the (`src`, `dst`) link's
+    /// retransmission window, recording each payload's final attempt
+    /// count into the sender's stage profile.
+    fn apply_ack(&mut self, src: usize, dst: usize, upto: u64) {
+        let Some(link) = self.links.get_mut(&(src, dst)) else {
+            return;
+        };
+        let done: Vec<u64> = link.tx.range(..upto).map(|(&s, _)| s).collect();
+        let mut attempts = Vec::with_capacity(done.len());
+        for seq in done {
+            attempts.push(link.tx.remove(&seq).expect("keyed").attempts);
+        }
+        for a in attempts {
+            self.shards[src].server.record_retransmits(u64::from(a));
+        }
+    }
+
+    /// Sends a standalone cumulative ack frame from `rx` back to `tx`
+    /// for the (`tx`, `rx`) payload link. Pure net-layer traffic: not
+    /// sequenced, not retransmitted, never delivered to handlers, and
+    /// excluded from the application message count.
+    fn send_ack(&mut self, rx: usize, tx: usize) {
+        self.stats.acks_sent += 1;
+        let link = self.links.entry((rx, tx)).or_default();
+        let link_seq = link.ack_next;
+        link.ack_next += 1;
+        let ack_upto = self.links.entry((tx, rx)).or_default().rx_expected;
+        let env = Envelope {
+            seq: self.next_net_seq,
+            from: rx,
+            to: tx,
+            sent_at_h: self.now_h,
+            deliver_at_h: self.now_h,
+            link_seq,
+            attempt: 0,
+            ack_upto,
+            tx_at_h: self.now_h,
+            arrive_at_h: self.now_h,
+            msg: FederationMsg::Ack,
+        };
+        self.next_net_seq += 1;
+        self.transport.send(env);
+        self.collect_transport();
+    }
+
+    /// Handles one net-layer event, then sweeps the stash.
+    fn on_net(&mut self, ev: NetEvent) {
+        if let NetEvent::Retx { from, to, seq } = ev {
+            let due = self
+                .links
+                .get_mut(&(from, to))
+                .and_then(|l| l.tx.get_mut(&seq))
+                .map(|entry| {
+                    entry.attempts += 1;
+                    let mut env = entry.env.clone();
+                    env.attempt = entry.attempts;
+                    (env, entry.attempts)
+                });
+            if let Some((mut env, attempts)) = due {
+                // Still unacknowledged: retransmit with a fresh copy
+                // stamp and arm the next (backed-off) timer.
+                env.tx_at_h = self.now_h;
+                env.arrive_at_h = self.now_h;
+                self.stats.retransmissions += 1;
+                self.shards[from].report.retransmissions += 1;
+                self.transmit(env);
+                self.netq.schedule(
+                    self.now_h + self.rto_h(attempts),
+                    NetEvent::Retx { from, to, seq },
+                );
+            }
+        }
+        self.process_net_due();
     }
 
     fn run(&mut self) -> Result<(), InvariantViolation> {
@@ -829,28 +1178,112 @@ impl<'a> Engine<'a> {
         self.finalize_shards()
     }
 
+    /// The two-queue main loop. Application events open *turns*;
+    /// net-layer events (arrivals, retransmission timers) interleave in
+    /// global time order. A turn blocked on an undelivered payload
+    /// yields to the net queue until the payload physically lands —
+    /// application events are never popped past a blocked turn, so the
+    /// application event order is exactly the perfect run's.
     fn run_events(&mut self) -> Result<(), InvariantViolation> {
-        while let Some((at_h, event)) = self.queue.pop() {
-            let mut touched: BTreeSet<usize> = BTreeSet::new();
-            match event {
-                FedEvent::Arrival(i) => self.on_arrival(i, at_h, &mut touched),
-                FedEvent::Departure(i) => self.on_departure(i, at_h, &mut touched),
-                FedEvent::Fault(j) => self.on_fault(j, at_h, &mut touched),
-                FedEvent::Heartbeat(g) => self.on_heartbeat(g, at_h, &mut touched),
-                FedEvent::LeaseCheck(g) => self.on_lease_check(g, at_h, &mut touched),
-                FedEvent::Decide(hid) => self.on_decide(hid, at_h, &mut touched),
-                FedEvent::Expire(hid) => self.on_expire(hid, at_h, &mut touched),
-                FedEvent::Deliver(to) => {
-                    // The pump below delivers everything due.
-                    debug_assert!(to < self.shards.len(), "deliver target in range");
-                }
+        loop {
+            self.resume_turn()?;
+            if self.turn.is_some() {
+                // Blocked on a payload due at this turn's instant:
+                // only net progress (a retransmission getting through)
+                // can release it.
+                let (t, ev) = self
+                    .netq
+                    .pop()
+                    .expect("blocked turn starves: no net event can release its payload");
+                self.now_h = self.now_h.max(t);
+                self.on_net(ev);
+                continue;
             }
-            self.pump(at_h, &mut touched);
-            for s in touched {
-                self.finish_event(s, at_h)?;
+            let pop_net = match (self.netq.peek_time(), self.queue.peek_time()) {
+                (Some(tn), Some(ta)) => tn <= ta,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return Ok(()),
+            };
+            if pop_net {
+                let (t, ev) = self.netq.pop().expect("peeked");
+                self.now_h = self.now_h.max(t);
+                self.on_net(ev);
+            } else {
+                let (at_h, event) = self.queue.pop().expect("peeked");
+                self.now_h = self.now_h.max(at_h);
+                self.begin_turn(at_h, event);
             }
         }
+    }
+
+    /// Dispatches one application event and opens its turn. The turn
+    /// is pumped (and closed) by `resume_turn` on the next loop round.
+    fn begin_turn(&mut self, at_h: f64, event: FedEvent) {
+        debug_assert!(self.turn.is_none(), "turns are strictly sequential");
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        match event {
+            FedEvent::Arrival(i) => self.on_arrival(i, at_h, &mut touched),
+            FedEvent::Departure(i) => self.on_departure(i, at_h, &mut touched),
+            FedEvent::Fault(j) => self.on_fault(j, at_h, &mut touched),
+            FedEvent::Heartbeat(g) => self.on_heartbeat(g, at_h, &mut touched),
+            FedEvent::LeaseCheck(g) => self.on_lease_check(g, at_h, &mut touched),
+            FedEvent::Decide(hid) => self.on_decide(hid, at_h, &mut touched),
+            FedEvent::Expire(hid) => self.on_expire(hid, at_h, &mut touched),
+            FedEvent::Deliver(to) => {
+                // The turn's pump delivers everything due.
+                debug_assert!(to < self.shards.len(), "deliver target in range");
+            }
+        }
+        self.turn = Some(Turn { at_h, touched });
+    }
+
+    /// Pumps the open turn, if any; when it completes, runs the serial
+    /// per-event epilogue for every shard it touched.
+    fn resume_turn(&mut self) -> Result<(), InvariantViolation> {
+        let Some(mut turn) = self.turn.take() else {
+            return Ok(());
+        };
+        if self.pump_turn(&mut turn) {
+            for s in std::mem::take(&mut turn.touched) {
+                self.finish_event(s, turn.at_h)?;
+            }
+        } else {
+            self.turn = Some(turn);
+        }
         Ok(())
+    }
+
+    /// Delivers everything due at the turn's instant in the global
+    /// (deliver time, send seq) order, gated on physical delivery.
+    /// Returns `false` while a payload due at this instant is still in
+    /// flight — the turn then waits for net progress.
+    fn pump_turn(&mut self, turn: &mut Turn) -> bool {
+        loop {
+            self.process_net_due();
+            if let Some(&(bits, seq)) = self.pending.keys().next() {
+                if f64::from_bits(bits) <= turn.at_h + TIME_EPS {
+                    if self
+                        .in_flight
+                        .first()
+                        .is_some_and(|&flight| flight < (bits, seq))
+                    {
+                        // An earlier payload in the global order has
+                        // not physically landed yet.
+                        return false;
+                    }
+                    let env = self.pending.remove(&(bits, seq)).expect("keyed");
+                    self.deliver(env, turn.at_h, &mut turn.touched);
+                    continue;
+                }
+            }
+            // Nothing released is due; the turn can only close once no
+            // in-flight payload is due at (or before) its instant.
+            return !self
+                .in_flight
+                .first()
+                .is_some_and(|&(bits, _)| f64::from_bits(bits) <= turn.at_h + TIME_EPS);
+        }
     }
 
     /// Routes an arrival: serial client draw over the *global* up
@@ -921,107 +1354,157 @@ impl<'a> Engine<'a> {
             }
             Err(e) => {
                 // Cross-domain resolution: only for composition
-                // failures on a specialized, reachable shard.
+                // failures on a specialized, reachable shard. The
+                // probe chain runs as asynchronous message round
+                // trips; every leg connects two mutually-reachable
+                // shards, so the whole chain resolves inside this
+                // arrival's turn and the deny below is the only
+                // synchronous fallback (nothing probe-able at all).
                 let forwardable = self.specialized
                     && matches!(e, ConfigureError::Composition(_))
                     && self.reachable_shard(a, at_h);
-                let dest = if forwardable {
-                    self.resolve_remote(a, req.graph_index, i, at_h)
-                } else {
-                    None
-                };
-                match dest {
-                    Some(b) => {
-                        let probe = probe_type(req.graph_index);
-                        self.stats.forwarded += 1;
-                        self.stats.forwarded_out[a] += 1;
-                        self.stats.forwarded_in[b] += 1;
-                        self.slog(
-                            a,
-                            at_h,
-                            &format!(
-                                "arrive  req{i} {name} client=dev{client} -> forwarded to shard{b} (no local {probe})"
-                            ),
-                        );
-                        self.admit_forwarded(i, req.graph_index, a, b, at_h, touched);
-                    }
-                    None => {
-                        let shard = &mut self.shards[a];
-                        shard.report.arrivals += 1;
-                        shard.report.denied += 1;
-                        self.directory.insert(i, Loc::Gone { shard: a });
-                        self.slog(
-                            a,
-                            at_h,
-                            &format!("arrive  req{i} {name} client=dev{client} -> denied ({e})"),
-                        );
-                    }
+                if !forwardable || !self.start_discovery(a, i, req.graph_index, client, at_h, &e) {
+                    let shard = &mut self.shards[a];
+                    shard.report.arrivals += 1;
+                    shard.report.denied += 1;
+                    self.directory.insert(i, Loc::Gone { shard: a });
+                    self.slog(
+                        a,
+                        at_h,
+                        &format!("arrive  req{i} {name} client=dev{client} -> denied ({e})"),
+                    );
                 }
             }
         }
     }
 
-    /// Probes candidate shards (domain-tree resolution order) for the
-    /// request's service type over the transport. Returns the first
-    /// reachable, unsuspected shard advertising it.
-    fn resolve_remote(
+    /// Starts a cross-shard discovery chain for request `i`: sends a
+    /// `DiscoverRemote` probe to the first probe-able candidate shard
+    /// (domain-tree resolution order) and parks the continuation in
+    /// `pending_discovery` until the `DiscoverFound` reply lands.
+    /// Returns `false` if no candidate is probe-able — the caller
+    /// denies the arrival immediately, exactly as the old synchronous
+    /// resolution did.
+    fn start_discovery(
         &mut self,
         a: usize,
-        graph_index: usize,
         i: usize,
+        graph_index: usize,
+        client: usize,
         at_h: f64,
-    ) -> Option<usize> {
-        let probe = probe_type(graph_index);
+        err: &ConfigureError,
+    ) -> bool {
         let candidates = self.candidates[a].clone();
-        for b in candidates {
+        for (pos, &b) in candidates.iter().enumerate() {
             if !self.reachable_shard(b, at_h) || self.suspected_shard(b, at_h) {
                 continue;
             }
             self.stats.remote_discoveries += 1;
-            if self.remote_probe(a, b, probe, i, at_h) {
-                return Some(b);
-            }
+            self.pending_discovery.insert(
+                i,
+                DiscoveryState {
+                    origin: a,
+                    graph_index,
+                    client,
+                    err: format!("{err}"),
+                    pos,
+                },
+            );
+            self.send(
+                a,
+                b,
+                at_h,
+                FederationMsg::DiscoverRemote {
+                    service_type: probe_type(graph_index).to_owned(),
+                    req: i,
+                },
+            );
+            return true;
         }
-        None
+        false
     }
 
-    /// One synchronous `DiscoverRemote` round trip through the
-    /// transport (both shards known reachable at `at_h`, so both legs
-    /// deliver immediately). Unrelated envelopes swept up by the
-    /// drains are re-queued into `pending`.
-    fn remote_probe(&mut self, from: usize, to: usize, ty: &str, req: usize, at_h: f64) -> bool {
-        self.send(
-            from,
-            to,
-            at_h,
-            FederationMsg::DiscoverRemote {
-                service_type: ty.to_owned(),
-                req,
-            },
-        );
-        let mut found = false;
-        for env in self.transport.drain(to) {
-            if let FederationMsg::DiscoverRemote { service_type, .. } = &env.msg {
-                let hit = self.shards[to]
-                    .server
-                    .registry()
-                    .discover(&DiscoveryQuery::new(service_type.clone()))
-                    .is_some();
-                self.send(to, from, at_h, FederationMsg::DiscoverFound { found: hit });
-            } else {
-                self.pending
-                    .insert((env.deliver_at_h.to_bits(), env.seq), env);
+    /// Advances a discovery chain past candidate position `st.pos`
+    /// after a miss: probes the next probe-able candidate (re-parking
+    /// the continuation) or returns the state back to the caller when
+    /// the candidate list is exhausted, so it can deny the arrival.
+    fn probe_next(
+        &mut self,
+        req: usize,
+        mut st: DiscoveryState,
+        at_h: f64,
+    ) -> Option<DiscoveryState> {
+        let candidates = self.candidates[st.origin].clone();
+        for (pos, &b) in candidates.iter().enumerate().skip(st.pos + 1) {
+            if !self.reachable_shard(b, at_h) || self.suspected_shard(b, at_h) {
+                continue;
             }
+            self.stats.remote_discoveries += 1;
+            st.pos = pos;
+            let origin = st.origin;
+            let graph_index = st.graph_index;
+            self.pending_discovery.insert(req, st);
+            self.send(
+                origin,
+                b,
+                at_h,
+                FederationMsg::DiscoverRemote {
+                    service_type: probe_type(graph_index).to_owned(),
+                    req,
+                },
+            );
+            return None;
         }
-        for env in self.transport.drain(from) {
-            if let FederationMsg::DiscoverFound { found: f } = env.msg {
-                found = f;
-            } else {
-                self.pending
-                    .insert((env.deliver_at_h.to_bits(), env.seq), env);
-            }
+        Some(st)
+    }
+
+    /// Lands a `DiscoverFound` reply on the origin shard: forwards the
+    /// arrival to the advertising shard on a hit, probes the next
+    /// candidate on a miss, and denies with the original composition
+    /// error once the candidate list runs dry.
+    fn deliver_discover_found(
+        &mut self,
+        b: usize,
+        a: usize,
+        found: bool,
+        req: usize,
+        at_h: f64,
+        touched: &mut BTreeSet<usize>,
+    ) {
+        self.advance(a, at_h);
+        touched.insert(a);
+        let st = self
+            .pending_discovery
+            .remove(&req)
+            .expect("a DiscoverFound reply always has a parked continuation");
+        debug_assert_eq!(st.origin, a, "the reply returns to the probing shard");
+        let (name, _) = app_template(st.graph_index);
+        let client = st.client;
+        if found {
+            let probe = probe_type(st.graph_index);
+            self.stats.forwarded += 1;
+            self.stats.forwarded_out[a] += 1;
+            self.stats.forwarded_in[b] += 1;
+            self.slog(
+                a,
+                at_h,
+                &format!(
+                    "arrive  req{req} {name} client=dev{client} -> forwarded to shard{b} (no local {probe})"
+                ),
+            );
+            self.admit_forwarded(req, st.graph_index, a, b, at_h, touched);
+        } else if let Some(st) = self.probe_next(req, st, at_h) {
+            let err = st.err;
+            let shard = &mut self.shards[a];
+            shard.report.arrivals += 1;
+            shard.report.denied += 1;
+            self.directory.insert(req, Loc::Gone { shard: a });
+            self.slog(
+                a,
+                at_h,
+                &format!("arrive  req{req} {name} client=dev{client} -> denied ({err})"),
+            );
         }
-        found
     }
 
     /// Admits a forwarded arrival on shard `b`: its own deterministic
@@ -1698,36 +2181,17 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Drains the transport into the pending buffer and delivers
-    /// everything due at `at_h`, in (deliver time, send seq) order.
-    /// Deliveries may send further messages, so the pump loops to a
-    /// fixpoint.
-    fn pump(&mut self, at_h: f64, touched: &mut BTreeSet<usize>) {
-        loop {
-            for s in 0..self.shards.len() {
-                for env in self.transport.drain(s) {
-                    self.pending
-                        .insert((env.deliver_at_h.to_bits(), env.seq), env);
-                }
-            }
-            let due = self
-                .pending
-                .iter()
-                .next()
-                .filter(|((bits, _), _)| f64::from_bits(*bits) <= at_h + TIME_EPS)
-                .map(|(&k, _)| k);
-            match due {
-                Some(key) => {
-                    let env = self.pending.remove(&key).expect("keyed");
-                    self.deliver(env, at_h, touched);
-                }
-                None => return,
-            }
-        }
-    }
-
-    /// Processes one delivered message on its destination shard.
-    fn deliver(&mut self, env: Envelope, at_h: f64, touched: &mut BTreeSet<usize>) {
+    /// Processes one delivered message on its destination shard. The
+    /// handler time is the envelope's own delivery instant — by the
+    /// turn gating it always equals the open turn's instant
+    /// (`turn_at_h`), however late the transport physically was.
+    fn deliver(&mut self, env: Envelope, turn_at_h: f64, touched: &mut BTreeSet<usize>) {
+        let at_h = env.deliver_at_h;
+        debug_assert_eq!(
+            at_h.to_bits(),
+            turn_at_h.to_bits(),
+            "a payload is always delivered by the turn at its own instant"
+        );
         // Attribute the message's queueing delay (virtual µs spent
         // deferred behind a partition; zero for immediate delivery) to
         // the destination shard's queue-wait slot, so the federation
@@ -1738,10 +2202,28 @@ impl<'a> Engine<'a> {
             .server
             .record_queue_wait_us((wait_h * 3.6e9) as u64);
         match env.msg {
-            FederationMsg::DiscoverRemote { .. } | FederationMsg::DiscoverFound { .. } => {
-                // Discovery round trips resolve synchronously inside
-                // `remote_probe`; a stray one (sent into a partition)
-                // is stale by delivery time and dropped.
+            FederationMsg::Ack => {
+                unreachable!("ack frames are consumed by the reliable sublayer")
+            }
+            FederationMsg::DiscoverRemote { service_type, req } => {
+                // Answer from the registry without touching the shard's
+                // clock, log, or counters — a probe is a read, exactly
+                // as in the old synchronous round trip.
+                let b = env.to;
+                let hit = self.shards[b]
+                    .server
+                    .registry()
+                    .discover(&DiscoveryQuery::new(service_type))
+                    .is_some();
+                self.send(
+                    b,
+                    env.from,
+                    at_h,
+                    FederationMsg::DiscoverFound { found: hit, req },
+                );
+            }
+            FederationMsg::DiscoverFound { found, req } => {
+                self.deliver_discover_found(env.from, env.to, found, req, at_h, touched);
             }
             FederationMsg::Reserve { hid } => {
                 let b = env.to;
@@ -1908,9 +2390,9 @@ impl<'a> Engine<'a> {
         };
         self.advance(b, at_h);
         touched.insert(b);
-        self.stats.handed_in[b] += 1;
         match reservation {
             Reservation::Live(raw) | Reservation::Parked(raw) => {
+                self.stats.handed_in[b] += 1;
                 let rid = SessionId::from_raw(raw);
                 self.res_index.remove(&(b, raw));
                 self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
@@ -1942,6 +2424,7 @@ impl<'a> Engine<'a> {
                 }
             }
             Reservation::Expired | Reservation::Dead => {
+                self.stats.handed_in[b] += 1;
                 self.stats.late_commits += 1;
                 self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
                 if departed {
@@ -2081,6 +2564,24 @@ impl<'a> Engine<'a> {
             self.pending.is_empty(),
             "all envelopes delivered by the horizon"
         );
+        assert!(
+            self.in_flight.is_empty(),
+            "every sent payload was released by the drain"
+        );
+        assert!(
+            self.net_rx.is_empty(),
+            "no physical copy is still in the air after the drain"
+        );
+        assert!(
+            self.pending_discovery.is_empty(),
+            "every discovery chain resolved within its arrival turn"
+        );
+        for (link, state) in &self.links {
+            assert!(
+                state.tx.is_empty() && state.rx_buffer.is_empty(),
+                "no unacknowledged payload survives the drain (link {link:?})"
+            );
+        }
         for (hid, h) in &self.handoffs {
             assert!(
                 matches!(h.state, HandoffState::Committed | HandoffState::Aborted),
@@ -2295,25 +2796,6 @@ mod tests {
             },
             ..FederationConfig::default()
         }
-    }
-
-    #[test]
-    fn channel_transport_preserves_send_order() {
-        let mut t = ChannelTransport::new(2);
-        for seq in 0..3 {
-            t.send(Envelope {
-                seq,
-                from: 0,
-                to: 1,
-                sent_at_h: 0.0,
-                deliver_at_h: 0.0,
-                msg: FederationMsg::ReserveOk { hid: seq },
-            });
-        }
-        assert!(t.drain(0).is_empty(), "nothing queued for shard 0");
-        let got: Vec<u64> = t.drain(1).into_iter().map(|e| e.seq).collect();
-        assert_eq!(got, vec![0, 1, 2]);
-        assert!(t.drain(1).is_empty(), "drain empties the queue");
     }
 
     #[test]

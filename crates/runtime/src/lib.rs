@@ -28,6 +28,9 @@
 //!   servers own subtrees of the domain hierarchy, resolve discovery
 //!   across shards, and hand sessions off with a two-phase
 //!   reserve/commit protocol that stays correct under suspicion;
+//! * [`transport`] — the federation's message fabric: the `Transport`
+//!   seam, in-process channels, and the seeded lossy-transport fault
+//!   injector the reliable-delivery sublayer is hardened against;
 //! * [`apps`] — the two prototype applications: *mobile audio-on-demand*
 //!   and *video conferencing*;
 //! * [`scenario`] — the scripted four-event experiment of Figures 3-4.
@@ -56,6 +59,7 @@ pub mod retry_queue;
 pub mod scenario;
 pub mod shrink;
 pub mod streaming;
+pub mod transport;
 
 pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
 pub use config_cache::{CompositionCache, CompositionCacheStats};
@@ -67,9 +71,9 @@ pub use faults::{
     FaultCampaignConfig, InvariantViolation,
 };
 pub use federation::{
-    run_federation_campaign, run_federation_campaign_over, run_federation_campaign_with,
-    ChannelTransport, Envelope, FederationConfig, FederationMsg, FederationOutcome,
-    FederationStats, ShardOutcome, ShardPartition, Transport,
+    run_federation_campaign, run_federation_campaign_lossy, run_federation_campaign_over,
+    run_federation_campaign_with, FederationConfig, FederationMsg, FederationOutcome,
+    FederationStats, ShardOutcome, ShardPartition,
 };
 pub use overhead::ConfigOverhead;
 pub use pipeline::{
@@ -80,3 +84,7 @@ pub use recovery::{Degradation, RecoveryMode, RecoveryReport};
 pub use repository::ComponentRepository;
 pub use retry_queue::{ParkedSession, RetryPolicy, RetryQueue};
 pub use shrink::{shrink_schedule, ShrinkOutcome};
+pub use transport::{
+    BurstWindow, ChannelTransport, DirectedFault, Envelope, Fate, LossConfig, LossStats,
+    LossyTransport, MsgKind, Transport,
+};

@@ -162,6 +162,22 @@ pub struct StageTimes {
     /// everything into slot 0, so unsharded artifacts stay unchanged
     /// apart from the extra field.
     pub shard_queue_wait_us: Vec<PowHistogram>,
+    /// Per-payload retransmission counts of the federation's reliable
+    /// transport sublayer, split by sending shard: when a payload is
+    /// fully acknowledged, the number of retransmissions it needed
+    /// (`0` on a perfect link) is recorded into the sender's slot.
+    /// Empty everywhere outside the federated runtime.
+    #[serde(default)]
+    pub shard_retransmits: Vec<PowHistogram>,
+}
+
+/// Grows `slots` to cover `shard` and returns that slot — the shared
+/// growth step behind every shard-indexed histogram vector.
+fn ensure_shard_slot(slots: &mut Vec<PowHistogram>, shard: usize) -> &mut PowHistogram {
+    if slots.len() <= shard {
+        slots.resize_with(shard + 1, PowHistogram::default);
+    }
+    &mut slots[shard]
 }
 
 impl StageTimes {
@@ -181,11 +197,13 @@ impl StageTimes {
     /// the shard slot in sync.
     pub fn record_shard_queue_wait(&mut self, shard: usize, wait_us: u64) {
         self.queue_wait_us.record(wait_us);
-        if self.shard_queue_wait_us.len() <= shard {
-            self.shard_queue_wait_us
-                .resize_with(shard + 1, PowHistogram::default);
-        }
-        self.shard_queue_wait_us[shard].record(wait_us);
+        ensure_shard_slot(&mut self.shard_queue_wait_us, shard).record(wait_us);
+    }
+
+    /// Records one fully-acknowledged payload's retransmission count
+    /// into sending shard `shard`'s slot.
+    pub fn record_shard_retransmit(&mut self, shard: usize, retransmits: u64) {
+        ensure_shard_slot(&mut self.shard_retransmits, shard).record(retransmits);
     }
 
     /// Folds another server's stage profile into this one, attributing
@@ -202,20 +220,15 @@ impl StageTimes {
         if other.shard_queue_wait_us.is_empty() {
             // A single-queue profile: every wait it saw belongs to the
             // shard it ran as.
-            if self.shard_queue_wait_us.len() <= shard {
-                self.shard_queue_wait_us
-                    .resize_with(shard + 1, PowHistogram::default);
-            }
-            self.shard_queue_wait_us[shard].merge(&other.queue_wait_us);
+            ensure_shard_slot(&mut self.shard_queue_wait_us, shard).merge(&other.queue_wait_us);
         } else {
             // Already shard-aware: slot indices are global, fold verbatim.
             for (s, h) in other.shard_queue_wait_us.iter().enumerate() {
-                if self.shard_queue_wait_us.len() <= s {
-                    self.shard_queue_wait_us
-                        .resize_with(s + 1, PowHistogram::default);
-                }
-                self.shard_queue_wait_us[s].merge(h);
+                ensure_shard_slot(&mut self.shard_queue_wait_us, s).merge(h);
             }
+        }
+        for (s, h) in other.shard_retransmits.iter().enumerate() {
+            ensure_shard_slot(&mut self.shard_retransmits, s).merge(h);
         }
     }
 }
@@ -258,6 +271,22 @@ mod tests {
         assert_eq!(h.quantile_upper(1.0), 2047);
         assert!(h.quantile_upper(0.5) <= 7);
         assert_eq!(PowHistogram::default().quantile_upper(0.5), 0);
+    }
+
+    #[test]
+    fn shard_slots_grow_on_demand_and_absorb() {
+        let mut t = StageTimes::default();
+        t.record_shard_queue_wait(2, 5);
+        t.record_shard_retransmit(1, 3);
+        assert_eq!(t.shard_queue_wait_us.len(), 3);
+        assert_eq!(t.shard_queue_wait_us[2].total(), 1);
+        assert_eq!(t.queue_wait_us.total(), 1);
+        assert_eq!(t.shard_retransmits.len(), 2);
+        assert_eq!(t.shard_retransmits[1].total(), 1);
+        let mut sum = StageTimes::default();
+        sum.absorb_shard(0, &t);
+        assert_eq!(sum.shard_queue_wait_us[2].total(), 1);
+        assert_eq!(sum.shard_retransmits[1].total(), 1);
     }
 
     #[test]

@@ -1,0 +1,614 @@
+//! The federation's message fabric: the [`Transport`] seam, the
+//! in-process [`ChannelTransport`], and the seeded transport fault
+//! injector [`LossyTransport`].
+//!
+//! A transport moves [`Envelope`]s between shards. The engine's
+//! reliable-delivery sublayer (`federation.rs`) sits *above* this seam:
+//! it sequences payloads per (src, dst) link, acknowledges, and
+//! retransmits, so a transport is free to drop, duplicate, delay, and
+//! reorder copies — the federation still converges to the digests of a
+//! perfect run. [`LossyTransport`] exercises exactly that freedom from
+//! a splitmix64 schedule: every copy's fate is a pure function of
+//! `(seed, link, link seq, attempt)`, so campaigns replay bit-for-bit.
+//!
+//! Two kinds of unreliability are deliberately split across layers:
+//!
+//! * **shard partitions** stay an engine-level construct — they defer
+//!   an envelope's *intended* delivery time (`deliver_at_h`) and drive
+//!   suspicion, exactly as in PR 7;
+//! * **transport loss** lives here — it perturbs when (and whether) a
+//!   physical *copy* arrives (`arrive_at_h`), which the reliability
+//!   sublayer hides from the application layer entirely.
+//!
+//! [`BurstWindow`]s bridge the two: a lossy schedule aligned with the
+//! engine's partition windows also eats every copy crossing the
+//! partitioned shard's links, so retransmissions genuinely stall until
+//! the heal instead of sneaking through a half-open link.
+
+use crate::faults::splitmix64;
+use crate::federation::FederationMsg;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::mpsc;
+
+/// One in-flight message copy: payload plus the routing, ordering, and
+/// reliability envelope the transport delivers it under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Global send sequence — same-instant deliveries replay in send
+    /// order, keeping the cross-shard event order total. (Standalone
+    /// acks draw from a separate net-layer counter.)
+    pub seq: u64,
+    /// Sending shard.
+    pub from: usize,
+    /// Receiving shard.
+    pub to: usize,
+    /// Virtual hour the message was sent.
+    pub sent_at_h: f64,
+    /// Virtual hour the *application* layer delivers the message —
+    /// `sent_at_h` unless a shard partition defers it to the heal.
+    pub deliver_at_h: f64,
+    /// Per-(from, to)-link monotone payload sequence, assigned by the
+    /// reliable sublayer. For standalone acks: a per-link ack counter
+    /// (acks are unsequenced; the field only diversifies their fate).
+    pub link_seq: u64,
+    /// Which transmission of the payload this copy is (`0` = first).
+    pub attempt: u32,
+    /// Cumulative acknowledgement piggybacked for the reverse link:
+    /// the sender has released every payload with
+    /// `link_seq < ack_upto` on the (to, from) link.
+    pub ack_upto: u64,
+    /// Virtual hour this copy was handed to the transport (equals
+    /// `sent_at_h` for attempt 0, the retransmission timer's fire time
+    /// otherwise). Burst-loss windows test against this instant.
+    pub tx_at_h: f64,
+    /// Virtual hour this copy physically arrives. Stamped `tx_at_h` by
+    /// the sender; a lossy transport may add jitter. The reliability
+    /// sublayer processes the copy no earlier than this.
+    pub arrive_at_h: f64,
+    /// The payload.
+    pub msg: FederationMsg,
+}
+
+/// Message fabric between shards. The engine is transport-agnostic:
+/// anything that can queue an [`Envelope`] per destination shard and
+/// hand queued envelopes back works (sockets later; channels now).
+pub trait Transport {
+    /// Queues `env` for its destination shard (or drops/duplicates/
+    /// perturbs it, if the transport is faulty).
+    fn send(&mut self, env: Envelope);
+    /// Removes and returns everything queued for `shard`, in
+    /// transmission order.
+    fn drain(&mut self, shard: usize) -> Vec<Envelope>;
+}
+
+/// The in-process transport: one `std::sync::mpsc` channel per shard.
+/// Perfect — every copy arrives exactly when transmitted.
+pub struct ChannelTransport {
+    senders: Vec<mpsc::Sender<Envelope>>,
+    receivers: Vec<mpsc::Receiver<Envelope>>,
+}
+
+impl ChannelTransport {
+    /// A fabric connecting `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        let mut senders = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        ChannelTransport { senders, receivers }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, env: Envelope) {
+        self.senders[env.to]
+            .send(env)
+            .expect("own receiver outlives the fabric");
+    }
+
+    fn drain(&mut self, shard: usize) -> Vec<Envelope> {
+        self.receivers[shard].try_iter().collect()
+    }
+}
+
+/// A window of total loss on every link touching `shard` — the
+/// transport-level face of an engine-level shard partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstWindow {
+    /// Every copy to or from this shard is dropped inside the window.
+    pub shard: usize,
+    /// Window start (hours, inclusive).
+    pub from_h: f64,
+    /// Window end (hours, exclusive).
+    pub to_h: f64,
+}
+
+/// The message kinds a [`DirectedFault`] can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// [`FederationMsg::DiscoverRemote`].
+    Discover,
+    /// [`FederationMsg::DiscoverFound`].
+    Found,
+    /// [`FederationMsg::Reserve`].
+    Reserve,
+    /// [`FederationMsg::ReserveOk`].
+    ReserveOk,
+    /// [`FederationMsg::ReserveErr`].
+    ReserveErr,
+    /// [`FederationMsg::Commit`].
+    Commit,
+    /// [`FederationMsg::Abort`].
+    Abort,
+    /// [`FederationMsg::Ack`].
+    Ack,
+}
+
+impl MsgKind {
+    /// The kind of a payload.
+    pub fn of(msg: &FederationMsg) -> MsgKind {
+        match msg {
+            FederationMsg::DiscoverRemote { .. } => MsgKind::Discover,
+            FederationMsg::DiscoverFound { .. } => MsgKind::Found,
+            FederationMsg::Reserve { .. } => MsgKind::Reserve,
+            FederationMsg::ReserveOk { .. } => MsgKind::ReserveOk,
+            FederationMsg::ReserveErr { .. } => MsgKind::ReserveErr,
+            FederationMsg::Commit { .. } => MsgKind::Commit,
+            FederationMsg::Abort { .. } => MsgKind::Abort,
+            FederationMsg::Ack => MsgKind::Ack,
+        }
+    }
+}
+
+/// What a [`DirectedFault`] does to its targeted copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fate {
+    /// The copy never arrives (first transmission only; the
+    /// retransmission path recovers it).
+    Drop,
+    /// The copy arrives twice.
+    Duplicate,
+    /// The copy arrives late by this many hours.
+    DelayH(f64),
+}
+
+/// One aimed transport fault: the `nth` first-transmission copy of a
+/// given message kind (counted across the whole run, 0-based) suffers
+/// `fate` — how the directed regression tests stage a *specific* nasty
+/// interleaving instead of fishing for a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectedFault {
+    /// Which payload kind to target.
+    pub kind: MsgKind,
+    /// Which first-transmission copy of that kind (0-based).
+    pub nth: u64,
+    /// What happens to it.
+    pub fate: Fate,
+}
+
+/// Seeded transport-fault schedule for [`LossyTransport`]. All
+/// probabilities are per *copy* (retransmissions re-roll), derived by
+/// splitmix64 from `(seed, link, link seq, attempt)` — pure, so replays
+/// are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossConfig {
+    /// Master seed of the fault stream.
+    pub seed: u64,
+    /// Probability a copy is dropped.
+    pub loss: f64,
+    /// Probability a copy is duplicated (the twin gets its own jitter).
+    pub dup: f64,
+    /// Probability a copy is delayed (which is what reorders a link:
+    /// a delayed copy lets its successors overtake it).
+    pub reorder: f64,
+    /// Upper bound on the injected delay (hours); the actual delay is
+    /// a seeded fraction of this.
+    pub max_delay_h: f64,
+    /// Total-loss windows, typically aligned with the engine's
+    /// [`ShardPartition`](crate::federation::ShardPartition) schedule
+    /// via [`LossConfig::align_bursts`].
+    pub bursts: Vec<BurstWindow>,
+    /// Aimed faults for directed tests, applied to first transmissions
+    /// instead of the seeded roll.
+    pub directed: Vec<DirectedFault>,
+}
+
+impl LossConfig {
+    /// A perfect (pass-through) schedule — [`LossyTransport`] with this
+    /// config is byte-identical to its inner transport.
+    pub fn perfect() -> Self {
+        LossConfig {
+            seed: 0,
+            loss: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            max_delay_h: 0.0,
+            bursts: Vec::new(),
+            directed: Vec::new(),
+        }
+    }
+
+    /// A full-featured lossy schedule: drop rate `loss`, plus moderate
+    /// duplication and reordering jitter.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        LossConfig {
+            seed,
+            loss,
+            dup: 0.05,
+            reorder: 0.1,
+            max_delay_h: 0.01,
+            bursts: Vec::new(),
+            directed: Vec::new(),
+        }
+    }
+
+    /// Aligns burst-loss windows with an engine-level shard-partition
+    /// schedule: while a shard is partitioned, every copy touching it
+    /// is also physically lost.
+    pub fn align_bursts(mut self, partitions: &[crate::federation::ShardPartition]) -> Self {
+        self.bursts = partitions
+            .iter()
+            .map(|p| BurstWindow {
+                shard: p.shard,
+                from_h: p.from_h,
+                to_h: p.to_h,
+            })
+            .collect();
+        self
+    }
+
+    /// Whether this schedule can never perturb a copy.
+    pub fn is_perfect(&self) -> bool {
+        self.loss == 0.0
+            && self.dup == 0.0
+            && self.reorder == 0.0
+            && self.bursts.is_empty()
+            && self.directed.is_empty()
+    }
+
+    /// Structural validation: probabilities in range, and loss bounded
+    /// away from 1 so retransmission converges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid schedule.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability");
+        }
+        assert!(
+            self.loss < 1.0,
+            "steady-state loss must stay below 1 for retransmission to converge"
+        );
+        assert!(self.max_delay_h >= 0.0, "delay bound must be non-negative");
+        for w in &self.bursts {
+            assert!(w.from_h < w.to_h, "burst window must be a forward interval");
+        }
+    }
+}
+
+/// What a [`LossyTransport`] injected, for benches and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossStats {
+    /// Copies silently dropped (seeded rolls + bursts + directed).
+    pub drops: u64,
+    /// Of those, copies eaten by a burst window.
+    pub burst_drops: u64,
+    /// Extra copies injected by duplication.
+    pub dups: u64,
+    /// Copies that arrived late (jitter added).
+    pub delays: u64,
+    /// Copies forwarded (original or duplicate) to the inner transport.
+    pub forwarded: u64,
+}
+
+/// A seeded fault-injection decorator over any [`Transport`]: drops,
+/// duplicates, delays (and thereby reorders) copies per (src, dst)
+/// link. With a [`LossConfig::perfect`] schedule it forwards every copy
+/// untouched — the CI-pinned byte-identity path.
+pub struct LossyTransport {
+    inner: Box<dyn Transport>,
+    cfg: LossConfig,
+    stats: Rc<RefCell<LossStats>>,
+    /// First-transmission copies seen per [`MsgKind`], for directed
+    /// fault targeting.
+    kind_counts: [u64; 8],
+}
+
+impl LossyTransport {
+    /// Decorates `inner` with the seeded schedule `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid schedule (see [`LossConfig::validate`]).
+    pub fn new(inner: Box<dyn Transport>, cfg: LossConfig) -> Self {
+        cfg.validate();
+        LossyTransport {
+            inner,
+            cfg,
+            stats: Rc::new(RefCell::new(LossStats::default())),
+            kind_counts: [0; 8],
+        }
+    }
+
+    /// A shared handle onto the injection counters, readable after the
+    /// boxed transport has been consumed by the engine.
+    pub fn stats_handle(&self) -> Rc<RefCell<LossStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// A fresh uniform-[0,1) stream for one copy, keyed by link,
+    /// sequence, attempt, and kind — splitmix64, the same generator the
+    /// equivalence tests hand-roll.
+    fn stream(&self, env: &Envelope) -> u64 {
+        let kind_tag = MsgKind::of(&env.msg) as u64;
+        self.cfg.seed
+            ^ (env.from as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (env.to as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+            ^ env.link_seq.wrapping_mul(0x94d0_49bb_1331_11eb)
+            ^ (u64::from(env.attempt) << 40)
+            ^ (kind_tag << 56)
+    }
+
+    fn in_burst(&self, env: &Envelope) -> bool {
+        self.cfg.bursts.iter().any(|w| {
+            (w.shard == env.from || w.shard == env.to)
+                && env.tx_at_h >= w.from_h
+                && env.tx_at_h < w.to_h
+        })
+    }
+
+    /// The directed fate aimed at this copy, if any (first
+    /// transmissions only; also advances the per-kind counter).
+    fn directed_fate(&mut self, env: &Envelope) -> Option<Fate> {
+        if env.attempt != 0 || self.cfg.directed.is_empty() {
+            return None;
+        }
+        let kind = MsgKind::of(&env.msg);
+        let nth = self.kind_counts[kind as usize];
+        self.kind_counts[kind as usize] += 1;
+        self.cfg
+            .directed
+            .iter()
+            .find(|d| d.kind == kind && d.nth == nth)
+            .map(|d| d.fate)
+    }
+
+    fn forward(&mut self, env: Envelope) {
+        self.stats.borrow_mut().forwarded += 1;
+        self.inner.send(env);
+    }
+}
+
+/// One uniform draw in `[0, 1)` from a splitmix64 stream state.
+fn uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    (splitmix64(*state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Transport for LossyTransport {
+    fn send(&mut self, mut env: Envelope) {
+        if self.cfg.is_perfect() {
+            self.forward(env);
+            return;
+        }
+        if let Some(fate) = self.directed_fate(&env) {
+            match fate {
+                Fate::Drop => self.stats.borrow_mut().drops += 1,
+                Fate::Duplicate => {
+                    self.stats.borrow_mut().dups += 1;
+                    self.forward(env.clone());
+                    self.forward(env);
+                }
+                Fate::DelayH(d) => {
+                    self.stats.borrow_mut().delays += 1;
+                    env.arrive_at_h += d;
+                    self.forward(env);
+                }
+            }
+            return;
+        }
+        if self.in_burst(&env) {
+            let mut st = self.stats.borrow_mut();
+            st.drops += 1;
+            st.burst_drops += 1;
+            return;
+        }
+        let mut state = self.stream(&env);
+        if uniform(&mut state) < self.cfg.loss {
+            self.stats.borrow_mut().drops += 1;
+            return;
+        }
+        let duplicate = uniform(&mut state) < self.cfg.dup;
+        // The original copy, possibly jittered.
+        if uniform(&mut state) < self.cfg.reorder {
+            self.stats.borrow_mut().delays += 1;
+            env.arrive_at_h += uniform(&mut state) * self.cfg.max_delay_h;
+        }
+        if duplicate {
+            let mut twin = env.clone();
+            // The twin gets independent jitter so the pair can arrive
+            // out of order with each other too.
+            twin.arrive_at_h = twin.tx_at_h + uniform(&mut state) * self.cfg.max_delay_h;
+            self.stats.borrow_mut().dups += 1;
+            self.forward(twin);
+        }
+        self.forward(env);
+    }
+
+    fn drain(&mut self, shard: usize) -> Vec<Envelope> {
+        self.inner.drain(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(seq: u64, link_seq: u64, attempt: u32) -> Envelope {
+        Envelope {
+            seq,
+            from: 0,
+            to: 1,
+            sent_at_h: 1.0,
+            deliver_at_h: 1.0,
+            link_seq,
+            attempt,
+            ack_upto: 0,
+            tx_at_h: 1.0,
+            arrive_at_h: 1.0,
+            msg: FederationMsg::ReserveOk { hid: seq },
+        }
+    }
+
+    #[test]
+    fn channel_transport_preserves_send_order() {
+        let mut t = ChannelTransport::new(2);
+        for seq in 0..3 {
+            t.send(env(seq, seq, 0));
+        }
+        assert!(t.drain(0).is_empty(), "nothing queued for shard 0");
+        let got: Vec<u64> = t.drain(1).into_iter().map(|e| e.seq).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(t.drain(1).is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn perfect_schedule_is_pass_through() {
+        let cfg = LossConfig::perfect();
+        assert!(cfg.is_perfect());
+        let mut t = LossyTransport::new(Box::new(ChannelTransport::new(2)), cfg);
+        let handle = t.stats_handle();
+        for seq in 0..10 {
+            t.send(env(seq, seq, 0));
+        }
+        let got: Vec<u64> = t.drain(1).into_iter().map(|e| e.seq).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        let st = *handle.borrow();
+        assert_eq!(st.forwarded, 10);
+        assert_eq!((st.drops, st.dups, st.delays), (0, 0, 0));
+    }
+
+    #[test]
+    fn lossy_schedule_is_deterministic_and_actually_lossy() {
+        let run = || {
+            let mut t = LossyTransport::new(
+                Box::new(ChannelTransport::new(2)),
+                LossConfig::lossy(7, 0.3),
+            );
+            let handle = t.stats_handle();
+            for seq in 0..200 {
+                t.send(env(seq, seq, 0));
+            }
+            let got: Vec<(u64, u64)> = t
+                .drain(1)
+                .into_iter()
+                .map(|e| (e.seq, e.arrive_at_h.to_bits()))
+                .collect();
+            let stats = *handle.borrow();
+            (got, stats)
+        };
+        let (a, stats) = run();
+        let (b, stats_b) = run();
+        assert_eq!(a, b, "identical seed replays identical fates");
+        assert_eq!(stats, stats_b);
+        assert!(stats.drops > 20, "loss 0.3 drops plenty: {stats:?}");
+        assert!(stats.dups > 0 && stats.delays > 0, "{stats:?}");
+        assert_eq!(
+            stats.forwarded + stats.drops - stats.dups,
+            200,
+            "every copy accounted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn retransmissions_reroll_their_fate() {
+        let cfg = LossConfig {
+            dup: 0.0,
+            reorder: 0.0,
+            ..LossConfig::lossy(3, 0.5)
+        };
+        let mut t = LossyTransport::new(Box::new(ChannelTransport::new(2)), cfg);
+        // Find a first transmission that is dropped, then check some
+        // retransmission attempt of the same payload gets through.
+        let mut delivered_attempt = None;
+        for attempt in 0..64 {
+            t.send(env(0, 0, attempt));
+            if !t.drain(1).is_empty() {
+                delivered_attempt = Some(attempt);
+                break;
+            }
+        }
+        assert!(
+            delivered_attempt.is_some(),
+            "loss 0.5 cannot eat 64 independent attempts"
+        );
+    }
+
+    #[test]
+    fn burst_windows_eat_everything_on_the_link() {
+        let mut cfg = LossConfig::perfect();
+        cfg.bursts = vec![BurstWindow {
+            shard: 1,
+            from_h: 0.5,
+            to_h: 2.0,
+        }];
+        let mut t = LossyTransport::new(Box::new(ChannelTransport::new(3)), cfg);
+        let handle = t.stats_handle();
+        t.send(env(0, 0, 0)); // tx at 1.0, touches shard 1 -> eaten
+        let mut outside = env(1, 1, 0);
+        outside.tx_at_h = 2.5;
+        t.send(outside); // after the window -> delivered
+        let mut other_link = env(2, 0, 0);
+        other_link.to = 2;
+        t.send(other_link); // shard 0 -> 2, window irrelevant
+        assert!(t.drain(1).len() == 1 && t.drain(2).len() == 1);
+        assert_eq!(handle.borrow().burst_drops, 1);
+    }
+
+    #[test]
+    fn directed_faults_aim_at_the_nth_copy_of_a_kind() {
+        let mut cfg = LossConfig::perfect();
+        cfg.directed = vec![
+            DirectedFault {
+                kind: MsgKind::ReserveOk,
+                nth: 1,
+                fate: Fate::Drop,
+            },
+            DirectedFault {
+                kind: MsgKind::ReserveOk,
+                nth: 2,
+                fate: Fate::Duplicate,
+            },
+        ];
+        let mut t = LossyTransport::new(Box::new(ChannelTransport::new(2)), cfg);
+        for seq in 0..4 {
+            t.send(env(seq, seq, 0));
+        }
+        let got: Vec<u64> = t.drain(1).into_iter().map(|e| e.seq).collect();
+        assert_eq!(got, vec![0, 2, 2, 3], "copy 1 dropped, copy 2 doubled");
+        // Retransmissions of a directed-dropped copy pass through.
+        t.send(env(1, 1, 1));
+        assert_eq!(t.drain(1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 1")]
+    fn total_steady_state_loss_is_rejected() {
+        let _ = LossyTransport::new(
+            Box::new(ChannelTransport::new(2)),
+            LossConfig {
+                loss: 1.0,
+                ..LossConfig::lossy(0, 0.0)
+            },
+        );
+    }
+}

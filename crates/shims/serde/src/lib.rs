@@ -628,6 +628,16 @@ pub mod __private {
         }
     }
 
+    /// Looks up one field of a `#[serde(default)]`-annotated struct
+    /// member: a missing key yields `T::default()` instead of an error,
+    /// so old artifacts stay readable after a schema grows a counter.
+    pub fn field_default<T: Deserialize + Default>(value: &Value, name: &str) -> Result<T, Error> {
+        match value.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => Ok(T::default()),
+        }
+    }
+
     /// Requires `value` to be an object, for derived struct impls.
     pub fn expect_object<'v>(value: &'v Value, ty: &str) -> Result<&'v Value, Error> {
         match value {

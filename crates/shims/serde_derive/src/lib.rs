@@ -4,7 +4,8 @@
 //! shapes this workspace actually uses: structs with named fields, tuple
 //! structs, unit structs, and enums with unit / tuple / struct variants
 //! (externally tagged, matching upstream serde's JSON representation).
-//! The only recognised field attribute is `#[serde(with = "module")]`.
+//! The recognised field attributes are `#[serde(with = "module")]` and
+//! `#[serde(default)]` (a missing key deserializes to `Default`).
 //!
 //! Because no network access is available, `syn`/`quote` cannot be used;
 //! the item is parsed directly from `proc_macro::TokenTree`s and the impl
@@ -22,6 +23,7 @@ type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
 struct Field {
     name: String,
     with: Option<String>,
+    default: bool,
 }
 
 enum VariantKind {
@@ -341,10 +343,17 @@ fn push_object_entry(out: &mut String, f: &Field, access: &str) {
 }
 
 /// One `name: ...?` initializer of a deserialized struct (or struct
-/// variant), honouring `#[serde(with = "module")]`.
+/// variant), honouring `#[serde(with = "module")]` and
+/// `#[serde(default)]`.
 fn push_field_init(out: &mut String, f: &Field) {
     let name = &f.name;
     match &f.with {
+        None if f.default => {
+            let _ = write!(
+                out,
+                "{name}: ::serde::__private::field_default(__v, \"{name}\")?, "
+            );
+        }
         None => {
             let _ = write!(out, "{name}: ::serde::__private::field(__v, \"{name}\")?, ");
         }
@@ -408,7 +417,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut toks: Tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        let with = skip_attrs(&mut toks);
+        let attrs = skip_attrs(&mut toks);
         if toks.peek().is_none() {
             break;
         }
@@ -419,7 +428,11 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, found {other:?}"),
         }
         skip_type(&mut toks);
-        fields.push(Field { name, with });
+        fields.push(Field {
+            name,
+            with: attrs.with,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -510,10 +523,17 @@ fn tuple_arity(stream: TokenStream) -> usize {
     }
 }
 
-/// Skips `#[...]` attributes; returns the module path of a
-/// `#[serde(with = "module")]` attribute when one is present.
-fn skip_attrs(toks: &mut Tokens) -> Option<String> {
-    let mut with = None;
+/// The field attributes the shim understands.
+#[derive(Default)]
+struct FieldAttrs {
+    with: Option<String>,
+    default: bool,
+}
+
+/// Skips `#[...]` attributes; returns the `#[serde(...)]` field
+/// attributes (`with = "module"` and/or `default`) when present.
+fn skip_attrs(toks: &mut Tokens) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     while peek_punct(toks) == Some('#') {
         toks.next();
         let group = match toks.next() {
@@ -524,25 +544,27 @@ fn skip_attrs(toks: &mut Tokens) -> Option<String> {
         if let Some(TokenTree::Ident(id)) = inner.next() {
             if id.to_string() == "serde" {
                 if let Some(TokenTree::Group(args)) = inner.next() {
-                    with = Some(parse_serde_with(args.stream()));
+                    parse_serde_args(args.stream(), &mut attrs);
                 }
             }
         }
     }
-    with
+    attrs
 }
 
-fn parse_serde_with(stream: TokenStream) -> String {
+fn parse_serde_args(stream: TokenStream, attrs: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = stream.into_iter().collect();
     match toks.as_slice() {
+        [TokenTree::Ident(kw)] if kw.to_string() == "default" => attrs.default = true,
         [TokenTree::Ident(kw), TokenTree::Punct(eq), TokenTree::Literal(lit)]
             if kw.to_string() == "with" && eq.as_char() == '=' =>
         {
             let raw = lit.to_string();
-            raw.trim_matches('"').to_owned()
+            attrs.with = Some(raw.trim_matches('"').to_owned());
         }
         _ => panic!(
-            "unsupported #[serde(...)] attribute; the shim implements only `with = \"module\"`"
+            "unsupported #[serde(...)] attribute; the shim implements only \
+             `with = \"module\"` and `default`"
         ),
     }
 }
