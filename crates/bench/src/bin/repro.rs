@@ -17,7 +17,12 @@
 //! `UBIQOS_FED_ARRIVALS` (default 20000) plus `UBIQOS_FED_SHARDS` (a
 //! comma-separated shard-count list, default `1,2,4,8`) so CI smoke
 //! runs can shrink the sweeps without touching the full nightly
-//! campaigns.
+//! campaigns. `osd` reads `UBIQOS_OSD_INSTANCES` (default 25),
+//! `UBIQOS_OSD_LARGE_INSTANCES` (default 3), `UBIQOS_OSD_LARGE_NODES`
+//! (a comma-separated node-count list, default `48,64,100`) and
+//! `UBIQOS_OSD_BUDGET` (default 1000000, the raised-limit exhaustive
+//! run's node cap) — and *asserts* the large-graph claims: certified
+//! gap ≤ 2%, ≥ 10× fewer expanded nodes than the budgeted exhaustive.
 
 use ubiqos_sim::{Fig5Config, Policy};
 
@@ -158,11 +163,59 @@ fn multi_seed() {
 
 fn osd() {
     println!("================ OSD solver benchmark ================");
-    let report = ubiqos_bench::osd::run_osd_bench(25);
+    let instances = std::env::var("UBIQOS_OSD_INSTANCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let large_instances = std::env::var("UBIQOS_OSD_LARGE_INSTANCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let large_nodes: Vec<usize> = std::env::var("UBIQOS_OSD_LARGE_NODES")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .expect("UBIQOS_OSD_LARGE_NODES is a comma-separated list of node counts")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![48, 64, 100]);
+    let budget = std::env::var("UBIQOS_OSD_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let mut report = ubiqos_bench::osd::run_osd_bench(instances);
+    report.large_cases =
+        ubiqos_bench::osd::run_osd_large_bench(large_instances, &large_nodes, budget);
     println!("{}", report.render());
     if !report.speedup_ok(2.0) {
         eprintln!("warning: suffix-bound speedup below 2x on the 20-node/3-device rung");
     }
+    // The large-graph acceptance gates are hard asserts: the artifact is
+    // the claim, so a drifting gap or a lost node-count advantage must
+    // fail the reproduction, not just reshape the JSON.
+    assert!(
+        report.large_gap_ok(0.02),
+        "hierarchical route exceeded the 2% certified-gap ceiling: {:?}",
+        report
+            .large_cases
+            .iter()
+            .map(|c| (c.nodes, c.max_gap))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.large_expansion_ok(10.0),
+        "hierarchical route expanded fewer than 10x fewer nodes than the budgeted \
+         exhaustive run: {:?}",
+        report
+            .large_cases
+            .iter()
+            .map(|c| (c.nodes, c.expansion_ratio))
+            .collect::<Vec<_>>()
+    );
     println!();
     ubiqos_bench::dump_json("osd.json", &report);
     write_bench("BENCH_osd.json", &report);

@@ -15,7 +15,7 @@ use std::fmt;
 /// whenever a field is added, renamed, or its meaning changes; the
 /// nightly drift gate refuses to compare artifacts across versions
 /// instead of silently misreading renamed fields.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Aggregated outcome of one fault-injection campaign.
 ///

@@ -16,6 +16,19 @@ pub enum DistributionError {
     },
     /// The environment has no devices.
     NoDevices,
+    /// The instance has more free (un-pinned) components than the
+    /// exhaustive solver's node limit allows. Unlike
+    /// [`DistributionError::Infeasible`] this says nothing about the
+    /// instance itself — a solution may well exist — only that the
+    /// exact search refuses to attempt it. The solver portfolio
+    /// catches this variant and routes the instance to the
+    /// hierarchical abstraction-refinement solver instead.
+    TooLarge {
+        /// Free components in the instance.
+        free: usize,
+        /// The solver's configured limit.
+        limit: usize,
+    },
     /// A component is pinned to a device index outside the environment.
     InvalidPin {
         /// The out-of-range device index.
@@ -36,6 +49,11 @@ impl fmt::Display for DistributionError {
                 write!(f, "no feasible distribution: {reason}")
             }
             DistributionError::NoDevices => write!(f, "environment has no devices"),
+            DistributionError::TooLarge { free, limit } => write!(
+                f,
+                "instance has {free} free components, above the exhaustive solver's limit of \
+                 {limit} (raise with with_node_limit, or use the hierarchical solver/portfolio)"
+            ),
             DistributionError::InvalidPin {
                 device_index,
                 device_count,
@@ -92,6 +110,13 @@ mod tests {
             device_count: 2,
         };
         assert!(pin.to_string().contains('5'));
+        let too_large = DistributionError::TooLarge {
+            free: 40,
+            limit: 32,
+        };
+        assert!(too_large.to_string().contains("40"));
+        assert!(too_large.to_string().contains("limit of 32"));
+        assert!(too_large.source().is_none());
         assert!(DistributionError::NoDevices
             .to_string()
             .contains("no devices"));

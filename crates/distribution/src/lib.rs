@@ -69,8 +69,10 @@ pub mod device;
 pub mod environment;
 pub mod error;
 pub mod heuristic;
+pub mod hierarchical;
 pub mod network;
 pub mod optimal;
+pub mod portfolio;
 pub mod problem;
 pub mod random_alg;
 pub mod report;
@@ -81,8 +83,10 @@ pub use device::{Device, DeviceClass};
 pub use environment::{Environment, EnvironmentBuilder};
 pub use error::DistributionError;
 pub use heuristic::GreedyHeuristic;
+pub use hierarchical::{GapCertificate, HierarchicalSolver};
 pub use network::BandwidthMatrix;
 pub use optimal::{ExhaustiveOptimal, SolveStats};
+pub use portfolio::{PortfolioOutcome, PortfolioRoute, SolverPortfolio};
 pub use problem::OsdProblem;
 pub use random_alg::RandomDistributor;
 pub use report::{DeviceLoad, LinkLoad, PlacementReport};

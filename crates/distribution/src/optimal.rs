@@ -87,6 +87,10 @@ pub struct SolveStats {
     /// Whether a warm-start seed was validated and used as the initial
     /// incumbent for this solve.
     pub warm_start_used: bool,
+    /// Whether a node budget stopped the search before it proved
+    /// optimality (see [`ExhaustiveOptimal::with_node_budget`]). When
+    /// set, the returned cut is only the best leaf found in budget.
+    pub budget_exhausted: bool,
 }
 
 impl SolveStats {
@@ -94,6 +98,7 @@ impl SolveStats {
         self.nodes_expanded += other.nodes_expanded;
         self.pruned_bound += other.pruned_bound;
         self.pruned_infeasible += other.pruned_infeasible;
+        self.budget_exhausted |= other.budget_exhausted;
     }
 }
 
@@ -109,6 +114,7 @@ pub struct ExhaustiveOptimal {
     parallel: bool,
     parallel_threshold: usize,
     suffix_bound: bool,
+    node_budget: Option<u64>,
     warm_start: Option<Vec<usize>>,
     last_stats: Option<SolveStats>,
 }
@@ -125,6 +131,7 @@ impl Default for ExhaustiveOptimal {
             parallel: cfg!(feature = "parallel"),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
             suffix_bound: true,
+            node_budget: None,
             warm_start: None,
             last_stats: None,
         }
@@ -194,6 +201,26 @@ impl ExhaustiveOptimal {
     /// a long-lived solver across a recovery pass).
     pub fn set_warm_start(&mut self, assignment: Option<Vec<usize>>) {
         self.warm_start = assignment;
+    }
+
+    /// Caps the number of interior nodes the search may expand, turning
+    /// the solver into an *anytime* search: once the budget is spent,
+    /// workers stop expanding and the best feasible leaf found so far
+    /// (or the warm-start seed) is returned, with
+    /// [`SolveStats::budget_exhausted`] set. Used by the large-graph
+    /// benchmark to bound raised-limit exhaustive comparison runs that
+    /// would otherwise never terminate. In parallel mode the budget
+    /// applies per worker, so use serial mode when the cap must be
+    /// exact. `None` (the default) restores the complete search.
+    #[must_use]
+    pub fn with_node_budget(mut self, budget: Option<u64>) -> Self {
+        self.node_budget = budget;
+        self
+    }
+
+    /// The current node-expansion budget, if any.
+    pub fn node_budget(&self) -> Option<u64> {
+        self.node_budget
     }
 
     /// Enables or disables the precomputed suffix lower bound (on by
@@ -350,6 +377,8 @@ struct Search<'p, 'a, 's> {
     scratch: Vec<ScratchFrame>,
     /// Whether [`NodeCostTable::suffix`] tightens the pruning bound.
     suffix_bound: bool,
+    /// Interior-node cap for anytime mode (`None` = complete search).
+    node_budget: Option<u64>,
     /// Shared incumbent cost as `f64` bits (parallel mode only).
     incumbent: Option<&'s AtomicU64>,
     best_cost: f64,
@@ -419,6 +448,12 @@ impl Search<'_, '_, '_> {
                 }
             }
             return;
+        }
+        if let Some(budget) = self.node_budget {
+            if self.stats.nodes_expanded >= budget {
+                self.stats.budget_exhausted = true;
+                return;
+            }
         }
         self.stats.nodes_expanded += 1;
 
@@ -613,13 +648,9 @@ impl ServiceDistributor for ExhaustiveOptimal {
             .filter(|id| assignment[id.index()].is_none())
             .collect();
         if order.len() > self.node_limit {
-            return Err(DistributionError::Infeasible {
-                reason: format!(
-                    "instance has {} free components, above the exhaustive solver's limit of {} \
-                     (raise with with_node_limit if intended)",
-                    order.len(),
-                    self.node_limit
-                ),
+            return Err(DistributionError::TooLarge {
+                free: order.len(),
+                limit: self.node_limit,
             });
         }
         order.sort_by(|&a, &b| {
@@ -656,6 +687,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
             .and_then(|warm| validate_seed(problem, &table, &order, &base_state, base_cost, &warm));
 
         let suffix_bound = self.suffix_bound;
+        let node_budget = self.node_budget;
         let seed_ref = seed.as_ref();
         let run_worker =
             |state: SearchState, cost: f64, depth: usize, shared: Option<&AtomicU64>| {
@@ -668,6 +700,7 @@ impl ServiceDistributor for ExhaustiveOptimal {
                     scratch: vec![ScratchFrame::default(); order.len()],
                     state,
                     suffix_bound,
+                    node_budget,
                     incumbent: shared,
                     best_cost: seed_ref.map_or(f64::INFINITY, |s| s.0),
                     best_key: seed_ref.map_or_else(Vec::new, |s| s.1.clone()),
@@ -735,6 +768,11 @@ impl ServiceDistributor for ExhaustiveOptimal {
                 debug_assert!(problem.fits(&cut));
                 Ok(cut)
             }
+            None if stats.budget_exhausted => Err(DistributionError::Infeasible {
+                reason: "node budget exhausted before any feasible leaf was found \
+                         (raise the budget or provide a warm start)"
+                    .into(),
+            }),
             None => Err(DistributionError::Infeasible {
                 reason: "exhaustive search found no fitting cut".into(),
             }),
@@ -893,6 +931,13 @@ mod tests {
         let w = Weights::default();
         let p = OsdProblem::new(&g, &env, &w);
         let err = ExhaustiveOptimal::new().distribute(&p).unwrap_err();
+        assert_eq!(
+            err,
+            DistributionError::TooLarge {
+                free: 40,
+                limit: 32
+            }
+        );
         assert!(err.to_string().contains("limit of 32"));
         // Raising the limit allows the run (this instance prunes fine).
         assert!(ExhaustiveOptimal::new()
@@ -900,6 +945,65 @@ mod tests {
             .distribute(&p)
             .is_ok());
         assert_eq!(ExhaustiveOptimal::new().node_limit(), 32);
+    }
+
+    #[test]
+    fn node_budget_turns_the_search_anytime() {
+        // Same shape as `warm_start_prunes_the_search_tree`: ten equal
+        // components whose cheap cut hides behind heavy edges, so the
+        // cold search does real work before proving the optimum.
+        let mut g = ServiceGraph::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| g.add_component(comp(&format!("c{i}"), 10.0, 10.0)))
+            .collect();
+        for i in 1..ids.len() {
+            let tp = if i == 5 { 0.1 } else { 3.0 + i as f64 * 0.13 };
+            g.add_edge(ids[i - 1], ids[i], tp).unwrap();
+        }
+        let env = Environment::builder()
+            .device(Device::new("d0", ResourceVector::mem_cpu(60.0, 120.0)))
+            .device(Device::new("d1", ResourceVector::mem_cpu(60.0, 120.0)))
+            .default_bandwidth_mbps(40.0)
+            .build();
+        let w = Weights::default();
+        let p = OsdProblem::new(&g, &env, &w);
+
+        let mut full = ExhaustiveOptimal::new().with_parallel(false);
+        let exact = full.distribute(&p).unwrap();
+        assert!(!full.last_stats().unwrap().budget_exhausted);
+        let full_nodes = full.last_stats().unwrap().nodes_expanded;
+
+        // A tiny budget (just past the first depth-10 dive) stops early,
+        // flags it, and still returns a feasible — if not proven-optimal
+        // — cut from the leaves it did reach.
+        assert!(full_nodes > 12, "fixture must out-size the budget");
+        let mut capped = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .with_node_budget(Some(12));
+        let anytime = capped.distribute(&p).unwrap();
+        let stats = capped.last_stats().unwrap();
+        assert!(stats.budget_exhausted);
+        assert!(stats.nodes_expanded <= 12);
+        assert!(p.fits(&anytime));
+        assert!(p.cost(&anytime) >= p.cost(&exact) - 1e-12);
+
+        // A budget too small to ever reach a leaf fails loudly instead
+        // of claiming infeasibility of the instance.
+        let err = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .with_node_budget(Some(3))
+            .distribute(&p)
+            .unwrap_err();
+        assert!(err.to_string().contains("budget"));
+
+        // A budget at least the full node count changes nothing.
+        let mut roomy = ExhaustiveOptimal::new()
+            .with_parallel(false)
+            .with_node_budget(Some(full_nodes));
+        let same = roomy.distribute(&p).unwrap();
+        assert_eq!(same, exact);
+        assert!(!roomy.last_stats().unwrap().budget_exhausted);
+        assert_eq!(roomy.node_budget(), Some(full_nodes));
     }
 
     #[test]

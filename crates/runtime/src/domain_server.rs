@@ -22,7 +22,9 @@ use ubiqos::{
 };
 use ubiqos_composition::{ComposedApplication, DegradationLadder, OcReport};
 use ubiqos_discovery::{DeviceProperties, DomainId, ServiceDescriptor, ServiceRegistry};
-use ubiqos_distribution::{Environment, ExhaustiveOptimal, OsdProblem, ServiceDistributor};
+use ubiqos_distribution::{
+    Environment, ExhaustiveOptimal, OsdProblem, PortfolioRoute, ServiceDistributor, SolverPortfolio,
+};
 use ubiqos_graph::{AbstractServiceGraph, ComponentId, Cut, DeviceId, ServiceGraph};
 use ubiqos_model::{QosVector, Weights};
 
@@ -133,6 +135,18 @@ pub enum PlacementStrategy {
         /// see `ubiqos_distribution::ExhaustiveOptimal`).
         warm_start: bool,
     },
+    /// The solver portfolio: greedy seed, then exhaustive B&B, with
+    /// oversized graphs routed to the hierarchical
+    /// abstraction-refinement solver instead of failing. Bit-identical
+    /// to [`Optimal`] on every graph within the exact limit.
+    ///
+    /// [`Optimal`]: PlacementStrategy::Optimal
+    Portfolio {
+        /// Seed each recovery re-placement with the session's previous
+        /// placement (competes against the greedy seed; the cheaper of
+        /// the two becomes the incumbent to beat).
+        warm_start: bool,
+    },
 }
 
 /// Accumulated optimal-solver counters across every [`Optimal`]
@@ -149,6 +163,12 @@ pub struct PlacementTotals {
     pub nodes_expanded: u64,
     /// Subtrees cut by the incumbent bound, summed over all solves.
     pub pruned_bound: u64,
+    /// Portfolio solves routed to the hierarchical solver because the
+    /// graph exceeded the exhaustive node limit (zero under
+    /// [`Optimal`]).
+    ///
+    /// [`Optimal`]: PlacementStrategy::Optimal
+    pub hierarchical_routes: u64,
 }
 
 /// The per-domain infrastructure server: registry + environment +
@@ -204,6 +224,8 @@ pub struct DomainServer {
     /// Persistent exhaustive solver, shared across every `Optimal`
     /// placement of a recovery pass.
     optimal: Mutex<ExhaustiveOptimal>,
+    /// Persistent solver portfolio for `Portfolio` placements.
+    portfolio: Mutex<SolverPortfolio>,
     /// Accumulated optimal-solver counters.
     placement_totals: Mutex<PlacementTotals>,
     /// Wall-clock per-stage profile of every configure call.
@@ -277,6 +299,7 @@ impl DomainServer {
             config_cache: Mutex::new(CompositionCache::new()),
             placement: PlacementStrategy::default(),
             optimal: Mutex::new(ExhaustiveOptimal::new()),
+            portfolio: Mutex::new(SolverPortfolio::new()),
             placement_totals: Mutex::new(PlacementTotals::default()),
             stages: Mutex::new(StageTimes::default()),
             unreachable: BTreeSet::new(),
@@ -1654,6 +1677,9 @@ impl DomainServer {
             PlacementStrategy::Optimal { warm_start } => {
                 self.place_optimal(app, if warm_start { warm } else { None })
             }
+            PlacementStrategy::Portfolio { warm_start } => {
+                self.place_portfolio(app, if warm_start { warm } else { None })
+            }
         });
         {
             let mut stages = self.stages.lock().expect("stage lock");
@@ -1776,6 +1802,38 @@ impl DomainServer {
             }
             totals.nodes_expanded += stats.nodes_expanded;
             totals.pruned_bound += stats.pruned_bound;
+        }
+        let cut = result?;
+        let cost = problem.cost(&cut);
+        Ok(Configuration { app, cut, cost })
+    }
+
+    /// Places a composed application through the solver portfolio:
+    /// greedy seed, exact B&B within the node limit, hierarchical
+    /// abstraction-refinement beyond it. Same counter accounting as
+    /// [`DomainServer::place_optimal`], plus the hierarchical-route
+    /// tally.
+    fn place_portfolio(
+        &self,
+        app: ComposedApplication,
+        warm: Option<&[usize]>,
+    ) -> Result<Configuration, ConfigureError> {
+        let weights = Weights::default();
+        let mut solver = self.portfolio.lock().expect("portfolio lock");
+        solver.set_warm_start(warm.map(<[usize]>::to_vec));
+        let problem = OsdProblem::new(&app.graph, &self.env, &weights);
+        let result = solver.distribute(&problem);
+        if let Some(outcome) = solver.last_outcome() {
+            let mut totals = self.placement_totals.lock().expect("placement totals lock");
+            totals.solves += 1;
+            if outcome.stats.warm_start_used {
+                totals.warm_solves += 1;
+            }
+            totals.nodes_expanded += outcome.stats.nodes_expanded;
+            totals.pruned_bound += outcome.stats.pruned_bound;
+            if outcome.route == PortfolioRoute::Hierarchical {
+                totals.hierarchical_routes += 1;
+            }
         }
         let cut = result?;
         let cost = problem.cost(&cut);
@@ -2617,6 +2675,50 @@ mod tests {
         assert!(
             totals.warm_solves >= 1,
             "re-placement should warm-start: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn portfolio_placement_is_bit_identical_to_optimal_within_limit() {
+        let mut optimal = two_desktop_server();
+        optimal.set_placement_strategy(PlacementStrategy::Optimal { warm_start: true });
+        let mut portfolio = two_desktop_server();
+        portfolio.set_placement_strategy(PlacementStrategy::Portfolio { warm_start: true });
+
+        let start = |server: &mut DomainServer| {
+            server
+                .start_session(
+                    "audio",
+                    audio_app(),
+                    QosVector::new(),
+                    DeviceId::from_index(1),
+                )
+                .unwrap()
+        };
+        let oid = start(&mut optimal);
+        let pid = start(&mut portfolio);
+        let o = &optimal.session(oid).unwrap().configuration;
+        let p = &portfolio.session(pid).unwrap().configuration;
+        assert_eq!(
+            o.cut, p.cut,
+            "within the exact limit the portfolio must return the exhaustive cut verbatim"
+        );
+        assert_eq!(o.cost.to_bits(), p.cost.to_bits());
+        let totals = portfolio.placement_totals();
+        assert_eq!(totals.solves, 1);
+        assert_eq!(
+            totals.hierarchical_routes, 0,
+            "small graphs never leave the exact route"
+        );
+
+        // Same fluctuation as the optimal test: the portfolio path must
+        // also warm-start recovery re-placements.
+        portfolio.fluctuate(DeviceId::from_index(1), ResourceVector::mem_cpu(12.0, 25.0));
+        let totals = portfolio.placement_totals();
+        assert!(totals.solves >= 2);
+        assert!(
+            totals.warm_solves >= 1,
+            "portfolio re-placement should warm-start: {totals:?}"
         );
     }
 }

@@ -68,7 +68,7 @@
 //! lines appear.
 
 use crate::cost_model::LinkKind;
-use crate::domain_server::{DomainServer, SessionId};
+use crate::domain_server::{DomainServer, PlacementStrategy, SessionId};
 use crate::pipeline::{PipelineConfig, PipelineStats, SpecTable};
 use crate::profiler::StageTimes;
 use crate::recovery::RecoveryReport;
@@ -160,6 +160,12 @@ pub struct FaultCampaignConfig {
     /// skipped sweeps emit nothing, so the stride never perturbs logs
     /// or digests, only `invariant_checks`.
     pub invariant_stride: usize,
+    /// Distribution-tier strategy every domain server in the campaign
+    /// places with. The default ([`PlacementStrategy::Heuristic`]) is
+    /// what every pinned digest was captured under; switching to
+    /// [`PlacementStrategy::Portfolio`] exercises the exact/hierarchical
+    /// solver portfolio under the same fault schedule.
+    pub placement: PlacementStrategy,
 }
 
 impl FaultCampaignConfig {
@@ -191,6 +197,7 @@ impl Default for FaultCampaignConfig {
             partition_max: 1,
             heartbeat_loss: 0.0,
             invariant_stride: 1,
+            placement: PlacementStrategy::default(),
         }
     }
 }
@@ -660,6 +667,7 @@ pub(crate) fn run_fault_campaign_impl(
         server.set_retry_policy(RetryPolicy::strict());
     }
     server.set_config_cache(cfg.config_cache);
+    server.set_placement_strategy(cfg.placement);
     let workload = WorkloadConfig::overload(cfg.requests, cfg.horizon_h);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let trace = workload.generate(&mut rng);

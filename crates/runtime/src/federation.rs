@@ -762,6 +762,7 @@ impl<'a> Engine<'a> {
                 server.set_retry_policy(RetryPolicy::strict());
             }
             server.set_config_cache(local.config_cache);
+            server.set_placement_strategy(local.placement);
             let shard_domains = build_domain_tree(server.registry_mut(), n);
             if candidates.is_empty() {
                 // Same tree in every registry — compute the resolution
