@@ -15,8 +15,12 @@
 //! `BENCH_federation.json` in the working directory. `scale` reads
 //! `UBIQOS_SCALE_ARRIVALS` (default 100000) and `federation` reads
 //! `UBIQOS_FED_ARRIVALS` (default 20000) plus `UBIQOS_FED_SHARDS` (a
-//! comma-separated shard-count list, default `1,2,4,8`) so CI smoke
-//! runs can shrink the sweeps without touching the full nightly
+//! comma-separated shard-count list, default `1,2,4,8`),
+//! `UBIQOS_FED_LOSS` (comma-separated drop rates), and
+//! `UBIQOS_FED_LOSS_SHARDS` (shard count of the loss and crash sweeps,
+//! default `min(max(UBIQOS_FED_SHARDS), 4)`), plus `UBIQOS_FED_CRASHES`
+//! (comma-separated `crashes@loss` cells, default `4@0.0,4@0.1`) so CI
+//! smoke runs can shrink the sweeps without touching the full nightly
 //! campaigns. `osd` reads `UBIQOS_OSD_INSTANCES` (default 25),
 //! `UBIQOS_OSD_LARGE_INSTANCES` (default 3), `UBIQOS_OSD_LARGE_NODES`
 //! (a comma-separated node-count list, default `48,64,100`) and
@@ -483,12 +487,32 @@ fn federation() {
                 .collect()
         })
         .unwrap_or_else(|| vec![0.01, 0.1, 0.3]);
-    let loss_shards = *shard_counts.iter().max().unwrap_or(&4).min(&4);
+    let loss_shards = std::env::var("UBIQOS_FED_LOSS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| *shard_counts.iter().max().unwrap_or(&4).min(&4));
+    let crash_cells: Vec<(usize, f64)> = std::env::var("UBIQOS_FED_CRASHES")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .map(|pair| {
+                    let (n, loss) = pair
+                        .split_once('@')
+                        .expect("UBIQOS_FED_CRASHES cells are crashes@loss, e.g. 4@0.1");
+                    (
+                        n.trim().parse().expect("crash count"),
+                        loss.trim().parse().expect("loss rate"),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![(4, 0.0), (4, 0.1)]);
     let report = ubiqos_bench::federation::run_federation_bench(
         arrivals,
         &shard_counts,
         loss_shards,
         &losses,
+        &crash_cells,
     );
     println!("{}", report.render());
     // Byte-identity of the 1-shard cell to the serial reference is part
@@ -505,6 +529,13 @@ fn federation() {
     assert!(
         report.lossy_converges,
         "a lossy federation run diverged from the perfect digests"
+    );
+    // So is the durability contract: every seeded shard-crash schedule
+    // (with or without loss on top) rebuilds its shards from snapshot +
+    // WAL and drains to the crash-free run's exact digests.
+    assert!(
+        report.crashes_converge,
+        "a crashed federation run diverged from the crash-free digests"
     );
     // Sharding shrinks the discovery/placement share of each admission
     // but not its composition share, so the sweep saturates well below

@@ -29,7 +29,7 @@ use ubiqos_runtime::{
     run_fault_campaign_with, run_federation_campaign_lossy, run_federation_campaign_with,
     FaultCampaignConfig, FederationConfig, FederationStats, LossConfig, StageTimes,
 };
-use ubiqos_sim::MobilityWaveConfig;
+use ubiqos_sim::{MobilityWaveConfig, ShardCrashPlan};
 
 /// The federation campaign at a given arrival count and shard count: a
 /// pure admission overload on 24 devices (no infrastructure faults, so
@@ -127,6 +127,39 @@ pub struct LossCell {
     pub digests_match_perfect: bool,
 }
 
+/// One seeded shard-crash run of the same campaign: whole domain
+/// servers are torn down mid-campaign and rebuilt from snapshot + WAL
+/// replay (optionally under transport loss on top), against the pinned
+/// guarantee that the rebuilt shards drain to the crash-free run's
+/// per-shard digests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashCell {
+    /// Shard crashes the seeded plan scheduled.
+    pub crashes: usize,
+    /// Per-copy drop probability layered on top (0 = perfect links).
+    pub loss: f64,
+    /// End-to-end wall clock of the crashed campaign (ms).
+    pub wall_ms: f64,
+    /// Crashes actually executed (== `crashes`).
+    pub shard_crashes: u64,
+    /// Physical copies eaten by crash outage windows.
+    pub crash_copies_dropped: u64,
+    /// WAL records appended across all shards (lifetime).
+    pub wal_records: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_replayed: u64,
+    /// Snapshot restores performed (one per crash).
+    pub snapshot_restores: u64,
+    /// Deepest single-recovery replay (records past the checkpoint).
+    pub replay_depth_max: u64,
+    /// Mean per-recovery replay depth.
+    pub replay_depth_mean: f64,
+    /// Payload retransmissions that bridged the outages (and any loss).
+    pub retransmissions: u64,
+    /// Whether the per-shard digests match the crash-free perfect run.
+    pub digests_match_perfect: bool,
+}
+
 /// The full `BENCH_federation.json` artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FederationReport {
@@ -155,6 +188,12 @@ pub struct FederationReport {
     pub loss_cells: Vec<LossCell>,
     /// Whether every lossy run converged to the perfect digests.
     pub lossy_converges: bool,
+    /// One row per seeded crash schedule, all at `loss_shards` shards.
+    #[serde(default)]
+    pub crash_cells: Vec<CrashCell>,
+    /// Whether every crashed run converged to the crash-free digests.
+    #[serde(default)]
+    pub crashes_converge: bool,
 }
 
 impl FederationReport {
@@ -257,6 +296,40 @@ impl FederationReport {
             }
             out.push_str(&table.finish());
         }
+        if !self.crash_cells.is_empty() {
+            let _ = writeln!(
+                out,
+                "shard crashes at {} shards (snapshot + WAL rebuild):",
+                self.loss_shards
+            );
+            let mut table = TextTable::new(&[
+                ("crashes", 7, Align::Right),
+                ("loss", 5, Align::Right),
+                ("wall ms", 9, Align::Right),
+                ("copies eaten", 12, Align::Right),
+                ("wal records", 11, Align::Right),
+                ("replayed", 8, Align::Right),
+                ("replay max", 10, Align::Right),
+                ("replay avg", 10, Align::Right),
+                ("retx", 6, Align::Right),
+                ("converged", 9, Align::Right),
+            ]);
+            for c in &self.crash_cells {
+                table.row(&[
+                    c.crashes.to_string(),
+                    format!("{:.2}", c.loss),
+                    format!("{:.0}", c.wall_ms),
+                    c.crash_copies_dropped.to_string(),
+                    c.wal_records.to_string(),
+                    c.wal_replayed.to_string(),
+                    c.replay_depth_max.to_string(),
+                    format!("{:.1}", c.replay_depth_mean),
+                    c.retransmissions.to_string(),
+                    match_cell(c.digests_match_perfect).to_string(),
+                ]);
+            }
+            out.push_str(&table.finish());
+        }
         out
     }
 }
@@ -300,6 +373,71 @@ pub fn run_federation_loss_sweep(arrivals: usize, shards: usize, losses: &[f64])
         .collect()
 }
 
+/// Runs the shard-crash sweep: the same campaign at `shards` shards,
+/// once crash-free as the reference, then once per `(crashes, loss)`
+/// cell with a seeded [`ShardCrashPlan`] merged into the schedule
+/// (and, when `loss > 0`, the seeded drop/dup/reorder injector layered
+/// on top). Every cell hard-asserts the durability contract: the
+/// crashed shards rebuild from snapshot + WAL and drain to the
+/// crash-free run's exact per-shard digests.
+pub fn run_federation_crash_sweep(
+    arrivals: usize,
+    shards: usize,
+    cells: &[(usize, f64)],
+) -> Vec<CrashCell> {
+    let base_cfg = federation_config(arrivals, shards);
+    let perfect = run_federation_campaign_with(&base_cfg, &base_cfg.schedule())
+        .expect("the crash-free reference holds its invariants");
+    cells
+        .iter()
+        .map(|&(crashes, loss)| {
+            let mut cfg = federation_config(arrivals, shards);
+            cfg.crashes = ShardCrashPlan {
+                crashes,
+                shards,
+                horizon_h: cfg.base.horizon_h,
+                outage_h: 0.1,
+                ..ShardCrashPlan::default()
+            };
+            let schedule = cfg.schedule();
+            let wall = Instant::now();
+            let outcome = if loss > 0.0 {
+                let lc = LossConfig::lossy(0x1cdc_2002 ^ loss.to_bits(), loss)
+                    .align_bursts(&cfg.shard_partitions);
+                run_federation_campaign_lossy(&cfg, &schedule, lc)
+                    .expect("the crashed lossy campaign holds its invariants")
+                    .0
+            } else {
+                run_federation_campaign_with(&cfg, &schedule)
+                    .expect("the crashed campaign holds its invariants")
+            };
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let digests_match_perfect = outcome.shard_digests() == perfect.shard_digests();
+            assert!(
+                digests_match_perfect,
+                "a crashed federation run ({crashes} crashes, loss {loss}) \
+                 diverged from the crash-free digests"
+            );
+            let depths = &outcome.stats.wal_replay_depths;
+            CrashCell {
+                crashes,
+                loss,
+                wall_ms,
+                shard_crashes: outcome.stats.shard_crashes,
+                crash_copies_dropped: outcome.stats.crash_copies_dropped,
+                wal_records: outcome.stats.wal_records,
+                wal_replayed: outcome.stats.wal_replayed,
+                snapshot_restores: outcome.stats.snapshot_restores,
+                replay_depth_max: depths.iter().copied().max().unwrap_or(0),
+                replay_depth_mean: outcome.stats.wal_replayed as f64
+                    / outcome.stats.shard_crashes.max(1) as f64,
+                retransmissions: outcome.stats.retransmissions,
+                digests_match_perfect,
+            }
+        })
+        .collect()
+}
+
 /// Runs the full sweep: one serial reference, one federated cell per
 /// shard count, then the lossy-transport sweep at `loss_shards`
 /// shards. The fault schedule (base + mobility overlay) is derived
@@ -310,6 +448,7 @@ pub fn run_federation_bench(
     shard_counts: &[usize],
     loss_shards: usize,
     losses: &[f64],
+    crash_cells_spec: &[(usize, f64)],
 ) -> FederationReport {
     let serial_cfg = federation_config(arrivals, 1);
     let schedule = serial_cfg.schedule();
@@ -356,6 +495,8 @@ pub fn run_federation_bench(
     }
     let loss_cells = run_federation_loss_sweep(arrivals, loss_shards, losses);
     let lossy_converges = loss_cells.iter().all(|c| c.digests_match_perfect);
+    let crash_cells = run_federation_crash_sweep(arrivals, loss_shards, crash_cells_spec);
+    let crashes_converge = crash_cells.iter().all(|c| c.digests_match_perfect);
     FederationReport {
         schema_version: ubiqos::BENCH_SCHEMA_VERSION,
         arrivals,
@@ -368,6 +509,8 @@ pub fn run_federation_bench(
         loss_shards,
         loss_cells,
         lossy_converges,
+        crash_cells,
+        crashes_converge,
     }
 }
 
@@ -377,11 +520,23 @@ mod tests {
 
     #[test]
     fn small_sweep_pins_one_shard_to_serial() {
-        let report = run_federation_bench(200, &[1, 2], 2, &[0.1]);
+        let report = run_federation_bench(200, &[1, 2], 2, &[0.1], &[(2, 0.0), (2, 0.1)]);
         assert!(report.one_shard_matches_serial, "{}", report.render());
         assert!(report.lossy_converges, "{}", report.render());
+        assert!(report.crashes_converge, "{}", report.render());
         assert_eq!(report.cells.len(), 2);
         assert_eq!(report.loss_cells.len(), 1);
+        assert_eq!(report.crash_cells.len(), 2);
+        for c in &report.crash_cells {
+            assert!(c.shard_crashes >= 1, "{}", report.render());
+            assert_eq!(c.snapshot_restores, c.shard_crashes);
+            assert!(c.wal_records > 0);
+        }
+        assert!(
+            report.render().contains("shard crashes at 2 shards"),
+            "{}",
+            report.render()
+        );
         assert!(
             report.loss_cells[0].retransmissions > 0,
             "10% loss must force recovery: {}",

@@ -15,7 +15,7 @@ use std::fmt;
 /// whenever a field is added, renamed, or its meaning changes; the
 /// nightly drift gate refuses to compare artifacts across versions
 /// instead of silently misreading renamed fields.
-pub const BENCH_SCHEMA_VERSION: u32 = 6;
+pub const BENCH_SCHEMA_VERSION: u32 = 7;
 
 /// Aggregated outcome of one fault-injection campaign.
 ///
@@ -130,6 +130,19 @@ pub struct FaultReport {
     #[serde(default)]
     pub reorder_depth_max: u32,
 
+    /// Whole-shard (domain-server process) crashes this node survived
+    /// by rebuilding from its snapshot + write-ahead log (zero in every
+    /// serial campaign and in crash-free federated runs).
+    #[serde(default)]
+    pub shard_crashes: u32,
+    /// Write-ahead-log records replayed across all of this node's
+    /// crash recoveries (the log tail past the last checkpoint).
+    #[serde(default)]
+    pub wal_replayed: u32,
+    /// Snapshot restores performed (one per crash recovery).
+    #[serde(default)]
+    pub snapshot_restores: u32,
+
     /// Invariant checkpoints passed (one full sweep after every event).
     pub invariant_checks: u32,
     /// FNV-1a hash of the rendered event log, for cheap determinism
@@ -176,6 +189,9 @@ impl Default for FaultReport {
             retransmissions: 0,
             duplicate_drops: 0,
             reorder_depth_max: 0,
+            shard_crashes: 0,
+            wal_replayed: 0,
+            snapshot_restores: 0,
             invariant_checks: 0,
             log_digest: 0,
         }
@@ -196,6 +212,7 @@ impl FaultReport {
              staged recovery    : {} degraded, {} parked, {} readmitted\n\
              re-placements      : {} across {} passes ({} affected of {} considered)\n\
              transport          : {} retransmissions, {} duplicate drops, reorder depth {}\n\
+             durability         : {} shard crashes survived, {} WAL records replayed, {} snapshot restores\n\
              invariant checks   : {}\n\
              event log digest   : {:#018x}\n",
             self.seed,
@@ -233,6 +250,9 @@ impl FaultReport {
             self.retransmissions,
             self.duplicate_drops,
             self.reorder_depth_max,
+            self.shard_crashes,
+            self.wal_replayed,
+            self.snapshot_restores,
             self.invariant_checks,
             self.log_digest,
         )

@@ -241,6 +241,14 @@ impl ServiceRegistry {
         self.epoch
     }
 
+    /// The current lease table (host device index → virtual-time lease
+    /// expiry, ms). Read-only: the durability layer folds it into the
+    /// durable-state fingerprint so a crash-recovered registry proves
+    /// it restored exactly the leases the original held.
+    pub fn lease_table(&self) -> &BTreeMap<usize, u64> {
+        &self.leases
+    }
+
     /// The service types changed (registered into or unregistered from)
     /// strictly after `since_epoch`, or `None` when `since_epoch` is
     /// older than the bounded changelog remembers (callers must then

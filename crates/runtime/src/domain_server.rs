@@ -311,6 +311,102 @@ impl DomainServer {
         }
     }
 
+    /// A faithful copy of this server's *durable* state, for the
+    /// durability layer's snapshot checkpoints (`runtime::durability`).
+    ///
+    /// Everything a crash-recovered server needs to behave identically
+    /// is cloned: registry (with leases), environments, sessions, the
+    /// retry queue, degradation/retry/recovery policy, link overrides,
+    /// the crashed-host service stash, detector belief sets, and the
+    /// session-id/clock counters. Soft state is treated as volatile —
+    /// the composition cache restarts cold (PR 4 pins cache-on ≡
+    /// cache-off for every observable output) and event-service
+    /// subscribers are runtime wiring a restarted process re-creates;
+    /// solver state and profiling counters are carried over so bench
+    /// accounting survives a checkpoint unchanged.
+    pub fn clone_for_checkpoint(&self) -> DomainServer {
+        DomainServer {
+            registry: self.registry.clone(),
+            pristine: self.pristine.clone(),
+            capacity: self.capacity.clone(),
+            env: self.env.clone(),
+            links: self.links.clone(),
+            device_props: self.device_props.clone(),
+            repository: self.repository.clone(),
+            costs: self.costs.clone(),
+            events: EventService::new(),
+            sessions: self.sessions.clone(),
+            link_overrides: self.link_overrides.clone(),
+            hosted_stash: self.hosted_stash.clone(),
+            parked: self.parked.clone(),
+            ladder: self.ladder.clone(),
+            retry_policy: self.retry_policy,
+            recovery_mode: self.recovery_mode,
+            config_cache: Mutex::new(CompositionCache::new()),
+            placement: self.placement,
+            optimal: Mutex::new(self.optimal.lock().expect("solver lock").clone()),
+            portfolio: Mutex::new(self.portfolio.lock().expect("portfolio lock").clone()),
+            placement_totals: Mutex::new(*self.placement_totals.lock().expect("totals lock")),
+            stages: Mutex::new(self.stages.lock().expect("stages lock").clone()),
+            unreachable: self.unreachable.clone(),
+            suspected: self.suspected.clone(),
+            stale_views: AtomicU64::new(self.stale_views.load(Ordering::Relaxed)),
+            shard_index: self.shard_index,
+            next_session: self.next_session,
+            now_ms: self.now_ms,
+        }
+    }
+
+    /// A deterministic digest of the durable state — the recovery
+    /// contract's tripwire. Two servers with equal fingerprints agree
+    /// on everything that can influence future deterministic behaviour:
+    /// clock, counters, environments, session table, retry queue,
+    /// policies, detector belief, and the registry's authoritative
+    /// contents. Volatile soft state (caches, memos, profiling) is
+    /// deliberately excluded — a cold-cache recovered server must
+    /// fingerprint equal to the warm original.
+    pub fn state_fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(4096);
+        let _ = write!(
+            s,
+            "now_ms={:x} next={} shard={} stale={} placement={:?} mode={:?} policy={:?} ladder={:?}",
+            self.now_ms.to_bits(),
+            self.next_session,
+            self.shard_index,
+            self.stale_views.load(Ordering::Relaxed),
+            self.placement,
+            self.recovery_mode,
+            self.retry_policy,
+            self.ladder,
+        );
+        let _ = write!(
+            s,
+            "|env={:?}|cap={:?}|pristine={:?}|links={:?}|overrides={:?}|stash={:?}",
+            self.env,
+            self.capacity,
+            self.pristine,
+            self.links,
+            self.link_overrides,
+            self.hosted_stash,
+        );
+        let _ = write!(
+            s,
+            "|unreachable={:?}|suspected={:?}|parked={:?}",
+            self.unreachable, self.suspected, self.parked
+        );
+        let _ = write!(
+            s,
+            "|registry_epoch={}|leases={:?}",
+            self.registry.epoch(),
+            self.registry.lease_table(),
+        );
+        for (id, session) in &self.sessions {
+            let _ = write!(s, "|s{id}={session:?}");
+        }
+        ubiqos::fault_report::fnv1a(s.as_bytes())
+    }
+
     /// Replaces the QoS downgrade ladder recovery walks before parking a
     /// session. [`DegradationLadder::strict`] disables degradation.
     pub fn set_ladder(&mut self, ladder: DegradationLadder) {

@@ -379,6 +379,10 @@ pub(crate) enum CampaignEvent {
 
 /// Ground-truth bookkeeping the imperfect detector is *not* allowed to
 /// read — only the harness (playing the role of physical reality) does.
+/// Clone + equality exist for the durability layer: the detector state
+/// is part of a shard's durable image, snapshotted and compared against
+/// the write-ahead-log replay on every crash recovery.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct DetectorState {
     /// Nesting depth of partitions covering each device (> 0 = cut off).
     pub(crate) partition_depth: Vec<u32>,
@@ -1296,6 +1300,16 @@ pub(crate) fn apply_fault(
             report.heartbeat_jams += 1;
             det.jam_until_h[device] = det.jam_until_h[device].max(until_h);
             format!("fault   jam-heartbeats dev{device} until t={until_h:010.4}h")
+        }
+        // Domain-server crashes only exist at the federation level; the
+        // serial harness runs the one immortal server these events
+        // cannot reach (the federated engine intercepts them before
+        // this dispatch).
+        FaultKind::ShardCrash { shard } => {
+            format!("fault   shard-crash shard{shard} -> skipped (serial harness)")
+        }
+        FaultKind::ShardRestart { shard } => {
+            format!("fault   shard-restart shard{shard} -> skipped (serial harness)")
         }
     }
 }

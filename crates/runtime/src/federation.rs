@@ -80,6 +80,9 @@
 //! stays byte-identical to the bare [`ChannelTransport`].
 
 use crate::domain_server::{DomainServer, SessionId};
+use crate::durability::{
+    assert_recovered_equal, DurabilityConfig, ServerCall, ShardWal, WalRecord,
+};
 use crate::faults::{
     app_template, apply_fault, build_space, campaign_schedule, check_invariants, count_pass,
     splitmix64, DetectorState, EventLog, FaultCampaignConfig, InvariantViolation,
@@ -102,11 +105,18 @@ use ubiqos_discovery::{DiscoveryQuery, DomainId, ServiceRegistry};
 use ubiqos_graph::{AbstractServiceGraph, DeviceId};
 use ubiqos_model::QosVector;
 use ubiqos_sim::{
-    merge_schedules, EventQueue, FaultKind, MobilityWaveConfig, Request, TimedFault, WorkloadConfig,
+    merge_schedules, EventQueue, FaultKind, MobilityWaveConfig, Request, ShardCrashPlan,
+    TimedFault, WorkloadConfig,
 };
 
 /// Slack for "has this instant passed" comparisons on event times.
 const TIME_EPS: f64 = 1e-9;
+
+/// Hard ceiling on a receiver's in-order release buffer. The real
+/// bound is the per-link cumulative-ack watermark asserted at every
+/// insert; this cap only catches a watermark-accounting bug before it
+/// can hide behind unbounded memory.
+const REORDER_CAP: u64 = 1 << 16;
 
 /// One scheduled shard-level partition: the federation's failure
 /// detector loses contact with `shard` for `[from_h, to_h)` hours.
@@ -163,6 +173,14 @@ pub struct FederationConfig {
     /// up on a payload (loss is bounded away from 1, so retransmission
     /// converges).
     pub retx_policy: RetryPolicy,
+    /// Seeded shard-crash overlay merged into the schedule after the
+    /// base campaign and mobility waves. `crashes == 0` (the default)
+    /// leaves the schedule bit-exact with its crash-free baseline.
+    pub crashes: ShardCrashPlan,
+    /// Per-shard WAL + snapshot durability knobs. Crash faults require
+    /// `durability.enabled`; journaling never touches shard state, so
+    /// a crash-free run is byte-identical with durability on or off.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for FederationConfig {
@@ -188,6 +206,8 @@ impl Default for FederationConfig {
                 max_backoff_ms: 320_000.0,
                 max_attempts: 0,
             },
+            crashes: ShardCrashPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -198,7 +218,12 @@ impl FederationConfig {
     /// deterministic merge order. The serial equivalence reference is
     /// `run_fault_campaign_with(&cfg.base, &cfg.schedule())`.
     pub fn schedule(&self) -> Vec<TimedFault> {
-        merge_schedules(&campaign_schedule(&self.base), &self.mobility.generate())
+        let device_level =
+            merge_schedules(&campaign_schedule(&self.base), &self.mobility.generate());
+        if self.crashes.crashes == 0 {
+            return device_level;
+        }
+        merge_schedules(&device_level, &self.crashes.generate())
     }
 
     /// Checks structural validity (shard/device arithmetic, lease
@@ -240,6 +265,20 @@ impl FederationConfig {
             assert!(
                 p.from_h.is_finite() && p.to_h.is_finite() && p.from_h < p.to_h,
                 "shard partition window must be a finite forward interval"
+            );
+        }
+        assert!(
+            self.durability.checkpoint_every >= 1,
+            "checkpoint cadence must be at least one record"
+        );
+        if self.crashes.crashes > 0 {
+            assert!(
+                self.durability.enabled,
+                "shard crashes require durability (recovery replays the WAL)"
+            );
+            assert_eq!(
+                self.crashes.shards, self.shards,
+                "the crash plan must target the federation's shard count"
             );
         }
     }
@@ -353,6 +392,29 @@ pub struct FederationStats {
     /// Sum of those per-payload release delays (virtual µs).
     #[serde(default)]
     pub convergence_delay_us_total: u64,
+    /// Shard crashes injected (teardown + snapshot/WAL rebuild).
+    #[serde(default)]
+    pub shard_crashes: u64,
+    /// Physical copies eaten by a crash outage window (dead NIC at
+    /// transmit or arrival; the reliable layer retransmits them after
+    /// the restart).
+    #[serde(default)]
+    pub crash_copies_dropped: u64,
+    /// WAL records appended across all shards (lifetime, counted
+    /// across checkpoint truncations).
+    #[serde(default)]
+    pub wal_records: u64,
+    /// WAL records replayed by crash recoveries.
+    #[serde(default)]
+    pub wal_replayed: u64,
+    /// Snapshot restores performed by crash recoveries.
+    #[serde(default)]
+    pub snapshot_restores: u64,
+    /// Per-crash WAL replay depth (records replayed by each recovery,
+    /// in crash order) — the deterministic recovery-time distribution
+    /// the bench artifact reports.
+    #[serde(default)]
+    pub wal_replay_depths: Vec<u64>,
     /// Sessions each shard committed *away* (by shard index).
     pub handed_out: Vec<u32>,
     /// Sessions each shard received custody of (by shard index).
@@ -582,21 +644,22 @@ enum Loc {
 }
 
 /// One shard: a full serial-harness state bundle around its own
-/// `DomainServer`.
-struct Shard {
-    server: DomainServer,
+/// `DomainServer`. Fields are crate-visible so the durability module
+/// can snapshot, replay, and fingerprint them.
+pub(crate) struct Shard {
+    pub(crate) server: DomainServer,
     /// The base config with `devices` rewritten to this shard's size.
-    cfg: FaultCampaignConfig,
-    log: EventLog,
-    report: FaultReport,
-    down: BTreeSet<usize>,
-    det: DetectorState,
-    active: BTreeMap<usize, SessionId>,
-    by_session: BTreeMap<SessionId, usize>,
-    last_h: f64,
-    idx: usize,
-    iterations: u64,
-    last_sweep_h: Option<f64>,
+    pub(crate) cfg: FaultCampaignConfig,
+    pub(crate) log: EventLog,
+    pub(crate) report: FaultReport,
+    pub(crate) down: BTreeSet<usize>,
+    pub(crate) det: DetectorState,
+    pub(crate) active: BTreeMap<usize, SessionId>,
+    pub(crate) by_session: BTreeMap<SessionId, usize>,
+    pub(crate) last_h: f64,
+    pub(crate) idx: usize,
+    pub(crate) iterations: u64,
+    pub(crate) last_sweep_h: Option<f64>,
 }
 
 struct Engine<'a> {
@@ -650,6 +713,17 @@ struct Engine<'a> {
     /// Request index → current session location.
     directory: BTreeMap<usize, Loc>,
     stats: FederationStats,
+    /// Per-shard write-ahead logs (inert when durability is disabled).
+    wals: Vec<ShardWal>,
+    /// Precomputed `(shard, crash_h, restart_h)` outage windows from
+    /// the schedule's `ShardCrash`/`ShardRestart` pairs. During a
+    /// window the shard's NIC is dead: physical copies transmitted by
+    /// it or arriving at it are eaten (the reliable layer's
+    /// retransmissions bridge the outage). Suspicion and delivery
+    /// times are *not* derived from these windows — a crash only
+    /// drives the failure detector when its window is aligned with a
+    /// [`ShardPartition`].
+    crash_windows: Vec<(usize, f64, f64)>,
 }
 
 /// Builds the shared domain tree into one shard's registry and returns
@@ -838,6 +912,32 @@ impl<'a> Engine<'a> {
         }
 
         let stats = FederationStats::new(n);
+        // Initial checkpoints (virtual t=0) and the crash outage
+        // windows. The schedule is the source of truth for windows —
+        // explicitly supplied schedules work exactly like plan-derived
+        // ones. A crash without a later matching restart would never
+        // let its eaten payloads drain, so it is rejected up front.
+        let wals: Vec<ShardWal> = shards
+            .iter()
+            .map(|sh| ShardWal::new(&cfg.durability, sh))
+            .collect();
+        let mut crash_windows: Vec<(usize, f64, f64)> = Vec::new();
+        for (j, f) in schedule.iter().enumerate() {
+            if let FaultKind::ShardCrash { shard } = f.kind {
+                assert!(shard < n, "crashed shard out of range");
+                assert!(
+                    cfg.durability.enabled,
+                    "shard crashes require durability (recovery replays the WAL)"
+                );
+                let restart = schedule[j + 1..].iter().find_map(|g| match g.kind {
+                    FaultKind::ShardRestart { shard: rs } if rs == shard => Some(g.at_h),
+                    _ => None,
+                });
+                let to = restart
+                    .expect("every shard crash needs a matching later restart to end its outage");
+                crash_windows.push((shard, f.at_h, to));
+            }
+        }
         Engine {
             cfg,
             schedule,
@@ -868,7 +968,31 @@ impl<'a> Engine<'a> {
             res_index: BTreeMap::new(),
             directory: BTreeMap::new(),
             stats,
+            wals,
+            crash_windows,
         }
+    }
+
+    /// Whether shard `s`'s NIC is inside a crash outage window at `t`.
+    fn crashed_at(&self, s: usize, t: f64) -> bool {
+        self.crash_windows
+            .iter()
+            .any(|&(cs, from, to)| cs == s && t >= from && t < to)
+    }
+
+    /// Journals an event-boundary `Mark` for shard `s`: the full
+    /// counter report plus the epilogue cursors, so replay lands
+    /// exactly on the current aggregate state.
+    fn wal_mark(&mut self, s: usize) {
+        if !self.cfg.durability.enabled {
+            return;
+        }
+        let shard = &self.shards[s];
+        self.wals[s].push(WalRecord::Mark {
+            report: Box::new(shard.report.clone()),
+            iterations: shard.iterations,
+            last_sweep_h: shard.last_sweep_h,
+        });
     }
 
     /// The shard owning global device `g`.
@@ -881,16 +1005,24 @@ impl<'a> Engine<'a> {
     }
 
     /// Advances shard `s`'s virtual clock to `at_h` (monotone, exactly
-    /// the serial `play` step).
+    /// the serial `play` step). Journaled before the clock moves.
     fn advance(&mut self, s: usize, at_h: f64) {
+        self.wals[s].push(WalRecord::Advance { at_h });
         let shard = &mut self.shards[s];
         let delta_h = (at_h - shard.last_h).max(0.0);
         shard.server.play(delta_h * 3600.0);
         shard.last_h = at_h;
     }
 
-    /// Appends one line to shard `s`'s log.
+    /// Appends one line to shard `s`'s log. Journaled before the push
+    /// (the line index is implicit in record order).
     fn slog(&mut self, s: usize, at_h: f64, line: &str) {
+        if self.cfg.durability.enabled {
+            self.wals[s].push(WalRecord::Line {
+                at_h,
+                line: line.to_owned(),
+            });
+        }
         let shard = &mut self.shards[s];
         let idx = shard.idx;
         shard.log.push(idx, at_h, line);
@@ -1049,6 +1181,15 @@ impl<'a> Engine<'a> {
     /// apply its cumulative piggyback, then dedup / buffer / release
     /// the payload and acknowledge the copy.
     fn on_net_copy(&mut self, env: Envelope) {
+        // A copy transmitted while the sender's NIC was down, or
+        // arriving while the receiver's was, never existed physically:
+        // eaten before the piggyback, exactly like a burst-loss fate.
+        // The sender's retransmission timer keeps re-arming through
+        // the outage and a post-restart copy converges the link.
+        if self.crashed_at(env.from, env.tx_at_h) || self.crashed_at(env.to, env.arrive_at_h) {
+            self.stats.crash_copies_dropped += 1;
+            return;
+        }
         // The piggyback acknowledges the reverse link: `env.from` has
         // released everything below `ack_upto` of what `env.to` sent.
         self.apply_ack(env.to, env.from, env.ack_upto);
@@ -1072,6 +1213,24 @@ impl<'a> Engine<'a> {
             // A gap: hold for in-order release.
             link.rx_buffer.insert(seq, env);
             let depth = link.rx_buffer.len() as u64;
+            // Cumulative-ack watermark bound: every buffered sequence
+            // is distinct and lies strictly inside
+            // (rx_expected, max_buffered], so by pigeonhole the depth
+            // can never exceed `max_buffered - rx_expected` — eviction
+            // is impossible, the buffer drains purely by in-order
+            // release advancing `rx_expected`. The hard cap is a
+            // deterministic sanity ceiling far above any reachable
+            // depth (a link can hold at most `tx_next_seq -
+            // rx_expected` distinct undelivered sequences).
+            let hi = *link.rx_buffer.keys().next_back().expect("just inserted");
+            assert!(
+                depth <= hi - link.rx_expected,
+                "reorder buffer broke its cumulative-ack watermark"
+            );
+            assert!(
+                depth <= REORDER_CAP,
+                "reorder buffer exceeded its deterministic bound"
+            );
             self.stats.reorder_buffered += 1;
             self.stats.reorder_depth_max = self.stats.reorder_depth_max.max(depth);
             let report = &mut self.shards[to].report;
@@ -1308,6 +1467,14 @@ impl<'a> Engine<'a> {
         touched.insert(a);
         self.shards[a].report.events += 1;
         let (name, graph) = app_template(req.graph_index);
+        if self.cfg.durability.enabled {
+            self.wals[a].push(WalRecord::Call(ServerCall::Start {
+                name: format!("{name}-{i}"),
+                graph: graph.clone(),
+                qos: QosVector::new(),
+                client_local,
+            }));
+        }
         let outcome = self.shards[a].server.start_session(
             format!("{name}-{i}"),
             graph,
@@ -1321,6 +1488,10 @@ impl<'a> Engine<'a> {
                 shard.report.admitted += 1;
                 shard.active.insert(i, id);
                 shard.by_session.insert(id, i);
+                self.wals[a].push(WalRecord::Track {
+                    req: i,
+                    sid: id.raw(),
+                });
                 self.directory.insert(i, Loc::At { shard: a, id });
                 self.slog(
                     a,
@@ -1330,6 +1501,15 @@ impl<'a> Engine<'a> {
             }
             Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
                 let (_, graph) = app_template(req.graph_index);
+                if self.cfg.durability.enabled {
+                    self.wals[a].push(WalRecord::Call(ServerCall::Park {
+                        name: format!("{name}-{i}"),
+                        graph: graph.clone(),
+                        qos: QosVector::new(),
+                        client_local,
+                        err: e.clone(),
+                    }));
+                }
                 let shard = &mut self.shards[a];
                 shard.report.arrivals += 1;
                 shard.report.admitted += 1;
@@ -1344,6 +1524,10 @@ impl<'a> Engine<'a> {
                 );
                 shard.active.insert(i, id);
                 shard.by_session.insert(id, i);
+                self.wals[a].push(WalRecord::Track {
+                    req: i,
+                    sid: id.raw(),
+                });
                 self.directory.insert(i, Loc::At { shard: a, id });
                 self.slog(
                     a,
@@ -1530,6 +1714,14 @@ impl<'a> Engine<'a> {
             b_up[(splitmix64(self.cfg.base.seed ^ i as u64) % b_up.len() as u64) as usize];
         let client = self.offsets[b] + client_local;
         let (name, graph) = app_template(graph_index);
+        if self.cfg.durability.enabled {
+            self.wals[b].push(WalRecord::Call(ServerCall::Start {
+                name: format!("{name}-{i}"),
+                graph: graph.clone(),
+                qos: QosVector::new(),
+                client_local,
+            }));
+        }
         let outcome = self.shards[b].server.start_session(
             format!("{name}-{i}"),
             graph,
@@ -1543,6 +1735,10 @@ impl<'a> Engine<'a> {
                 shard.report.admitted += 1;
                 shard.active.insert(i, id);
                 shard.by_session.insert(id, i);
+                self.wals[b].push(WalRecord::Track {
+                    req: i,
+                    sid: id.raw(),
+                });
                 self.directory.insert(i, Loc::At { shard: b, id });
                 self.slog(
                     b,
@@ -1554,6 +1750,15 @@ impl<'a> Engine<'a> {
             }
             Err(e) if matches!(e, ConfigureError::StaleView { .. }) => {
                 let (_, graph) = app_template(graph_index);
+                if self.cfg.durability.enabled {
+                    self.wals[b].push(WalRecord::Call(ServerCall::Park {
+                        name: format!("{name}-{i}"),
+                        graph: graph.clone(),
+                        qos: QosVector::new(),
+                        client_local,
+                        err: e.clone(),
+                    }));
+                }
                 let shard = &mut self.shards[b];
                 shard.report.arrivals += 1;
                 shard.report.admitted += 1;
@@ -1568,6 +1773,10 @@ impl<'a> Engine<'a> {
                 );
                 shard.active.insert(i, id);
                 shard.by_session.insert(id, i);
+                self.wals[b].push(WalRecord::Track {
+                    req: i,
+                    sid: id.raw(),
+                });
                 self.directory.insert(i, Loc::At { shard: b, id });
                 self.slog(
                     b,
@@ -1630,6 +1839,11 @@ impl<'a> Engine<'a> {
                 let stopped = shard.server.stop_session(id);
                 debug_assert!(stopped.is_some(), "active map tracks live sessions");
                 shard.report.completed += 1;
+                self.wals[s].push(WalRecord::Untrack {
+                    req: i,
+                    sid: id.raw(),
+                });
+                self.wals[s].push(WalRecord::Call(ServerCall::Stop { sid: id.raw() }));
                 self.directory.insert(i, Loc::Gone { shard: s });
                 self.slog(s, at_h, &format!("depart  req{i} -> completed ({id})"));
             }
@@ -1759,7 +1973,42 @@ impl<'a> Engine<'a> {
             FaultKind::MoveUser { pick, to } => {
                 self.on_move(pick, to, true, at_h, touched);
             }
+            FaultKind::ShardCrash { shard } => {
+                self.crash_shard(shard);
+            }
+            FaultKind::ShardRestart { .. } => {
+                // The restart instant only closes the NIC-dead window
+                // (already derived from the schedule in `new`); the
+                // rebuild happened at the crash instant.
+            }
         }
+    }
+
+    /// Tears down shard `s` at the crash instant and rebuilds it from
+    /// its last snapshot plus WAL replay, asserting the rebuild is
+    /// field-for-field identical before swapping it in. The crash does
+    /// NOT advance the shard clock, log a line, or count an event —
+    /// recovery is invisible in the event log by construction, so the
+    /// digest-pinned equivalence contract stays two-sided (any replay
+    /// bug trips the hard assert here and the digest gate downstream).
+    fn crash_shard(&mut self, s: usize) {
+        // Counters first, so the crash-boundary `Mark` (and therefore
+        // the rebuilt report) already carries this crash.
+        self.shards[s].report.shard_crashes += 1;
+        self.wal_mark(s);
+        let replayed = self.wals[s].tail.len() as u64;
+        let rebuilt = self.wals[s].recover(self.grace_ms);
+        assert_recovered_equal(&self.shards[s], &rebuilt, s);
+        self.shards[s] = rebuilt;
+        self.shards[s].report.wal_replayed += replayed as u32;
+        self.shards[s].report.snapshot_restores += 1;
+        self.stats.shard_crashes += 1;
+        self.stats.wal_replayed += replayed;
+        self.stats.snapshot_restores += 1;
+        self.stats.wal_replay_depths.push(replayed);
+        // Fresh checkpoint: the post-recovery state (with the counter
+        // bumps above) becomes the new replay base.
+        self.wals[s].checkpoint(&self.shards[s]);
     }
 
     /// Replays the serial fault arm on shard `s` with a shard-local
@@ -1773,6 +2022,7 @@ impl<'a> Engine<'a> {
     ) {
         self.advance(s, at_h);
         touched.insert(s);
+        self.wals[s].push(WalRecord::Fault(fault));
         let shard = &mut self.shards[s];
         shard.report.events += 1;
         let line = apply_fault(
@@ -1848,6 +2098,20 @@ impl<'a> Engine<'a> {
             // Serial arm verbatim (global `to` == local index + shard
             // offset; identical text at one shard).
             let local_to = to - self.offsets[a];
+            if self.cfg.durability.enabled {
+                let call = if is_move {
+                    ServerCall::Move {
+                        sid: id.raw(),
+                        to_local: local_to,
+                    }
+                } else {
+                    ServerCall::Switch {
+                        sid: id.raw(),
+                        to_local: local_to,
+                    }
+                };
+                self.wals[a].push(WalRecord::Call(call));
+            }
             let shard = &mut self.shards[a];
             if is_move {
                 shard.report.moves += 1;
@@ -1925,6 +2189,16 @@ impl<'a> Engine<'a> {
             // retry queue, witnessed by the stale view of dev`to`.
             self.stats.handoffs_parked_dest_suspected += 1;
             let witness = ConfigureError::StaleView { device: to_global };
+            if self.cfg.durability.enabled {
+                self.wals[a].push(WalRecord::Call(ServerCall::Stop { sid: id.raw() }));
+                self.wals[a].push(WalRecord::Call(ServerCall::Park {
+                    name: name.clone(),
+                    graph: graph.clone(),
+                    qos: qos.clone(),
+                    client_local: old_client.index(),
+                    err: witness.clone(),
+                }));
+            }
             let shard = &mut self.shards[a];
             let stopped = shard.server.stop_session(id);
             debug_assert!(stopped.is_some(), "picked session was live");
@@ -1940,6 +2214,11 @@ impl<'a> Engine<'a> {
             shard.by_session.remove(&id);
             shard.active.insert(req, pid);
             shard.by_session.insert(pid, req);
+            self.wals[a].push(WalRecord::Untrack { req, sid: id.raw() });
+            self.wals[a].push(WalRecord::Track {
+                req,
+                sid: pid.raw(),
+            });
             self.directory.insert(req, Loc::At { shard: a, id: pid });
             self.slog(
                 a,
@@ -2027,6 +2306,13 @@ impl<'a> Engine<'a> {
                 } else {
                     // Commit: release on the source (exact refund),
                     // custody transfers in flight.
+                    if self.cfg.durability.enabled {
+                        self.wals[a].push(WalRecord::Call(ServerCall::Stop { sid: sid.raw() }));
+                        self.wals[a].push(WalRecord::Untrack {
+                            req,
+                            sid: sid.raw(),
+                        });
+                    }
                     let shard = &mut self.shards[a];
                     let stopped = shard.server.stop_session(sid);
                     debug_assert!(stopped.is_some(), "decide saw a live session");
@@ -2095,6 +2381,9 @@ impl<'a> Engine<'a> {
                 self.advance(b, at_h);
                 touched.insert(b);
                 let rid = SessionId::from_raw(raw);
+                if self.cfg.durability.enabled {
+                    self.wals[b].push(WalRecord::Call(ServerCall::Stop { sid: raw }));
+                }
                 let released = self.shards[b].server.stop_session(rid);
                 debug_assert!(released.is_some(), "reservation index tracks holdings");
                 self.res_index.remove(&(b, raw));
@@ -2127,18 +2416,30 @@ impl<'a> Engine<'a> {
             || shard.det.partition_depth[d] > 0
             || at_h < shard.det.jam_until_h[d];
         if !lost {
+            // Journal the heartbeat even when it reinstates nothing: the
+            // call renews the device lease inside the server, and replay
+            // must renew it too or a later sweep would diverge.
             if let Some(rec) = shard
                 .server
                 .heartbeat(DeviceId::from_index(d), self.grace_ms)
             {
                 shard.report.reinstatements += 1;
                 count_pass(&rec, &mut shard.report);
-                let tail = self.absorb(s, &rec);
+                let (tail, removed) = self.absorb(s, &rec);
+                self.wals[s].push(WalRecord::Call(ServerCall::Heartbeat {
+                    device: d,
+                    removed,
+                }));
                 self.slog(
                     s,
                     at_h,
                     &format!("detect  reinstate dev{d} (lease renewed) -> {tail}"),
                 );
+            } else {
+                self.wals[s].push(WalRecord::Call(ServerCall::Heartbeat {
+                    device: d,
+                    removed: Vec::new(),
+                }));
             }
             self.queue.schedule(
                 at_h + self.cfg.base.detection_grace_h,
@@ -2161,6 +2462,7 @@ impl<'a> Engine<'a> {
             return;
         }
         self.shards[s].last_sweep_h = Some(at_h);
+        let mut removed_per_item: Vec<Vec<u64>> = Vec::new();
         for (device, rec) in self.shards[s].server.expire_overdue_leases() {
             let shard = &mut self.shards[s];
             shard.report.suspicions += 1;
@@ -2169,7 +2471,8 @@ impl<'a> Engine<'a> {
                 shard.report.false_suspected += 1;
             }
             count_pass(&rec, &mut shard.report);
-            let tail = self.absorb(s, &rec);
+            let (tail, removed) = self.absorb(s, &rec);
+            removed_per_item.push(removed);
             let tag = if ground_up { " (falsely)" } else { "" };
             self.slog(
                 s,
@@ -2180,6 +2483,11 @@ impl<'a> Engine<'a> {
                 ),
             );
         }
+        // One record per sweep, even an empty one: the sweep advances
+        // detector bookkeeping inside the server.
+        self.wals[s].push(WalRecord::Call(ServerCall::ExpireLeases {
+            removed: removed_per_item,
+        }));
     }
 
     /// Processes one delivered message on its destination shard. The
@@ -2248,6 +2556,14 @@ impl<'a> Engine<'a> {
                         &format!("fedmsg  h{hid} reserve -> declined (handoff aborted)"),
                     );
                     return;
+                }
+                if self.cfg.durability.enabled {
+                    self.wals[b].push(WalRecord::Call(ServerCall::Start {
+                        name: name.clone(),
+                        graph: graph.clone(),
+                        qos: qos.clone(),
+                        client_local,
+                    }));
                 }
                 match self.shards[b].server.start_session(
                     name,
@@ -2351,6 +2667,7 @@ impl<'a> Engine<'a> {
                 match reservation {
                     Reservation::Live(raw) | Reservation::Parked(raw) => {
                         let rid = SessionId::from_raw(raw);
+                        self.wals[b].push(WalRecord::Call(ServerCall::Stop { sid: raw }));
                         let released = self.shards[b].server.stop_session(rid);
                         debug_assert!(released.is_some(), "reservation index tracks holdings");
                         self.res_index.remove(&(b, raw));
@@ -2398,6 +2715,7 @@ impl<'a> Engine<'a> {
                 self.res_index.remove(&(b, raw));
                 self.handoffs.get_mut(&hid).expect("tracked").reservation = Reservation::Done;
                 if departed {
+                    self.wals[b].push(WalRecord::Call(ServerCall::Stop { sid: raw }));
                     let stopped = self.shards[b].server.stop_session(rid);
                     debug_assert!(stopped.is_some(), "reservation index tracks holdings");
                     self.shards[b].report.completed += 1;
@@ -2416,6 +2734,7 @@ impl<'a> Engine<'a> {
                     let shard = &mut self.shards[b];
                     shard.active.insert(req, rid);
                     shard.by_session.insert(rid, req);
+                    self.wals[b].push(WalRecord::Track { req, sid: raw });
                     self.directory.insert(req, Loc::At { shard: b, id: rid });
                     self.slog(
                         b,
@@ -2439,6 +2758,14 @@ impl<'a> Engine<'a> {
                         ),
                     );
                 } else {
+                    if self.cfg.durability.enabled {
+                        self.wals[b].push(WalRecord::Call(ServerCall::Start {
+                            name: name.clone(),
+                            graph: graph.clone(),
+                            qos: qos.clone(),
+                            client_local,
+                        }));
+                    }
                     match self.shards[b].server.start_session(
                         name,
                         graph,
@@ -2449,6 +2776,10 @@ impl<'a> Engine<'a> {
                             let shard = &mut self.shards[b];
                             shard.active.insert(req, rid);
                             shard.by_session.insert(rid, req);
+                            self.wals[b].push(WalRecord::Track {
+                                req,
+                                sid: rid.raw(),
+                            });
                             self.directory.insert(req, Loc::At { shard: b, id: rid });
                             self.slog(
                                 b,
@@ -2459,6 +2790,15 @@ impl<'a> Engine<'a> {
                             );
                         }
                         Err(e) => {
+                            if self.cfg.durability.enabled {
+                                self.wals[b].push(WalRecord::Call(ServerCall::Park {
+                                    name: self.handoffs[&hid].name.clone(),
+                                    graph: self.handoffs[&hid].graph.clone(),
+                                    qos: self.handoffs[&hid].qos.clone(),
+                                    client_local,
+                                    err: e.clone(),
+                                }));
+                            }
                             let shard = &mut self.shards[b];
                             shard.report.parked += 1;
                             let pid = shard.server.park_arrival(
@@ -2472,6 +2812,10 @@ impl<'a> Engine<'a> {
                             let shard = &mut self.shards[b];
                             shard.active.insert(req, pid);
                             shard.by_session.insert(pid, req);
+                            self.wals[b].push(WalRecord::Track {
+                                req,
+                                sid: pid.raw(),
+                            });
                             self.directory.insert(req, Loc::At { shard: b, id: pid });
                             self.slog(
                                 b,
@@ -2496,7 +2840,7 @@ impl<'a> Engine<'a> {
 
     /// Folds a recovery report into shard `s`'s bookkeeping (the
     /// serial `absorb_recovery`, made reservation-aware).
-    fn absorb(&mut self, s: usize, rec: &RecoveryReport) -> String {
+    fn absorb(&mut self, s: usize, rec: &RecoveryReport) -> (String, Vec<u64>) {
         fed_absorb(
             rec,
             s,
@@ -2509,11 +2853,31 @@ impl<'a> Engine<'a> {
 
     /// The serial per-event epilogue for one touched shard: retry
     /// drain, invariant sweep (stride-gated per shard), and detector
-    /// soundness.
+    /// soundness. Ends the WAL's per-event record group with a `Mark`
+    /// (coalescing every aggregate counter mutated since the last one)
+    /// and takes a snapshot checkpoint when the tail is long enough.
     fn finish_event(&mut self, s: usize, at_h: f64) -> Result<(), InvariantViolation> {
+        let result = self.finish_event_inner(s, at_h);
+        if result.is_ok() {
+            self.wal_mark(s);
+            if self.wals[s].due_checkpoint() {
+                self.wals[s].checkpoint(&self.shards[s]);
+            }
+        }
+        result
+    }
+
+    fn finish_event_inner(&mut self, s: usize, at_h: f64) -> Result<(), InvariantViolation> {
         let retries = self.shards[s].server.process_retries();
-        if !retries.is_empty() {
-            let tail = self.absorb(s, &retries);
+        // Journal the drain even when it moved nothing: retry backoff
+        // bookkeeping inside the server advances on every call.
+        if retries.is_empty() {
+            self.wals[s].push(WalRecord::Call(ServerCall::Retries {
+                removed: Vec::new(),
+            }));
+        } else {
+            let (tail, removed) = self.absorb(s, &retries);
+            self.wals[s].push(WalRecord::Call(ServerCall::Retries { removed }));
             self.slog(s, at_h, &format!("retry   parked queue -> {tail}"));
         }
         let shard = &mut self.shards[s];
@@ -2582,6 +2946,10 @@ impl<'a> Engine<'a> {
                 state.tx.is_empty() && state.rx_buffer.is_empty(),
                 "no unacknowledged payload survives the drain (link {link:?})"
             );
+            assert_eq!(
+                state.rx_expected, state.tx_next_seq,
+                "the receiver consumed every sequence number the sender issued (link {link:?})"
+            );
         }
         for (hid, h) in &self.handoffs {
             assert!(
@@ -2606,7 +2974,7 @@ impl<'a> Engine<'a> {
                         }
                         let rec = shard.server.suspect_many(&[DeviceId::from_index(d)]);
                         count_pass(&rec, &mut shard.report);
-                        let tail = self.absorb(s, &rec);
+                        let (tail, _) = self.absorb(s, &rec);
                         let last_h = self.shards[s].last_h;
                         self.slog(
                             s,
@@ -2628,7 +2996,7 @@ impl<'a> Engine<'a> {
                     }
                     let rec = shard.server.process_retries();
                     let drain_h = shard.server.now_ms() / 3_600_000.0;
-                    let tail = self.absorb(s, &rec);
+                    let (tail, _) = self.absorb(s, &rec);
                     self.slog(s, drain_h, &format!("drain   parked queue -> {tail}"));
                     let shard = &mut self.shards[s];
                     shard.last_h = shard.last_h.max(drain_h);
@@ -2653,7 +3021,18 @@ impl<'a> Engine<'a> {
     }
 
     /// Consumes the engine into the outcome.
-    fn finish(self) -> FederationOutcome {
+    fn finish(mut self) -> FederationOutcome {
+        self.stats.wal_records = self.wals.iter().map(|w| w.appended).sum();
+        debug_assert_eq!(
+            self.stats.wal_replayed,
+            self.wals.iter().map(|w| w.replayed).sum::<u64>(),
+            "per-crash replay accounting matches the WALs' own"
+        );
+        debug_assert_eq!(
+            self.stats.snapshot_restores,
+            self.wals.iter().map(|w| w.restores).sum::<u64>(),
+            "per-crash restore accounting matches the WALs' own"
+        );
         let shards: Vec<ShardOutcome> = self
             .shards
             .into_iter()
@@ -2708,13 +3087,17 @@ fn fed_absorb(
     directory: &mut BTreeMap<usize, Loc>,
     handoffs: &mut BTreeMap<u64, Handoff>,
     res_index: &mut BTreeMap<(usize, u64), u64>,
-) -> String {
+) -> (String, Vec<u64>) {
     assert_eq!(
         rec.dropped.len(),
         rec.drop_errors.len(),
         "every drop carries the error witnessing unplaceability"
     );
     let mut res_dropped = 0usize;
+    // Session ids untracked from the shard maps, in order — the WAL
+    // records them so replay repeats exactly this untracking without
+    // consulting the (crash-surviving, engine-level) reservation index.
+    let mut removed: Vec<u64> = Vec::new();
     for (id, (witness_id, _)) in rec.dropped.iter().zip(&rec.drop_errors) {
         assert_eq!(id, witness_id, "drop witnesses line up");
         if let Some(hid) = res_index.remove(&(s, id.raw())) {
@@ -2730,6 +3113,7 @@ fn fed_absorb(
             .remove(id)
             .expect("dropped sessions were tracked");
         shard.active.remove(&req);
+        removed.push(id.raw());
         directory.insert(req, Loc::Gone { shard: s });
     }
     let mut res_parked = 0usize;
@@ -2770,13 +3154,15 @@ fn fed_absorb(
     for (id, err) in &rec.drop_errors {
         let _ = write!(tail, "; {id} unplaceable ({err})");
     }
-    tail
+    (tail, removed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durability::shard_fingerprint;
     use crate::faults::run_fault_campaign_with;
+    use proptest::prelude::*;
 
     fn small_cfg(shards: usize) -> FederationConfig {
         FederationConfig {
@@ -2887,6 +3273,101 @@ mod tests {
         let again = run_federation_campaign(&cfg).expect("rerun");
         assert_eq!(fed.shard_digests(), again.shard_digests());
         assert_eq!(fed.combined_digest, again.combined_digest);
+    }
+
+    #[test]
+    fn durability_journaling_is_invisible_when_crash_free() {
+        for shards in [1usize, 2, 3] {
+            let on = small_cfg(shards);
+            let mut off = small_cfg(shards);
+            off.durability.enabled = false;
+            let a = run_federation_campaign(&on).expect("durability on");
+            let b = run_federation_campaign(&off).expect("durability off");
+            assert_eq!(a.combined_digest, b.combined_digest);
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                assert_eq!(x.log.render(), y.log.render());
+                assert_eq!(x.report, y.report);
+            }
+            assert!(a.stats.wal_records > 0, "the journal actually recorded");
+            assert_eq!(b.stats.wal_records, 0, "disabled journal stays empty");
+        }
+    }
+
+    #[test]
+    fn seeded_shard_crashes_converge_to_the_crash_free_digests() {
+        let baseline = run_federation_campaign(&small_cfg(2)).expect("crash-free run");
+        let mut cfg = small_cfg(2);
+        cfg.crashes = ShardCrashPlan {
+            crashes: 3,
+            shards: 2,
+            horizon_h: 12.0,
+            outage_h: 0.4,
+            ..ShardCrashPlan::default()
+        };
+        let crashed = run_federation_campaign(&cfg).expect("crashed run");
+        assert!(
+            crashed.stats.shard_crashes >= 1,
+            "the plan scheduled real crashes: {:?}",
+            crashed.stats
+        );
+        assert_eq!(
+            crashed.stats.snapshot_restores, crashed.stats.shard_crashes,
+            "one snapshot restore per crash"
+        );
+        assert_eq!(
+            crashed.shard_digests(),
+            baseline.shard_digests(),
+            "crashed shards rebuild to the crash-free run's event logs"
+        );
+        assert!(crashed.fates_balance());
+    }
+
+    #[test]
+    fn a_crash_with_zero_wal_tail_restores_from_the_snapshot_alone() {
+        // checkpoint_every = 1 checkpoints after every event, so the
+        // crash replays (at most) the records of the crash instant's
+        // own partial event group.
+        let mut cfg = small_cfg(2);
+        cfg.durability.checkpoint_every = 1;
+        cfg.crashes = ShardCrashPlan {
+            crashes: 2,
+            shards: 2,
+            horizon_h: 12.0,
+            outage_h: 0.3,
+            ..ShardCrashPlan::default()
+        };
+        let crashed = run_federation_campaign(&cfg).expect("crashed run");
+        let baseline = run_federation_campaign(&small_cfg(2)).expect("crash-free run");
+        assert_eq!(crashed.shard_digests(), baseline.shard_digests());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn replaying_any_wal_prefix_twice_equals_once(frac_a in 0.0f64..1.0, frac_b in 0.0f64..1.0) {
+            // Keep the whole history in the tail so every prefix of the
+            // run is replayable from the initial snapshot.
+            let mut cfg = small_cfg(2);
+            cfg.durability.checkpoint_every = usize::MAX;
+            let schedule = cfg.schedule();
+            let mut engine = Engine::new(&cfg, schedule, Box::new(ChannelTransport::new(2)));
+            engine.run_events().expect("run");
+            for s in 0..cfg.shards {
+                let wal = &engine.wals[s];
+                let len = wal.tail.len();
+                prop_assert!(len > 0, "shard {s} journaled nothing");
+                for frac in [frac_a, frac_b, 1.0] {
+                    let n = (((len + 1) as f64) * frac) as usize;
+                    let n = n.min(len);
+                    let once = shard_fingerprint(&wal.replay_prefix(engine.grace_ms, n));
+                    let twice = shard_fingerprint(&wal.replay_prefix(engine.grace_ms, n));
+                    prop_assert!(once == twice, "prefix replay diverged at {n}/{len} on shard {s}");
+                }
+                // The full prefix reconstructs the live shard exactly.
+                let full = wal.replay_prefix(engine.grace_ms, len);
+                assert_recovered_equal(&engine.shards[s], &full, s);
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   servers own subtrees of the domain hierarchy, resolve discovery
 //!   across shards, and hand sessions off with a two-phase
 //!   reserve/commit protocol that stays correct under suspicion;
+//! * [`durability`] — per-shard write-ahead log + snapshot checkpoints:
+//!   a federated domain server can crash mid-campaign and rebuild its
+//!   registry, session table, retry queue, and detector state from the
+//!   log, converging to the crash-free run's digests;
 //! * [`transport`] — the federation's message fabric: the `Transport`
 //!   seam, in-process channels, and the seeded lossy-transport fault
 //!   injector the reliable-delivery sublayer is hardened against;
@@ -47,6 +51,7 @@ pub mod checkpoint;
 pub mod config_cache;
 pub mod cost_model;
 pub mod domain_server;
+pub mod durability;
 pub mod event_service;
 pub mod faults;
 pub mod federation;
@@ -65,6 +70,7 @@ pub use checkpoint::{Checkpoint, HandoffPhase, HandoffPlan};
 pub use config_cache::{CompositionCache, CompositionCacheStats};
 pub use cost_model::{CostModel, LinkKind};
 pub use domain_server::{DomainServer, PlacementStrategy, PlacementTotals, Session, SessionId};
+pub use durability::DurabilityConfig;
 pub use event_service::{EventService, RuntimeEvent};
 pub use faults::{
     campaign_schedule, run_fault_campaign, run_fault_campaign_with, CampaignOutcome, EventLog,

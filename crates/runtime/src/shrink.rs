@@ -113,17 +113,31 @@ where
 
 /// The indices (ascending) that one deletion step at `i` removes:
 /// normally just `[i]`, but a partition also takes the first later heal
-/// of the same device group, keeping every candidate free of unmatched
-/// heals.
+/// of the same device group, and a shard crash takes the first later
+/// restart of the same shard — keeping every candidate free of
+/// unmatched heals/restarts. A heal or restart may be deleted alone
+/// (an unhealed partition or an unrestarted shard is a valid, if
+/// hostile, schedule).
 fn removal_group(schedule: &[TimedFault], i: usize) -> Vec<usize> {
     let mut group = vec![i];
-    if let FaultKind::Partition { first, count } = schedule[i].kind {
-        let heal = schedule.iter().enumerate().skip(i + 1).find(|(_, f)| {
-            matches!(f.kind, FaultKind::Heal { first: hf, count: hc } if hf == first && hc == count)
-        });
-        if let Some((j, _)) = heal {
-            group.push(j);
+    match schedule[i].kind {
+        FaultKind::Partition { first, count } => {
+            let heal = schedule.iter().enumerate().skip(i + 1).find(|(_, f)| {
+                matches!(f.kind, FaultKind::Heal { first: hf, count: hc } if hf == first && hc == count)
+            });
+            if let Some((j, _)) = heal {
+                group.push(j);
+            }
         }
+        FaultKind::ShardCrash { shard } => {
+            let restart = schedule.iter().enumerate().skip(i + 1).find(
+                |(_, f)| matches!(f.kind, FaultKind::ShardRestart { shard: rs } if rs == shard),
+            );
+            if let Some((j, _)) = restart {
+                group.push(j);
+            }
+        }
+        _ => {}
     }
     group
 }
@@ -261,6 +275,82 @@ mod tests {
         };
         let outcome = shrink_schedule(&schedule, needs_partition).expect("violates");
         assert_eq!(outcome.schedule, vec![partition(0.5, 1, 2)]);
+    }
+
+    fn shard_crash(at_h: f64, shard: usize) -> TimedFault {
+        TimedFault {
+            at_h,
+            kind: FaultKind::ShardCrash { shard },
+        }
+    }
+
+    fn shard_restart(at_h: f64, shard: usize) -> TimedFault {
+        TimedFault {
+            at_h,
+            kind: FaultKind::ShardRestart { shard },
+        }
+    }
+
+    /// True when every restart in `schedule` closes a crash of the same
+    /// shard that is still open (multiset pairing, scanned in time
+    /// order).
+    fn restarts_are_matched(schedule: &[TimedFault]) -> bool {
+        let mut open: Vec<usize> = Vec::new();
+        for f in schedule {
+            match f.kind {
+                FaultKind::ShardCrash { shard } => open.push(shard),
+                FaultKind::ShardRestart { shard } => match open.iter().position(|&s| s == shard) {
+                    Some(i) => {
+                        open.remove(i);
+                    }
+                    None => return false,
+                },
+                _ => {}
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn shard_crashes_take_their_restarts_along() {
+        // The violation only needs the two device crashes; the shard
+        // crash/restart pairs are noise that must shrink away without
+        // ever leaving a restart unmatched.
+        let schedule = vec![
+            shard_crash(0.2, 1),
+            fault(0.5, 0),
+            fault(1.0, 1),
+            shard_crash(1.2, 0),
+            shard_restart(1.6, 1),
+            fault(2.0, 3),
+            shard_restart(2.4, 0),
+        ];
+        let outcome = shrink_schedule(&schedule, |candidate| {
+            assert!(
+                restarts_are_matched(candidate),
+                "probe contained an unmatched restart: {candidate:?}"
+            );
+            crash_1_then_3(candidate)
+        })
+        .expect("full schedule violates");
+        assert_eq!(outcome.schedule, vec![fault(1.0, 1), fault(2.0, 3)]);
+        assert!(restarts_are_matched(&outcome.schedule));
+    }
+
+    #[test]
+    fn restarts_may_be_removed_alone() {
+        // A predicate that needs the crash but not its restart: the
+        // shrinker strips the restart and keeps the bare (unrestarted)
+        // crash, which is a valid schedule.
+        let schedule = vec![shard_crash(0.5, 2), fault(1.0, 4), shard_restart(2.0, 2)];
+        let needs_crash = |candidate: &[TimedFault]| {
+            candidate
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::ShardCrash { shard: 2 }))
+                .then(|| "crash of shard2 present".to_owned())
+        };
+        let outcome = shrink_schedule(&schedule, needs_crash).expect("violates");
+        assert_eq!(outcome.schedule, vec![shard_crash(0.5, 2)]);
     }
 
     #[test]

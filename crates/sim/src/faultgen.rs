@@ -106,6 +106,25 @@ pub enum FaultKind {
         /// logic for jams).
         until_h: f64,
     },
+    /// The *domain server* of federation shard `shard` crashes: its
+    /// in-memory state (registry, session table, retry queue,
+    /// reliable-transport cursors) is lost and must be reconstructed
+    /// from the durable snapshot + write-ahead log. Until the matching
+    /// [`FaultKind::ShardRestart`], the shard's network interface is
+    /// dead — copies to or from it are eaten on the wire. Serial
+    /// (unsharded) harnesses skip these events (logged).
+    ShardCrash {
+        /// The federation shard whose domain server crashes.
+        shard: usize,
+    },
+    /// The matching restart: the recovered domain server of `shard`
+    /// rejoins the fabric. Every generated `ShardCrash` has a
+    /// `ShardRestart` inside the horizon, so schedules are
+    /// eventually-restarted by construction.
+    ShardRestart {
+        /// The federation shard coming back up.
+        shard: usize,
+    },
 }
 
 impl FaultKind {
@@ -122,6 +141,8 @@ impl FaultKind {
             FaultKind::Partition { .. } => "partition",
             FaultKind::Heal { .. } => "heal",
             FaultKind::JamHeartbeats { .. } => "jam-heartbeats",
+            FaultKind::ShardCrash { .. } => "shard-crash",
+            FaultKind::ShardRestart { .. } => "shard-restart",
         }
     }
 }
@@ -387,6 +408,102 @@ impl FaultScheduleConfig {
     }
 }
 
+/// Parameters for a seeded shard-crash overlay: `crashes`
+/// [`FaultKind::ShardCrash`]/[`FaultKind::ShardRestart`] pairs spread
+/// over the horizon, schedulable alongside (merged into) any device
+/// fault schedule. `crashes == 0` generates nothing and draws nothing,
+/// so disabled configs stay bit-exact with their crash-free baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCrashPlan {
+    /// Overlay seed (independent of workload and fault-schedule seeds).
+    pub seed: u64,
+    /// Number of crash/restart pairs to generate.
+    pub crashes: usize,
+    /// Number of federation shards crashes may target.
+    pub shards: usize,
+    /// Horizon the crash windows spread over, in hours.
+    pub horizon_h: f64,
+    /// Outage length of each crash window, in hours. Every restart
+    /// lands strictly inside the horizon.
+    pub outage_h: f64,
+}
+
+impl Default for ShardCrashPlan {
+    fn default() -> Self {
+        ShardCrashPlan {
+            seed: 0x5eed_c4a5,
+            crashes: 0,
+            shards: 1,
+            horizon_h: 100.0,
+            outage_h: 0.5,
+        }
+    }
+}
+
+impl ShardCrashPlan {
+    /// Generates the crash/restart pairs, sorted by time (stable on
+    /// ties), deterministic per seed. Windows of the *same* shard never
+    /// overlap — a crash draw landing inside an existing window of its
+    /// shard is shifted past it, so every crash tears down a shard that
+    /// is actually up.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `crashes > 0` with no shards, a non-positive
+    /// horizon, or an outage that cannot fit inside the horizon.
+    pub fn generate(&self) -> Vec<TimedFault> {
+        if self.crashes == 0 {
+            return Vec::new();
+        }
+        assert!(self.shards >= 1, "crash plans need at least one shard");
+        assert!(
+            self.horizon_h > 0.0 && self.outage_h > 0.0,
+            "crash plan horizon and outage must be positive"
+        );
+        assert!(
+            self.outage_h < self.horizon_h * 0.5,
+            "outage must fit well inside the horizon"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut windows: Vec<(usize, f64, f64)> = Vec::new();
+        let mut schedule = Vec::with_capacity(self.crashes * 2);
+        for _ in 0..self.crashes {
+            let shard = rng.gen_range(0..self.shards);
+            let latest = self.horizon_h - self.outage_h;
+            let mut at_h = rng.gen_range(0.0..latest * 0.9);
+            // Shift past any existing window of the same shard.
+            loop {
+                let clash = windows
+                    .iter()
+                    .find(|&&(s, from, to)| s == shard && at_h < to && at_h + self.outage_h > from)
+                    .copied();
+                match clash {
+                    Some((_, _, to)) if to + self.outage_h < self.horizon_h => at_h = to + 1e-3,
+                    Some(_) => break, // no room left for this shard
+                    None => {
+                        windows.push((shard, at_h, at_h + self.outage_h));
+                        schedule.push(TimedFault {
+                            at_h,
+                            kind: FaultKind::ShardCrash { shard },
+                        });
+                        schedule.push(TimedFault {
+                            at_h: at_h + self.outage_h,
+                            kind: FaultKind::ShardRestart { shard },
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        schedule.sort_by(|x, y| {
+            x.at_h
+                .partial_cmp(&y.at_h)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        schedule
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,8 +551,61 @@ mod tests {
                 FaultKind::JamHeartbeats { device, until_h } => {
                     assert!(device < cfg.devices && until_h <= cfg.horizon_h);
                 }
+                FaultKind::ShardCrash { .. } | FaultKind::ShardRestart { .. } => {
+                    panic!("device schedules never generate shard faults")
+                }
             }
         }
+    }
+
+    #[test]
+    fn shard_crash_plans_pair_up_inside_the_horizon() {
+        let plan = ShardCrashPlan {
+            crashes: 6,
+            shards: 3,
+            horizon_h: 10.0,
+            outage_h: 0.4,
+            ..ShardCrashPlan::default()
+        };
+        let schedule = plan.generate();
+        assert_eq!(schedule, plan.generate(), "deterministic per seed");
+        let crashes: Vec<(f64, usize)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::ShardCrash { shard } => Some((f.at_h, shard)),
+                _ => None,
+            })
+            .collect();
+        let restarts: Vec<(f64, usize)> = schedule
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::ShardRestart { shard } => Some((f.at_h, shard)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), restarts.len());
+        assert!(!crashes.is_empty());
+        for &(at_h, shard) in &crashes {
+            assert!(shard < plan.shards);
+            let restart = restarts
+                .iter()
+                .find(|&&(h, s)| s == shard && (h - at_h - plan.outage_h).abs() < 1e-9)
+                .expect("every crash has its restart one outage later");
+            assert!(restart.0 < plan.horizon_h);
+        }
+        // Same-shard windows never overlap.
+        for (i, &(a_h, a_s)) in crashes.iter().enumerate() {
+            for &(b_h, b_s) in crashes.iter().skip(i + 1) {
+                if a_s == b_s {
+                    assert!(
+                        a_h + plan.outage_h <= b_h + 1e-9 || b_h + plan.outage_h <= a_h + 1e-9,
+                        "windows of shard {a_s} overlap"
+                    );
+                }
+            }
+        }
+        // A disabled plan generates nothing.
+        assert!(ShardCrashPlan::default().generate().is_empty());
     }
 
     #[test]

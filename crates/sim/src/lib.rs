@@ -30,7 +30,7 @@ pub mod table1;
 pub mod workload;
 
 pub use des::EventQueue;
-pub use faultgen::{FaultKind, FaultScheduleConfig, TimedFault};
+pub use faultgen::{FaultKind, FaultScheduleConfig, ShardCrashPlan, TimedFault};
 pub use graphgen::GraphGenConfig;
 pub use metrics::WindowedRate;
 pub use mobility::{merge_schedules, MobilityWaveConfig};

@@ -155,6 +155,9 @@ proptest! {
                     prop_assert!(device < devices);
                     prop_assert!(until_h <= cfg.horizon_h);
                 }
+                FaultKind::ShardCrash { .. } | FaultKind::ShardRestart { .. } => {
+                    prop_assert!(false, "device schedules never generate shard faults");
+                }
             }
         }
         prop_assert!(crashes >= 0, "more recoveries than crashes");
